@@ -1,0 +1,214 @@
+// Ablations of Photon design choices beyond the paper's figures, using
+// google-benchmark. Each pair isolates one decision DESIGN.md calls out:
+//   - kernel specialization on NULL-freeness (§4.6, Listing 2);
+//   - fused BETWEEN vs the equivalent conjunction (§3.3);
+//   - the custom SIMD ASCII check vs the scalar loop (Figure 6's kernel);
+//   - expression-scratch recycling (the §4.5 buffer pool) vs fresh
+//     allocation per batch;
+//   - word-wise vs bit-at-a-time bit-packing (Figure 7's encoder);
+//   - LZ-compressed vs raw shuffle blocks.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "expr/builder.h"
+#include "storage/bitpack.h"
+#include "storage/compress.h"
+#include "vector/column_batch.h"
+
+namespace photon {
+namespace {
+
+std::unique_ptr<ColumnBatch> IntBatch(int n, bool with_nulls) {
+  Schema schema({Field("x", DataType::Float64())});
+  auto batch = std::make_unique<ColumnBatch>(schema, n);
+  Rng rng(1);
+  for (int i = 0; i < n; i++) {
+    batch->column(0)->data<double>()[i] = rng.NextDouble() * 100;
+    if (with_nulls && i % 17 == 0) batch->column(0)->SetNull(i);
+  }
+  batch->set_num_rows(n);
+  batch->SetAllActive();
+  return batch;
+}
+
+/// Kernel specialization: sqrt over a NULL-free batch where the metadata
+/// is known (fast kernel, no branch) vs unknown-but-checked every batch vs
+/// genuinely nullable data.
+void BM_KernelNoNullsKnown(benchmark::State& state) {
+  auto batch = IntBatch(kDefaultBatchSize, false);
+  batch->column(0)->set_has_nulls(TriState::kNo);
+  ExprPtr e = eb::Call("sqrt", {eb::Col(0, DataType::Float64())});
+  EvalContext ctx;
+  for (auto _ : state) {
+    ctx.ResetPerBatch();
+    batch->column(0)->set_has_nulls(TriState::kNo);
+    benchmark::DoNotOptimize(e->Evaluate(batch.get(), &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultBatchSize);
+}
+BENCHMARK(BM_KernelNoNullsKnown);
+
+void BM_KernelWithNulls(benchmark::State& state) {
+  auto batch = IntBatch(kDefaultBatchSize, true);
+  ExprPtr e = eb::Call("sqrt", {eb::Col(0, DataType::Float64())});
+  EvalContext ctx;
+  for (auto _ : state) {
+    ctx.ResetPerBatch();
+    batch->column(0)->set_has_nulls(TriState::kYes);
+    benchmark::DoNotOptimize(e->Evaluate(batch.get(), &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultBatchSize);
+}
+BENCHMARK(BM_KernelWithNulls);
+
+/// Fused BETWEEN vs the conjunction it replaces.
+std::unique_ptr<ColumnBatch> I64Batch(int n) {
+  Schema schema({Field("x", DataType::Int64())});
+  auto batch = std::make_unique<ColumnBatch>(schema, n);
+  Rng rng(2);
+  for (int i = 0; i < n; i++) {
+    batch->column(0)->data<int64_t>()[i] = rng.Uniform(0, 1000);
+  }
+  batch->set_num_rows(n);
+  batch->SetAllActive();
+  return batch;
+}
+
+void BM_BetweenFused(benchmark::State& state) {
+  auto batch = I64Batch(kDefaultBatchSize);
+  ExprPtr e = eb::Between(eb::Col(0, DataType::Int64()),
+                          eb::Lit(int64_t{100}), eb::Lit(int64_t{900}));
+  EvalContext ctx;
+  for (auto _ : state) {
+    ctx.ResetPerBatch();
+    benchmark::DoNotOptimize(e->Evaluate(batch.get(), &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultBatchSize);
+}
+BENCHMARK(BM_BetweenFused);
+
+void BM_BetweenConjunction(benchmark::State& state) {
+  auto batch = I64Batch(kDefaultBatchSize);
+  ExprPtr e =
+      eb::And(eb::Ge(eb::Col(0, DataType::Int64()), eb::Lit(int64_t{100})),
+              eb::Le(eb::Col(0, DataType::Int64()), eb::Lit(int64_t{900})));
+  EvalContext ctx;
+  for (auto _ : state) {
+    ctx.ResetPerBatch();
+    benchmark::DoNotOptimize(e->Evaluate(batch.get(), &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultBatchSize);
+}
+BENCHMARK(BM_BetweenConjunction);
+
+/// SIMD vs scalar ASCII check (the Figure 6 kernel in isolation).
+void BM_IsAsciiSimd(benchmark::State& state) {
+  Rng rng(3);
+  std::string s = rng.NextAsciiString(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsAscii(s.data(), s.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsAsciiSimd)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_IsAsciiScalar(benchmark::State& state) {
+  Rng rng(3);
+  std::string s = rng.NextAsciiString(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsAsciiScalar(s.data(), s.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsAsciiScalar)->Arg(64)->Arg(1024)->Arg(65536);
+
+/// Scratch-vector recycling (buffer pool, §4.5) vs fresh allocations.
+void BM_EvalScratchPooled(benchmark::State& state) {
+  auto batch = I64Batch(kDefaultBatchSize);
+  ExprPtr e = eb::Add(eb::Mul(eb::Col(0, DataType::Int64()),
+                              eb::Lit(int64_t{3})),
+                      eb::Lit(int64_t{7}));
+  EvalContext ctx;  // reused across batches -> pool hits
+  for (auto _ : state) {
+    ctx.ResetPerBatch();
+    benchmark::DoNotOptimize(e->Evaluate(batch.get(), &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultBatchSize);
+}
+BENCHMARK(BM_EvalScratchPooled);
+
+void BM_EvalScratchFresh(benchmark::State& state) {
+  auto batch = I64Batch(kDefaultBatchSize);
+  ExprPtr e = eb::Add(eb::Mul(eb::Col(0, DataType::Int64()),
+                              eb::Lit(int64_t{3})),
+                      eb::Lit(int64_t{7}));
+  for (auto _ : state) {
+    EvalContext ctx;  // fresh context: every vector is a new allocation
+    benchmark::DoNotOptimize(e->Evaluate(batch.get(), &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * kDefaultBatchSize);
+}
+BENCHMARK(BM_EvalScratchFresh);
+
+/// Word-wise vs bit-at-a-time bit-packing.
+void BM_BitPackFast(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint32_t> values(65536);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Next() & 0x7FF);
+  for (auto _ : state) {
+    BinaryWriter out;
+    BitPack(values.data(), static_cast<int>(values.size()), 11, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_BitPackFast);
+
+void BM_BitPackSlow(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint32_t> values(65536);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Next() & 0x7FF);
+  for (auto _ : state) {
+    BinaryWriter out;
+    BitPackSlow(values.data(), static_cast<int>(values.size()), 11, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_BitPackSlow);
+
+/// Compression codec on shuffle-like payloads.
+std::string ShuffleLikePayload() {
+  Rng rng(6);
+  std::string out;
+  for (int i = 0; i < 4000; i++) {
+    out += "user-" + std::to_string(rng.Uniform(0, 500)) + ",";
+    out += std::to_string(rng.Uniform(0, 1000000)) + ";";
+  }
+  return out;
+}
+
+void BM_CompressLz(benchmark::State& state) {
+  std::string payload = ShuffleLikePayload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Compress(payload, Codec::kLz));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_CompressLz);
+
+void BM_CompressNone(benchmark::State& state) {
+  std::string payload = ShuffleLikePayload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Compress(payload, Codec::kNone));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_CompressNone);
+
+}  // namespace
+}  // namespace photon
+
+BENCHMARK_MAIN();

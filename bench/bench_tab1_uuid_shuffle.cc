@@ -1,0 +1,119 @@
+// Table 1: adaptive UUID shuffle encoding.
+//
+// Repartitions a dataset whose string column holds canonical 36-character
+// UUIDs. Three configurations, as in the paper:
+//   - DBR: the baseline row shuffle (generic row serializer + LZ);
+//   - Photon + No Adaptivity: columnar shuffle, plain string encoding;
+//   - Photon + Adaptivity: per-block detection rewrites UUID strings as
+//     16-byte binary before compression.
+// Paper: runtime 31501 / 17324 / 15069 ms and data 1759.6 / 1715.1 /
+// 763.2 MB — i.e. a modest runtime win but >2x less shuffle data.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "expr/builder.h"
+#include "baseline/row_ops.h"
+#include "baseline/row_shuffle.h"
+#include "ops/scan.h"
+#include "ops/shuffle.h"
+#include "vector/vector_serde.h"
+
+namespace photon {
+namespace {
+
+Table MakeUuidTable(int64_t rows, uint64_t seed) {
+  Schema schema({Field("u", DataType::String(), false),
+                 Field("v", DataType::Int64(), false)});
+  TableBuilder builder(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < rows; i++) {
+    uint8_t bin[16];
+    for (int b = 0; b < 16; b++) bin[b] = static_cast<uint8_t>(rng.Next());
+    char text[36];
+    FormatUuid(bin, text);
+    builder.AppendRow(
+        {Value::String(std::string(text, 36)), Value::Int64(i)});
+  }
+  return builder.Finish();
+}
+
+struct RunResult {
+  int64_t wall_ns;
+  int64_t bytes;
+};
+
+RunResult RunPhotonShuffle(const Table& t, bool adaptive,
+                           const std::string& id) {
+  ShuffleOptions options;
+  options.num_partitions = 8;
+  options.adaptive_encoding = adaptive;
+  auto write = std::make_unique<ShuffleWriteOperator>(
+      std::make_unique<InMemoryScanOperator>(&t),
+      std::vector<ExprPtr>{eb::Col(0, DataType::String(), "u")}, id,
+      options);
+  int64_t t0 = bench::NowNs();
+  PHOTON_CHECK(write->Open().ok());
+  Result<ColumnBatch*> sink = write->GetNext();
+  PHOTON_CHECK(sink.ok());
+  // Read it back (a shuffle write is always paired with a read, §5.2).
+  auto read = std::make_unique<ShuffleReadOperator>(t.schema(), id);
+  Result<Table> result = CollectAll(read.get());
+  PHOTON_CHECK(result.ok());
+  PHOTON_CHECK(result->num_rows() == t.num_rows());
+  int64_t elapsed = bench::NowNs() - t0;
+  RunResult out{elapsed, write->bytes_written()};
+  DeleteShuffle(id);
+  return out;
+}
+
+RunResult RunBaselineShuffle(const Table& t, const std::string& id) {
+  auto write = std::make_unique<baseline::RowShuffleWriteOperator>(
+      std::make_unique<baseline::RowScanOperator>(&t),
+      std::vector<ExprPtr>{eb::Col(0, DataType::String(), "u")}, id, 8);
+  int64_t t0 = bench::NowNs();
+  PHOTON_CHECK(write->Open().ok());
+  baseline::Row sink;
+  Result<bool> done = write->Next(&sink);
+  PHOTON_CHECK(done.ok());
+  auto read = std::make_unique<baseline::RowShuffleReadOperator>(t.schema(),
+                                                                 id);
+  Result<Table> result = baseline::CollectAllRows(read.get());
+  PHOTON_CHECK(result.ok());
+  PHOTON_CHECK(result->num_rows() == t.num_rows());
+  int64_t elapsed = bench::NowNs() - t0;
+  RunResult out{elapsed, write->bytes_written()};
+  ObjectStore::Default().DeletePrefix("rowshuffle/" + id + "/");
+  return out;
+}
+
+}  // namespace
+}  // namespace photon
+
+int main() {
+  using namespace photon;
+  const int64_t kRows = 1000000;  // scaled from the paper's 50M
+  std::printf("Table 1: adaptive UUID shuffle encoding (%lld rows)\n",
+              static_cast<long long>(kRows));
+  Table t = MakeUuidTable(kRows, 77);
+
+  RunResult dbr = RunBaselineShuffle(t, "tab1-dbr");
+  RunResult plain = RunPhotonShuffle(t, false, "tab1-plain");
+  RunResult adaptive = RunPhotonShuffle(t, true, "tab1-adaptive");
+
+  std::printf("  %-24s %12s %14s\n", "Configuration", "Runtime (ms)",
+              "Data Size (MB)");
+  std::printf("  %-24s %12.1f %14.2f\n", "DBR", bench::Ms(dbr.wall_ns),
+              dbr.bytes / 1048576.0);
+  std::printf("  %-24s %12.1f %14.2f\n", "Photon + No Adaptivity",
+              bench::Ms(plain.wall_ns), plain.bytes / 1048576.0);
+  std::printf("  %-24s %12.1f %14.2f\n", "Photon + Adaptivity",
+              bench::Ms(adaptive.wall_ns), adaptive.bytes / 1048576.0);
+  std::printf(
+      "  data reduction from adaptivity: %.2fx (paper: ~2.2x); runtime "
+      "win: %.1f%% (paper: ~15%%)\n",
+      static_cast<double>(plain.bytes) / adaptive.bytes,
+      100.0 * (plain.wall_ns - adaptive.wall_ns) / plain.wall_ns);
+  return 0;
+}

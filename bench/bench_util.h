@@ -1,0 +1,63 @@
+#ifndef PHOTON_BENCH_BENCH_UTIL_H_
+#define PHOTON_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "baseline/row_operator.h"
+#include "ops/operator.h"
+#include "plan/logical_plan.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace bench {
+
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock for one Photon execution of a plan; result rows out-param.
+inline int64_t TimePhoton(const plan::PlanPtr& p, int64_t* rows = nullptr) {
+  Result<OperatorPtr> op = plan::CompilePhoton(p);
+  PHOTON_CHECK(op.ok());
+  int64_t t0 = NowNs();
+  Result<Table> result = CollectAll(op->get());
+  int64_t elapsed = NowNs() - t0;
+  PHOTON_CHECK(result.ok());
+  if (rows != nullptr) *rows = result->num_rows();
+  return elapsed;
+}
+
+/// Wall-clock for one baseline execution of the same plan.
+inline int64_t TimeBaseline(
+    const plan::PlanPtr& p, int64_t* rows = nullptr,
+    plan::BaselineJoinImpl join = plan::BaselineJoinImpl::kSortMerge) {
+  Result<baseline::RowOperatorPtr> op = plan::CompileBaseline(p, join);
+  PHOTON_CHECK(op.ok());
+  int64_t t0 = NowNs();
+  Result<Table> result = baseline::CollectAllRows(op->get());
+  int64_t elapsed = NowNs() - t0;
+  PHOTON_CHECK(result.ok());
+  if (rows != nullptr) *rows = result->num_rows();
+  return elapsed;
+}
+
+/// Best of `reps` runs (the paper reports minimum across runs, §6.2).
+template <typename Fn>
+int64_t BestOf(int reps, Fn&& fn) {
+  int64_t best = INT64_MAX;
+  for (int i = 0; i < reps; i++) {
+    best = std::min(best, static_cast<int64_t>(fn()));
+  }
+  return best;
+}
+
+inline double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace bench
+}  // namespace photon
+
+#endif  // PHOTON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+// Runtime adaptivity on raw, uncurated string data (§4.6).
+//
+// Lakehouse data often stores everything as strings: UUIDs, numbers,
+// mixed-encoding text. This example shows Photon discovering batch-level
+// properties at runtime and switching code paths:
+//   - the ASCII fast path for upper() (and the automatic fallback when a
+//     batch contains UTF-8);
+//   - adaptive shuffle encodings that spot UUID- and integer-shaped
+//     strings and serialize them compactly.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "expr/builder.h"
+#include "ops/scan.h"
+#include "ops/shuffle.h"
+#include "plan/logical_plan.h"
+#include "vector/vector_serde.h"
+
+using namespace photon;
+
+int main() {
+  Rng rng(99);
+
+  // ---- 1. ASCII adaptivity in upper() -------------------------------------
+  Schema schema({Field("s", DataType::String())});
+  TableBuilder ascii_rows(schema), mixed_rows(schema);
+  for (int i = 0; i < 100000; i++) {
+    ascii_rows.AppendRow({Value::String(rng.NextAsciiString(16))});
+    mixed_rows.AppendRow({Value::String(
+        i % 50 == 0 ? "caf\xC3\xA9 au lait" : rng.NextAsciiString(16))});
+  }
+  Table ascii_table = ascii_rows.Finish();
+  Table mixed_table = mixed_rows.Finish();
+
+  auto time_upper = [](const Table& t) {
+    plan::PlanPtr p = plan::Scan(&t);
+    p = plan::Project(p, {eb::Call("upper", {plan::ColOf(p, "s")})}, {"u"});
+    p = plan::Aggregate(p, {}, {},
+                        {AggregateSpec{AggKind::kCountStar, nullptr, "n"}});
+    Result<OperatorPtr> op = plan::CompilePhoton(p);
+    PHOTON_CHECK(op.ok());
+    auto t0 = std::chrono::steady_clock::now();
+    Result<Table> r = CollectAll(op->get());
+    PHOTON_CHECK(r.ok());
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  long long pure_us = time_upper(ascii_table);
+  long long mixed_us = time_upper(mixed_table);
+  std::printf("upper() over 100k strings:\n");
+  std::printf("  all-ASCII batches (SIMD check + byte kernel): %lld us\n",
+              pure_us);
+  std::printf("  2%% UTF-8 batches (codepoint fallback):        %lld us\n",
+              mixed_us);
+  std::printf("  -> the engine adapted per batch; no plan change needed\n\n");
+
+  // ---- 2. Adaptive shuffle encodings --------------------------------------
+  Schema raw_schema({Field("uuid", DataType::String()),
+                     Field("user_id_str", DataType::String()),
+                     Field("note", DataType::String())});
+  TableBuilder raw(raw_schema);
+  for (int i = 0; i < 50000; i++) {
+    uint8_t bin[16];
+    for (int b = 0; b < 16; b++) bin[b] = static_cast<uint8_t>(rng.Next());
+    char uuid[36];
+    FormatUuid(bin, uuid);
+    raw.AppendRow({Value::String(std::string(uuid, 36)),
+                   Value::String(std::to_string(rng.Uniform(0, 1 << 30))),
+                   Value::String(rng.NextAsciiString(8))});
+  }
+  Table raw_table = raw.Finish();
+
+  auto shuffle_bytes = [&](bool adaptive, const char* id) {
+    ShuffleOptions options;
+    options.num_partitions = 4;
+    options.adaptive_encoding = adaptive;
+    auto write = std::make_unique<ShuffleWriteOperator>(
+        std::make_unique<InMemoryScanOperator>(&raw_table),
+        std::vector<ExprPtr>{eb::Col(0, DataType::String(), "uuid")}, id,
+        options);
+    PHOTON_CHECK(write->Open().ok());
+    PHOTON_CHECK(write->GetNext().ok());
+    int64_t bytes = write->bytes_written();
+    DeleteShuffle(id);
+    return bytes;
+  };
+  int64_t plain = shuffle_bytes(false, "ex-plain");
+  int64_t adaptive = shuffle_bytes(true, "ex-adaptive");
+  std::printf("shuffling 50k rows of string-typed raw data:\n");
+  std::printf("  plain encoding:    %8.2f MB\n", plain / 1048576.0);
+  std::printf("  adaptive encoding: %8.2f MB  "
+              "(UUID column -> 16-byte binary, numeric strings -> varints)\n",
+              adaptive / 1048576.0);
+  std::printf("  -> %.2fx less shuffle data, detected per block at runtime\n",
+              static_cast<double>(plain) / adaptive);
+  return 0;
+}

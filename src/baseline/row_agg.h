@@ -1,0 +1,76 @@
+#ifndef PHOTON_BASELINE_ROW_AGG_H_
+#define PHOTON_BASELINE_ROW_AGG_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "baseline/row_operator.h"
+#include "expr/agg_function.h"
+#include "expr/expr.h"
+#include "ops/hash_aggregate.h"  // AggregateSpec
+
+namespace photon {
+namespace baseline {
+
+/// Per-group aggregation state, heap-allocated per group like the JVM
+/// engine's (§6.1 describes DBR's collect_list using Scala collections and
+/// managing "the state for each group independently").
+class RowAggState {
+ public:
+  virtual ~RowAggState() = default;
+  virtual Status Update(const Value& arg) = 0;
+  virtual Result<Value> Finalize() const = 0;
+};
+
+/// Row-at-a-time hash aggregation over a boxed-key unordered_map. Numeric
+/// accumulation orders and types match Photon's aggregates exactly so the
+/// two engines can be diffed (§5.6); only the *costs* differ.
+class RowHashAggregateOperator : public RowOperator {
+ public:
+  RowHashAggregateOperator(RowOperatorPtr child, std::vector<ExprPtr> keys,
+                           std::vector<std::string> key_names,
+                           std::vector<AggregateSpec> specs);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "BaselineHashAggregate"; }
+
+ private:
+  struct RowKey {
+    Row values;
+    bool operator==(const RowKey& other) const {
+      if (values.size() != other.values.size()) return false;
+      for (size_t i = 0; i < values.size(); i++) {
+        bool an = values[i].is_null(), bn = other.values[i].is_null();
+        if (an != bn) return false;
+        if (!an && !values[i].Equals(other.values[i])) return false;
+      }
+      return true;
+    }
+  };
+  struct RowKeyHasher {
+    size_t operator()(const RowKey& k) const {
+      return static_cast<size_t>(RowKeyHash(k.values));
+    }
+  };
+  using Group = std::vector<std::unique_ptr<RowAggState>>;
+
+  Status ConsumeInput();
+  Group MakeGroup() const;
+
+  RowOperatorPtr child_;
+  std::vector<ExprPtr> keys_;
+  std::vector<AggregateSpec> specs_;
+  std::unordered_map<RowKey, Group, RowKeyHasher> groups_;
+  Group scalar_group_;
+  bool scalar_mode_;
+  bool consumed_ = false;
+  bool scalar_emitted_ = false;
+  std::unordered_map<RowKey, Group, RowKeyHasher>::iterator emit_it_;
+};
+
+}  // namespace baseline
+}  // namespace photon
+
+#endif  // PHOTON_BASELINE_ROW_AGG_H_

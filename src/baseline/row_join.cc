@@ -1,0 +1,355 @@
+#include "baseline/row_join.h"
+
+#include <algorithm>
+
+namespace photon {
+namespace baseline {
+namespace {
+
+/// Total order over key rows; NULLs sort first and are remembered so join
+/// logic can reject NULL matches.
+int CompareKeyRows(const Row& a, const Row& b) {
+  for (size_t i = 0; i < a.size(); i++) {
+    bool an = a[i].is_null(), bn = b[i].is_null();
+    if (an || bn) {
+      if (an && bn) continue;
+      return an ? -1 : 1;
+    }
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Result<bool> ResidualPasses(const ExprPtr& residual, const Row& left,
+                            const Row& right) {
+  if (residual == nullptr) return true;
+  Row combined = left;
+  combined.insert(combined.end(), right.begin(), right.end());
+  PHOTON_ASSIGN_OR_RETURN(Value v, residual->EvaluateRow(combined));
+  return !v.is_null() && v.boolean();
+}
+
+void EmitJoined(const Row& left, const Row* right, int right_width,
+                Row* out) {
+  *out = left;
+  if (right != nullptr) {
+    out->insert(out->end(), right->begin(), right->end());
+  } else {
+    for (int i = 0; i < right_width; i++) out->push_back(Value::Null());
+  }
+}
+
+}  // namespace
+
+Schema JoinOutputSchema(const Schema& left, const Schema& right,
+                        JoinType join_type) {
+  if (join_type == JoinType::kLeftSemi || join_type == JoinType::kLeftAnti) {
+    return left;
+  }
+  Schema schema = left;
+  for (const Field& f : right.fields()) {
+    Field field = f;
+    if (join_type == JoinType::kLeftOuter) field.nullable = true;
+    schema.AddField(field);
+  }
+  return schema;
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge join
+// ---------------------------------------------------------------------------
+
+RowSortMergeJoinOperator::RowSortMergeJoinOperator(
+    RowOperatorPtr left, RowOperatorPtr right,
+    std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+    JoinType join_type, ExprPtr residual)
+    : RowOperator(JoinOutputSchema(left->output_schema(),
+                                   right->output_schema(), join_type)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      join_type_(join_type),
+      residual_(std::move(residual)) {
+  PHOTON_CHECK(left_keys_.size() == right_keys_.size());
+}
+
+Status RowSortMergeJoinOperator::Open() {
+  PHOTON_RETURN_NOT_OK(left_->Open());
+  PHOTON_RETURN_NOT_OK(right_->Open());
+  materialized_ = false;
+  li_ = ri_ = 0;
+  in_group_ = false;
+  return Status::OK();
+}
+
+Status RowSortMergeJoinOperator::Materialize() {
+  auto load = [](RowOperator* op, const std::vector<ExprPtr>& keys,
+                 std::vector<Row>* rows, std::vector<Row>* key_rows,
+                 std::vector<int>* order) -> Status {
+    Row row;
+    while (true) {
+      PHOTON_ASSIGN_OR_RETURN(bool ok, op->Next(&row));
+      if (!ok) break;
+      Row key;
+      key.reserve(keys.size());
+      for (const ExprPtr& k : keys) {
+        PHOTON_ASSIGN_OR_RETURN(Value v, k->EvaluateRow(row));
+        key.push_back(std::move(v));
+      }
+      rows->push_back(row);
+      key_rows->push_back(std::move(key));
+    }
+    order->resize(rows->size());
+    for (size_t i = 0; i < order->size(); i++) (*order)[i] = static_cast<int>(i);
+    std::stable_sort(order->begin(), order->end(), [&](int a, int b) {
+      return CompareKeyRows((*key_rows)[a], (*key_rows)[b]) < 0;
+    });
+    return Status::OK();
+  };
+  PHOTON_RETURN_NOT_OK(
+      load(left_.get(), left_keys_, &left_rows_, &left_key_rows_,
+           &left_order_));
+  PHOTON_RETURN_NOT_OK(
+      load(right_.get(), right_keys_, &right_rows_, &right_key_rows_,
+           &right_order_));
+  materialized_ = true;
+  return Status::OK();
+}
+
+Result<bool> RowSortMergeJoinOperator::EmitNext(Row* out) {
+  int right_width = static_cast<int>(
+      join_type_ == JoinType::kInner || join_type_ == JoinType::kLeftOuter
+          ? right_rows_.empty()
+                ? right_->output_schema().num_fields()
+                : right_rows_[0].size()
+          : 0);
+  (void)right_width;
+  int rw = right_->output_schema().num_fields();
+
+  while (li_ < left_order_.size()) {
+    const Row& lkey = left_key_rows_[left_order_[li_]];
+    const Row& lrow = left_rows_[left_order_[li_]];
+
+    if (!in_group_) {
+      bool null_key = KeyHasNull(lkey);
+      if (!null_key) {
+        // Advance right cursor to this key's group.
+        while (ri_ < right_order_.size() &&
+               CompareKeyRows(right_key_rows_[right_order_[ri_]], lkey) < 0) {
+          ri_++;
+        }
+        group_begin_ = ri_;
+        group_end_ = ri_;
+        while (group_end_ < right_order_.size() &&
+               CompareKeyRows(right_key_rows_[right_order_[group_end_]],
+                              lkey) == 0 &&
+               !KeyHasNull(right_key_rows_[right_order_[group_end_]])) {
+          group_end_++;
+        }
+      } else {
+        group_begin_ = group_end_ = 0;  // NULL key: empty match group
+      }
+      group_pos_ = group_begin_;
+      in_group_ = true;
+
+      if (join_type_ == JoinType::kLeftSemi ||
+          join_type_ == JoinType::kLeftAnti) {
+        bool matched = false;
+        for (size_t g = group_begin_; g < group_end_ && !matched; g++) {
+          PHOTON_ASSIGN_OR_RETURN(
+              bool ok, ResidualPasses(residual_, lrow,
+                                      right_rows_[right_order_[g]]));
+          matched = ok;
+        }
+        in_group_ = false;
+        li_++;
+        bool keep = join_type_ == JoinType::kLeftSemi ? matched : !matched;
+        if (keep) {
+          *out = lrow;
+          return true;
+        }
+        continue;
+      }
+
+      if (group_begin_ == group_end_) {
+        in_group_ = false;
+        li_++;
+        if (join_type_ == JoinType::kLeftOuter) {
+          EmitJoined(lrow, nullptr, rw, out);
+          return true;
+        }
+        continue;
+      }
+      emitted_for_left_ = false;
+    }
+
+    // Inner/left outer within a non-empty group.
+    while (group_pos_ < group_end_) {
+      const Row& rrow = right_rows_[right_order_[group_pos_]];
+      group_pos_++;
+      PHOTON_ASSIGN_OR_RETURN(bool ok,
+                              ResidualPasses(residual_, lrow, rrow));
+      if (ok) {
+        EmitJoined(lrow, &rrow, rw, out);
+        emitted_for_left_ = true;
+        return true;
+      }
+    }
+    // Group exhausted for this left row.
+    in_group_ = false;
+    li_++;
+    ri_ = group_begin_;  // next left row with same key rescans the group
+    if (join_type_ == JoinType::kLeftOuter && !emitted_for_left_) {
+      // All candidates failed the residual: treat as unmatched.
+      EmitJoined(lrow, nullptr, rw, out);
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> RowSortMergeJoinOperator::Next(Row* row) {
+  if (!materialized_) {
+    PHOTON_RETURN_NOT_OK(Materialize());
+  }
+  return EmitNext(row);
+}
+
+void RowSortMergeJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+  left_rows_.clear();
+  right_rows_.clear();
+  left_key_rows_.clear();
+  right_key_rows_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Shuffled hash join
+// ---------------------------------------------------------------------------
+
+RowShuffledHashJoinOperator::RowShuffledHashJoinOperator(
+    RowOperatorPtr left, RowOperatorPtr right,
+    std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+    JoinType join_type, ExprPtr residual)
+    : RowOperator(JoinOutputSchema(left->output_schema(),
+                                   right->output_schema(), join_type)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      join_type_(join_type),
+      residual_(std::move(residual)) {}
+
+Status RowShuffledHashJoinOperator::Open() {
+  PHOTON_RETURN_NOT_OK(left_->Open());
+  PHOTON_RETURN_NOT_OK(right_->Open());
+  table_.clear();
+  built_ = false;
+  have_left_ = false;
+  return Status::OK();
+}
+
+Result<bool> RowShuffledHashJoinOperator::ExtractKey(
+    const Row& row, const std::vector<ExprPtr>& keys, Row* key) const {
+  key->clear();
+  bool has_null = false;
+  for (const ExprPtr& k : keys) {
+    PHOTON_ASSIGN_OR_RETURN(Value v, k->EvaluateRow(row));
+    has_null |= v.is_null();
+    key->push_back(std::move(v));
+  }
+  return !has_null;
+}
+
+Status RowShuffledHashJoinOperator::BuildPhase() {
+  Row row, key;
+  while (true) {
+    PHOTON_ASSIGN_OR_RETURN(bool ok, right_->Next(&row));
+    if (!ok) break;
+    PHOTON_ASSIGN_OR_RETURN(bool valid, ExtractKey(row, right_keys_, &key));
+    if (!valid) continue;  // NULL keys never match
+    table_.emplace(key, row);
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Result<bool> RowShuffledHashJoinOperator::Next(Row* out) {
+  if (!built_) {
+    PHOTON_RETURN_NOT_OK(BuildPhase());
+  }
+  int rw = right_->output_schema().num_fields();
+  Row key;
+  while (true) {
+    if (!have_left_) {
+      PHOTON_ASSIGN_OR_RETURN(bool ok, left_->Next(&current_left_));
+      if (!ok) return false;
+      PHOTON_ASSIGN_OR_RETURN(bool valid,
+                              ExtractKey(current_left_, left_keys_, &key));
+      if (valid) {
+        range_ = table_.equal_range(key);
+      } else {
+        range_ = {table_.end(), table_.end()};
+      }
+
+      if (join_type_ == JoinType::kLeftSemi ||
+          join_type_ == JoinType::kLeftAnti) {
+        bool matched = false;
+        for (auto it = range_.first; it != range_.second && !matched; ++it) {
+          PHOTON_ASSIGN_OR_RETURN(
+              bool ok2, ResidualPasses(residual_, current_left_, it->second));
+          matched = ok2;
+        }
+        bool keep = join_type_ == JoinType::kLeftSemi ? matched : !matched;
+        if (keep) {
+          *out = current_left_;
+          return true;
+        }
+        continue;
+      }
+
+      if (range_.first == range_.second) {
+        if (join_type_ == JoinType::kLeftOuter) {
+          EmitJoined(current_left_, nullptr, rw, out);
+          return true;
+        }
+        continue;
+      }
+      have_left_ = true;
+    }
+
+    bool emitted = false;
+    while (range_.first != range_.second) {
+      const Row& rrow = range_.first->second;
+      ++range_.first;
+      PHOTON_ASSIGN_OR_RETURN(bool ok,
+                              ResidualPasses(residual_, current_left_, rrow));
+      if (ok) {
+        EmitJoined(current_left_, &rrow, rw, out);
+        emitted = true;
+        break;
+      }
+    }
+    if (range_.first == range_.second) have_left_ = false;
+    if (emitted) return true;
+  }
+}
+
+void RowShuffledHashJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+  table_.clear();
+}
+
+}  // namespace baseline
+}  // namespace photon

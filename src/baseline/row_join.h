@@ -1,0 +1,111 @@
+#ifndef PHOTON_BASELINE_ROW_JOIN_H_
+#define PHOTON_BASELINE_ROW_JOIN_H_
+
+#include <unordered_map>
+
+#include "baseline/row_operator.h"
+#include "expr/expr.h"
+#include "ops/hash_join.h"  // JoinType
+
+namespace photon {
+namespace baseline {
+
+/// Sort-merge join, the default join of the baseline engine — the paper
+/// notes Apache Spark defaults to SMJ because its shuffled hash join can't
+/// spill (§6.1 footnote 2). Left side is the streamed/outer side (to match
+/// Photon's probe side); output = left columns then right columns.
+class RowSortMergeJoinOperator : public RowOperator {
+ public:
+  RowSortMergeJoinOperator(RowOperatorPtr left, RowOperatorPtr right,
+                           std::vector<ExprPtr> left_keys,
+                           std::vector<ExprPtr> right_keys,
+                           JoinType join_type, ExprPtr residual = nullptr);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string name() const override { return "BaselineSortMergeJoin"; }
+
+ private:
+  Status Materialize();
+  Result<bool> EmitNext(Row* row);
+
+  RowOperatorPtr left_;
+  RowOperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  JoinType join_type_;
+  ExprPtr residual_;
+
+  std::vector<Row> left_rows_, right_rows_;
+  std::vector<Row> left_key_rows_, right_key_rows_;
+  std::vector<int> left_order_, right_order_;
+  bool materialized_ = false;
+
+  // Merge state.
+  size_t li_ = 0, ri_ = 0;
+  size_t group_begin_ = 0, group_end_ = 0;  // right group for current key
+  size_t group_pos_ = 0;
+  bool in_group_ = false;
+  bool emitted_for_left_ = false;
+};
+
+/// Shuffled hash join: a scalar-access unordered_multimap build + row-wise
+/// probe (the "standard scalar-access hash table" Photon's §4.4 contrasts
+/// itself with).
+class RowShuffledHashJoinOperator : public RowOperator {
+ public:
+  RowShuffledHashJoinOperator(RowOperatorPtr left, RowOperatorPtr right,
+                              std::vector<ExprPtr> left_keys,
+                              std::vector<ExprPtr> right_keys,
+                              JoinType join_type, ExprPtr residual = nullptr);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string name() const override { return "BaselineShuffledHashJoin"; }
+
+ private:
+  struct KeyHasher {
+    size_t operator()(const Row& key) const {
+      return static_cast<size_t>(RowKeyHash(key));
+    }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].is_null() || b[i].is_null()) return false;  // join NULLs
+        if (!a[i].Equals(b[i])) return false;
+      }
+      return true;
+    }
+  };
+
+  Status BuildPhase();
+  Result<bool> ExtractKey(const Row& row, const std::vector<ExprPtr>& keys,
+                          Row* key) const;
+
+  RowOperatorPtr left_;
+  RowOperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  JoinType join_type_;
+  ExprPtr residual_;
+
+  std::unordered_multimap<Row, Row, KeyHasher, KeyEq> table_;
+  bool built_ = false;
+  Row current_left_;
+  bool have_left_ = false;
+  std::pair<std::unordered_multimap<Row, Row, KeyHasher, KeyEq>::iterator,
+            std::unordered_multimap<Row, Row, KeyHasher, KeyEq>::iterator>
+      range_;
+};
+
+Schema JoinOutputSchema(const Schema& left, const Schema& right,
+                        JoinType join_type);
+
+}  // namespace baseline
+}  // namespace photon
+
+#endif  // PHOTON_BASELINE_ROW_JOIN_H_

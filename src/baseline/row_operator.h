@@ -1,0 +1,61 @@
+#ifndef PHOTON_BASELINE_ROW_OPERATOR_H_
+#define PHOTON_BASELINE_ROW_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace photon {
+
+class Table;
+
+namespace baseline {
+
+/// A row as the baseline engine sees it: boxed values, one heap-backed
+/// container per row in flight. This deliberately mirrors the cost profile
+/// of the JVM-based Databricks Runtime the paper compares against (§3.2):
+/// per-row virtual dispatch, value boxing for strings/decimals, and
+/// per-group heap state in aggregations.
+using Row = std::vector<Value>;
+
+/// Volcano-style row operator (§3.2's "far slower Volcano-style interpreted
+/// code path", which is what DBR falls back to — and which stands in here
+/// for the whole JVM engine; see DESIGN.md substitutions). Pull model:
+/// Next fills `row` and returns true, or returns false at end-of-stream.
+class RowOperator {
+ public:
+  explicit RowOperator(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~RowOperator() = default;
+
+  RowOperator(const RowOperator&) = delete;
+  RowOperator& operator=(const RowOperator&) = delete;
+
+  const Schema& output_schema() const { return schema_; }
+
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual void Close() {}
+  virtual std::string name() const = 0;
+
+ protected:
+  Schema schema_;
+};
+
+using RowOperatorPtr = std::unique_ptr<RowOperator>;
+
+/// Drains a row operator into an in-memory columnar Table (for comparing
+/// baseline results against Photon results in tests and benchmarks).
+Result<Table> CollectAllRows(RowOperator* root);
+
+/// Hash of a boxed value (for baseline hash maps / partitioning).
+uint64_t ValueHash(const Value& v);
+uint64_t RowKeyHash(const Row& key);
+
+}  // namespace baseline
+}  // namespace photon
+
+#endif  // PHOTON_BASELINE_ROW_OPERATOR_H_

@@ -1,0 +1,80 @@
+#include "baseline/row_ops.h"
+
+#include "common/hash.h"
+
+namespace photon {
+namespace baseline {
+
+Result<Table> CollectAllRows(RowOperator* root) {
+  PHOTON_RETURN_NOT_OK(root->Open());
+  TableBuilder builder(root->output_schema());
+  Row row;
+  while (true) {
+    PHOTON_ASSIGN_OR_RETURN(bool ok, root->Next(&row));
+    if (!ok) break;
+    builder.AppendRow(row);
+  }
+  root->Close();
+  return builder.Finish();
+}
+
+uint64_t ValueHash(const Value& v) { return v.HashCode(); }
+
+uint64_t RowKeyHash(const Row& key) {
+  uint64_t h = 0x517CC1B727220A95ULL;
+  for (const Value& v : key) h = HashCombine(h, ValueHash(v));
+  return h;
+}
+
+Result<bool> RowScanOperator::Next(Row* row) {
+  while (batch_ < table_->num_batches()) {
+    const ColumnBatch& b = table_->batch(batch_);
+    if (row_ < b.num_active()) {
+      int r = b.ActiveRow(row_);
+      row->clear();
+      for (int c = 0; c < b.num_columns(); c++) {
+        row->push_back(b.column(c)->GetValue(r));
+      }
+      row_++;
+      return true;
+    }
+    batch_++;
+    row_ = 0;
+  }
+  return false;
+}
+
+Result<bool> RowFilterOperator::Next(Row* row) {
+  while (true) {
+    PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(row));
+    if (!ok) return false;
+    PHOTON_ASSIGN_OR_RETURN(Value v, predicate_->EvaluateRow(*row));
+    if (!v.is_null() && v.boolean()) return true;
+  }
+}
+
+RowProjectOperator::RowProjectOperator(RowOperatorPtr child,
+                                       std::vector<ExprPtr> exprs,
+                                       std::vector<std::string> names)
+    : RowOperator(Schema()), child_(std::move(child)), exprs_(std::move(exprs)) {
+  PHOTON_CHECK(exprs_.size() == names.size());
+  Schema schema;
+  for (size_t i = 0; i < exprs_.size(); i++) {
+    schema.AddField(Field(names[i], exprs_[i]->type()));
+  }
+  schema_ = std::move(schema);
+}
+
+Result<bool> RowProjectOperator::Next(Row* row) {
+  PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(&input_));
+  if (!ok) return false;
+  row->clear();
+  for (const ExprPtr& e : exprs_) {
+    PHOTON_ASSIGN_OR_RETURN(Value v, e->EvaluateRow(input_));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+}  // namespace baseline
+}  // namespace photon

@@ -1,0 +1,100 @@
+#ifndef PHOTON_BASELINE_ROW_OPS_H_
+#define PHOTON_BASELINE_ROW_OPS_H_
+
+#include "baseline/row_operator.h"
+#include "expr/expr.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace baseline {
+
+/// Scans an in-memory Table row by row, pivoting columns to boxed rows —
+/// the column-to-row pivot Spark's row engine performs after a columnar
+/// scan (§5.2).
+class RowScanOperator : public RowOperator {
+ public:
+  explicit RowScanOperator(const Table* table)
+      : RowOperator(table->schema()), table_(table) {}
+
+  Status Open() override {
+    batch_ = 0;
+    row_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override;
+  std::string name() const override { return "BaselineScan"; }
+
+ private:
+  const Table* table_;
+  int batch_ = 0;
+  int row_ = 0;
+};
+
+/// Row-at-a-time filter: the predicate tree is interpreted per row via
+/// virtual dispatch (the interpretation overhead vectorization amortizes).
+class RowFilterOperator : public RowOperator {
+ public:
+  RowFilterOperator(RowOperatorPtr child, ExprPtr predicate)
+      : RowOperator(child->output_schema()),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "BaselineFilter"; }
+
+ private:
+  RowOperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Row-at-a-time projection.
+class RowProjectOperator : public RowOperator {
+ public:
+  RowProjectOperator(RowOperatorPtr child, std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names);
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "BaselineProject"; }
+
+ private:
+  RowOperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Row input_;
+};
+
+class RowLimitOperator : public RowOperator {
+ public:
+  RowLimitOperator(RowOperatorPtr child, int64_t limit)
+      : RowOperator(child->output_schema()),
+        child_(std::move(child)),
+        limit_(limit) {}
+
+  Status Open() override {
+    remaining_ = limit_;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    if (remaining_ <= 0) return false;
+    PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(row));
+    if (!ok) return false;
+    remaining_--;
+    return true;
+  }
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "BaselineLimit"; }
+
+ private:
+  RowOperatorPtr child_;
+  int64_t limit_;
+  int64_t remaining_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace photon
+
+#endif  // PHOTON_BASELINE_ROW_OPS_H_

@@ -1,0 +1,57 @@
+#include "baseline/row_sort.h"
+
+#include <algorithm>
+
+namespace photon {
+namespace baseline {
+
+Status RowSortOperator::Materialize() {
+  Row row;
+  while (true) {
+    PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(&row));
+    if (!ok) break;
+    rows_.push_back(row);
+  }
+  // Evaluate keys once per row, then sort indices.
+  std::vector<Row> key_rows(rows_.size());
+  for (size_t i = 0; i < rows_.size(); i++) {
+    for (const SortKey& key : keys_) {
+      PHOTON_ASSIGN_OR_RETURN(Value v, key.expr->EvaluateRow(rows_[i]));
+      key_rows[i].push_back(std::move(v));
+    }
+  }
+  std::vector<int> order(rows_.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    for (size_t k = 0; k < keys_.size(); k++) {
+      const Value& va = key_rows[a][k];
+      const Value& vb = key_rows[b][k];
+      if (va.is_null() || vb.is_null()) {
+        if (va.is_null() && vb.is_null()) continue;
+        int c = va.is_null() ? -1 : 1;
+        return (keys_[k].nulls_first ? c : -c) < 0;
+      }
+      int c = va.Compare(vb);
+      if (c != 0) return (keys_[k].ascending ? c : -c) < 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (int idx : order) sorted.push_back(std::move(rows_[idx]));
+  rows_ = std::move(sorted);
+  sorted_ = true;
+  return Status::OK();
+}
+
+Result<bool> RowSortOperator::Next(Row* row) {
+  if (!sorted_) {
+    PHOTON_RETURN_NOT_OK(Materialize());
+  }
+  if (emit_ >= rows_.size()) return false;
+  *row = rows_[emit_++];
+  return true;
+}
+
+}  // namespace baseline
+}  // namespace photon

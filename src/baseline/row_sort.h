@@ -1,0 +1,42 @@
+#ifndef PHOTON_BASELINE_ROW_SORT_H_
+#define PHOTON_BASELINE_ROW_SORT_H_
+
+#include "baseline/row_operator.h"
+#include "ops/sort.h"  // SortKey
+
+namespace photon {
+namespace baseline {
+
+/// In-memory row sort with boxed comparisons.
+class RowSortOperator : public RowOperator {
+ public:
+  RowSortOperator(RowOperatorPtr child, std::vector<SortKey> keys)
+      : RowOperator(child->output_schema()),
+        child_(std::move(child)),
+        keys_(std::move(keys)) {}
+
+  Status Open() override {
+    sorted_ = false;
+    emit_ = 0;
+    rows_.clear();
+    return child_->Open();
+  }
+
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "BaselineSort"; }
+
+ private:
+  Status Materialize();
+
+  RowOperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  bool sorted_ = false;
+  size_t emit_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace photon
+
+#endif  // PHOTON_BASELINE_ROW_SORT_H_

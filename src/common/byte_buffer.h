@@ -1,0 +1,134 @@
+#ifndef PHOTON_COMMON_BYTE_BUFFER_H_
+#define PHOTON_COMMON_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace photon {
+
+/// Append-only binary writer used by file-format, shuffle, and spill
+/// serialization paths.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { Append(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
+  void WriteF64(double v) { Append(&v, sizeof(v)); }
+
+  /// Unsigned LEB128 varint.
+  void WriteVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  void WriteString(std::string_view s) {
+    WriteVarU64(s.size());
+    Append(s.data(), s.size());
+  }
+
+  void Append(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(buf_.data()),
+                       buf_.size());
+  }
+
+  /// Overwrites 4 bytes at `offset` (for back-patching section lengths).
+  void PatchU32(size_t offset, uint32_t v) {
+    PHOTON_CHECK(offset + 4 <= buf_.size());
+    std::memcpy(buf_.data() + offset, &v, 4);
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked binary reader over a borrowed byte span.
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit BinaryReader(std::string_view s)
+      : BinaryReader(s.data(), s.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return len_ - pos_; }
+  void Seek(size_t pos) {
+    PHOTON_CHECK(pos <= len_);
+    pos_ = pos;
+  }
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, 1); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, 4); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, 8); }
+  Status ReadI32(int32_t* out) { return ReadRaw(out, 4); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, 8); }
+  Status ReadF64(double* out) { return ReadRaw(out, 8); }
+
+  Status ReadVarU64(uint64_t* out) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= len_) return Status::IoError("varint truncated");
+      uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift >= 64) return Status::IoError("varint overflow");
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    uint64_t n;
+    PHOTON_RETURN_NOT_OK(ReadVarU64(&n));
+    if (n > remaining()) return Status::IoError("string truncated");
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Returns a borrowed view of the next `len` bytes and advances.
+  Status ReadSpan(size_t len, const uint8_t** out) {
+    if (len > remaining()) return Status::IoError("span truncated");
+    *out = data_ + pos_;
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ReadRaw(void* out, size_t len) {
+    if (len > remaining()) return Status::IoError("read past end of buffer");
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_BYTE_BUFFER_H_

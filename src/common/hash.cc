@@ -1,0 +1,52 @@
+#include "common/hash.h"
+
+namespace photon {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+
+PHOTON_ALWAYS_INLINE uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+PHOTON_ALWAYS_INLINE uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+PHOTON_ALWAYS_INLINE uint64_t Rotl(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* end = p + len;
+  uint64_t h = seed + kPrime3 + len;
+
+  while (p + 8 <= end) {
+    uint64_t k = Load64(p);
+    h ^= Rotl(k * kPrime1, 31) * kPrime2;
+    h = Rotl(h, 27) * kPrime1 + kPrime2;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Load32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kPrime3;
+    h = Rotl(h, 11) * kPrime1;
+    p++;
+  }
+  return HashMix64(h);
+}
+
+}  // namespace photon

@@ -1,0 +1,36 @@
+#ifndef PHOTON_COMMON_HASH_H_
+#define PHOTON_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace photon {
+
+/// Hashing primitives used by the vectorized hash table, shuffle
+/// partitioning, and dictionary encoding. Scalar fixed-width hashing uses a
+/// finalizer-strength multiply-xor mix so a batch hash loop auto-vectorizes.
+
+PHOTON_ALWAYS_INLINE uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+PHOTON_ALWAYS_INLINE uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // boost::hash_combine-style mixing on 64 bits.
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// xxhash64-inspired byte-string hash (not the exact algorithm; we only need
+/// speed and quality, not cross-system compatibility).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_HASH_H_

@@ -1,0 +1,62 @@
+#ifndef PHOTON_COMMON_LOGGING_H_
+#define PHOTON_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace photon {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal thread-safe logger writing to stderr. The engine logs sparingly;
+/// per-operator runtime metrics flow through the metrics system instead.
+class Logger {
+ public:
+  static Logger& Instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  void Log(LogLevel level, const std::string& msg) {
+    if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+    static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[photon %s] %s\n",
+                 kNames[static_cast<int>(level)], msg.c_str());
+  }
+
+ private:
+  Logger() = default;
+  LogLevel min_level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace photon
+
+#define PHOTON_LOG(level) \
+  ::photon::internal_logging::LogMessage(::photon::LogLevel::level)
+
+#endif  // PHOTON_COMMON_LOGGING_H_

@@ -1,0 +1,54 @@
+#ifndef PHOTON_COMMON_MACROS_H_
+#define PHOTON_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Restrict-qualified pointer, used on kernel inputs to aid auto-vectorization
+// (see §4.2 of the Photon paper).
+#define PHOTON_RESTRICT __restrict__
+
+#define PHOTON_ALWAYS_INLINE inline __attribute__((always_inline))
+#define PHOTON_NOINLINE __attribute__((noinline))
+
+#define PHOTON_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define PHOTON_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+// Fatal invariant check, enabled in all build types. Engine-internal
+// invariants use this; user-visible errors flow through Status instead.
+#define PHOTON_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (PHOTON_PREDICT_FALSE(!(cond))) {                                    \
+      ::std::fprintf(stderr, "PHOTON_CHECK failed at %s:%d: %s\n",          \
+                     __FILE__, __LINE__, #cond);                            \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define PHOTON_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define PHOTON_DCHECK(cond) PHOTON_CHECK(cond)
+#endif
+
+// Propagates a non-OK Status out of the current function.
+#define PHOTON_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::photon::Status _st = (expr);                 \
+    if (PHOTON_PREDICT_FALSE(!_st.ok())) return _st; \
+  } while (0)
+
+#define PHOTON_CONCAT_IMPL(a, b) a##b
+#define PHOTON_CONCAT(a, b) PHOTON_CONCAT_IMPL(a, b)
+
+// Evaluates an expression returning Result<T>; on success binds the value to
+// `lhs`, otherwise returns the error Status.
+#define PHOTON_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto PHOTON_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (PHOTON_PREDICT_FALSE(!PHOTON_CONCAT(_res_, __LINE__).ok())) \
+    return PHOTON_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(PHOTON_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // PHOTON_COMMON_MACROS_H_

@@ -1,0 +1,57 @@
+#ifndef PHOTON_COMMON_RESULT_H_
+#define PHOTON_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace photon {
+
+/// Holds either a value of type T or an error Status. Modeled after
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions so functions can `return value;` or `return status;`.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {
+    PHOTON_CHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& ValueOrDie() & {
+    PHOTON_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  const T& ValueOrDie() const& {
+    PHOTON_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    PHOTON_CHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_RESULT_H_

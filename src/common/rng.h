@@ -1,0 +1,50 @@
+#ifndef PHOTON_COMMON_RNG_H_
+#define PHOTON_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace photon {
+
+/// Deterministic 64-bit RNG (splitmix64 core). Used by the TPC-H generator,
+/// fuzz tests, and synthetic workloads so every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(
+                                                  hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextAsciiString(int len) {
+    std::string s(len, 'a');
+    for (int i = 0; i < len; i++) {
+      s[i] = static_cast<char>('a' + (Next() % 26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_RNG_H_

@@ -1,0 +1,79 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace photon {
+
+// Howard Hinnant's days/civil algorithms (public domain).
+CivilDate DaysToCivil(int32_t z) {
+  int64_t zz = z + 719468LL;
+  int64_t era = (zz >= 0 ? zz : zz - 146096) / 146097;
+  int64_t doe = zz - era * 146097;
+  int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  int64_t y = yoe + era * 400;
+  int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  int64_t mp = (5 * doy + 2) / 153;
+  int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  int64_t m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int32_t>(m <= 2 ? y + 1 : y),
+                   static_cast<int32_t>(m), static_cast<int32_t>(d)};
+}
+
+int32_t CivilToDays(int32_t y, int32_t m, int32_t d) {
+  int64_t yy = y - (m <= 2 ? 1 : 0);
+  int64_t era = (yy >= 0 ? yy : yy - 399) / 400;
+  int64_t yoe = yy - era * 400;
+  int64_t doy = (153 * (m > 2 ? m - 3 : m + 9) + 2) / 5 + d - 1;
+  int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int32_t>(era * 146097 + doe - 719468);
+}
+
+bool ParseDate(const std::string& s, int32_t* days_out) {
+  int y, m, d;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *days_out = CivilToDays(y, m, d);
+  return true;
+}
+
+std::string FormatDate(int32_t days) {
+  CivilDate c = DaysToCivil(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+int32_t ExtractYear(int32_t days) { return DaysToCivil(days).year; }
+int32_t ExtractMonth(int32_t days) { return DaysToCivil(days).month; }
+int32_t ExtractDay(int32_t days) { return DaysToCivil(days).day; }
+
+namespace {
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+int32_t AddMonths(int32_t days, int32_t months) {
+  CivilDate c = DaysToCivil(days);
+  int64_t total = static_cast<int64_t>(c.year) * 12 + (c.month - 1) + months;
+  int32_t year = static_cast<int32_t>(total / 12);
+  int32_t month = static_cast<int32_t>(total % 12);
+  if (month < 0) {
+    month += 12;
+    year -= 1;
+  }
+  month += 1;
+  int32_t day = c.day;
+  int32_t dim = DaysInMonth(year, month);
+  if (day > dim) day = dim;
+  return CivilToDays(year, month, day);
+}
+
+}  // namespace photon

@@ -1,0 +1,45 @@
+#ifndef PHOTON_COMMON_TIME_UTIL_H_
+#define PHOTON_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace photon {
+
+/// Civil-date helpers for the Date32 (days since 1970-01-01) and Timestamp
+/// (microseconds since epoch, UTC) types. The engine evaluates all temporal
+/// expressions in UTC; both engines (Photon and the baseline) share this
+/// code so their semantics cannot diverge (§5.6 of the paper discusses the
+/// hazards of mismatched time libraries).
+
+struct CivilDate {
+  int32_t year;
+  int32_t month;  // 1..12
+  int32_t day;    // 1..31
+};
+
+/// Days since epoch -> civil date (proleptic Gregorian).
+CivilDate DaysToCivil(int32_t days_since_epoch);
+
+/// Civil date -> days since epoch.
+int32_t CivilToDays(int32_t year, int32_t month, int32_t day);
+
+/// Parses "YYYY-MM-DD"; returns false on malformed input.
+bool ParseDate(const std::string& s, int32_t* days_out);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days_since_epoch);
+
+/// Extractors used by SQL EXTRACT / year() / month() etc.
+int32_t ExtractYear(int32_t days_since_epoch);
+int32_t ExtractMonth(int32_t days_since_epoch);
+int32_t ExtractDay(int32_t days_since_epoch);
+
+/// Adds n months, clamping the day-of-month (SQL add_months semantics).
+int32_t AddMonths(int32_t days_since_epoch, int32_t months);
+
+constexpr int64_t kMicrosPerDay = 86400LL * 1000 * 1000;
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_TIME_UTIL_H_

@@ -1,0 +1,165 @@
+#include "common/unicode.h"
+
+namespace photon {
+
+int Utf8Decode(const char* s, int64_t len, uint32_t* codepoint) {
+  if (len <= 0) return 0;
+  uint8_t b0 = static_cast<uint8_t>(s[0]);
+  if (b0 < 0x80) {
+    *codepoint = b0;
+    return 1;
+  }
+  if ((b0 & 0xE0) == 0xC0) {
+    if (len < 2 || (static_cast<uint8_t>(s[1]) & 0xC0) != 0x80) return 0;
+    *codepoint = ((b0 & 0x1Fu) << 6) | (static_cast<uint8_t>(s[1]) & 0x3Fu);
+    return *codepoint >= 0x80 ? 2 : 0;
+  }
+  if ((b0 & 0xF0) == 0xE0) {
+    if (len < 3 || (static_cast<uint8_t>(s[1]) & 0xC0) != 0x80 ||
+        (static_cast<uint8_t>(s[2]) & 0xC0) != 0x80) {
+      return 0;
+    }
+    *codepoint = ((b0 & 0x0Fu) << 12) |
+                 ((static_cast<uint8_t>(s[1]) & 0x3Fu) << 6) |
+                 (static_cast<uint8_t>(s[2]) & 0x3Fu);
+    return *codepoint >= 0x800 ? 3 : 0;
+  }
+  if ((b0 & 0xF8) == 0xF0) {
+    if (len < 4 || (static_cast<uint8_t>(s[1]) & 0xC0) != 0x80 ||
+        (static_cast<uint8_t>(s[2]) & 0xC0) != 0x80 ||
+        (static_cast<uint8_t>(s[3]) & 0xC0) != 0x80) {
+      return 0;
+    }
+    *codepoint = ((b0 & 0x07u) << 18) |
+                 ((static_cast<uint8_t>(s[1]) & 0x3Fu) << 12) |
+                 ((static_cast<uint8_t>(s[2]) & 0x3Fu) << 6) |
+                 (static_cast<uint8_t>(s[3]) & 0x3Fu);
+    return (*codepoint >= 0x10000 && *codepoint <= 0x10FFFF) ? 4 : 0;
+  }
+  return 0;
+}
+
+int Utf8Encode(uint32_t cp, char* out) {
+  if (cp < 0x80) {
+    out[0] = static_cast<char>(cp);
+    return 1;
+  }
+  if (cp < 0x800) {
+    out[0] = static_cast<char>(0xC0 | (cp >> 6));
+    out[1] = static_cast<char>(0x80 | (cp & 0x3F));
+    return 2;
+  }
+  if (cp < 0x10000) {
+    out[0] = static_cast<char>(0xE0 | (cp >> 12));
+    out[1] = static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out[2] = static_cast<char>(0x80 | (cp & 0x3F));
+    return 3;
+  }
+  out[0] = static_cast<char>(0xF0 | (cp >> 18));
+  out[1] = static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+  out[2] = static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+  out[3] = static_cast<char>(0x80 | (cp & 0x3F));
+  return 4;
+}
+
+uint32_t UnicodeToUpper(uint32_t cp) {
+  // ASCII.
+  if (cp >= 'a' && cp <= 'z') return cp - 32;
+  // Latin-1 Supplement (ÿ maps above the block; sharp-s has no single-cp
+  // uppercase in this simple mapping).
+  if (cp >= 0xE0 && cp <= 0xFE && cp != 0xF7) return cp - 32;
+  if (cp == 0xFF) return 0x178;
+  // Latin Extended-A: mostly even/odd pairs.
+  if (cp >= 0x100 && cp <= 0x177 && (cp & 1)) return cp - 1;
+  if (cp >= 0x179 && cp <= 0x17E && !(cp & 1)) return cp - 1;
+  // Greek.
+  if (cp >= 0x3B1 && cp <= 0x3C1) return cp - 32;   // alpha..rho
+  if (cp == 0x3C2) return 0x3A3;                    // final sigma
+  if (cp >= 0x3C3 && cp <= 0x3CB) return cp - 32;   // sigma..upsilon diaer.
+  // Cyrillic.
+  if (cp >= 0x430 && cp <= 0x44F) return cp - 32;
+  if (cp >= 0x450 && cp <= 0x45F) return cp - 80;
+  return cp;
+}
+
+uint32_t UnicodeToLower(uint32_t cp) {
+  if (cp >= 'A' && cp <= 'Z') return cp + 32;
+  if (cp >= 0xC0 && cp <= 0xDE && cp != 0xD7) return cp + 32;
+  if (cp == 0x178) return 0xFF;
+  if (cp >= 0x100 && cp <= 0x176 && !(cp & 1)) return cp + 1;
+  if (cp >= 0x179 && cp <= 0x17D && (cp & 1)) return cp + 1;
+  if (cp >= 0x391 && cp <= 0x3A1) return cp + 32;
+  if (cp >= 0x3A3 && cp <= 0x3AB) return cp + 32;
+  if (cp >= 0x410 && cp <= 0x42F) return cp + 32;
+  if (cp >= 0x400 && cp <= 0x40F) return cp + 80;
+  return cp;
+}
+
+namespace {
+
+template <uint32_t (*MapFn)(uint32_t)>
+std::string MapCase(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  const char* p = s.data();
+  int64_t remaining = static_cast<int64_t>(s.size());
+  char enc[4];
+  while (remaining > 0) {
+    uint32_t cp;
+    int n = Utf8Decode(p, remaining, &cp);
+    if (n == 0) {
+      out.push_back(*p);  // Copy invalid byte through unchanged.
+      p++;
+      remaining--;
+      continue;
+    }
+    int m = Utf8Encode(MapFn(cp), enc);
+    out.append(enc, m);
+    p += n;
+    remaining -= n;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Utf8ToUpper(std::string_view s) {
+  return MapCase<UnicodeToUpper>(s);
+}
+
+std::string Utf8ToLower(std::string_view s) {
+  return MapCase<UnicodeToLower>(s);
+}
+
+int64_t Utf8Length(std::string_view s) {
+  int64_t count = 0;
+  const char* p = s.data();
+  int64_t remaining = static_cast<int64_t>(s.size());
+  while (remaining > 0) {
+    uint32_t cp;
+    int n = Utf8Decode(p, remaining, &cp);
+    if (n == 0) n = 1;
+    p += n;
+    remaining -= n;
+    count++;
+  }
+  return count;
+}
+
+int64_t Utf8OffsetOfCodepoint(std::string_view s, int64_t n) {
+  const char* p = s.data();
+  int64_t remaining = static_cast<int64_t>(s.size());
+  int64_t offset = 0;
+  while (remaining > 0 && n > 0) {
+    uint32_t cp;
+    int k = Utf8Decode(p, remaining, &cp);
+    if (k == 0) k = 1;
+    p += k;
+    remaining -= k;
+    offset += k;
+    n--;
+  }
+  return offset;
+}
+
+}  // namespace photon

@@ -1,0 +1,42 @@
+#ifndef PHOTON_COMMON_UNICODE_H_
+#define PHOTON_COMMON_UNICODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace photon {
+
+/// Minimal UTF-8 / Unicode support standing in for the ICU library the paper
+/// uses on its generic (non-ASCII-specialized) string paths. The case
+/// mapping table covers ASCII, Latin-1 Supplement, Latin Extended-A, Greek,
+/// and Cyrillic — enough for the workloads the engine is exercised with.
+
+/// Decodes one UTF-8 codepoint starting at `s` (length `len` remaining).
+/// Returns the number of bytes consumed (1..4) and stores the codepoint, or
+/// returns 0 on invalid input.
+int Utf8Decode(const char* s, int64_t len, uint32_t* codepoint);
+
+/// Encodes `codepoint` into `out` (room for 4 bytes); returns bytes written.
+int Utf8Encode(uint32_t codepoint, char* out);
+
+/// Uppercase mapping for a single codepoint (identity when unmapped).
+uint32_t UnicodeToUpper(uint32_t codepoint);
+/// Lowercase mapping for a single codepoint (identity when unmapped).
+uint32_t UnicodeToLower(uint32_t codepoint);
+
+/// Uppercases a UTF-8 string codepoint-by-codepoint via the mapping table.
+/// This is the deliberately generic "ICU-style" path benchmarked as the
+/// non-adaptive baseline in Figure 6. Invalid bytes are copied through.
+std::string Utf8ToUpper(std::string_view s);
+std::string Utf8ToLower(std::string_view s);
+
+/// Number of codepoints in a UTF-8 string (invalid bytes count as 1 each).
+int64_t Utf8Length(std::string_view s);
+
+/// Byte offset of the `n`-th codepoint (clamped to the string length).
+int64_t Utf8OffsetOfCodepoint(std::string_view s, int64_t n);
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_UNICODE_H_

@@ -1,0 +1,144 @@
+#include "exec/driver.h"
+
+#include <chrono>
+
+#include "ops/scan.h"
+
+namespace photon {
+namespace exec {
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A scan over a contiguous range of a table's batches (one map task's
+/// slice of the input partition space).
+class TableSliceScan : public Operator {
+ public:
+  TableSliceScan(const Table* table, int begin_batch, int end_batch)
+      : Operator(table->schema()),
+        table_(table),
+        begin_(begin_batch),
+        end_(end_batch) {}
+
+  Status Open() override {
+    next_ = begin_;
+    return Status::OK();
+  }
+
+  Result<ColumnBatch*> GetNextImpl() override {
+    if (next_ >= end_) return nullptr;
+    const ColumnBatch& src = table_->batch(next_++);
+    if (out_ == nullptr || out_->capacity() < src.num_rows()) {
+      out_ = std::make_unique<ColumnBatch>(
+          table_->schema(), std::max(src.capacity(), kDefaultBatchSize));
+    }
+    CopyBatchShallow(src, out_.get());
+    return out_.get();
+  }
+
+  std::string name() const override { return "TableSliceScan"; }
+
+ private:
+  const Table* table_;
+  int begin_;
+  int end_;
+  int next_ = 0;
+  std::unique_ptr<ColumnBatch> out_;
+};
+
+}  // namespace
+
+Result<Table> Driver::RunSingleTask(const plan::PlanPtr& plan,
+                                    ExecContext ctx) {
+  PHOTON_ASSIGN_OR_RETURN(OperatorPtr root, plan::CompilePhoton(plan, ctx));
+  return CollectAll(root.get());
+}
+
+Result<Table> Driver::RunShuffledAggregate(
+    const Table& input, std::vector<ExprPtr> keys,
+    std::vector<std::string> key_names, std::vector<AggregateSpec> aggs,
+    int num_partitions, std::vector<StageInfo>* stages) {
+  std::string shuffle_id = "driver-" + std::to_string(next_shuffle_id_++);
+
+  // ---- Stage 1: map tasks write the shuffle ------------------------------
+  int64_t t0 = NowNs();
+  int num_map_tasks =
+      std::min(pool_.num_threads(), std::max(1, input.num_batches()));
+  int batches_per_task =
+      (input.num_batches() + num_map_tasks - 1) / std::max(1, num_map_tasks);
+  std::vector<std::future<Status>> map_futures;
+  for (int t = 0; t < num_map_tasks; t++) {
+    int begin = t * batches_per_task;
+    int end = std::min(input.num_batches(), begin + batches_per_task);
+    if (begin >= end) break;
+    map_futures.push_back(pool_.Submit([&, t, begin, end]() -> Status {
+      ShuffleOptions options;
+      options.num_partitions = num_partitions;
+      options.writer_id = t;
+      auto write = std::make_unique<ShuffleWriteOperator>(
+          std::make_unique<TableSliceScan>(&input, begin, end), keys,
+          shuffle_id, options);
+      PHOTON_RETURN_NOT_OK(write->Open());
+      PHOTON_ASSIGN_OR_RETURN(ColumnBatch * sink, write->GetNext());
+      PHOTON_CHECK(sink == nullptr);
+      return Status::OK();
+    }));
+  }
+  for (auto& f : map_futures) {
+    PHOTON_RETURN_NOT_OK(f.get());
+  }
+  int64_t t1 = NowNs();
+  if (stages != nullptr) {
+    StageInfo map_stage;
+    map_stage.stage_id = 0;
+    map_stage.num_tasks = static_cast<int>(map_futures.size());
+    map_stage.rows_out = input.num_rows();
+    map_stage.shuffle_bytes = ShuffleDataBytes(shuffle_id);
+    map_stage.wall_ns = t1 - t0;
+    stages->push_back(map_stage);
+  }
+
+  // ---- Stage 2: reduce tasks aggregate partitions ------------------------
+  // (Stage boundary is blocking: stage 2 starts only after every map task
+  // finished, §2.2.)
+  std::vector<std::future<Result<Table>>> reduce_futures;
+  for (int p = 0; p < num_partitions; p++) {
+    reduce_futures.push_back(pool_.Submit([&, p]() -> Result<Table> {
+      auto read = std::make_unique<ShuffleReadOperator>(input.schema(),
+                                                        shuffle_id, p);
+      auto agg = std::make_unique<HashAggregateOperator>(
+          std::move(read), keys, key_names, aggs);
+      return CollectAll(agg.get());
+    }));
+  }
+
+  Table out(plan::Aggregate(plan::Scan(&input), keys, key_names, aggs)
+                ->output_schema);
+  int64_t rows = 0;
+  for (auto& f : reduce_futures) {
+    Result<Table> part = f.get();
+    PHOTON_RETURN_NOT_OK(part.status());
+    rows += part->num_rows();
+    for (int b = 0; b < part->num_batches(); b++) {
+      out.AppendBatch(CompactBatch(part->batch(b)));
+    }
+  }
+  int64_t t2 = NowNs();
+  if (stages != nullptr) {
+    StageInfo reduce_stage;
+    reduce_stage.stage_id = 1;
+    reduce_stage.num_tasks = num_partitions;
+    reduce_stage.rows_out = rows;
+    reduce_stage.wall_ns = t2 - t1;
+    stages->push_back(reduce_stage);
+  }
+  DeleteShuffle(shuffle_id);
+  return out;
+}
+
+}  // namespace exec
+}  // namespace photon

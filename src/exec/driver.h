@@ -1,0 +1,62 @@
+#ifndef PHOTON_EXEC_DRIVER_H_
+#define PHOTON_EXEC_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "ops/hash_aggregate.h"
+#include "ops/shuffle.h"
+#include "plan/logical_plan.h"
+
+namespace photon {
+namespace exec {
+
+/// Per-stage execution summary (the driver's view; feeds the live-metrics
+/// story of §5.5 at miniature scale).
+struct StageInfo {
+  int stage_id = 0;
+  int num_tasks = 0;
+  int64_t rows_out = 0;
+  int64_t shuffle_bytes = 0;
+  int64_t wall_ns = 0;
+};
+
+/// A miniature DBR driver (§2.2): breaks a job into stages at exchange
+/// boundaries, launches one task per partition on the executor thread
+/// pool, and blocks at stage boundaries (stage N+1 starts after stage N
+/// finishes, which is what enables fault tolerance and adaptive execution
+/// at stage boundaries in the real system).
+class Driver {
+ public:
+  explicit Driver(int num_threads = 4) : pool_(num_threads) {}
+
+  /// Two-stage distributed aggregation:
+  ///   Stage 1 (map):    split the input into one task per executor
+  ///                     thread; each task pipes its slice through a
+  ///                     Photon shuffle write hash-partitioned by `keys`.
+  ///   Stage 2 (reduce): one task per partition aggregates its partition.
+  /// Results are concatenated (order unspecified).
+  Result<Table> RunShuffledAggregate(const Table& input,
+                                     std::vector<ExprPtr> keys,
+                                     std::vector<std::string> key_names,
+                                     std::vector<AggregateSpec> aggs,
+                                     int num_partitions,
+                                     std::vector<StageInfo>* stages = nullptr);
+
+  /// Runs a single-task (single-threaded) Photon plan, like one task of a
+  /// stage (Figure 1: "Photon executes tasks on partitions of data on a
+  /// single thread").
+  Result<Table> RunSingleTask(const plan::PlanPtr& plan,
+                              ExecContext ctx = {});
+
+ private:
+  ThreadPool pool_;
+  int64_t next_shuffle_id_ = 0;
+};
+
+}  // namespace exec
+}  // namespace photon
+
+#endif  // PHOTON_EXEC_DRIVER_H_

@@ -1,0 +1,78 @@
+#ifndef PHOTON_EXEC_THREAD_POOL_H_
+#define PHOTON_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace photon {
+
+/// Fixed-size worker pool modeling the executor's task threads (§2.2: each
+/// executor runs a task scheduler and a thread pool executing independent
+/// tasks submitted by the driver).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    for (int i = 0; i < num_threads; i++) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future delivers its result (or rethrows).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (shutdown_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_EXEC_THREAD_POOL_H_

@@ -1,0 +1,516 @@
+#include <algorithm>
+#include <cmath>
+
+#include "expr/expr.h"
+#include "expr/kernels.h"
+#include "types/big_decimal.h"
+
+namespace photon {
+namespace {
+
+// Integer ops wrap on overflow (Spark non-ANSI semantics); performed on the
+// unsigned representation to avoid UB.
+template <typename T>
+struct AddOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    using U = std::make_unsigned_t<T>;
+    *out = static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+    return true;
+  }
+};
+template <>
+struct AddOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a + b;
+    return true;
+  }
+};
+
+template <typename T>
+struct SubOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    using U = std::make_unsigned_t<T>;
+    *out = static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+    return true;
+  }
+};
+template <>
+struct SubOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a - b;
+    return true;
+  }
+};
+
+template <typename T>
+struct MulOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    using U = std::make_unsigned_t<T>;
+    *out = static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+    return true;
+  }
+};
+template <>
+struct MulOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a * b;
+    return true;
+  }
+};
+
+template <typename T>
+struct DivOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    if (b == 0) return false;  // NULL, like Spark
+    if (b == -1 && a == std::numeric_limits<T>::min()) {
+      *out = a;  // avoid SIGFPE on INT_MIN / -1; wraps like Java
+      return true;
+    }
+    *out = a / b;
+    return true;
+  }
+};
+template <>
+struct DivOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a / b;  // IEEE: inf/nan
+    return true;
+  }
+};
+
+template <typename T>
+struct ModOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    if (b == 0) return false;
+    if (b == -1) {
+      *out = 0;
+      return true;
+    }
+    *out = a % b;
+    return true;
+  }
+};
+template <>
+struct ModOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = std::fmod(a, b);
+    return true;
+  }
+};
+
+template <typename T, template <typename> class Op>
+void RunBinary(ColumnBatch* batch, const ColumnVector& a,
+               const ColumnVector& b, ColumnVector* out, bool has_nulls) {
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  DispatchBatchShape(
+      has_nulls, batch->all_active(), [&](auto nulls_c, auto active_c) {
+        BinaryKernel<T, T, Op<T>, decltype(nulls_c)::value,
+                     decltype(active_c)::value>(
+            pos, n, a.data<T>(), a.nulls(), b.data<T>(), b.nulls(),
+            out->data<T>(), out->nulls());
+      });
+}
+
+// Decimal kernels: operand scales may differ; the multipliers are loop
+// constants so these stay tight.
+struct DecimalScaleInfo {
+  int128_t a_mult;
+  int128_t b_mult;
+  int128_t div_shift_mult;  // for division
+};
+
+template <bool kHasNulls, bool kAllRowsActive>
+void DecimalAddSubKernel(const int32_t* PHOTON_RESTRICT pos, int n,
+                         const int128_t* PHOTON_RESTRICT a,
+                         const uint8_t* PHOTON_RESTRICT an,
+                         const int128_t* PHOTON_RESTRICT b,
+                         const uint8_t* PHOTON_RESTRICT bn,
+                         int128_t a_mult, int128_t b_mult, bool subtract,
+                         int128_t* PHOTON_RESTRICT out,
+                         uint8_t* PHOTON_RESTRICT on) {
+  for (int i = 0; i < n; i++) {
+    int row = kAllRowsActive ? i : pos[i];
+    if constexpr (kHasNulls) {
+      if (an[row] | bn[row]) {
+        on[row] = 1;
+        continue;
+      }
+    }
+    int128_t bv = b[row] * b_mult;
+    out[row] = a[row] * a_mult + (subtract ? -bv : bv);
+  }
+}
+
+template <bool kHasNulls, bool kAllRowsActive>
+void DecimalMulKernel(const int32_t* PHOTON_RESTRICT pos, int n,
+                      const int128_t* PHOTON_RESTRICT a,
+                      const uint8_t* PHOTON_RESTRICT an,
+                      const int128_t* PHOTON_RESTRICT b,
+                      const uint8_t* PHOTON_RESTRICT bn,
+                      int128_t* PHOTON_RESTRICT out,
+                      uint8_t* PHOTON_RESTRICT on) {
+  for (int i = 0; i < n; i++) {
+    int row = kAllRowsActive ? i : pos[i];
+    if constexpr (kHasNulls) {
+      if (an[row] | bn[row]) {
+        on[row] = 1;
+        continue;
+      }
+    }
+    out[row] = a[row] * b[row];
+  }
+}
+
+template <bool kHasNulls, bool kAllRowsActive>
+void DecimalDivKernel(const int32_t* PHOTON_RESTRICT pos, int n,
+                      const int128_t* PHOTON_RESTRICT a,
+                      const uint8_t* PHOTON_RESTRICT an,
+                      const int128_t* PHOTON_RESTRICT b,
+                      const uint8_t* PHOTON_RESTRICT bn, int128_t shift_mult,
+                      int128_t* PHOTON_RESTRICT out,
+                      uint8_t* PHOTON_RESTRICT on) {
+  for (int i = 0; i < n; i++) {
+    int row = kAllRowsActive ? i : pos[i];
+    if constexpr (kHasNulls) {
+      if (an[row] | bn[row]) {
+        on[row] = 1;
+        continue;
+      }
+    }
+    if (b[row] == 0) {
+      on[row] = 1;
+      continue;
+    }
+    int128_t scaled = a[row] * shift_mult;
+    int128_t q = scaled / b[row];
+    int128_t r = scaled % b[row];
+    int128_t abs_r = r < 0 ? -r : r;
+    int128_t abs_d = b[row] < 0 ? -b[row] : b[row];
+    if (2 * abs_r >= abs_d) q += ((scaled < 0) != (b[row] < 0)) ? -1 : 1;
+    out[row] = q;
+  }
+}
+
+}  // namespace
+
+ArithmeticExpr::ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right,
+                               DataType result)
+    : Expr(result), op_(op), left_(std::move(left)), right_(std::move(right)) {
+  PHOTON_CHECK(left_->type().id() == right_->type().id());
+  PHOTON_CHECK(left_->type().id() == result.id());
+}
+
+Result<ColumnVector*> ArithmeticExpr::Evaluate(ColumnBatch* batch,
+                                               EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * a, left_->Evaluate(batch, ctx));
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * b, right_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(type(), batch->capacity());
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  bool all = batch->all_active();
+  // Runtime adaptivity (§4.6): discover NULL presence per batch and pick
+  // the specialized kernel.
+  bool has_nulls = a->ComputeHasNulls(pos, n, all) ||
+                   b->ComputeHasNulls(pos, n, all);
+
+  switch (type().id()) {
+    case TypeId::kInt32: {
+      switch (op_) {
+        case ArithOp::kAdd:
+          RunBinary<int32_t, AddOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kSub:
+          RunBinary<int32_t, SubOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kMul:
+          RunBinary<int32_t, MulOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kDiv:
+          RunBinary<int32_t, DivOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kMod:
+          RunBinary<int32_t, ModOp>(batch, *a, *b, out, has_nulls);
+          break;
+      }
+      break;
+    }
+    case TypeId::kInt64: {
+      switch (op_) {
+        case ArithOp::kAdd:
+          RunBinary<int64_t, AddOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kSub:
+          RunBinary<int64_t, SubOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kMul:
+          RunBinary<int64_t, MulOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kDiv:
+          RunBinary<int64_t, DivOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kMod:
+          RunBinary<int64_t, ModOp>(batch, *a, *b, out, has_nulls);
+          break;
+      }
+      break;
+    }
+    case TypeId::kFloat64: {
+      switch (op_) {
+        case ArithOp::kAdd:
+          RunBinary<double, AddOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kSub:
+          RunBinary<double, SubOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kMul:
+          RunBinary<double, MulOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kDiv:
+          RunBinary<double, DivOp>(batch, *a, *b, out, has_nulls);
+          break;
+        case ArithOp::kMod:
+          RunBinary<double, ModOp>(batch, *a, *b, out, has_nulls);
+          break;
+      }
+      break;
+    }
+    case TypeId::kDecimal128: {
+      int s1 = left_->type().scale();
+      int s2 = right_->type().scale();
+      int sr = type().scale();
+      // Precision capping (38 digits) can shrink the result scale below
+      // the natural one (e.g. mul at s1+s2, add at max(s1,s2)). The fast
+      // kernels assume the natural scale; the capped cases must rescale
+      // with the same rounding as the row interpreter's BigDecimal path,
+      // so route them through it (cold: only plans near 38 digits).
+      bool irregular =
+          (op_ == ArithOp::kMul && sr != s1 + s2) ||
+          ((op_ == ArithOp::kAdd || op_ == ArithOp::kSub) &&
+           sr < std::max(s1, s2)) ||
+          (op_ == ArithOp::kDiv && sr - s1 + s2 < 0);
+      if (irregular) {
+        int n_rows = batch->num_active();
+        const int128_t* av = a->data<int128_t>();
+        const int128_t* bv = b->data<int128_t>();
+        const uint8_t* an = a->nulls();
+        const uint8_t* bn = b->nulls();
+        int128_t* ov = out->data<int128_t>();
+        uint8_t* on = out->nulls();
+        for (int i = 0; i < n_rows; i++) {
+          int row = batch->ActiveRow(i);
+          if (an[row] | bn[row]) {
+            on[row] = 1;
+            continue;
+          }
+          BigDecimal ba = BigDecimal::FromDecimal128(Decimal128(av[row]), s1);
+          BigDecimal bb = BigDecimal::FromDecimal128(Decimal128(bv[row]), s2);
+          BigDecimal br;
+          switch (op_) {
+            case ArithOp::kAdd:
+              br = ba.Add(bb).SetScale(sr);
+              break;
+            case ArithOp::kSub:
+              br = ba.Subtract(bb).SetScale(sr);
+              break;
+            case ArithOp::kMul:
+              br = ba.Multiply(bb).SetScale(sr);
+              break;
+            case ArithOp::kDiv:
+              if (bb.is_zero()) {
+                on[row] = 1;
+                continue;
+              }
+              br = ba.Divide(bb, sr);
+              break;
+            case ArithOp::kMod:
+              PHOTON_CHECK(false);
+          }
+          Decimal128 result;
+          if (!br.ToDecimal128(sr, &result)) {
+            on[row] = 1;  // overflow -> NULL, same as the row path
+            continue;
+          }
+          ov[row] = result.value();
+        }
+        out->set_has_nulls(TriState::kUnknown);
+        return out;
+      }
+      DispatchBatchShape(has_nulls, all, [&](auto nulls_c, auto active_c) {
+        constexpr bool kN = decltype(nulls_c)::value;
+        constexpr bool kA = decltype(active_c)::value;
+        switch (op_) {
+          case ArithOp::kAdd:
+          case ArithOp::kSub:
+            DecimalAddSubKernel<kN, kA>(
+                pos, n, a->data<int128_t>(), a->nulls(), b->data<int128_t>(),
+                b->nulls(), Decimal128::PowerOfTen(sr - s1),
+                Decimal128::PowerOfTen(sr - s2), op_ == ArithOp::kSub,
+                out->data<int128_t>(), out->nulls());
+            break;
+          case ArithOp::kMul:
+            // sr == s1 + s2 by construction: the raw product is the result.
+            DecimalMulKernel<kN, kA>(pos, n, a->data<int128_t>(), a->nulls(),
+                                     b->data<int128_t>(), b->nulls(),
+                                     out->data<int128_t>(), out->nulls());
+            break;
+          case ArithOp::kDiv:
+            DecimalDivKernel<kN, kA>(
+                pos, n, a->data<int128_t>(), a->nulls(), b->data<int128_t>(),
+                b->nulls(), Decimal128::PowerOfTen(sr - s1 + s2),
+                out->data<int128_t>(), out->nulls());
+            break;
+          case ArithOp::kMod:
+            PHOTON_CHECK(false);  // decimal mod unsupported
+        }
+      });
+      break;
+    }
+    default:
+      return Status::Internal("arithmetic on unsupported type " +
+                              type().ToString());
+  }
+  out->set_has_nulls(has_nulls ? TriState::kYes : TriState::kUnknown);
+  return out;
+}
+
+Result<Value> ArithmeticExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value a, left_->EvaluateRow(row));
+  PHOTON_ASSIGN_OR_RETURN(Value b, right_->EvaluateRow(row));
+  if (a.is_null() || b.is_null()) return Value::Null();
+
+  switch (type().id()) {
+    case TypeId::kInt32: {
+      int32_t r;
+      bool ok = true;
+      switch (op_) {
+        case ArithOp::kAdd:
+          ok = AddOp<int32_t>::Apply(a.i32(), b.i32(), &r);
+          break;
+        case ArithOp::kSub:
+          ok = SubOp<int32_t>::Apply(a.i32(), b.i32(), &r);
+          break;
+        case ArithOp::kMul:
+          ok = MulOp<int32_t>::Apply(a.i32(), b.i32(), &r);
+          break;
+        case ArithOp::kDiv:
+          ok = DivOp<int32_t>::Apply(a.i32(), b.i32(), &r);
+          break;
+        case ArithOp::kMod:
+          ok = ModOp<int32_t>::Apply(a.i32(), b.i32(), &r);
+          break;
+      }
+      return ok ? Value::Int32(r) : Value::Null();
+    }
+    case TypeId::kInt64: {
+      int64_t r;
+      bool ok = true;
+      switch (op_) {
+        case ArithOp::kAdd:
+          ok = AddOp<int64_t>::Apply(a.i64(), b.i64(), &r);
+          break;
+        case ArithOp::kSub:
+          ok = SubOp<int64_t>::Apply(a.i64(), b.i64(), &r);
+          break;
+        case ArithOp::kMul:
+          ok = MulOp<int64_t>::Apply(a.i64(), b.i64(), &r);
+          break;
+        case ArithOp::kDiv:
+          ok = DivOp<int64_t>::Apply(a.i64(), b.i64(), &r);
+          break;
+        case ArithOp::kMod:
+          ok = ModOp<int64_t>::Apply(a.i64(), b.i64(), &r);
+          break;
+      }
+      return ok ? Value::Int64(r) : Value::Null();
+    }
+    case TypeId::kFloat64: {
+      double r;
+      bool ok = true;
+      switch (op_) {
+        case ArithOp::kAdd:
+          ok = AddOp<double>::Apply(a.f64(), b.f64(), &r);
+          break;
+        case ArithOp::kSub:
+          ok = SubOp<double>::Apply(a.f64(), b.f64(), &r);
+          break;
+        case ArithOp::kMul:
+          ok = MulOp<double>::Apply(a.f64(), b.f64(), &r);
+          break;
+        case ArithOp::kDiv:
+          ok = DivOp<double>::Apply(a.f64(), b.f64(), &r);
+          break;
+        case ArithOp::kMod:
+          ok = ModOp<double>::Apply(a.f64(), b.f64(), &r);
+          break;
+      }
+      return ok ? Value::Float64(r) : Value::Null();
+    }
+    case TypeId::kDecimal128: {
+      int s1 = left_->type().scale();
+      int s2 = right_->type().scale();
+      int sr = type().scale();
+      // The baseline engine mimics the JVM engine's decimal behavior (and
+      // cost): precision above 18 digits goes through arbitrary-precision
+      // BigDecimal, exactly like Spark falling back from compact Long
+      // decimals to java.math.BigDecimal (§6.2's Q1 discussion).
+      if (type().precision() > 18) {
+        BigDecimal ba = BigDecimal::FromDecimal128(a.decimal(), s1);
+        BigDecimal bb = BigDecimal::FromDecimal128(b.decimal(), s2);
+        BigDecimal br;
+        switch (op_) {
+          case ArithOp::kAdd:
+            br = ba.Add(bb).SetScale(sr);
+            break;
+          case ArithOp::kSub:
+            br = ba.Subtract(bb).SetScale(sr);
+            break;
+          case ArithOp::kMul:
+            br = ba.Multiply(bb).SetScale(sr);
+            break;
+          case ArithOp::kDiv:
+            if (bb.is_zero()) return Value::Null();
+            br = ba.Divide(bb, sr);
+            break;
+          case ArithOp::kMod:
+            return Status::NotImplemented("decimal mod");
+        }
+        Decimal128 out;
+        if (!br.ToDecimal128(sr, &out)) return Value::Null();  // overflow
+        return Value::Decimal(out);
+      }
+      // Low-precision fast path (Spark's compact Long decimal).
+      Decimal128 da = a.decimal(), db = b.decimal();
+      switch (op_) {
+        case ArithOp::kAdd:
+        case ArithOp::kSub: {
+          int128_t av = da.value() * Decimal128::PowerOfTen(sr - s1);
+          int128_t bv = db.value() * Decimal128::PowerOfTen(sr - s2);
+          return Value::Decimal(
+              Decimal128(op_ == ArithOp::kSub ? av - bv : av + bv));
+        }
+        case ArithOp::kMul:
+          return Value::Decimal(Decimal128(da.value() * db.value()));
+        case ArithOp::kDiv: {
+          if (db.value() == 0) return Value::Null();
+          Decimal128 q;
+          Decimal128::Divide(da, db, sr - s1 + s2, &q);
+          return Value::Decimal(q);
+        }
+        case ArithOp::kMod:
+          return Status::NotImplemented("decimal mod");
+      }
+      return Value::Null();
+    }
+    default:
+      return Status::Internal("arithmetic on unsupported type");
+  }
+}
+
+std::string ArithmeticExpr::ToString() const {
+  static const char* kOps[] = {"+", "-", "*", "/", "%"};
+  return "(" + left_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
+         right_->ToString() + ")";
+}
+
+}  // namespace photon

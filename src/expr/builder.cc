@@ -1,0 +1,298 @@
+#include "expr/builder.h"
+
+#include <algorithm>
+
+#include "common/time_util.h"
+#include "expr/function_registry.h"
+
+namespace photon {
+namespace eb {
+namespace {
+
+bool IsIntType(const DataType& t) {
+  return t.id() == TypeId::kInt32 || t.id() == TypeId::kInt64;
+}
+
+DataType IntAsDecimal(const DataType& t) {
+  return t.id() == TypeId::kInt32 ? DataType::Decimal(10, 0)
+                                  : DataType::Decimal(20, 0);
+}
+
+/// Spark-compatible decimal result type derivation.
+DataType DecimalResultType(ArithOp op, const DataType& a, const DataType& b) {
+  int p1 = a.precision(), s1 = a.scale();
+  int p2 = b.precision(), s2 = b.scale();
+  int p = 0, s = 0;
+  switch (op) {
+    case ArithOp::kAdd:
+    case ArithOp::kSub:
+      s = std::max(s1, s2);
+      p = std::max(p1 - s1, p2 - s2) + s + 1;
+      break;
+    case ArithOp::kMul:
+      s = s1 + s2;
+      p = p1 + p2 + 1;
+      break;
+    case ArithOp::kDiv:
+      s = std::max(6, s1 + p2 + 1);
+      p = p1 - s1 + s2 + s;
+      break;
+    case ArithOp::kMod:
+      s = std::max(s1, s2);
+      p = std::min(p1 - s1, p2 - s2) + s;
+      break;
+  }
+  if (p > 38) {
+    // Shrink scale to fit, but keep at least 6 fractional digits
+    // (Spark's "allow precision loss" mode).
+    int overflow = p - 38;
+    s = std::max(std::min(s, 6), s - overflow);
+    p = 38;
+  }
+  if (s > p) s = p;
+  return DataType::Decimal(p, std::max(0, s));
+}
+
+std::pair<ExprPtr, ExprPtr> Promote(ExprPtr a, ExprPtr b) {
+  DataType common = CommonType(a->type(), b->type());
+  if (a->type() != common) a = Cast(std::move(a), common);
+  if (b->type() != common) b = Cast(std::move(b), common);
+  return {std::move(a), std::move(b)};
+}
+
+ExprPtr MakeArith(ArithOp op, ExprPtr a, ExprPtr b) {
+  // Decimal arithmetic keeps distinct operand scales; only the TypeId must
+  // match, with ints widened to decimal when mixed.
+  if (a->type().is_decimal() || b->type().is_decimal()) {
+    if (IsIntType(a->type())) a = Cast(std::move(a), IntAsDecimal(a->type()));
+    if (IsIntType(b->type())) b = Cast(std::move(b), IntAsDecimal(b->type()));
+    if (a->type().id() == TypeId::kFloat64 ||
+        b->type().id() == TypeId::kFloat64) {
+      // decimal op double -> double (Spark behavior).
+      if (a->type().is_decimal()) a = Cast(std::move(a), DataType::Float64());
+      if (b->type().is_decimal()) b = Cast(std::move(b), DataType::Float64());
+      return std::make_shared<ArithmeticExpr>(op, a, b, DataType::Float64());
+    }
+    DataType result = DecimalResultType(op, a->type(), b->type());
+    return std::make_shared<ArithmeticExpr>(op, a, b, result);
+  }
+  auto [pa, pb] = Promote(std::move(a), std::move(b));
+  DataType result = pa->type();
+  return std::make_shared<ArithmeticExpr>(op, pa, pb, result);
+}
+
+ExprPtr MakeCmp(CmpOp op, ExprPtr a, ExprPtr b) {
+  if (a->type().id() != b->type().id()) {
+    // Convenience: string literal compared against a date column parses as
+    // a date (common in benchmark queries).
+    auto promote_str_date = [](ExprPtr& x, ExprPtr& y) {
+      if (x->type().id() == TypeId::kDate32 && y->type().is_string()) {
+        y = Cast(std::move(y), DataType::Date32());
+        return true;
+      }
+      return false;
+    };
+    if (!promote_str_date(a, b) && !promote_str_date(b, a)) {
+      if (a->type().is_decimal() || b->type().is_decimal()) {
+        if (IsIntType(a->type())) {
+          a = Cast(std::move(a), IntAsDecimal(a->type()));
+        }
+        if (IsIntType(b->type())) {
+          b = Cast(std::move(b), IntAsDecimal(b->type()));
+        }
+        if (a->type().id() == TypeId::kFloat64) {
+          b = Cast(std::move(b), DataType::Float64());
+        }
+        if (b->type().id() == TypeId::kFloat64) {
+          a = Cast(std::move(a), DataType::Float64());
+        }
+      } else {
+        auto [pa, pb] = Promote(std::move(a), std::move(b));
+        a = std::move(pa);
+        b = std::move(pb);
+      }
+    }
+  }
+  return std::make_shared<ComparisonExpr>(op, std::move(a), std::move(b));
+}
+
+}  // namespace
+
+ExprPtr Col(int index, DataType type, std::string name) {
+  return std::make_shared<ColumnRefExpr>(index, type, std::move(name));
+}
+
+ExprPtr Lit(bool v) {
+  return std::make_shared<LiteralExpr>(Value::Boolean(v),
+                                       DataType::Boolean());
+}
+ExprPtr Lit(int32_t v) {
+  return std::make_shared<LiteralExpr>(Value::Int32(v), DataType::Int32());
+}
+ExprPtr Lit(int64_t v) {
+  return std::make_shared<LiteralExpr>(Value::Int64(v), DataType::Int64());
+}
+ExprPtr Lit(double v) {
+  return std::make_shared<LiteralExpr>(Value::Float64(v),
+                                       DataType::Float64());
+}
+ExprPtr Lit(const char* v) { return Lit(std::string(v)); }
+ExprPtr Lit(std::string v) {
+  return std::make_shared<LiteralExpr>(Value::String(std::move(v)),
+                                       DataType::String());
+}
+ExprPtr DateLit(const std::string& iso_date) {
+  int32_t days = 0;
+  PHOTON_CHECK(ParseDate(iso_date, &days));
+  return std::make_shared<LiteralExpr>(Value::Date32(days),
+                                       DataType::Date32());
+}
+ExprPtr DecimalLit(const std::string& text, int precision, int scale) {
+  Decimal128 d;
+  PHOTON_CHECK(Decimal128::FromString(text, scale, &d));
+  return std::make_shared<LiteralExpr>(Value::Decimal(d),
+                                       DataType::Decimal(precision, scale));
+}
+ExprPtr NullLit(DataType type) {
+  return std::make_shared<LiteralExpr>(Value::Null(), type);
+}
+
+DataType CommonType(const DataType& a, const DataType& b) {
+  if (a == b) return a;
+  PHOTON_CHECK(a.id() != TypeId::kString || b.id() != TypeId::kString);
+  auto rank = [](const DataType& t) {
+    switch (t.id()) {
+      case TypeId::kInt32:
+        return 1;
+      case TypeId::kInt64:
+        return 2;
+      case TypeId::kFloat64:
+        return 3;
+      default:
+        return -1;
+    }
+  };
+  int ra = rank(a), rb = rank(b);
+  PHOTON_CHECK(ra > 0 && rb > 0);
+  return ra >= rb ? a : b;
+}
+
+ExprPtr Cast(ExprPtr e, DataType to) {
+  if (e->type() == to) return e;
+  return std::make_shared<CastExpr>(std::move(e), to);
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithOp::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Mod(ExprPtr a, ExprPtr b) {
+  return MakeArith(ArithOp::kMod, std::move(a), std::move(b));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return MakeCmp(CmpOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return MakeCmp(CmpOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return MakeCmp(CmpOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return MakeCmp(CmpOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return MakeCmp(CmpOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return MakeCmp(CmpOp::kGe, std::move(a), std::move(b));
+}
+
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BooleanExpr>(BoolOp::kAnd, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BooleanExpr>(BoolOp::kOr, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Not(ExprPtr a) { return std::make_shared<NotExpr>(std::move(a)); }
+ExprPtr IsNull(ExprPtr a) {
+  return std::make_shared<IsNullExpr>(std::move(a), false);
+}
+ExprPtr IsNotNull(ExprPtr a) {
+  return std::make_shared<IsNullExpr>(std::move(a), true);
+}
+
+ExprPtr Between(ExprPtr v, ExprPtr lo, ExprPtr hi) {
+  // Align operand types (and decimal scales) so the fused kernel can
+  // compare raw values.
+  if (v->type().is_decimal() || lo->type().is_decimal() ||
+      hi->type().is_decimal()) {
+    int scale = 0, precision = 38;
+    for (const ExprPtr& e : {v, lo, hi}) {
+      if (e->type().is_decimal()) scale = std::max(scale, e->type().scale());
+    }
+    DataType target = DataType::Decimal(precision, scale);
+    v = Cast(std::move(v), target);
+    lo = Cast(std::move(lo), target);
+    hi = Cast(std::move(hi), target);
+  } else if (v->type().id() == TypeId::kDate32) {
+    if (lo->type().is_string()) lo = Cast(std::move(lo), DataType::Date32());
+    if (hi->type().is_string()) hi = Cast(std::move(hi), DataType::Date32());
+  } else if (!v->type().is_string()) {
+    DataType common = CommonType(CommonType(v->type(), lo->type()),
+                                 hi->type());
+    v = Cast(std::move(v), common);
+    lo = Cast(std::move(lo), common);
+    hi = Cast(std::move(hi), common);
+  }
+  return std::make_shared<BetweenExpr>(std::move(v), std::move(lo),
+                                       std::move(hi));
+}
+
+ExprPtr In(ExprPtr v, std::vector<Value> list) {
+  return std::make_shared<InListExpr>(std::move(v), std::move(list));
+}
+
+ExprPtr CaseWhen(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                 ExprPtr else_expr) {
+  PHOTON_CHECK(!branches.empty());
+  DataType result = branches[0].second->type();
+  return std::make_shared<CaseWhenExpr>(std::move(branches),
+                                        std::move(else_expr), result);
+}
+
+ExprPtr If(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  branches.emplace_back(std::move(cond), std::move(then_expr));
+  return CaseWhen(std::move(branches), std::move(else_expr));
+}
+
+ExprPtr Call(const std::string& name, std::vector<ExprPtr> args) {
+  const FunctionImpl* fn = FunctionRegistry::Instance().Lookup(name);
+  PHOTON_CHECK(fn != nullptr);
+  std::vector<DataType> arg_types;
+  arg_types.reserve(args.size());
+  for (const ExprPtr& a : args) arg_types.push_back(a->type());
+  Result<DataType> result = fn->bind(arg_types);
+  PHOTON_CHECK(result.ok());
+  return std::make_shared<CallExpr>(name, std::move(args),
+                                    *std::move(result));
+}
+
+ExprPtr Like(ExprPtr value, const std::string& pattern) {
+  return Call("like", {std::move(value), Lit(pattern)});
+}
+
+}  // namespace eb
+}  // namespace photon

@@ -1,0 +1,75 @@
+#ifndef PHOTON_EXPR_BUILDER_H_
+#define PHOTON_EXPR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace photon {
+/// Convenience constructors for expression trees. These perform the type
+/// checking, implicit-cast insertion, and decimal precision/scale
+/// derivation that a SQL analyzer would, so operators and tests can build
+/// typed plans tersely. All functions PHOTON_CHECK on type errors: plans
+/// are built by trusted code, not end users.
+namespace eb {
+
+ExprPtr Col(int index, DataType type, std::string name = "");
+
+ExprPtr Lit(bool v);
+ExprPtr Lit(int32_t v);
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(const char* v);
+ExprPtr Lit(std::string v);
+/// Date literal from "YYYY-MM-DD".
+ExprPtr DateLit(const std::string& iso_date);
+/// Decimal literal, e.g. DecimalLit("12.34", 12, 2).
+ExprPtr DecimalLit(const std::string& text, int precision, int scale);
+ExprPtr NullLit(DataType type);
+
+/// Numeric promotion: returns the common type two operands are cast to
+/// before arithmetic/comparison (int32 < int64 < float64; ints widen to
+/// decimal when paired with one).
+DataType CommonType(const DataType& a, const DataType& b);
+
+ExprPtr Cast(ExprPtr e, DataType to);
+
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Mod(ExprPtr a, ExprPtr b);
+
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+ExprPtr IsNull(ExprPtr a);
+ExprPtr IsNotNull(ExprPtr a);
+
+ExprPtr Between(ExprPtr v, ExprPtr lo, ExprPtr hi);
+ExprPtr In(ExprPtr v, std::vector<Value> list);
+
+/// CASE WHEN c1 THEN t1 [WHEN ...] ELSE e END; else may be nullptr.
+ExprPtr CaseWhen(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                 ExprPtr else_expr);
+/// if(cond, then, else) — sugar over CaseWhen.
+ExprPtr If(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr);
+
+/// Named scalar function call; binds the result type via the registry.
+ExprPtr Call(const std::string& name, std::vector<ExprPtr> args);
+
+/// like(value, pattern-literal).
+ExprPtr Like(ExprPtr value, const std::string& pattern);
+
+}  // namespace eb
+}  // namespace photon
+
+#endif  // PHOTON_EXPR_BUILDER_H_

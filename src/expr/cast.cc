@@ -1,0 +1,332 @@
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/time_util.h"
+#include "expr/expr.h"
+#include "expr/kernels.h"
+
+namespace photon {
+namespace {
+
+// Saturating float -> integer conversion with Java semantics (NaN -> 0,
+// out-of-range clamps). §5.6 of the paper calls out Java/C++ divergence on
+// exactly this cast; both engines here share this one implementation so
+// they cannot disagree.
+template <typename T>
+T SaturatingFromDouble(double v) {
+  if (std::isnan(v)) return 0;
+  if (v >= static_cast<double>(std::numeric_limits<T>::max())) {
+    return std::numeric_limits<T>::max();
+  }
+  if (v <= static_cast<double>(std::numeric_limits<T>::min())) {
+    return std::numeric_limits<T>::min();
+  }
+  return static_cast<T>(v);
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Scalar cast shared by both engines; NULL on failure (Spark non-ANSI).
+Result<Value> CastValue(const Value& v, const DataType& from,
+                        const DataType& to) {
+  if (v.is_null()) return Value::Null();
+  if (from == to) return v;
+
+  switch (to.id()) {
+    case TypeId::kInt32: {
+      switch (from.id()) {
+        case TypeId::kInt64:
+          return Value::Int32(static_cast<int32_t>(v.i64()));
+        case TypeId::kFloat64:
+          return Value::Int32(SaturatingFromDouble<int32_t>(v.f64()));
+        case TypeId::kBoolean:
+          return Value::Int32(v.boolean() ? 1 : 0);
+        case TypeId::kString: {
+          try {
+            size_t pos;
+            long long r = std::stoll(v.str(), &pos);
+            if (pos != v.str().size()) return Value::Null();
+            if (r > INT32_MAX || r < INT32_MIN) return Value::Null();
+            return Value::Int32(static_cast<int32_t>(r));
+          } catch (...) {
+            return Value::Null();
+          }
+        }
+        case TypeId::kDecimal128: {
+          Decimal128 d;
+          if (!v.decimal().Rescale(from.scale(), 0, &d)) return Value::Null();
+          return Value::Int32(static_cast<int32_t>(d.value()));
+        }
+        default:
+          return Status::NotImplemented("cast to int32 from " +
+                                        from.ToString());
+      }
+    }
+    case TypeId::kInt64: {
+      switch (from.id()) {
+        case TypeId::kInt32:
+          return Value::Int64(v.i32());
+        case TypeId::kFloat64:
+          return Value::Int64(SaturatingFromDouble<int64_t>(v.f64()));
+        case TypeId::kBoolean:
+          return Value::Int64(v.boolean() ? 1 : 0);
+        case TypeId::kString: {
+          try {
+            size_t pos;
+            long long r = std::stoll(v.str(), &pos);
+            if (pos != v.str().size()) return Value::Null();
+            return Value::Int64(r);
+          } catch (...) {
+            return Value::Null();
+          }
+        }
+        case TypeId::kDecimal128: {
+          Decimal128 d;
+          if (!v.decimal().Rescale(from.scale(), 0, &d)) return Value::Null();
+          return Value::Int64(static_cast<int64_t>(d.value()));
+        }
+        default:
+          return Status::NotImplemented("cast to int64 from " +
+                                        from.ToString());
+      }
+    }
+    case TypeId::kFloat64: {
+      switch (from.id()) {
+        case TypeId::kInt32:
+          return Value::Float64(v.i32());
+        case TypeId::kInt64:
+          return Value::Float64(static_cast<double>(v.i64()));
+        case TypeId::kBoolean:
+          return Value::Float64(v.boolean() ? 1.0 : 0.0);
+        case TypeId::kString: {
+          try {
+            size_t pos;
+            double r = std::stod(v.str(), &pos);
+            if (pos != v.str().size()) return Value::Null();
+            return Value::Float64(r);
+          } catch (...) {
+            return Value::Null();
+          }
+        }
+        case TypeId::kDecimal128:
+          return Value::Float64(v.decimal().ToDouble(from.scale()));
+        default:
+          return Status::NotImplemented("cast to float64 from " +
+                                        from.ToString());
+      }
+    }
+    case TypeId::kDecimal128: {
+      switch (from.id()) {
+        case TypeId::kInt32: {
+          Decimal128 d = Decimal128::FromInt64(v.i32());
+          Decimal128 out;
+          if (!d.Rescale(0, to.scale(), &out)) return Value::Null();
+          return Value::Decimal(out);
+        }
+        case TypeId::kInt64: {
+          Decimal128 d = Decimal128::FromInt64(v.i64());
+          Decimal128 out;
+          if (!d.Rescale(0, to.scale(), &out)) return Value::Null();
+          return Value::Decimal(out);
+        }
+        case TypeId::kDecimal128: {
+          Decimal128 out;
+          if (!v.decimal().Rescale(from.scale(), to.scale(), &out)) {
+            return Value::Null();
+          }
+          if (out.Precision() > to.precision()) return Value::Null();
+          return Value::Decimal(out);
+        }
+        case TypeId::kString: {
+          Decimal128 out;
+          if (!Decimal128::FromString(v.str(), to.scale(), &out)) {
+            return Value::Null();
+          }
+          return Value::Decimal(out);
+        }
+        case TypeId::kFloat64: {
+          double scaled = v.f64();
+          for (int i = 0; i < to.scale(); i++) scaled *= 10.0;
+          if (std::isnan(scaled) || std::fabs(scaled) > 1e38) {
+            return Value::Null();
+          }
+          return Value::Decimal(
+              Decimal128(static_cast<int128_t>(std::llround(scaled))));
+        }
+        default:
+          return Status::NotImplemented("cast to decimal from " +
+                                        from.ToString());
+      }
+    }
+    case TypeId::kString: {
+      switch (from.id()) {
+        case TypeId::kInt32:
+          return Value::String(std::to_string(v.i32()));
+        case TypeId::kInt64:
+          return Value::String(std::to_string(v.i64()));
+        case TypeId::kFloat64:
+          return Value::String(FormatDouble(v.f64()));
+        case TypeId::kBoolean:
+          return Value::String(v.boolean() ? "true" : "false");
+        case TypeId::kDate32:
+          return Value::String(FormatDate(v.i32()));
+        case TypeId::kDecimal128:
+          return Value::String(v.decimal().ToString(from.scale()));
+        default:
+          return Status::NotImplemented("cast to string from " +
+                                        from.ToString());
+      }
+    }
+    case TypeId::kDate32: {
+      if (from.id() == TypeId::kString) {
+        int32_t days;
+        if (!ParseDate(v.str(), &days)) return Value::Null();
+        return Value::Date32(days);
+      }
+      return Status::NotImplemented("cast to date from " + from.ToString());
+    }
+    case TypeId::kBoolean: {
+      switch (from.id()) {
+        case TypeId::kInt32:
+          return Value::Boolean(v.i32() != 0);
+        case TypeId::kInt64:
+          return Value::Boolean(v.i64() != 0);
+        case TypeId::kString: {
+          if (v.str() == "true") return Value::Boolean(true);
+          if (v.str() == "false") return Value::Boolean(false);
+          return Value::Null();
+        }
+        default:
+          return Status::NotImplemented("cast to bool from " +
+                                        from.ToString());
+      }
+    }
+    default:
+      return Status::NotImplemented("cast to " + to.ToString());
+  }
+}
+
+}  // namespace
+
+CastExpr::CastExpr(ExprPtr child, DataType to)
+    : Expr(to), child_(std::move(child)) {}
+
+Result<ColumnVector*> CastExpr::Evaluate(ColumnBatch* batch,
+                                         EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * in, child_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(type(), batch->capacity());
+  const DataType& from = child_->type();
+  const DataType& to = type();
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  bool all = batch->all_active();
+  bool has_nulls = in->ComputeHasNulls(pos, n, all);
+
+  // Vectorized fast paths for the numerically hot casts.
+  auto fast = [&]<typename From, typename To>() {
+    DispatchBatchShape(has_nulls, all, [&](auto nulls_c, auto active_c) {
+      constexpr bool kHasNulls = decltype(nulls_c)::value;
+      constexpr bool kAllActive = decltype(active_c)::value;
+      const From* PHOTON_RESTRICT iv = in->data<From>();
+      const uint8_t* PHOTON_RESTRICT inl = in->nulls();
+      To* PHOTON_RESTRICT ov = out->data<To>();
+      uint8_t* PHOTON_RESTRICT on = out->nulls();
+      for (int i = 0; i < n; i++) {
+        int row = kAllActive ? i : pos[i];
+        if constexpr (kHasNulls) {
+          if (inl[row]) {
+            on[row] = 1;
+            continue;
+          }
+        }
+        ov[row] = static_cast<To>(iv[row]);
+      }
+    });
+  };
+
+  if (from.id() == TypeId::kInt32 && to.id() == TypeId::kInt64) {
+    fast.operator()<int32_t, int64_t>();
+    return out;
+  }
+  if (from.id() == TypeId::kInt32 && to.id() == TypeId::kFloat64) {
+    fast.operator()<int32_t, double>();
+    return out;
+  }
+  if (from.id() == TypeId::kInt64 && to.id() == TypeId::kFloat64) {
+    fast.operator()<int64_t, double>();
+    return out;
+  }
+  if (from.id() == TypeId::kInt64 && to.id() == TypeId::kInt32) {
+    fast.operator()<int64_t, int32_t>();
+    return out;
+  }
+  if ((from.id() == TypeId::kInt32 || from.id() == TypeId::kInt64) &&
+      to.is_decimal()) {
+    // int -> decimal: widen then shift to target scale.
+    int128_t mult = Decimal128::PowerOfTen(to.scale());
+    DispatchBatchShape(has_nulls, all, [&](auto nulls_c, auto active_c) {
+      constexpr bool kHasNulls = decltype(nulls_c)::value;
+      constexpr bool kAllActive = decltype(active_c)::value;
+      const uint8_t* PHOTON_RESTRICT inl = in->nulls();
+      int128_t* PHOTON_RESTRICT ov = out->data<int128_t>();
+      uint8_t* PHOTON_RESTRICT on = out->nulls();
+      for (int i = 0; i < n; i++) {
+        int row = kAllActive ? i : pos[i];
+        if constexpr (kHasNulls) {
+          if (inl[row]) {
+            on[row] = 1;
+            continue;
+          }
+        }
+        int64_t v = from.id() == TypeId::kInt32
+                        ? in->data<int32_t>()[row]
+                        : in->data<int64_t>()[row];
+        ov[row] = static_cast<int128_t>(v) * mult;
+      }
+    });
+    return out;
+  }
+  if (from.is_decimal() && to.id() == TypeId::kFloat64) {
+    // Must round identically to Decimal128::ToDouble (the row path).
+    double divisor =
+        static_cast<double>(Decimal128::PowerOfTen(from.scale()));
+    const int128_t* iv = in->data<int128_t>();
+    double* ov = out->data<double>();
+    uint8_t* on = out->nulls();
+    const uint8_t* inl = in->nulls();
+    for (int i = 0; i < n; i++) {
+      int row = batch->ActiveRow(i);
+      if (inl[row]) {
+        on[row] = 1;
+        continue;
+      }
+      ov[row] = static_cast<double>(iv[row]) / divisor;
+    }
+    return out;
+  }
+
+  // Generic (boxed) path for everything else; cold in practice.
+  for (int i = 0; i < n; i++) {
+    int row = batch->ActiveRow(i);
+    PHOTON_ASSIGN_OR_RETURN(Value v,
+                            CastValue(in->GetValue(row), from, to));
+    out->SetValue(row, v);
+  }
+  return out;
+}
+
+Result<Value> CastExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(row));
+  return CastValue(v, child_->type(), type());
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + child_->ToString() + " AS " + type().ToString() + ")";
+}
+
+}  // namespace photon

@@ -1,0 +1,387 @@
+#include <algorithm>
+#include <cstring>
+
+#include "expr/expr.h"
+#include "expr/kernels.h"
+
+namespace photon {
+namespace {
+
+template <typename T>
+PHOTON_ALWAYS_INLINE int CompareScalar(T a, T b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+PHOTON_ALWAYS_INLINE int CompareString(const StringRef& a,
+                                       const StringRef& b) {
+  int min_len = std::min(a.len, b.len);
+  int cmp = min_len == 0 ? 0 : std::memcmp(a.data, b.data, min_len);
+  if (cmp != 0) return cmp;
+  return a.len - b.len;
+}
+
+PHOTON_ALWAYS_INLINE bool CmpResult(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+// Fixed-width comparison kernel specialized on the operator so the inner
+// loop is a single branchless compare.
+template <typename T, CmpOp kOp, bool kHasNulls, bool kAllRowsActive>
+void CompareKernel(const int32_t* PHOTON_RESTRICT pos, int n,
+                   const T* PHOTON_RESTRICT a,
+                   const uint8_t* PHOTON_RESTRICT an,
+                   const T* PHOTON_RESTRICT b,
+                   const uint8_t* PHOTON_RESTRICT bn,
+                   uint8_t* PHOTON_RESTRICT out,
+                   uint8_t* PHOTON_RESTRICT on) {
+  for (int i = 0; i < n; i++) {
+    int row = kAllRowsActive ? i : pos[i];
+    if constexpr (kHasNulls) {
+      if (an[row] | bn[row]) {
+        on[row] = 1;
+        continue;
+      }
+    }
+    bool r;
+    if constexpr (kOp == CmpOp::kEq) {
+      r = a[row] == b[row];
+    } else if constexpr (kOp == CmpOp::kNe) {
+      r = a[row] != b[row];
+    } else if constexpr (kOp == CmpOp::kLt) {
+      r = a[row] < b[row];
+    } else if constexpr (kOp == CmpOp::kLe) {
+      r = a[row] <= b[row];
+    } else if constexpr (kOp == CmpOp::kGt) {
+      r = a[row] > b[row];
+    } else {
+      r = a[row] >= b[row];
+    }
+    out[row] = r ? 1 : 0;
+  }
+}
+
+template <typename T>
+void RunCompare(CmpOp op, ColumnBatch* batch, const ColumnVector& a,
+                const ColumnVector& b, ColumnVector* out, bool has_nulls) {
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  DispatchBatchShape(
+      has_nulls, batch->all_active(), [&](auto nulls_c, auto active_c) {
+        constexpr bool kN = decltype(nulls_c)::value;
+        constexpr bool kA = decltype(active_c)::value;
+        switch (op) {
+          case CmpOp::kEq:
+            CompareKernel<T, CmpOp::kEq, kN, kA>(pos, n, a.data<T>(),
+                                                 a.nulls(), b.data<T>(),
+                                                 b.nulls(), out->data<uint8_t>(),
+                                                 out->nulls());
+            break;
+          case CmpOp::kNe:
+            CompareKernel<T, CmpOp::kNe, kN, kA>(pos, n, a.data<T>(),
+                                                 a.nulls(), b.data<T>(),
+                                                 b.nulls(), out->data<uint8_t>(),
+                                                 out->nulls());
+            break;
+          case CmpOp::kLt:
+            CompareKernel<T, CmpOp::kLt, kN, kA>(pos, n, a.data<T>(),
+                                                 a.nulls(), b.data<T>(),
+                                                 b.nulls(), out->data<uint8_t>(),
+                                                 out->nulls());
+            break;
+          case CmpOp::kLe:
+            CompareKernel<T, CmpOp::kLe, kN, kA>(pos, n, a.data<T>(),
+                                                 a.nulls(), b.data<T>(),
+                                                 b.nulls(), out->data<uint8_t>(),
+                                                 out->nulls());
+            break;
+          case CmpOp::kGt:
+            CompareKernel<T, CmpOp::kGt, kN, kA>(pos, n, a.data<T>(),
+                                                 a.nulls(), b.data<T>(),
+                                                 b.nulls(), out->data<uint8_t>(),
+                                                 out->nulls());
+            break;
+          case CmpOp::kGe:
+            CompareKernel<T, CmpOp::kGe, kN, kA>(pos, n, a.data<T>(),
+                                                 a.nulls(), b.data<T>(),
+                                                 b.nulls(), out->data<uint8_t>(),
+                                                 out->nulls());
+            break;
+        }
+      });
+}
+
+// Decimal comparison with scale alignment.
+void RunCompareDecimal(CmpOp op, ColumnBatch* batch, const ColumnVector& a,
+                       int sa, const ColumnVector& b, int sb,
+                       ColumnVector* out, bool has_nulls) {
+  int n = batch->num_active();
+  int s = std::max(sa, sb);
+  int128_t am = Decimal128::PowerOfTen(s - sa);
+  int128_t bm = Decimal128::PowerOfTen(s - sb);
+  const int128_t* av = a.data<int128_t>();
+  const int128_t* bv = b.data<int128_t>();
+  const uint8_t* an = a.nulls();
+  const uint8_t* bn = b.nulls();
+  uint8_t* ov = out->data<uint8_t>();
+  uint8_t* on = out->nulls();
+  for (int i = 0; i < n; i++) {
+    int row = batch->ActiveRow(i);
+    if (has_nulls && (an[row] | bn[row])) {
+      on[row] = 1;
+      continue;
+    }
+    int cmp = CompareScalar(av[row] * am, bv[row] * bm);
+    ov[row] = CmpResult(op, cmp) ? 1 : 0;
+  }
+}
+
+void RunCompareString(CmpOp op, ColumnBatch* batch, const ColumnVector& a,
+                      const ColumnVector& b, ColumnVector* out,
+                      bool has_nulls) {
+  int n = batch->num_active();
+  const StringRef* av = a.data<StringRef>();
+  const StringRef* bv = b.data<StringRef>();
+  const uint8_t* an = a.nulls();
+  const uint8_t* bn = b.nulls();
+  uint8_t* ov = out->data<uint8_t>();
+  uint8_t* on = out->nulls();
+  for (int i = 0; i < n; i++) {
+    int row = batch->ActiveRow(i);
+    if (has_nulls && (an[row] | bn[row])) {
+      on[row] = 1;
+      continue;
+    }
+    ov[row] = CmpResult(op, CompareString(av[row], bv[row])) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+ComparisonExpr::ComparisonExpr(CmpOp op, ExprPtr left, ExprPtr right)
+    : Expr(DataType::Boolean()),
+      op_(op),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  PHOTON_CHECK(left_->type().id() == right_->type().id());
+}
+
+Result<ColumnVector*> ComparisonExpr::Evaluate(ColumnBatch* batch,
+                                               EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * a, left_->Evaluate(batch, ctx));
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * b, right_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(DataType::Boolean(), batch->capacity());
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  bool all = batch->all_active();
+  bool has_nulls =
+      a->ComputeHasNulls(pos, n, all) || b->ComputeHasNulls(pos, n, all);
+
+  switch (left_->type().id()) {
+    case TypeId::kBoolean:
+      RunCompare<uint8_t>(op_, batch, *a, *b, out, has_nulls);
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      RunCompare<int32_t>(op_, batch, *a, *b, out, has_nulls);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      RunCompare<int64_t>(op_, batch, *a, *b, out, has_nulls);
+      break;
+    case TypeId::kFloat64:
+      RunCompare<double>(op_, batch, *a, *b, out, has_nulls);
+      break;
+    case TypeId::kDecimal128:
+      RunCompareDecimal(op_, batch, *a, left_->type().scale(), *b,
+                        right_->type().scale(), out, has_nulls);
+      break;
+    case TypeId::kString:
+      RunCompareString(op_, batch, *a, *b, out, has_nulls);
+      break;
+  }
+  out->set_has_nulls(has_nulls ? TriState::kYes : TriState::kNo);
+  return out;
+}
+
+Result<Value> ComparisonExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value a, left_->EvaluateRow(row));
+  PHOTON_ASSIGN_OR_RETURN(Value b, right_->EvaluateRow(row));
+  if (a.is_null() || b.is_null()) return Value::Null();
+  int cmp;
+  if (left_->type().is_decimal()) {
+    int s = std::max(left_->type().scale(), right_->type().scale());
+    int128_t av = a.decimal().value() *
+                  Decimal128::PowerOfTen(s - left_->type().scale());
+    int128_t bv = b.decimal().value() *
+                  Decimal128::PowerOfTen(s - right_->type().scale());
+    cmp = CompareScalar(av, bv);
+  } else {
+    cmp = a.Compare(b);
+  }
+  return Value::Boolean(CmpResult(op_, cmp));
+}
+
+std::string ComparisonExpr::ToString() const {
+  static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+  return "(" + left_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
+         right_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// BetweenExpr: fused col >= lo AND col <= hi (§3.3)
+// ---------------------------------------------------------------------------
+
+BetweenExpr::BetweenExpr(ExprPtr value, ExprPtr lo, ExprPtr hi)
+    : Expr(DataType::Boolean()),
+      value_(std::move(value)),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)) {
+  PHOTON_CHECK(value_->type().id() == lo_->type().id());
+  PHOTON_CHECK(value_->type().id() == hi_->type().id());
+  // Decimal BETWEEN requires aligned scales (the builder rescales).
+  if (value_->type().is_decimal()) {
+    PHOTON_CHECK(value_->type().scale() == lo_->type().scale());
+    PHOTON_CHECK(value_->type().scale() == hi_->type().scale());
+  }
+}
+
+namespace {
+
+template <typename T, bool kHasNulls, bool kAllRowsActive>
+void BetweenKernel(const int32_t* PHOTON_RESTRICT pos, int n,
+                   const T* PHOTON_RESTRICT v,
+                   const uint8_t* PHOTON_RESTRICT vn,
+                   const T* PHOTON_RESTRICT lo,
+                   const uint8_t* PHOTON_RESTRICT lon,
+                   const T* PHOTON_RESTRICT hi,
+                   const uint8_t* PHOTON_RESTRICT hin,
+                   uint8_t* PHOTON_RESTRICT out,
+                   uint8_t* PHOTON_RESTRICT on) {
+  for (int i = 0; i < n; i++) {
+    int row = kAllRowsActive ? i : pos[i];
+    if constexpr (kHasNulls) {
+      // SQL BETWEEN is (v >= lo AND v <= hi); the fused NULL logic matches
+      // the conjunction's three-valued truth table.
+      bool v_null = vn[row], lo_null = lon[row], hi_null = hin[row];
+      bool ge = !v_null && !lo_null && v[row] >= lo[row];
+      bool le = !v_null && !hi_null && v[row] <= hi[row];
+      bool ge_false = !v_null && !lo_null && !(v[row] >= lo[row]);
+      bool le_false = !v_null && !hi_null && !(v[row] <= hi[row]);
+      if (ge_false || le_false) {
+        out[row] = 0;
+      } else if (v_null || lo_null || hi_null) {
+        on[row] = 1;
+      } else {
+        out[row] = (ge && le) ? 1 : 0;
+      }
+      continue;
+    }
+    out[row] = (v[row] >= lo[row] && v[row] <= hi[row]) ? 1 : 0;
+  }
+}
+
+template <typename T>
+void RunBetween(ColumnBatch* batch, const ColumnVector& v,
+                const ColumnVector& lo, const ColumnVector& hi,
+                ColumnVector* out, bool has_nulls) {
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  DispatchBatchShape(
+      has_nulls, batch->all_active(), [&](auto nulls_c, auto active_c) {
+        BetweenKernel<T, decltype(nulls_c)::value, decltype(active_c)::value>(
+            pos, n, v.data<T>(), v.nulls(), lo.data<T>(), lo.nulls(),
+            hi.data<T>(), hi.nulls(), out->data<uint8_t>(), out->nulls());
+      });
+}
+
+}  // namespace
+
+Result<ColumnVector*> BetweenExpr::Evaluate(ColumnBatch* batch,
+                                            EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, value_->Evaluate(batch, ctx));
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * lo, lo_->Evaluate(batch, ctx));
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * hi, hi_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(DataType::Boolean(), batch->capacity());
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  bool all = batch->all_active();
+  bool has_nulls = v->ComputeHasNulls(pos, n, all) ||
+                   lo->ComputeHasNulls(pos, n, all) ||
+                   hi->ComputeHasNulls(pos, n, all);
+
+  switch (value_->type().id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      RunBetween<int32_t>(batch, *v, *lo, *hi, out, has_nulls);
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      RunBetween<int64_t>(batch, *v, *lo, *hi, out, has_nulls);
+      break;
+    case TypeId::kFloat64:
+      RunBetween<double>(batch, *v, *lo, *hi, out, has_nulls);
+      break;
+    case TypeId::kDecimal128:
+      RunBetween<int128_t>(batch, *v, *lo, *hi, out, has_nulls);
+      break;
+    case TypeId::kString: {
+      const StringRef* vv = v->data<StringRef>();
+      const StringRef* lv = lo->data<StringRef>();
+      const StringRef* hv = hi->data<StringRef>();
+      const uint8_t* vn = v->nulls();
+      const uint8_t* ln = lo->nulls();
+      const uint8_t* hn = hi->nulls();
+      uint8_t* ov = out->data<uint8_t>();
+      uint8_t* on = out->nulls();
+      for (int i = 0; i < n; i++) {
+        int row = batch->ActiveRow(i);
+        if (vn[row] | ln[row] | hn[row]) {
+          on[row] = 1;
+          continue;
+        }
+        ov[row] = (CompareString(vv[row], lv[row]) >= 0 &&
+                   CompareString(vv[row], hv[row]) <= 0)
+                      ? 1
+                      : 0;
+      }
+      break;
+    }
+    default:
+      return Status::Internal("BETWEEN on unsupported type");
+  }
+  out->set_has_nulls(has_nulls ? TriState::kYes : TriState::kNo);
+  return out;
+}
+
+Result<Value> BetweenExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value v, value_->EvaluateRow(row));
+  PHOTON_ASSIGN_OR_RETURN(Value lo, lo_->EvaluateRow(row));
+  PHOTON_ASSIGN_OR_RETURN(Value hi, hi_->EvaluateRow(row));
+  bool v_null = v.is_null(), lo_null = lo.is_null(), hi_null = hi.is_null();
+  bool ge_false = !v_null && !lo_null && v.Compare(lo) < 0;
+  bool le_false = !v_null && !hi_null && v.Compare(hi) > 0;
+  if (ge_false || le_false) return Value::Boolean(false);
+  if (v_null || lo_null || hi_null) return Value::Null();
+  return Value::Boolean(true);
+}
+
+std::string BetweenExpr::ToString() const {
+  return value_->ToString() + " BETWEEN " + lo_->ToString() + " AND " +
+         hi_->ToString();
+}
+
+}  // namespace photon

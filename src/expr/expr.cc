@@ -1,0 +1,490 @@
+#include "expr/expr.h"
+
+#include <cstring>
+
+#include "expr/kernels.h"
+
+namespace photon {
+
+// ---------------------------------------------------------------------------
+// Shared kernel utilities
+// ---------------------------------------------------------------------------
+
+void CopyValuesAtPositions(const ColumnVector& src, const int32_t* rows,
+                           int n, ColumnVector* dst) {
+  const uint8_t* src_nulls = src.nulls();
+  uint8_t* dst_nulls = dst->nulls();
+  switch (src.type().id()) {
+    case TypeId::kBoolean: {
+      const uint8_t* a = src.data<uint8_t>();
+      uint8_t* o = dst->data<uint8_t>();
+      for (int i = 0; i < n; i++) {
+        int r = rows[i];
+        dst_nulls[r] = src_nulls[r];
+        o[r] = a[r];
+      }
+      break;
+    }
+    case TypeId::kInt32:
+    case TypeId::kDate32: {
+      const int32_t* a = src.data<int32_t>();
+      int32_t* o = dst->data<int32_t>();
+      for (int i = 0; i < n; i++) {
+        int r = rows[i];
+        dst_nulls[r] = src_nulls[r];
+        o[r] = a[r];
+      }
+      break;
+    }
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const int64_t* a = src.data<int64_t>();
+      int64_t* o = dst->data<int64_t>();
+      for (int i = 0; i < n; i++) {
+        int r = rows[i];
+        dst_nulls[r] = src_nulls[r];
+        o[r] = a[r];
+      }
+      break;
+    }
+    case TypeId::kFloat64: {
+      const double* a = src.data<double>();
+      double* o = dst->data<double>();
+      for (int i = 0; i < n; i++) {
+        int r = rows[i];
+        dst_nulls[r] = src_nulls[r];
+        o[r] = a[r];
+      }
+      break;
+    }
+    case TypeId::kDecimal128: {
+      const int128_t* a = src.data<int128_t>();
+      int128_t* o = dst->data<int128_t>();
+      for (int i = 0; i < n; i++) {
+        int r = rows[i];
+        dst_nulls[r] = src_nulls[r];
+        o[r] = a[r];
+      }
+      break;
+    }
+    case TypeId::kString: {
+      const StringRef* a = src.data<StringRef>();
+      for (int i = 0; i < n; i++) {
+        int r = rows[i];
+        dst_nulls[r] = src_nulls[r];
+        if (!src_nulls[r]) {
+          dst->SetString(r, a[r].data, a[r].len);
+        }
+      }
+      break;
+    }
+  }
+}
+
+int ApplyBooleanFilter(const ColumnVector& bools, ColumnBatch* batch) {
+  PHOTON_DCHECK(bools.type().id() == TypeId::kBoolean);
+  const uint8_t* vals = bools.data<uint8_t>();
+  const uint8_t* nulls = bools.nulls();
+  int32_t* pos = batch->mutable_pos_list();
+  int out = 0;
+  int n = batch->num_active();
+  if (batch->all_active()) {
+    for (int i = 0; i < n; i++) {
+      // Keep rows where the predicate is true and not NULL.
+      if (vals[i] && !nulls[i]) pos[out++] = i;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      int row = pos[i];
+      if (vals[row] && !nulls[row]) pos[out++] = row;
+    }
+  }
+  batch->SetActiveRows(out);
+  return out;
+}
+
+Result<int> FilterBatch(const Expr& predicate, ColumnBatch* batch,
+                        EvalContext* ctx) {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * bools,
+                          predicate.Evaluate(batch, ctx));
+  return ApplyBooleanFilter(*bools, batch);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnRefExpr
+// ---------------------------------------------------------------------------
+
+Result<ColumnVector*> ColumnRefExpr::Evaluate(ColumnBatch* batch,
+                                              EvalContext* ctx) const {
+  (void)ctx;
+  if (index_ < 0 || index_ >= batch->num_columns()) {
+    return Status::Internal("column index out of range: " +
+                            std::to_string(index_));
+  }
+  return batch->column(index_);
+}
+
+Result<Value> ColumnRefExpr::EvaluateRow(const std::vector<Value>& row) const {
+  if (index_ < 0 || index_ >= static_cast<int>(row.size())) {
+    return Status::Internal("column index out of range");
+  }
+  return row[index_];
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return name_.empty() ? "#" + std::to_string(index_) : name_;
+}
+
+// ---------------------------------------------------------------------------
+// LiteralExpr
+// ---------------------------------------------------------------------------
+
+Result<ColumnVector*> LiteralExpr::Evaluate(ColumnBatch* batch,
+                                            EvalContext* ctx) const {
+  ColumnVector* out = ctx->NewVector(type(), batch->capacity());
+  int n = batch->num_active();
+  if (value_.is_null()) {
+    for (int i = 0; i < n; i++) out->SetNull(batch->ActiveRow(i));
+    out->set_has_nulls(TriState::kYes);
+    return out;
+  }
+  // Copy the constant into string storage once, share the ref.
+  if (type().is_string()) {
+    StringRef ref = out->var_pool()->AddString(
+        value_.str().data(), static_cast<int32_t>(value_.str().size()));
+    StringRef* vals = out->data<StringRef>();
+    for (int i = 0; i < n; i++) vals[batch->ActiveRow(i)] = ref;
+  } else {
+    for (int i = 0; i < n; i++) out->SetValue(batch->ActiveRow(i), value_);
+  }
+  out->set_has_nulls(TriState::kNo);
+  return out;
+}
+
+Result<Value> LiteralExpr::EvaluateRow(const std::vector<Value>&) const {
+  return value_;
+}
+
+std::string LiteralExpr::ToString() const {
+  return value_.ToString(type());
+}
+
+// ---------------------------------------------------------------------------
+// BooleanExpr / NotExpr
+// ---------------------------------------------------------------------------
+
+BooleanExpr::BooleanExpr(BoolOp op, ExprPtr left, ExprPtr right)
+    : Expr(DataType::Boolean()),
+      op_(op),
+      left_(std::move(left)),
+      right_(std::move(right)) {
+  PHOTON_CHECK(left_->type().id() == TypeId::kBoolean);
+  PHOTON_CHECK(right_->type().id() == TypeId::kBoolean);
+}
+
+Result<ColumnVector*> BooleanExpr::Evaluate(ColumnBatch* batch,
+                                            EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * a, left_->Evaluate(batch, ctx));
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * b, right_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(DataType::Boolean(), batch->capacity());
+  int n = batch->num_active();
+  const uint8_t* av = a->data<uint8_t>();
+  const uint8_t* bv = b->data<uint8_t>();
+  const uint8_t* an = a->nulls();
+  const uint8_t* bn = b->nulls();
+  uint8_t* ov = out->data<uint8_t>();
+  uint8_t* on = out->nulls();
+  // Kleene three-valued logic, matching Spark.
+  for (int i = 0; i < n; i++) {
+    int r = batch->ActiveRow(i);
+    bool a_null = an[r], b_null = bn[r];
+    bool a_true = !a_null && av[r], b_true = !b_null && bv[r];
+    bool a_false = !a_null && !av[r], b_false = !b_null && !bv[r];
+    if (op_ == BoolOp::kAnd) {
+      if (a_false || b_false) {
+        ov[r] = 0;
+        on[r] = 0;
+      } else if (a_null || b_null) {
+        on[r] = 1;
+      } else {
+        ov[r] = 1;
+        on[r] = 0;
+      }
+    } else {
+      if (a_true || b_true) {
+        ov[r] = 1;
+        on[r] = 0;
+      } else if (a_null || b_null) {
+        on[r] = 1;
+      } else {
+        ov[r] = 0;
+        on[r] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Value> BooleanExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value a, left_->EvaluateRow(row));
+  PHOTON_ASSIGN_OR_RETURN(Value b, right_->EvaluateRow(row));
+  bool a_null = a.is_null(), b_null = b.is_null();
+  bool a_true = !a_null && a.boolean(), b_true = !b_null && b.boolean();
+  bool a_false = !a_null && !a.boolean(), b_false = !b_null && !b.boolean();
+  if (op_ == BoolOp::kAnd) {
+    if (a_false || b_false) return Value::Boolean(false);
+    if (a_null || b_null) return Value::Null();
+    return Value::Boolean(true);
+  }
+  if (a_true || b_true) return Value::Boolean(true);
+  if (a_null || b_null) return Value::Null();
+  return Value::Boolean(false);
+}
+
+std::string BooleanExpr::ToString() const {
+  return "(" + left_->ToString() +
+         (op_ == BoolOp::kAnd ? " AND " : " OR ") + right_->ToString() + ")";
+}
+
+NotExpr::NotExpr(ExprPtr child)
+    : Expr(DataType::Boolean()), child_(std::move(child)) {
+  PHOTON_CHECK(child_->type().id() == TypeId::kBoolean);
+}
+
+Result<ColumnVector*> NotExpr::Evaluate(ColumnBatch* batch,
+                                        EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * a, child_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(DataType::Boolean(), batch->capacity());
+  int n = batch->num_active();
+  const int32_t* pos = batch->pos_list();
+  bool has_nulls =
+      a->ComputeHasNulls(pos, n, batch->all_active());
+  DispatchBatchShape(
+      has_nulls, batch->all_active(), [&](auto nulls_c, auto active_c) {
+        constexpr bool kHasNulls = decltype(nulls_c)::value;
+        constexpr bool kAllActive = decltype(active_c)::value;
+        const uint8_t* PHOTON_RESTRICT av = a->data<uint8_t>();
+        const uint8_t* PHOTON_RESTRICT an = a->nulls();
+        uint8_t* PHOTON_RESTRICT ov = out->data<uint8_t>();
+        uint8_t* PHOTON_RESTRICT on = out->nulls();
+        for (int i = 0; i < n; i++) {
+          int r = kAllActive ? i : pos[i];
+          if constexpr (kHasNulls) {
+            if (an[r]) {
+              on[r] = 1;
+              continue;
+            }
+          }
+          ov[r] = av[r] ? 0 : 1;
+        }
+      });
+  out->set_has_nulls(has_nulls ? TriState::kYes : TriState::kNo);
+  return out;
+}
+
+Result<Value> NotExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(row));
+  if (v.is_null()) return Value::Null();
+  return Value::Boolean(!v.boolean());
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + child_->ToString();
+}
+
+// ---------------------------------------------------------------------------
+// IsNullExpr
+// ---------------------------------------------------------------------------
+
+IsNullExpr::IsNullExpr(ExprPtr child, bool negated)
+    : Expr(DataType::Boolean()), child_(std::move(child)), negated_(negated) {}
+
+Result<ColumnVector*> IsNullExpr::Evaluate(ColumnBatch* batch,
+                                           EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * a, child_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(DataType::Boolean(), batch->capacity());
+  int n = batch->num_active();
+  const uint8_t* an = a->nulls();
+  uint8_t* ov = out->data<uint8_t>();
+  const uint8_t want = negated_ ? 0 : 1;
+  for (int i = 0; i < n; i++) {
+    int r = batch->ActiveRow(i);
+    ov[r] = (an[r] == want) ? 1 : 0;
+  }
+  out->set_has_nulls(TriState::kNo);
+  return out;
+}
+
+Result<Value> IsNullExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(row));
+  return Value::Boolean(negated_ ? !v.is_null() : v.is_null());
+}
+
+std::string IsNullExpr::ToString() const {
+  return child_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+// ---------------------------------------------------------------------------
+// CaseWhenExpr
+// ---------------------------------------------------------------------------
+
+CaseWhenExpr::CaseWhenExpr(std::vector<std::pair<ExprPtr, ExprPtr>> branches,
+                           ExprPtr else_expr, DataType result)
+    : Expr(result),
+      branches_(std::move(branches)),
+      else_expr_(std::move(else_expr)) {
+  PHOTON_CHECK(!branches_.empty());
+}
+
+std::vector<ExprPtr> CaseWhenExpr::children() const {
+  std::vector<ExprPtr> out;
+  for (const auto& [c, t] : branches_) {
+    out.push_back(c);
+    out.push_back(t);
+  }
+  if (else_expr_) out.push_back(else_expr_);
+  return out;
+}
+
+Result<ColumnVector*> CaseWhenExpr::Evaluate(ColumnBatch* batch,
+                                             EvalContext* ctx) const {
+  ColumnVector* out = ctx->NewVector(type(), batch->capacity());
+  int n = batch->num_active();
+
+  // Rows not yet claimed by any earlier branch.
+  std::vector<int32_t> remaining(n);
+  for (int i = 0; i < n; i++) remaining[i] = batch->ActiveRow(i);
+
+  ScopedActiveSet scope(batch);  // restore the caller's active set at exit
+  std::vector<int32_t> taken, not_taken;
+
+  for (const auto& [cond, then] : branches_) {
+    if (remaining.empty()) break;
+    scope.Install(remaining.data(), static_cast<int>(remaining.size()));
+    PHOTON_ASSIGN_OR_RETURN(ColumnVector * cv, cond->Evaluate(batch, ctx));
+    taken.clear();
+    not_taken.clear();
+    const uint8_t* vals = cv->data<uint8_t>();
+    const uint8_t* nulls = cv->nulls();
+    for (int32_t r : remaining) {
+      if (vals[r] && !nulls[r]) {
+        taken.push_back(r);
+      } else {
+        not_taken.push_back(r);
+      }
+    }
+    if (!taken.empty()) {
+      // Narrow the active set to the rows that took the branch, evaluate
+      // the THEN expression, and scatter its results into the shared
+      // output vector (§4.3).
+      scope.Install(taken.data(), static_cast<int>(taken.size()));
+      PHOTON_ASSIGN_OR_RETURN(ColumnVector * tv, then->Evaluate(batch, ctx));
+      CopyValuesAtPositions(*tv, taken.data(),
+                            static_cast<int>(taken.size()), out);
+    }
+    remaining.swap(not_taken);
+  }
+
+  if (!remaining.empty()) {
+    if (else_expr_ != nullptr) {
+      scope.Install(remaining.data(), static_cast<int>(remaining.size()));
+      PHOTON_ASSIGN_OR_RETURN(ColumnVector * ev,
+                              else_expr_->Evaluate(batch, ctx));
+      CopyValuesAtPositions(*ev, remaining.data(),
+                            static_cast<int>(remaining.size()), out);
+    } else {
+      for (int32_t r : remaining) out->SetNull(r);
+    }
+  }
+  return out;
+}
+
+Result<Value> CaseWhenExpr::EvaluateRow(const std::vector<Value>& row) const {
+  for (const auto& [cond, then] : branches_) {
+    PHOTON_ASSIGN_OR_RETURN(Value c, cond->EvaluateRow(row));
+    if (!c.is_null() && c.boolean()) return then->EvaluateRow(row);
+  }
+  if (else_expr_ != nullptr) return else_expr_->EvaluateRow(row);
+  return Value::Null();
+}
+
+std::string CaseWhenExpr::ToString() const {
+  std::string out = "CASE";
+  for (const auto& [c, t] : branches_) {
+    out += " WHEN " + c->ToString() + " THEN " + t->ToString();
+  }
+  if (else_expr_) out += " ELSE " + else_expr_->ToString();
+  return out + " END";
+}
+
+// ---------------------------------------------------------------------------
+// InListExpr
+// ---------------------------------------------------------------------------
+
+InListExpr::InListExpr(ExprPtr value, std::vector<Value> list)
+    : Expr(DataType::Boolean()),
+      value_(std::move(value)),
+      list_(std::move(list)) {}
+
+Result<ColumnVector*> InListExpr::Evaluate(ColumnBatch* batch,
+                                           EvalContext* ctx) const {
+  PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, value_->Evaluate(batch, ctx));
+  ColumnVector* out = ctx->NewVector(DataType::Boolean(), batch->capacity());
+  int n = batch->num_active();
+  bool list_has_null = false;
+  for (const Value& item : list_) list_has_null |= item.is_null();
+
+  uint8_t* ov = out->data<uint8_t>();
+  uint8_t* on = out->nulls();
+  for (int i = 0; i < n; i++) {
+    int r = batch->ActiveRow(i);
+    if (v->IsNull(r)) {
+      on[r] = 1;
+      continue;
+    }
+    Value val = v->GetValue(r);
+    bool found = false;
+    for (const Value& item : list_) {
+      if (!item.is_null() && item.Equals(val)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      ov[r] = 1;
+      on[r] = 0;
+    } else if (list_has_null) {
+      on[r] = 1;  // value NOT IN list, but list has NULL -> unknown
+    } else {
+      ov[r] = 0;
+      on[r] = 0;
+    }
+  }
+  return out;
+}
+
+Result<Value> InListExpr::EvaluateRow(const std::vector<Value>& row) const {
+  PHOTON_ASSIGN_OR_RETURN(Value v, value_->EvaluateRow(row));
+  if (v.is_null()) return Value::Null();
+  bool list_has_null = false;
+  for (const Value& item : list_) {
+    if (item.is_null()) {
+      list_has_null = true;
+    } else if (item.Equals(v)) {
+      return Value::Boolean(true);
+    }
+  }
+  if (list_has_null) return Value::Null();
+  return Value::Boolean(false);
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = value_->ToString() + " IN (";
+  for (size_t i = 0; i < list_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += list_[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace photon

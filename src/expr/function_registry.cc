@@ -1,0 +1,82 @@
+#include "expr/function_registry.h"
+
+#include "expr/expr.h"
+
+namespace photon {
+
+FunctionRegistry& FunctionRegistry::Instance() {
+  static FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+FunctionRegistry::FunctionRegistry() {
+  internal_registry::RegisterStringFunctions(this);
+  internal_registry::RegisterStringFunctions2(this);
+  internal_registry::RegisterMathFunctions(this);
+  internal_registry::RegisterDateTimeFunctions(this);
+  internal_registry::RegisterMiscFunctions(this);
+}
+
+void FunctionRegistry::Register(const std::string& name, FunctionImpl impl) {
+  functions_[name] = std::move(impl);
+}
+
+const FunctionImpl* FunctionRegistry::Lookup(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::FunctionNames() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, impl] : functions_) out.push_back(name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CallExpr
+// ---------------------------------------------------------------------------
+
+CallExpr::CallExpr(std::string name, std::vector<ExprPtr> args,
+                   DataType result)
+    : Expr(result), name_(std::move(name)), args_(std::move(args)) {
+  PHOTON_CHECK(FunctionRegistry::Instance().IsSupported(name_));
+}
+
+Result<ColumnVector*> CallExpr::Evaluate(ColumnBatch* batch,
+                                         EvalContext* ctx) const {
+  const FunctionImpl* fn = FunctionRegistry::Instance().Lookup(name_);
+  std::vector<const ColumnVector*> arg_vecs;
+  arg_vecs.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, arg->Evaluate(batch, ctx));
+    arg_vecs.push_back(v);
+  }
+  ColumnVector* out = ctx->NewVector(type(), batch->capacity());
+  PHOTON_RETURN_NOT_OK(fn->eval_batch(arg_vecs, batch, out));
+  return out;
+}
+
+Result<Value> CallExpr::EvaluateRow(const std::vector<Value>& row) const {
+  const FunctionImpl* fn = FunctionRegistry::Instance().Lookup(name_);
+  std::vector<Value> arg_vals;
+  std::vector<DataType> arg_types;
+  arg_vals.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    PHOTON_ASSIGN_OR_RETURN(Value v, arg->EvaluateRow(row));
+    arg_vals.push_back(std::move(v));
+    arg_types.push_back(arg->type());
+  }
+  return fn->eval_row(arg_vals, arg_types, type());
+}
+
+std::string CallExpr::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < args_.size(); i++) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace photon

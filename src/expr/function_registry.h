@@ -1,0 +1,73 @@
+#ifndef PHOTON_EXPR_FUNCTION_REGISTRY_H_
+#define PHOTON_EXPR_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/eval_context.h"
+#include "types/value.h"
+#include "vector/column_batch.h"
+
+namespace photon {
+
+/// One named scalar function ("upper", "sqrt", "date_add", ...).
+///
+/// `bind` types a call site; `eval_batch` is the vectorized Photon kernel;
+/// `eval_row` is the row-at-a-time implementation used by the baseline
+/// engine and by the semantics-consistency tests (§5.6). Keeping both
+/// implementations under one registration is this repo's version of the
+/// paper's function registry, which determines whether a given expression
+/// can run in Photon.
+struct FunctionImpl {
+  /// Computes the result type for the argument types; error => no overload.
+  std::function<Result<DataType>(const std::vector<DataType>&)> bind;
+
+  /// Vectorized evaluation. `args` are batch-aligned vectors (value for
+  /// batch row r at index r); results are written into `out` at the
+  /// batch's active rows only.
+  std::function<Status(const std::vector<const ColumnVector*>& args,
+                       ColumnBatch* batch, ColumnVector* out)>
+      eval_batch;
+
+  /// Row-at-a-time evaluation over boxed values.
+  std::function<Result<Value>(const std::vector<Value>& args,
+                              const std::vector<DataType>& arg_types,
+                              const DataType& result_type)>
+      eval_row;
+};
+
+/// Global registry of scalar functions. Built-ins self-register at startup;
+/// tests and extensions may add more.
+class FunctionRegistry {
+ public:
+  static FunctionRegistry& Instance();
+
+  void Register(const std::string& name, FunctionImpl impl);
+  /// nullptr when the function is unknown (the plan converter then treats
+  /// the expression as unsupported by Photon and falls back, §3.5).
+  const FunctionImpl* Lookup(const std::string& name) const;
+  bool IsSupported(const std::string& name) const {
+    return Lookup(name) != nullptr;
+  }
+  std::vector<std::string> FunctionNames() const;
+
+ private:
+  FunctionRegistry();
+  std::map<std::string, FunctionImpl> functions_;
+};
+
+namespace internal_registry {
+// Registration hooks implemented by the functions_*.cc files.
+void RegisterStringFunctions(FunctionRegistry* registry);
+void RegisterStringFunctions2(FunctionRegistry* registry);
+void RegisterMathFunctions(FunctionRegistry* registry);
+void RegisterDateTimeFunctions(FunctionRegistry* registry);
+void RegisterMiscFunctions(FunctionRegistry* registry);
+}  // namespace internal_registry
+
+}  // namespace photon
+
+#endif  // PHOTON_EXPR_FUNCTION_REGISTRY_H_

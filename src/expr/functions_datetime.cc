@@ -1,0 +1,211 @@
+#include "common/time_util.h"
+#include "expr/function_registry.h"
+#include "expr/kernels.h"
+
+namespace photon {
+namespace internal_registry {
+namespace {
+
+/// Registers a date32 -> int32 extractor with the standard adaptive kernel.
+void RegisterDateExtractor(FunctionRegistry* registry,
+                           const std::string& name, int32_t (*fn)(int32_t)) {
+  registry->Register(
+      name,
+      FunctionImpl{
+          [name](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || args[0].id() != TypeId::kDate32) {
+              return Status::InvalidArgument(name + "(date)");
+            }
+            return DataType::Int32();
+          },
+          [fn](const std::vector<const ColumnVector*>& args,
+               ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            const int32_t* pos = batch->pos_list();
+            bool all = batch->all_active();
+            bool has_nulls = const_cast<ColumnVector*>(args[0])
+                                 ->ComputeHasNulls(pos, n, all);
+            DispatchBatchShape(
+                has_nulls, all, [&](auto nulls_c, auto active_c) {
+                  constexpr bool kHasNulls = decltype(nulls_c)::value;
+                  constexpr bool kAllActive = decltype(active_c)::value;
+                  const int32_t* PHOTON_RESTRICT in =
+                      args[0]->data<int32_t>();
+                  const uint8_t* PHOTON_RESTRICT in_nulls = args[0]->nulls();
+                  int32_t* PHOTON_RESTRICT ov = out->data<int32_t>();
+                  uint8_t* PHOTON_RESTRICT on = out->nulls();
+                  for (int i = 0; i < n; i++) {
+                    int row = kAllActive ? i : pos[i];
+                    if constexpr (kHasNulls) {
+                      if (in_nulls[row]) {
+                        on[row] = 1;
+                        continue;
+                      }
+                    }
+                    ov[row] = fn(in[row]);
+                  }
+                });
+            return Status::OK();
+          },
+          [fn](const std::vector<Value>& args, const std::vector<DataType>&,
+               const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            return Value::Int32(fn(args[0].i32()));
+          }});
+}
+
+/// Registers (date, int) -> date arithmetic.
+void RegisterDateShift(FunctionRegistry* registry, const std::string& name,
+                       int32_t (*fn)(int32_t, int32_t)) {
+  registry->Register(
+      name,
+      FunctionImpl{
+          [name](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 2 || args[0].id() != TypeId::kDate32 ||
+                args[1].id() != TypeId::kInt32) {
+              return Status::InvalidArgument(name + "(date, int)");
+            }
+            return DataType::Date32();
+          },
+          [fn](const std::vector<const ColumnVector*>& args,
+               ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            const int32_t* a = args[0]->data<int32_t>();
+            const int32_t* b = args[1]->data<int32_t>();
+            int32_t* ov = out->data<int32_t>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              if (args[0]->IsNull(r) || args[1]->IsNull(r)) {
+                on[r] = 1;
+                continue;
+              }
+              ov[r] = fn(a[r], b[r]);
+            }
+            return Status::OK();
+          },
+          [fn](const std::vector<Value>& args, const std::vector<DataType>&,
+               const DataType&) -> Result<Value> {
+            if (args[0].is_null() || args[1].is_null()) return Value::Null();
+            return Value::Date32(fn(args[0].i32(), args[1].i32()));
+          }});
+}
+
+}  // namespace
+
+void RegisterDateTimeFunctions(FunctionRegistry* registry) {
+  RegisterDateExtractor(registry, "year", ExtractYear);
+  RegisterDateExtractor(registry, "month", ExtractMonth);
+  RegisterDateExtractor(registry, "day", ExtractDay);
+
+  RegisterDateShift(registry, "date_add",
+                    [](int32_t d, int32_t n) { return d + n; });
+  RegisterDateShift(registry, "date_sub",
+                    [](int32_t d, int32_t n) { return d - n; });
+  RegisterDateShift(registry, "add_months", AddMonths);
+
+  registry->Register(
+      "datediff",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 2 || args[0].id() != TypeId::kDate32 ||
+                args[1].id() != TypeId::kDate32) {
+              return Status::InvalidArgument("datediff(date, date)");
+            }
+            return DataType::Int32();
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const int32_t* a = args[0]->data<int32_t>();
+            const int32_t* b = args[1]->data<int32_t>();
+            int32_t* ov = out->data<int32_t>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              if (args[0]->IsNull(r) || args[1]->IsNull(r)) {
+                on[r] = 1;
+                continue;
+              }
+              ov[r] = a[r] - b[r];
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null() || args[1].is_null()) return Value::Null();
+            return Value::Int32(args[0].i32() - args[1].i32());
+          }});
+
+  registry->Register(
+      "to_date",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || !args[0].is_string()) {
+              return Status::InvalidArgument("to_date(string)");
+            }
+            return DataType::Date32();
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const StringRef* sv = args[0]->data<StringRef>();
+            int32_t* ov = out->data<int32_t>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              if (args[0]->IsNull(r)) {
+                on[r] = 1;
+                continue;
+              }
+              int32_t days;
+              if (ParseDate(std::string(sv[r].data, sv[r].len), &days)) {
+                ov[r] = days;
+              } else {
+                on[r] = 1;  // malformed -> NULL (Spark non-ANSI)
+              }
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            int32_t days;
+            if (!ParseDate(args[0].str(), &days)) return Value::Null();
+            return Value::Date32(days);
+          }});
+
+  registry->Register(
+      "date_format",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || args[0].id() != TypeId::kDate32) {
+              return Status::InvalidArgument("date_format(date)");
+            }
+            return DataType::String();
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const int32_t* dv = args[0]->data<int32_t>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              if (args[0]->IsNull(r)) {
+                on[r] = 1;
+                continue;
+              }
+              out->SetString(r, FormatDate(dv[r]));
+            }
+            out->set_all_ascii(TriState::kYes);
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            return Value::String(FormatDate(args[0].i32()));
+          }});
+}
+
+}  // namespace internal_registry
+}  // namespace photon

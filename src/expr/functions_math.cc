@@ -1,0 +1,316 @@
+#include <cmath>
+
+#include "expr/function_registry.h"
+#include "expr/kernels.h"
+
+namespace photon {
+namespace internal_registry {
+namespace {
+
+/// Registers a double -> double math function with a vectorized kernel
+/// specialized on NULL presence and row activity (Listing 2 shape).
+void RegisterFloat64Fn(FunctionRegistry* registry, const std::string& name,
+                       double (*fn)(double)) {
+  registry->Register(
+      name,
+      FunctionImpl{
+          [name](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || args[0].id() != TypeId::kFloat64) {
+              return Status::InvalidArgument(name + "(float64)");
+            }
+            return DataType::Float64();
+          },
+          [fn](const std::vector<const ColumnVector*>& args,
+               ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            const int32_t* pos = batch->pos_list();
+            bool all = batch->all_active();
+            bool has_nulls = const_cast<ColumnVector*>(args[0])
+                                 ->ComputeHasNulls(pos, n, all);
+            DispatchBatchShape(
+                has_nulls, all, [&](auto nulls_c, auto active_c) {
+                  constexpr bool kHasNulls = decltype(nulls_c)::value;
+                  constexpr bool kAllActive = decltype(active_c)::value;
+                  const double* PHOTON_RESTRICT in = args[0]->data<double>();
+                  const uint8_t* PHOTON_RESTRICT in_nulls = args[0]->nulls();
+                  double* PHOTON_RESTRICT ov = out->data<double>();
+                  uint8_t* PHOTON_RESTRICT on = out->nulls();
+                  for (int i = 0; i < n; i++) {
+                    int row = kAllActive ? i : pos[i];
+                    if constexpr (kHasNulls) {
+                      if (in_nulls[row]) {
+                        on[row] = 1;
+                        continue;
+                      }
+                    }
+                    ov[row] = fn(in[row]);
+                  }
+                });
+            out->set_has_nulls(has_nulls ? TriState::kYes : TriState::kNo);
+            return Status::OK();
+          },
+          [fn](const std::vector<Value>& args, const std::vector<DataType>&,
+               const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            return Value::Float64(fn(args[0].f64()));
+          }});
+}
+
+double RoundHalfUp(double v) {
+  return v < 0 ? -std::floor(-v + 0.5) : std::floor(v + 0.5);
+}
+
+}  // namespace
+
+void RegisterMathFunctions(FunctionRegistry* registry) {
+  RegisterFloat64Fn(registry, "sqrt", [](double v) { return std::sqrt(v); });
+  RegisterFloat64Fn(registry, "exp", [](double v) { return std::exp(v); });
+  RegisterFloat64Fn(registry, "ln", [](double v) { return std::log(v); });
+  RegisterFloat64Fn(registry, "log10",
+                    [](double v) { return std::log10(v); });
+  RegisterFloat64Fn(registry, "sin", [](double v) { return std::sin(v); });
+  RegisterFloat64Fn(registry, "cos", [](double v) { return std::cos(v); });
+  RegisterFloat64Fn(registry, "tan", [](double v) { return std::tan(v); });
+  RegisterFloat64Fn(registry, "floor",
+                    [](double v) { return std::floor(v); });
+  RegisterFloat64Fn(registry, "ceil", [](double v) { return std::ceil(v); });
+  RegisterFloat64Fn(registry, "round", RoundHalfUp);
+
+  // abs / negate over all numeric types.
+  registry->Register(
+      "abs",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1) return Status::InvalidArgument("abs(x)");
+            switch (args[0].id()) {
+              case TypeId::kInt32:
+              case TypeId::kInt64:
+              case TypeId::kFloat64:
+              case TypeId::kDecimal128:
+                return args[0];
+              default:
+                return Status::InvalidArgument("abs: numeric only");
+            }
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const uint8_t* in_nulls = args[0]->nulls();
+            uint8_t* on = out->nulls();
+            switch (args[0]->type().id()) {
+              case TypeId::kInt32: {
+                const int32_t* in = args[0]->data<int32_t>();
+                int32_t* ov = out->data<int32_t>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = in[r] < 0 ? -in[r] : in[r];
+                }
+                break;
+              }
+              case TypeId::kInt64: {
+                const int64_t* in = args[0]->data<int64_t>();
+                int64_t* ov = out->data<int64_t>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = in[r] < 0 ? -in[r] : in[r];
+                }
+                break;
+              }
+              case TypeId::kFloat64: {
+                const double* in = args[0]->data<double>();
+                double* ov = out->data<double>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = std::fabs(in[r]);
+                }
+                break;
+              }
+              case TypeId::kDecimal128: {
+                const int128_t* in = args[0]->data<int128_t>();
+                int128_t* ov = out->data<int128_t>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = in[r] < 0 ? -in[r] : in[r];
+                }
+                break;
+              }
+              default:
+                return Status::Internal("abs: bad type");
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args,
+             const std::vector<DataType>& arg_types,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            switch (arg_types[0].id()) {
+              case TypeId::kInt32:
+                return Value::Int32(args[0].i32() < 0 ? -args[0].i32()
+                                                      : args[0].i32());
+              case TypeId::kInt64:
+                return Value::Int64(args[0].i64() < 0 ? -args[0].i64()
+                                                      : args[0].i64());
+              case TypeId::kFloat64:
+                return Value::Float64(std::fabs(args[0].f64()));
+              case TypeId::kDecimal128: {
+                int128_t v = args[0].decimal().value();
+                return Value::Decimal(Decimal128(v < 0 ? -v : v));
+              }
+              default:
+                return Status::Internal("abs: bad type");
+            }
+          }});
+
+  registry->Register(
+      "negate",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1) return Status::InvalidArgument("negate(x)");
+            switch (args[0].id()) {
+              case TypeId::kInt32:
+              case TypeId::kInt64:
+              case TypeId::kFloat64:
+              case TypeId::kDecimal128:
+                return args[0];
+              default:
+                return Status::InvalidArgument("negate: numeric only");
+            }
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const uint8_t* in_nulls = args[0]->nulls();
+            uint8_t* on = out->nulls();
+            switch (args[0]->type().id()) {
+              case TypeId::kInt32: {
+                const int32_t* in = args[0]->data<int32_t>();
+                int32_t* ov = out->data<int32_t>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = -in[r];
+                }
+                break;
+              }
+              case TypeId::kInt64: {
+                const int64_t* in = args[0]->data<int64_t>();
+                int64_t* ov = out->data<int64_t>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = -in[r];
+                }
+                break;
+              }
+              case TypeId::kFloat64: {
+                const double* in = args[0]->data<double>();
+                double* ov = out->data<double>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = -in[r];
+                }
+                break;
+              }
+              case TypeId::kDecimal128: {
+                const int128_t* in = args[0]->data<int128_t>();
+                int128_t* ov = out->data<int128_t>();
+                for (int i = 0; i < n; i++) {
+                  int r = batch->ActiveRow(i);
+                  on[r] = in_nulls[r];
+                  if (!in_nulls[r]) ov[r] = -in[r];
+                }
+                break;
+              }
+              default:
+                return Status::Internal("negate: bad type");
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args,
+             const std::vector<DataType>& arg_types,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            switch (arg_types[0].id()) {
+              case TypeId::kInt32:
+                return Value::Int32(-args[0].i32());
+              case TypeId::kInt64:
+                return Value::Int64(-args[0].i64());
+              case TypeId::kFloat64:
+                return Value::Float64(-args[0].f64());
+              case TypeId::kDecimal128:
+                return Value::Decimal(Decimal128(-args[0].decimal().value()));
+              default:
+                return Status::Internal("negate: bad type");
+            }
+          }});
+
+  registry->Register(
+      "pow",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 2 || args[0].id() != TypeId::kFloat64 ||
+                args[1].id() != TypeId::kFloat64) {
+              return Status::InvalidArgument("pow(float64, float64)");
+            }
+            return DataType::Float64();
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const double* a = args[0]->data<double>();
+            const double* b = args[1]->data<double>();
+            double* ov = out->data<double>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              if (args[0]->IsNull(r) || args[1]->IsNull(r)) {
+                on[r] = 1;
+                continue;
+              }
+              ov[r] = std::pow(a[r], b[r]);
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null() || args[1].is_null()) return Value::Null();
+            return Value::Float64(std::pow(args[0].f64(), args[1].f64()));
+          }});
+
+  registry->Register(
+      "sign",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || args[0].id() != TypeId::kFloat64) {
+              return Status::InvalidArgument("sign(float64)");
+            }
+            return DataType::Float64();
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            const double* in = args[0]->data<double>();
+            double* ov = out->data<double>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              on[r] = args[0]->nulls()[r];
+              if (!on[r]) ov[r] = in[r] > 0 ? 1.0 : (in[r] < 0 ? -1.0 : 0.0);
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            double v = args[0].f64();
+            return Value::Float64(v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0));
+          }});
+}
+
+}  // namespace internal_registry
+}  // namespace photon

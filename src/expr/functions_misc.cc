@@ -1,0 +1,90 @@
+#include "expr/function_registry.h"
+#include "expr/kernels.h"
+
+namespace photon {
+namespace internal_registry {
+
+void RegisterMiscFunctions(FunctionRegistry* registry) {
+  // coalesce(a, b, ...): first non-NULL argument.
+  registry->Register(
+      "coalesce",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.empty()) {
+              return Status::InvalidArgument("coalesce needs args");
+            }
+            for (const DataType& t : args) {
+              if (t != args[0]) {
+                return Status::InvalidArgument(
+                    "coalesce args must share a type");
+              }
+            }
+            return args[0];
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              bool done = false;
+              for (const ColumnVector* a : args) {
+                if (!a->IsNull(r)) {
+                  out->SetValue(r, a->GetValue(r));
+                  done = true;
+                  break;
+                }
+              }
+              if (!done) on[r] = 1;
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            for (const Value& v : args) {
+              if (!v.is_null()) return v;
+            }
+            return Value::Null();
+          }});
+
+  // nullif(a, b): NULL if a == b else a.
+  registry->Register(
+      "nullif",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 2 || args[0] != args[1]) {
+              return Status::InvalidArgument("nullif(a, b) same types");
+            }
+            return args[0];
+          },
+          [](const std::vector<const ColumnVector*>& args, ColumnBatch* batch,
+             ColumnVector* out) {
+            int n = batch->num_active();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int r = batch->ActiveRow(i);
+              if (args[0]->IsNull(r)) {
+                on[r] = 1;
+                continue;
+              }
+              Value a = args[0]->GetValue(r);
+              if (!args[1]->IsNull(r) && a.Equals(args[1]->GetValue(r))) {
+                on[r] = 1;
+              } else {
+                out->SetValue(r, a);
+              }
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            if (!args[1].is_null() && args[0].Equals(args[1])) {
+              return Value::Null();
+            }
+            return args[0];
+          }});
+}
+
+}  // namespace internal_registry
+}  // namespace photon

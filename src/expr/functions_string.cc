@@ -1,0 +1,642 @@
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "common/unicode.h"
+#include "expr/function_registry.h"
+#include "expr/kernels.h"
+
+namespace photon {
+namespace internal_registry {
+namespace {
+
+Result<DataType> BindStrToStr(const std::vector<DataType>& args) {
+  if (args.size() != 1 || !args[0].is_string()) {
+    return Status::InvalidArgument("expected (string)");
+  }
+  return DataType::String();
+}
+
+/// Runs `fn(row, StringRef)` over all active non-NULL rows of a one-string-
+/// argument function, handling NULL propagation.
+template <typename Fn>
+void ForEachActiveString(const ColumnVector& arg, ColumnBatch* batch,
+                         ColumnVector* out, Fn&& fn) {
+  int n = batch->num_active();
+  const StringRef* vals = arg.data<StringRef>();
+  const uint8_t* nulls = arg.nulls();
+  uint8_t* out_nulls = out->nulls();
+  for (int i = 0; i < n; i++) {
+    int row = batch->ActiveRow(i);
+    if (nulls[row]) {
+      out_nulls[row] = 1;
+      continue;
+    }
+    fn(row, vals[row]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// upper / lower: the paper's flagship adaptive expression (Figure 6).
+// ---------------------------------------------------------------------------
+
+enum class CaseDir { kUpper, kLower };
+
+/// ASCII fast path: byte-wise case mapping, auto-vectorized. Valid only
+/// when the batch-level ASCII metadata says every string is ASCII.
+template <CaseDir kDir>
+void CaseMapAsciiKernel(const ColumnVector& arg, ColumnBatch* batch,
+                        ColumnVector* out) {
+  ForEachActiveString(arg, batch, out, [&](int row, StringRef s) {
+    char* dst = out->var_pool()->AllocateBytes(s.len);
+    if constexpr (kDir == CaseDir::kUpper) {
+      AsciiToUpper(s.data, dst, s.len);
+    } else {
+      AsciiToLower(s.data, dst, s.len);
+    }
+    out->SetStringRef(row, StringRef(dst, s.len));
+  });
+  out->set_all_ascii(TriState::kYes);
+}
+
+/// Generic path: per-codepoint table mapping (the "ICU library" stand-in,
+/// §6.1). Deliberately allocation-heavy, mirroring a generic Unicode lib.
+template <CaseDir kDir>
+void CaseMapGenericKernel(const ColumnVector& arg, ColumnBatch* batch,
+                          ColumnVector* out) {
+  ForEachActiveString(arg, batch, out, [&](int row, StringRef s) {
+    std::string mapped = kDir == CaseDir::kUpper
+                             ? Utf8ToUpper(std::string_view(s.data, s.len))
+                             : Utf8ToLower(std::string_view(s.data, s.len));
+    out->SetString(row, mapped);
+  });
+}
+
+template <CaseDir kDir, bool kAdaptive>
+Status CaseMapEval(const std::vector<const ColumnVector*>& args,
+                   ColumnBatch* batch, ColumnVector* out) {
+  const ColumnVector& arg = *args[0];
+  if (kAdaptive &&
+      const_cast<ColumnVector&>(arg).ComputeAllAscii(
+          batch->pos_list(), batch->num_active(), batch->all_active())) {
+    CaseMapAsciiKernel<kDir>(arg, batch, out);
+  } else {
+    CaseMapGenericKernel<kDir>(arg, batch, out);
+  }
+  return Status::OK();
+}
+
+// Row-at-a-time implementations used by the baseline engine. Like DBR
+// (§6.1), the baseline also special-cases ASCII — but per row, with a boxed
+// string allocation per value, not per batch with SIMD.
+Result<Value> UpperEvalRow(const std::vector<Value>& args,
+                           const std::vector<DataType>&, const DataType&) {
+  if (args[0].is_null()) return Value::Null();
+  const std::string& s = args[0].str();
+  if (IsAsciiScalar(s.data(), static_cast<int64_t>(s.size()))) {
+    std::string out(s.size(), 0);
+    AsciiToUpper(s.data(), out.data(), static_cast<int64_t>(s.size()));
+    return Value::String(std::move(out));
+  }
+  return Value::String(Utf8ToUpper(s));
+}
+
+Result<Value> LowerEvalRow(const std::vector<Value>& args,
+                           const std::vector<DataType>&, const DataType&) {
+  if (args[0].is_null()) return Value::Null();
+  const std::string& s = args[0].str();
+  if (IsAsciiScalar(s.data(), static_cast<int64_t>(s.size()))) {
+    std::string out(s.size(), 0);
+    AsciiToLower(s.data(), out.data(), static_cast<int64_t>(s.size()));
+    return Value::String(std::move(out));
+  }
+  return Value::String(Utf8ToLower(s));
+}
+
+// ---------------------------------------------------------------------------
+
+int64_t NormalizeSubstrStart(int64_t start, int64_t char_len) {
+  // Spark substring: 1-based; 0 behaves like 1; negative counts from end.
+  if (start > 0) return start - 1;
+  if (start == 0) return 0;
+  int64_t from_end = char_len + start;
+  return from_end < 0 ? 0 : from_end;
+}
+
+std::string SubstrImpl(std::string_view s, int64_t start, int64_t len) {
+  if (len <= 0) return "";
+  int64_t char_len = Utf8Length(s);
+  int64_t begin = NormalizeSubstrStart(start, char_len);
+  if (begin >= char_len) return "";
+  int64_t end = std::min(begin + len, char_len);
+  int64_t b0 = Utf8OffsetOfCodepoint(s, begin);
+  int64_t b1 = Utf8OffsetOfCodepoint(s, end);
+  return std::string(s.substr(b0, b1 - b0));
+}
+
+std::string TrimImpl(std::string_view s, bool left, bool right) {
+  size_t b = 0, e = s.size();
+  if (left) {
+    while (b < e && s[b] == ' ') b++;
+  }
+  if (right) {
+    while (e > b && s[e - 1] == ' ') e--;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+std::string ReplaceImpl(std::string_view s, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string ReverseImpl(std::string_view s) {
+  // Reverse by codepoint so UTF-8 stays valid.
+  std::vector<std::pair<int64_t, int>> cps;  // (offset, bytes)
+  const char* p = s.data();
+  int64_t remaining = static_cast<int64_t>(s.size());
+  int64_t off = 0;
+  while (remaining > 0) {
+    uint32_t cp;
+    int k = Utf8Decode(p, remaining, &cp);
+    if (k == 0) k = 1;
+    cps.emplace_back(off, k);
+    p += k;
+    off += k;
+    remaining -= k;
+  }
+  std::string out;
+  out.reserve(s.size());
+  for (auto it = cps.rbegin(); it != cps.rend(); ++it) {
+    out.append(s.substr(it->first, it->second));
+  }
+  return out;
+}
+
+std::string PadImpl(std::string_view s, int64_t target_len,
+                    std::string_view pad, bool left) {
+  int64_t char_len = Utf8Length(s);
+  if (target_len <= char_len) {
+    int64_t b = Utf8OffsetOfCodepoint(s, target_len);
+    return std::string(s.substr(0, b));
+  }
+  if (pad.empty()) return std::string(s);
+  std::string padding;
+  int64_t needed = target_len - char_len;
+  while (Utf8Length(padding) < needed) padding.append(pad);
+  int64_t b = Utf8OffsetOfCodepoint(padding, needed);
+  padding.resize(b);
+  return left ? padding + std::string(s) : std::string(s) + padding;
+}
+
+}  // namespace
+
+void RegisterStringFunctions(FunctionRegistry* registry) {
+  // upper/lower with adaptive ASCII fast path (§4.6, Figure 6).
+  registry->Register(
+      "upper", FunctionImpl{BindStrToStr,
+                            CaseMapEval<CaseDir::kUpper, /*kAdaptive=*/true>,
+                            UpperEvalRow});
+  registry->Register(
+      "lower", FunctionImpl{BindStrToStr,
+                            CaseMapEval<CaseDir::kLower, /*kAdaptive=*/true>,
+                            LowerEvalRow});
+  // Non-adaptive variants: always take the generic codepoint path. These
+  // exist for the Figure 6 ablation ("Photon without ASCII specialization").
+  registry->Register(
+      "upper_generic",
+      FunctionImpl{BindStrToStr,
+                   CaseMapEval<CaseDir::kUpper, /*kAdaptive=*/false>,
+                   UpperEvalRow});
+  registry->Register(
+      "lower_generic",
+      FunctionImpl{BindStrToStr,
+                   CaseMapEval<CaseDir::kLower, /*kAdaptive=*/false>,
+                   LowerEvalRow});
+
+  registry->Register(
+      "length",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || !args[0].is_string()) {
+              return Status::InvalidArgument("length(string)");
+            }
+            return DataType::Int32();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int32_t* ov = out->data<int32_t>();
+            ForEachActiveString(*args[0], batch, out,
+                                [&](int row, StringRef s) {
+                                  ov[row] = static_cast<int32_t>(Utf8Length(
+                                      std::string_view(s.data, s.len)));
+                                });
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            return Value::Int32(
+                static_cast<int32_t>(Utf8Length(args[0].str())));
+          }});
+
+  registry->Register(
+      "octet_length",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || !args[0].is_string()) {
+              return Status::InvalidArgument("octet_length(string)");
+            }
+            return DataType::Int32();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int32_t* ov = out->data<int32_t>();
+            ForEachActiveString(*args[0], batch, out,
+                                [&](int row, StringRef s) { ov[row] = s.len; });
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            return Value::Int32(static_cast<int32_t>(args[0].str().size()));
+          }});
+
+  registry->Register(
+      "substr",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() < 2 || args.size() > 3 || !args[0].is_string() ||
+                args[1].id() != TypeId::kInt32 ||
+                (args.size() == 3 && args[2].id() != TypeId::kInt32)) {
+              return Status::InvalidArgument("substr(string, int[, int])");
+            }
+            return DataType::String();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            const StringRef* sv = args[0]->data<StringRef>();
+            const int32_t* startv = args[1]->data<int32_t>();
+            const int32_t* lenv =
+                args.size() == 3 ? args[2]->data<int32_t>() : nullptr;
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int row = batch->ActiveRow(i);
+              bool any_null = args[0]->IsNull(row) || args[1]->IsNull(row) ||
+                              (lenv != nullptr && args[2]->IsNull(row));
+              if (any_null) {
+                on[row] = 1;
+                continue;
+              }
+              std::string r = SubstrImpl(
+                  std::string_view(sv[row].data, sv[row].len), startv[row],
+                  lenv != nullptr ? lenv[row] : INT32_MAX);
+              out->SetString(row, r);
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            for (const Value& v : args) {
+              if (v.is_null()) return Value::Null();
+            }
+            return Value::String(SubstrImpl(
+                args[0].str(), args[1].i32(),
+                args.size() == 3 ? args[2].i32() : INT32_MAX));
+          }});
+
+  registry->Register(
+      "concat",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.empty()) {
+              return Status::InvalidArgument("concat needs args");
+            }
+            for (const DataType& t : args) {
+              if (!t.is_string()) {
+                return Status::InvalidArgument("concat(string...)");
+              }
+            }
+            return DataType::String();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            uint8_t* on = out->nulls();
+            std::string scratch;
+            for (int i = 0; i < n; i++) {
+              int row = batch->ActiveRow(i);
+              bool any_null = false;
+              for (const ColumnVector* a : args) any_null |= a->IsNull(row);
+              if (any_null) {
+                on[row] = 1;
+                continue;
+              }
+              scratch.clear();
+              for (const ColumnVector* a : args) {
+                StringRef s = a->GetString(row);
+                scratch.append(s.data, s.len);
+              }
+              out->SetString(row, scratch);
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            std::string r;
+            for (const Value& v : args) {
+              if (v.is_null()) return Value::Null();
+              r += v.str();
+            }
+            return Value::String(std::move(r));
+          }});
+
+  registry->Register(
+      "like",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 2 || !args[0].is_string() ||
+                !args[1].is_string()) {
+              return Status::InvalidArgument("like(string, string)");
+            }
+            return DataType::Boolean();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            const StringRef* sv = args[0]->data<StringRef>();
+            const StringRef* pv = args[1]->data<StringRef>();
+            uint8_t* ov = out->data<uint8_t>();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int row = batch->ActiveRow(i);
+              if (args[0]->IsNull(row) || args[1]->IsNull(row)) {
+                on[row] = 1;
+                continue;
+              }
+              ov[row] = SqlLikeMatch(
+                            std::string_view(sv[row].data, sv[row].len),
+                            std::string_view(pv[row].data, pv[row].len))
+                            ? 1
+                            : 0;
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null() || args[1].is_null()) return Value::Null();
+            return Value::Boolean(SqlLikeMatch(args[0].str(), args[1].str()));
+          }});
+
+  // Simple one-string-in/one-string-out helpers.
+  auto register_str1 = [&](const std::string& name,
+                           std::string (*fn)(std::string_view)) {
+    registry->Register(
+        name,
+        FunctionImpl{
+            BindStrToStr,
+            [fn](const std::vector<const ColumnVector*>& args,
+                 ColumnBatch* batch, ColumnVector* out) {
+              ForEachActiveString(*args[0], batch, out,
+                                  [&](int row, StringRef s) {
+                                    out->SetString(
+                                        row,
+                                        fn(std::string_view(s.data, s.len)));
+                                  });
+              return Status::OK();
+            },
+            [fn](const std::vector<Value>& args, const std::vector<DataType>&,
+                 const DataType&) -> Result<Value> {
+              if (args[0].is_null()) return Value::Null();
+              return Value::String(fn(args[0].str()));
+            }});
+  };
+  register_str1("trim", [](std::string_view s) {
+    return TrimImpl(s, true, true);
+  });
+  register_str1("ltrim", [](std::string_view s) {
+    return TrimImpl(s, true, false);
+  });
+  register_str1("rtrim", [](std::string_view s) {
+    return TrimImpl(s, false, true);
+  });
+  register_str1("reverse", [](std::string_view s) { return ReverseImpl(s); });
+
+  // Two-string predicates.
+  auto register_str2_pred = [&](const std::string& name,
+                                bool (*fn)(std::string_view,
+                                           std::string_view)) {
+    registry->Register(
+        name,
+        FunctionImpl{
+            [](const std::vector<DataType>& args) -> Result<DataType> {
+              if (args.size() != 2 || !args[0].is_string() ||
+                  !args[1].is_string()) {
+                return Status::InvalidArgument("(string, string)");
+              }
+              return DataType::Boolean();
+            },
+            [fn](const std::vector<const ColumnVector*>& args,
+                 ColumnBatch* batch, ColumnVector* out) {
+              int n = batch->num_active();
+              const StringRef* av = args[0]->data<StringRef>();
+              const StringRef* bv = args[1]->data<StringRef>();
+              uint8_t* ov = out->data<uint8_t>();
+              uint8_t* on = out->nulls();
+              for (int i = 0; i < n; i++) {
+                int row = batch->ActiveRow(i);
+                if (args[0]->IsNull(row) || args[1]->IsNull(row)) {
+                  on[row] = 1;
+                  continue;
+                }
+                ov[row] = fn(std::string_view(av[row].data, av[row].len),
+                             std::string_view(bv[row].data, bv[row].len))
+                              ? 1
+                              : 0;
+              }
+              return Status::OK();
+            },
+            [fn](const std::vector<Value>& args, const std::vector<DataType>&,
+                 const DataType&) -> Result<Value> {
+              if (args[0].is_null() || args[1].is_null()) {
+                return Value::Null();
+              }
+              return Value::Boolean(fn(args[0].str(), args[1].str()));
+            }});
+  };
+  register_str2_pred("starts_with", [](std::string_view s,
+                                       std::string_view p) {
+    return StartsWith(s, p);
+  });
+  register_str2_pred("ends_with", [](std::string_view s, std::string_view p) {
+    return EndsWith(s, p);
+  });
+  register_str2_pred("contains", [](std::string_view s, std::string_view p) {
+    return s.find(p) != std::string_view::npos;
+  });
+
+  registry->Register(
+      "replace",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 3 || !args[0].is_string() ||
+                !args[1].is_string() || !args[2].is_string()) {
+              return Status::InvalidArgument("replace(str, from, to)");
+            }
+            return DataType::String();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            uint8_t* on = out->nulls();
+            for (int i = 0; i < n; i++) {
+              int row = batch->ActiveRow(i);
+              if (args[0]->IsNull(row) || args[1]->IsNull(row) ||
+                  args[2]->IsNull(row)) {
+                on[row] = 1;
+                continue;
+              }
+              StringRef s = args[0]->GetString(row);
+              StringRef f = args[1]->GetString(row);
+              StringRef t = args[2]->GetString(row);
+              out->SetString(
+                  row, ReplaceImpl(std::string_view(s.data, s.len),
+                                   std::string_view(f.data, f.len),
+                                   std::string_view(t.data, t.len)));
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            for (const Value& v : args) {
+              if (v.is_null()) return Value::Null();
+            }
+            return Value::String(
+                ReplaceImpl(args[0].str(), args[1].str(), args[2].str()));
+          }});
+
+  auto register_pad = [&](const std::string& name, bool left) {
+    registry->Register(
+        name,
+        FunctionImpl{
+            [](const std::vector<DataType>& args) -> Result<DataType> {
+              if (args.size() != 3 || !args[0].is_string() ||
+                  args[1].id() != TypeId::kInt32 || !args[2].is_string()) {
+                return Status::InvalidArgument("pad(str, int, str)");
+              }
+              return DataType::String();
+            },
+            [left](const std::vector<const ColumnVector*>& args,
+                   ColumnBatch* batch, ColumnVector* out) {
+              int n = batch->num_active();
+              uint8_t* on = out->nulls();
+              for (int i = 0; i < n; i++) {
+                int row = batch->ActiveRow(i);
+                if (args[0]->IsNull(row) || args[1]->IsNull(row) ||
+                    args[2]->IsNull(row)) {
+                  on[row] = 1;
+                  continue;
+                }
+                StringRef s = args[0]->GetString(row);
+                StringRef p = args[2]->GetString(row);
+                out->SetString(
+                    row, PadImpl(std::string_view(s.data, s.len),
+                                 args[1]->data<int32_t>()[row],
+                                 std::string_view(p.data, p.len), left));
+              }
+              return Status::OK();
+            },
+            [left](const std::vector<Value>& args,
+                   const std::vector<DataType>&,
+                   const DataType&) -> Result<Value> {
+              for (const Value& v : args) {
+                if (v.is_null()) return Value::Null();
+              }
+              return Value::String(
+                  PadImpl(args[0].str(), args[1].i32(), args[2].str(), left));
+            }});
+  };
+  register_pad("lpad", true);
+  register_pad("rpad", false);
+
+  registry->Register(
+      "repeat",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 2 || !args[0].is_string() ||
+                args[1].id() != TypeId::kInt32) {
+              return Status::InvalidArgument("repeat(str, int)");
+            }
+            return DataType::String();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int n = batch->num_active();
+            uint8_t* on = out->nulls();
+            std::string scratch;
+            for (int i = 0; i < n; i++) {
+              int row = batch->ActiveRow(i);
+              if (args[0]->IsNull(row) || args[1]->IsNull(row)) {
+                on[row] = 1;
+                continue;
+              }
+              StringRef s = args[0]->GetString(row);
+              int32_t times = args[1]->data<int32_t>()[row];
+              scratch.clear();
+              for (int32_t k = 0; k < times; k++) scratch.append(s.data, s.len);
+              out->SetString(row, scratch);
+            }
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null() || args[1].is_null()) return Value::Null();
+            std::string r;
+            for (int32_t k = 0; k < args[1].i32(); k++) r += args[0].str();
+            return Value::String(std::move(r));
+          }});
+
+  registry->Register(
+      "ascii",
+      FunctionImpl{
+          [](const std::vector<DataType>& args) -> Result<DataType> {
+            if (args.size() != 1 || !args[0].is_string()) {
+              return Status::InvalidArgument("ascii(string)");
+            }
+            return DataType::Int32();
+          },
+          [](const std::vector<const ColumnVector*>& args,
+             ColumnBatch* batch, ColumnVector* out) {
+            int32_t* ov = out->data<int32_t>();
+            ForEachActiveString(
+                *args[0], batch, out, [&](int row, StringRef s) {
+                  ov[row] =
+                      s.len == 0 ? 0 : static_cast<uint8_t>(s.data[0]);
+                });
+            return Status::OK();
+          },
+          [](const std::vector<Value>& args, const std::vector<DataType>&,
+             const DataType&) -> Result<Value> {
+            if (args[0].is_null()) return Value::Null();
+            const std::string& s = args[0].str();
+            return Value::Int32(s.empty() ? 0
+                                          : static_cast<uint8_t>(s[0]));
+          }});
+}
+
+}  // namespace internal_registry
+}  // namespace photon

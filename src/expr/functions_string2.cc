@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "common/unicode.h"
+#include "expr/function_registry.h"
+
+namespace photon {
+namespace internal_registry {
+namespace {
+
+/// Registers a (string, ...) -> string function given a scalar
+/// implementation over string_views; handles NULL propagation and both
+/// evaluators. Arguments beyond the first may be int32 or string.
+struct ArgSpec {
+  bool is_string;
+};
+
+template <typename ScalarFn>
+void RegisterGeneric(FunctionRegistry* registry, const std::string& name,
+                     std::vector<ArgSpec> extra_args, DataType result_type,
+                     ScalarFn fn) {
+  FunctionImpl impl;
+  impl.bind = [name, extra_args,
+               result_type](const std::vector<DataType>& args)
+      -> Result<DataType> {
+    if (args.size() != extra_args.size() + 1 || !args[0].is_string()) {
+      return Status::InvalidArgument(name + ": bad arguments");
+    }
+    for (size_t i = 0; i < extra_args.size(); i++) {
+      bool want_string = extra_args[i].is_string;
+      if (want_string != args[i + 1].is_string() ||
+          (!want_string && args[i + 1].id() != TypeId::kInt32)) {
+        return Status::InvalidArgument(name + ": bad argument types");
+      }
+    }
+    return result_type;
+  };
+  impl.eval_row = [fn](const std::vector<Value>& args,
+                       const std::vector<DataType>&,
+                       const DataType&) -> Result<Value> {
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+    }
+    return fn(args);
+  };
+  impl.eval_batch = [fn](const std::vector<const ColumnVector*>& args,
+                         ColumnBatch* batch, ColumnVector* out) -> Status {
+    int n = batch->num_active();
+    uint8_t* on = out->nulls();
+    std::vector<Value> boxed(args.size());
+    for (int i = 0; i < n; i++) {
+      int row = batch->ActiveRow(i);
+      bool any_null = false;
+      for (const ColumnVector* a : args) any_null |= a->IsNull(row);
+      if (any_null) {
+        on[row] = 1;
+        continue;
+      }
+      for (size_t a = 0; a < args.size(); a++) {
+        boxed[a] = args[a]->GetValue(row);
+      }
+      Result<Value> v = fn(boxed);
+      PHOTON_RETURN_NOT_OK(v.status());
+      out->SetValue(row, *v);
+    }
+    return Status::OK();
+  };
+  registry->Register(name, std::move(impl));
+}
+
+}  // namespace
+
+/// Second wave of string/misc functions, registered through a generic
+/// (boxed) evaluator: breadth over per-function kernels. The hot functions
+/// (upper/lower/substr/like/...) keep their dedicated vectorized kernels in
+/// functions_string.cc; everything here is long-tail.
+void RegisterStringFunctions2(FunctionRegistry* registry) {
+  RegisterGeneric(
+      registry, "left", {{false}}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        std::string_view s = a[0].str();
+        int64_t n = std::max<int64_t>(0, a[1].i32());
+        int64_t b = Utf8OffsetOfCodepoint(s, n);
+        return Value::String(std::string(s.substr(0, b)));
+      });
+  RegisterGeneric(
+      registry, "right", {{false}}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        std::string_view s = a[0].str();
+        int64_t len = Utf8Length(s);
+        int64_t n = std::min<int64_t>(len, std::max<int64_t>(0, a[1].i32()));
+        int64_t b = Utf8OffsetOfCodepoint(s, len - n);
+        return Value::String(std::string(s.substr(b)));
+      });
+  RegisterGeneric(
+      registry, "instr", {{true}}, DataType::Int32(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        // 1-based codepoint position of the first occurrence; 0 if absent.
+        std::string_view s = a[0].str();
+        std::string_view needle = a[1].str();
+        size_t pos = s.find(needle);
+        if (pos == std::string_view::npos) return Value::Int32(0);
+        return Value::Int32(
+            static_cast<int32_t>(Utf8Length(s.substr(0, pos))) + 1);
+      });
+  RegisterGeneric(
+      registry, "split_part", {{true}, {false}}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        std::string_view s = a[0].str();
+        const std::string& sep = a[1].str();
+        int32_t part = a[2].i32();
+        if (sep.empty() || part < 1) return Value::String("");
+        size_t start = 0;
+        for (int32_t k = 1;; k++) {
+          size_t end = s.find(sep, start);
+          if (k == part) {
+            return Value::String(std::string(
+                s.substr(start, end == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : end - start)));
+          }
+          if (end == std::string_view::npos) return Value::String("");
+          start = end + sep.size();
+        }
+      });
+  RegisterGeneric(
+      registry, "initcap", {}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        // Word-initial uppercase, rest lowercase (ASCII word model).
+        std::string out = Utf8ToLower(a[0].str());
+        bool at_word_start = true;
+        for (size_t i = 0; i < out.size(); i++) {
+          unsigned char c = static_cast<unsigned char>(out[i]);
+          if (c < 0x80) {
+            if (at_word_start && c >= 'a' && c <= 'z') {
+              out[i] = static_cast<char>(c - 32);
+            }
+            at_word_start = !std::isalnum(c);
+          } else {
+            at_word_start = false;
+          }
+        }
+        return Value::String(std::move(out));
+      });
+  RegisterGeneric(
+      registry, "translate", {{true}, {true}}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        // Byte-level translate (ASCII semantics, like Spark on ASCII).
+        const std::string& from = a[1].str();
+        const std::string& to = a[2].str();
+        std::string out;
+        for (char c : a[0].str()) {
+          size_t idx = from.find(c);
+          if (idx == std::string::npos) {
+            out.push_back(c);
+          } else if (idx < to.size()) {
+            out.push_back(to[idx]);
+          }  // else: dropped
+        }
+        return Value::String(std::move(out));
+      });
+  // chr is int -> string; register it directly.
+  {
+    FunctionImpl impl;
+    impl.bind = [](const std::vector<DataType>& args) -> Result<DataType> {
+      if (args.size() != 1 || args[0].id() != TypeId::kInt32) {
+        return Status::InvalidArgument("chr(int)");
+      }
+      return DataType::String();
+    };
+    auto scalar = [](int32_t cp) -> Value {
+      if (cp <= 0) return Value::String("");
+      char buf[4];
+      int n = Utf8Encode(static_cast<uint32_t>(cp) & 0x10FFFF, buf);
+      return Value::String(std::string(buf, n));
+    };
+    impl.eval_row = [scalar](const std::vector<Value>& args,
+                             const std::vector<DataType>&,
+                             const DataType&) -> Result<Value> {
+      if (args[0].is_null()) return Value::Null();
+      return scalar(args[0].i32());
+    };
+    impl.eval_batch = [scalar](const std::vector<const ColumnVector*>& args,
+                               ColumnBatch* batch,
+                               ColumnVector* out) -> Status {
+      int n = batch->num_active();
+      uint8_t* on = out->nulls();
+      for (int i = 0; i < n; i++) {
+        int row = batch->ActiveRow(i);
+        if (args[0]->IsNull(row)) {
+          on[row] = 1;
+          continue;
+        }
+        out->SetValue(row, scalar(args[0]->data<int32_t>()[row]));
+      }
+      return Status::OK();
+    };
+    registry->Register("chr", std::move(impl));
+  }
+  RegisterGeneric(
+      registry, "concat_ws", {{true}, {true}}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        return Value::String(a[1].str() + a[0].str() + a[2].str());
+      });
+  RegisterGeneric(
+      registry, "md5ish", {}, DataType::String(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        // Stand-in content hash (not cryptographic): stable hex digest.
+        uint64_t h1 = HashBytes(a[0].str().data(), a[0].str().size(), 1);
+        uint64_t h2 = HashBytes(a[0].str().data(), a[0].str().size(), 2);
+        char buf[33];
+        std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                      static_cast<unsigned long long>(h1),
+                      static_cast<unsigned long long>(h2));
+        return Value::String(buf);
+      });
+  RegisterGeneric(
+      registry, "soundex_len", {}, DataType::Int32(),
+      [](const std::vector<Value>& a) -> Result<Value> {
+        // Count of ASCII consonants; a cheap phonetic-weight stand-in.
+        int32_t n = 0;
+        for (char c : a[0].str()) {
+          char l = static_cast<char>(std::tolower(
+              static_cast<unsigned char>(c)));
+          if (l >= 'a' && l <= 'z' && l != 'a' && l != 'e' && l != 'i' &&
+              l != 'o' && l != 'u') {
+            n++;
+          }
+        }
+        return Value::Int32(n);
+      });
+}
+
+}  // namespace internal_registry
+}  // namespace photon

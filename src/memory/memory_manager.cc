@@ -1,0 +1,85 @@
+#include "memory/memory_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/macros.h"
+
+namespace photon {
+
+void MemoryManager::RegisterConsumer(MemoryConsumer* consumer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consumers_.push_back(consumer);
+}
+
+void MemoryManager::UnregisterConsumer(MemoryConsumer* consumer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PHOTON_CHECK(consumer->reserved_ == 0);
+  consumers_.erase(
+      std::remove(consumers_.begin(), consumers_.end(), consumer),
+      consumers_.end());
+}
+
+Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
+  PHOTON_CHECK(bytes >= 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (total_reserved_ + bytes > limit_) {
+    int64_t need = total_reserved_ + bytes - limit_;
+
+    // Spark's policy: ascending by reservation, spill the first consumer
+    // that can cover the whole deficit by itself.
+    std::vector<MemoryConsumer*> sorted = consumers_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](MemoryConsumer* a, MemoryConsumer* b) {
+                return a->reserved_ < b->reserved_;
+              });
+    MemoryConsumer* victim = nullptr;
+    for (MemoryConsumer* c : sorted) {
+      if (c->reserved_ >= need) {
+        victim = c;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      // No single consumer suffices: take the largest (it frees the most).
+      for (MemoryConsumer* c : sorted) {
+        if (victim == nullptr || c->reserved_ > victim->reserved_) victim = c;
+      }
+    }
+    if (victim == nullptr || victim->reserved_ == 0) {
+      return Status::OutOfMemory(
+          "cannot reserve " + std::to_string(bytes) + " bytes for '" +
+          consumer->name() + "': limit " + std::to_string(limit_) +
+          ", reserved " + std::to_string(total_reserved_) +
+          " and nothing left to spill");
+    }
+
+    // Release the lock while the victim spills: spilling re-enters the
+    // manager via Release(). This also allows the recursive-spill case
+    // where the requester itself is chosen.
+    lock.unlock();
+    int64_t freed = victim->Spill(need);
+    lock.lock();
+    spill_count_++;
+    spilled_bytes_ += freed;
+    if (freed <= 0) {
+      // The victim could not actually free memory (e.g. mid-batch); avoid
+      // an infinite loop by failing the reservation.
+      return Status::OutOfMemory("spill of '" + victim->name() +
+                                 "' freed no memory");
+    }
+  }
+  total_reserved_ += bytes;
+  consumer->reserved_ += bytes;
+  return Status::OK();
+}
+
+void MemoryManager::Release(MemoryConsumer* consumer, int64_t bytes) {
+  if (bytes <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PHOTON_CHECK(consumer->reserved_ >= bytes);
+  consumer->reserved_ -= bytes;
+  total_reserved_ -= bytes;
+}
+
+}  // namespace photon

@@ -1,0 +1,109 @@
+#ifndef PHOTON_MEMORY_MEMORY_MANAGER_H_
+#define PHOTON_MEMORY_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace photon {
+
+/// A participant in unified memory management (§5.3): anything that holds
+/// large persistent allocations (hash join builds, aggregation tables,
+/// sorts) registers as a consumer so the manager can ask it to spill on
+/// behalf of other consumers.
+class MemoryConsumer {
+ public:
+  explicit MemoryConsumer(std::string name) : name_(std::move(name)) {}
+  virtual ~MemoryConsumer() = default;
+
+  /// Asks the consumer to free up to `requested` bytes by spilling to disk.
+  /// Returns the number of bytes actually released back to the manager.
+  /// May be called while some *other* consumer is reserving ("recursive
+  /// spill" in the paper's terms).
+  virtual int64_t Spill(int64_t requested) = 0;
+
+  const std::string& name() const { return name_; }
+  int64_t reserved_bytes() const { return reserved_; }
+
+ private:
+  friend class MemoryManager;
+  std::string name_;
+  int64_t reserved_ = 0;
+};
+
+/// Unified memory manager mirroring Apache Spark's, as Photon integrates
+/// with it (§5.3): reservations are separated from allocations. An operator
+/// first *reserves* memory (which may force spilling — of itself or of any
+/// other consumer), and only then allocates, so allocation never fails
+/// mid-operation.
+///
+/// Spill policy (same as open-source Spark, per the paper): sort consumers
+/// from least to most allocated and spill the first one holding at least
+/// the requested amount; this minimizes the number of spills without
+/// spilling more data than necessary. If no single consumer suffices, spill
+/// from largest down until satisfied.
+class MemoryManager {
+ public:
+  explicit MemoryManager(int64_t limit_bytes) : limit_(limit_bytes) {}
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  void RegisterConsumer(MemoryConsumer* consumer);
+  void UnregisterConsumer(MemoryConsumer* consumer);
+
+  /// Reserves `bytes` for `consumer`, spilling other consumers (or the
+  /// requester itself) if needed. Returns OutOfMemory only if spilling
+  /// everything still cannot satisfy the request.
+  Status Reserve(MemoryConsumer* consumer, int64_t bytes);
+
+  /// Returns previously reserved bytes to the pool.
+  void Release(MemoryConsumer* consumer, int64_t bytes);
+
+  int64_t limit() const { return limit_; }
+  int64_t reserved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_reserved_;
+  }
+  int64_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return limit_ - total_reserved_;
+  }
+  int64_t spill_count() const { return spill_count_; }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  int64_t limit_;
+  mutable std::mutex mu_;
+  int64_t total_reserved_ = 0;
+  std::vector<MemoryConsumer*> consumers_;
+  int64_t spill_count_ = 0;
+  int64_t spilled_bytes_ = 0;
+};
+
+/// RAII helper tying a consumer's lifetime to its manager registration.
+class ScopedConsumerRegistration {
+ public:
+  ScopedConsumerRegistration(MemoryManager* mgr, MemoryConsumer* consumer)
+      : mgr_(mgr), consumer_(consumer) {
+    mgr_->RegisterConsumer(consumer_);
+  }
+  ~ScopedConsumerRegistration() {
+    mgr_->Release(consumer_, consumer_->reserved_bytes());
+    mgr_->UnregisterConsumer(consumer_);
+  }
+  ScopedConsumerRegistration(const ScopedConsumerRegistration&) = delete;
+  ScopedConsumerRegistration& operator=(const ScopedConsumerRegistration&) =
+      delete;
+
+ private:
+  MemoryManager* mgr_;
+  MemoryConsumer* consumer_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_MEMORY_MEMORY_MANAGER_H_

@@ -1,0 +1,113 @@
+#include "ops/file_scan.h"
+
+namespace photon {
+
+Schema FileScanOperator::Project(const Schema& schema,
+                                 const std::vector<int>& cols) {
+  if (cols.empty()) return schema;
+  Schema out;
+  for (int c : cols) out.AddField(schema.field(c));
+  return out;
+}
+
+FileScanOperator::FileScanOperator(ObjectStore* store,
+                                   std::vector<std::string> file_keys,
+                                   Schema file_schema,
+                                   std::vector<int> columns,
+                                   ExprPtr predicate)
+    : Operator(Project(file_schema, columns)),
+      store_(store),
+      file_keys_(std::move(file_keys)),
+      file_schema_(std::move(file_schema)),
+      columns_(std::move(columns)),
+      predicate_(std::move(predicate)) {}
+
+Status FileScanOperator::Open() {
+  next_file_ = 0;
+  reader_ = nullptr;
+  next_row_group_ = 0;
+  return Status::OK();
+}
+
+Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
+  while (true) {
+    if (reader_ == nullptr) {
+      if (next_file_ >= file_keys_.size()) return nullptr;
+      PHOTON_ASSIGN_OR_RETURN(
+          reader_, FileReader::OpenFromStore(store_, file_keys_[next_file_]));
+      next_file_++;
+      next_row_group_ = 0;
+      files_read_++;
+    }
+    if (next_row_group_ >= reader_->num_row_groups()) {
+      reader_ = nullptr;
+      continue;
+    }
+    int rg = next_row_group_++;
+    // Row-group skipping: the predicate is expressed over the *projected*
+    // schema; map its column indices back to file stats.
+    if (predicate_ != nullptr) {
+      const RowGroupMeta& meta = reader_->meta().row_groups[rg];
+      std::vector<ColumnChunkMeta> projected_stats;
+      if (columns_.empty()) {
+        projected_stats = meta.columns;
+      } else {
+        for (int c : columns_) projected_stats.push_back(meta.columns[c]);
+      }
+      if (!StatsMayMatch(*predicate_, output_schema_, projected_stats)) {
+        row_groups_skipped_++;
+        continue;
+      }
+    }
+    PHOTON_ASSIGN_OR_RETURN(current_, reader_->ReadRowGroup(rg, columns_));
+    if (predicate_ != nullptr) {
+      ctx_.ResetPerBatch();
+      PHOTON_ASSIGN_OR_RETURN(int active,
+                              FilterBatch(*predicate_, current_.get(), &ctx_));
+      if (active == 0) continue;
+    }
+    if (current_->num_active() == 0) continue;
+    return current_.get();
+  }
+}
+
+DeltaScanOperator::DeltaScanOperator(ObjectStore* store,
+                                     DeltaSnapshot snapshot,
+                                     std::vector<int> columns,
+                                     ExprPtr predicate)
+    : Operator(FileScanOperator::Project(snapshot.schema, columns)) {
+  // File pruning by snapshot-level stats (data skipping, §2.1): note the
+  // predicate here is over the *projected* schema; only prune when the
+  // projection is identity or the predicate maps cleanly.
+  std::vector<DeltaFileEntry> files = snapshot.files;
+  if (predicate != nullptr) {
+    std::vector<DeltaFileEntry> kept;
+    for (const DeltaFileEntry& f : files) {
+      std::vector<ColumnChunkMeta> projected_stats;
+      if (columns.empty()) {
+        projected_stats = f.column_stats;
+      } else {
+        for (int c : columns) projected_stats.push_back(f.column_stats[c]);
+      }
+      if (StatsMayMatch(*predicate, output_schema_, projected_stats)) {
+        kept.push_back(f);
+      } else {
+        files_pruned_++;
+      }
+    }
+    files = std::move(kept);
+  }
+  std::vector<std::string> keys;
+  for (const DeltaFileEntry& f : files) keys.push_back(f.key);
+  inner_ = std::make_unique<FileScanOperator>(
+      store, std::move(keys), snapshot.schema, std::move(columns),
+      std::move(predicate));
+}
+
+Status DeltaScanOperator::Open() { return inner_->Open(); }
+
+Result<ColumnBatch*> DeltaScanOperator::GetNextImpl() {
+  return inner_->GetNext();
+}
+
+}  // namespace photon

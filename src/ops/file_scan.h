@@ -1,0 +1,75 @@
+#ifndef PHOTON_OPS_FILE_SCAN_H_
+#define PHOTON_OPS_FILE_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ops/operator.h"
+#include "storage/delta.h"
+#include "storage/format.h"
+
+namespace photon {
+
+/// Scans columnar files from the object store, one row group per batch,
+/// with column projection and min/max predicate skipping at both file and
+/// row-group granularity. An optional residual predicate is applied to
+/// surviving batches (scan-level filtering).
+class FileScanOperator : public Operator {
+ public:
+  /// `columns` selects fields by index into the file schema (empty = all).
+  FileScanOperator(ObjectStore* store, std::vector<std::string> file_keys,
+                   Schema file_schema, std::vector<int> columns = {},
+                   ExprPtr predicate = nullptr);
+
+  Status Open() override;
+  Result<ColumnBatch*> GetNextImpl() override;
+  std::string name() const override { return "PhotonFileScan"; }
+
+  int64_t row_groups_skipped() const { return row_groups_skipped_; }
+  int64_t files_read() const { return files_read_; }
+
+  static Schema Project(const Schema& schema, const std::vector<int>& cols);
+
+ private:
+  /// Remaps a predicate over the file schema to the projected schema, or
+  /// nullptr when the predicate references unprojected columns.
+  ObjectStore* store_;
+  std::vector<std::string> file_keys_;
+  Schema file_schema_;
+  std::vector<int> columns_;
+  ExprPtr predicate_;
+
+  size_t next_file_ = 0;
+  std::unique_ptr<FileReader> reader_;
+  int next_row_group_ = 0;
+  std::unique_ptr<ColumnBatch> current_;
+  EvalContext ctx_;
+  int64_t row_groups_skipped_ = 0;
+  int64_t files_read_ = 0;
+};
+
+/// Scans a Delta table snapshot: prunes files by stats, then chains
+/// FileScan over the survivors. This is the "Lakehouse read path":
+/// Delta log -> file pruning -> columnar scan -> Photon batches.
+class DeltaScanOperator : public Operator {
+ public:
+  DeltaScanOperator(ObjectStore* store, DeltaSnapshot snapshot,
+                    std::vector<int> columns = {},
+                    ExprPtr predicate = nullptr);
+
+  Status Open() override;
+  Result<ColumnBatch*> GetNextImpl() override;
+  std::string name() const override { return "PhotonDeltaScan"; }
+
+  int64_t files_pruned() const { return files_pruned_; }
+
+ private:
+  std::unique_ptr<FileScanOperator> inner_;
+  int64_t files_pruned_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_FILE_SCAN_H_

@@ -1,0 +1,44 @@
+#ifndef PHOTON_OPS_FILTER_H_
+#define PHOTON_OPS_FILTER_H_
+
+#include "expr/expr.h"
+#include "ops/operator.h"
+
+namespace photon {
+
+/// Filters batches by rewriting their position lists in place (§4.3): rows
+/// whose predicate evaluates to false or NULL become inactive. Batches left
+/// with no active rows are skipped, not emitted.
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate)
+      : Operator(child->output_schema()),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<ColumnBatch*> GetNextImpl() override {
+    while (true) {
+      ctx_.ResetPerBatch();
+      PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, child_->GetNext());
+      if (batch == nullptr) return nullptr;
+      PHOTON_ASSIGN_OR_RETURN(int active,
+                              FilterBatch(*predicate_, batch, &ctx_));
+      if (active > 0) return batch;
+    }
+  }
+
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "PhotonFilter"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  EvalContext ctx_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_FILTER_H_

@@ -1,0 +1,112 @@
+#ifndef PHOTON_OPS_HASH_AGGREGATE_H_
+#define PHOTON_OPS_HASH_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/agg_function.h"
+#include "expr/expr.h"
+#include "ht/vectorized_hash_table.h"
+#include "ops/operator.h"
+#include "storage/object_store.h"
+
+namespace photon {
+
+/// One aggregate in a grouping aggregation: kind + argument expression
+/// (arg may be null for count(*)) + output column name.
+struct AggregateSpec {
+  AggKind kind;
+  ExprPtr arg;
+  std::string name;
+};
+
+/// Vectorized grouping aggregation over the vectorized hash table (§4.4,
+/// Figure 5). Group keys and aggregate arguments are arbitrary
+/// expressions; aggregate state lives in the hash table entry payload, with
+/// variable-size state in a shared arena.
+///
+/// Memory is acquired in two phases per input batch (§5.3): a reservation
+/// phase that may trigger spilling (of this operator or any other memory
+/// consumer), then an allocation phase that cannot fail. When asked to
+/// spill, the operator hash-partitions its current entries to the object
+/// store and continues with an empty table; spilled partitions are merged
+/// one at a time during output.
+class HashAggregateOperator : public Operator, public MemoryConsumer {
+ public:
+  HashAggregateOperator(OperatorPtr child, std::vector<ExprPtr> keys,
+                        std::vector<std::string> key_names,
+                        std::vector<AggregateSpec> aggs,
+                        ExecContext exec_ctx = {});
+  ~HashAggregateOperator() override;
+
+  Status Open() override;
+  Result<ColumnBatch*> GetNextImpl() override;
+  void Close() override;
+  std::string name() const override { return "PhotonHashAggregate"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+  /// MemoryConsumer: partitions and serializes all current entries to the
+  /// object store, clears the table, returns the bytes released.
+  int64_t Spill(int64_t requested) override;
+
+  int64_t num_groups() const {
+    return table_ == nullptr ? 0 : table_->num_entries();
+  }
+
+ private:
+  static constexpr int kSpillPartitions = 16;
+
+  static Schema MakeOutputSchema(const std::vector<ExprPtr>& keys,
+                                 const std::vector<std::string>& key_names,
+                                 const std::vector<AggregateSpec>& aggs);
+
+  Status ConsumeInput();
+  Status ProcessBatch(ColumnBatch* batch);
+  /// Emits up to batch_size groups from the in-memory table.
+  ColumnBatch* EmitFromTable();
+  /// Loads the next spilled partition into a fresh table (merging).
+  Result<bool> LoadNextSpillPartition();
+  void SerializeEntry(const uint8_t* entry, BinaryWriter* out) const;
+  Status MergeSpillBlock(const std::string& bytes);
+  int64_t CurrentMemoryBytes() const;
+  Status ReserveForDelta();
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> keys_;
+  std::vector<AggregateSpec> specs_;
+  std::vector<std::unique_ptr<AggregateFunction>> aggs_;
+  std::vector<int> agg_state_offsets_;
+  int payload_bytes_ = 0;
+  ExecContext exec_ctx_;
+
+  std::unique_ptr<VectorizedHashTable> table_;
+  std::unique_ptr<VarLenPool> arena_;
+  // Scalar (no GROUP BY) state.
+  std::vector<uint8_t> scalar_state_;
+  bool scalar_mode_ = false;
+
+  // Phase tracking.
+  bool input_consumed_ = false;
+  bool scalar_emitted_ = false;
+  std::vector<uint8_t*> emit_entries_;
+  size_t emit_pos_ = 0;
+  std::unique_ptr<ColumnBatch> out_;
+
+  // Spill bookkeeping.
+  std::vector<std::vector<std::string>> spill_keys_;  // per partition
+  int spill_seq_ = 0;
+  int current_spill_partition_ = -1;
+  int64_t reserved_for_data_ = 0;
+
+  // Scratch.
+  EvalContext ctx_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint8_t*> entries_;
+  std::unique_ptr<bool[]> inserted_;
+  int inserted_capacity_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_HASH_AGGREGATE_H_

@@ -1,0 +1,514 @@
+#include "ops/hash_join.h"
+
+#include <cstring>
+
+namespace photon {
+namespace {
+
+constexpr double kCompactionSparsityThreshold = 0.5;
+
+}  // namespace
+
+Schema HashJoinOperator::MakeOutputSchema(const Operator& build,
+                                          const Operator& probe,
+                                          JoinType join_type) {
+  if (join_type == JoinType::kLeftSemi || join_type == JoinType::kLeftAnti) {
+    return probe.output_schema();
+  }
+  Schema schema = probe.output_schema();
+  for (const Field& f : build.output_schema().fields()) {
+    Field field = f;
+    if (join_type == JoinType::kLeftOuter) field.nullable = true;
+    schema.AddField(field);
+  }
+  return schema;
+}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr build, OperatorPtr probe,
+                                   std::vector<ExprPtr> build_keys,
+                                   std::vector<ExprPtr> probe_keys,
+                                   JoinType join_type, ExecContext exec_ctx,
+                                   ExprPtr residual,
+                                   bool adaptive_compaction)
+    : Operator(MakeOutputSchema(*build, *probe, join_type)),
+      MemoryConsumer("PhotonHashJoin"),
+      build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      join_type_(join_type),
+      exec_ctx_(exec_ctx),
+      residual_(std::move(residual)),
+      adaptive_compaction_(adaptive_compaction) {
+  PHOTON_CHECK(build_keys_.size() == probe_keys_.size());
+  build_schema_ = build_->output_schema();
+  // Payload layout: per build column, an 8-aligned slot of 1 null byte
+  // followed by the value (packed after the null byte).
+  int offset = 0;
+  for (const Field& f : build_schema_.fields()) {
+    offset = (offset + 7) & ~7;
+    payload_offsets_.push_back(offset);
+    offset += 1 + f.type.byte_width();
+  }
+  payload_bytes_ = offset;
+}
+
+HashJoinOperator::~HashJoinOperator() {
+  if (exec_ctx_.memory_manager != nullptr) {
+    exec_ctx_.memory_manager->Release(this, reserved_bytes());
+    exec_ctx_.memory_manager->UnregisterConsumer(this);
+  }
+}
+
+Status HashJoinOperator::Open() {
+  PHOTON_RETURN_NOT_OK(build_->Open());
+  PHOTON_RETURN_NOT_OK(probe_->Open());
+  std::vector<DataType> key_types;
+  for (const ExprPtr& k : build_keys_) key_types.push_back(k->type());
+  table_ = std::make_unique<VectorizedHashTable>(key_types, payload_bytes_,
+                                                 /*match_null_keys=*/false);
+  if (exec_ctx_.memory_manager != nullptr) {
+    exec_ctx_.memory_manager->RegisterConsumer(this);
+  }
+  built_ = false;
+  probe_batch_ = nullptr;
+  probe_idx_ = 0;
+  chain_entry_ = nullptr;
+  accum_.reset();
+  accum_rows_ = 0;
+  accum_in_flight_ = false;
+  pending_dense_ = nullptr;
+  accum_source_ = nullptr;
+  accum_source_pos_ = 0;
+  return Status::OK();
+}
+
+void HashJoinOperator::WriteBuildPayload(const ColumnBatch& batch, int row,
+                                         uint8_t* entry) {
+  uint8_t* payload = table_->payload(entry);
+  for (int c = 0; c < build_schema_.num_fields(); c++) {
+    uint8_t* slot = payload + payload_offsets_[c];
+    const ColumnVector& col = *batch.column(c);
+    if (col.IsNull(row)) {
+      *slot = 1;
+      continue;
+    }
+    *slot = 0;
+    uint8_t* value = slot + 1;
+    switch (col.type().id()) {
+      case TypeId::kBoolean:
+        *value = col.data<uint8_t>()[row];
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        std::memcpy(value, &col.data<int32_t>()[row], 4);
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        std::memcpy(value, &col.data<int64_t>()[row], 8);
+        break;
+      case TypeId::kFloat64:
+        std::memcpy(value, &col.data<double>()[row], 8);
+        break;
+      case TypeId::kDecimal128:
+        std::memcpy(value, &col.data<int128_t>()[row], 16);
+        break;
+      case TypeId::kString: {
+        StringRef s = col.data<StringRef>()[row];
+        StringRef owned = table_->string_arena()->AddString(s);
+        std::memcpy(value, &owned, sizeof(owned));
+        break;
+      }
+    }
+  }
+}
+
+Status HashJoinOperator::BuildPhase() {
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t*> entries;
+  std::unique_ptr<bool[]> inserted;
+  int inserted_capacity = 0;
+  EvalContext ctx;
+
+  while (true) {
+    ctx.ResetPerBatch();
+    PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, build_->GetNext());
+    if (batch == nullptr) break;
+    int n = batch->num_active();
+    if (n == 0) continue;
+
+    // Reservation phase before growing the table (§5.3).
+    if (exec_ctx_.memory_manager != nullptr) {
+      int64_t estimate = static_cast<int64_t>(n) * (payload_bytes_ + 96);
+      PHOTON_RETURN_NOT_OK(exec_ctx_.memory_manager->Reserve(this, estimate));
+      reserved_for_data_ += estimate;
+    }
+
+    std::vector<const ColumnVector*> key_vecs;
+    for (const ExprPtr& k : build_keys_) {
+      PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, k->Evaluate(batch, &ctx));
+      key_vecs.push_back(v);
+    }
+    hashes.resize(n);
+    entries.resize(n);
+    if (inserted_capacity < n) {
+      inserted = std::make_unique<bool[]>(n);
+      inserted_capacity = n;
+    }
+    VectorizedHashTable::HashKeys(key_vecs, *batch, hashes.data());
+    PHOTON_RETURN_NOT_OK(table_->LookupOrInsert(
+        key_vecs, *batch, hashes.data(), entries.data(), inserted.get()));
+    for (int i = 0; i < n; i++) {
+      if (entries[i] == nullptr) continue;  // NULL join key: never matches
+      int row = batch->ActiveRow(i);
+      uint8_t* target =
+          inserted[i] ? entries[i] : table_->InsertChained(entries[i]);
+      WriteBuildPayload(*batch, row, target);
+      build_rows_++;
+    }
+  }
+  built_ = true;
+  metrics_.peak_memory = table_->memory_bytes();
+  return Status::OK();
+}
+
+void HashJoinOperator::EmitProbeColumns(const ColumnBatch& batch, int row,
+                                        int out_row) {
+  for (int c = 0; c < batch.num_columns(); c++) {
+    const ColumnVector& in = *batch.column(c);
+    ColumnVector* out = out_->column(c);
+    if (in.IsNull(row)) {
+      out->SetNull(out_row);
+      continue;
+    }
+    out->SetNotNull(out_row);
+    switch (in.type().id()) {
+      case TypeId::kBoolean:
+        out->data<uint8_t>()[out_row] = in.data<uint8_t>()[row];
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        out->data<int32_t>()[out_row] = in.data<int32_t>()[row];
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        out->data<int64_t>()[out_row] = in.data<int64_t>()[row];
+        break;
+      case TypeId::kFloat64:
+        out->data<double>()[out_row] = in.data<double>()[row];
+        break;
+      case TypeId::kDecimal128:
+        out->data<int128_t>()[out_row] = in.data<int128_t>()[row];
+        break;
+      case TypeId::kString: {
+        StringRef s = in.data<StringRef>()[row];
+        out->SetString(out_row, s.data, s.len);
+        break;
+      }
+    }
+  }
+}
+
+void HashJoinOperator::EmitBuildColumns(const uint8_t* entry, int out_row) {
+  int base = probe_->output_schema().num_fields();
+  for (int c = 0; c < build_schema_.num_fields(); c++) {
+    ColumnVector* out = out_->column(base + c);
+    if (entry == nullptr) {
+      out->SetNull(out_row);
+      continue;
+    }
+    const uint8_t* slot = table_->payload(entry) + payload_offsets_[c];
+    if (*slot) {
+      out->SetNull(out_row);
+      continue;
+    }
+    out->SetNotNull(out_row);
+    const uint8_t* value = slot + 1;
+    switch (build_schema_.field(c).type.id()) {
+      case TypeId::kBoolean:
+        out->data<uint8_t>()[out_row] = *value;
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        std::memcpy(&out->data<int32_t>()[out_row], value, 4);
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        std::memcpy(&out->data<int64_t>()[out_row], value, 8);
+        break;
+      case TypeId::kFloat64:
+        std::memcpy(&out->data<double>()[out_row], value, 8);
+        break;
+      case TypeId::kDecimal128:
+        std::memcpy(&out->data<int128_t>()[out_row], value, 16);
+        break;
+      case TypeId::kString: {
+        StringRef s;
+        std::memcpy(&s, value, sizeof(s));
+        out->SetString(out_row, s.data, s.len);
+        break;
+      }
+    }
+  }
+}
+
+Result<bool> HashJoinOperator::ResidualMatches(const ColumnBatch& batch,
+                                               int probe_row,
+                                               const uint8_t* entry) {
+  if (residual_ == nullptr) return true;
+  // Boxed combined row: probe columns then build columns.
+  std::vector<Value> row;
+  row.reserve(batch.num_columns() + build_schema_.num_fields());
+  for (int c = 0; c < batch.num_columns(); c++) {
+    row.push_back(batch.column(c)->GetValue(probe_row));
+  }
+  for (int c = 0; c < build_schema_.num_fields(); c++) {
+    const uint8_t* slot = table_->payload(entry) + payload_offsets_[c];
+    if (*slot) {
+      row.push_back(Value::Null());
+      continue;
+    }
+    const uint8_t* value = slot + 1;
+    switch (build_schema_.field(c).type.id()) {
+      case TypeId::kBoolean:
+        row.push_back(Value::Boolean(*value != 0));
+        break;
+      case TypeId::kInt32: {
+        int32_t v;
+        std::memcpy(&v, value, 4);
+        row.push_back(Value::Int32(v));
+        break;
+      }
+      case TypeId::kDate32: {
+        int32_t v;
+        std::memcpy(&v, value, 4);
+        row.push_back(Value::Date32(v));
+        break;
+      }
+      case TypeId::kInt64: {
+        int64_t v;
+        std::memcpy(&v, value, 8);
+        row.push_back(Value::Int64(v));
+        break;
+      }
+      case TypeId::kTimestamp: {
+        int64_t v;
+        std::memcpy(&v, value, 8);
+        row.push_back(Value::Timestamp(v));
+        break;
+      }
+      case TypeId::kFloat64: {
+        double v;
+        std::memcpy(&v, value, 8);
+        row.push_back(Value::Float64(v));
+        break;
+      }
+      case TypeId::kDecimal128: {
+        int128_t v;
+        std::memcpy(&v, value, 16);
+        row.push_back(Value::Decimal(Decimal128(v)));
+        break;
+      }
+      case TypeId::kString: {
+        StringRef s;
+        std::memcpy(&s, value, sizeof(s));
+        row.push_back(Value::String(std::string(s.data, s.len)));
+        break;
+      }
+    }
+  }
+  PHOTON_ASSIGN_OR_RETURN(Value v, residual_->EvaluateRow(row));
+  return !v.is_null() && v.boolean();
+}
+
+Status HashJoinOperator::ProbeBatch(ColumnBatch* batch) {
+  int n = batch->num_active();
+  std::vector<const ColumnVector*> key_vecs;
+  for (const ExprPtr& k : probe_keys_) {
+    PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, k->Evaluate(batch, &ctx_));
+    key_vecs.push_back(v);
+  }
+  hashes_.resize(n);
+  match_heads_.resize(n);
+  VectorizedHashTable::HashKeys(key_vecs, *batch, hashes_.data());
+  table_->Lookup(key_vecs, *batch, hashes_.data(), match_heads_.data());
+  probe_batch_ = batch;
+  probe_idx_ = 0;
+  chain_entry_ = nullptr;
+  return Status::OK();
+}
+
+/// Copies active rows of `accum_source_` (from `accum_source_pos_`) into
+/// the compaction buffer until it fills or the source is drained.
+void HashJoinOperator::DrainSparseSource() {
+  int n = accum_source_->num_active();
+  while (accum_source_pos_ < n && accum_rows_ < accum_->capacity()) {
+    CopyRow(*accum_source_, accum_source_->ActiveRow(accum_source_pos_),
+            accum_.get(), accum_rows_);
+    accum_source_pos_++;
+    accum_rows_++;
+  }
+  if (accum_source_pos_ >= n) accum_source_ = nullptr;
+}
+
+Result<ColumnBatch*> HashJoinOperator::ProbeNextBatch() {
+  // Adaptive compaction (§4.6, Figure 9): sparse probe batches (most rows
+  // deactivated by upstream filters) are coalesced into one dense batch
+  // before probing. Dense batches keep the hash-table loads saturating the
+  // memory system and amortize per-batch interpretation overhead in the
+  // operators downstream of the join — sparse batches incur high memory
+  // latency without saturating bandwidth, and can even lose to the
+  // row-at-a-time engine.
+  if (accum_ == nullptr && adaptive_compaction_) {
+    accum_ = std::make_unique<ColumnBatch>(probe_->output_schema(),
+                                           exec_ctx_.batch_size);
+  }
+  if (accum_in_flight_) {
+    // The previously probed compaction buffer is fully emitted: recycle it.
+    accum_->Reset();
+    accum_rows_ = 0;
+    accum_in_flight_ = false;
+  }
+
+  auto probe_accum = [&]() -> Result<ColumnBatch*> {
+    accum_->set_num_rows(accum_rows_);
+    accum_->SetAllActive();
+    accum_in_flight_ = true;
+    compacted_batches_++;
+    PHOTON_RETURN_NOT_OK(ProbeBatch(accum_.get()));
+    return accum_.get();
+  };
+
+  while (true) {
+    if (pending_dense_ != nullptr && accum_rows_ == 0) {
+      ColumnBatch* batch = pending_dense_;
+      pending_dense_ = nullptr;
+      ctx_.ResetPerBatch();
+      PHOTON_RETURN_NOT_OK(ProbeBatch(batch));
+      return batch;
+    }
+    if (accum_source_ != nullptr) {
+      DrainSparseSource();
+      if (accum_rows_ == accum_->capacity()) return probe_accum();
+    }
+
+    ctx_.ResetPerBatch();
+    PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, probe_->GetNext());
+    if (batch == nullptr) {
+      if (accum_rows_ > 0) return probe_accum();
+      return nullptr;
+    }
+    if (batch->num_active() == 0) continue;
+
+    bool sparse = adaptive_compaction_ && !batch->all_active() &&
+                  batch->Sparsity() < kCompactionSparsityThreshold;
+    if (!sparse) {
+      if (accum_rows_ > 0) {
+        // Flush the accumulated rows first; probe this batch afterwards.
+        pending_dense_ = batch;
+        return probe_accum();
+      }
+      PHOTON_RETURN_NOT_OK(ProbeBatch(batch));
+      return batch;
+    }
+    accum_source_ = batch;
+    accum_source_pos_ = 0;
+    DrainSparseSource();
+    if (accum_rows_ == accum_->capacity()) return probe_accum();
+  }
+}
+
+Result<ColumnBatch*> HashJoinOperator::EmitMatches() {
+  // Semi/anti: narrow the probe batch's position list in place.
+  if (join_type_ == JoinType::kLeftSemi || join_type_ == JoinType::kLeftAnti) {
+    ColumnBatch* batch = probe_batch_;
+    int n = batch->num_active();
+    int32_t* pos = batch->mutable_pos_list();
+    int out = 0;
+    for (int i = 0; i < n; i++) {
+      int row = batch->ActiveRow(i);
+      bool matched = false;
+      for (const uint8_t* e = match_heads_[i]; e != nullptr;
+           e = VectorizedHashTable::next(e)) {
+        PHOTON_ASSIGN_OR_RETURN(bool ok, ResidualMatches(*batch, row, e));
+        if (ok) {
+          matched = true;
+          break;
+        }
+      }
+      bool keep = join_type_ == JoinType::kLeftSemi ? matched : !matched;
+      if (keep) pos[out++] = row;
+    }
+    batch->SetActiveRows(out);
+    probe_batch_ = nullptr;  // fully consumed
+    return out > 0 ? batch : nullptr;
+  }
+
+  // Inner / left outer: gather matching pairs into the output batch.
+  if (out_ == nullptr) {
+    out_ = std::make_unique<ColumnBatch>(output_schema_,
+                                         exec_ctx_.batch_size);
+  }
+  out_->Reset();
+  int out_row = 0;
+  int n = probe_batch_->num_active();
+  while (probe_idx_ < n && out_row < out_->capacity()) {
+    int row = probe_batch_->ActiveRow(probe_idx_);
+    if (chain_entry_ == nullptr) {
+      // Starting this probe row.
+      chain_entry_ = match_heads_[probe_idx_];
+      if (chain_entry_ == nullptr) {
+        if (join_type_ == JoinType::kLeftOuter) {
+          EmitProbeColumns(*probe_batch_, row, out_row);
+          EmitBuildColumns(nullptr, out_row);
+          out_row++;
+        }
+        probe_idx_++;
+        continue;
+      }
+    }
+    while (chain_entry_ != nullptr && out_row < out_->capacity()) {
+      EmitProbeColumns(*probe_batch_, row, out_row);
+      EmitBuildColumns(chain_entry_, out_row);
+      out_row++;
+      chain_entry_ = VectorizedHashTable::next(chain_entry_);
+    }
+    if (chain_entry_ == nullptr) probe_idx_++;
+  }
+  if (probe_idx_ >= n) probe_batch_ = nullptr;  // batch exhausted
+  if (out_row == 0) return nullptr;
+  out_->set_num_rows(out_row);
+  out_->SetAllActive();
+  if (residual_ != nullptr && join_type_ == JoinType::kInner) {
+    ctx_.ResetPerBatch();
+    PHOTON_ASSIGN_OR_RETURN(int active,
+                            FilterBatch(*residual_, out_.get(), &ctx_));
+    if (active == 0) return nullptr;
+  }
+  return out_.get();
+}
+
+Result<ColumnBatch*> HashJoinOperator::GetNextImpl() {
+  if (!built_) {
+    PHOTON_RETURN_NOT_OK(BuildPhase());
+  }
+  while (true) {
+    if (probe_batch_ == nullptr) {
+      PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, ProbeNextBatch());
+      if (batch == nullptr) return nullptr;
+    }
+    PHOTON_ASSIGN_OR_RETURN(ColumnBatch * out, EmitMatches());
+    if (out != nullptr) return out;
+  }
+}
+
+void HashJoinOperator::Close() {
+  build_->Close();
+  probe_->Close();
+  if (exec_ctx_.memory_manager != nullptr && reserved_bytes() > 0) {
+    exec_ctx_.memory_manager->Release(this, reserved_bytes());
+    reserved_for_data_ = 0;
+  }
+}
+
+}  // namespace photon

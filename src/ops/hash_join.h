@@ -1,0 +1,115 @@
+#ifndef PHOTON_OPS_HASH_JOIN_H_
+#define PHOTON_OPS_HASH_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ht/vectorized_hash_table.h"
+#include "ops/operator.h"
+
+namespace photon {
+
+enum class JoinType : uint8_t {
+  kInner,
+  kLeftOuter,  // probe side is the left/outer side
+  kLeftSemi,
+  kLeftAnti,
+};
+
+/// Vectorized hash join (§4.4, Figure 4). The build side is materialized
+/// into the vectorized hash table (entries are rows: keys + packed build
+/// columns); the probe side streams through the three-step batched lookup.
+///
+/// Adaptive probe-side batch compaction (§4.6, Figure 9): when a probe
+/// batch arrives sparse (most rows filtered out upstream), Photon compacts
+/// it into a dense batch before probing so the bucket loads saturate memory
+/// parallelism instead of paying per-miss latency on a mostly-idle batch.
+///
+/// Semi/anti joins return the probe batch itself with its position list
+/// narrowed to (non-)matching rows — no output copying at all. An optional
+/// `residual` predicate supports non-equi conditions:
+///   - inner: evaluated vectorized over emitted output batches;
+///   - semi/anti: evaluated per candidate (probe row, build row) pair.
+class HashJoinOperator : public Operator, public MemoryConsumer {
+ public:
+  HashJoinOperator(OperatorPtr build, OperatorPtr probe,
+                   std::vector<ExprPtr> build_keys,
+                   std::vector<ExprPtr> probe_keys, JoinType join_type,
+                   ExecContext exec_ctx = {}, ExprPtr residual = nullptr,
+                   bool adaptive_compaction = true);
+  ~HashJoinOperator() override;
+
+  Status Open() override;
+  Result<ColumnBatch*> GetNextImpl() override;
+  void Close() override;
+  std::string name() const override { return "PhotonHashJoin"; }
+  std::vector<Operator*> children() override {
+    return {probe_.get(), build_.get()};
+  }
+
+  /// Joins cannot release memory mid-build; other consumers spill on their
+  /// behalf (§5.3's cross-operator spilling).
+  int64_t Spill(int64_t) override { return 0; }
+
+  int64_t build_rows() const { return build_rows_; }
+  int64_t compacted_batches() const { return compacted_batches_; }
+
+ private:
+  static Schema MakeOutputSchema(const Operator& build, const Operator& probe,
+                                 JoinType join_type);
+
+  Status BuildPhase();
+  void WriteBuildPayload(const ColumnBatch& batch, int row, uint8_t* entry);
+  /// Copies build columns of `entry` into output columns at out_row (or
+  /// NULLs when entry == nullptr, for left outer).
+  void EmitBuildColumns(const uint8_t* entry, int out_row);
+  void EmitProbeColumns(const ColumnBatch& batch, int row, int out_row);
+  Status ProbeBatch(ColumnBatch* batch);
+  void DrainSparseSource();
+  Result<ColumnBatch*> ProbeNextBatch();
+  Result<ColumnBatch*> EmitMatches();
+  /// Boxed row of probe row + build entry columns, for residual eval.
+  Result<bool> ResidualMatches(const ColumnBatch& batch, int probe_row,
+                               const uint8_t* entry);
+
+  OperatorPtr build_;
+  OperatorPtr probe_;
+  std::vector<ExprPtr> build_keys_;
+  std::vector<ExprPtr> probe_keys_;
+  JoinType join_type_;
+  ExecContext exec_ctx_;
+  ExprPtr residual_;
+  bool adaptive_compaction_;
+
+  std::unique_ptr<VectorizedHashTable> table_;
+  std::vector<int> payload_offsets_;
+  int payload_bytes_ = 0;
+  Schema build_schema_;
+  int64_t build_rows_ = 0;
+  int64_t reserved_for_data_ = 0;
+  bool built_ = false;
+  int64_t compacted_batches_ = 0;
+
+  // Probe iteration state.
+  ColumnBatch* probe_batch_ = nullptr;  // current (possibly compacted)
+  // Compaction buffer: sparse batches coalesce here until dense.
+  std::unique_ptr<ColumnBatch> accum_;
+  int accum_rows_ = 0;
+  bool accum_in_flight_ = false;
+  ColumnBatch* pending_dense_ = nullptr;   // dense batch waiting behind accum
+  ColumnBatch* accum_source_ = nullptr;    // sparse batch partially consumed
+  int accum_source_pos_ = 0;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint8_t*> match_heads_;
+  int probe_idx_ = 0;              // index into probe batch's active set
+  const uint8_t* chain_entry_ = nullptr;
+
+  std::unique_ptr<ColumnBatch> out_;
+  EvalContext ctx_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_HASH_JOIN_H_

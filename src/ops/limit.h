@@ -1,0 +1,52 @@
+#ifndef PHOTON_OPS_LIMIT_H_
+#define PHOTON_OPS_LIMIT_H_
+
+#include "ops/operator.h"
+
+namespace photon {
+
+/// Emits at most `limit` active rows, truncating the final batch's position
+/// list.
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, int64_t limit)
+      : Operator(child->output_schema()),
+        child_(std::move(child)),
+        limit_(limit) {}
+
+  Status Open() override {
+    remaining_ = limit_;
+    return child_->Open();
+  }
+
+  Result<ColumnBatch*> GetNextImpl() override {
+    if (remaining_ <= 0) return nullptr;
+    PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, child_->GetNext());
+    if (batch == nullptr) return nullptr;
+    if (batch->num_active() > remaining_) {
+      // Truncate: if the batch was all-active, materialize the prefix as an
+      // explicit position list.
+      int keep = static_cast<int>(remaining_);
+      if (batch->all_active()) {
+        int32_t* pos = batch->mutable_pos_list();
+        for (int i = 0; i < keep; i++) pos[i] = i;
+      }
+      batch->SetActiveRows(keep);
+    }
+    remaining_ -= batch->num_active();
+    return batch;
+  }
+
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "PhotonLimit"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t remaining_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_LIMIT_H_

@@ -1,0 +1,102 @@
+#ifndef PHOTON_OPS_OPERATOR_H_
+#define PHOTON_OPS_OPERATOR_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/eval_context.h"
+#include "memory/memory_manager.h"
+#include "vector/column_batch.h"
+
+namespace photon {
+
+class Table;
+
+/// Per-operator runtime metrics. Maintaining abstraction boundaries between
+/// operators is what makes these cheap to collect — the paper calls this
+/// out as a core advantage of vectorized-interpreted execution over code
+/// generation (§3.3 "Observability is easier").
+struct OperatorMetrics {
+  int64_t batches_out = 0;
+  int64_t rows_out = 0;
+  int64_t time_ns = 0;      // wall time inside this operator's GetNext
+  int64_t peak_memory = 0;  // bytes, large persistent allocations only
+  int64_t spill_count = 0;
+  int64_t spilled_bytes = 0;
+};
+
+/// Shared per-task execution state.
+struct ExecContext {
+  /// Unified memory manager (may be shared with other tasks and with the
+  /// baseline engine, mirroring §5.3). Null = unlimited, no spilling.
+  MemoryManager* memory_manager = nullptr;
+  /// Directory-like prefix for spill artifacts (object-store keys).
+  std::string spill_prefix = "spill";
+  int batch_size = kDefaultBatchSize;
+};
+
+/// Photon physical operator. Pull model: parents call GetNext() to receive
+/// column batches; nullptr signals end-of-stream (the paper's
+/// HasNext()/GetNext() pair collapsed into one call). A returned batch is
+/// owned by the operator and valid until its next GetNext() call.
+class Operator {
+ public:
+  explicit Operator(Schema output_schema)
+      : output_schema_(std::move(output_schema)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const Schema& output_schema() const { return output_schema_; }
+
+  virtual Status Open() = 0;
+
+  /// Pulls the next batch; nullptr at end-of-stream. Wraps the virtual
+  /// implementation with metric accounting.
+  Result<ColumnBatch*> GetNext() {
+    auto start = std::chrono::steady_clock::now();
+    Result<ColumnBatch*> result = GetNextImpl();
+    auto end = std::chrono::steady_clock::now();
+    metrics_.time_ns +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count();
+    if (result.ok() && *result != nullptr) {
+      metrics_.batches_out++;
+      metrics_.rows_out += (*result)->num_active();
+    }
+    return result;
+  }
+
+  virtual void Close() {}
+  virtual std::string name() const = 0;
+
+  /// Child operators, for plan-wide metric collection and explain output.
+  virtual std::vector<Operator*> children() { return {}; }
+
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+ protected:
+  virtual Result<ColumnBatch*> GetNextImpl() = 0;
+
+  Schema output_schema_;
+  OperatorMetrics metrics_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains an operator tree into an in-memory table (test/bench helper).
+Result<Table> CollectAll(Operator* root);
+
+/// Renders the operator tree with per-operator metrics — the live-metrics
+/// observability §3.3 credits to keeping operator boundaries intact
+/// ("each operator can thus maintain its own set of metrics"). Self time
+/// is wall time inside the operator minus its children's.
+std::string ExplainAnalyze(Operator* root);
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_OPERATOR_H_

@@ -1,0 +1,46 @@
+#include "ops/project.h"
+
+#include <cstring>
+
+namespace photon {
+
+Schema ProjectOperator::MakeSchema(const std::vector<ExprPtr>& exprs,
+                                   const std::vector<std::string>& names) {
+  PHOTON_CHECK(exprs.size() == names.size());
+  Schema schema;
+  for (size_t i = 0; i < exprs.size(); i++) {
+    schema.AddField(Field(names[i], exprs[i]->type()));
+  }
+  return schema;
+}
+
+ProjectOperator::ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                                 std::vector<std::string> names)
+    : Operator(MakeSchema(exprs, names)),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Result<ColumnBatch*> ProjectOperator::GetNextImpl() {
+  ctx_.ResetPerBatch();  // invalidates the previously returned view
+  PHOTON_ASSIGN_OR_RETURN(ColumnBatch * in, child_->GetNext());
+  if (in == nullptr) return nullptr;
+
+  if (view_ == nullptr || view_->capacity() < in->capacity()) {
+    view_ = ColumnBatch::MakeView(output_schema_, in->capacity());
+  }
+  for (size_t i = 0; i < exprs_.size(); i++) {
+    PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, exprs_[i]->Evaluate(in, &ctx_));
+    view_->SetColumnView(static_cast<int>(i), v);
+  }
+  view_->set_num_rows(in->num_rows());
+  if (in->all_active()) {
+    view_->SetAllActive();
+  } else {
+    std::memcpy(view_->mutable_pos_list(), in->pos_list(),
+                static_cast<size_t>(in->num_active()) * sizeof(int32_t));
+    view_->SetActiveRows(in->num_active());
+  }
+  return view_.get();
+}
+
+}  // namespace photon

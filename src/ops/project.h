@@ -1,0 +1,39 @@
+#ifndef PHOTON_OPS_PROJECT_H_
+#define PHOTON_OPS_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ops/operator.h"
+
+namespace photon {
+
+/// Evaluates a list of expressions per batch and emits a *view* batch whose
+/// columns point at the expression results (no copies; the vectors live in
+/// the operator's EvalContext until the next GetNext). Inherits the child's
+/// active set.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, std::vector<ExprPtr> exprs,
+                  std::vector<std::string> names);
+
+  Status Open() override { return child_->Open(); }
+  Result<ColumnBatch*> GetNextImpl() override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "PhotonProject"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+  static Schema MakeSchema(const std::vector<ExprPtr>& exprs,
+                           const std::vector<std::string>& names);
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  EvalContext ctx_;
+  std::unique_ptr<ColumnBatch> view_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_PROJECT_H_

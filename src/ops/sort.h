@@ -1,0 +1,108 @@
+#ifndef PHOTON_OPS_SORT_H_
+#define PHOTON_OPS_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ops/operator.h"
+#include "storage/object_store.h"
+#include "vector/table.h"
+
+namespace photon {
+
+/// One sort key: expression + direction + null placement.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+  bool nulls_first = true;
+};
+
+/// Total-order comparison of two non-NULL vector cells. Returns <0, 0, >0.
+/// NULL placement is handled by callers (it must not flip with direction).
+int CompareVectorCells(const ColumnVector& a, int row_a,
+                       const ColumnVector& b, int row_b);
+
+/// Vectorized sort: materializes the input (keys evaluated once per batch
+/// into side-car key batches), sorts an index array with a typed
+/// comparator, and emits gathered output batches.
+///
+/// Participates in unified memory management (§5.3): when asked to spill,
+/// the accumulated rows are sorted and written out as a run; at output
+/// time, in-memory and spilled runs are k-way merged.
+class SortOperator : public Operator, public MemoryConsumer {
+ public:
+  SortOperator(OperatorPtr child, std::vector<SortKey> keys,
+               ExecContext exec_ctx = {});
+  ~SortOperator() override;
+
+  Status Open() override;
+  Result<ColumnBatch*> GetNextImpl() override;
+  void Close() override;
+  std::string name() const override { return "PhotonSort"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+  int64_t Spill(int64_t requested) override;
+
+ private:
+  struct RowRef {
+    int32_t batch;
+    int32_t row;
+  };
+
+  /// A sequential reader over one spilled sorted run.
+  class SpilledRun {
+   public:
+    SpilledRun(Schema schema, std::vector<std::string> keys);
+    /// Batch-aligned current row, or false at end.
+    Result<bool> Advance();
+    const ColumnBatch* current_batch() const { return batch_.get(); }
+    int current_row() const { return row_; }
+
+   private:
+    Schema schema_;
+    std::vector<std::string> keys_;
+    size_t next_key_ = 0;
+    std::unique_ptr<ColumnBatch> batch_;
+    int row_ = -1;
+  };
+
+  Status ConsumeInput();
+  void SortIndices();
+  int Compare(const RowRef& a, const RowRef& b) const;
+  /// Serializes the sorted in-memory rows as one run; clears them.
+  Status FlushRun();
+  Result<ColumnBatch*> EmitInMemory();
+  Result<ColumnBatch*> EmitMerged();
+  int64_t CurrentMemoryBytes() const;
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  ExecContext exec_ctx_;
+
+  // Materialized input + evaluated key columns, batch-aligned.
+  std::vector<std::unique_ptr<ColumnBatch>> data_;
+  std::vector<std::unique_ptr<ColumnBatch>> key_data_;
+  std::vector<RowRef> indices_;
+  bool sorted_ = false;
+  size_t emit_pos_ = 0;
+  int64_t reserved_for_data_ = 0;
+  bool input_consumed_ = false;
+
+  // Spilled runs (object-store key lists), sorted individually.
+  std::vector<std::vector<std::string>> run_keys_;
+  int spill_seq_ = 0;
+  // Merge state.
+  std::vector<std::unique_ptr<SpilledRun>> merge_runs_;
+  std::vector<std::unique_ptr<ColumnBatch>> merge_key_batches_;
+  bool merge_initialized_ = false;
+
+  std::unique_ptr<ColumnBatch> out_;
+  EvalContext ctx_;
+  Schema key_schema_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_SORT_H_

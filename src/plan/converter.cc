@@ -1,0 +1,177 @@
+#include "plan/converter.h"
+
+#include "baseline/row_agg.h"
+#include "baseline/row_join.h"
+#include "baseline/row_ops.h"
+#include "baseline/row_sort.h"
+#include "ops/file_scan.h"
+#include "ops/filter.h"
+#include "ops/limit.h"
+#include "ops/project.h"
+#include "ops/scan.h"
+
+namespace photon {
+namespace plan {
+namespace {
+
+struct Piece {
+  OperatorPtr photon;              // set when is_photon
+  baseline::RowOperatorPtr legacy;  // set otherwise
+  bool is_photon = false;
+};
+
+class Converter {
+ public:
+  Converter(ExecContext ctx, const SupportFn& supported,
+            BaselineJoinImpl legacy_join, ConversionResult* result)
+      : ctx_(ctx),
+        supported_(supported),
+        legacy_join_(legacy_join),
+        result_(result) {}
+
+  Result<Piece> Convert(const PlanPtr& node) {
+    std::vector<Piece> children;
+    for (const PlanPtr& child : node->children) {
+      PHOTON_ASSIGN_OR_RETURN(Piece piece, Convert(child));
+      children.push_back(std::move(piece));
+    }
+    bool children_photon = true;
+    for (const Piece& c : children) children_photon &= c.is_photon;
+
+    if (supported_(*node) && children_photon) {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr op,
+                              MakePhotonNode(*node, &children));
+      result_->photon_nodes++;
+      Piece out;
+      out.photon = std::move(op);
+      out.is_photon = true;
+      return out;
+    }
+
+    // Legacy node: photon children fall back through transitions.
+    std::vector<baseline::RowOperatorPtr> legacy_children;
+    for (Piece& c : children) {
+      if (c.is_photon) {
+        legacy_children.push_back(baseline::RowOperatorPtr(
+            new TransitionOperator(std::move(c.photon))));
+        result_->transitions++;
+      } else {
+        legacy_children.push_back(std::move(c.legacy));
+      }
+    }
+    PHOTON_ASSIGN_OR_RETURN(
+        baseline::RowOperatorPtr op,
+        MakeLegacyNode(*node, std::move(legacy_children)));
+    result_->legacy_nodes++;
+    Piece out;
+    out.legacy = std::move(op);
+    out.is_photon = false;
+    return out;
+  }
+
+ private:
+  Result<OperatorPtr> MakePhotonNode(const PlanNode& node,
+                                     std::vector<Piece>* children) {
+    auto child = [&](int i) { return std::move((*children)[i].photon); };
+    switch (node.kind) {
+      case PlanKind::kScan: {
+        // Adapter between the columnar scan and Photon (§5.2).
+        result_->adapters++;
+        return OperatorPtr(new AdapterOperator(
+            OperatorPtr(new InMemoryScanOperator(node.table))));
+      }
+      case PlanKind::kDeltaScan: {
+        result_->adapters++;
+        return OperatorPtr(new AdapterOperator(OperatorPtr(
+            new DeltaScanOperator(node.store, node.snapshot,
+                                  node.scan_columns, node.scan_predicate))));
+      }
+      case PlanKind::kFilter:
+        return OperatorPtr(new FilterOperator(child(0), node.predicate));
+      case PlanKind::kProject:
+        return OperatorPtr(
+            new ProjectOperator(child(0), node.exprs, node.names));
+      case PlanKind::kAggregate:
+        return OperatorPtr(new HashAggregateOperator(
+            child(0), node.group_keys, node.key_names, node.aggregates,
+            ctx_));
+      case PlanKind::kJoin:
+        return OperatorPtr(new HashJoinOperator(
+            child(1), child(0), node.right_keys, node.left_keys,
+            node.join_type, ctx_, node.residual));
+      case PlanKind::kSort:
+        return OperatorPtr(new SortOperator(child(0), node.sort_keys, ctx_));
+      case PlanKind::kLimit:
+        return OperatorPtr(new LimitOperator(child(0), node.limit));
+    }
+    return Status::Internal("bad plan kind");
+  }
+
+  Result<baseline::RowOperatorPtr> MakeLegacyNode(
+      const PlanNode& node,
+      std::vector<baseline::RowOperatorPtr> children) {
+    using baseline::RowOperatorPtr;
+    switch (node.kind) {
+      case PlanKind::kScan:
+        return RowOperatorPtr(new baseline::RowScanOperator(node.table));
+      case PlanKind::kDeltaScan:
+        return RowOperatorPtr(new TransitionOperator(OperatorPtr(
+            new DeltaScanOperator(node.store, node.snapshot,
+                                  node.scan_columns, node.scan_predicate))));
+      case PlanKind::kFilter:
+        return RowOperatorPtr(new baseline::RowFilterOperator(
+            std::move(children[0]), node.predicate));
+      case PlanKind::kProject:
+        return RowOperatorPtr(new baseline::RowProjectOperator(
+            std::move(children[0]), node.exprs, node.names));
+      case PlanKind::kAggregate:
+        return RowOperatorPtr(new baseline::RowHashAggregateOperator(
+            std::move(children[0]), node.group_keys, node.key_names,
+            node.aggregates));
+      case PlanKind::kJoin:
+        if (legacy_join_ == BaselineJoinImpl::kSortMerge) {
+          return RowOperatorPtr(new baseline::RowSortMergeJoinOperator(
+              std::move(children[0]), std::move(children[1]), node.left_keys,
+              node.right_keys, node.join_type, node.residual));
+        }
+        return RowOperatorPtr(new baseline::RowShuffledHashJoinOperator(
+            std::move(children[0]), std::move(children[1]), node.left_keys,
+            node.right_keys, node.join_type, node.residual));
+      case PlanKind::kSort:
+        return RowOperatorPtr(new baseline::RowSortOperator(
+            std::move(children[0]), node.sort_keys));
+      case PlanKind::kLimit:
+        return RowOperatorPtr(new baseline::RowLimitOperator(
+            std::move(children[0]), node.limit));
+    }
+    return Status::Internal("bad plan kind");
+  }
+
+  ExecContext ctx_;
+  const SupportFn& supported_;
+  BaselineJoinImpl legacy_join_;
+  ConversionResult* result_;
+};
+
+}  // namespace
+
+Result<ConversionResult> ConvertPlan(const PlanPtr& plan, ExecContext ctx,
+                                     const SupportFn& supported,
+                                     BaselineJoinImpl legacy_join) {
+  ConversionResult result;
+  Converter converter(ctx, supported, legacy_join, &result);
+  PHOTON_ASSIGN_OR_RETURN(Piece root, converter.Convert(plan));
+  if (root.is_photon) {
+    // Whole plan ran in Photon: a single transition hands rows to the
+    // consumer, like Spark's final column-to-row pivot.
+    result.transitions++;
+    result.root = baseline::RowOperatorPtr(
+        new TransitionOperator(std::move(root.photon)));
+  } else {
+    result.root = std::move(root.legacy);
+  }
+  return result;
+}
+
+}  // namespace plan
+}  // namespace photon

@@ -1,0 +1,294 @@
+#include "plan/logical_plan.h"
+
+#include "baseline/row_agg.h"
+#include "baseline/row_join.h"
+#include "baseline/row_ops.h"
+#include "baseline/row_sort.h"
+#include "ops/file_scan.h"
+#include "ops/filter.h"
+#include "ops/limit.h"
+#include "ops/project.h"
+#include "ops/scan.h"
+#include "plan/transition.h"
+
+namespace photon {
+namespace plan {
+namespace {
+
+Schema AggSchema(const std::vector<ExprPtr>& keys,
+                 const std::vector<std::string>& key_names,
+                 const std::vector<AggregateSpec>& aggs) {
+  Schema schema;
+  for (size_t i = 0; i < keys.size(); i++) {
+    schema.AddField(Field(key_names[i], keys[i]->type()));
+  }
+  for (const AggregateSpec& spec : aggs) {
+    DataType arg_type =
+        spec.arg != nullptr ? spec.arg->type() : DataType::Int64();
+    Result<DataType> result = AggResultType(spec.kind, arg_type);
+    PHOTON_CHECK(result.ok());
+    schema.AddField(Field(spec.name, *result));
+  }
+  return schema;
+}
+
+}  // namespace
+
+PlanPtr Scan(const Table* table) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kScan;
+  node->table = table;
+  node->output_schema = table->schema();
+  return node;
+}
+
+PlanPtr DeltaScan(ObjectStore* store, DeltaSnapshot snapshot,
+                  std::vector<int> columns, ExprPtr predicate) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kDeltaScan;
+  node->store = store;
+  node->output_schema =
+      FileScanOperator::Project(snapshot.schema, columns);
+  node->snapshot = std::move(snapshot);
+  node->scan_columns = std::move(columns);
+  node->scan_predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr Filter(PlanPtr child, ExprPtr predicate) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kFilter;
+  node->output_schema = child->output_schema;
+  node->children.push_back(std::move(child));
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs,
+                std::vector<std::string> names) {
+  PHOTON_CHECK(exprs.size() == names.size());
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kProject;
+  for (size_t i = 0; i < exprs.size(); i++) {
+    node->output_schema.AddField(Field(names[i], exprs[i]->type()));
+  }
+  node->children.push_back(std::move(child));
+  node->exprs = std::move(exprs);
+  node->names = std::move(names);
+  return node;
+}
+
+PlanPtr Aggregate(PlanPtr child, std::vector<ExprPtr> keys,
+                  std::vector<std::string> key_names,
+                  std::vector<AggregateSpec> aggs) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kAggregate;
+  node->output_schema = AggSchema(keys, key_names, aggs);
+  node->children.push_back(std::move(child));
+  node->group_keys = std::move(keys);
+  node->key_names = std::move(key_names);
+  node->aggregates = std::move(aggs);
+  return node;
+}
+
+PlanPtr Join(PlanPtr probe, PlanPtr build, JoinType type,
+             std::vector<ExprPtr> probe_keys,
+             std::vector<ExprPtr> build_keys, ExprPtr residual) {
+  PHOTON_CHECK(probe_keys.size() == build_keys.size());
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kJoin;
+  node->join_type = type;
+  node->output_schema = baseline::JoinOutputSchema(
+      probe->output_schema, build->output_schema, type);
+  node->children.push_back(std::move(probe));
+  node->children.push_back(std::move(build));
+  node->left_keys = std::move(probe_keys);
+  node->right_keys = std::move(build_keys);
+  node->residual = std::move(residual);
+  return node;
+}
+
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kSort;
+  node->output_schema = child->output_schema;
+  node->children.push_back(std::move(child));
+  node->sort_keys = std::move(keys);
+  return node;
+}
+
+PlanPtr Limit(PlanPtr child, int64_t n) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanKind::kLimit;
+  node->output_schema = child->output_schema;
+  node->children.push_back(std::move(child));
+  node->limit = n;
+  return node;
+}
+
+int ColIndex(const PlanPtr& plan, const std::string& name) {
+  int idx = plan->output_schema.FieldIndex(name);
+  PHOTON_CHECK(idx >= 0);
+  return idx;
+}
+
+ExprPtr ColOf(const PlanPtr& plan, const std::string& name) {
+  int idx = ColIndex(plan, name);
+  return std::make_shared<ColumnRefExpr>(
+      idx, plan->output_schema.field(idx).type, name);
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "Scan";
+      break;
+    case PlanKind::kDeltaScan:
+      out += "DeltaScan(files=" + std::to_string(snapshot.files.size()) + ")";
+      break;
+    case PlanKind::kFilter:
+      out += "Filter(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kProject:
+      out += "Project";
+      break;
+    case PlanKind::kAggregate:
+      out += "Aggregate(keys=" + std::to_string(group_keys.size()) +
+             ", aggs=" + std::to_string(aggregates.size()) + ")";
+      break;
+    case PlanKind::kJoin:
+      out += "Join";
+      break;
+    case PlanKind::kSort:
+      out += "Sort";
+      break;
+    case PlanKind::kLimit:
+      out += "Limit(" + std::to_string(limit) + ")";
+      break;
+  }
+  out += "\n";
+  for (const PlanPtr& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return OperatorPtr(new InMemoryScanOperator(plan->table));
+    case PlanKind::kDeltaScan:
+      return OperatorPtr(new DeltaScanOperator(plan->store, plan->snapshot,
+                                               plan->scan_columns,
+                                               plan->scan_predicate));
+    case PlanKind::kFilter: {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
+                              CompilePhoton(plan->children[0], ctx));
+      return OperatorPtr(
+          new FilterOperator(std::move(child), plan->predicate));
+    }
+    case PlanKind::kProject: {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
+                              CompilePhoton(plan->children[0], ctx));
+      return OperatorPtr(
+          new ProjectOperator(std::move(child), plan->exprs, plan->names));
+    }
+    case PlanKind::kAggregate: {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
+                              CompilePhoton(plan->children[0], ctx));
+      return OperatorPtr(new HashAggregateOperator(
+          std::move(child), plan->group_keys, plan->key_names,
+          plan->aggregates, ctx));
+    }
+    case PlanKind::kJoin: {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr probe,
+                              CompilePhoton(plan->children[0], ctx));
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr build,
+                              CompilePhoton(plan->children[1], ctx));
+      return OperatorPtr(new HashJoinOperator(
+          std::move(build), std::move(probe), plan->right_keys,
+          plan->left_keys, plan->join_type, ctx, plan->residual));
+    }
+    case PlanKind::kSort: {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
+                              CompilePhoton(plan->children[0], ctx));
+      return OperatorPtr(
+          new SortOperator(std::move(child), plan->sort_keys, ctx));
+    }
+    case PlanKind::kLimit: {
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
+                              CompilePhoton(plan->children[0], ctx));
+      return OperatorPtr(new LimitOperator(std::move(child), plan->limit));
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+Result<baseline::RowOperatorPtr> CompileBaseline(
+    const PlanPtr& plan, BaselineJoinImpl join_impl) {
+  using baseline::RowOperatorPtr;
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return RowOperatorPtr(new baseline::RowScanOperator(plan->table));
+    case PlanKind::kDeltaScan: {
+      // Spark's scan also produces columnar data and pivots to rows (§5.2):
+      // the baseline reads through the columnar scan wrapped in a
+      // transition node.
+      OperatorPtr scan(new DeltaScanOperator(plan->store, plan->snapshot,
+                                             plan->scan_columns,
+                                             plan->scan_predicate));
+      return RowOperatorPtr(new TransitionOperator(std::move(scan)));
+    }
+    case PlanKind::kFilter: {
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompileBaseline(plan->children[0], join_impl));
+      return RowOperatorPtr(
+          new baseline::RowFilterOperator(std::move(child), plan->predicate));
+    }
+    case PlanKind::kProject: {
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompileBaseline(plan->children[0], join_impl));
+      return RowOperatorPtr(new baseline::RowProjectOperator(
+          std::move(child), plan->exprs, plan->names));
+    }
+    case PlanKind::kAggregate: {
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompileBaseline(plan->children[0], join_impl));
+      return RowOperatorPtr(new baseline::RowHashAggregateOperator(
+          std::move(child), plan->group_keys, plan->key_names,
+          plan->aggregates));
+    }
+    case PlanKind::kJoin: {
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr left,
+                              CompileBaseline(plan->children[0], join_impl));
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr right,
+                              CompileBaseline(plan->children[1], join_impl));
+      if (join_impl == BaselineJoinImpl::kSortMerge) {
+        return RowOperatorPtr(new baseline::RowSortMergeJoinOperator(
+            std::move(left), std::move(right), plan->left_keys,
+            plan->right_keys, plan->join_type, plan->residual));
+      }
+      return RowOperatorPtr(new baseline::RowShuffledHashJoinOperator(
+          std::move(left), std::move(right), plan->left_keys,
+          plan->right_keys, plan->join_type, plan->residual));
+    }
+    case PlanKind::kSort: {
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompileBaseline(plan->children[0], join_impl));
+      return RowOperatorPtr(
+          new baseline::RowSortOperator(std::move(child), plan->sort_keys));
+    }
+    case PlanKind::kLimit: {
+      PHOTON_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompileBaseline(plan->children[0], join_impl));
+      return RowOperatorPtr(
+          new baseline::RowLimitOperator(std::move(child), plan->limit));
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+}  // namespace plan
+}  // namespace photon

@@ -1,0 +1,115 @@
+#ifndef PHOTON_PLAN_LOGICAL_PLAN_H_
+#define PHOTON_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/row_operator.h"
+#include "expr/expr.h"
+#include "ops/hash_aggregate.h"
+#include "ops/hash_join.h"
+#include "ops/sort.h"
+#include "storage/delta.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace plan {
+
+/// Engine-neutral logical operator kinds. A logical plan compiles to either
+/// engine (CompilePhoton / CompileBaseline), which is how the repository
+/// reproduces the paper's "identical logical plans during execution" setup
+/// for every head-to-head experiment (§6.2).
+enum class PlanKind : uint8_t {
+  kScan,       // in-memory table
+  kDeltaScan,  // Delta table snapshot with pruning
+  kFilter,
+  kProject,
+  kAggregate,
+  kJoin,
+  kSort,
+  kLimit,
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// One logical plan node. Field usage depends on `kind`; unused fields stay
+/// default-initialized. Kept as a plain struct (a la Spark's TreeNode) so
+/// the converter can pattern-match cheaply.
+struct PlanNode {
+  PlanKind kind;
+  std::vector<PlanPtr> children;
+  Schema output_schema;
+
+  // kScan
+  const Table* table = nullptr;
+
+  // kDeltaScan
+  ObjectStore* store = nullptr;
+  DeltaSnapshot snapshot;
+  std::vector<int> scan_columns;   // projection pushdown (empty = all)
+  ExprPtr scan_predicate;          // pushdown predicate for skipping
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+
+  // kAggregate
+  std::vector<ExprPtr> group_keys;
+  std::vector<std::string> key_names;
+  std::vector<AggregateSpec> aggregates;
+
+  // kJoin: children[0] = probe/left (streamed), children[1] = build/right.
+  JoinType join_type = JoinType::kInner;
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  ExprPtr residual;  // extra non-equi condition over [left cols, right cols]
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = 0;
+
+  std::string ToString(int indent = 0) const;
+};
+
+// Construction helpers (each computes the node's output schema).
+PlanPtr Scan(const Table* table);
+PlanPtr DeltaScan(ObjectStore* store, DeltaSnapshot snapshot,
+                  std::vector<int> columns = {}, ExprPtr predicate = nullptr);
+PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs,
+                std::vector<std::string> names);
+PlanPtr Aggregate(PlanPtr child, std::vector<ExprPtr> keys,
+                  std::vector<std::string> key_names,
+                  std::vector<AggregateSpec> aggs);
+PlanPtr Join(PlanPtr probe, PlanPtr build, JoinType type,
+             std::vector<ExprPtr> probe_keys, std::vector<ExprPtr> build_keys,
+             ExprPtr residual = nullptr);
+PlanPtr Sort(PlanPtr child, std::vector<SortKey> keys);
+PlanPtr Limit(PlanPtr child, int64_t n);
+
+/// Convenience: column reference into a plan's output schema by name.
+ExprPtr ColOf(const PlanPtr& plan, const std::string& name);
+int ColIndex(const PlanPtr& plan, const std::string& name);
+
+/// Compiles to a Photon physical operator tree.
+Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx = {});
+
+/// Which baseline join implementation to use (Figure 4 compares both).
+enum class BaselineJoinImpl : uint8_t { kSortMerge, kShuffledHash };
+
+/// Compiles to a baseline row operator tree.
+Result<baseline::RowOperatorPtr> CompileBaseline(
+    const PlanPtr& plan,
+    BaselineJoinImpl join_impl = BaselineJoinImpl::kSortMerge);
+
+}  // namespace plan
+}  // namespace photon
+
+#endif  // PHOTON_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,241 @@
+#include "storage/baseline_file_writer.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "storage/bitpack.h"
+
+namespace photon {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'H', 'O', '1'};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Serialized-key dictionary: each value is rendered to a std::string key
+/// (one allocation per value, the boxing cost).
+std::string BoxedKey(const DataType& type, const Value& v) {
+  BinaryWriter w;
+  WriteTypedValue(type, v, &w);
+  return w.ToString();
+}
+
+}  // namespace
+
+BaselineFileWriter::BaselineFileWriter(Schema schema,
+                                       FormatWriteOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  file_.Append(kMagic, 4);
+  meta_.schema = schema_;
+  meta_.codec = options_.codec;
+  columns_.resize(schema_.num_fields());
+}
+
+Status BaselineFileWriter::WriteRow(const std::vector<Value>& row) {
+  PHOTON_CHECK(!finished_);
+  PHOTON_CHECK(static_cast<int>(row.size()) == schema_.num_fields());
+  for (int c = 0; c < schema_.num_fields(); c++) {
+    columns_[c].push_back(row[c]);
+  }
+  pending_rows_++;
+  if (pending_rows_ >= options_.row_group_rows) {
+    PHOTON_RETURN_NOT_OK(FlushRowGroup());
+  }
+  return Status::OK();
+}
+
+Status BaselineFileWriter::FlushRowGroup() {
+  int n = static_cast<int>(pending_rows_);
+  if (n == 0) return Status::OK();
+
+  RowGroupMeta rg;
+  rg.num_rows = n;
+  for (int c = 0; c < schema_.num_fields(); c++) {
+    const DataType& type = schema_.field(c).type;
+    std::vector<Value>& col = columns_[c];
+    ColumnChunkMeta chunk;
+
+    int64_t t0 = NowNs();
+    BinaryWriter payload;
+    payload.WriteVarU64(static_cast<uint64_t>(n));
+    // Null bytes + boxed stats, value by value.
+    bool has = false;
+    for (int i = 0; i < n; i++) {
+      bool is_null = col[i].is_null();
+      payload.WriteU8(is_null ? 1 : 0);
+      if (is_null) {
+        chunk.null_count++;
+        continue;
+      }
+      if (!has) {
+        chunk.min = col[i];
+        chunk.max = col[i];
+        has = true;
+      } else {
+        if (col[i].Compare(chunk.min) < 0) chunk.min = col[i];
+        if (col[i].Compare(chunk.max) > 0) chunk.max = col[i];
+      }
+    }
+    chunk.has_min_max = has;
+
+    // Dictionary attempt with a serialized-key hash map.
+    BinaryWriter values;
+    bool used_dict = false;
+    if (options_.enable_dictionary) {
+      std::unordered_map<std::string, uint32_t> dict;
+      std::vector<Value> dict_values;
+      std::vector<uint32_t> indices(n);
+      bool aborted = false;
+      int64_t dict_value_bytes = 0;
+      for (int i = 0; i < n; i++) {
+        const Value& v = col[i];
+        std::string key =
+            v.is_null() ? std::string("\x00N", 2) : BoxedKey(type, v);
+        auto [it, inserted] =
+            dict.emplace(std::move(key),
+                         static_cast<uint32_t>(dict_values.size()));
+        if (inserted) {
+          if (static_cast<int>(dict_values.size()) >=
+              options_.max_dictionary_size) {
+            aborted = true;
+            break;
+          }
+          dict_values.push_back(v);
+          dict_value_bytes +=
+              v.is_null()
+                  ? type.byte_width()
+                  : (type.is_string()
+                         ? static_cast<int64_t>(v.str().size())
+                         : type.byte_width());
+        }
+        indices[i] = it->second;
+      }
+      if (!aborted) {
+        int bit_width = BitWidthFor(
+            dict_values.empty() ? 1 : dict_values.size() - 1);
+        int64_t plain_bytes = 0;
+        if (type.is_string()) {
+          for (int i = 0; i < n; i++) {
+            plain_bytes += col[i].is_null()
+                               ? 1
+                               : static_cast<int64_t>(col[i].str().size()) + 1;
+          }
+        } else {
+          plain_bytes = static_cast<int64_t>(n) * type.byte_width();
+        }
+        int64_t dict_bytes = dict_value_bytes +
+                             static_cast<int64_t>(n) * bit_width / 8 + 64;
+        if (dict_bytes < plain_bytes) {
+          values.WriteVarU64(dict_values.size());
+          for (const Value& v : dict_values) {
+            BinaryWriter one;
+            WriteTypedValue(type, v.is_null() ? ZeroValueForType(type) : v,
+                            &one);
+            // NULL entries of non-string fixed types must still be the
+            // right width; re-serialize with a typed zero.
+            values.Append(one.data().data(), one.size());
+          }
+          values.WriteU8(static_cast<uint8_t>(bit_width));
+          BitPackSlow(indices.data(), n, bit_width, &values);
+          used_dict = true;
+          stats_.dictionary_chunks++;
+        }
+      }
+    }
+    if (!used_dict) {
+      stats_.plain_chunks++;
+      switch (type.id()) {
+        case TypeId::kBoolean: {
+          std::vector<uint32_t> bits(n);
+          for (int i = 0; i < n; i++) {
+            bits[i] = (!col[i].is_null() && col[i].boolean()) ? 1 : 0;
+          }
+          BitPackSlow(bits.data(), n, 1, &values);
+          break;
+        }
+        case TypeId::kString: {
+          for (int i = 0; i < n; i++) {
+            if (col[i].is_null()) {
+              values.WriteVarU64(0);
+            } else {
+              values.WriteString(col[i].str());
+            }
+          }
+          break;
+        }
+        default: {
+          // One boxed serialization call per value.
+          for (int i = 0; i < n; i++) {
+            WriteTypedValue(
+                type, col[i].is_null() ? ZeroValueForType(type) : col[i],
+                &values);
+          }
+          break;
+        }
+      }
+    }
+    payload.WriteU8(used_dict
+                        ? static_cast<uint8_t>(ChunkEncoding::kDictionary)
+                        : static_cast<uint8_t>(ChunkEncoding::kPlain));
+    payload.Append(values.data().data(), values.size());
+    int64_t t1 = NowNs();
+    stats_.encode_ns += t1 - t0;
+
+    std::string compressed = Compress(
+        std::string_view(reinterpret_cast<const char*>(payload.data().data()),
+                         payload.size()),
+        options_.codec);
+    int64_t t2 = NowNs();
+    stats_.compress_ns += t2 - t1;
+
+    chunk.encoding =
+        used_dict ? ChunkEncoding::kDictionary : ChunkEncoding::kPlain;
+    chunk.offset = file_.size();
+    chunk.compressed_bytes = compressed.size();
+    file_.Append(compressed.data(), compressed.size());
+    rg.columns.push_back(std::move(chunk));
+    col.clear();
+  }
+  meta_.row_groups.push_back(std::move(rg));
+  pending_rows_ = 0;
+  return Status::OK();
+}
+
+Result<std::string> BaselineFileWriter::Finish() {
+  PHOTON_CHECK(!finished_);
+  PHOTON_RETURN_NOT_OK(FlushRowGroup());
+  finished_ = true;
+  BinaryWriter footer;
+  WriteFileMeta(meta_, &footer);
+  file_.Append(footer.data().data(), footer.size());
+  file_.WriteU32(static_cast<uint32_t>(footer.size()));
+  file_.Append(kMagic, 4);
+  stats_.bytes_written = static_cast<int64_t>(file_.size());
+  return file_.ToString();
+}
+
+Result<FileMeta> BaselineWriteTableToStore(const Table& table,
+                                           ObjectStore* store,
+                                           const std::string& key,
+                                           FormatWriteOptions options,
+                                           WriteStats* stats) {
+  BaselineFileWriter writer(table.schema(), options);
+  for (const auto& row : table.ToRows()) {
+    PHOTON_RETURN_NOT_OK(writer.WriteRow(row));
+  }
+  PHOTON_ASSIGN_OR_RETURN(std::string bytes, writer.Finish());
+  int64_t t0 = NowNs();
+  PHOTON_RETURN_NOT_OK(store->Put(key, std::move(bytes)));
+  int64_t io_ns = NowNs() - t0;
+  if (stats != nullptr) {
+    *stats = writer.stats();
+    stats->io_ns = io_ns;
+  }
+  return writer.meta();
+}
+
+}  // namespace photon

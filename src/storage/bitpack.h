@@ -1,0 +1,33 @@
+#ifndef PHOTON_STORAGE_BITPACK_H_
+#define PHOTON_STORAGE_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_buffer.h"
+
+namespace photon {
+
+/// Number of bits needed to represent `max_value` (>= 1 for value 0).
+int BitWidthFor(uint64_t max_value);
+
+/// Packs `n` values of `bit_width` bits each, little-endian within a
+/// 64-bit word buffer — the word-at-a-time kernel Photon's Parquet writer
+/// uses (Figure 7 credits "optimized bit-packing" for part of its 2x).
+void BitPack(const uint32_t* values, int n, int bit_width,
+             BinaryWriter* out);
+
+/// Inverse of BitPack. `out` must have room for n values.
+Status BitUnpack(BinaryReader* in, int n, int bit_width, uint32_t* out);
+
+/// Reference bit-at-a-time implementations, modeling the byte/bit-level
+/// loop a generic (Java Parquet-MR-style) writer performs. Produce
+/// identical bytes to the fast versions; used by the baseline writer and
+/// as test oracles.
+void BitPackSlow(const uint32_t* values, int n, int bit_width,
+                 BinaryWriter* out);
+Status BitUnpackSlow(BinaryReader* in, int n, int bit_width, uint32_t* out);
+
+}  // namespace photon
+
+#endif  // PHOTON_STORAGE_BITPACK_H_

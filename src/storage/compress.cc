@@ -1,0 +1,179 @@
+#include "storage/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/macros.h"
+
+namespace photon {
+namespace {
+
+constexpr int kHashLog = 14;
+constexpr int kHashSize = 1 << kHashLog;
+constexpr int kMinMatch = 4;
+constexpr int kMaxOffset = 65535;
+
+PHOTON_ALWAYS_INLINE uint32_t Read32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+PHOTON_ALWAYS_INLINE uint32_t Hash4(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+void WriteLength(std::string* out, size_t len) {
+  // LZ4-style length extension: 255-run bytes then remainder.
+  while (len >= 255) {
+    out->push_back(static_cast<char>(255));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+std::string LzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 64);
+  const char* base = input.data();
+  const char* end = base + input.size();
+  const char* anchor = base;
+  const char* p = base;
+
+  std::vector<int32_t> table(kHashSize, -1);
+
+  auto emit_sequence = [&](const char* lit_end, const char* match,
+                           int match_len) {
+    size_t lit_len = static_cast<size_t>(lit_end - anchor);
+    uint8_t token =
+        static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4) |
+        static_cast<uint8_t>(match_len - kMinMatch < 15
+                                 ? match_len - kMinMatch
+                                 : 15);
+    out.push_back(static_cast<char>(token));
+    if (lit_len >= 15) WriteLength(&out, lit_len - 15);
+    out.append(anchor, lit_len);
+    uint16_t offset = static_cast<uint16_t>(lit_end - match);
+    out.push_back(static_cast<char>(offset & 0xFF));
+    out.push_back(static_cast<char>(offset >> 8));
+    if (match_len - kMinMatch >= 15) {
+      WriteLength(&out, static_cast<size_t>(match_len - kMinMatch) - 15);
+    }
+  };
+
+  if (input.size() >= 13) {
+    const char* match_limit = end - 5;  // keep final literals uncompressed
+    while (p + kMinMatch <= match_limit) {
+      uint32_t h = Hash4(Read32(p));
+      int32_t cand = table[h];
+      table[h] = static_cast<int32_t>(p - base);
+      if (cand >= 0 && (p - base) - cand <= kMaxOffset &&
+          Read32(base + cand) == Read32(p)) {
+        const char* match = base + cand;
+        int match_len = kMinMatch;
+        while (p + match_len < match_limit &&
+               p[match_len] == match[match_len]) {
+          match_len++;
+        }
+        emit_sequence(p, match, match_len);
+        p += match_len;
+        anchor = p;
+      } else {
+        p++;
+      }
+    }
+  }
+  // Trailing literals as a final sequence with match_len == 0 marker:
+  // token with match nibble 0 and offset 0 means "literals only, end".
+  size_t lit_len = static_cast<size_t>(end - anchor);
+  uint8_t token = static_cast<uint8_t>((lit_len < 15 ? lit_len : 15) << 4);
+  out.push_back(static_cast<char>(token));
+  if (lit_len >= 15) WriteLength(&out, lit_len - 15);
+  out.append(anchor, lit_len);
+  out.push_back(0);
+  out.push_back(0);
+  return out;
+}
+
+Status ReadLength(const char*& p, const char* end, size_t base_len,
+                  size_t* out_len) {
+  size_t len = base_len;
+  if (base_len == 15) {
+    while (true) {
+      if (p >= end) return Status::IoError("lz: truncated length");
+      uint8_t b = static_cast<uint8_t>(*p++);
+      len += b;
+      if (b != 255) break;
+    }
+  }
+  *out_len = len;
+  return Status::OK();
+}
+
+Status LzDecompress(std::string_view payload, size_t expected_size,
+                    std::string* out) {
+  out->clear();
+  out->reserve(expected_size);
+  const char* p = payload.data();
+  const char* end = p + payload.size();
+  while (p < end) {
+    uint8_t token = static_cast<uint8_t>(*p++);
+    size_t lit_len;
+    PHOTON_RETURN_NOT_OK(ReadLength(p, end, token >> 4, &lit_len));
+    if (p + lit_len > end) return Status::IoError("lz: truncated literals");
+    out->append(p, lit_len);
+    p += lit_len;
+    if (p + 2 > end) return Status::IoError("lz: truncated offset");
+    uint16_t offset = static_cast<uint8_t>(p[0]) |
+                      (static_cast<uint16_t>(static_cast<uint8_t>(p[1])) << 8);
+    p += 2;
+    if (offset == 0) break;  // end marker
+    size_t match_len;
+    PHOTON_RETURN_NOT_OK(ReadLength(p, end, token & 0xF, &match_len));
+    match_len += kMinMatch;
+    if (offset > out->size()) return Status::IoError("lz: bad offset");
+    size_t match_pos = out->size() - offset;
+    // Byte-by-byte: overlapping matches (RLE) are valid.
+    for (size_t i = 0; i < match_len; i++) {
+      out->push_back((*out)[match_pos + i]);
+    }
+  }
+  if (out->size() != expected_size) {
+    return Status::IoError("lz: size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Compress(std::string_view input, Codec codec) {
+  BinaryWriter header;
+  header.WriteU8(static_cast<uint8_t>(codec));
+  header.WriteVarU64(input.size());
+  std::string out = header.ToString();
+  if (codec == Codec::kNone) {
+    out.append(input);
+    return out;
+  }
+  out += LzCompress(input);
+  return out;
+}
+
+Result<std::string> Decompress(std::string_view frame) {
+  BinaryReader reader(frame);
+  uint8_t codec_byte = 0;
+  PHOTON_RETURN_NOT_OK(reader.ReadU8(&codec_byte));
+  uint64_t size = 0;
+  PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&size));
+  std::string_view payload = frame.substr(reader.position());
+  if (static_cast<Codec>(codec_byte) == Codec::kNone) {
+    if (payload.size() != size) return Status::IoError("bad frame size");
+    return std::string(payload);
+  }
+  std::string out;
+  PHOTON_RETURN_NOT_OK(LzDecompress(payload, size, &out));
+  return out;
+}
+
+}  // namespace photon

@@ -1,0 +1,29 @@
+#ifndef PHOTON_STORAGE_COMPRESS_H_
+#define PHOTON_STORAGE_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace photon {
+
+enum class Codec : uint8_t { kNone = 0, kLz = 1 };
+
+/// Compresses `input` with the given codec, producing a self-describing
+/// frame (codec byte + uncompressed size + payload).
+///
+/// The kLz codec is an LZ4-style byte-oriented LZ77 compressor (greedy
+/// hash-table matching, 64 KiB window, literal/match token stream). It
+/// stands in for LZ4 in the paper's shuffle experiments (Table 1): what
+/// matters there is that compression cost scales with input bytes, so
+/// shrinking the pre-compression data with adaptive encodings shrinks both
+/// time and output size.
+std::string Compress(std::string_view input, Codec codec);
+
+/// Inverse of Compress; rejects corrupt frames.
+Result<std::string> Decompress(std::string_view frame);
+
+}  // namespace photon
+
+#endif  // PHOTON_STORAGE_COMPRESS_H_

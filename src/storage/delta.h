@@ -1,0 +1,96 @@
+#ifndef PHOTON_STORAGE_DELTA_H_
+#define PHOTON_STORAGE_DELTA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/format.h"
+#include "storage/object_store.h"
+
+namespace photon {
+
+/// Per-data-file entry in the transaction log, carrying the zone-map stats
+/// the scanner uses for data skipping (the paper's Lakehouse stack gets
+/// this from Delta Lake + Parquet footers; §2.1).
+struct DeltaFileEntry {
+  std::string key;  // object-store key of the data file
+  int64_t num_rows = 0;
+  /// Per-column min/max/null-count, aggregated over the file's row groups.
+  std::vector<ColumnChunkMeta> column_stats;
+};
+
+/// A consistent view of the table at one log version.
+struct DeltaSnapshot {
+  int64_t version = -1;
+  Schema schema;
+  std::vector<DeltaFileEntry> files;
+
+  int64_t num_rows() const {
+    int64_t n = 0;
+    for (const DeltaFileEntry& f : files) n += f.num_rows;
+    return n;
+  }
+};
+
+/// A minimal Delta-Lake-style transactional table layer over the object
+/// store (see DESIGN.md substitutions): an append-only log of versioned
+/// commits under `<path>/_delta_log/`, each holding metadata / add-file /
+/// remove-file actions. Provides snapshots (time travel), optimistic
+/// version allocation, and stats-based file skipping.
+class DeltaTable {
+ public:
+  /// Creates a new table (commits version 0 with the schema).
+  static Result<std::unique_ptr<DeltaTable>> Create(ObjectStore* store,
+                                                    std::string path,
+                                                    Schema schema);
+  /// Opens an existing table.
+  static Result<std::unique_ptr<DeltaTable>> Open(ObjectStore* store,
+                                                  std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// Latest committed version.
+  Result<int64_t> LatestVersion() const;
+
+  /// Snapshot at `version` (-1 = latest). This is Delta's time travel.
+  Result<DeltaSnapshot> Snapshot(int64_t version = -1) const;
+
+  /// Writes `table` as one or more data files and commits an add-file
+  /// transaction. Returns the new version.
+  Result<int64_t> Append(const Table& data, FormatWriteOptions options = {});
+
+  /// Commits a transaction that removes `remove_keys` and adds the data
+  /// files of `add` (used by compaction/ETL rewrites). Returns version.
+  Result<int64_t> Rewrite(const std::vector<std::string>& remove_keys,
+                          const Table& add,
+                          FormatWriteOptions options = {});
+
+  /// Files of `snapshot` that may contain rows matching `predicate`,
+  /// using per-column min/max stats (data skipping / file pruning). A null
+  /// predicate returns all files.
+  static std::vector<DeltaFileEntry> PruneFiles(
+      const DeltaSnapshot& snapshot, const ExprPtr& predicate);
+
+ private:
+  DeltaTable(ObjectStore* store, std::string path)
+      : store_(store), path_(std::move(path)) {}
+
+  std::string LogKey(int64_t version) const;
+  Result<int64_t> CommitActions(const std::string& payload);
+
+  ObjectStore* store_;
+  std::string path_;
+  int64_t file_seq_ = 0;
+};
+
+/// True when a conjunct of the form `col <op> literal` could match any row
+/// given [min, max] column stats. Exposed for testing.
+bool StatsMayMatch(const Expr& predicate, const Schema& schema,
+                   const std::vector<ColumnChunkMeta>& stats);
+
+}  // namespace photon
+
+#endif  // PHOTON_STORAGE_DELTA_H_

@@ -1,0 +1,69 @@
+#ifndef PHOTON_STORAGE_OBJECT_STORE_H_
+#define PHOTON_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace photon {
+
+/// In-process blob store standing in for S3/ADLS/GCS (see DESIGN.md
+/// substitutions). Keys are flat strings with '/' conventions; values are
+/// immutable byte strings. Optional latency/bandwidth simulation lets the
+/// Parquet-write benchmark exhibit an IO component like the paper's
+/// S3-backed Figure 7.
+///
+/// Thread-safe. Also used as the engine's spill and shuffle target.
+class ObjectStore {
+ public:
+  struct Options {
+    /// Fixed per-operation latency in microseconds (0 = in-memory speed).
+    int64_t put_latency_us = 0;
+    int64_t get_latency_us = 0;
+    /// Simulated throughput in bytes/second (0 = unlimited).
+    int64_t bandwidth_bytes_per_sec = 0;
+  };
+
+  ObjectStore() = default;
+  explicit ObjectStore(Options options) : options_(options) {}
+
+  /// Process-wide default instance (no simulated latency).
+  static ObjectStore& Default();
+
+  Status Put(const std::string& key, std::string bytes);
+  Result<std::string> Get(const std::string& key) const;
+  bool Exists(const std::string& key) const;
+  Status Delete(const std::string& key);
+  /// Keys with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+  /// Deletes all keys under a prefix; returns count removed.
+  int64_t DeletePrefix(const std::string& prefix);
+
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t bytes_read() const { return bytes_read_; }
+  int64_t num_puts() const { return num_puts_; }
+  int64_t num_gets() const { return num_gets_; }
+
+  /// Injects a failure on the next `n` Put calls (failure-injection tests).
+  void FailNextPuts(int n) { fail_puts_ = n; }
+
+ private:
+  void SimulateIo(int64_t latency_us, size_t bytes) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> blobs_;
+  mutable int64_t bytes_written_ = 0;
+  mutable int64_t bytes_read_ = 0;
+  mutable int64_t num_puts_ = 0;
+  mutable int64_t num_gets_ = 0;
+  int fail_puts_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_STORAGE_OBJECT_STORE_H_

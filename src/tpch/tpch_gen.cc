@@ -1,0 +1,395 @@
+#include "tpch/tpch_gen.h"
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/time_util.h"
+
+namespace photon {
+namespace tpch {
+namespace {
+
+DataType Money() { return DataType::Decimal(12, 2); }
+
+Value Dec(int64_t cents) {
+  return Value::Decimal(Decimal128::FromInt64(cents));
+}
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1},  {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},      {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},    {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},     {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},    {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                        "FOB"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                              "CAN", "DRUM"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kColors[] = {
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+    "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory",
+    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+    "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
+    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale",
+    "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+    "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow"};
+const char* kWords[] = {
+    "packages", "requests",  "accounts",  "deposits",   "foxes",
+    "ideas",    "theodolites", "pinto",   "beans",      "instructions",
+    "dependencies", "excuses", "platelets", "asymptotes", "courts",
+    "dolphins", "multipliers", "sauternes", "warthogs",  "frets",
+    "dinos",    "attainments", "somas",   "braids",     "hockey",
+    "players",  "realms",    "sentiments", "waters",    "sheaves",
+    "ironic",   "final",     "bold",      "furious",    "express",
+    "special",  "pending",   "regular",   "even",       "silent",
+    "slyly",    "carefully", "quickly",   "blithely",   "furiously"};
+
+std::string RandomWords(Rng* rng, int count) {
+  std::string out;
+  for (int i = 0; i < count; i++) {
+    if (i > 0) out += ' ';
+    out += kWords[rng->Uniform(0, 44)];
+  }
+  return out;
+}
+
+std::string Phone(Rng* rng, int nation) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02d-%03d-%03d-%04d", 10 + nation,
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(100, 999)),
+                static_cast<int>(rng->Uniform(1000, 9999)));
+  return buf;
+}
+
+}  // namespace
+
+Schema RegionSchema() {
+  return Schema({Field("r_regionkey", DataType::Int64(), false),
+                 Field("r_name", DataType::String(), false),
+                 Field("r_comment", DataType::String())});
+}
+
+Schema NationSchema() {
+  return Schema({Field("n_nationkey", DataType::Int64(), false),
+                 Field("n_name", DataType::String(), false),
+                 Field("n_regionkey", DataType::Int64(), false),
+                 Field("n_comment", DataType::String())});
+}
+
+Schema SupplierSchema() {
+  return Schema({Field("s_suppkey", DataType::Int64(), false),
+                 Field("s_name", DataType::String(), false),
+                 Field("s_address", DataType::String()),
+                 Field("s_nationkey", DataType::Int64(), false),
+                 Field("s_phone", DataType::String()),
+                 Field("s_acctbal", Money()),
+                 Field("s_comment", DataType::String())});
+}
+
+Schema CustomerSchema() {
+  return Schema({Field("c_custkey", DataType::Int64(), false),
+                 Field("c_name", DataType::String(), false),
+                 Field("c_address", DataType::String()),
+                 Field("c_nationkey", DataType::Int64(), false),
+                 Field("c_phone", DataType::String()),
+                 Field("c_acctbal", Money()),
+                 Field("c_mktsegment", DataType::String()),
+                 Field("c_comment", DataType::String())});
+}
+
+Schema PartSchema() {
+  return Schema({Field("p_partkey", DataType::Int64(), false),
+                 Field("p_name", DataType::String(), false),
+                 Field("p_mfgr", DataType::String()),
+                 Field("p_brand", DataType::String()),
+                 Field("p_type", DataType::String()),
+                 Field("p_size", DataType::Int32()),
+                 Field("p_container", DataType::String()),
+                 Field("p_retailprice", Money()),
+                 Field("p_comment", DataType::String())});
+}
+
+Schema PartsuppSchema() {
+  return Schema({Field("ps_partkey", DataType::Int64(), false),
+                 Field("ps_suppkey", DataType::Int64(), false),
+                 Field("ps_availqty", DataType::Int32()),
+                 Field("ps_supplycost", Money()),
+                 Field("ps_comment", DataType::String())});
+}
+
+Schema OrdersSchema() {
+  return Schema({Field("o_orderkey", DataType::Int64(), false),
+                 Field("o_custkey", DataType::Int64(), false),
+                 Field("o_orderstatus", DataType::String()),
+                 Field("o_totalprice", Money()),
+                 Field("o_orderdate", DataType::Date32()),
+                 Field("o_orderpriority", DataType::String()),
+                 Field("o_clerk", DataType::String()),
+                 Field("o_shippriority", DataType::Int32()),
+                 Field("o_comment", DataType::String())});
+}
+
+Schema LineitemSchema() {
+  return Schema({Field("l_orderkey", DataType::Int64(), false),
+                 Field("l_partkey", DataType::Int64(), false),
+                 Field("l_suppkey", DataType::Int64(), false),
+                 Field("l_linenumber", DataType::Int32()),
+                 Field("l_quantity", Money()),
+                 Field("l_extendedprice", Money()),
+                 Field("l_discount", Money()),
+                 Field("l_tax", Money()),
+                 Field("l_returnflag", DataType::String()),
+                 Field("l_linestatus", DataType::String()),
+                 Field("l_shipdate", DataType::Date32()),
+                 Field("l_commitdate", DataType::Date32()),
+                 Field("l_receiptdate", DataType::Date32()),
+                 Field("l_shipinstruct", DataType::String()),
+                 Field("l_shipmode", DataType::String()),
+                 Field("l_comment", DataType::String())});
+}
+
+TpchData::TpchData()
+    : region(RegionSchema()),
+      nation(NationSchema()),
+      supplier(SupplierSchema()),
+      customer(CustomerSchema()),
+      part(PartSchema()),
+      partsupp(PartsuppSchema()),
+      orders(OrdersSchema()),
+      lineitem(LineitemSchema()) {}
+
+TpchData GenerateTpch(double scale_factor, uint64_t seed) {
+  Rng rng(seed);
+  TpchData data;
+
+  const int64_t num_suppliers =
+      std::max<int64_t>(10, static_cast<int64_t>(10000 * scale_factor));
+  const int64_t num_parts =
+      std::max<int64_t>(20, static_cast<int64_t>(200000 * scale_factor));
+  const int64_t num_customers =
+      std::max<int64_t>(15, static_cast<int64_t>(150000 * scale_factor));
+  const int64_t num_orders =
+      std::max<int64_t>(15, static_cast<int64_t>(1500000 * scale_factor));
+
+  int32_t start_date = 0, end_date = 0, current_date = 0;
+  PHOTON_CHECK(ParseDate("1992-01-01", &start_date));
+  PHOTON_CHECK(ParseDate("1998-08-02", &end_date));
+  PHOTON_CHECK(ParseDate("1995-06-17", &current_date));
+
+  // ---- region / nation ----------------------------------------------------
+  {
+    TableBuilder b(RegionSchema());
+    for (int r = 0; r < 5; r++) {
+      b.AppendRow({Value::Int64(r), Value::String(kRegions[r]),
+                   Value::String(RandomWords(&rng, 6))});
+    }
+    data.region = b.Finish();
+  }
+  {
+    TableBuilder b(NationSchema());
+    for (int n = 0; n < 25; n++) {
+      b.AppendRow({Value::Int64(n), Value::String(kNations[n].name),
+                   Value::Int64(kNations[n].region),
+                   Value::String(RandomWords(&rng, 6))});
+    }
+    data.nation = b.Finish();
+  }
+
+  // ---- supplier -------------------------------------------------------------
+  {
+    TableBuilder b(SupplierSchema());
+    for (int64_t s = 1; s <= num_suppliers; s++) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "Supplier#%09lld",
+                    static_cast<long long>(s));
+      int nation = static_cast<int>(rng.Uniform(0, 24));
+      // ~1% of suppliers have the Q16 "Customer ... Complaints" comment.
+      std::string comment = RandomWords(&rng, 5);
+      if (rng.Uniform(0, 99) == 0) {
+        comment += " Customer smart Complaints " + RandomWords(&rng, 2);
+      }
+      b.AppendRow({Value::Int64(s), Value::String(name),
+                   Value::String(RandomWords(&rng, 3)), Value::Int64(nation),
+                   Value::String(Phone(&rng, nation)),
+                   Dec(rng.Uniform(-99999, 999999)),
+                   Value::String(comment)});
+    }
+    data.supplier = b.Finish();
+  }
+
+  // ---- part + partsupp ------------------------------------------------------
+  std::vector<int64_t> retail_cents(num_parts + 1);
+  {
+    TableBuilder pb(PartSchema());
+    TableBuilder psb(PartsuppSchema());
+    for (int64_t p = 1; p <= num_parts; p++) {
+      std::string name;
+      for (int w = 0; w < 5; w++) {
+        if (w > 0) name += ' ';
+        name += kColors[rng.Uniform(0, 92)];
+      }
+      int m = static_cast<int>(rng.Uniform(1, 5));
+      char mfgr[24], brand[16];
+      std::snprintf(mfgr, sizeof(mfgr), "Manufacturer#%d", m);
+      std::snprintf(brand, sizeof(brand), "Brand#%d%d", m,
+                    static_cast<int>(rng.Uniform(1, 5)));
+      std::string type = std::string(kTypes1[rng.Uniform(0, 5)]) + " " +
+                         kTypes2[rng.Uniform(0, 4)] + " " +
+                         kTypes3[rng.Uniform(0, 4)];
+      int size = static_cast<int>(rng.Uniform(1, 50));
+      std::string container = std::string(kContainers1[rng.Uniform(0, 4)]) +
+                              " " + kContainers2[rng.Uniform(0, 7)];
+      // Retail price formula from the spec (in cents).
+      int64_t price =
+          90000 + ((p / 10) % 20001) + 100 * (p % 1000);
+      retail_cents[p] = price;
+      pb.AppendRow({Value::Int64(p), Value::String(name),
+                    Value::String(mfgr), Value::String(brand),
+                    Value::String(type), Value::Int32(size),
+                    Value::String(container), Dec(price),
+                    Value::String(RandomWords(&rng, 4))});
+      for (int i = 0; i < 4; i++) {
+        int64_t s = (p + i * (num_suppliers / 4 + (p - 1) / num_suppliers)) %
+                        num_suppliers +
+                    1;
+        psb.AppendRow({Value::Int64(p), Value::Int64(s),
+                       Value::Int32(static_cast<int32_t>(
+                           rng.Uniform(1, 9999))),
+                       Dec(rng.Uniform(100, 100000)),
+                       Value::String(RandomWords(&rng, 8))});
+      }
+    }
+    data.part = pb.Finish();
+    data.partsupp = psb.Finish();
+  }
+
+  // ---- customer -------------------------------------------------------------
+  {
+    TableBuilder b(CustomerSchema());
+    for (int64_t c = 1; c <= num_customers; c++) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "Customer#%09lld",
+                    static_cast<long long>(c));
+      int nation = static_cast<int>(rng.Uniform(0, 24));
+      b.AppendRow({Value::Int64(c), Value::String(name),
+                   Value::String(RandomWords(&rng, 3)), Value::Int64(nation),
+                   Value::String(Phone(&rng, nation)),
+                   Dec(rng.Uniform(-99999, 999999)),
+                   Value::String(kSegments[rng.Uniform(0, 4)]),
+                   Value::String(RandomWords(&rng, 8))});
+    }
+    data.customer = b.Finish();
+  }
+
+  // ---- orders + lineitem ------------------------------------------------------
+  {
+    TableBuilder ob(OrdersSchema());
+    TableBuilder lb(LineitemSchema());
+    for (int64_t o = 1; o <= num_orders; o++) {
+      // Sparse order keys (spec: 8 of every 32 keys used).
+      int64_t orderkey = ((o - 1) / 8) * 32 + ((o - 1) % 8) + 1;
+      // Customers with custkey % 3 == 0 place no orders (spec).
+      int64_t custkey;
+      do {
+        custkey = rng.Uniform(1, num_customers);
+      } while (custkey % 3 == 0);
+      int32_t orderdate = static_cast<int32_t>(
+          rng.Uniform(start_date, end_date - 151));
+      int num_lines = static_cast<int>(rng.Uniform(1, 7));
+      int64_t total = 0;
+      int lines_f = 0;
+      for (int line = 1; line <= num_lines; line++) {
+        int64_t partkey = rng.Uniform(1, num_parts);
+        int64_t suppkey =
+            (partkey + (line - 1) * (num_suppliers / 4 +
+                                     (partkey - 1) / num_suppliers)) %
+                num_suppliers +
+            1;
+        int64_t qty = rng.Uniform(1, 50);
+        int64_t extprice = qty * retail_cents[partkey];
+        int64_t discount = rng.Uniform(0, 10);  // 0.00 .. 0.10
+        int64_t tax = rng.Uniform(0, 8);
+        int32_t shipdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+        int32_t commitdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+        int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+        const char* returnflag;
+        if (receiptdate <= current_date) {
+          returnflag = rng.NextBool() ? "R" : "A";
+        } else {
+          returnflag = "N";
+        }
+        const char* linestatus = shipdate > current_date ? "O" : "F";
+        if (linestatus[0] == 'F') lines_f++;
+        total += extprice;
+        lb.AppendRow(
+            {Value::Int64(orderkey), Value::Int64(partkey),
+             Value::Int64(suppkey), Value::Int32(line),
+             Dec(qty * 100), Dec(extprice), Dec(discount),
+             Dec(tax), Value::String(returnflag),
+             Value::String(linestatus), Value::Date32(shipdate),
+             Value::Date32(commitdate), Value::Date32(receiptdate),
+             Value::String(kInstructs[rng.Uniform(0, 3)]),
+             Value::String(kModes[rng.Uniform(0, 6)]),
+             Value::String(RandomWords(&rng, 4))});
+      }
+      const char* status = lines_f == num_lines ? "F"
+                           : lines_f == 0       ? "O"
+                                                : "P";
+      char clerk[24];
+      std::snprintf(clerk, sizeof(clerk), "Clerk#%09lld",
+                    static_cast<long long>(
+                        rng.Uniform(1, std::max<int64_t>(1, num_orders / 1000))));
+      // ~1% of order comments carry the Q13 "special ... requests" phrase.
+      std::string comment = RandomWords(&rng, 6);
+      if (rng.Uniform(0, 99) == 0) {
+        comment += " special deposits requests " + RandomWords(&rng, 2);
+      }
+      ob.AppendRow({Value::Int64(orderkey), Value::Int64(custkey),
+                    Value::String(status), Dec(total),
+                    Value::Date32(orderdate),
+                    Value::String(kPriorities[rng.Uniform(0, 4)]),
+                    Value::String(clerk), Value::Int32(0),
+                    Value::String(comment)});
+    }
+    data.orders = ob.Finish();
+    data.lineitem = lb.Finish();
+  }
+  return data;
+}
+
+}  // namespace tpch
+}  // namespace photon

@@ -1,0 +1,46 @@
+#ifndef PHOTON_TPCH_TPCH_GEN_H_
+#define PHOTON_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "vector/table.h"
+
+namespace photon {
+namespace tpch {
+
+/// All eight TPC-H base tables, in-memory columnar.
+struct TpchData {
+  Table region;
+  Table nation;
+  Table supplier;
+  Table customer;
+  Table part;
+  Table partsupp;
+  Table orders;
+  Table lineitem;
+
+  TpchData();
+};
+
+/// dbgen-style deterministic generator (see TPC-H spec §4.2), scaled by
+/// `scale_factor` (1.0 = 6M lineitems; benchmarks here use 0.01–0.1).
+/// Value distributions follow the spec closely enough that the 22 queries
+/// are selective in the intended ways: dates span 1992-01-01..1998-08-02,
+/// discounts 0.00..0.10, the comment text pools contain the phrases the
+/// LIKE predicates probe for, etc. Monetary columns are decimal(12,2).
+TpchData GenerateTpch(double scale_factor, uint64_t seed = 19711025);
+
+/// Schemas (column order matters: queries reference fields by name).
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema CustomerSchema();
+Schema PartSchema();
+Schema PartsuppSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+
+}  // namespace tpch
+}  // namespace photon
+
+#endif  // PHOTON_TPCH_TPCH_GEN_H_

@@ -1,0 +1,808 @@
+#include "tpch/tpch_queries.h"
+
+#include "expr/builder.h"
+
+namespace photon {
+namespace tpch {
+namespace {
+
+using plan::ColOf;
+using plan::PlanPtr;
+
+// Terse aliases for plan/expression building.
+PlanPtr F(PlanPtr p, ExprPtr pred) { return plan::Filter(std::move(p), pred); }
+
+ExprPtr C(const PlanPtr& p, const std::string& name) { return ColOf(p, name); }
+
+/// Projects the named columns; "old:new" renames.
+PlanPtr Keep(PlanPtr p, const std::vector<std::string>& cols) {
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (const std::string& spec : cols) {
+    size_t colon = spec.find(':');
+    std::string src = colon == std::string::npos ? spec : spec.substr(0, colon);
+    std::string dst = colon == std::string::npos ? spec : spec.substr(colon + 1);
+    exprs.push_back(ColOf(p, src));
+    names.push_back(dst);
+  }
+  return plan::Project(std::move(p), std::move(exprs), std::move(names));
+}
+
+ExprPtr DL(const std::string& text, int scale = 2) {
+  return eb::DecimalLit(text, 12, scale);
+}
+
+/// revenue term: l_extendedprice * (1 - l_discount).
+ExprPtr Revenue(const PlanPtr& p, const std::string& price = "l_extendedprice",
+                const std::string& disc = "l_discount") {
+  return eb::Mul(C(p, price), eb::Sub(eb::Lit(int32_t{1}), C(p, disc)));
+}
+
+AggregateSpec Agg(AggKind kind, ExprPtr arg, std::string name) {
+  return AggregateSpec{kind, std::move(arg), std::move(name)};
+}
+
+SortKey Asc(ExprPtr e) { return SortKey{std::move(e), true, true}; }
+SortKey Desc(ExprPtr e) { return SortKey{std::move(e), false, true}; }
+
+/// Typed zero matching an expression's decimal type, for CASE ELSE arms.
+ExprPtr ZeroLike(const ExprPtr& e) {
+  return eb::Cast(eb::Lit(int32_t{0}), e->type());
+}
+
+// ---------------------------------------------------------------------------
+// Individual queries. Each returns a complete logical plan.
+// ---------------------------------------------------------------------------
+
+PlanPtr Q1(const TpchData& d) {
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::Le(C(l, "l_shipdate"), eb::DateLit("1998-09-02")));
+  ExprPtr disc_price = Revenue(l);
+  ExprPtr charge =
+      eb::Mul(Revenue(l), eb::Add(eb::Lit(int32_t{1}), C(l, "l_tax")));
+  PlanPtr agg = plan::Aggregate(
+      l, {C(l, "l_returnflag"), C(l, "l_linestatus")},
+      {"l_returnflag", "l_linestatus"},
+      {Agg(AggKind::kSum, C(l, "l_quantity"), "sum_qty"),
+       Agg(AggKind::kSum, C(l, "l_extendedprice"), "sum_base_price"),
+       Agg(AggKind::kSum, disc_price, "sum_disc_price"),
+       Agg(AggKind::kSum, charge, "sum_charge"),
+       Agg(AggKind::kAvg, C(l, "l_quantity"), "avg_qty"),
+       Agg(AggKind::kAvg, C(l, "l_extendedprice"), "avg_price"),
+       Agg(AggKind::kAvg, C(l, "l_discount"), "avg_disc"),
+       Agg(AggKind::kCountStar, nullptr, "count_order")});
+  return plan::Sort(agg, {Asc(C(agg, "l_returnflag")),
+                          Asc(C(agg, "l_linestatus"))});
+}
+
+/// partsupp joined with EUROPE suppliers; shared by Q2's outer and inner.
+PlanPtr Q2EuropeSupply(const TpchData& d) {
+  PlanPtr r = F(plan::Scan(&d.region),
+                eb::Eq(ColOf(plan::Scan(&d.region), "r_name"),
+                       eb::Lit("EUROPE")));
+  PlanPtr n = plan::Scan(&d.nation);
+  PlanPtr nr = plan::Join(n, Keep(r, {"r_regionkey"}), JoinType::kInner,
+                          {C(n, "n_regionkey")},
+                          {ColOf(Keep(r, {"r_regionkey"}), "r_regionkey")});
+  nr = Keep(nr, {"n_nationkey", "n_name"});
+  PlanPtr s = plan::Scan(&d.supplier);
+  PlanPtr sn = plan::Join(s, nr, JoinType::kInner, {C(s, "s_nationkey")},
+                          {C(nr, "n_nationkey")});
+  sn = Keep(sn, {"s_suppkey", "s_name", "s_address", "s_phone", "s_acctbal",
+                 "s_comment", "n_name"});
+  PlanPtr ps = plan::Scan(&d.partsupp);
+  PlanPtr out = plan::Join(ps, sn, JoinType::kInner, {C(ps, "ps_suppkey")},
+                           {C(sn, "s_suppkey")});
+  return out;
+}
+
+PlanPtr Q2(const TpchData& d) {
+  PlanPtr supply = Q2EuropeSupply(d);
+  PlanPtr min_cost = plan::Aggregate(
+      Q2EuropeSupply(d), {C(supply, "ps_partkey")}, {"mc_partkey"},
+      {Agg(AggKind::kMin, C(supply, "ps_supplycost"), "min_cost")});
+  PlanPtr p = plan::Scan(&d.part);
+  p = F(p, eb::And(eb::Eq(C(p, "p_size"), eb::Lit(int32_t{15})),
+                   eb::Like(C(p, "p_type"), "%BRASS")));
+  p = Keep(p, {"p_partkey", "p_mfgr"});
+
+  PlanPtr j = plan::Join(supply, min_cost, JoinType::kInner,
+                         {C(supply, "ps_partkey"), C(supply, "ps_supplycost")},
+                         {C(min_cost, "mc_partkey"), C(min_cost, "min_cost")});
+  j = plan::Join(j, p, JoinType::kInner, {C(j, "ps_partkey")},
+                 {C(p, "p_partkey")});
+  j = Keep(j, {"s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+               "s_address", "s_phone", "s_comment"});
+  j = plan::Sort(j, {Desc(C(j, "s_acctbal")), Asc(C(j, "n_name")),
+                     Asc(C(j, "s_name")), Asc(C(j, "p_partkey"))});
+  return plan::Limit(j, 100);
+}
+
+PlanPtr Q3(const TpchData& d) {
+  PlanPtr c = F(plan::Scan(&d.customer),
+                eb::Eq(ColOf(plan::Scan(&d.customer), "c_mktsegment"),
+                       eb::Lit("BUILDING")));
+  c = Keep(c, {"c_custkey"});
+  PlanPtr o = F(plan::Scan(&d.orders),
+                eb::Lt(ColOf(plan::Scan(&d.orders), "o_orderdate"),
+                       eb::DateLit("1995-03-15")));
+  PlanPtr oc = plan::Join(o, c, JoinType::kLeftSemi, {C(o, "o_custkey")},
+                          {C(c, "c_custkey")});
+  oc = Keep(oc, {"o_orderkey", "o_orderdate", "o_shippriority"});
+  PlanPtr l = F(plan::Scan(&d.lineitem),
+                eb::Gt(ColOf(plan::Scan(&d.lineitem), "l_shipdate"),
+                       eb::DateLit("1995-03-15")));
+  PlanPtr j = plan::Join(l, oc, JoinType::kInner, {C(l, "l_orderkey")},
+                         {C(oc, "o_orderkey")});
+  PlanPtr agg = plan::Aggregate(
+      j, {C(j, "l_orderkey"), C(j, "o_orderdate"), C(j, "o_shippriority")},
+      {"l_orderkey", "o_orderdate", "o_shippriority"},
+      {Agg(AggKind::kSum, Revenue(j), "revenue")});
+  agg = plan::Sort(agg,
+                   {Desc(C(agg, "revenue")), Asc(C(agg, "o_orderdate"))});
+  return plan::Limit(agg, 10);
+}
+
+PlanPtr Q4(const TpchData& d) {
+  PlanPtr o = plan::Scan(&d.orders);
+  o = F(o, eb::And(eb::Ge(C(o, "o_orderdate"), eb::DateLit("1993-07-01")),
+                   eb::Lt(C(o, "o_orderdate"), eb::DateLit("1993-10-01"))));
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::Lt(C(l, "l_commitdate"), C(l, "l_receiptdate")));
+  l = Keep(l, {"l_orderkey"});
+  PlanPtr semi = plan::Join(o, l, JoinType::kLeftSemi, {C(o, "o_orderkey")},
+                            {C(l, "l_orderkey")});
+  PlanPtr agg = plan::Aggregate(
+      semi, {C(semi, "o_orderpriority")}, {"o_orderpriority"},
+      {Agg(AggKind::kCountStar, nullptr, "order_count")});
+  return plan::Sort(agg, {Asc(C(agg, "o_orderpriority"))});
+}
+
+PlanPtr Q5(const TpchData& d) {
+  PlanPtr r = plan::Scan(&d.region);
+  r = Keep(F(r, eb::Eq(C(r, "r_name"), eb::Lit("ASIA"))), {"r_regionkey"});
+  PlanPtr n = plan::Scan(&d.nation);
+  PlanPtr nr = plan::Join(n, r, JoinType::kLeftSemi, {C(n, "n_regionkey")},
+                          {C(r, "r_regionkey")});
+  nr = Keep(nr, {"n_nationkey", "n_name"});
+  PlanPtr c = plan::Scan(&d.customer);
+  PlanPtr cn = plan::Join(c, nr, JoinType::kInner, {C(c, "c_nationkey")},
+                          {C(nr, "n_nationkey")});
+  cn = Keep(cn, {"c_custkey", "c_nationkey", "n_name"});
+  PlanPtr o = plan::Scan(&d.orders);
+  o = F(o, eb::And(eb::Ge(C(o, "o_orderdate"), eb::DateLit("1994-01-01")),
+                   eb::Lt(C(o, "o_orderdate"), eb::DateLit("1995-01-01"))));
+  PlanPtr oc = plan::Join(o, cn, JoinType::kInner, {C(o, "o_custkey")},
+                          {C(cn, "c_custkey")});
+  oc = Keep(oc, {"o_orderkey", "c_nationkey", "n_name"});
+  PlanPtr l = plan::Scan(&d.lineitem);
+  PlanPtr lo = plan::Join(l, oc, JoinType::kInner, {C(l, "l_orderkey")},
+                          {C(oc, "o_orderkey")});
+  lo = Keep(lo, {"l_suppkey", "l_extendedprice", "l_discount", "c_nationkey",
+                 "n_name"});
+  PlanPtr s = Keep(plan::Scan(&d.supplier), {"s_suppkey", "s_nationkey"});
+  // Join on supplier key AND matching nation (the spec's
+  // s_nationkey = c_nationkey condition) as a composite key.
+  PlanPtr j = plan::Join(lo, s, JoinType::kInner,
+                         {C(lo, "l_suppkey"), C(lo, "c_nationkey")},
+                         {C(s, "s_suppkey"), C(s, "s_nationkey")});
+  PlanPtr agg =
+      plan::Aggregate(j, {C(j, "n_name")}, {"n_name"},
+                      {Agg(AggKind::kSum, Revenue(j), "revenue")});
+  return plan::Sort(agg, {Desc(C(agg, "revenue"))});
+}
+
+PlanPtr Q6(const TpchData& d) {
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l,
+        eb::And(
+            eb::And(eb::Ge(C(l, "l_shipdate"), eb::DateLit("1994-01-01")),
+                    eb::Lt(C(l, "l_shipdate"), eb::DateLit("1995-01-01"))),
+            eb::And(eb::Between(C(l, "l_discount"), DL("0.05"), DL("0.07")),
+                    eb::Lt(C(l, "l_quantity"), DL("24")))));
+  return plan::Aggregate(
+      l, {}, {},
+      {Agg(AggKind::kSum, eb::Mul(C(l, "l_extendedprice"), C(l, "l_discount")),
+           "revenue")});
+}
+
+PlanPtr Q7(const TpchData& d) {
+  auto nation_named = [&](const std::string& alias) {
+    PlanPtr n = plan::Scan(&d.nation);
+    n = F(n, eb::Or(eb::Eq(C(n, "n_name"), eb::Lit("FRANCE")),
+                    eb::Eq(C(n, "n_name"), eb::Lit("GERMANY"))));
+    return Keep(n, {"n_nationkey:" + alias + "_key",
+                    "n_name:" + alias + "_name"});
+  };
+  PlanPtr s = plan::Scan(&d.supplier);
+  PlanPtr n1 = nation_named("n1");
+  PlanPtr sn = plan::Join(s, n1, JoinType::kInner, {C(s, "s_nationkey")},
+                          {C(n1, "n1_key")});
+  sn = Keep(sn, {"s_suppkey", "n1_name:supp_nation"});
+  PlanPtr c = plan::Scan(&d.customer);
+  PlanPtr n2 = nation_named("n2");
+  PlanPtr cn = plan::Join(c, n2, JoinType::kInner, {C(c, "c_nationkey")},
+                          {C(n2, "n2_key")});
+  cn = Keep(cn, {"c_custkey", "n2_name:cust_nation"});
+
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::Between(C(l, "l_shipdate"), eb::DateLit("1995-01-01"),
+                       eb::DateLit("1996-12-31")));
+  PlanPtr o = Keep(plan::Scan(&d.orders), {"o_orderkey", "o_custkey"});
+  PlanPtr j = plan::Join(l, o, JoinType::kInner, {C(l, "l_orderkey")},
+                         {C(o, "o_orderkey")});
+  j = plan::Join(j, cn, JoinType::kInner, {C(j, "o_custkey")},
+                 {C(cn, "c_custkey")});
+  j = plan::Join(j, sn, JoinType::kInner, {C(j, "l_suppkey")},
+                 {C(sn, "s_suppkey")});
+  j = F(j, eb::Or(eb::And(eb::Eq(C(j, "supp_nation"), eb::Lit("FRANCE")),
+                          eb::Eq(C(j, "cust_nation"), eb::Lit("GERMANY"))),
+                  eb::And(eb::Eq(C(j, "supp_nation"), eb::Lit("GERMANY")),
+                          eb::Eq(C(j, "cust_nation"), eb::Lit("FRANCE")))));
+  PlanPtr proj = plan::Project(
+      j,
+      {C(j, "supp_nation"), C(j, "cust_nation"),
+       eb::Call("year", {C(j, "l_shipdate")}), Revenue(j)},
+      {"supp_nation", "cust_nation", "l_year", "volume"});
+  PlanPtr agg = plan::Aggregate(
+      proj,
+      {C(proj, "supp_nation"), C(proj, "cust_nation"), C(proj, "l_year")},
+      {"supp_nation", "cust_nation", "l_year"},
+      {Agg(AggKind::kSum, C(proj, "volume"), "revenue")});
+  return plan::Sort(agg, {Asc(C(agg, "supp_nation")),
+                          Asc(C(agg, "cust_nation")), Asc(C(agg, "l_year"))});
+}
+
+PlanPtr Q8(const TpchData& d) {
+  PlanPtr p = plan::Scan(&d.part);
+  p = Keep(F(p, eb::Eq(C(p, "p_type"), eb::Lit("ECONOMY ANODIZED STEEL"))),
+           {"p_partkey"});
+  PlanPtr l = plan::Scan(&d.lineitem);
+  PlanPtr j = plan::Join(l, p, JoinType::kLeftSemi, {C(l, "l_partkey")},
+                         {C(p, "p_partkey")});
+  j = Keep(j, {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"});
+  PlanPtr o = plan::Scan(&d.orders);
+  o = F(o, eb::Between(C(o, "o_orderdate"), eb::DateLit("1995-01-01"),
+                       eb::DateLit("1996-12-31")));
+  o = Keep(o, {"o_orderkey", "o_custkey", "o_orderdate"});
+  j = plan::Join(j, o, JoinType::kInner, {C(j, "l_orderkey")},
+                 {C(o, "o_orderkey")});
+  PlanPtr c = Keep(plan::Scan(&d.customer), {"c_custkey", "c_nationkey"});
+  j = plan::Join(j, c, JoinType::kInner, {C(j, "o_custkey")},
+                 {C(c, "c_custkey")});
+  // Customer nation must be in AMERICA.
+  PlanPtr r = plan::Scan(&d.region);
+  r = Keep(F(r, eb::Eq(C(r, "r_name"), eb::Lit("AMERICA"))), {"r_regionkey"});
+  PlanPtr n1 = plan::Scan(&d.nation);
+  n1 = plan::Join(n1, r, JoinType::kLeftSemi, {C(n1, "n_regionkey")},
+                  {C(r, "r_regionkey")});
+  n1 = Keep(n1, {"n_nationkey:n1_key"});
+  j = plan::Join(j, n1, JoinType::kLeftSemi, {C(j, "c_nationkey")},
+                 {C(n1, "n1_key")});
+  // Supplier nation name becomes the CASE discriminator.
+  PlanPtr s = Keep(plan::Scan(&d.supplier), {"s_suppkey", "s_nationkey"});
+  j = plan::Join(j, s, JoinType::kInner, {C(j, "l_suppkey")},
+                 {C(s, "s_suppkey")});
+  PlanPtr n2 = Keep(plan::Scan(&d.nation),
+                    {"n_nationkey:n2_key", "n_name:nation"});
+  j = plan::Join(j, n2, JoinType::kInner, {C(j, "s_nationkey")},
+                 {C(n2, "n2_key")});
+
+  ExprPtr volume = Revenue(j);
+  PlanPtr proj = plan::Project(
+      j,
+      {eb::Call("year", {C(j, "o_orderdate")}), volume,
+       eb::If(eb::Eq(C(j, "nation"), eb::Lit("BRAZIL")), volume,
+              ZeroLike(volume))},
+      {"o_year", "volume", "brazil_volume"});
+  PlanPtr agg = plan::Aggregate(
+      proj, {C(proj, "o_year")}, {"o_year"},
+      {Agg(AggKind::kSum, C(proj, "brazil_volume"), "sum_brazil"),
+       Agg(AggKind::kSum, C(proj, "volume"), "sum_all")});
+  PlanPtr share = plan::Project(
+      agg,
+      {C(agg, "o_year"),
+       eb::Div(eb::Cast(C(agg, "sum_brazil"), DataType::Float64()),
+               eb::Cast(C(agg, "sum_all"), DataType::Float64()))},
+      {"o_year", "mkt_share"});
+  return plan::Sort(share, {Asc(C(share, "o_year"))});
+}
+
+PlanPtr Q9(const TpchData& d) {
+  PlanPtr p = plan::Scan(&d.part);
+  p = Keep(F(p, eb::Like(C(p, "p_name"), "%green%")), {"p_partkey"});
+  PlanPtr l = plan::Scan(&d.lineitem);
+  PlanPtr j = plan::Join(l, p, JoinType::kLeftSemi, {C(l, "l_partkey")},
+                         {C(p, "p_partkey")});
+  PlanPtr ps = Keep(plan::Scan(&d.partsupp),
+                    {"ps_partkey", "ps_suppkey", "ps_supplycost"});
+  j = plan::Join(j, ps, JoinType::kInner,
+                 {C(j, "l_partkey"), C(j, "l_suppkey")},
+                 {C(ps, "ps_partkey"), C(ps, "ps_suppkey")});
+  PlanPtr s = Keep(plan::Scan(&d.supplier), {"s_suppkey", "s_nationkey"});
+  j = plan::Join(j, s, JoinType::kInner, {C(j, "l_suppkey")},
+                 {C(s, "s_suppkey")});
+  PlanPtr n = Keep(plan::Scan(&d.nation), {"n_nationkey", "n_name"});
+  j = plan::Join(j, n, JoinType::kInner, {C(j, "s_nationkey")},
+                 {C(n, "n_nationkey")});
+  PlanPtr o = Keep(plan::Scan(&d.orders), {"o_orderkey", "o_orderdate"});
+  j = plan::Join(j, o, JoinType::kInner, {C(j, "l_orderkey")},
+                 {C(o, "o_orderkey")});
+  ExprPtr amount = eb::Sub(
+      Revenue(j), eb::Mul(C(j, "ps_supplycost"), C(j, "l_quantity")));
+  PlanPtr proj = plan::Project(
+      j, {C(j, "n_name"), eb::Call("year", {C(j, "o_orderdate")}), amount},
+      {"nation", "o_year", "amount"});
+  PlanPtr agg = plan::Aggregate(
+      proj, {C(proj, "nation"), C(proj, "o_year")}, {"nation", "o_year"},
+      {Agg(AggKind::kSum, C(proj, "amount"), "sum_profit")});
+  return plan::Sort(agg, {Asc(C(agg, "nation")), Desc(C(agg, "o_year"))});
+}
+
+PlanPtr Q10(const TpchData& d) {
+  PlanPtr o = plan::Scan(&d.orders);
+  o = F(o, eb::And(eb::Ge(C(o, "o_orderdate"), eb::DateLit("1993-10-01")),
+                   eb::Lt(C(o, "o_orderdate"), eb::DateLit("1994-01-01"))));
+  o = Keep(o, {"o_orderkey", "o_custkey"});
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::Eq(C(l, "l_returnflag"), eb::Lit("R")));
+  PlanPtr j = plan::Join(l, o, JoinType::kInner, {C(l, "l_orderkey")},
+                         {C(o, "o_orderkey")});
+  j = Keep(j, {"o_custkey", "l_extendedprice", "l_discount"});
+  PlanPtr c = plan::Scan(&d.customer);
+  j = plan::Join(j, c, JoinType::kInner, {C(j, "o_custkey")},
+                 {C(c, "c_custkey")});
+  PlanPtr n = Keep(plan::Scan(&d.nation), {"n_nationkey", "n_name"});
+  j = plan::Join(j, n, JoinType::kInner, {C(j, "c_nationkey")},
+                 {C(n, "n_nationkey")});
+  PlanPtr agg = plan::Aggregate(
+      j,
+      {C(j, "c_custkey"), C(j, "c_name"), C(j, "c_acctbal"), C(j, "c_phone"),
+       C(j, "n_name"), C(j, "c_address"), C(j, "c_comment")},
+      {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address",
+       "c_comment"},
+      {Agg(AggKind::kSum, Revenue(j), "revenue")});
+  agg = plan::Sort(agg, {Desc(C(agg, "revenue"))});
+  return plan::Limit(agg, 20);
+}
+
+/// German partsupp values, shared by Q11's outer query and total subquery.
+PlanPtr Q11Values(const TpchData& d) {
+  PlanPtr n = plan::Scan(&d.nation);
+  n = Keep(F(n, eb::Eq(C(n, "n_name"), eb::Lit("GERMANY"))),
+           {"n_nationkey"});
+  PlanPtr s = plan::Scan(&d.supplier);
+  s = plan::Join(s, n, JoinType::kLeftSemi, {C(s, "s_nationkey")},
+                 {C(n, "n_nationkey")});
+  s = Keep(s, {"s_suppkey"});
+  PlanPtr ps = plan::Scan(&d.partsupp);
+  ps = plan::Join(ps, s, JoinType::kLeftSemi, {C(ps, "ps_suppkey")},
+                  {C(s, "s_suppkey")});
+  return plan::Project(
+      ps,
+      {C(ps, "ps_partkey"),
+       eb::Mul(C(ps, "ps_supplycost"),
+               eb::Cast(C(ps, "ps_availqty"), DataType::Decimal(10, 0)))},
+      {"ps_partkey", "value"});
+}
+
+PlanPtr Q11(const TpchData& d, double scale_factor) {
+  PlanPtr values = Q11Values(d);
+  PlanPtr by_part = plan::Aggregate(
+      values, {C(values, "ps_partkey")}, {"ps_partkey"},
+      {Agg(AggKind::kSum, C(values, "value"), "value")});
+  PlanPtr total = plan::Aggregate(
+      Q11Values(d), {}, {},
+      {Agg(AggKind::kSum, C(values, "value"), "total")});
+  // Cross join (constant key) then HAVING value > total * fraction.
+  PlanPtr j =
+      plan::Join(by_part, total, JoinType::kInner,
+                 {eb::Lit(int32_t{1})}, {eb::Lit(int32_t{1})});
+  // Spec: fraction = 0.0001 / SF. At tiny scale factors that threshold
+  // exceeds every part's share, so clamp it to half the mean per-part
+  // share; the query then selects the heavy tail like it does at SF >= 1.
+  double fraction = 0.0001 / std::max(scale_factor, 1e-4);
+  double mean_share = 1.0 / std::max<double>(20, 200000 * scale_factor);
+  fraction = std::min(fraction, 2.0 * mean_share);
+  char frac_text[32];
+  std::snprintf(frac_text, sizeof(frac_text), "%.6f", fraction);
+  PlanPtr filtered =
+      F(j, eb::Gt(C(j, "value"),
+                  eb::Mul(C(j, "total"), eb::DecimalLit(frac_text, 12, 6))));
+  PlanPtr out = Keep(filtered, {"ps_partkey", "value"});
+  return plan::Sort(out, {Desc(C(out, "value"))});
+}
+
+PlanPtr Q12(const TpchData& d) {
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::And(
+               eb::And(eb::In(C(l, "l_shipmode"),
+                              {Value::String("MAIL"), Value::String("SHIP")}),
+                       eb::Lt(C(l, "l_commitdate"), C(l, "l_receiptdate"))),
+               eb::And(eb::Lt(C(l, "l_shipdate"), C(l, "l_commitdate")),
+                       eb::And(eb::Ge(C(l, "l_receiptdate"),
+                                      eb::DateLit("1994-01-01")),
+                               eb::Lt(C(l, "l_receiptdate"),
+                                      eb::DateLit("1995-01-01"))))));
+  l = Keep(l, {"l_orderkey", "l_shipmode"});
+  PlanPtr o = Keep(plan::Scan(&d.orders), {"o_orderkey", "o_orderpriority"});
+  PlanPtr j = plan::Join(l, o, JoinType::kInner, {C(l, "l_orderkey")},
+                         {C(o, "o_orderkey")});
+  ExprPtr is_high =
+      eb::Or(eb::Eq(C(j, "o_orderpriority"), eb::Lit("1-URGENT")),
+             eb::Eq(C(j, "o_orderpriority"), eb::Lit("2-HIGH")));
+  PlanPtr proj = plan::Project(
+      j,
+      {C(j, "l_shipmode"),
+       eb::If(is_high, eb::Lit(int32_t{1}), eb::Lit(int32_t{0})),
+       eb::If(is_high, eb::Lit(int32_t{0}), eb::Lit(int32_t{1}))},
+      {"l_shipmode", "high", "low"});
+  PlanPtr agg = plan::Aggregate(
+      proj, {C(proj, "l_shipmode")}, {"l_shipmode"},
+      {Agg(AggKind::kSum, C(proj, "high"), "high_line_count"),
+       Agg(AggKind::kSum, C(proj, "low"), "low_line_count")});
+  return plan::Sort(agg, {Asc(C(agg, "l_shipmode"))});
+}
+
+PlanPtr Q13(const TpchData& d) {
+  PlanPtr o = plan::Scan(&d.orders);
+  o = F(o, eb::Not(eb::Like(C(o, "o_comment"), "%special%requests%")));
+  o = Keep(o, {"o_orderkey", "o_custkey"});
+  PlanPtr c = Keep(plan::Scan(&d.customer), {"c_custkey"});
+  PlanPtr loj = plan::Join(c, o, JoinType::kLeftOuter, {C(c, "c_custkey")},
+                           {C(o, "o_custkey")});
+  PlanPtr per_cust = plan::Aggregate(
+      loj, {C(loj, "c_custkey")}, {"c_custkey"},
+      {Agg(AggKind::kCount, C(loj, "o_orderkey"), "c_count")});
+  PlanPtr dist = plan::Aggregate(
+      per_cust, {C(per_cust, "c_count")}, {"c_count"},
+      {Agg(AggKind::kCountStar, nullptr, "custdist")});
+  return plan::Sort(dist,
+                    {Desc(C(dist, "custdist")), Desc(C(dist, "c_count"))});
+}
+
+PlanPtr Q14(const TpchData& d) {
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::And(eb::Ge(C(l, "l_shipdate"), eb::DateLit("1995-09-01")),
+                   eb::Lt(C(l, "l_shipdate"), eb::DateLit("1995-10-01"))));
+  PlanPtr p = Keep(plan::Scan(&d.part), {"p_partkey", "p_type"});
+  PlanPtr j = plan::Join(l, p, JoinType::kInner, {C(l, "l_partkey")},
+                         {C(p, "p_partkey")});
+  ExprPtr rev = Revenue(j);
+  PlanPtr proj = plan::Project(
+      j,
+      {eb::If(eb::Like(C(j, "p_type"), "PROMO%"), rev, ZeroLike(rev)), rev},
+      {"promo", "total"});
+  PlanPtr agg = plan::Aggregate(
+      proj, {}, {},
+      {Agg(AggKind::kSum, C(proj, "promo"), "sum_promo"),
+       Agg(AggKind::kSum, C(proj, "total"), "sum_total")});
+  return plan::Project(
+      agg,
+      {eb::Div(eb::Mul(eb::Lit(100.0), eb::Cast(C(agg, "sum_promo"),
+                                                DataType::Float64())),
+               eb::Cast(C(agg, "sum_total"), DataType::Float64()))},
+      {"promo_revenue"});
+}
+
+PlanPtr Q15Revenue(const TpchData& d) {
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::And(eb::Ge(C(l, "l_shipdate"), eb::DateLit("1996-01-01")),
+                   eb::Lt(C(l, "l_shipdate"), eb::DateLit("1996-04-01"))));
+  return plan::Aggregate(l, {C(l, "l_suppkey")}, {"supplier_no"},
+                         {Agg(AggKind::kSum, Revenue(l), "total_revenue")});
+}
+
+PlanPtr Q15(const TpchData& d) {
+  PlanPtr rev = Q15Revenue(d);
+  PlanPtr max_rev = plan::Aggregate(
+      Q15Revenue(d), {}, {},
+      {Agg(AggKind::kMax, C(rev, "total_revenue"), "max_revenue")});
+  PlanPtr j = plan::Join(rev, max_rev, JoinType::kInner,
+                         {C(rev, "total_revenue")},
+                         {C(max_rev, "max_revenue")});
+  PlanPtr s = Keep(plan::Scan(&d.supplier),
+                   {"s_suppkey", "s_name", "s_address", "s_phone"});
+  j = plan::Join(j, s, JoinType::kInner, {C(j, "supplier_no")},
+                 {C(s, "s_suppkey")});
+  j = Keep(j, {"s_suppkey", "s_name", "s_address", "s_phone",
+               "total_revenue"});
+  return plan::Sort(j, {Asc(C(j, "s_suppkey"))});
+}
+
+PlanPtr Q16(const TpchData& d) {
+  PlanPtr p = plan::Scan(&d.part);
+  p = F(p, eb::And(
+               eb::And(eb::Ne(C(p, "p_brand"), eb::Lit("Brand#45")),
+                       eb::Not(eb::Like(C(p, "p_type"), "MEDIUM POLISHED%"))),
+               eb::In(C(p, "p_size"),
+                      {Value::Int32(49), Value::Int32(14), Value::Int32(23),
+                       Value::Int32(45), Value::Int32(19), Value::Int32(3),
+                       Value::Int32(36), Value::Int32(9)})));
+  p = Keep(p, {"p_partkey", "p_brand", "p_type", "p_size"});
+  PlanPtr ps = Keep(plan::Scan(&d.partsupp), {"ps_partkey", "ps_suppkey"});
+  PlanPtr j = plan::Join(ps, p, JoinType::kInner, {C(ps, "ps_partkey")},
+                         {C(p, "p_partkey")});
+  PlanPtr bad = plan::Scan(&d.supplier);
+  bad = Keep(F(bad, eb::Like(C(bad, "s_comment"), "%Customer%Complaints%")),
+             {"s_suppkey"});
+  j = plan::Join(j, bad, JoinType::kLeftAnti, {C(j, "ps_suppkey")},
+                 {C(bad, "s_suppkey")});
+  // count(distinct ps_suppkey): dedup then count.
+  PlanPtr dedup = plan::Aggregate(
+      j,
+      {C(j, "p_brand"), C(j, "p_type"), C(j, "p_size"), C(j, "ps_suppkey")},
+      {"p_brand", "p_type", "p_size", "ps_suppkey"},
+      {Agg(AggKind::kCountStar, nullptr, "ignored")});
+  PlanPtr agg = plan::Aggregate(
+      dedup, {C(dedup, "p_brand"), C(dedup, "p_type"), C(dedup, "p_size")},
+      {"p_brand", "p_type", "p_size"},
+      {Agg(AggKind::kCountStar, nullptr, "supplier_cnt")});
+  return plan::Sort(agg, {Desc(C(agg, "supplier_cnt")),
+                          Asc(C(agg, "p_brand")), Asc(C(agg, "p_type")),
+                          Asc(C(agg, "p_size"))});
+}
+
+PlanPtr Q17(const TpchData& d) {
+  PlanPtr p = plan::Scan(&d.part);
+  p = Keep(F(p, eb::And(eb::Eq(C(p, "p_brand"), eb::Lit("Brand#23")),
+                        eb::Eq(C(p, "p_container"), eb::Lit("MED BOX")))),
+           {"p_partkey"});
+  PlanPtr l = plan::Scan(&d.lineitem);
+  PlanPtr j = plan::Join(l, p, JoinType::kLeftSemi, {C(l, "l_partkey")},
+                         {C(p, "p_partkey")});
+  j = Keep(j, {"l_partkey", "l_quantity", "l_extendedprice"});
+  PlanPtr all_lines = plan::Scan(&d.lineitem);
+  PlanPtr avg_qty = plan::Aggregate(
+      all_lines, {C(all_lines, "l_partkey")}, {"aq_partkey"},
+      {Agg(AggKind::kAvg, C(all_lines, "l_quantity"), "avg_qty")});
+  j = plan::Join(j, avg_qty, JoinType::kInner, {C(j, "l_partkey")},
+                 {C(avg_qty, "aq_partkey")});
+  j = F(j, eb::Lt(C(j, "l_quantity"),
+                  eb::Mul(eb::DecimalLit("0.2", 12, 1), C(j, "avg_qty"))));
+  PlanPtr agg = plan::Aggregate(
+      j, {}, {},
+      {Agg(AggKind::kSum, C(j, "l_extendedprice"), "sum_price")});
+  return plan::Project(
+      agg,
+      {eb::Div(eb::Cast(C(agg, "sum_price"), DataType::Float64()),
+               eb::Lit(7.0))},
+      {"avg_yearly"});
+}
+
+PlanPtr Q18(const TpchData& d) {
+  PlanPtr l0 = plan::Scan(&d.lineitem);
+  PlanPtr big = plan::Aggregate(
+      l0, {C(l0, "l_orderkey")}, {"bo_orderkey"},
+      {Agg(AggKind::kSum, C(l0, "l_quantity"), "sum_qty")});
+  big = Keep(F(big, eb::Gt(C(big, "sum_qty"), DL("300"))), {"bo_orderkey"});
+  PlanPtr o = plan::Scan(&d.orders);
+  o = plan::Join(o, big, JoinType::kLeftSemi, {C(o, "o_orderkey")},
+                 {C(big, "bo_orderkey")});
+  o = Keep(o, {"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"});
+  PlanPtr c = Keep(plan::Scan(&d.customer), {"c_custkey", "c_name"});
+  PlanPtr oc = plan::Join(o, c, JoinType::kInner, {C(o, "o_custkey")},
+                          {C(c, "c_custkey")});
+  PlanPtr l = Keep(plan::Scan(&d.lineitem), {"l_orderkey", "l_quantity"});
+  PlanPtr j = plan::Join(l, oc, JoinType::kInner, {C(l, "l_orderkey")},
+                         {C(oc, "o_orderkey")});
+  PlanPtr agg = plan::Aggregate(
+      j,
+      {C(j, "c_name"), C(j, "c_custkey"), C(j, "o_orderkey"),
+       C(j, "o_orderdate"), C(j, "o_totalprice")},
+      {"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+      {Agg(AggKind::kSum, C(j, "l_quantity"), "sum_qty")});
+  agg = plan::Sort(agg, {Desc(C(agg, "o_totalprice")),
+                         Asc(C(agg, "o_orderdate"))});
+  return plan::Limit(agg, 100);
+}
+
+PlanPtr Q19(const TpchData& d) {
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::And(eb::Eq(C(l, "l_shipinstruct"),
+                          eb::Lit("DELIVER IN PERSON")),
+                   eb::In(C(l, "l_shipmode"), {Value::String("AIR"),
+                                               Value::String("REG AIR")})));
+  PlanPtr p = Keep(plan::Scan(&d.part),
+                   {"p_partkey", "p_brand", "p_container", "p_size"});
+  PlanPtr j = plan::Join(l, p, JoinType::kInner, {C(l, "l_partkey")},
+                         {C(p, "p_partkey")});
+  auto bracket = [&](const char* brand, std::vector<Value> containers,
+                     const char* qlo, const char* qhi, int size_hi) {
+    return eb::And(
+        eb::And(eb::Eq(C(j, "p_brand"), eb::Lit(brand)),
+                eb::In(C(j, "p_container"), std::move(containers))),
+        eb::And(eb::Between(C(j, "l_quantity"), DL(qlo), DL(qhi)),
+                eb::Between(C(j, "p_size"), eb::Lit(int32_t{1}),
+                            eb::Lit(size_hi))));
+  };
+  ExprPtr cond = eb::Or(
+      eb::Or(bracket("Brand#12",
+                     {Value::String("SM CASE"), Value::String("SM BOX"),
+                      Value::String("SM PACK"), Value::String("SM PKG")},
+                     "1", "11", 5),
+             bracket("Brand#23",
+                     {Value::String("MED BAG"), Value::String("MED BOX"),
+                      Value::String("MED PKG"), Value::String("MED PACK")},
+                     "10", "20", 10)),
+      bracket("Brand#34",
+              {Value::String("LG CASE"), Value::String("LG BOX"),
+               Value::String("LG PACK"), Value::String("LG PKG")},
+              "20", "30", 15));
+  j = F(j, cond);
+  return plan::Aggregate(j, {}, {},
+                         {Agg(AggKind::kSum, Revenue(j), "revenue")});
+}
+
+PlanPtr Q20(const TpchData& d) {
+  PlanPtr p = plan::Scan(&d.part);
+  p = Keep(F(p, eb::Like(C(p, "p_name"), "forest%")), {"p_partkey"});
+  PlanPtr l = plan::Scan(&d.lineitem);
+  l = F(l, eb::And(eb::Ge(C(l, "l_shipdate"), eb::DateLit("1994-01-01")),
+                   eb::Lt(C(l, "l_shipdate"), eb::DateLit("1995-01-01"))));
+  PlanPtr qty = plan::Aggregate(
+      l, {C(l, "l_partkey"), C(l, "l_suppkey")}, {"lq_partkey", "lq_suppkey"},
+      {Agg(AggKind::kSum, C(l, "l_quantity"), "sum_qty")});
+  PlanPtr ps = plan::Scan(&d.partsupp);
+  ps = plan::Join(ps, p, JoinType::kLeftSemi, {C(ps, "ps_partkey")},
+                  {C(p, "p_partkey")});
+  ps = plan::Join(ps, qty, JoinType::kInner,
+                  {C(ps, "ps_partkey"), C(ps, "ps_suppkey")},
+                  {C(qty, "lq_partkey"), C(qty, "lq_suppkey")});
+  ps = F(ps, eb::Gt(C(ps, "ps_availqty"),
+                    eb::Mul(eb::DecimalLit("0.5", 12, 1), C(ps, "sum_qty"))));
+  ps = Keep(ps, {"ps_suppkey"});
+  PlanPtr n = plan::Scan(&d.nation);
+  n = Keep(F(n, eb::Eq(C(n, "n_name"), eb::Lit("CANADA"))), {"n_nationkey"});
+  PlanPtr s = plan::Scan(&d.supplier);
+  s = plan::Join(s, n, JoinType::kLeftSemi, {C(s, "s_nationkey")},
+                 {C(n, "n_nationkey")});
+  s = plan::Join(s, ps, JoinType::kLeftSemi, {C(s, "s_suppkey")},
+                 {C(ps, "ps_suppkey")});
+  s = Keep(s, {"s_name", "s_address"});
+  return plan::Sort(s, {Asc(C(s, "s_name"))});
+}
+
+PlanPtr Q21(const TpchData& d) {
+  PlanPtr l1 = plan::Scan(&d.lineitem);
+  l1 = F(l1, eb::Gt(C(l1, "l_receiptdate"), C(l1, "l_commitdate")));
+  l1 = Keep(l1, {"l_orderkey", "l_suppkey"});
+  PlanPtr o = plan::Scan(&d.orders);
+  o = Keep(F(o, eb::Eq(C(o, "o_orderstatus"), eb::Lit("F"))),
+           {"o_orderkey"});
+  PlanPtr j = plan::Join(l1, o, JoinType::kLeftSemi, {C(l1, "l_orderkey")},
+                         {C(o, "o_orderkey")});
+
+  // exists l2: same order, different supplier.
+  PlanPtr l2 = Keep(plan::Scan(&d.lineitem),
+                    {"l_orderkey:l2_orderkey", "l_suppkey:l2_suppkey"});
+  // Residual over [probe cols(l_orderkey,l_suppkey), build cols(l2_*)].
+  ExprPtr l2_residual =
+      eb::Ne(std::make_shared<ColumnRefExpr>(3, DataType::Int64(),
+                                             "l2_suppkey"),
+             std::make_shared<ColumnRefExpr>(1, DataType::Int64(),
+                                             "l_suppkey"));
+  j = plan::Join(j, l2, JoinType::kLeftSemi, {C(j, "l_orderkey")},
+                 {C(l2, "l2_orderkey")}, l2_residual);
+
+  // not exists l3: same order, different supplier, late receipt.
+  PlanPtr l3 = plan::Scan(&d.lineitem);
+  l3 = F(l3, eb::Gt(C(l3, "l_receiptdate"), C(l3, "l_commitdate")));
+  l3 = Keep(l3, {"l_orderkey:l3_orderkey", "l_suppkey:l3_suppkey"});
+  ExprPtr l3_residual =
+      eb::Ne(std::make_shared<ColumnRefExpr>(3, DataType::Int64(),
+                                             "l3_suppkey"),
+             std::make_shared<ColumnRefExpr>(1, DataType::Int64(),
+                                             "l_suppkey"));
+  j = plan::Join(j, l3, JoinType::kLeftAnti, {C(j, "l_orderkey")},
+                 {C(l3, "l3_orderkey")}, l3_residual);
+
+  PlanPtr n = plan::Scan(&d.nation);
+  n = Keep(F(n, eb::Eq(C(n, "n_name"), eb::Lit("SAUDI ARABIA"))),
+           {"n_nationkey"});
+  PlanPtr s = plan::Scan(&d.supplier);
+  s = plan::Join(s, n, JoinType::kLeftSemi, {C(s, "s_nationkey")},
+                 {C(n, "n_nationkey")});
+  s = Keep(s, {"s_suppkey", "s_name"});
+  j = plan::Join(j, s, JoinType::kInner, {C(j, "l_suppkey")},
+                 {C(s, "s_suppkey")});
+  PlanPtr agg =
+      plan::Aggregate(j, {C(j, "s_name")}, {"s_name"},
+                      {Agg(AggKind::kCountStar, nullptr, "numwait")});
+  agg = plan::Sort(agg, {Desc(C(agg, "numwait")), Asc(C(agg, "s_name"))});
+  return plan::Limit(agg, 100);
+}
+
+PlanPtr Q22Customers(const TpchData& d) {
+  PlanPtr c = plan::Scan(&d.customer);
+  ExprPtr code =
+      eb::Call("substr", {C(c, "c_phone"), eb::Lit(int32_t{1}),
+                          eb::Lit(int32_t{2})});
+  return F(c, eb::In(code, {Value::String("13"), Value::String("31"),
+                            Value::String("23"), Value::String("29"),
+                            Value::String("30"), Value::String("18"),
+                            Value::String("17")}));
+}
+
+PlanPtr Q22(const TpchData& d) {
+  PlanPtr c = Q22Customers(d);
+  PlanPtr avg_bal = plan::Aggregate(
+      F(Q22Customers(d), eb::Gt(ColOf(Q22Customers(d), "c_acctbal"),
+                                DL("0.00"))),
+      {}, {}, {Agg(AggKind::kAvg, ColOf(Q22Customers(d), "c_acctbal"),
+                   "avg_bal")});
+  PlanPtr j = plan::Join(c, avg_bal, JoinType::kInner, {eb::Lit(int32_t{1})},
+                         {eb::Lit(int32_t{1})});
+  j = F(j, eb::Gt(C(j, "c_acctbal"), C(j, "avg_bal")));
+  PlanPtr o = Keep(plan::Scan(&d.orders), {"o_custkey"});
+  j = plan::Join(j, o, JoinType::kLeftAnti, {C(j, "c_custkey")},
+                 {C(o, "o_custkey")});
+  PlanPtr proj = plan::Project(
+      j,
+      {eb::Call("substr", {C(j, "c_phone"), eb::Lit(int32_t{1}),
+                           eb::Lit(int32_t{2})}),
+       C(j, "c_acctbal")},
+      {"cntrycode", "c_acctbal"});
+  PlanPtr agg = plan::Aggregate(
+      proj, {C(proj, "cntrycode")}, {"cntrycode"},
+      {Agg(AggKind::kCountStar, nullptr, "numcust"),
+       Agg(AggKind::kSum, C(proj, "c_acctbal"), "totacctbal")});
+  return plan::Sort(agg, {Asc(C(agg, "cntrycode"))});
+}
+
+}  // namespace
+
+Result<plan::PlanPtr> TpchQuery(int q, const TpchData& d,
+                                double scale_factor) {
+  switch (q) {
+    case 1:
+      return Q1(d);
+    case 2:
+      return Q2(d);
+    case 3:
+      return Q3(d);
+    case 4:
+      return Q4(d);
+    case 5:
+      return Q5(d);
+    case 6:
+      return Q6(d);
+    case 7:
+      return Q7(d);
+    case 8:
+      return Q8(d);
+    case 9:
+      return Q9(d);
+    case 10:
+      return Q10(d);
+    case 11:
+      return Q11(d, scale_factor);
+    case 12:
+      return Q12(d);
+    case 13:
+      return Q13(d);
+    case 14:
+      return Q14(d);
+    case 15:
+      return Q15(d);
+    case 16:
+      return Q16(d);
+    case 17:
+      return Q17(d);
+    case 18:
+      return Q18(d);
+    case 19:
+      return Q19(d);
+    case 20:
+      return Q20(d);
+    case 21:
+      return Q21(d);
+    case 22:
+      return Q22(d);
+    default:
+      return Status::InvalidArgument("TPC-H query number must be 1..22");
+  }
+}
+
+}  // namespace tpch
+}  // namespace photon

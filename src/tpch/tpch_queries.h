@@ -1,0 +1,21 @@
+#ifndef PHOTON_TPCH_TPCH_QUERIES_H_
+#define PHOTON_TPCH_TPCH_QUERIES_H_
+
+#include "plan/logical_plan.h"
+#include "tpch/tpch_gen.h"
+
+namespace photon {
+namespace tpch {
+
+/// Builds TPC-H query `q` (1..22) as an engine-neutral logical plan over
+/// the given data, using the spec's default substitution parameters.
+/// `scale_factor` parameterizes the few predicates the spec scales (Q11's
+/// fraction). The same plan compiles to Photon and to the baseline engine,
+/// which is how Figure 8's head-to-head comparison is reproduced.
+Result<plan::PlanPtr> TpchQuery(int q, const TpchData& data,
+                                double scale_factor = 0.01);
+
+}  // namespace tpch
+}  // namespace photon
+
+#endif  // PHOTON_TPCH_TPCH_QUERIES_H_

@@ -1,0 +1,70 @@
+#ifndef PHOTON_TYPES_BIG_DECIMAL_H_
+#define PHOTON_TYPES_BIG_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace photon {
+
+class Decimal128;
+
+/// Arbitrary-precision signed decimal, deliberately modeled on
+/// java.math.BigDecimal: heap-allocated magnitude, digit-limb arithmetic,
+/// immutable-value semantics. The baseline ("DBR") engine uses this for all
+/// decimal arithmetic above 18 digits of precision, exactly like Spark —
+/// this is the cost the paper's Q1 experiment attributes its 23x to.
+class BigDecimal {
+ public:
+  BigDecimal() : negative_(false), scale_(0) {}
+
+  static BigDecimal FromInt64(int64_t v, int scale);
+  static BigDecimal FromDecimal128(const Decimal128& v, int scale);
+  static bool FromString(const std::string& s, BigDecimal* out);
+
+  int scale() const { return scale_; }
+  bool is_zero() const { return limbs_.empty(); }
+
+  BigDecimal Add(const BigDecimal& other) const;
+  BigDecimal Subtract(const BigDecimal& other) const;
+  BigDecimal Multiply(const BigDecimal& other) const;
+  /// Divide producing `result_scale` fractional digits, rounding half-up.
+  BigDecimal Divide(const BigDecimal& other, int result_scale) const;
+
+  /// Changes scale, rounding half away from zero when reducing.
+  BigDecimal SetScale(int new_scale) const;
+
+  int Compare(const BigDecimal& other) const;
+  bool operator==(const BigDecimal& other) const {
+    return Compare(other) == 0;
+  }
+
+  std::string ToString() const;
+  double ToDouble() const;
+
+  /// Converts to a Decimal128 at the given scale; false if > 38 digits.
+  bool ToDecimal128(int scale, Decimal128* out) const;
+
+ private:
+  // Unscaled magnitude, base 1e9 limbs, little-endian, no trailing zeros.
+  std::vector<uint32_t> limbs_;
+  bool negative_;
+  int scale_;
+
+  static constexpr uint32_t kBase = 1000000000u;
+
+  void Normalize();
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  BigDecimal ShiftScale(int digits) const;  // multiply magnitude by 10^digits
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_TYPES_BIG_DECIMAL_H_

@@ -1,0 +1,50 @@
+#include "types/data_type.h"
+
+#include <cstdio>
+
+namespace photon {
+
+std::string DataType::ToString() const {
+  switch (id_) {
+    case TypeId::kBoolean:
+      return "boolean";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kDate32:
+      return "date32";
+    case TypeId::kTimestamp:
+      return "timestamp";
+    case TypeId::kString:
+      return "string";
+    case TypeId::kDecimal128: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "decimal(%d,%d)", precision_, scale_);
+      return buf;
+    }
+  }
+  return "unknown";
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema{";
+  for (int i = 0; i < num_fields(); i++) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name + ": " + fields_[i].type.ToString();
+    if (!fields_[i].nullable) out += " NOT NULL";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace photon

@@ -1,0 +1,157 @@
+#ifndef PHOTON_TYPES_DATA_TYPE_H_
+#define PHOTON_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace photon {
+
+/// Physical type ids supported by the engine. The set mirrors what the
+/// paper's workloads need: numeric, boolean, temporal, decimal, and string.
+enum class TypeId : uint8_t {
+  kBoolean = 0,
+  kInt32 = 1,
+  kInt64 = 2,
+  kFloat64 = 3,
+  kDate32 = 4,      // days since 1970-01-01 (int32)
+  kTimestamp = 5,   // microseconds since epoch, UTC (int64)
+  kString = 6,      // UTF-8 bytes
+  kDecimal128 = 7,  // 128-bit integer with precision/scale
+};
+
+/// A logical data type: TypeId plus decimal precision/scale. Copyable value
+/// type; equality includes the decimal parameters.
+class DataType {
+ public:
+  DataType() : id_(TypeId::kInt32) {}
+  explicit DataType(TypeId id) : id_(id) { PHOTON_DCHECK(id != TypeId::kDecimal128); }
+  DataType(TypeId id, int precision, int scale)
+      : id_(id), precision_(precision), scale_(scale) {}
+
+  static DataType Boolean() { return DataType(TypeId::kBoolean); }
+  static DataType Int32() { return DataType(TypeId::kInt32); }
+  static DataType Int64() { return DataType(TypeId::kInt64); }
+  static DataType Float64() { return DataType(TypeId::kFloat64); }
+  static DataType Date32() { return DataType(TypeId::kDate32); }
+  static DataType Timestamp() { return DataType(TypeId::kTimestamp); }
+  static DataType String() { return DataType(TypeId::kString); }
+  static DataType Decimal(int precision, int scale) {
+    PHOTON_CHECK(precision >= 1 && precision <= 38);
+    PHOTON_CHECK(scale >= 0 && scale <= precision);
+    return DataType(TypeId::kDecimal128, precision, scale);
+  }
+
+  TypeId id() const { return id_; }
+  int precision() const { return precision_; }
+  int scale() const { return scale_; }
+
+  bool is_decimal() const { return id_ == TypeId::kDecimal128; }
+  bool is_string() const { return id_ == TypeId::kString; }
+  bool is_var_len() const { return is_string(); }
+
+  /// True for types whose values are fixed-size primitives in memory.
+  bool is_fixed_width() const { return !is_var_len(); }
+
+  /// Byte width of the in-memory value representation.
+  int byte_width() const {
+    switch (id_) {
+      case TypeId::kBoolean:
+        return 1;
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        return 4;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+      case TypeId::kFloat64:
+        return 8;
+      case TypeId::kDecimal128:
+        return 16;
+      case TypeId::kString:
+        return 16;  // StringRef {pointer, length}
+    }
+    return 0;
+  }
+
+  bool operator==(const DataType& other) const {
+    if (id_ != other.id_) return false;
+    if (id_ == TypeId::kDecimal128) {
+      return precision_ == other.precision_ && scale_ == other.scale_;
+    }
+    return true;
+  }
+  bool operator!=(const DataType& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  TypeId id_;
+  int precision_ = 0;
+  int scale_ = 0;
+};
+
+/// A named, nullable column in a schema.
+struct Field {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+
+  Field() = default;
+  Field(std::string name_in, DataType type_in, bool nullable_in = true)
+      : name(std::move(name_in)), type(type_in), nullable(nullable_in) {}
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered collection of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// String-ref view into variable-length data: the in-vector representation
+/// of a string value (§4.1). Points into a VarLenPool arena or other stable
+/// storage; not owning.
+struct StringRef {
+  const char* data = nullptr;
+  int32_t len = 0;
+
+  StringRef() = default;
+  StringRef(const char* d, int32_t l) : data(d), len(l) {}
+
+  std::string ToString() const { return std::string(data, len); }
+  bool operator==(const StringRef& other) const {
+    if (len != other.len) return false;
+    return len == 0 || __builtin_memcmp(data, other.data, len) == 0;
+  }
+};
+
+static_assert(sizeof(StringRef) == 16, "StringRef must be 16 bytes");
+
+}  // namespace photon
+
+#endif  // PHOTON_TYPES_DATA_TYPE_H_

@@ -1,0 +1,144 @@
+#include "types/decimal.h"
+
+#include <cstdlib>
+
+namespace photon {
+
+int128_t Decimal128::PowerOfTen(int exp) {
+  PHOTON_CHECK(exp >= 0 && exp <= 38);
+  int128_t v = 1;
+  for (int i = 0; i < exp; i++) v *= 10;
+  return v;
+}
+
+bool Decimal128::FromString(const std::string& s, int scale,
+                            Decimal128* out) {
+  const char* p = s.c_str();
+  bool neg = false;
+  if (*p == '-') {
+    neg = true;
+    p++;
+  } else if (*p == '+') {
+    p++;
+  }
+  int128_t value = 0;
+  int digits = 0;
+  bool saw_any = false;
+  while (*p >= '0' && *p <= '9') {
+    value = value * 10 + (*p - '0');
+    digits++;
+    saw_any = true;
+    if (digits > 38) return false;
+    p++;
+  }
+  int frac_digits = 0;
+  if (*p == '.') {
+    p++;
+    while (*p >= '0' && *p <= '9' && frac_digits < scale) {
+      value = value * 10 + (*p - '0');
+      frac_digits++;
+      digits++;
+      saw_any = true;
+      if (digits > 38) return false;
+      p++;
+    }
+    // Truncate extra fractional digits.
+    while (*p >= '0' && *p <= '9') p++;
+  }
+  if (!saw_any || *p != '\0') return false;
+  // Pad to the target scale.
+  for (; frac_digits < scale; frac_digits++) value *= 10;
+  *out = Decimal128(neg ? -value : value);
+  return true;
+}
+
+std::string Decimal128::ToString(int scale) const {
+  uint128_t mag =
+      value_ < 0 ? static_cast<uint128_t>(-value_) : static_cast<uint128_t>(value_);
+  char digits[64];
+  int n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + static_cast<int>(mag % 10));
+    mag /= 10;
+  } while (mag != 0);
+  while (n <= scale) digits[n++] = '0';  // Ensure an integer digit exists.
+
+  std::string out;
+  if (value_ < 0) out.push_back('-');
+  for (int i = n - 1; i >= 0; i--) {
+    if (i == scale - 1 && scale > 0) {
+      // about to emit the first fractional digit
+    }
+    out.push_back(digits[i]);
+    if (i == scale && scale > 0) out.push_back('.');
+  }
+  return out;
+}
+
+double Decimal128::ToDouble(int scale) const {
+  // Single division by 10^scale (exactly representable for scale <= 22),
+  // so vectorized and row-at-a-time casts round identically.
+  return static_cast<double>(value_) /
+         static_cast<double>(PowerOfTen(scale));
+}
+
+int Decimal128::Precision() const {
+  uint128_t mag =
+      value_ < 0 ? static_cast<uint128_t>(-value_) : static_cast<uint128_t>(value_);
+  int digits = 1;
+  while (mag >= 10) {
+    mag /= 10;
+    digits++;
+  }
+  return digits;
+}
+
+bool Decimal128::Rescale(int from_scale, int to_scale, Decimal128* out) const {
+  if (from_scale == to_scale) {
+    *out = *this;
+    return true;
+  }
+  if (to_scale > from_scale) {
+    int shift = to_scale - from_scale;
+    if (shift > 38) return false;
+    int128_t mult = PowerOfTen(shift);
+    int128_t v = value_ * mult;
+    if (value_ != 0 && v / mult != value_) return false;  // overflow
+    *out = Decimal128(v);
+    return true;
+  }
+  int shift = from_scale - to_scale;
+  if (shift > 38) {
+    *out = Decimal128(static_cast<int128_t>(0));
+    return true;
+  }
+  int128_t div = PowerOfTen(shift);
+  int128_t q = value_ / div;
+  int128_t r = value_ % div;
+  // Round half away from zero.
+  if (r >= (div >> 1) + (div & 1)) q += 1;
+  if (-r >= (div >> 1) + (div & 1)) q -= 1;
+  *out = Decimal128(q);
+  return true;
+}
+
+bool Decimal128::Divide(const Decimal128& dividend, const Decimal128& divisor,
+                        int shift, Decimal128* out) {
+  if (divisor.value_ == 0) return false;
+  PHOTON_CHECK(shift >= 0 && shift <= 38);
+  int128_t scaled = dividend.value_ * PowerOfTen(shift);
+  // Note: can overflow for extreme inputs; the expression layer bounds
+  // operand precision so `dividend` has headroom for `shift` digits.
+  int128_t q = scaled / divisor.value_;
+  int128_t r = scaled % divisor.value_;
+  int128_t abs_r = r < 0 ? -r : r;
+  int128_t abs_d = divisor.value_ < 0 ? -divisor.value_ : divisor.value_;
+  if (2 * abs_r >= abs_d) {
+    bool result_neg = (scaled < 0) != (divisor.value_ < 0);
+    q += result_neg ? -1 : 1;
+  }
+  *out = Decimal128(q);
+  return true;
+}
+
+}  // namespace photon

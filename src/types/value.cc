@@ -1,0 +1,113 @@
+#include "types/value.h"
+#include <cmath>
+#include <cstring>
+
+#include "common/hash.h"
+
+#include <cstdio>
+
+namespace photon {
+
+bool Value::Equals(const Value& other) const {
+  if (repr_.index() != other.repr_.index()) return false;
+  // NaN equals NaN here (Spark's equality semantics for grouping/sorting);
+  // std::variant's operator== would say false.
+  if (const double* a = std::get_if<double>(&repr_)) {
+    double b = std::get<double>(other.repr_);
+    if (std::isnan(*a) && std::isnan(b)) return true;
+  }
+  return repr_ == other.repr_;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  PHOTON_CHECK(repr_.index() == other.repr_.index());
+  return std::visit(
+      [&](const auto& a) -> int {
+        using T = std::decay_t<decltype(a)>;
+        const T& b = std::get<T>(other.repr_);
+        if constexpr (std::is_same_v<T, NullTag>) {
+          return 0;
+        } else if constexpr (std::is_same_v<T, DateTag>) {
+          return a.days < b.days ? -1 : (a.days > b.days ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, TimestampTag>) {
+          return a.micros < b.micros ? -1 : (a.micros > b.micros ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, Decimal128>) {
+          return a < b ? -1 : (b < a ? 1 : 0);
+        } else {
+          return a < b ? -1 : (b < a ? 1 : 0);
+        }
+      },
+      repr_);
+}
+
+uint64_t Value::HashCode() const {
+  return std::visit(
+      [](const auto& v) -> uint64_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, NullTag>) {
+          return 0x9D5E350AFD3CB6D1ULL;
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return HashMix64(v ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, int32_t>) {
+          return HashMix64(static_cast<uint64_t>(v));
+        } else if constexpr (std::is_same_v<T, int64_t>) {
+          return HashMix64(static_cast<uint64_t>(v));
+        } else if constexpr (std::is_same_v<T, double>) {
+          double d = v == 0.0 ? 0.0 : v;
+          uint64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          return HashMix64(bits);
+        } else if constexpr (std::is_same_v<T, DateTag>) {
+          return HashMix64(static_cast<uint64_t>(v.days));
+        } else if constexpr (std::is_same_v<T, TimestampTag>) {
+          return HashMix64(static_cast<uint64_t>(v.micros));
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return HashBytes(v.data(), v.size());
+        } else if constexpr (std::is_same_v<T, Decimal128>) {
+          uint128_t u = static_cast<uint128_t>(v.value());
+          return HashMix64(static_cast<uint64_t>(u) ^
+                           HashMix64(static_cast<uint64_t>(u >> 64)));
+        }
+      },
+      repr_);
+}
+
+std::string Value::ToString() const {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, NullTag>) {
+          return "NULL";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return v ? "true" : "false";
+        } else if constexpr (std::is_same_v<T, int32_t>) {
+          return std::to_string(v);
+        } else if constexpr (std::is_same_v<T, int64_t>) {
+          return std::to_string(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", v);
+          return buf;
+        } else if constexpr (std::is_same_v<T, DateTag>) {
+          return "date(" + std::to_string(v.days) + ")";
+        } else if constexpr (std::is_same_v<T, TimestampTag>) {
+          return "ts(" + std::to_string(v.micros) + ")";
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return "\"" + v + "\"";
+        } else if constexpr (std::is_same_v<T, Decimal128>) {
+          return v.ToString(0) + "e?";  // scale unknown without type
+        }
+      },
+      repr_);
+}
+
+std::string Value::ToString(const DataType& type) const {
+  if (is_null()) return "NULL";
+  if (type.is_decimal()) return decimal().ToString(type.scale());
+  return ToString();
+}
+
+}  // namespace photon

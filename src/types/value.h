@@ -1,0 +1,94 @@
+#ifndef PHOTON_TYPES_VALUE_H_
+#define PHOTON_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/macros.h"
+#include "types/data_type.h"
+#include "types/decimal.h"
+
+namespace photon {
+
+/// A single scalar datum: NULL or a value of one of the engine's types.
+/// Used for literals in expression trees, for the row-oriented baseline
+/// engine, and as the lingua franca of test oracles. Column data never uses
+/// Value — vectors store unboxed primitives.
+class Value {
+ public:
+  Value() : repr_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Boolean(bool v) { return Value(Repr(v)); }
+  static Value Int32(int32_t v) { return Value(Repr(v)); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Float64(double v) { return Value(Repr(v)); }
+  static Value Date32(int32_t v) { return Value(Repr(DateTag{v})); }
+  static Value Timestamp(int64_t v) { return Value(Repr(TimestampTag{v})); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Decimal(Decimal128 v) { return Value(Repr(v)); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(repr_); }
+
+  bool boolean() const { return std::get<bool>(repr_); }
+  int32_t i32() const {
+    if (auto* d = std::get_if<DateTag>(&repr_)) return d->days;
+    return std::get<int32_t>(repr_);
+  }
+  int64_t i64() const {
+    if (auto* t = std::get_if<TimestampTag>(&repr_)) return t->micros;
+    return std::get<int64_t>(repr_);
+  }
+  double f64() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+  Decimal128 decimal() const { return std::get<Decimal128>(repr_); }
+
+  bool is_date() const { return std::holds_alternative<DateTag>(repr_); }
+  bool is_timestamp() const {
+    return std::holds_alternative<TimestampTag>(repr_);
+  }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(repr_);
+  }
+
+  /// Structural equality (NULL == NULL here; SQL null semantics live in the
+  /// expression layer, not in this container).
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool Equals(const Value& other) const;
+
+  /// Total order for sorting/oracles; NULLs first. Values must share a type.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (used by the baseline engine's boxed hash
+  /// maps and partitioning).
+  uint64_t HashCode() const;
+
+  std::string ToString() const;
+  std::string ToString(const DataType& type) const;
+
+ private:
+  struct NullTag {
+    bool operator==(const NullTag&) const { return true; }
+  };
+  struct DateTag {
+    int32_t days;
+    bool operator==(const DateTag& o) const { return days == o.days; }
+  };
+  struct TimestampTag {
+    int64_t micros;
+    bool operator==(const TimestampTag& o) const {
+      return micros == o.micros;
+    }
+  };
+  using Repr = std::variant<NullTag, bool, int32_t, int64_t, double, DateTag,
+                            TimestampTag, std::string, Decimal128>;
+
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_TYPES_VALUE_H_

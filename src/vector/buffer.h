@@ -1,0 +1,82 @@
+#ifndef PHOTON_VECTOR_BUFFER_H_
+#define PHOTON_VECTOR_BUFFER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "common/macros.h"
+
+namespace photon {
+
+/// A cache-line-aligned, owned memory region. Buffers back column vector
+/// values and null bytes. Move-only.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t capacity) { Reset(capacity); }
+
+  Buffer(Buffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  ~Buffer() { Free(); }
+
+  /// (Re)allocates to at least `capacity` bytes; contents are discarded.
+  void Reset(size_t capacity) {
+    Free();
+    if (capacity == 0) return;
+    // Round up to the 64-byte alignment unit required by aligned_alloc.
+    size_t rounded = (capacity + 63) & ~size_t{63};
+    data_ = static_cast<uint8_t*>(std::aligned_alloc(64, rounded));
+    PHOTON_CHECK(data_ != nullptr);
+    capacity_ = rounded;
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return data_ == nullptr; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  void ZeroFill() {
+    if (data_ != nullptr) std::memset(data_, 0, capacity_);
+  }
+
+ private:
+  void Free() {
+    if (data_ != nullptr) std::free(data_);
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+
+  uint8_t* data_ = nullptr;
+  size_t capacity_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_VECTOR_BUFFER_H_

@@ -1,0 +1,103 @@
+#ifndef PHOTON_VECTOR_BUFFER_POOL_H_
+#define PHOTON_VECTOR_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "vector/buffer.h"
+
+namespace photon {
+
+/// Most-recently-used buffer cache for transient per-batch allocations
+/// (§4.5). Because the operator tree is fixed during execution, the number
+/// of vector allocations per input batch is fixed, so a small MRU cache
+/// keeps hot memory in use across batches and avoids OS-level allocation on
+/// the per-batch path.
+///
+/// Buffers are bucketed by power-of-two size class; Release pushes onto the
+/// class's stack, Allocate pops the most recently released buffer.
+class BufferPool {
+ public:
+  BufferPool() : free_lists_(kNumClasses) {}
+
+  /// Returns a buffer of at least `size` bytes, reusing a cached one if the
+  /// size class has any. Contents are unspecified.
+  Buffer Allocate(size_t size) {
+    int cls = SizeClass(size);
+    auto& list = free_lists_[cls];
+    if (!list.empty()) {
+      Buffer buf = std::move(list.back());
+      list.pop_back();
+      hits_++;
+      cached_bytes_ -= buf.capacity();
+      return buf;
+    }
+    misses_++;
+    return Buffer(ClassBytes(cls));
+  }
+
+  /// Returns a buffer to the pool for reuse (MRU order).
+  void Release(Buffer buf) {
+    if (buf.empty()) return;
+    int cls = SizeClass(buf.capacity());
+    // Only cache buffers that exactly fit their class so Allocate's
+    // guarantee (capacity >= class size) holds.
+    if (buf.capacity() < ClassBytes(cls)) return;
+    cached_bytes_ += buf.capacity();
+    free_lists_[cls].push_back(std::move(buf));
+    TrimIfNeeded();
+  }
+
+  void Clear() {
+    for (auto& list : free_lists_) list.clear();
+    cached_bytes_ = 0;
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  size_t cached_bytes() const { return cached_bytes_; }
+
+  /// Caps cached memory; least-recently-used buffers are dropped first.
+  void set_max_cached_bytes(size_t bytes) {
+    max_cached_bytes_ = bytes;
+    TrimIfNeeded();
+  }
+
+ private:
+  static constexpr int kMinClassLog2 = 6;   // 64 B
+  static constexpr int kMaxClassLog2 = 30;  // 1 GiB
+  static constexpr int kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  static int SizeClass(size_t size) {
+    int log2 = kMinClassLog2;
+    while ((size_t{1} << log2) < size && log2 < kMaxClassLog2) log2++;
+    return log2 - kMinClassLog2;
+  }
+  static size_t ClassBytes(int cls) {
+    return size_t{1} << (cls + kMinClassLog2);
+  }
+
+  void TrimIfNeeded() {
+    // Evict from the front (least recently released) of the largest lists.
+    while (cached_bytes_ > max_cached_bytes_) {
+      for (int cls = kNumClasses - 1; cls >= 0; cls--) {
+        if (!free_lists_[cls].empty()) {
+          cached_bytes_ -= free_lists_[cls].front().capacity();
+          free_lists_[cls].erase(free_lists_[cls].begin());
+          break;
+        }
+      }
+      if (cached_bytes_ == 0) break;
+    }
+  }
+
+  std::vector<std::vector<Buffer>> free_lists_;
+  size_t cached_bytes_ = 0;
+  size_t max_cached_bytes_ = 256 * 1024 * 1024;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_VECTOR_BUFFER_POOL_H_

@@ -1,0 +1,131 @@
+#include "vector/column_batch.h"
+
+#include <sstream>
+
+namespace photon {
+
+std::string ColumnBatch::ToString() const {
+  std::ostringstream out;
+  out << "batch[" << num_active_ << "/" << num_rows_ << " active]\n";
+  for (int i = 0; i < num_active_ && i < 20; i++) {
+    int row = ActiveRow(i);
+    out << "  ";
+    for (int c = 0; c < num_columns(); c++) {
+      if (c > 0) out << ", ";
+      out << columns_[c]->GetValue(row).ToString(schema_.field(c).type);
+    }
+    out << "\n";
+  }
+  if (num_active_ > 20) out << "  ... (" << num_active_ - 20 << " more)\n";
+  return out.str();
+}
+
+namespace {
+
+template <typename T>
+void GatherFixed(const ColumnVector& src, const int32_t* pos, int n,
+                 ColumnVector* dst) {
+  const T* PHOTON_RESTRICT in = src.data<T>();
+  T* PHOTON_RESTRICT out = dst->data<T>();
+  for (int i = 0; i < n; i++) out[i] = in[pos[i]];
+}
+
+}  // namespace
+
+std::unique_ptr<ColumnBatch> CompactBatch(const ColumnBatch& src) {
+  auto dst = std::make_unique<ColumnBatch>(src.schema(), src.capacity());
+  int n = src.num_active();
+  const int32_t* pos = src.pos_list();
+  // Materialize the active positions even if the source is all-active, so
+  // the gather kernels have a single shape.
+  std::vector<int32_t> identity;
+  if (src.all_active()) {
+    identity.resize(n);
+    for (int i = 0; i < n; i++) identity[i] = i;
+    pos = identity.data();
+  }
+
+  for (int c = 0; c < src.num_columns(); c++) {
+    const ColumnVector& in = *src.column(c);
+    ColumnVector* out = dst->column(c);
+    const uint8_t* in_nulls = in.nulls();
+    uint8_t* out_nulls = out->nulls();
+    for (int i = 0; i < n; i++) out_nulls[i] = in_nulls[pos[i]];
+
+    switch (in.type().id()) {
+      case TypeId::kBoolean:
+        GatherFixed<uint8_t>(in, pos, n, out);
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        GatherFixed<int32_t>(in, pos, n, out);
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        GatherFixed<int64_t>(in, pos, n, out);
+        break;
+      case TypeId::kFloat64:
+        GatherFixed<double>(in, pos, n, out);
+        break;
+      case TypeId::kDecimal128:
+        GatherFixed<int128_t>(in, pos, n, out);
+        break;
+      case TypeId::kString: {
+        const StringRef* in_strs = in.data<StringRef>();
+        for (int i = 0; i < n; i++) {
+          if (!out_nulls[i]) {
+            out->SetString(i, in_strs[pos[i]].data, in_strs[pos[i]].len);
+          } else {
+            out->SetStringRef(i, StringRef());
+          }
+        }
+        break;
+      }
+    }
+    // Compaction preserves NULL-ness and ASCII-ness of the active set.
+    out->set_has_nulls(in.has_nulls());
+    out->set_all_ascii(in.all_ascii());
+  }
+  dst->set_num_rows(n);
+  dst->SetAllActive();
+  return dst;
+}
+
+void CopyRow(const ColumnBatch& src, int src_row, ColumnBatch* dst,
+             int dst_row) {
+  for (int c = 0; c < src.num_columns(); c++) {
+    const ColumnVector& in = *src.column(c);
+    ColumnVector* out = dst->column(c);
+    if (in.IsNull(src_row)) {
+      out->SetNull(dst_row);
+      continue;
+    }
+    out->SetNotNull(dst_row);
+    switch (in.type().id()) {
+      case TypeId::kBoolean:
+        out->data<uint8_t>()[dst_row] = in.data<uint8_t>()[src_row];
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate32:
+        out->data<int32_t>()[dst_row] = in.data<int32_t>()[src_row];
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        out->data<int64_t>()[dst_row] = in.data<int64_t>()[src_row];
+        break;
+      case TypeId::kFloat64:
+        out->data<double>()[dst_row] = in.data<double>()[src_row];
+        break;
+      case TypeId::kDecimal128:
+        out->data<int128_t>()[dst_row] = in.data<int128_t>()[src_row];
+        break;
+      case TypeId::kString: {
+        StringRef s = in.GetString(src_row);
+        out->SetString(dst_row, s.data, s.len);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace photon

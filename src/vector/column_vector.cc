@@ -1,0 +1,96 @@
+#include "vector/column_vector.h"
+
+#include "common/string_util.h"
+
+namespace photon {
+
+bool ColumnVector::ComputeHasNulls(const int32_t* pos_list, int num_rows,
+                                   bool all_active) {
+  if (has_nulls_ != TriState::kUnknown) {
+    return has_nulls_ == TriState::kYes;
+  }
+  const uint8_t* PHOTON_RESTRICT n = nulls();
+  uint8_t acc = 0;
+  if (all_active) {
+    for (int i = 0; i < num_rows; i++) acc |= n[i];
+  } else {
+    for (int i = 0; i < num_rows; i++) acc |= n[pos_list[i]];
+  }
+  has_nulls_ = acc ? TriState::kYes : TriState::kNo;
+  return acc != 0;
+}
+
+bool ColumnVector::ComputeAllAscii(const int32_t* pos_list, int num_rows,
+                                   bool all_active) {
+  PHOTON_DCHECK(type_.is_string());
+  if (all_ascii_ != TriState::kUnknown) {
+    return all_ascii_ == TriState::kYes;
+  }
+  const StringRef* strs = data<StringRef>();
+  const uint8_t* n = nulls();
+  bool ascii = true;
+  for (int i = 0; i < num_rows && ascii; i++) {
+    int row = all_active ? i : pos_list[i];
+    if (n[row]) continue;
+    ascii = IsAscii(strs[row].data, strs[row].len);
+  }
+  all_ascii_ = ascii ? TriState::kYes : TriState::kNo;
+  return ascii;
+}
+
+Value ColumnVector::GetValue(int row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_.id()) {
+    case TypeId::kBoolean:
+      return Value::Boolean(data<uint8_t>()[row] != 0);
+    case TypeId::kInt32:
+      return Value::Int32(data<int32_t>()[row]);
+    case TypeId::kInt64:
+      return Value::Int64(data<int64_t>()[row]);
+    case TypeId::kFloat64:
+      return Value::Float64(data<double>()[row]);
+    case TypeId::kDate32:
+      return Value::Date32(data<int32_t>()[row]);
+    case TypeId::kTimestamp:
+      return Value::Timestamp(data<int64_t>()[row]);
+    case TypeId::kString: {
+      StringRef s = GetString(row);
+      return Value::String(std::string(s.data, s.len));
+    }
+    case TypeId::kDecimal128:
+      return Value::Decimal(Decimal128(data<int128_t>()[row]));
+  }
+  return Value::Null();
+}
+
+void ColumnVector::SetValue(int row, const Value& v) {
+  if (v.is_null()) {
+    SetNull(row);
+    return;
+  }
+  SetNotNull(row);
+  switch (type_.id()) {
+    case TypeId::kBoolean:
+      data<uint8_t>()[row] = v.boolean() ? 1 : 0;
+      break;
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      data<int32_t>()[row] = v.i32();
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      data<int64_t>()[row] = v.i64();
+      break;
+    case TypeId::kFloat64:
+      data<double>()[row] = v.f64();
+      break;
+    case TypeId::kString:
+      SetString(row, v.str());
+      break;
+    case TypeId::kDecimal128:
+      data<int128_t>()[row] = v.decimal().value();
+      break;
+  }
+}
+
+}  // namespace photon

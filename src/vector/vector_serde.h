@@ -1,0 +1,52 @@
+#ifndef PHOTON_VECTOR_VECTOR_SERDE_H_
+#define PHOTON_VECTOR_VECTOR_SERDE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/byte_buffer.h"
+#include "common/result.h"
+#include "vector/column_batch.h"
+
+namespace photon {
+
+/// Per-column encoding used when serializing batches for shuffle and spill.
+/// kPlain is always valid; the others are the paper's adaptive shuffle
+/// encodings (§4.6, Table 1), chosen at runtime after inspecting the batch.
+enum class ColumnEncoding : uint8_t {
+  kPlain = 0,
+  /// 36-char canonical UUID strings stored as 16-byte binary.
+  kUuid128 = 1,
+  /// Decimal-integer strings stored as zigzag varints.
+  kIntString = 2,
+};
+
+/// Returns true iff every non-NULL active string in the column is a
+/// canonical 36-character UUID (8-4-4-4-12 lowercase/uppercase hex).
+bool DetectUuidColumn(const ColumnBatch& batch, int col);
+
+/// Returns true iff every non-NULL active string parses as an int64.
+bool DetectIntStringColumn(const ColumnBatch& batch, int col);
+
+/// Parses a canonical UUID string into 16 bytes; false if malformed.
+bool ParseUuid(const char* s, int32_t len, uint8_t out[16]);
+/// Formats 16 bytes as the canonical lowercase 36-char UUID string.
+void FormatUuid(const uint8_t in[16], char out[36]);
+
+/// Serializes the *active* rows of a batch densely. `encodings` may be empty
+/// (all plain) or give one encoding per column.
+void SerializeBatch(const ColumnBatch& batch,
+                    const std::vector<ColumnEncoding>& encodings,
+                    BinaryWriter* out);
+
+/// Reads one batch previously written by SerializeBatch.
+Result<std::unique_ptr<ColumnBatch>> DeserializeBatch(const Schema& schema,
+                                                      BinaryReader* in);
+
+/// Picks per-column encodings adaptively by inspecting string columns
+/// (the runtime adaptivity of Table 1). Non-string columns get kPlain.
+std::vector<ColumnEncoding> ChooseAdaptiveEncodings(const ColumnBatch& batch);
+
+}  // namespace photon
+
+#endif  // PHOTON_VECTOR_VECTOR_SERDE_H_

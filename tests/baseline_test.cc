@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/row_agg.h"
+#include "baseline/row_join.h"
+#include "baseline/row_ops.h"
+#include "baseline/row_shuffle.h"
+#include "baseline/row_sort.h"
+#include "common/rng.h"
+#include "expr/builder.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace baseline {
+namespace {
+
+using eb::Col;
+using eb::Lit;
+
+Table MakeTable(const Schema& schema,
+                const std::vector<std::vector<Value>>& rows) {
+  TableBuilder builder(schema, 4);
+  for (const auto& row : rows) builder.AppendRow(row);
+  return builder.Finish();
+}
+
+Schema KV() {
+  return Schema(
+      {Field("k", DataType::Int64()), Field("v", DataType::Int64())});
+}
+
+/// Sorts boxed row sets for order-insensitive comparison.
+std::vector<std::vector<Value>> Sorted(std::vector<std::vector<Value>> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size(); i++) {
+                int c = (a[i].is_null() && b[i].is_null()) ? 0
+                        : a[i].is_null()                   ? -1
+                        : b[i].is_null()                   ? 1
+                                         : a[i].Compare(b[i]);
+                if (c != 0) return c < 0;
+              }
+              return false;
+            });
+  return rows;
+}
+
+TEST(RowOpsTest, ScanFilterProject) {
+  Table t = MakeTable(KV(), {{Value::Int64(1), Value::Int64(10)},
+                             {Value::Int64(2), Value::Int64(20)},
+                             {Value::Int64(3), Value::Int64(30)}});
+  auto scan = std::make_unique<RowScanOperator>(&t);
+  auto filter = std::make_unique<RowFilterOperator>(
+      std::move(scan),
+      eb::Ge(Col(1, DataType::Int64(), "v"), Lit(int64_t{20})));
+  std::vector<ExprPtr> exprs = {
+      eb::Add(Col(0, DataType::Int64()), Col(1, DataType::Int64()))};
+  auto project = std::make_unique<RowProjectOperator>(
+      std::move(filter), exprs, std::vector<std::string>{"s"});
+  Result<Table> result = CollectAllRows(project.get());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2);
+  EXPECT_EQ(result->GetRow(0)[0], Value::Int64(22));
+  EXPECT_EQ(result->GetRow(1)[0], Value::Int64(33));
+}
+
+TEST(RowAggTest, MatchesExpectations) {
+  Table t = MakeTable(KV(), {{Value::Int64(1), Value::Int64(5)},
+                             {Value::Int64(2), Value::Int64(7)},
+                             {Value::Int64(1), Value::Null()},
+                             {Value::Int64(1), Value::Int64(3)}});
+  std::vector<AggregateSpec> aggs;
+  aggs.push_back({AggKind::kSum, Col(1, DataType::Int64(), "v"), "s"});
+  aggs.push_back({AggKind::kCount, Col(1, DataType::Int64(), "v"), "c"});
+  aggs.push_back({AggKind::kCountStar, nullptr, "cs"});
+  auto agg = std::make_unique<RowHashAggregateOperator>(
+      std::make_unique<RowScanOperator>(&t),
+      std::vector<ExprPtr>{Col(0, DataType::Int64(), "k")},
+      std::vector<std::string>{"k"}, std::move(aggs));
+  Result<Table> result = CollectAllRows(agg.get());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_rows(), 2);
+  for (auto& row : result->ToRows()) {
+    if (row[0].i64() == 1) {
+      EXPECT_EQ(row[1], Value::Int64(8));
+      EXPECT_EQ(row[2], Value::Int64(2));
+      EXPECT_EQ(row[3], Value::Int64(3));
+    } else {
+      EXPECT_EQ(row[1], Value::Int64(7));
+    }
+  }
+}
+
+class BaselineJoinTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BaselineJoinTest, AllJoinTypesMatchNaiveOracle) {
+  bool use_smj = GetParam();
+  Rng rng(404);
+  Schema ls({Field("lk", DataType::Int64()), Field("lv", DataType::Int64())});
+  Schema rs({Field("rk", DataType::Int64()), Field("rv", DataType::Int64())});
+  std::vector<std::vector<Value>> lrows, rrows;
+  for (int i = 0; i < 200; i++) {
+    lrows.push_back({rng.Uniform(0, 9) == 0 ? Value::Null()
+                                            : Value::Int64(rng.Uniform(0, 30)),
+                     Value::Int64(i)});
+  }
+  for (int i = 0; i < 150; i++) {
+    rrows.push_back({rng.Uniform(0, 9) == 0 ? Value::Null()
+                                            : Value::Int64(rng.Uniform(0, 30)),
+                     Value::Int64(1000 + i)});
+  }
+  Table lt = MakeTable(ls, lrows);
+  Table rt = MakeTable(rs, rrows);
+
+  for (JoinType type : {JoinType::kInner, JoinType::kLeftOuter,
+                        JoinType::kLeftSemi, JoinType::kLeftAnti}) {
+    auto make_join = [&]() -> RowOperatorPtr {
+      auto l = std::make_unique<RowScanOperator>(&lt);
+      auto r = std::make_unique<RowScanOperator>(&rt);
+      std::vector<ExprPtr> lk = {Col(0, DataType::Int64(), "lk")};
+      std::vector<ExprPtr> rk = {Col(0, DataType::Int64(), "rk")};
+      if (use_smj) {
+        return std::make_unique<RowSortMergeJoinOperator>(
+            std::move(l), std::move(r), lk, rk, type);
+      }
+      return std::make_unique<RowShuffledHashJoinOperator>(
+          std::move(l), std::move(r), lk, rk, type);
+    };
+    RowOperatorPtr join = make_join();
+    Result<Table> result = CollectAllRows(join.get());
+    ASSERT_TRUE(result.ok());
+
+    // Naive nested-loop oracle.
+    std::vector<std::vector<Value>> expected;
+    for (const auto& lr : lrows) {
+      bool matched = false;
+      for (const auto& rr : rrows) {
+        if (lr[0].is_null() || rr[0].is_null()) continue;
+        if (lr[0].Equals(rr[0])) {
+          matched = true;
+          if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
+            expected.push_back({lr[0], lr[1], rr[0], rr[1]});
+          }
+        }
+      }
+      if (!matched && type == JoinType::kLeftOuter) {
+        expected.push_back({lr[0], lr[1], Value::Null(), Value::Null()});
+      }
+      if (matched && type == JoinType::kLeftSemi) expected.push_back(lr);
+      if (!matched && type == JoinType::kLeftAnti) expected.push_back(lr);
+    }
+    EXPECT_EQ(Sorted(result->ToRows()), Sorted(expected))
+        << "join type " << static_cast<int>(type) << " smj=" << use_smj;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmjAndShj, BaselineJoinTest,
+                         ::testing::Values(true, false));
+
+TEST(RowSortTest, OrdersRows) {
+  Table t = MakeTable(KV(), {{Value::Int64(3), Value::Int64(1)},
+                             {Value::Null(), Value::Int64(2)},
+                             {Value::Int64(1), Value::Int64(3)}});
+  std::vector<SortKey> keys;
+  keys.push_back({Col(0, DataType::Int64(), "k"), true, false});  // nulls last
+  auto sort = std::make_unique<RowSortOperator>(
+      std::make_unique<RowScanOperator>(&t), std::move(keys));
+  Result<Table> result = CollectAllRows(sort.get());
+  ASSERT_TRUE(result.ok());
+  auto rows = result->ToRows();
+  EXPECT_EQ(rows[0][0], Value::Int64(1));
+  EXPECT_EQ(rows[1][0], Value::Int64(3));
+  EXPECT_TRUE(rows[2][0].is_null());
+}
+
+TEST(RowShuffleTest, RoundTrip) {
+  Rng rng(77);
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 3000; i++) {
+    rows.push_back({Value::Int64(rng.Uniform(0, 50)), Value::Int64(i)});
+  }
+  Table t = MakeTable(KV(), rows);
+  auto write = std::make_unique<RowShuffleWriteOperator>(
+      std::make_unique<RowScanOperator>(&t),
+      std::vector<ExprPtr>{Col(0, DataType::Int64(), "k")}, "bl-rt", 4);
+  ASSERT_TRUE(write->Open().ok());
+  Row sink;
+  Result<bool> done = write->Next(&sink);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+  EXPECT_GT(write->bytes_written(), 0);
+
+  int64_t total = 0;
+  for (int p = 0; p < 4; p++) {
+    auto read = std::make_unique<RowShuffleReadOperator>(KV(), "bl-rt", p);
+    Result<Table> part = CollectAllRows(read.get());
+    ASSERT_TRUE(part.ok());
+    total += part->num_rows();
+  }
+  EXPECT_EQ(total, 3000);
+  ObjectStore::Default().DeletePrefix("rowshuffle/bl-rt/");
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace photon

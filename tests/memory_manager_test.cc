@@ -1,0 +1,125 @@
+#include "memory/memory_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace photon {
+namespace {
+
+/// A consumer that records spill requests and frees what it's told to.
+class FakeConsumer : public MemoryConsumer {
+ public:
+  FakeConsumer(std::string name, MemoryManager* mgr)
+      : MemoryConsumer(std::move(name)), mgr_(mgr) {}
+
+  int64_t Spill(int64_t requested) override {
+    spill_calls_++;
+    last_requested_ = requested;
+    int64_t freed = std::min(requested, reserved_bytes());
+    if (!can_spill_) return 0;
+    mgr_->Release(this, reserved_bytes());  // free everything, like a real op
+    return freed > 0 ? freed : reserved_bytes();
+  }
+
+  Status Reserve(int64_t bytes) { return mgr_->Reserve(this, bytes); }
+
+  int spill_calls_ = 0;
+  int64_t last_requested_ = 0;
+  bool can_spill_ = true;
+
+ private:
+  MemoryManager* mgr_;
+};
+
+TEST(MemoryManagerTest, ReserveWithinLimitSucceeds) {
+  MemoryManager mgr(1000);
+  FakeConsumer a("a", &mgr);
+  mgr.RegisterConsumer(&a);
+  EXPECT_TRUE(a.Reserve(600).ok());
+  EXPECT_EQ(mgr.reserved(), 600);
+  EXPECT_EQ(a.reserved_bytes(), 600);
+  mgr.Release(&a, 600);
+  mgr.UnregisterConsumer(&a);
+}
+
+TEST(MemoryManagerTest, SpillPolicyPicksSmallestSufficientConsumer) {
+  // Paper §5.3: sort consumers ascending by allocation; spill the first
+  // holding at least N bytes — minimizes spill count and volume.
+  MemoryManager mgr(1000);
+  FakeConsumer small("small", &mgr), big("big", &mgr), tiny("tiny", &mgr);
+  mgr.RegisterConsumer(&small);
+  mgr.RegisterConsumer(&big);
+  mgr.RegisterConsumer(&tiny);
+  ASSERT_TRUE(tiny.Reserve(50).ok());
+  ASSERT_TRUE(small.Reserve(300).ok());
+  ASSERT_TRUE(big.Reserve(600).ok());
+
+  // Need 200 more: tiny (50) can't cover it; small (300) can.
+  FakeConsumer requester("req", &mgr);
+  mgr.RegisterConsumer(&requester);
+  ASSERT_TRUE(requester.Reserve(200).ok());
+  EXPECT_EQ(tiny.spill_calls_, 0);
+  EXPECT_EQ(small.spill_calls_, 1);
+  EXPECT_EQ(big.spill_calls_, 0);
+
+  mgr.Release(&requester, 200);
+  mgr.Release(&tiny, tiny.reserved_bytes());
+  mgr.Release(&big, big.reserved_bytes());
+  mgr.UnregisterConsumer(&requester);
+  mgr.UnregisterConsumer(&small);
+  mgr.UnregisterConsumer(&big);
+  mgr.UnregisterConsumer(&tiny);
+}
+
+TEST(MemoryManagerTest, RequesterCanSelfSpill) {
+  // "Recursive spill": the requester itself may be the victim (§5.3).
+  MemoryManager mgr(1000);
+  FakeConsumer a("a", &mgr);
+  mgr.RegisterConsumer(&a);
+  ASSERT_TRUE(a.Reserve(900).ok());
+  ASSERT_TRUE(a.Reserve(500).ok());  // forces a to spill its 900
+  EXPECT_EQ(a.spill_calls_, 1);
+  EXPECT_EQ(a.reserved_bytes(), 500);
+  mgr.Release(&a, a.reserved_bytes());
+  mgr.UnregisterConsumer(&a);
+}
+
+TEST(MemoryManagerTest, OutOfMemoryWhenNothingSpillable) {
+  MemoryManager mgr(100);
+  FakeConsumer a("a", &mgr);
+  mgr.RegisterConsumer(&a);
+  Status st = a.Reserve(200);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  mgr.UnregisterConsumer(&a);
+}
+
+TEST(MemoryManagerTest, FailsWhenVictimCannotFree) {
+  MemoryManager mgr(100);
+  FakeConsumer a("a", &mgr), b("b", &mgr);
+  a.can_spill_ = false;
+  mgr.RegisterConsumer(&a);
+  mgr.RegisterConsumer(&b);
+  ASSERT_TRUE(a.Reserve(90).ok());
+  Status st = b.Reserve(50);
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_EQ(a.spill_calls_, 1);
+  mgr.Release(&a, a.reserved_bytes());
+  mgr.UnregisterConsumer(&a);
+  mgr.UnregisterConsumer(&b);
+}
+
+TEST(MemoryManagerTest, SpillStatsTracked) {
+  MemoryManager mgr(100);
+  FakeConsumer a("a", &mgr), b("b", &mgr);
+  mgr.RegisterConsumer(&a);
+  mgr.RegisterConsumer(&b);
+  ASSERT_TRUE(a.Reserve(80).ok());
+  ASSERT_TRUE(b.Reserve(80).ok());
+  EXPECT_EQ(mgr.spill_count(), 1);
+  EXPECT_GT(mgr.spilled_bytes(), 0);
+  mgr.Release(&b, b.reserved_bytes());
+  mgr.UnregisterConsumer(&a);
+  mgr.UnregisterConsumer(&b);
+}
+
+}  // namespace
+}  // namespace photon
