@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/row_agg.cc" "src/CMakeFiles/photon.dir/baseline/row_agg.cc.o" "gcc" "src/CMakeFiles/photon.dir/baseline/row_agg.cc.o.d"
+  "/root/repo/src/baseline/row_join.cc" "src/CMakeFiles/photon.dir/baseline/row_join.cc.o" "gcc" "src/CMakeFiles/photon.dir/baseline/row_join.cc.o.d"
+  "/root/repo/src/baseline/row_ops.cc" "src/CMakeFiles/photon.dir/baseline/row_ops.cc.o" "gcc" "src/CMakeFiles/photon.dir/baseline/row_ops.cc.o.d"
+  "/root/repo/src/baseline/row_shuffle.cc" "src/CMakeFiles/photon.dir/baseline/row_shuffle.cc.o" "gcc" "src/CMakeFiles/photon.dir/baseline/row_shuffle.cc.o.d"
+  "/root/repo/src/baseline/row_sort.cc" "src/CMakeFiles/photon.dir/baseline/row_sort.cc.o" "gcc" "src/CMakeFiles/photon.dir/baseline/row_sort.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/photon.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/photon.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/photon.dir/common/status.cc.o" "gcc" "src/CMakeFiles/photon.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/photon.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/photon.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/time_util.cc" "src/CMakeFiles/photon.dir/common/time_util.cc.o" "gcc" "src/CMakeFiles/photon.dir/common/time_util.cc.o.d"
+  "/root/repo/src/common/unicode.cc" "src/CMakeFiles/photon.dir/common/unicode.cc.o" "gcc" "src/CMakeFiles/photon.dir/common/unicode.cc.o.d"
+  "/root/repo/src/exec/driver.cc" "src/CMakeFiles/photon.dir/exec/driver.cc.o" "gcc" "src/CMakeFiles/photon.dir/exec/driver.cc.o.d"
+  "/root/repo/src/expr/agg_function.cc" "src/CMakeFiles/photon.dir/expr/agg_function.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/agg_function.cc.o.d"
+  "/root/repo/src/expr/arithmetic.cc" "src/CMakeFiles/photon.dir/expr/arithmetic.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/arithmetic.cc.o.d"
+  "/root/repo/src/expr/builder.cc" "src/CMakeFiles/photon.dir/expr/builder.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/builder.cc.o.d"
+  "/root/repo/src/expr/cast.cc" "src/CMakeFiles/photon.dir/expr/cast.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/cast.cc.o.d"
+  "/root/repo/src/expr/comparison.cc" "src/CMakeFiles/photon.dir/expr/comparison.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/comparison.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/photon.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/function_registry.cc" "src/CMakeFiles/photon.dir/expr/function_registry.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/function_registry.cc.o.d"
+  "/root/repo/src/expr/functions_datetime.cc" "src/CMakeFiles/photon.dir/expr/functions_datetime.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/functions_datetime.cc.o.d"
+  "/root/repo/src/expr/functions_math.cc" "src/CMakeFiles/photon.dir/expr/functions_math.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/functions_math.cc.o.d"
+  "/root/repo/src/expr/functions_misc.cc" "src/CMakeFiles/photon.dir/expr/functions_misc.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/functions_misc.cc.o.d"
+  "/root/repo/src/expr/functions_string.cc" "src/CMakeFiles/photon.dir/expr/functions_string.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/functions_string.cc.o.d"
+  "/root/repo/src/expr/functions_string2.cc" "src/CMakeFiles/photon.dir/expr/functions_string2.cc.o" "gcc" "src/CMakeFiles/photon.dir/expr/functions_string2.cc.o.d"
+  "/root/repo/src/ht/vectorized_hash_table.cc" "src/CMakeFiles/photon.dir/ht/vectorized_hash_table.cc.o" "gcc" "src/CMakeFiles/photon.dir/ht/vectorized_hash_table.cc.o.d"
+  "/root/repo/src/memory/memory_manager.cc" "src/CMakeFiles/photon.dir/memory/memory_manager.cc.o" "gcc" "src/CMakeFiles/photon.dir/memory/memory_manager.cc.o.d"
+  "/root/repo/src/ops/file_scan.cc" "src/CMakeFiles/photon.dir/ops/file_scan.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/file_scan.cc.o.d"
+  "/root/repo/src/ops/hash_aggregate.cc" "src/CMakeFiles/photon.dir/ops/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/hash_aggregate.cc.o.d"
+  "/root/repo/src/ops/hash_join.cc" "src/CMakeFiles/photon.dir/ops/hash_join.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/hash_join.cc.o.d"
+  "/root/repo/src/ops/operator.cc" "src/CMakeFiles/photon.dir/ops/operator.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/operator.cc.o.d"
+  "/root/repo/src/ops/project.cc" "src/CMakeFiles/photon.dir/ops/project.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/project.cc.o.d"
+  "/root/repo/src/ops/scan.cc" "src/CMakeFiles/photon.dir/ops/scan.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/scan.cc.o.d"
+  "/root/repo/src/ops/shuffle.cc" "src/CMakeFiles/photon.dir/ops/shuffle.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/shuffle.cc.o.d"
+  "/root/repo/src/ops/sort.cc" "src/CMakeFiles/photon.dir/ops/sort.cc.o" "gcc" "src/CMakeFiles/photon.dir/ops/sort.cc.o.d"
+  "/root/repo/src/plan/converter.cc" "src/CMakeFiles/photon.dir/plan/converter.cc.o" "gcc" "src/CMakeFiles/photon.dir/plan/converter.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/photon.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/photon.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/storage/baseline_file_writer.cc" "src/CMakeFiles/photon.dir/storage/baseline_file_writer.cc.o" "gcc" "src/CMakeFiles/photon.dir/storage/baseline_file_writer.cc.o.d"
+  "/root/repo/src/storage/bitpack.cc" "src/CMakeFiles/photon.dir/storage/bitpack.cc.o" "gcc" "src/CMakeFiles/photon.dir/storage/bitpack.cc.o.d"
+  "/root/repo/src/storage/compress.cc" "src/CMakeFiles/photon.dir/storage/compress.cc.o" "gcc" "src/CMakeFiles/photon.dir/storage/compress.cc.o.d"
+  "/root/repo/src/storage/delta.cc" "src/CMakeFiles/photon.dir/storage/delta.cc.o" "gcc" "src/CMakeFiles/photon.dir/storage/delta.cc.o.d"
+  "/root/repo/src/storage/format.cc" "src/CMakeFiles/photon.dir/storage/format.cc.o" "gcc" "src/CMakeFiles/photon.dir/storage/format.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/photon.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/photon.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "src/CMakeFiles/photon.dir/tpch/tpch_gen.cc.o" "gcc" "src/CMakeFiles/photon.dir/tpch/tpch_gen.cc.o.d"
+  "/root/repo/src/tpch/tpch_queries.cc" "src/CMakeFiles/photon.dir/tpch/tpch_queries.cc.o" "gcc" "src/CMakeFiles/photon.dir/tpch/tpch_queries.cc.o.d"
+  "/root/repo/src/types/big_decimal.cc" "src/CMakeFiles/photon.dir/types/big_decimal.cc.o" "gcc" "src/CMakeFiles/photon.dir/types/big_decimal.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/photon.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/photon.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/decimal.cc" "src/CMakeFiles/photon.dir/types/decimal.cc.o" "gcc" "src/CMakeFiles/photon.dir/types/decimal.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/photon.dir/types/value.cc.o" "gcc" "src/CMakeFiles/photon.dir/types/value.cc.o.d"
+  "/root/repo/src/vector/column_batch.cc" "src/CMakeFiles/photon.dir/vector/column_batch.cc.o" "gcc" "src/CMakeFiles/photon.dir/vector/column_batch.cc.o.d"
+  "/root/repo/src/vector/column_vector.cc" "src/CMakeFiles/photon.dir/vector/column_vector.cc.o" "gcc" "src/CMakeFiles/photon.dir/vector/column_vector.cc.o.d"
+  "/root/repo/src/vector/table.cc" "src/CMakeFiles/photon.dir/vector/table.cc.o" "gcc" "src/CMakeFiles/photon.dir/vector/table.cc.o.d"
+  "/root/repo/src/vector/vector_serde.cc" "src/CMakeFiles/photon.dir/vector/vector_serde.cc.o" "gcc" "src/CMakeFiles/photon.dir/vector/vector_serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
