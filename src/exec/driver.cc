@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "ops/file_scan.h"
 #include "ops/scan.h"
 
 namespace photon {
@@ -52,10 +53,30 @@ class TableSliceScan : public Operator {
 
 }  // namespace
 
+void AccumulateIoStats(Operator* root, StageInfo* info) {
+  if (root == nullptr || info == nullptr) return;
+  if (auto* scan = dynamic_cast<FileScanOperator*>(root)) {
+    info->bytes_read += scan->bytes_read();
+    info->cache_hits += scan->cache_hits();
+    info->prefetch_wait_ns += scan->prefetch_wait_ns();
+    info->files_read += scan->files_read();
+    info->row_groups_skipped += scan->row_groups_skipped();
+  }
+  for (Operator* child : root->children()) AccumulateIoStats(child, info);
+}
+
 Result<Table> Driver::RunSingleTask(const plan::PlanPtr& plan,
-                                    ExecContext ctx) {
+                                    ExecContext ctx, StageInfo* stage) {
   PHOTON_ASSIGN_OR_RETURN(OperatorPtr root, plan::CompilePhoton(plan, ctx));
-  return CollectAll(root.get());
+  int64_t t0 = NowNs();
+  Result<Table> result = CollectAll(root.get());
+  if (stage != nullptr) {
+    stage->num_tasks = 1;
+    stage->wall_ns = NowNs() - t0;
+    if (result.ok()) stage->rows_out = result->num_rows();
+    AccumulateIoStats(root.get(), stage);
+  }
+  return result;
 }
 
 Result<Table> Driver::RunShuffledAggregate(

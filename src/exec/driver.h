@@ -21,7 +21,18 @@ struct StageInfo {
   int64_t rows_out = 0;
   int64_t shuffle_bytes = 0;
   int64_t wall_ns = 0;
+  // Scan IO counters (src/io), summed over the stage's scan operators.
+  int64_t bytes_read = 0;
+  int64_t cache_hits = 0;
+  int64_t prefetch_wait_ns = 0;
+  int64_t files_read = 0;
+  int64_t row_groups_skipped = 0;
 };
+
+/// Walks an operator tree and folds every file scan's IO counters
+/// (bytes read, block-cache hits, prefetch stalls, data skipping) into
+/// `info` — the per-stage view of the §5.5 live metrics.
+void AccumulateIoStats(Operator* root, StageInfo* info);
 
 /// A miniature DBR driver (§2.2): breaks a job into stages at exchange
 /// boundaries, launches one task per partition on the executor thread
@@ -47,9 +58,10 @@ class Driver {
 
   /// Runs a single-task (single-threaded) Photon plan, like one task of a
   /// stage (Figure 1: "Photon executes tasks on partitions of data on a
-  /// single thread").
-  Result<Table> RunSingleTask(const plan::PlanPtr& plan,
-                              ExecContext ctx = {});
+  /// single thread"). When `stage` is non-null it is filled with the
+  /// task's rows/wall time and the scan IO counters of the plan's tree.
+  Result<Table> RunSingleTask(const plan::PlanPtr& plan, ExecContext ctx = {},
+                              StageInfo* stage = nullptr);
 
  private:
   ThreadPool pool_;

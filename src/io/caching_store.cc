@@ -1,0 +1,103 @@
+#include "io/caching_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace photon {
+namespace io {
+
+CachingStore::CachingStore(ObjectStore* store, IoOptions options)
+    : store_(store), options_(options) {
+  PHOTON_CHECK(store_ != nullptr);
+}
+
+Result<std::string> CachingStore::GetWithRetry(const std::string& key) {
+  Result<std::string> r = store_->Get(key);
+  int64_t backoff_us = options_.retry_backoff_us;
+  for (int attempt = 0;
+       !r.ok() && r.status().code() == StatusCode::kIoError &&
+       attempt < options_.max_retries;
+       attempt++) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = std::min(backoff_us * 2, options_.max_backoff_us);
+    r = store_->Get(key);
+  }
+  // Non-IoError statuses (e.g. KeyError: object genuinely absent) are not
+  // retried — backoff cannot conjure a missing object.
+  return r;
+}
+
+Result<std::shared_ptr<const std::string>> CachingStore::Get(
+    const std::string& key, int32_t block) {
+  BlockCache* cache = options_.cache;
+  if (cache != nullptr) {
+    if (std::shared_ptr<const std::string> hit = cache->Lookup(key, block)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bytes_from_cache_.fetch_add(static_cast<int64_t>(hit->size()),
+                                  std::memory_order_relaxed);
+      return hit;
+    }
+  }
+
+  // Single-flight: one loader per key, late arrivals wait on its Flight.
+  // The table is shared cache-wide so loads coalesce across operators.
+  SingleFlight* flights =
+      cache != nullptr ? cache->flights() : &local_flights_;
+  std::string flight_key = key + '\0' + std::to_string(block);
+  bool leader = false;
+  std::shared_ptr<Flight> flight = flights->Join(flight_key, &leader);
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    SingleFlight::Wait(flight);
+    if (!flight->status.ok()) return flight->status;
+    bytes_from_cache_.fetch_add(static_cast<int64_t>(flight->data->size()),
+                                std::memory_order_relaxed);
+    return flight->data;
+  }
+
+  // Double-check the cache: a previous leader may have finished (and
+  // retired its flight) between our Lookup miss and Join.
+  if (cache != nullptr) {
+    if (std::shared_ptr<const std::string> hit = cache->Lookup(key, block)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      bytes_from_cache_.fetch_add(static_cast<int64_t>(hit->size()),
+                                  std::memory_order_relaxed);
+      flights->Finish(flight_key, flight, Status::OK(), hit);
+      return hit;
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Result<std::string> loaded = GetWithRetry(key);
+
+  std::shared_ptr<const std::string> data;
+  if (loaded.ok()) {
+    data = std::make_shared<const std::string>(std::move(*loaded));
+    bytes_from_store_.fetch_add(static_cast<int64_t>(data->size()),
+                                std::memory_order_relaxed);
+    if (cache != nullptr) cache->Insert(key, block, data);
+  }
+  flights->Finish(flight_key, flight, loaded.status(), data);
+  if (!loaded.ok()) return loaded.status();
+  return data;
+}
+
+CachingStore::Stats CachingStore::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.bytes_from_cache = bytes_from_cache_.load(std::memory_order_relaxed);
+  s.bytes_from_store = bytes_from_store_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace io
+}  // namespace photon

@@ -1,0 +1,87 @@
+#ifndef PHOTON_IO_CACHING_STORE_H_
+#define PHOTON_IO_CACHING_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "io/block_cache.h"
+#include "io/single_flight.h"
+#include "storage/object_store.h"
+
+namespace photon {
+
+class ThreadPool;
+
+namespace io {
+
+/// Knobs for the scan IO path, threaded from operators down to the cache
+/// and prefetcher. All pointers are borrowed and may be null (null cache =
+/// read-through; null pool = synchronous reads).
+struct IoOptions {
+  BlockCache* cache = nullptr;
+  ThreadPool* prefetch_pool = nullptr;
+  /// Max blocks in flight ahead of the consumer (double-buffering = 2).
+  int prefetch_depth = 2;
+  /// Transient-failure retries against the object store, with capped
+  /// exponential backoff starting at retry_backoff_us.
+  int max_retries = 3;
+  int64_t retry_backoff_us = 100;
+  int64_t max_backoff_us = 5000;
+};
+
+/// Read-through cache facade over an ObjectStore: Get() first consults the
+/// BlockCache, then falls back to the store, retrying transient IO errors
+/// with capped exponential backoff and populating the cache on success.
+///
+/// Concurrent misses on the same key are single-flighted: one loader hits
+/// the store, the rest wait on its result, so N tasks warming the same
+/// file issue one simulated S3 GET (and no double-insert races). The
+/// flight table lives in the BlockCache when one is attached, so the
+/// dedup spans every CachingStore sharing that cache.
+///
+/// Thread-safe; shared freely between scan tasks and prefetch threads.
+class CachingStore {
+ public:
+  struct Stats {
+    int64_t hits = 0;            // served from BlockCache
+    int64_t misses = 0;          // loaded from the store
+    int64_t coalesced = 0;       // waited on another task's in-flight load
+    int64_t retries = 0;         // store Gets re-issued after IoError
+    int64_t bytes_from_cache = 0;
+    int64_t bytes_from_store = 0;
+  };
+
+  CachingStore(ObjectStore* store, IoOptions options = {});
+
+  /// Fetches a whole object (block = kWholeObject) or one named block.
+  Result<std::shared_ptr<const std::string>> Get(const std::string& key,
+                                                 int32_t block = kWholeObject);
+
+  ObjectStore* store() const { return store_; }
+  BlockCache* cache() const { return options_.cache; }
+  const IoOptions& options() const { return options_; }
+  Stats stats() const;
+
+ private:
+  Result<std::string> GetWithRetry(const std::string& key);
+
+  ObjectStore* store_;
+  IoOptions options_;
+  /// Used when no cache (and hence no shared flight table) is attached.
+  SingleFlight local_flights_;
+
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> coalesced_{0};
+  mutable std::atomic<int64_t> retries_{0};
+  mutable std::atomic<int64_t> bytes_from_cache_{0};
+  mutable std::atomic<int64_t> bytes_from_store_{0};
+};
+
+}  // namespace io
+}  // namespace photon
+
+#endif  // PHOTON_IO_CACHING_STORE_H_

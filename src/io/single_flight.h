@@ -1,0 +1,74 @@
+#ifndef PHOTON_IO_SINGLE_FLIGHT_H_
+#define PHOTON_IO_SINGLE_FLIGHT_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace photon {
+namespace io {
+
+/// One in-flight load, shared between the loading thread and any waiters.
+struct Flight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::shared_ptr<const std::string> data;
+};
+
+/// Deduplicates concurrent loads of the same key ("single flight"): the
+/// first caller becomes the leader and performs the load; later callers
+/// wait on the leader's Flight. A BlockCache owns one of these so every
+/// CachingStore sharing the cache — scan tasks, prefetch threads, log
+/// replay — coalesces to one object-store GET per key.
+class SingleFlight {
+ public:
+  /// Joins (or starts) the flight for `key`. Sets *leader when the caller
+  /// must perform the load and later call Finish().
+  std::shared_ptr<Flight> Join(const std::string& key, bool* leader) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      *leader = false;
+      return it->second;
+    }
+    auto flight = std::make_shared<Flight>();
+    flights_[key] = flight;
+    *leader = true;
+    return flight;
+  }
+
+  /// Leader-only: publishes the result, wakes waiters, retires the flight.
+  void Finish(const std::string& key, const std::shared_ptr<Flight>& flight,
+              Status status, std::shared_ptr<const std::string> data) {
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->done = true;
+      flight->status = std::move(status);
+      flight->data = std::move(data);
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mu_);
+    flights_.erase(key);
+  }
+
+  /// Waiter-side: blocks until the leader finishes.
+  static void Wait(const std::shared_ptr<Flight>& flight) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace io
+}  // namespace photon
+
+#endif  // PHOTON_IO_SINGLE_FLIGHT_H_

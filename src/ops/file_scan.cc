@@ -14,27 +14,51 @@ FileScanOperator::FileScanOperator(ObjectStore* store,
                                    std::vector<std::string> file_keys,
                                    Schema file_schema,
                                    std::vector<int> columns,
-                                   ExprPtr predicate)
+                                   ExprPtr predicate, io::IoOptions io)
     : Operator(Project(file_schema, columns)),
-      store_(store),
       file_keys_(std::move(file_keys)),
       file_schema_(std::move(file_schema)),
       columns_(std::move(columns)),
-      predicate_(std::move(predicate)) {}
+      predicate_(std::move(predicate)),
+      io_(std::make_unique<io::CachingStore>(store, io)) {
+  if (io.prefetch_pool != nullptr) {
+    io::Prefetcher::Options popts;
+    popts.depth = io.prefetch_depth;
+    prefetcher_ = std::make_unique<io::Prefetcher>(io_.get(),
+                                                   io.prefetch_pool, popts);
+  }
+}
 
 Status FileScanOperator::Open() {
   next_file_ = 0;
   reader_ = nullptr;
   next_row_group_ = 0;
+  // Warm the pipeline before the first GetNext touches the store.
+  if (prefetcher_ != nullptr) prefetcher_->ScheduleAhead(file_keys_, 0);
   return Status::OK();
+}
+
+void FileScanOperator::Close() {
+  // A scan abandoned early (LIMIT, error) must not leave read-aheads
+  // running on the shared pool.
+  if (prefetcher_ != nullptr) prefetcher_->Cancel();
 }
 
 Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
   while (true) {
     if (reader_ == nullptr) {
       if (next_file_ >= file_keys_.size()) return nullptr;
-      PHOTON_ASSIGN_OR_RETURN(
-          reader_, FileReader::OpenFromStore(store_, file_keys_[next_file_]));
+      const std::string& key = file_keys_[next_file_];
+      std::shared_ptr<const std::string> bytes;
+      if (prefetcher_ != nullptr) {
+        // Keep the window ahead of us full, then consume the current key.
+        prefetcher_->ScheduleAhead(file_keys_, next_file_ + 1);
+        PHOTON_ASSIGN_OR_RETURN(bytes, prefetcher_->Fetch(key));
+      } else {
+        PHOTON_ASSIGN_OR_RETURN(bytes, io_->Get(key));
+      }
+      bytes_read_ += static_cast<int64_t>(bytes->size());
+      PHOTON_ASSIGN_OR_RETURN(reader_, FileReader::Open(std::move(bytes)));
       next_file_++;
       next_row_group_ = 0;
       files_read_++;
@@ -74,7 +98,7 @@ Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
 DeltaScanOperator::DeltaScanOperator(ObjectStore* store,
                                      DeltaSnapshot snapshot,
                                      std::vector<int> columns,
-                                     ExprPtr predicate)
+                                     ExprPtr predicate, io::IoOptions io)
     : Operator(FileScanOperator::Project(snapshot.schema, columns)) {
   // File pruning by snapshot-level stats (data skipping, §2.1): note the
   // predicate here is over the *projected* schema; only prune when the
@@ -101,10 +125,12 @@ DeltaScanOperator::DeltaScanOperator(ObjectStore* store,
   for (const DeltaFileEntry& f : files) keys.push_back(f.key);
   inner_ = std::make_unique<FileScanOperator>(
       store, std::move(keys), snapshot.schema, std::move(columns),
-      std::move(predicate));
+      std::move(predicate), io);
 }
 
 Status DeltaScanOperator::Open() { return inner_->Open(); }
+
+void DeltaScanOperator::Close() { inner_->Close(); }
 
 Result<ColumnBatch*> DeltaScanOperator::GetNextImpl() {
   return inner_->GetNext();

@@ -84,7 +84,8 @@ class Converter {
         result_->adapters++;
         return OperatorPtr(new AdapterOperator(OperatorPtr(
             new DeltaScanOperator(node.store, node.snapshot,
-                                  node.scan_columns, node.scan_predicate))));
+                                  node.scan_columns, node.scan_predicate,
+                                  node.scan_io))));
       }
       case PlanKind::kFilter:
         return OperatorPtr(new FilterOperator(child(0), node.predicate));
@@ -117,7 +118,8 @@ class Converter {
       case PlanKind::kDeltaScan:
         return RowOperatorPtr(new TransitionOperator(OperatorPtr(
             new DeltaScanOperator(node.store, node.snapshot,
-                                  node.scan_columns, node.scan_predicate))));
+                                  node.scan_columns, node.scan_predicate,
+                                  node.scan_io))));
       case PlanKind::kFilter:
         return RowOperatorPtr(new baseline::RowFilterOperator(
             std::move(children[0]), node.predicate));

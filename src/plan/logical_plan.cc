@@ -43,7 +43,8 @@ PlanPtr Scan(const Table* table) {
 }
 
 PlanPtr DeltaScan(ObjectStore* store, DeltaSnapshot snapshot,
-                  std::vector<int> columns, ExprPtr predicate) {
+                  std::vector<int> columns, ExprPtr predicate,
+                  io::IoOptions io) {
   auto node = std::make_shared<PlanNode>();
   node->kind = PlanKind::kDeltaScan;
   node->store = store;
@@ -52,6 +53,7 @@ PlanPtr DeltaScan(ObjectStore* store, DeltaSnapshot snapshot,
   node->snapshot = std::move(snapshot);
   node->scan_columns = std::move(columns);
   node->scan_predicate = std::move(predicate);
+  node->scan_io = io;
   return node;
 }
 
@@ -182,7 +184,8 @@ Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx) {
     case PlanKind::kDeltaScan:
       return OperatorPtr(new DeltaScanOperator(plan->store, plan->snapshot,
                                                plan->scan_columns,
-                                               plan->scan_predicate));
+                                               plan->scan_predicate,
+                                               plan->scan_io));
     case PlanKind::kFilter: {
       PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
                               CompilePhoton(plan->children[0], ctx));
@@ -238,7 +241,8 @@ Result<baseline::RowOperatorPtr> CompileBaseline(
       // transition node.
       OperatorPtr scan(new DeltaScanOperator(plan->store, plan->snapshot,
                                              plan->scan_columns,
-                                             plan->scan_predicate));
+                                             plan->scan_predicate,
+                                             plan->scan_io));
       return RowOperatorPtr(new TransitionOperator(std::move(scan)));
     }
     case PlanKind::kFilter: {

@@ -50,6 +50,7 @@ struct PlanNode {
   DeltaSnapshot snapshot;
   std::vector<int> scan_columns;   // projection pushdown (empty = all)
   ExprPtr scan_predicate;          // pushdown predicate for skipping
+  io::IoOptions scan_io;           // block cache / prefetch wiring (src/io)
 
   // kFilter
   ExprPtr predicate;
@@ -81,7 +82,8 @@ struct PlanNode {
 // Construction helpers (each computes the node's output schema).
 PlanPtr Scan(const Table* table);
 PlanPtr DeltaScan(ObjectStore* store, DeltaSnapshot snapshot,
-                  std::vector<int> columns = {}, ExprPtr predicate = nullptr);
+                  std::vector<int> columns = {}, ExprPtr predicate = nullptr,
+                  io::IoOptions io = {});
 PlanPtr Filter(PlanPtr child, ExprPtr predicate);
 PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs,
                 std::vector<std::string> names);

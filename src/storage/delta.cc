@@ -103,6 +103,25 @@ Result<int64_t> DeltaTable::LatestVersion() const {
       std::stoll(last.substr(last.find_last_of('/') + 1)));
 }
 
+void DeltaTable::SetIoCache(io::BlockCache* cache) {
+  if (cache == nullptr) {
+    io_ = nullptr;
+    return;
+  }
+  io::IoOptions options;
+  options.cache = cache;
+  io_ = std::make_unique<io::CachingStore>(store_, options);
+}
+
+Result<std::shared_ptr<const std::string>> DeltaTable::ReadLog(
+    int64_t version) const {
+  // Log objects are immutable once committed (append-only log), so caching
+  // them is always safe.
+  if (io_ != nullptr) return io_->Get(LogKey(version));
+  PHOTON_ASSIGN_OR_RETURN(std::string bytes, store_->Get(LogKey(version)));
+  return std::make_shared<const std::string>(std::move(bytes));
+}
+
 Result<DeltaSnapshot> DeltaTable::Snapshot(int64_t version) const {
   if (version < 0) {
     PHOTON_ASSIGN_OR_RETURN(version, LatestVersion());
@@ -112,12 +131,12 @@ Result<DeltaSnapshot> DeltaTable::Snapshot(int64_t version) const {
   // Replay the log from version 0 (no checkpoints in this implementation).
   std::vector<DeltaFileEntry> files;
   for (int64_t v = 0; v <= version; v++) {
-    Result<std::string> log = store_->Get(LogKey(v));
+    Result<std::shared_ptr<const std::string>> log = ReadLog(v);
     if (!log.ok()) {
       return Status::KeyError("missing delta log version " +
                               std::to_string(v));
     }
-    BinaryReader reader(*log);
+    BinaryReader reader(**log);
     while (reader.remaining() > 0) {
       uint8_t action = 0;
       PHOTON_RETURN_NOT_OK(reader.ReadU8(&action));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "expr/expr.h"
+#include "io/caching_store.h"
 #include "storage/format.h"
 #include "storage/object_store.h"
 
@@ -68,6 +69,12 @@ class DeltaTable {
                           const Table& add,
                           FormatWriteOptions options = {});
 
+  /// Routes log replay (Snapshot/LatestVersion reads) through an IO block
+  /// cache: replaying version v re-reads every log object 0..v, so a warm
+  /// cache turns repeated snapshots into memory reads. The cache is
+  /// borrowed and may be shared with scans.
+  void SetIoCache(io::BlockCache* cache);
+
   /// Files of `snapshot` that may contain rows matching `predicate`,
   /// using per-column min/max stats (data skipping / file pruning). A null
   /// predicate returns all files.
@@ -81,9 +88,14 @@ class DeltaTable {
   std::string LogKey(int64_t version) const;
   Result<int64_t> CommitActions(const std::string& payload);
 
+  /// Reads one log object, through the cache when one is attached.
+  Result<std::shared_ptr<const std::string>> ReadLog(int64_t version) const;
+
   ObjectStore* store_;
   std::string path_;
   int64_t file_seq_ = 0;
+  /// Cached read path for log replay; null = direct store reads.
+  std::unique_ptr<io::CachingStore> io_;
 };
 
 /// True when a conjunct of the form `col <op> literal` could match any row

@@ -505,9 +505,15 @@ Result<std::string> FileWriter::Finish() {
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<FileReader>> FileReader::Open(std::string file_bytes) {
+  return Open(std::make_shared<const std::string>(std::move(file_bytes)));
+}
+
+Result<std::unique_ptr<FileReader>> FileReader::Open(
+    std::shared_ptr<const std::string> file_bytes) {
+  PHOTON_CHECK(file_bytes != nullptr);
   auto reader = std::unique_ptr<FileReader>(
       new FileReader(std::move(file_bytes)));
-  const std::string& bytes = reader->bytes_;
+  const std::string& bytes = *reader->bytes_;
   if (bytes.size() < 12 || std::memcmp(bytes.data(), kMagic, 4) != 0 ||
       std::memcmp(bytes.data() + bytes.size() - 4, kMagic, 4) != 0) {
     return Status::IoError("not a photon columnar file");
@@ -548,12 +554,12 @@ Result<std::unique_ptr<ColumnBatch>> FileReader::ReadRowGroup(
     const DataType& type = meta_.schema.field(cols[out_c]).type;
     ColumnVector* out = batch->column(static_cast<int>(out_c));
 
-    if (chunk.offset + chunk.compressed_bytes > bytes_.size()) {
+    if (chunk.offset + chunk.compressed_bytes > bytes_->size()) {
       return Status::IoError("chunk out of bounds");
     }
     PHOTON_ASSIGN_OR_RETURN(
         std::string payload,
-        Decompress(std::string_view(bytes_.data() + chunk.offset,
+        Decompress(std::string_view(bytes_->data() + chunk.offset,
                                     chunk.compressed_bytes)));
     BinaryReader reader(payload);
     uint64_t stored_n = 0;

@@ -115,6 +115,11 @@ class FileWriter {
 class FileReader {
  public:
   static Result<std::unique_ptr<FileReader>> Open(std::string file_bytes);
+  /// Zero-copy open over shared immutable bytes — the IO block cache hands
+  /// out blocks this way, so a reader and the cache share one buffer (and
+  /// the reader survives eviction).
+  static Result<std::unique_ptr<FileReader>> Open(
+      std::shared_ptr<const std::string> file_bytes);
   static Result<std::unique_ptr<FileReader>> OpenFromStore(
       ObjectStore* store, const std::string& key);
 
@@ -129,10 +134,14 @@ class FileReader {
   Result<std::unique_ptr<ColumnBatch>> ReadRowGroup(
       int row_group, const std::vector<int>& columns) const;
 
- private:
-  explicit FileReader(std::string bytes) : bytes_(std::move(bytes)) {}
+  /// Total size of the underlying file bytes.
+  int64_t file_bytes() const { return static_cast<int64_t>(bytes_->size()); }
 
-  std::string bytes_;
+ private:
+  explicit FileReader(std::shared_ptr<const std::string> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::shared_ptr<const std::string> bytes_;
   FileMeta meta_;
 };
 

@@ -35,6 +35,10 @@ Status ObjectStore::Put(const std::string& key, std::string bytes) {
 
 Result<std::string> ObjectStore::Get(const std::string& key) const {
   std::unique_lock<std::mutex> lock(mu_);
+  if (fail_gets_ > 0) {
+    fail_gets_--;
+    return Status::IoError("injected failure reading '" + key + "'");
+  }
   auto it = blobs_.find(key);
   if (it == blobs_.end()) {
     return Status::KeyError("object not found: " + key);

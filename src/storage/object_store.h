@@ -50,6 +50,9 @@ class ObjectStore {
 
   /// Injects a failure on the next `n` Put calls (failure-injection tests).
   void FailNextPuts(int n) { fail_puts_ = n; }
+  /// Injects a failure on the next `n` Get calls (read-side fault
+  /// injection, exercised by CachingStore's retry path).
+  void FailNextGets(int n) { fail_gets_ = n; }
 
  private:
   void SimulateIo(int64_t latency_us, size_t bytes) const;
@@ -62,6 +65,7 @@ class ObjectStore {
   mutable int64_t num_puts_ = 0;
   mutable int64_t num_gets_ = 0;
   int fail_puts_ = 0;
+  mutable int fail_gets_ = 0;
 };
 
 }  // namespace photon
