@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_collect_list.dir/bench_fig5_collect_list.cc.o"
+  "CMakeFiles/bench_fig5_collect_list.dir/bench_fig5_collect_list.cc.o.d"
+  "bench_fig5_collect_list"
+  "bench_fig5_collect_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_collect_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

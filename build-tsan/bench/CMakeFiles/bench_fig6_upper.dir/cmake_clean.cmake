@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_upper.dir/bench_fig6_upper.cc.o"
+  "CMakeFiles/bench_fig6_upper.dir/bench_fig6_upper.cc.o.d"
+  "bench_fig6_upper"
+  "bench_fig6_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

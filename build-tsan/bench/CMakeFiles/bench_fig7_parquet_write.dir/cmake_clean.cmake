@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_parquet_write.dir/bench_fig7_parquet_write.cc.o"
+  "CMakeFiles/bench_fig7_parquet_write.dir/bench_fig7_parquet_write.cc.o.d"
+  "bench_fig7_parquet_write"
+  "bench_fig7_parquet_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_parquet_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_compaction.dir/bench_fig9_compaction.cc.o"
+  "CMakeFiles/bench_fig9_compaction.dir/bench_fig9_compaction.cc.o.d"
+  "bench_fig9_compaction"
+  "bench_fig9_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_cache.dir/bench_io_cache.cc.o"
+  "CMakeFiles/bench_io_cache.dir/bench_io_cache.cc.o.d"
+  "bench_io_cache"
+  "bench_io_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

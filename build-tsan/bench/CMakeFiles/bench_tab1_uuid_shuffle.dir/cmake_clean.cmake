@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_uuid_shuffle.dir/bench_tab1_uuid_shuffle.cc.o"
+  "CMakeFiles/bench_tab1_uuid_shuffle.dir/bench_tab1_uuid_shuffle.cc.o.d"
+  "bench_tab1_uuid_shuffle"
+  "bench_tab1_uuid_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_uuid_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

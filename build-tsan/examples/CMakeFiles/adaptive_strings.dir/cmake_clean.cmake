@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_strings.dir/adaptive_strings.cpp.o"
+  "CMakeFiles/adaptive_strings.dir/adaptive_strings.cpp.o.d"
+  "adaptive_strings"
+  "adaptive_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakehouse_etl.dir/lakehouse_etl.cpp.o"
+  "CMakeFiles/lakehouse_etl.dir/lakehouse_etl.cpp.o.d"
+  "lakehouse_etl"
+  "lakehouse_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakehouse_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

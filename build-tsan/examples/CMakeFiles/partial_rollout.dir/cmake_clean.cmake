@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_rollout.dir/partial_rollout.cpp.o"
+  "CMakeFiles/partial_rollout.dir/partial_rollout.cpp.o.d"
+  "partial_rollout"
+  "partial_rollout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_rollout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

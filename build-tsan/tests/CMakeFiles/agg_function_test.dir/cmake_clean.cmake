@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_function_test.dir/agg_function_test.cc.o"
+  "CMakeFiles/agg_function_test.dir/agg_function_test.cc.o.d"
+  "agg_function_test"
+  "agg_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

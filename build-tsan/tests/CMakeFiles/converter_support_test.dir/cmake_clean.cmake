@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converter_support_test.dir/converter_support_test.cc.o"
+  "CMakeFiles/converter_support_test.dir/converter_support_test.cc.o.d"
+  "converter_support_test"
+  "converter_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converter_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decimal_test.dir/decimal_test.cc.o"
+  "CMakeFiles/decimal_test.dir/decimal_test.cc.o.d"
+  "decimal_test"
+  "decimal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_cache_test.dir/io_cache_test.cc.o"
+  "CMakeFiles/io_cache_test.dir/io_cache_test.cc.o.d"
+  "io_cache_test"
+  "io_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

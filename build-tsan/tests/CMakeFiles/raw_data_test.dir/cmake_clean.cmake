@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_data_test.dir/raw_data_test.cc.o"
+  "CMakeFiles/raw_data_test.dir/raw_data_test.cc.o.d"
+  "raw_data_test"
+  "raw_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

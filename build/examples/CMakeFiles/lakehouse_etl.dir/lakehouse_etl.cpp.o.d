@@ -214,26 +214,41 @@ examples/CMakeFiles/lakehouse_etl.dir/lakehouse_etl.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/vector/var_len_pool.h \
  /root/repo/src/vector/column_batch.h /root/repo/src/ops/file_scan.h \
- /root/repo/src/ops/operator.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/memory/memory_manager.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/delta.h \
- /usr/include/c++/12/optional /root/repo/src/storage/format.h \
- /root/repo/src/common/byte_buffer.h /root/repo/src/storage/compress.h \
+ /root/repo/src/io/caching_store.h /usr/include/c++/12/atomic \
+ /root/repo/src/io/block_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/optional /root/repo/src/io/single_flight.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/memory/memory_manager.h \
  /root/repo/src/storage/object_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vector/table.h \
- /root/repo/src/plan/logical_plan.h \
- /root/repo/src/baseline/row_operator.h \
- /root/repo/src/ops/hash_aggregate.h /root/repo/src/expr/agg_function.h \
- /root/repo/src/ht/vectorized_hash_table.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/io/prefetcher.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/exec/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/ops/hash_join.h /root/repo/src/ops/sort.h
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
+ /root/repo/src/ops/operator.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/storage/delta.h \
+ /root/repo/src/storage/format.h /root/repo/src/common/byte_buffer.h \
+ /root/repo/src/storage/compress.h /root/repo/src/vector/table.h \
+ /root/repo/src/plan/logical_plan.h \
+ /root/repo/src/baseline/row_operator.h \
+ /root/repo/src/ops/hash_aggregate.h /root/repo/src/expr/agg_function.h \
+ /root/repo/src/ht/vectorized_hash_table.h /root/repo/src/ops/hash_join.h \
+ /root/repo/src/ops/sort.h

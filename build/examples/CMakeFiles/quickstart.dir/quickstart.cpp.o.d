@@ -237,4 +237,14 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ops/hash_join.h \
  /root/repo/src/ops/sort.h /root/repo/src/vector/table.h \
  /root/repo/src/storage/delta.h /usr/include/c++/12/optional \
+ /root/repo/src/io/caching_store.h /usr/include/c++/12/atomic \
+ /root/repo/src/io/block_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/io/single_flight.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/storage/format.h /root/repo/src/storage/compress.h

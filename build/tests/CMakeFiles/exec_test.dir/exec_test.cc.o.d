@@ -320,6 +320,10 @@ tests/CMakeFiles/exec_test.dir/exec_test.cc.o: \
  /root/repo/src/storage/compress.h /root/repo/src/plan/logical_plan.h \
  /root/repo/src/baseline/row_operator.h /root/repo/src/ops/hash_join.h \
  /root/repo/src/ops/sort.h /root/repo/src/vector/table.h \
- /root/repo/src/storage/delta.h /root/repo/src/storage/format.h \
+ /root/repo/src/storage/delta.h /root/repo/src/io/caching_store.h \
+ /root/repo/src/io/block_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/io/single_flight.h /root/repo/src/storage/format.h \
  /root/repo/src/expr/builder.h /root/repo/src/ops/file_scan.h \
- /root/repo/src/ops/filter.h /root/repo/src/ops/scan.h
+ /root/repo/src/io/prefetcher.h /root/repo/src/ops/filter.h \
+ /root/repo/src/ops/scan.h

@@ -301,12 +301,26 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /root/repo/src/types/decimal.h /root/repo/src/vector/buffer.h \
  /usr/include/c++/12/cstring /root/repo/src/vector/var_len_pool.h \
  /root/repo/src/vector/column_batch.h /root/repo/src/ops/file_scan.h \
- /root/repo/src/ops/operator.h /usr/include/c++/12/chrono \
+ /root/repo/src/io/caching_store.h /root/repo/src/io/block_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /root/repo/src/memory/memory_manager.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/delta.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/io/single_flight.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/memory/memory_manager.h \
+ /root/repo/src/storage/object_store.h /root/repo/src/io/prefetcher.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/exec/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/ops/operator.h \
+ /usr/include/c++/12/chrono /root/repo/src/storage/delta.h \
  /root/repo/src/storage/format.h /root/repo/src/common/byte_buffer.h \
- /root/repo/src/storage/compress.h /root/repo/src/storage/object_store.h \
- /root/repo/src/vector/table.h \
+ /root/repo/src/storage/compress.h /root/repo/src/vector/table.h \
  /root/repo/src/storage/baseline_file_writer.h \
  /root/repo/src/storage/bitpack.h
