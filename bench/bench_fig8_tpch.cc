@@ -7,10 +7,18 @@
 // This reproduction runs at a laptop scale factor; the *shape* — Photon
 // wins everywhere, decimal-heavy scans win biggest — is the target, not
 // the absolute numbers.
+//
+// Usage: bench_fig8_tpch [sf] [--sf F] [--threads N] [--json PATH]
+//   --threads N  run Photon through the morsel-parallel driver with N
+//                worker threads (default 1 = single task). Every parallel
+//                result is verified against the single-task reference by
+//                row count and order-insensitive checksum.
+//   --json PATH  also write per-query results as JSON.
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 #include "tpch/tpch_gen.h"
@@ -19,30 +27,74 @@
 int main(int argc, char** argv) {
   using namespace photon;
   double sf = 0.01;
-  if (argc > 1) sf = std::atof(argv[1]);
-  std::printf("Figure 8: TPC-H SF=%.3f, Photon vs DBR (min of runs)\n", sf);
+  if (argc > 1 && argv[1][0] != '-') sf = std::atof(argv[1]);
+  if (const char* v = bench::FlagValue(argc, argv, "--sf")) sf = std::atof(v);
+  int threads = 1;
+  if (const char* v = bench::FlagValue(argc, argv, "--threads")) {
+    threads = std::atoi(v);
+  }
+  const char* json_path = bench::FlagValue(argc, argv, "--json");
+
+  std::printf(
+      "Figure 8: TPC-H SF=%.3f, Photon (%d thread%s) vs DBR (min of runs)\n",
+      sf, threads, threads == 1 ? "" : "s");
   tpch::TpchData data = tpch::GenerateTpch(sf);
   std::printf("  lineitem rows: %lld\n",
               static_cast<long long>(data.lineitem.num_rows()));
   std::printf("  %4s %12s %12s %9s %8s\n", "Q", "Photon (ms)", "DBR (ms)",
               "speedup", "rows");
 
+  exec::Driver driver(threads);
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("fig8_tpch"));
+  json.Field("sf", sf);
+  json.Field("threads", threads);
+  json.BeginArray("queries");
+
   double log_speedup_sum = 0;
   double max_speedup = 0;
   int max_q = 0;
   int count = 0;
+  int mismatches = 0;
   for (int q = 1; q <= 22; q++) {
     Result<plan::PlanPtr> p = tpch::TpchQuery(q, data, sf);
     PHOTON_CHECK(p.ok());
     int64_t rows = 0;
-    int64_t photon_ns =
-        bench::BestOf(2, [&] { return bench::TimePhoton(*p, &rows); });
+    uint64_t checksum = 0;
+    int64_t photon_ns;
+    if (threads > 1) {
+      photon_ns = bench::BestOf(
+          2, [&] { return bench::TimeDriver(&driver, *p, &rows, &checksum); });
+      // The parallel plan must reproduce the single-task result exactly.
+      int64_t ref_rows = 0;
+      uint64_t ref_checksum = 0;
+      bench::TimeSingleTask(&driver, *p, &ref_rows, &ref_checksum);
+      if (rows != ref_rows || checksum != ref_checksum) {
+        std::printf("  Q%d MISMATCH: %lld rows (single-task %lld)\n", q,
+                    static_cast<long long>(rows),
+                    static_cast<long long>(ref_rows));
+        mismatches++;
+      }
+    } else {
+      photon_ns = bench::BestOf(2, [&] {
+        return bench::TimeSingleTask(&driver, *p, &rows, &checksum);
+      });
+    }
     int64_t dbr_ns =
         bench::BestOf(1, [&] { return bench::TimeBaseline(*p); });
     double speedup = static_cast<double>(dbr_ns) / photon_ns;
     std::printf("  %4d %12.1f %12.1f %8.2fx %8lld\n", q,
                 bench::Ms(photon_ns), bench::Ms(dbr_ns), speedup,
                 static_cast<long long>(rows));
+    json.BeginObject();
+    json.Field("q", q);
+    json.Field("photon_ms", bench::Ms(photon_ns));
+    json.Field("dbr_ms", bench::Ms(dbr_ns));
+    json.Field("speedup", speedup);
+    json.Field("rows", rows);
+    json.Field("checksum", static_cast<int64_t>(checksum));
+    json.EndObject();
     log_speedup_sum += std::log(speedup);
     if (speedup > max_speedup) {
       max_speedup = speedup;
@@ -50,9 +102,25 @@ int main(int argc, char** argv) {
     }
     count++;
   }
+  double geomean = std::exp(log_speedup_sum / count);
   std::printf(
       "  geometric-mean speedup: %.2fx (paper arithmetic avg: ~4x); max: "
       "%.2fx on Q%d (paper: 23x on Q1)\n",
-      std::exp(log_speedup_sum / count), max_speedup, max_q);
-  return 0;
+      geomean, max_speedup, max_q);
+  if (mismatches > 0) {
+    std::printf("  %d queries MISMATCHED the single-task reference\n",
+                mismatches);
+  }
+  json.EndArray();
+  json.Field("geomean_speedup", geomean);
+  json.Field("mismatches", mismatches);
+  json.EndObject();
+  if (json_path != nullptr) {
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path);
+      return 1;
+    }
+    std::printf("  wrote %s\n", json_path);
+  }
+  return mismatches == 0 ? 0 : 1;
 }

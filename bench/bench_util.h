@@ -3,9 +3,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "baseline/row_operator.h"
+#include "exec/driver.h"
 #include "ops/operator.h"
 #include "plan/logical_plan.h"
 #include "vector/table.h"
@@ -45,6 +50,36 @@ inline int64_t TimeBaseline(
   return elapsed;
 }
 
+inline uint64_t TableChecksum(const Table& t);  // defined below
+
+/// Wall-clock for one morsel-parallel Driver::Run of a plan; the result's
+/// row count and order-insensitive checksum are out-params for verifying
+/// parallel runs against the single-task reference.
+inline int64_t TimeDriver(exec::Driver* driver, const plan::PlanPtr& p,
+                          int64_t* rows = nullptr,
+                          uint64_t* checksum = nullptr) {
+  int64_t t0 = NowNs();
+  Result<Table> result = driver->Run(p);
+  int64_t elapsed = NowNs() - t0;
+  PHOTON_CHECK(result.ok());
+  if (rows != nullptr) *rows = result->num_rows();
+  if (checksum != nullptr) *checksum = TableChecksum(*result);
+  return elapsed;
+}
+
+/// Wall-clock for one single-task Driver run (the per-thread reference).
+inline int64_t TimeSingleTask(exec::Driver* driver, const plan::PlanPtr& p,
+                              int64_t* rows = nullptr,
+                              uint64_t* checksum = nullptr) {
+  int64_t t0 = NowNs();
+  Result<Table> result = driver->RunSingleTask(p);
+  int64_t elapsed = NowNs() - t0;
+  PHOTON_CHECK(result.ok());
+  if (rows != nullptr) *rows = result->num_rows();
+  if (checksum != nullptr) *checksum = TableChecksum(*result);
+  return elapsed;
+}
+
 /// Best of `reps` runs (the paper reports minimum across runs, §6.2).
 template <typename Fn>
 int64_t BestOf(int reps, Fn&& fn) {
@@ -56,6 +91,95 @@ int64_t BestOf(int reps, Fn&& fn) {
 }
 
 inline double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Order-insensitive content checksum of a table: per-row FNV-1a over the
+/// printed cell values, summed (commutative) across rows. Lets a bench
+/// assert that a parallel run produced the same multiset of rows as the
+/// single-task reference without sorting either side. Doubles print at %g
+/// precision, so ulp-level differences from reassociated merges don't trip
+/// the comparison.
+inline uint64_t TableChecksum(const Table& t) {
+  uint64_t sum = 0;
+  for (const std::vector<Value>& row : t.ToRows()) {
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    for (const Value& v : row) {
+      const std::string s = v.ToString();
+      for (char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+      }
+      h ^= '|';  // cell separator
+      h *= 1099511628211ull;
+    }
+    sum += h;
+  }
+  return sum;
+}
+
+/// Returns the value following `--name` in argv, or `fallback` if absent.
+inline const char* FlagValue(int argc, char** argv, const char* name,
+                             const char* fallback = nullptr) {
+  for (int i = 1; i + 1 < argc; i++) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Minimal JSON emitter for bench results: nested objects/arrays built
+/// through explicit Begin/End calls. Keys and string values are
+/// bench-controlled identifiers, so only quotes are escaped.
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray(const std::string& key) {
+    Key(key);
+    out_ += '[';
+    first_ = true;
+  }
+  void EndArray() { out_ += ']'; first_ = false; }
+  void Field(const std::string& key, int64_t v) {
+    Key(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const std::string& key, int v) { Field(key, int64_t{v}); }
+  void Field(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    Key(key);
+    out_ += buf;
+  }
+  void Field(const std::string& key, const std::string& v) {
+    Key(key);
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_ << "\n";
+    return static_cast<bool>(f);
+  }
+
+ private:
+  void Prefix() {
+    if (!first_ && !out_.empty()) out_ += ',';
+    first_ = false;
+  }
+  void Key(const std::string& key) {
+    Prefix();
+    out_ += '"' + key + "\":";
+  }
+  std::string out_;
+  bool first_ = true;
+};
 
 }  // namespace bench
 }  // namespace photon

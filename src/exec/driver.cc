@@ -1,9 +1,16 @@
 #include "exec/driver.h"
 
 #include <chrono>
+#include <mutex>
+#include <utility>
 
 #include "ops/file_scan.h"
+#include "ops/filter.h"
+#include "ops/hash_join.h"
+#include "ops/limit.h"
+#include "ops/project.h"
 #include "ops/scan.h"
+#include "ops/sort.h"
 
 namespace photon {
 namespace exec {
@@ -15,41 +22,32 @@ int64_t NowNs() {
       .count();
 }
 
-/// A scan over a contiguous range of a table's batches (one map task's
-/// slice of the input partition space).
-class TableSliceScan : public Operator {
+// Morsel granularity: fixed unit counts, NOT derived from the thread
+// count, so the decomposition — and with it every per-morsel partial
+// result — is identical at any parallelism.
+constexpr int kMorselBatches = 8;   // table batches per morsel
+constexpr int kFilesPerMorsel = 2;  // scan files per morsel
+
+/// Deletes a shuffle's blocks on scope exit: a failed map or reduce task
+/// must not leak shuffle data in the object store.
+class ShuffleGuard {
  public:
-  TableSliceScan(const Table* table, int begin_batch, int end_batch)
-      : Operator(table->schema()),
-        table_(table),
-        begin_(begin_batch),
-        end_(end_batch) {}
-
-  Status Open() override {
-    next_ = begin_;
-    return Status::OK();
-  }
-
-  Result<ColumnBatch*> GetNextImpl() override {
-    if (next_ >= end_) return nullptr;
-    const ColumnBatch& src = table_->batch(next_++);
-    if (out_ == nullptr || out_->capacity() < src.num_rows()) {
-      out_ = std::make_unique<ColumnBatch>(
-          table_->schema(), std::max(src.capacity(), kDefaultBatchSize));
-    }
-    CopyBatchShallow(src, out_.get());
-    return out_.get();
-  }
-
-  std::string name() const override { return "TableSliceScan"; }
+  explicit ShuffleGuard(std::string id) : id_(std::move(id)) {}
+  ~ShuffleGuard() { DeleteShuffle(id_); }
+  ShuffleGuard(const ShuffleGuard&) = delete;
+  ShuffleGuard& operator=(const ShuffleGuard&) = delete;
 
  private:
-  const Table* table_;
-  int begin_;
-  int end_;
-  int next_ = 0;
-  std::unique_ptr<ColumnBatch> out_;
+  std::string id_;
 };
+
+/// Appends compacted copies of every batch of `src` to `dst`.
+void AppendTable(const Table& src, Table* dst) {
+  for (int b = 0; b < src.num_batches(); b++) {
+    if (src.batch(b).num_active() == 0) continue;
+    dst->AppendBatch(CompactBatch(src.batch(b)));
+  }
+}
 
 }  // namespace
 
@@ -64,6 +62,338 @@ void AccumulateIoStats(Operator* root, StageInfo* info) {
   }
   for (Operator* child : root->children()) AccumulateIoStats(child, info);
 }
+
+// ---------------------------------------------------------------------------
+// Parallel plan execution
+// ---------------------------------------------------------------------------
+
+struct Driver::RunState {
+  ExecContext ctx;
+  std::vector<StageInfo>* stages = nullptr;
+  int next_stage_id = 0;
+};
+
+/// A fragment compiled for morsel execution: the cut plus everything the
+/// per-morsel operator chains share — the source table or pruned file
+/// list, and one immutable join-build state per in-fragment join.
+struct Driver::StagedFragment {
+  plan::FragmentCut cut;
+
+  const Table* source_table = nullptr;  // kTable / kStage leaf
+  std::unique_ptr<Table> staged;        // owns a materialized kStage input
+  std::vector<std::string> files;       // kDeltaFiles leaf, post-pruning
+  int64_t files_pruned = 0;
+
+  /// Parallel to cut.nodes; non-null only at kJoin positions. Built once,
+  /// probed concurrently by every task (entries own their bytes).
+  std::vector<JoinBuildPtr> builds;
+
+  int units = 0;            // batches or files to split into morsels
+  int units_per_morsel = 1;
+};
+
+Result<Table> Driver::Run(const plan::PlanPtr& plan, ExecContext ctx,
+                          std::vector<StageInfo>* stages) {
+  RunState state;
+  state.ctx = ctx;
+  state.stages = stages;
+  return RunNode(plan, &state);
+}
+
+Result<Table> Driver::RunNode(const plan::PlanPtr& node, RunState* state) {
+  switch (node->kind) {
+    case plan::PlanKind::kAggregate:
+      return RunAggregate(node, state);
+    case plan::PlanKind::kSort:
+      return RunSort(node, state);
+    case plan::PlanKind::kLimit: {
+      // The child (in TPC-H always a sort or aggregate) is materialized in
+      // its deterministic order; the limit just trims the prefix.
+      PHOTON_ASSIGN_OR_RETURN(Table child, RunNode(node->children[0], state));
+      LimitOperator limit(OperatorPtr(new InMemoryScanOperator(&child)),
+                          node->limit);
+      return CollectAll(&limit);
+    }
+    default:
+      return RunFragment(node, state);
+  }
+}
+
+Result<Driver::StagedFragment> Driver::PrepareFragment(
+    const plan::PlanPtr& root, RunState* state) {
+  StagedFragment frag;
+  frag.cut = plan::CutFragment(root);
+
+  // Build sides of in-fragment joins: each is materialized by its own
+  // (recursive) stages, then hashed once into a shared build state.
+  frag.builds.resize(frag.cut.nodes.size());
+  for (size_t i = 0; i < frag.cut.nodes.size(); i++) {
+    const plan::PlanNode* node = frag.cut.nodes[i];
+    if (node->kind != plan::PlanKind::kJoin) continue;
+    PHOTON_ASSIGN_OR_RETURN(Table build_table,
+                            RunNode(node->children[1], state));
+    ExecContext build_ctx = state->ctx;
+    build_ctx.task_group = next_task_group_.fetch_add(1);
+    InMemoryScanOperator build_scan(&build_table);
+    PHOTON_ASSIGN_OR_RETURN(
+        frag.builds[i],
+        HashJoinOperator::BuildShared(&build_scan, node->right_keys,
+                                      build_ctx));
+  }
+
+  switch (frag.cut.leaf_kind) {
+    case plan::FragmentLeaf::kTable:
+      frag.source_table = frag.cut.leaf->table;
+      frag.units = frag.source_table->num_batches();
+      frag.units_per_morsel = kMorselBatches;
+      break;
+    case plan::FragmentLeaf::kDeltaFiles: {
+      const plan::PlanNode* leaf = frag.cut.leaf.get();
+      Schema projected = FileScanOperator::Project(leaf->snapshot.schema,
+                                                   leaf->scan_columns);
+      frag.files =
+          PruneDeltaFiles(leaf->snapshot, leaf->scan_columns,
+                          leaf->scan_predicate, projected, &frag.files_pruned);
+      frag.units = static_cast<int>(frag.files.size());
+      frag.units_per_morsel = kFilesPerMorsel;
+      break;
+    }
+    case plan::FragmentLeaf::kStage: {
+      PHOTON_ASSIGN_OR_RETURN(Table staged, RunNode(frag.cut.leaf, state));
+      frag.staged = std::make_unique<Table>(std::move(staged));
+      frag.source_table = frag.staged.get();
+      frag.units = frag.source_table->num_batches();
+      frag.units_per_morsel = kMorselBatches;
+      break;
+    }
+  }
+  return frag;
+}
+
+Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
+                                                Morsel morsel,
+                                                const ExecContext& task_ctx) {
+  OperatorPtr op;
+  if (frag.cut.leaf_kind == plan::FragmentLeaf::kDeltaFiles) {
+    const plan::PlanNode* leaf = frag.cut.leaf.get();
+    std::vector<std::string> subset(frag.files.begin() + morsel.begin,
+                                    frag.files.begin() + morsel.end);
+    io::IoOptions io = leaf->scan_io;
+    // Read-aheads go to the driver's IO pool; sharing the worker pool
+    // would let a prefetch future queue behind the very task waiting on
+    // it.
+    if (io.prefetch_pool != nullptr) io.prefetch_pool = &io_pool_;
+    op = OperatorPtr(new FileScanOperator(leaf->store, std::move(subset),
+                                          leaf->snapshot.schema,
+                                          leaf->scan_columns,
+                                          leaf->scan_predicate, io));
+  } else {
+    op = OperatorPtr(
+        new TableSliceScan(frag.source_table, morsel.begin, morsel.end));
+  }
+
+  for (int i = static_cast<int>(frag.cut.nodes.size()) - 1; i >= 0; i--) {
+    const plan::PlanNode* node = frag.cut.nodes[i];
+    switch (node->kind) {
+      case plan::PlanKind::kFilter:
+        op = OperatorPtr(new FilterOperator(std::move(op), node->predicate));
+        break;
+      case plan::PlanKind::kProject:
+        op = OperatorPtr(
+            new ProjectOperator(std::move(op), node->exprs, node->names));
+        break;
+      case plan::PlanKind::kJoin:
+        op = OperatorPtr(new HashJoinOperator(frag.builds[i], std::move(op),
+                                              node->left_keys, node->join_type,
+                                              task_ctx, node->residual));
+        break;
+      default:
+        return Status::Internal("non-streaming node inside fragment");
+    }
+  }
+  return op;
+}
+
+Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
+    const StagedFragment& frag, RunState* state, const WrapFn& wrap,
+    StageInfo* info) {
+  std::vector<Morsel> morsels =
+      SplitMorsels(frag.units, frag.units_per_morsel);
+  const int num_morsels = static_cast<int>(morsels.size());
+  const int num_tasks = std::min(pool_.num_threads(), num_morsels);
+  const int stage_id = info->stage_id;
+  int64_t t0 = NowNs();
+
+  MorselQueue queue(num_morsels);
+  std::vector<std::unique_ptr<Table>> slots(num_morsels);
+  std::mutex info_mu;
+
+  auto worker = [&, stage_id]() -> Status {
+    for (int m = queue.Next(); m >= 0; m = queue.Next()) {
+      ExecContext task_ctx = state->ctx;
+      task_ctx.task_group = next_task_group_.fetch_add(1);
+      // Unique per-task spill namespace: concurrent tasks must never
+      // collide on object-store spill keys.
+      task_ctx.spill_prefix = state->ctx.spill_prefix + "/s" +
+                              std::to_string(stage_id) + "-m" +
+                              std::to_string(m);
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr op,
+                              InstantiateFragment(frag, morsels[m], task_ctx));
+      PHOTON_ASSIGN_OR_RETURN(op, wrap(std::move(op), task_ctx));
+      Result<Table> out = CollectAll(op.get());
+      {
+        std::lock_guard<std::mutex> lock(info_mu);
+        AccumulateIoStats(op.get(), info);
+        if (out.ok()) info->rows_out += out->num_rows();
+      }
+      PHOTON_RETURN_NOT_OK(out.status());
+      slots[m] = std::make_unique<Table>(std::move(*out));
+    }
+    return Status::OK();
+  };
+
+  Status status = Status::OK();
+  if (num_tasks <= 1) {
+    // One morsel (or one worker): run inline on the calling thread.
+    status = worker();
+  } else {
+    std::vector<std::future<Status>> futures;
+    futures.reserve(num_tasks);
+    for (int t = 0; t < num_tasks; t++) futures.push_back(pool_.Submit(worker));
+    // Join every task before surfacing the first error — peers share the
+    // queue and the output slots.
+    for (auto& f : futures) {
+      Status s = f.get();
+      if (status.ok() && !s.ok()) status = s;
+    }
+  }
+  PHOTON_RETURN_NOT_OK(status);
+
+  info->num_tasks = num_tasks;
+  info->wall_ns = NowNs() - t0;
+  return slots;
+}
+
+Result<Table> Driver::RunFragment(const plan::PlanPtr& node, RunState* state) {
+  PHOTON_ASSIGN_OR_RETURN(StagedFragment frag, PrepareFragment(node, state));
+  StageInfo info;
+  info.stage_id = state->next_stage_id++;
+  WrapFn identity = [](OperatorPtr op, const ExecContext&) {
+    return Result<OperatorPtr>(std::move(op));
+  };
+  PHOTON_ASSIGN_OR_RETURN(auto outputs,
+                          RunMorselStage(frag, state, identity, &info));
+  if (state->stages != nullptr) state->stages->push_back(info);
+  Table out(node->output_schema);
+  for (auto& t : outputs) {
+    if (t != nullptr) AppendTable(*t, &out);
+  }
+  return out;
+}
+
+Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
+                                   RunState* state) {
+  PHOTON_ASSIGN_OR_RETURN(StagedFragment frag,
+                          PrepareFragment(node->children[0], state));
+  const int num_morsels = static_cast<int>(
+      SplitMorsels(frag.units, frag.units_per_morsel).size());
+  StageInfo info;
+  info.stage_id = state->next_stage_id++;
+
+  if (num_morsels <= 1) {
+    // One morsel: a classic complete aggregate in one task, no merge
+    // stage. (This path is chosen by input size alone, so it is the same
+    // at every thread count.)
+    WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
+      return Result<OperatorPtr>(OperatorPtr(new HashAggregateOperator(
+          std::move(op), node->group_keys, node->key_names, node->aggregates,
+          task_ctx, AggMode::kComplete)));
+    };
+    PHOTON_ASSIGN_OR_RETURN(auto outputs,
+                            RunMorselStage(frag, state, wrap, &info));
+    if (state->stages != nullptr) state->stages->push_back(info);
+    return std::move(*outputs[0]);
+  }
+
+  // Partial stage: one exact partial aggregate per morsel, emitting
+  // serialized (key, state) blobs.
+  WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
+    return Result<OperatorPtr>(OperatorPtr(new HashAggregateOperator(
+        std::move(op), node->group_keys, node->key_names, node->aggregates,
+        task_ctx, AggMode::kPartial)));
+  };
+  PHOTON_ASSIGN_OR_RETURN(auto outputs,
+                          RunMorselStage(frag, state, wrap, &info));
+  if (state->stages != nullptr) state->stages->push_back(info);
+
+  // Merge stage: a single task merges every partial's states. Blobs are
+  // concatenated in morsel order, so the merge input — and the output
+  // order — is independent of the thread count.
+  int64_t t0 = NowNs();
+  Table blobs(HashAggregateOperator::PartialOutputSchema());
+  for (auto& t : outputs) {
+    if (t != nullptr) AppendTable(*t, &blobs);
+  }
+  ExecContext merge_ctx = state->ctx;
+  merge_ctx.task_group = next_task_group_.fetch_add(1);
+  merge_ctx.spill_prefix = state->ctx.spill_prefix + "/s" +
+                           std::to_string(info.stage_id) + "-merge";
+  HashAggregateOperator merge(OperatorPtr(new InMemoryScanOperator(&blobs)),
+                              node->group_keys, node->key_names,
+                              node->aggregates, merge_ctx,
+                              AggMode::kFinalMerge);
+  Result<Table> out = CollectAll(&merge);
+  if (state->stages != nullptr) {
+    StageInfo merge_info;
+    merge_info.stage_id = state->next_stage_id++;
+    merge_info.num_tasks = 1;
+    if (out.ok()) merge_info.rows_out = out->num_rows();
+    merge_info.wall_ns = NowNs() - t0;
+    state->stages->push_back(merge_info);
+  }
+  return out;
+}
+
+Result<Table> Driver::RunSort(const plan::PlanPtr& node, RunState* state) {
+  PHOTON_ASSIGN_OR_RETURN(StagedFragment frag,
+                          PrepareFragment(node->children[0], state));
+  StageInfo info;
+  info.stage_id = state->next_stage_id++;
+  // One sorted run per morsel.
+  WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
+    return Result<OperatorPtr>(OperatorPtr(
+        new SortOperator(std::move(op), node->sort_keys, task_ctx)));
+  };
+  PHOTON_ASSIGN_OR_RETURN(auto outputs,
+                          RunMorselStage(frag, state, wrap, &info));
+  if (state->stages != nullptr) state->stages->push_back(info);
+  if (outputs.size() == 1) return std::move(*outputs[0]);
+
+  // Merge stage: deterministic k-way merge of the runs (ties resolve to
+  // the lowest morsel index).
+  int64_t t0 = NowNs();
+  std::vector<Table*> runs;
+  runs.reserve(outputs.size());
+  for (auto& t : outputs) {
+    if (t != nullptr) runs.push_back(t.get());
+  }
+  Result<Table> merged = MergeSortedRuns(runs, node->sort_keys,
+                                         node->output_schema,
+                                         state->ctx.batch_size);
+  if (state->stages != nullptr) {
+    StageInfo merge_info;
+    merge_info.stage_id = state->next_stage_id++;
+    merge_info.num_tasks = 1;
+    if (merged.ok()) merge_info.rows_out = merged->num_rows();
+    merge_info.wall_ns = NowNs() - t0;
+    state->stages->push_back(merge_info);
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Single-task + shuffle entry points
+// ---------------------------------------------------------------------------
 
 Result<Table> Driver::RunSingleTask(const plan::PlanPtr& plan,
                                     ExecContext ctx, StageInfo* stage) {
@@ -84,6 +414,9 @@ Result<Table> Driver::RunShuffledAggregate(
     std::vector<std::string> key_names, std::vector<AggregateSpec> aggs,
     int num_partitions, std::vector<StageInfo>* stages) {
   std::string shuffle_id = "driver-" + std::to_string(next_shuffle_id_++);
+  // Any early return below (failed map task, failed reduce task) must
+  // still clean up whatever blocks were written.
+  ShuffleGuard guard(shuffle_id);
 
   // ---- Stage 1: map tasks write the shuffle ------------------------------
   int64_t t0 = NowNs();
@@ -109,9 +442,12 @@ Result<Table> Driver::RunShuffledAggregate(
       return Status::OK();
     }));
   }
+  Status map_status = Status::OK();
   for (auto& f : map_futures) {
-    PHOTON_RETURN_NOT_OK(f.get());
+    Status s = f.get();  // join every task before returning an error
+    if (map_status.ok() && !s.ok()) map_status = s;
   }
+  PHOTON_RETURN_NOT_OK(map_status);
   int64_t t1 = NowNs();
   if (stages != nullptr) {
     StageInfo map_stage;
@@ -140,14 +476,19 @@ Result<Table> Driver::RunShuffledAggregate(
   Table out(plan::Aggregate(plan::Scan(&input), keys, key_names, aggs)
                 ->output_schema);
   int64_t rows = 0;
+  Status reduce_status = Status::OK();
   for (auto& f : reduce_futures) {
     Result<Table> part = f.get();
-    PHOTON_RETURN_NOT_OK(part.status());
+    if (!part.ok()) {
+      if (reduce_status.ok()) reduce_status = part.status();
+      continue;
+    }
     rows += part->num_rows();
     for (int b = 0; b < part->num_batches(); b++) {
       out.AppendBatch(CompactBatch(part->batch(b)));
     }
   }
+  PHOTON_RETURN_NOT_OK(reduce_status);
   int64_t t2 = NowNs();
   if (stages != nullptr) {
     StageInfo reduce_stage;
@@ -157,7 +498,6 @@ Result<Table> Driver::RunShuffledAggregate(
     reduce_stage.wall_ns = t2 - t1;
     stages->push_back(reduce_stage);
   }
-  DeleteShuffle(shuffle_id);
   return out;
 }
 

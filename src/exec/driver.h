@@ -1,14 +1,19 @@
 #ifndef PHOTON_EXEC_DRIVER_H_
 #define PHOTON_EXEC_DRIVER_H_
 
+#include <algorithm>
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/morsel.h"
 #include "exec/thread_pool.h"
 #include "ops/hash_aggregate.h"
 #include "ops/shuffle.h"
 #include "plan/logical_plan.h"
+#include "plan/stage_planner.h"
 
 namespace photon {
 namespace exec {
@@ -35,13 +40,31 @@ struct StageInfo {
 void AccumulateIoStats(Operator* root, StageInfo* info);
 
 /// A miniature DBR driver (§2.2): breaks a job into stages at exchange
-/// boundaries, launches one task per partition on the executor thread
-/// pool, and blocks at stage boundaries (stage N+1 starts after stage N
-/// finishes, which is what enables fault tolerance and adaptive execution
-/// at stage boundaries in the real system).
+/// boundaries, launches tasks on the executor thread pool, and blocks at
+/// stage boundaries (stage N+1 starts after stage N finishes, which is
+/// what enables fault tolerance and adaptive execution at stage
+/// boundaries in the real system).
 class Driver {
  public:
-  explicit Driver(int num_threads = 4) : pool_(num_threads) {}
+  explicit Driver(int num_threads = 4)
+      : pool_(num_threads), io_pool_(std::max(2, num_threads)) {}
+
+  /// Runs an arbitrary logical plan multi-threaded. The plan is cut into
+  /// stages at pipeline breakers (stage_planner.h); each stage's input is
+  /// split into morsels — fixed-size table batch ranges, or file ranges
+  /// for lakehouse scans — which worker tasks claim from a shared atomic
+  /// queue. Pipeline breakers execute parallelism-aware:
+  ///   - aggregates run one partial aggregate per morsel and a final
+  ///     merge stage over the serialized states (exact for every kind);
+  ///   - joins build their hash table once and probe it from all tasks;
+  ///   - sorts produce one sorted run per morsel, k-way merged at the
+  ///     stage boundary.
+  /// The morsel decomposition depends only on the input, so the result
+  /// table (rows *and* row order) is identical for every thread count.
+  /// When `stages` is non-null one StageInfo per executed stage is
+  /// appended, in completion order.
+  Result<Table> Run(const plan::PlanPtr& plan, ExecContext ctx = {},
+                    std::vector<StageInfo>* stages = nullptr);
 
   /// Two-stage distributed aggregation:
   ///   Stage 1 (map):    split the input into one task per executor
@@ -63,9 +86,41 @@ class Driver {
   Result<Table> RunSingleTask(const plan::PlanPtr& plan, ExecContext ctx = {},
                               StageInfo* stage = nullptr);
 
+  int num_threads() const { return pool_.num_threads(); }
+
  private:
+  struct RunState;        // per-Run bookkeeping (ctx, stage list, ids)
+  struct StagedFragment;  // compiled fragment + its materialized inputs
+
+  /// Operator tree to drain for one morsel: the fragment chain, optionally
+  /// wrapped (partial aggregate, sort) by the breaker above it.
+  using WrapFn =
+      std::function<Result<OperatorPtr>(OperatorPtr, const ExecContext&)>;
+
+  Result<Table> RunNode(const plan::PlanPtr& node, RunState* state);
+  Result<Table> RunFragment(const plan::PlanPtr& node, RunState* state);
+  Result<Table> RunAggregate(const plan::PlanPtr& node, RunState* state);
+  Result<Table> RunSort(const plan::PlanPtr& node, RunState* state);
+  Result<StagedFragment> PrepareFragment(const plan::PlanPtr& root,
+                                         RunState* state);
+  Result<OperatorPtr> InstantiateFragment(const StagedFragment& frag,
+                                          Morsel morsel,
+                                          const ExecContext& task_ctx);
+  Result<std::vector<std::unique_ptr<Table>>> RunMorselStage(
+      const StagedFragment& frag, RunState* state, const WrapFn& wrap,
+      StageInfo* info);
+
   ThreadPool pool_;
+  /// Dedicated pool for scan read-aheads. Prefetch futures must never
+  /// queue behind the worker tasks that block on them — with a saturated
+  /// shared pool that is a deadlock.
+  ThreadPool io_pool_;
   int64_t next_shuffle_id_ = 0;
+  /// Every task gets a fresh memory task group (see MemoryConsumer): a
+  /// task under memory pressure only spills its own consumers (plus
+  /// spill-safe ones like the block cache), never a peer's mid-build
+  /// state on another thread.
+  std::atomic<int64_t> next_task_group_{1};
 };
 
 }  // namespace exec

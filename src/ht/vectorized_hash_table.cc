@@ -273,10 +273,22 @@ void VectorizedHashTable::Lookup(const std::vector<const ColumnVector*>& keys,
                                  const ColumnBatch& batch,
                                  const uint64_t* hashes,
                                  uint8_t** entries_out) {
+  ProbeScratch scratch;
+  scratch.remaining = std::move(scratch_remaining_);
+  scratch.steps = std::move(scratch_steps_);
+  Lookup(keys, batch, hashes, entries_out, &scratch);
+  scratch_remaining_ = std::move(scratch.remaining);
+  scratch_steps_ = std::move(scratch.steps);
+}
+
+void VectorizedHashTable::Lookup(const std::vector<const ColumnVector*>& keys,
+                                 const ColumnBatch& batch,
+                                 const uint64_t* hashes, uint8_t** entries_out,
+                                 ProbeScratch* scratch) const {
   int n = batch.num_active();
   // Remaining: dense indices (into the active set) still probing.
-  scratch_remaining_.resize(n);
-  scratch_steps_.assign(n, 0);
+  scratch->remaining.resize(n);
+  scratch->steps.assign(n, 0);
   int num_remaining = 0;
   for (int i = 0; i < n; i++) {
     entries_out[i] = nullptr;
@@ -286,16 +298,17 @@ void VectorizedHashTable::Lookup(const std::vector<const ColumnVector*>& keys,
       for (const ColumnVector* col : keys) any_null |= col->IsNull(row);
       if (any_null) continue;  // NULL never matches under join semantics
     }
-    scratch_remaining_[num_remaining++] = i;
+    scratch->remaining[num_remaining++] = i;
   }
 
-  std::vector<uint8_t*> candidates(n);
+  scratch->candidates.resize(n);
+  std::vector<uint8_t*>& candidates = scratch->candidates;
   while (num_remaining > 0) {
     // Probe kernel: issue all bucket loads back-to-back so the hardware can
     // overlap the misses (§4.4). The candidate loads are independent.
     for (int j = 0; j < num_remaining; j++) {
-      int i = scratch_remaining_[j];
-      int step = scratch_steps_[i];
+      int i = scratch->remaining[j];
+      int step = scratch->steps[i];
       uint64_t slot =
           (hashes[i] + (static_cast<uint64_t>(step) * (step + 1)) / 2) &
           bucket_mask_;
@@ -304,15 +317,15 @@ void VectorizedHashTable::Lookup(const std::vector<const ColumnVector*>& keys,
     // Compare kernel: keep only mismatching, still-occupied slots.
     int next_remaining = 0;
     for (int j = 0; j < num_remaining; j++) {
-      int i = scratch_remaining_[j];
+      int i = scratch->remaining[j];
       uint8_t* entry = candidates[j];
       if (entry == nullptr) continue;  // definitive miss
       int row = batch.ActiveRow(i);
       if (EntryMatchesRow(entry, hashes[i], keys, row)) {
         entries_out[i] = entry;
       } else {
-        scratch_steps_[i]++;
-        scratch_remaining_[next_remaining++] = i;
+        scratch->steps[i]++;
+        scratch->remaining[next_remaining++] = i;
       }
     }
     num_remaining = next_remaining;

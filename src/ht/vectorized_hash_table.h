@@ -49,11 +49,26 @@ class VectorizedHashTable {
   static void HashKeys(const std::vector<const ColumnVector*>& keys,
                        const ColumnBatch& batch, uint64_t* hashes);
 
+  /// Reusable per-caller scratch for the batched probe loop, so concurrent
+  /// probers (parallel hash-join tasks) can share one read-only table.
+  struct ProbeScratch {
+    std::vector<int32_t> remaining;
+    std::vector<int32_t> steps;
+    std::vector<uint8_t*> candidates;
+  };
+
   /// Finds the entry for each active row, or nullptr. `entries_out` is
   /// indexed densely (i-th active row).
   void Lookup(const std::vector<const ColumnVector*>& keys,
               const ColumnBatch& batch, const uint64_t* hashes,
               uint8_t** entries_out);
+
+  /// Thread-safe probe: identical to Lookup() but const, with all mutable
+  /// state in caller-provided `scratch`. Safe to call from many threads
+  /// concurrently as long as no thread mutates the table.
+  void Lookup(const std::vector<const ColumnVector*>& keys,
+              const ColumnBatch& batch, const uint64_t* hashes,
+              uint8_t** entries_out, ProbeScratch* scratch) const;
 
   /// Finds or creates the entry for each active row. `inserted_out[i]` is
   /// true when a new entry was created (payload must then be initialized by

@@ -19,6 +19,9 @@ BlockCache::BlockCache() : BlockCache(Options()) {}
 
 BlockCache::BlockCache(Options options)
     : MemoryConsumer("io.BlockCache"), options_(options) {
+  // Spill() (eviction) is internally thread-safe, so the cache stays a
+  // valid spill victim for any task group's reservation.
+  set_spill_safe(true);
   PHOTON_CHECK(options_.num_shards > 0);
   shard_capacity_ =
       std::max<int64_t>(1, options_.capacity_bytes / options_.num_shards);

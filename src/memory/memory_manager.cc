@@ -1,6 +1,7 @@
 #include "memory/memory_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/macros.h"
@@ -23,12 +24,39 @@ void MemoryManager::UnregisterConsumer(MemoryConsumer* consumer) {
 Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
   PHOTON_CHECK(bytes >= 0);
   std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  // Blocks until a Release frees capacity, as long as consumers *outside*
+  // the requester's victim set still hold memory (they cannot be spilled
+  // from this thread, but they will release). Returns false once nothing
+  // outside the group holds memory or the deadline passes — then OOM is
+  // real, not transient pressure from a concurrent task.
+  auto wait_for_other_groups = [&]() -> bool {
+    int64_t outside = 0;
+    for (MemoryConsumer* c : consumers_) {
+      if (!(c->spill_safe_ || c->task_group_ == consumer->task_group_)) {
+        outside += c->reserved_;
+      }
+    }
+    if (outside <= 0) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+    return true;
+  };
   while (total_reserved_ + bytes > limit_) {
     int64_t need = total_reserved_ + bytes - limit_;
 
     // Spark's policy: ascending by reservation, spill the first consumer
-    // that can cover the whole deficit by itself.
-    std::vector<MemoryConsumer*> sorted = consumers_;
+    // that can cover the whole deficit by itself. Victims are restricted
+    // to the requester's task group (single-threaded ownership) plus
+    // spill-safe consumers whose Spill() is internally thread-safe.
+    std::vector<MemoryConsumer*> sorted;
+    sorted.reserve(consumers_.size());
+    for (MemoryConsumer* c : consumers_) {
+      if (c->spill_safe_ || c->task_group_ == consumer->task_group_) {
+        sorted.push_back(c);
+      }
+    }
     std::sort(sorted.begin(), sorted.end(),
               [](MemoryConsumer* a, MemoryConsumer* b) {
                 return a->reserved_ < b->reserved_;
@@ -47,6 +75,7 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
       }
     }
     if (victim == nullptr || victim->reserved_ == 0) {
+      if (wait_for_other_groups()) continue;
       return Status::OutOfMemory(
           "cannot reserve " + std::to_string(bytes) + " bytes for '" +
           consumer->name() + "': limit " + std::to_string(limit_) +
@@ -64,7 +93,9 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
     spilled_bytes_ += freed;
     if (freed <= 0) {
       // The victim could not actually free memory (e.g. mid-batch); avoid
-      // an infinite loop by failing the reservation.
+      // an infinite loop by failing the reservation — unless other task
+      // groups still hold memory, in which case wait for their releases.
+      if (wait_for_other_groups()) continue;
       return Status::OutOfMemory("spill of '" + victim->name() +
                                  "' freed no memory");
     }
@@ -80,6 +111,7 @@ void MemoryManager::Release(MemoryConsumer* consumer, int64_t bytes) {
   PHOTON_CHECK(consumer->reserved_ >= bytes);
   consumer->reserved_ -= bytes;
   total_reserved_ -= bytes;
+  cv_.notify_all();
 }
 
 }  // namespace photon

@@ -1,6 +1,7 @@
 #ifndef PHOTON_MEMORY_MEMORY_MANAGER_H_
 #define PHOTON_MEMORY_MEMORY_MANAGER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -28,10 +29,27 @@ class MemoryConsumer {
   const std::string& name() const { return name_; }
   int64_t reserved_bytes() const { return reserved_; }
 
+  /// Task group this consumer belongs to. Under parallel execution each
+  /// driver task gets a distinct group; a reservation only spills victims
+  /// in the *same* group (plus spill-safe consumers), because per-task
+  /// consumers are driven by a single thread and a cross-group Spill()
+  /// would race with the owning task. Group 0 is the default
+  /// (single-threaded) group. Set before registering with the manager.
+  int64_t task_group() const { return task_group_; }
+  void set_task_group(int64_t group) { task_group_ = group; }
+
+  /// Spill-safe consumers have an internally thread-safe Spill() (e.g. the
+  /// IO BlockCache) and stay eligible as victims for *any* group's
+  /// reservation. Set before registering with the manager.
+  bool spill_safe() const { return spill_safe_; }
+  void set_spill_safe(bool safe) { spill_safe_ = safe; }
+
  private:
   friend class MemoryManager;
   std::string name_;
   int64_t reserved_ = 0;
+  int64_t task_group_ = 0;
+  bool spill_safe_ = false;
 };
 
 /// Unified memory manager mirroring Apache Spark's, as Photon integrates
@@ -56,8 +74,12 @@ class MemoryManager {
   void UnregisterConsumer(MemoryConsumer* consumer);
 
   /// Reserves `bytes` for `consumer`, spilling other consumers (or the
-  /// requester itself) if needed. Returns OutOfMemory only if spilling
-  /// everything still cannot satisfy the request.
+  /// requester itself) if needed. When the requester's own task group has
+  /// nothing left to spill but *other* groups still hold memory, the call
+  /// blocks (bounded) until a Release frees capacity — backpressure
+  /// between concurrent tasks instead of a spurious OOM. Returns
+  /// OutOfMemory only if spilling everything reachable still cannot
+  /// satisfy the request.
   Status Reserve(MemoryConsumer* consumer, int64_t bytes);
 
   /// Returns previously reserved bytes to the pool.
@@ -72,12 +94,21 @@ class MemoryManager {
     std::lock_guard<std::mutex> lock(mu_);
     return limit_ - total_reserved_;
   }
-  int64_t spill_count() const { return spill_count_; }
-  int64_t spilled_bytes() const { return spilled_bytes_; }
+  int64_t spill_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spill_count_;
+  }
+  int64_t spilled_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spilled_bytes_;
+  }
 
  private:
   int64_t limit_;
   mutable std::mutex mu_;
+  /// Signalled by Release(); reservations blocked on other task groups'
+  /// memory wait here.
+  std::condition_variable cv_;
   int64_t total_reserved_ = 0;
   std::vector<MemoryConsumer*> consumers_;
   int64_t spill_count_ = 0;

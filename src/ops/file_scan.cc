@@ -95,34 +95,40 @@ Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
   }
 }
 
-DeltaScanOperator::DeltaScanOperator(ObjectStore* store,
-                                     DeltaSnapshot snapshot,
-                                     std::vector<int> columns,
-                                     ExprPtr predicate, io::IoOptions io)
-    : Operator(FileScanOperator::Project(snapshot.schema, columns)) {
+std::vector<std::string> PruneDeltaFiles(const DeltaSnapshot& snapshot,
+                                         const std::vector<int>& columns,
+                                         const ExprPtr& predicate,
+                                         const Schema& projected_schema,
+                                         int64_t* files_pruned) {
   // File pruning by snapshot-level stats (data skipping, §2.1): note the
   // predicate here is over the *projected* schema; only prune when the
   // projection is identity or the predicate maps cleanly.
-  std::vector<DeltaFileEntry> files = snapshot.files;
-  if (predicate != nullptr) {
-    std::vector<DeltaFileEntry> kept;
-    for (const DeltaFileEntry& f : files) {
+  std::vector<std::string> keys;
+  for (const DeltaFileEntry& f : snapshot.files) {
+    if (predicate != nullptr) {
       std::vector<ColumnChunkMeta> projected_stats;
       if (columns.empty()) {
         projected_stats = f.column_stats;
       } else {
         for (int c : columns) projected_stats.push_back(f.column_stats[c]);
       }
-      if (StatsMayMatch(*predicate, output_schema_, projected_stats)) {
-        kept.push_back(f);
-      } else {
-        files_pruned_++;
+      if (!StatsMayMatch(*predicate, projected_schema, projected_stats)) {
+        if (files_pruned != nullptr) (*files_pruned)++;
+        continue;
       }
     }
-    files = std::move(kept);
+    keys.push_back(f.key);
   }
-  std::vector<std::string> keys;
-  for (const DeltaFileEntry& f : files) keys.push_back(f.key);
+  return keys;
+}
+
+DeltaScanOperator::DeltaScanOperator(ObjectStore* store,
+                                     DeltaSnapshot snapshot,
+                                     std::vector<int> columns,
+                                     ExprPtr predicate, io::IoOptions io)
+    : Operator(FileScanOperator::Project(snapshot.schema, columns)) {
+  std::vector<std::string> keys = PruneDeltaFiles(
+      snapshot, columns, predicate, output_schema_, &files_pruned_);
   inner_ = std::make_unique<FileScanOperator>(
       store, std::move(keys), snapshot.schema, std::move(columns),
       std::move(predicate), io);

@@ -70,6 +70,17 @@ class FileScanOperator : public Operator {
   int64_t bytes_read_ = 0;
 };
 
+/// Stats-based file pruning for a Delta snapshot (data skipping, §2.1):
+/// returns the object-store keys of files whose min/max stats may match
+/// `predicate` (over the projected schema). Used by DeltaScanOperator and
+/// by the parallel driver's morsel planner, which splits the surviving
+/// file list across tasks.
+std::vector<std::string> PruneDeltaFiles(const DeltaSnapshot& snapshot,
+                                         const std::vector<int>& columns,
+                                         const ExprPtr& predicate,
+                                         const Schema& projected_schema,
+                                         int64_t* files_pruned);
+
 /// Scans a Delta table snapshot: prunes files by stats, then chains
 /// FileScan over the survivors. This is the "Lakehouse read path":
 /// Delta log -> file pruning -> columnar scan -> Photon batches.

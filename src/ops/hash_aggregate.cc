@@ -133,16 +133,25 @@ Schema HashAggregateOperator::MakeOutputSchema(
   return schema;
 }
 
+Schema HashAggregateOperator::PartialOutputSchema() {
+  Schema schema;
+  schema.AddField(Field("agg_state", DataType::String()));
+  return schema;
+}
+
 HashAggregateOperator::HashAggregateOperator(
     OperatorPtr child, std::vector<ExprPtr> keys,
     std::vector<std::string> key_names, std::vector<AggregateSpec> aggs,
-    ExecContext exec_ctx)
-    : Operator(MakeOutputSchema(keys, key_names, aggs)),
+    ExecContext exec_ctx, AggMode mode)
+    : Operator(mode == AggMode::kPartial ? PartialOutputSchema()
+                                         : MakeOutputSchema(keys, key_names,
+                                                            aggs)),
       MemoryConsumer("PhotonHashAggregate"),
       child_(std::move(child)),
       keys_(std::move(keys)),
       specs_(std::move(aggs)),
-      exec_ctx_(exec_ctx) {
+      exec_ctx_(exec_ctx),
+      mode_(mode) {
   scalar_mode_ = keys_.empty();
   int offset = 0;
   for (const AggregateSpec& spec : specs_) {
@@ -184,11 +193,15 @@ Status HashAggregateOperator::Open() {
         key_types, payload_bytes_, /*match_null_keys=*/true);
   }
   if (exec_ctx_.memory_manager != nullptr) {
+    set_task_group(exec_ctx_.task_group);
     exec_ctx_.memory_manager->RegisterConsumer(this);
   }
   input_consumed_ = false;
   scalar_emitted_ = false;
   emit_pos_ = 0;
+  partial_spill_stream_.clear();
+  partial_spill_pos_ = 0;
+  partial_prepared_ = false;
   return Status::OK();
 }
 
@@ -290,7 +303,11 @@ Status HashAggregateOperator::ConsumeInput() {
   while (true) {
     PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, child_->GetNext());
     if (batch == nullptr) break;
-    PHOTON_RETURN_NOT_OK(ProcessBatch(batch));
+    if (mode_ == AggMode::kFinalMerge) {
+      PHOTON_RETURN_NOT_OK(MergeBlobBatch(batch));
+    } else {
+      PHOTON_RETURN_NOT_OK(ProcessBatch(batch));
+    }
   }
   input_consumed_ = true;
 
@@ -353,7 +370,38 @@ int64_t HashAggregateOperator::Spill(int64_t /*requested*/) {
   return freed;
 }
 
-Status HashAggregateOperator::MergeSpillBlock(const std::string& bytes) {
+Status HashAggregateOperator::MergeBlobBatch(ColumnBatch* batch) {
+  int n = batch->num_active();
+  if (n == 0) return Status::OK();
+  PHOTON_CHECK(batch->num_columns() == 1 &&
+               batch->column(0)->type().id() == TypeId::kString);
+  const StringRef* blobs = batch->column(0)->data<StringRef>();
+  for (int i = 0; i < n; i++) {
+    int row = batch->ActiveRow(i);
+    if (batch->column(0)->IsNull(row)) continue;
+    StringRef blob = blobs[row];
+    std::string_view bytes(blob.data, static_cast<size_t>(blob.len));
+    if (scalar_mode_) {
+      // Scalar blobs carry the agg states back-to-back (no keys).
+      BinaryReader reader(bytes);
+      std::vector<uint8_t> temp_state;
+      for (size_t j = 0; j < aggs_.size(); j++) {
+        temp_state.assign(aggs_[j]->state_bytes(), 0);
+        aggs_[j]->Init(temp_state.data());
+        PHOTON_RETURN_NOT_OK(
+            aggs_[j]->Deserialize(&reader, temp_state.data()));
+        aggs_[j]->Merge(scalar_state_.data() + agg_state_offsets_[j],
+                        temp_state.data());
+      }
+    } else {
+      PHOTON_RETURN_NOT_OK(MergeSpillBlock(bytes));
+      PHOTON_RETURN_NOT_OK(ReserveForDelta());
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggregateOperator::MergeSpillBlock(std::string_view bytes) {
   BinaryReader reader(bytes);
   // One-row staging batch used to re-probe the table with deserialized keys.
   Schema key_schema;
@@ -443,9 +491,78 @@ ColumnBatch* HashAggregateOperator::EmitFromTable() {
   return out_.get();
 }
 
+Result<ColumnBatch*> HashAggregateOperator::EmitPartial() {
+  // Each output row is one blob of serialized (key, state) entries — the
+  // same wire format as the spill files, so spilled partial state is
+  // streamed out raw without being re-merged in memory.
+  constexpr int kEntriesPerBlob = 512;
+  if (out_ == nullptr) {
+    out_ = std::make_unique<ColumnBatch>(output_schema_,
+                                         exec_ctx_.batch_size);
+  }
+  if (!partial_prepared_) {
+    partial_prepared_ = true;
+    if (!scalar_mode_ && spill_seq_ > 0) {
+      for (const auto& keys : spill_keys_) {
+        for (const std::string& key : keys) {
+          partial_spill_stream_.push_back(key);
+        }
+      }
+    }
+  }
+  out_->Reset();
+  ColumnVector* col = out_->column(0);
+  int out_row = 0;
+  while (out_row < out_->capacity()) {
+    if (scalar_mode_) {
+      if (scalar_emitted_) break;
+      scalar_emitted_ = true;
+      BinaryWriter writer;
+      for (size_t j = 0; j < aggs_.size(); j++) {
+        aggs_[j]->Serialize(scalar_state_.data() + agg_state_offsets_[j],
+                            &writer);
+      }
+      col->SetNotNull(out_row);
+      col->SetString(out_row, writer.ToString());
+      out_row++;
+      break;
+    }
+    if (spill_seq_ > 0) {
+      if (partial_spill_pos_ >= partial_spill_stream_.size()) break;
+      PHOTON_ASSIGN_OR_RETURN(
+          std::string bytes,
+          ObjectStore::Default().Get(
+              partial_spill_stream_[partial_spill_pos_++]));
+      col->SetNotNull(out_row);
+      col->SetString(out_row, bytes);
+      out_row++;
+      continue;
+    }
+    if (emit_pos_ >= emit_entries_.size()) break;
+    int count = static_cast<int>(std::min<size_t>(
+        kEntriesPerBlob, emit_entries_.size() - emit_pos_));
+    BinaryWriter writer;
+    for (int i = 0; i < count; i++) {
+      SerializeEntry(emit_entries_[emit_pos_ + i], &writer);
+    }
+    emit_pos_ += count;
+    col->SetNotNull(out_row);
+    col->SetString(out_row, writer.ToString());
+    out_row++;
+  }
+  if (out_row == 0) return nullptr;
+  out_->set_num_rows(out_row);
+  out_->SetAllActive();
+  return out_.get();
+}
+
 Result<ColumnBatch*> HashAggregateOperator::GetNextImpl() {
   if (!input_consumed_) {
     PHOTON_RETURN_NOT_OK(ConsumeInput());
+  }
+
+  if (mode_ == AggMode::kPartial) {
+    return EmitPartial();
   }
 
   if (scalar_mode_) {

@@ -21,6 +21,17 @@ struct AggregateSpec {
   std::string name;
 };
 
+/// Execution mode for a grouping aggregation under parallel execution
+/// (paper §4: per-task hash tables + a reduce that merges their states).
+///   kComplete   — classic single-pass aggregate: raw input in, final
+///                 values out.
+///   kPartial    — per-task half: raw input in, serialized (key, state)
+///                 blobs out (one String column, same wire format as the
+///                 spill files), exact for every aggregate kind.
+///   kFinalMerge — merge half: blob rows in (from any number of partial
+///                 tasks), final values out.
+enum class AggMode : uint8_t { kComplete, kPartial, kFinalMerge };
+
 /// Vectorized grouping aggregation over the vectorized hash table (§4.4,
 /// Figure 5). Group keys and aggregate arguments are arbitrary
 /// expressions; aggregate state lives in the hash table entry payload, with
@@ -37,8 +48,12 @@ class HashAggregateOperator : public Operator, public MemoryConsumer {
   HashAggregateOperator(OperatorPtr child, std::vector<ExprPtr> keys,
                         std::vector<std::string> key_names,
                         std::vector<AggregateSpec> aggs,
-                        ExecContext exec_ctx = {});
+                        ExecContext exec_ctx = {},
+                        AggMode mode = AggMode::kComplete);
   ~HashAggregateOperator() override;
+
+  /// Output schema of a kPartial aggregate: one String blob column.
+  static Schema PartialOutputSchema();
 
   Status Open() override;
   Result<ColumnBatch*> GetNextImpl() override;
@@ -63,12 +78,17 @@ class HashAggregateOperator : public Operator, public MemoryConsumer {
 
   Status ConsumeInput();
   Status ProcessBatch(ColumnBatch* batch);
+  /// kFinalMerge input path: merges every blob row of `batch`.
+  Status MergeBlobBatch(ColumnBatch* batch);
   /// Emits up to batch_size groups from the in-memory table.
   ColumnBatch* EmitFromTable();
+  /// kPartial output path: serializes groups (or streams spill blocks)
+  /// into blob rows.
+  Result<ColumnBatch*> EmitPartial();
   /// Loads the next spilled partition into a fresh table (merging).
   Result<bool> LoadNextSpillPartition();
   void SerializeEntry(const uint8_t* entry, BinaryWriter* out) const;
-  Status MergeSpillBlock(const std::string& bytes);
+  Status MergeSpillBlock(std::string_view bytes);
   int64_t CurrentMemoryBytes() const;
   Status ReserveForDelta();
 
@@ -79,6 +99,7 @@ class HashAggregateOperator : public Operator, public MemoryConsumer {
   std::vector<int> agg_state_offsets_;
   int payload_bytes_ = 0;
   ExecContext exec_ctx_;
+  AggMode mode_ = AggMode::kComplete;
 
   std::unique_ptr<VectorizedHashTable> table_;
   std::unique_ptr<VarLenPool> arena_;
@@ -98,6 +119,12 @@ class HashAggregateOperator : public Operator, public MemoryConsumer {
   int spill_seq_ = 0;
   int current_spill_partition_ = -1;
   int64_t reserved_for_data_ = 0;
+
+  // kPartial emission state: spilled blocks are streamed out raw (they
+  // already hold serialized entries in the blob wire format).
+  std::vector<std::string> partial_spill_stream_;
+  size_t partial_spill_pos_ = 0;
+  bool partial_prepared_ = false;
 
   // Scratch.
   EvalContext ctx_;

@@ -7,87 +7,24 @@ namespace {
 
 constexpr double kCompactionSparsityThreshold = 0.5;
 
-}  // namespace
-
-Schema HashJoinOperator::MakeOutputSchema(const Operator& build,
-                                          const Operator& probe,
-                                          JoinType join_type) {
-  if (join_type == JoinType::kLeftSemi || join_type == JoinType::kLeftAnti) {
-    return probe.output_schema();
-  }
-  Schema schema = probe.output_schema();
-  for (const Field& f : build.output_schema().fields()) {
-    Field field = f;
-    if (join_type == JoinType::kLeftOuter) field.nullable = true;
-    schema.AddField(field);
-  }
-  return schema;
-}
-
-HashJoinOperator::HashJoinOperator(OperatorPtr build, OperatorPtr probe,
-                                   std::vector<ExprPtr> build_keys,
-                                   std::vector<ExprPtr> probe_keys,
-                                   JoinType join_type, ExecContext exec_ctx,
-                                   ExprPtr residual,
-                                   bool adaptive_compaction)
-    : Operator(MakeOutputSchema(*build, *probe, join_type)),
-      MemoryConsumer("PhotonHashJoin"),
-      build_(std::move(build)),
-      probe_(std::move(probe)),
-      build_keys_(std::move(build_keys)),
-      probe_keys_(std::move(probe_keys)),
-      join_type_(join_type),
-      exec_ctx_(exec_ctx),
-      residual_(std::move(residual)),
-      adaptive_compaction_(adaptive_compaction) {
-  PHOTON_CHECK(build_keys_.size() == probe_keys_.size());
-  build_schema_ = build_->output_schema();
-  // Payload layout: per build column, an 8-aligned slot of 1 null byte
-  // followed by the value (packed after the null byte).
+/// Payload layout: per build column, an 8-aligned slot of 1 null byte
+/// followed by the value (packed after the null byte).
+int ComputePayloadLayout(const Schema& build_schema,
+                         std::vector<int>* offsets) {
   int offset = 0;
-  for (const Field& f : build_schema_.fields()) {
+  for (const Field& f : build_schema.fields()) {
     offset = (offset + 7) & ~7;
-    payload_offsets_.push_back(offset);
+    offsets->push_back(offset);
     offset += 1 + f.type.byte_width();
   }
-  payload_bytes_ = offset;
+  return offset;
 }
 
-HashJoinOperator::~HashJoinOperator() {
-  if (exec_ctx_.memory_manager != nullptr) {
-    exec_ctx_.memory_manager->Release(this, reserved_bytes());
-    exec_ctx_.memory_manager->UnregisterConsumer(this);
-  }
-}
-
-Status HashJoinOperator::Open() {
-  PHOTON_RETURN_NOT_OK(build_->Open());
-  PHOTON_RETURN_NOT_OK(probe_->Open());
-  std::vector<DataType> key_types;
-  for (const ExprPtr& k : build_keys_) key_types.push_back(k->type());
-  table_ = std::make_unique<VectorizedHashTable>(key_types, payload_bytes_,
-                                                 /*match_null_keys=*/false);
-  if (exec_ctx_.memory_manager != nullptr) {
-    exec_ctx_.memory_manager->RegisterConsumer(this);
-  }
-  built_ = false;
-  probe_batch_ = nullptr;
-  probe_idx_ = 0;
-  chain_entry_ = nullptr;
-  accum_.reset();
-  accum_rows_ = 0;
-  accum_in_flight_ = false;
-  pending_dense_ = nullptr;
-  accum_source_ = nullptr;
-  accum_source_pos_ = 0;
-  return Status::OK();
-}
-
-void HashJoinOperator::WriteBuildPayload(const ColumnBatch& batch, int row,
-                                         uint8_t* entry) {
-  uint8_t* payload = table_->payload(entry);
-  for (int c = 0; c < build_schema_.num_fields(); c++) {
-    uint8_t* slot = payload + payload_offsets_[c];
+void WriteBuildPayload(JoinBuildState* state, const ColumnBatch& batch,
+                       int row, uint8_t* entry) {
+  uint8_t* payload = state->table->payload(entry);
+  for (int c = 0; c < state->build_schema.num_fields(); c++) {
+    uint8_t* slot = payload + state->payload_offsets[c];
     const ColumnVector& col = *batch.column(c);
     if (col.IsNull(row)) {
       *slot = 1;
@@ -115,7 +52,7 @@ void HashJoinOperator::WriteBuildPayload(const ColumnBatch& batch, int row,
         break;
       case TypeId::kString: {
         StringRef s = col.data<StringRef>()[row];
-        StringRef owned = table_->string_arena()->AddString(s);
+        StringRef owned = state->table->string_arena()->AddString(s);
         std::memcpy(value, &owned, sizeof(owned));
         break;
       }
@@ -123,7 +60,11 @@ void HashJoinOperator::WriteBuildPayload(const ColumnBatch& batch, int row,
   }
 }
 
-Status HashJoinOperator::BuildPhase() {
+/// Drains `build_child` (already open) into `state`'s table, reserving
+/// memory on `state` as it grows.
+Status BuildInto(JoinBuildState* state, Operator* build_child,
+                 const std::vector<ExprPtr>& build_keys,
+                 const ExecContext& exec_ctx) {
   std::vector<uint64_t> hashes;
   std::vector<uint8_t*> entries;
   std::unique_ptr<bool[]> inserted;
@@ -132,20 +73,21 @@ Status HashJoinOperator::BuildPhase() {
 
   while (true) {
     ctx.ResetPerBatch();
-    PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, build_->GetNext());
+    PHOTON_ASSIGN_OR_RETURN(ColumnBatch * batch, build_child->GetNext());
     if (batch == nullptr) break;
     int n = batch->num_active();
     if (n == 0) continue;
 
     // Reservation phase before growing the table (§5.3).
-    if (exec_ctx_.memory_manager != nullptr) {
-      int64_t estimate = static_cast<int64_t>(n) * (payload_bytes_ + 96);
-      PHOTON_RETURN_NOT_OK(exec_ctx_.memory_manager->Reserve(this, estimate));
-      reserved_for_data_ += estimate;
+    if (exec_ctx.memory_manager != nullptr) {
+      int64_t estimate =
+          static_cast<int64_t>(n) * (state->payload_bytes + 96);
+      PHOTON_RETURN_NOT_OK(exec_ctx.memory_manager->Reserve(state, estimate));
+      state->reserved_for_data += estimate;
     }
 
     std::vector<const ColumnVector*> key_vecs;
-    for (const ExprPtr& k : build_keys_) {
+    for (const ExprPtr& k : build_keys) {
       PHOTON_ASSIGN_OR_RETURN(ColumnVector * v, k->Evaluate(batch, &ctx));
       key_vecs.push_back(v);
     }
@@ -156,19 +98,146 @@ Status HashJoinOperator::BuildPhase() {
       inserted_capacity = n;
     }
     VectorizedHashTable::HashKeys(key_vecs, *batch, hashes.data());
-    PHOTON_RETURN_NOT_OK(table_->LookupOrInsert(
+    PHOTON_RETURN_NOT_OK(state->table->LookupOrInsert(
         key_vecs, *batch, hashes.data(), entries.data(), inserted.get()));
     for (int i = 0; i < n; i++) {
       if (entries[i] == nullptr) continue;  // NULL join key: never matches
       int row = batch->ActiveRow(i);
-      uint8_t* target =
-          inserted[i] ? entries[i] : table_->InsertChained(entries[i]);
-      WriteBuildPayload(*batch, row, target);
-      build_rows_++;
+      uint8_t* target = inserted[i] ? entries[i]
+                                    : state->table->InsertChained(entries[i]);
+      WriteBuildPayload(state, *batch, row, target);
+      state->build_rows++;
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+JoinBuildState::~JoinBuildState() {
+  if (memory_manager != nullptr) {
+    memory_manager->Release(this, reserved_bytes());
+    if (registered) memory_manager->UnregisterConsumer(this);
+  }
+}
+
+Schema HashJoinOperator::MakeOutputSchema(const Schema& build,
+                                          const Schema& probe,
+                                          JoinType join_type) {
+  if (join_type == JoinType::kLeftSemi || join_type == JoinType::kLeftAnti) {
+    return probe;
+  }
+  Schema schema = probe;
+  for (const Field& f : build.fields()) {
+    Field field = f;
+    if (join_type == JoinType::kLeftOuter) field.nullable = true;
+    schema.AddField(field);
+  }
+  return schema;
+}
+
+HashJoinOperator::HashJoinOperator(OperatorPtr build, OperatorPtr probe,
+                                   std::vector<ExprPtr> build_keys,
+                                   std::vector<ExprPtr> probe_keys,
+                                   JoinType join_type, ExecContext exec_ctx,
+                                   ExprPtr residual,
+                                   bool adaptive_compaction)
+    : Operator(MakeOutputSchema(build->output_schema(), probe->output_schema(),
+                                join_type)),
+      build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      join_type_(join_type),
+      exec_ctx_(exec_ctx),
+      residual_(std::move(residual)),
+      adaptive_compaction_(adaptive_compaction),
+      state_(std::make_shared<JoinBuildState>()) {
+  PHOTON_CHECK(build_keys_.size() == probe_keys_.size());
+  state_->build_schema = build_->output_schema();
+  state_->payload_bytes =
+      ComputePayloadLayout(state_->build_schema, &state_->payload_offsets);
+}
+
+HashJoinOperator::HashJoinOperator(JoinBuildPtr build, OperatorPtr probe,
+                                   std::vector<ExprPtr> probe_keys,
+                                   JoinType join_type, ExecContext exec_ctx,
+                                   ExprPtr residual, bool adaptive_compaction)
+    : Operator(MakeOutputSchema(build->build_schema, probe->output_schema(),
+                                join_type)),
+      probe_(std::move(probe)),
+      probe_keys_(std::move(probe_keys)),
+      join_type_(join_type),
+      exec_ctx_(exec_ctx),
+      residual_(std::move(residual)),
+      adaptive_compaction_(adaptive_compaction),
+      state_(std::move(build)),
+      built_(true) {
+  PHOTON_CHECK(state_ != nullptr && state_->table != nullptr);
+  PHOTON_CHECK(static_cast<int>(probe_keys_.size()) ==
+               state_->table->num_keys());
+}
+
+HashJoinOperator::~HashJoinOperator() = default;
+
+Result<JoinBuildPtr> HashJoinOperator::BuildShared(
+    Operator* build_child, const std::vector<ExprPtr>& build_keys,
+    const ExecContext& exec_ctx) {
+  auto state = std::make_shared<JoinBuildState>();
+  state->build_schema = build_child->output_schema();
+  state->payload_bytes =
+      ComputePayloadLayout(state->build_schema, &state->payload_offsets);
+  std::vector<DataType> key_types;
+  for (const ExprPtr& k : build_keys) key_types.push_back(k->type());
+  state->table = std::make_unique<VectorizedHashTable>(
+      key_types, state->payload_bytes, /*match_null_keys=*/false);
+  if (exec_ctx.memory_manager != nullptr) {
+    state->memory_manager = exec_ctx.memory_manager;
+    state->set_task_group(exec_ctx.task_group);
+    exec_ctx.memory_manager->RegisterConsumer(state.get());
+    state->registered = true;
+  }
+  PHOTON_RETURN_NOT_OK(build_child->Open());
+  Status build_status = BuildInto(state.get(), build_child, build_keys,
+                                  exec_ctx);
+  build_child->Close();
+  PHOTON_RETURN_NOT_OK(build_status);
+  return state;
+}
+
+Status HashJoinOperator::Open() {
+  if (build_ != nullptr) {
+    PHOTON_RETURN_NOT_OK(build_->Open());
+    std::vector<DataType> key_types;
+    for (const ExprPtr& k : build_keys_) key_types.push_back(k->type());
+    state_->table = std::make_unique<VectorizedHashTable>(
+        key_types, state_->payload_bytes, /*match_null_keys=*/false);
+    if (exec_ctx_.memory_manager != nullptr) {
+      state_->memory_manager = exec_ctx_.memory_manager;
+      state_->set_task_group(exec_ctx_.task_group);
+      exec_ctx_.memory_manager->RegisterConsumer(state_.get());
+      state_->registered = true;
+    }
+    built_ = false;
+  }
+  PHOTON_RETURN_NOT_OK(probe_->Open());
+  probe_batch_ = nullptr;
+  probe_idx_ = 0;
+  chain_entry_ = nullptr;
+  accum_.reset();
+  accum_rows_ = 0;
+  accum_in_flight_ = false;
+  pending_dense_ = nullptr;
+  accum_source_ = nullptr;
+  accum_source_pos_ = 0;
+  return Status::OK();
+}
+
+Status HashJoinOperator::BuildPhase() {
+  PHOTON_RETURN_NOT_OK(BuildInto(state_.get(), build_.get(), build_keys_,
+                                 exec_ctx_));
   built_ = true;
-  metrics_.peak_memory = table_->memory_bytes();
+  metrics_.peak_memory = state_->table->memory_bytes();
   return Status::OK();
 }
 
@@ -211,20 +280,21 @@ void HashJoinOperator::EmitProbeColumns(const ColumnBatch& batch, int row,
 
 void HashJoinOperator::EmitBuildColumns(const uint8_t* entry, int out_row) {
   int base = probe_->output_schema().num_fields();
-  for (int c = 0; c < build_schema_.num_fields(); c++) {
+  for (int c = 0; c < state_->build_schema.num_fields(); c++) {
     ColumnVector* out = out_->column(base + c);
     if (entry == nullptr) {
       out->SetNull(out_row);
       continue;
     }
-    const uint8_t* slot = table_->payload(entry) + payload_offsets_[c];
+    const uint8_t* slot =
+        state_->table->payload(entry) + state_->payload_offsets[c];
     if (*slot) {
       out->SetNull(out_row);
       continue;
     }
     out->SetNotNull(out_row);
     const uint8_t* value = slot + 1;
-    switch (build_schema_.field(c).type.id()) {
+    switch (state_->build_schema.field(c).type.id()) {
       case TypeId::kBoolean:
         out->data<uint8_t>()[out_row] = *value;
         break;
@@ -258,18 +328,19 @@ Result<bool> HashJoinOperator::ResidualMatches(const ColumnBatch& batch,
   if (residual_ == nullptr) return true;
   // Boxed combined row: probe columns then build columns.
   std::vector<Value> row;
-  row.reserve(batch.num_columns() + build_schema_.num_fields());
+  row.reserve(batch.num_columns() + state_->build_schema.num_fields());
   for (int c = 0; c < batch.num_columns(); c++) {
     row.push_back(batch.column(c)->GetValue(probe_row));
   }
-  for (int c = 0; c < build_schema_.num_fields(); c++) {
-    const uint8_t* slot = table_->payload(entry) + payload_offsets_[c];
+  for (int c = 0; c < state_->build_schema.num_fields(); c++) {
+    const uint8_t* slot =
+        state_->table->payload(entry) + state_->payload_offsets[c];
     if (*slot) {
       row.push_back(Value::Null());
       continue;
     }
     const uint8_t* value = slot + 1;
-    switch (build_schema_.field(c).type.id()) {
+    switch (state_->build_schema.field(c).type.id()) {
       case TypeId::kBoolean:
         row.push_back(Value::Boolean(*value != 0));
         break;
@@ -331,7 +402,11 @@ Status HashJoinOperator::ProbeBatch(ColumnBatch* batch) {
   hashes_.resize(n);
   match_heads_.resize(n);
   VectorizedHashTable::HashKeys(key_vecs, *batch, hashes_.data());
-  table_->Lookup(key_vecs, *batch, hashes_.data(), match_heads_.data());
+  // Const probe with caller-owned scratch: the table may be shared with
+  // other tasks probing concurrently.
+  const VectorizedHashTable& table = *state_->table;
+  table.Lookup(key_vecs, *batch, hashes_.data(), match_heads_.data(),
+               &probe_scratch_);
   probe_batch_ = batch;
   probe_idx_ = 0;
   chain_entry_ = nullptr;
@@ -503,11 +578,14 @@ Result<ColumnBatch*> HashJoinOperator::GetNextImpl() {
 }
 
 void HashJoinOperator::Close() {
-  build_->Close();
+  if (build_ != nullptr) build_->Close();
   probe_->Close();
-  if (exec_ctx_.memory_manager != nullptr && reserved_bytes() > 0) {
-    exec_ctx_.memory_manager->Release(this, reserved_bytes());
-    reserved_for_data_ = 0;
+  if (build_ != nullptr && state_->memory_manager != nullptr &&
+      state_->reserved_bytes() > 0) {
+    // Private build: release eagerly; a shared build's reservation is
+    // released when the last prober drops its reference.
+    state_->memory_manager->Release(state_.get(), state_->reserved_bytes());
+    state_->reserved_for_data = 0;
   }
 }
 

@@ -18,6 +18,35 @@ enum class JoinType : uint8_t {
   kLeftAnti,
 };
 
+/// The materialized build side of a hash join: the vectorized hash table
+/// plus the payload layout used to pack build columns into entries. Built
+/// once (BuildShared / the join's own build phase) and then immutable, so
+/// any number of probe tasks can share it concurrently — the paper's
+/// broadcast-build, partition-parallel-probe shape (§2.2).
+///
+/// It is the MemoryConsumer for the build memory; joins cannot release
+/// memory mid-build, so Spill() is a no-op and other consumers spill on
+/// the join's behalf (§5.3).
+struct JoinBuildState : public MemoryConsumer {
+  JoinBuildState() : MemoryConsumer("PhotonJoinBuild") {}
+  ~JoinBuildState() override;
+
+  int64_t Spill(int64_t) override { return 0; }
+
+  std::unique_ptr<VectorizedHashTable> table;
+  std::vector<int> payload_offsets;
+  int payload_bytes = 0;
+  Schema build_schema;
+  int64_t build_rows = 0;
+  int64_t reserved_for_data = 0;
+  /// Manager the state is registered with (null = none); the destructor
+  /// releases the build reservation and unregisters.
+  MemoryManager* memory_manager = nullptr;
+  bool registered = false;
+};
+
+using JoinBuildPtr = std::shared_ptr<JoinBuildState>;
+
 /// Vectorized hash join (§4.4, Figure 4). The build side is materialized
 /// into the vectorized hash table (entries are rows: keys + packed build
 /// columns); the probe side streams through the three-step batched lookup.
@@ -32,36 +61,49 @@ enum class JoinType : uint8_t {
 /// `residual` predicate supports non-equi conditions:
 ///   - inner: evaluated vectorized over emitted output batches;
 ///   - semi/anti: evaluated per candidate (probe row, build row) pair.
-class HashJoinOperator : public Operator, public MemoryConsumer {
+class HashJoinOperator : public Operator {
  public:
+  /// Self-building join: drains `build` into a private hash table on the
+  /// first GetNext(), then probes.
   HashJoinOperator(OperatorPtr build, OperatorPtr probe,
                    std::vector<ExprPtr> build_keys,
                    std::vector<ExprPtr> probe_keys, JoinType join_type,
                    ExecContext exec_ctx = {}, ExprPtr residual = nullptr,
                    bool adaptive_compaction = true);
+
+  /// Probe-only join over a pre-built shared table (parallel driver: many
+  /// morsel tasks probing one build). The shared state must outlive all
+  /// probers and is treated as read-only.
+  HashJoinOperator(JoinBuildPtr build, OperatorPtr probe,
+                   std::vector<ExprPtr> probe_keys, JoinType join_type,
+                   ExecContext exec_ctx = {}, ExprPtr residual = nullptr,
+                   bool adaptive_compaction = true);
   ~HashJoinOperator() override;
+
+  /// Builds a shareable join-build state by draining `build_child`
+  /// (Open()..Close() included). Reservations go to the returned state
+  /// under `exec_ctx`'s memory manager and task group.
+  static Result<JoinBuildPtr> BuildShared(Operator* build_child,
+                                          const std::vector<ExprPtr>& build_keys,
+                                          const ExecContext& exec_ctx);
 
   Status Open() override;
   Result<ColumnBatch*> GetNextImpl() override;
   void Close() override;
   std::string name() const override { return "PhotonHashJoin"; }
   std::vector<Operator*> children() override {
+    if (build_ == nullptr) return {probe_.get()};
     return {probe_.get(), build_.get()};
   }
 
-  /// Joins cannot release memory mid-build; other consumers spill on their
-  /// behalf (§5.3's cross-operator spilling).
-  int64_t Spill(int64_t) override { return 0; }
-
-  int64_t build_rows() const { return build_rows_; }
+  int64_t build_rows() const { return state_->build_rows; }
   int64_t compacted_batches() const { return compacted_batches_; }
 
- private:
-  static Schema MakeOutputSchema(const Operator& build, const Operator& probe,
+  static Schema MakeOutputSchema(const Schema& build, const Schema& probe,
                                  JoinType join_type);
 
+ private:
   Status BuildPhase();
-  void WriteBuildPayload(const ColumnBatch& batch, int row, uint8_t* entry);
   /// Copies build columns of `entry` into output columns at out_row (or
   /// NULLs when entry == nullptr, for left outer).
   void EmitBuildColumns(const uint8_t* entry, int out_row);
@@ -74,7 +116,7 @@ class HashJoinOperator : public Operator, public MemoryConsumer {
   Result<bool> ResidualMatches(const ColumnBatch& batch, int probe_row,
                                const uint8_t* entry);
 
-  OperatorPtr build_;
+  OperatorPtr build_;  // null when probing a shared build
   OperatorPtr probe_;
   std::vector<ExprPtr> build_keys_;
   std::vector<ExprPtr> probe_keys_;
@@ -83,12 +125,7 @@ class HashJoinOperator : public Operator, public MemoryConsumer {
   ExprPtr residual_;
   bool adaptive_compaction_;
 
-  std::unique_ptr<VectorizedHashTable> table_;
-  std::vector<int> payload_offsets_;
-  int payload_bytes_ = 0;
-  Schema build_schema_;
-  int64_t build_rows_ = 0;
-  int64_t reserved_for_data_ = 0;
+  JoinBuildPtr state_;  // private when build_ != null, else shared
   bool built_ = false;
   int64_t compacted_batches_ = 0;
 
@@ -103,6 +140,7 @@ class HashJoinOperator : public Operator, public MemoryConsumer {
   int accum_source_pos_ = 0;
   std::vector<uint64_t> hashes_;
   std::vector<uint8_t*> match_heads_;
+  VectorizedHashTable::ProbeScratch probe_scratch_;
   int probe_idx_ = 0;              // index into probe batch's active set
   const uint8_t* chain_entry_ = nullptr;
 

@@ -36,6 +36,10 @@ struct ExecContext {
   /// Directory-like prefix for spill artifacts (object-store keys).
   std::string spill_prefix = "spill";
   int batch_size = kDefaultBatchSize;
+  /// Memory task group for consumers created under this context (see
+  /// MemoryConsumer::task_group). The parallel driver assigns each task a
+  /// distinct group so cross-thread spills cannot race.
+  int64_t task_group = 0;
 };
 
 /// Photon physical operator. Pull model: parents call GetNext() to receive

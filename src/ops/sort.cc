@@ -46,6 +46,110 @@ int CompareVectorCells(const ColumnVector& a, int row_a,
   return 0;
 }
 
+namespace {
+
+/// Streaming cursor over one sorted run: walks the run's batches in order,
+/// evaluating the sort keys vectorized once per batch (into the cursor's
+/// private EvalContext, so many cursors can be alive at once).
+struct RunCursor {
+  Table* table = nullptr;
+  int batch_idx = -1;
+  int pos = 0;  // index into the current batch's active set
+  ColumnBatch* batch = nullptr;
+  std::vector<ColumnVector*> key_vecs;
+  EvalContext ctx;
+
+  /// Moves to the next row; returns false when the run is exhausted.
+  Result<bool> Advance(const std::vector<SortKey>& keys) {
+    if (batch != nullptr && pos + 1 < batch->num_active()) {
+      pos++;
+      return true;
+    }
+    while (++batch_idx < table->num_batches()) {
+      batch = table->mutable_batch(batch_idx);
+      if (batch->num_active() == 0) continue;
+      pos = 0;
+      ctx.ResetPerBatch();
+      key_vecs.clear();
+      for (const SortKey& key : keys) {
+        PHOTON_ASSIGN_OR_RETURN(ColumnVector * v,
+                                key.expr->Evaluate(batch, &ctx));
+        key_vecs.push_back(v);
+      }
+      return true;
+    }
+    batch = nullptr;
+    return false;
+  }
+
+  int row() const { return batch->ActiveRow(pos); }
+};
+
+/// SortOperator::Compare semantics over two run cursors: NULL placement is
+/// absolute, value order flips with direction, 0 on full tie.
+int CompareCursors(const RunCursor& a, const RunCursor& b,
+                   const std::vector<SortKey>& keys) {
+  for (size_t k = 0; k < keys.size(); k++) {
+    const ColumnVector& ka = *a.key_vecs[k];
+    const ColumnVector& kb = *b.key_vecs[k];
+    int row_a = a.row(), row_b = b.row();
+    bool a_null = ka.IsNull(row_a), b_null = kb.IsNull(row_b);
+    if (a_null || b_null) {
+      if (a_null && b_null) continue;
+      int c = a_null ? -1 : 1;
+      return keys[k].nulls_first ? c : -c;
+    }
+    int c = CompareVectorCells(ka, row_a, kb, row_b);
+    if (c != 0) return keys[k].ascending ? c : -c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<Table> MergeSortedRuns(const std::vector<Table*>& runs,
+                              const std::vector<SortKey>& keys,
+                              const Schema& schema, int batch_size) {
+  Table out(schema);
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  for (Table* run : runs) {
+    auto cursor = std::make_unique<RunCursor>();
+    cursor->table = run;
+    PHOTON_ASSIGN_OR_RETURN(bool alive, cursor->Advance(keys));
+    if (alive) cursors.push_back(std::move(cursor));
+  }
+
+  std::unique_ptr<ColumnBatch> chunk;
+  int chunk_rows = 0;
+  while (!cursors.empty()) {
+    if (chunk == nullptr) {
+      chunk = std::make_unique<ColumnBatch>(schema, batch_size);
+      chunk_rows = 0;
+    }
+    // Linear-scan minimum; strict < keeps the lowest-index run on ties.
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); i++) {
+      if (CompareCursors(*cursors[i], *cursors[best], keys) < 0) best = i;
+    }
+    CopyRow(*cursors[best]->batch, cursors[best]->row(), chunk.get(),
+            chunk_rows);
+    chunk_rows++;
+    if (chunk_rows == batch_size) {
+      chunk->set_num_rows(chunk_rows);
+      chunk->SetAllActive();
+      out.AppendBatch(std::move(chunk));
+    }
+    PHOTON_ASSIGN_OR_RETURN(bool alive, cursors[best]->Advance(keys));
+    if (!alive) cursors.erase(cursors.begin() + best);
+  }
+  if (chunk != nullptr && chunk_rows > 0) {
+    chunk->set_num_rows(chunk_rows);
+    chunk->SetAllActive();
+    out.AppendBatch(std::move(chunk));
+  }
+  return out;
+}
+
 SortOperator::SortOperator(OperatorPtr child, std::vector<SortKey> keys,
                            ExecContext exec_ctx)
     : Operator(child->output_schema()),
@@ -69,6 +173,7 @@ SortOperator::~SortOperator() {
 Status SortOperator::Open() {
   PHOTON_RETURN_NOT_OK(child_->Open());
   if (exec_ctx_.memory_manager != nullptr) {
+    set_task_group(exec_ctx_.task_group);
     exec_ctx_.memory_manager->RegisterConsumer(this);
   }
   input_consumed_ = false;

@@ -24,6 +24,17 @@ struct SortKey {
 int CompareVectorCells(const ColumnVector& a, int row_a,
                        const ColumnVector& b, int row_b);
 
+/// K-way merges independently sorted runs into one totally ordered table.
+/// Key evaluation is vectorized (once per run batch); comparison semantics
+/// match SortOperator exactly, and ties resolve to the lowest-index run,
+/// so the merge is deterministic for a fixed run decomposition (the
+/// parallel driver's per-morsel sort runs). Runs are mutable only because
+/// expression evaluation takes non-const batches; their data is not
+/// modified.
+Result<Table> MergeSortedRuns(const std::vector<Table*>& runs,
+                              const std::vector<SortKey>& keys,
+                              const Schema& schema, int batch_size);
+
 /// Vectorized sort: materializes the input (keys evaluated once per batch
 /// into side-car key batches), sorts an index array with a typed
 /// comparator, and emits gathered output batches.

@@ -1,0 +1,52 @@
+#include "plan/stage_planner.h"
+
+namespace photon {
+namespace plan {
+
+bool IsPipelineBreaker(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kAggregate:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FragmentCut CutFragment(const PlanPtr& root) {
+  FragmentCut cut;
+  PlanPtr node = root;
+  while (true) {
+    switch (node->kind) {
+      case PlanKind::kScan:
+        cut.leaf = node;
+        cut.leaf_kind = FragmentLeaf::kTable;
+        return cut;
+      case PlanKind::kDeltaScan:
+        cut.leaf = node;
+        cut.leaf_kind = FragmentLeaf::kDeltaFiles;
+        return cut;
+      case PlanKind::kFilter:
+      case PlanKind::kProject:
+        cut.nodes.push_back(node.get());
+        node = node->children[0];
+        break;
+      case PlanKind::kJoin:
+        // The probe side (children[0]) streams through the fragment; the
+        // build side is materialized separately and shared by every task.
+        cut.nodes.push_back(node.get());
+        node = node->children[0];
+        break;
+      case PlanKind::kAggregate:
+      case PlanKind::kSort:
+      case PlanKind::kLimit:
+        cut.leaf = node;
+        cut.leaf_kind = FragmentLeaf::kStage;
+        return cut;
+    }
+  }
+}
+
+}  // namespace plan
+}  // namespace photon

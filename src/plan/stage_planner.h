@@ -1,0 +1,49 @@
+#ifndef PHOTON_PLAN_STAGE_PLANNER_H_
+#define PHOTON_PLAN_STAGE_PLANNER_H_
+
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace photon {
+namespace plan {
+
+/// True for plan nodes that must materialize (all of) their input before
+/// producing output. The driver breaks jobs into stages at these nodes —
+/// the miniature analogue of the exchange boundaries where DBR cuts stages
+/// (§2.2): everything between two breakers streams through one pipeline.
+bool IsPipelineBreaker(PlanKind kind);
+
+/// What the leaf of a fragment reads, i.e. what its morsels range over.
+enum class FragmentLeaf : uint8_t {
+  kTable,       // kScan: morsels are table batch ranges
+  kDeltaFiles,  // kDeltaScan: morsels are ranges of the pruned file list
+  kStage,       // a pipeline breaker: the driver materializes its output
+                // as a prior stage, then scans it as table batch ranges
+};
+
+/// A maximal streaming fragment of a logical plan: the chain of
+/// morsel-parallelizable operators from a scan (or staged input) up to the
+/// fragment root, stopping below any pipeline breaker. Joins stay inside
+/// the fragment on their probe side — the build side becomes a separate
+/// stage the driver materializes once and shares across all morsel tasks
+/// (broadcast-build, partition-parallel-probe, §2.2).
+struct FragmentCut {
+  /// Interior nodes, root first (kFilter / kProject / kJoin). The driver
+  /// instantiates one operator chain per morsel by walking this
+  /// back-to-front (leaf to root).
+  std::vector<const PlanNode*> nodes;
+  /// The fragment's source: a kScan / kDeltaScan node, or (kStage) the
+  /// breaker subplan whose output must be materialized first.
+  PlanPtr leaf;
+  FragmentLeaf leaf_kind = FragmentLeaf::kTable;
+};
+
+/// Cuts the maximal fragment rooted at `root` (root itself may be the
+/// leaf, leaving `nodes` empty).
+FragmentCut CutFragment(const PlanPtr& root);
+
+}  // namespace plan
+}  // namespace photon
+
+#endif  // PHOTON_PLAN_STAGE_PLANNER_H_

@@ -160,5 +160,30 @@ TEST(DriverMetricsTest, StagesReportShuffleBytes) {
   EXPECT_GT(stages[1].wall_ns, 0);
 }
 
+TEST(DriverShuffleTest, FailedMapTaskLeaksNoShuffleBlocks) {
+  Schema schema(
+      {Field("k", DataType::Int64()), Field("v", DataType::Int64())});
+  TableBuilder builder(schema, 256);
+  Rng rng(9);
+  for (int i = 0; i < 4000; i++) {
+    builder.AppendRow(
+        {Value::Int64(rng.Uniform(0, 9)), Value::Int64(rng.Uniform(0, 99))});
+  }
+  Table t = builder.Finish();
+
+  size_t blocks_before = ObjectStore::Default().List("shuffle/").size();
+  ObjectStore::Default().FailNextPuts(1);  // first shuffle block write fails
+
+  exec::Driver driver(2);
+  plan::PlanPtr p = plan::Scan(&t);
+  Result<Table> result = driver.RunShuffledAggregate(
+      t, {plan::ColOf(p, "k")}, {"k"},
+      {AggregateSpec{AggKind::kSum, plan::ColOf(p, "v"), "s"}}, 4);
+  EXPECT_FALSE(result.ok());
+  // The failed run must not leak shuffle blocks: every block the surviving
+  // map tasks managed to write is deleted on the error path.
+  EXPECT_EQ(ObjectStore::Default().List("shuffle/").size(), blocks_before);
+}
+
 }  // namespace
 }  // namespace photon
