@@ -14,6 +14,8 @@
 //                result is verified against the single-task reference by
 //                row count and order-insensitive checksum.
 //   --json PATH  also write per-query results as JSON.
+//   --profile DIR  write a QueryProfile JSON per query (profile-q<N>.json)
+//                from a final profiled driver run.
 
 #include <cmath>
 #include <cstdio>
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
     threads = std::atoi(v);
   }
   const char* json_path = bench::FlagValue(argc, argv, "--json");
+  const char* profile_dir = bench::FlagValue(argc, argv, "--profile");
 
   std::printf(
       "Figure 8: TPC-H SF=%.3f, Photon (%d thread%s) vs DBR (min of runs)\n",
@@ -95,6 +98,17 @@ int main(int argc, char** argv) {
     json.Field("rows", rows);
     json.Field("checksum", static_cast<int64_t>(checksum));
     json.EndObject();
+    if (profile_dir != nullptr) {
+      obs::QueryProfile profile;
+      PHOTON_CHECK(driver.Run(*p, {}, nullptr, &profile).ok());
+      profile.query = "q" + std::to_string(q);
+      std::string path = std::string(profile_dir) + "/profile-q" +
+                         std::to_string(q) + ".json";
+      if (!profile.WriteJson(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return 1;
+      }
+    }
     log_speedup_sum += std::log(speedup);
     if (speedup > max_speedup) {
       max_speedup = speedup;

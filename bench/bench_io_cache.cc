@@ -62,8 +62,9 @@ RunResult RunScan(ObjectStore* store, const std::vector<std::string>& keys,
   out.ns = bench::NowNs() - t0;
   PHOTON_CHECK(result.ok());
   out.rows = result->num_rows();
-  out.cache_hits = scan.cache_hits();
-  out.prefetch_wait_ns = scan.prefetch_wait_ns();
+  scan.PublishMetrics();
+  out.cache_hits = scan.op_metrics().Value(obs::Metric::kCacheHits);
+  out.prefetch_wait_ns = scan.op_metrics().Value(obs::Metric::kPrefetchWaitNs);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "baseline/row_operator.h"
+#include "common/json_writer.h"
 #include "exec/driver.h"
 #include "ops/operator.h"
 #include "plan/logical_plan.h"
@@ -125,61 +126,9 @@ inline const char* FlagValue(int argc, char** argv, const char* name,
   return fallback;
 }
 
-/// Minimal JSON emitter for bench results: nested objects/arrays built
-/// through explicit Begin/End calls. Keys and string values are
-/// bench-controlled identifiers, so only quotes are escaped.
-class JsonWriter {
- public:
-  void BeginObject() { Prefix(); out_ += '{'; first_ = true; }
-  void EndObject() { out_ += '}'; first_ = false; }
-  void BeginArray(const std::string& key) {
-    Key(key);
-    out_ += '[';
-    first_ = true;
-  }
-  void EndArray() { out_ += ']'; first_ = false; }
-  void Field(const std::string& key, int64_t v) {
-    Key(key);
-    out_ += std::to_string(v);
-  }
-  void Field(const std::string& key, int v) { Field(key, int64_t{v}); }
-  void Field(const std::string& key, double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.4f", v);
-    Key(key);
-    out_ += buf;
-  }
-  void Field(const std::string& key, const std::string& v) {
-    Key(key);
-    out_ += '"';
-    for (char c : v) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
-    }
-    out_ += '"';
-  }
-
-  const std::string& str() const { return out_; }
-
-  bool WriteTo(const std::string& path) const {
-    std::ofstream f(path);
-    if (!f) return false;
-    f << out_ << "\n";
-    return static_cast<bool>(f);
-  }
-
- private:
-  void Prefix() {
-    if (!first_ && !out_.empty()) out_ += ',';
-    first_ = false;
-  }
-  void Key(const std::string& key) {
-    Prefix();
-    out_ += '"' + key + "\":";
-  }
-  std::string out_;
-  bool first_ = true;
-};
+/// Bench results use the shared JSON emitter (also used by the profile
+/// exporter in src/obs).
+using photon::JsonWriter;
 
 }  // namespace bench
 }  // namespace photon

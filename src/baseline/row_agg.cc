@@ -304,7 +304,7 @@ Status RowHashAggregateOperator::ConsumeInput() {
   return Status::OK();
 }
 
-Result<bool> RowHashAggregateOperator::Next(Row* row) {
+Result<bool> RowHashAggregateOperator::NextImpl(Row* row) {
   if (!consumed_) {
     PHOTON_RETURN_NOT_OK(ConsumeInput());
   }

@@ -32,7 +32,7 @@ class RowHashAggregateOperator : public RowOperator {
                            std::vector<AggregateSpec> specs);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override { child_->Close(); }
   std::string name() const override { return "BaselineHashAggregate"; }
 

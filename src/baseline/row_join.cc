@@ -217,7 +217,7 @@ Result<bool> RowSortMergeJoinOperator::EmitNext(Row* out) {
   return false;
 }
 
-Result<bool> RowSortMergeJoinOperator::Next(Row* row) {
+Result<bool> RowSortMergeJoinOperator::NextImpl(Row* row) {
   if (!materialized_) {
     PHOTON_RETURN_NOT_OK(Materialize());
   }
@@ -284,7 +284,7 @@ Status RowShuffledHashJoinOperator::BuildPhase() {
   return Status::OK();
 }
 
-Result<bool> RowShuffledHashJoinOperator::Next(Row* out) {
+Result<bool> RowShuffledHashJoinOperator::NextImpl(Row* out) {
   if (!built_) {
     PHOTON_RETURN_NOT_OK(BuildPhase());
   }

@@ -22,7 +22,7 @@ class RowSortMergeJoinOperator : public RowOperator {
                            JoinType join_type, ExprPtr residual = nullptr);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override;
   std::string name() const override { return "BaselineSortMergeJoin"; }
 
@@ -61,7 +61,7 @@ class RowShuffledHashJoinOperator : public RowOperator {
                               JoinType join_type, ExprPtr residual = nullptr);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override;
   std::string name() const override { return "BaselineShuffledHashJoin"; }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "types/data_type.h"
 #include "types/value.h"
 
@@ -26,6 +27,12 @@ using Row = std::vector<Value>;
 /// code path", which is what DBR falls back to — and which stands in here
 /// for the whole JVM engine; see DESIGN.md substitutions). Pull model:
 /// Next fills `row` and returns true, or returns false at end-of-stream.
+///
+/// The baseline reports the same obs metric vocabulary as Photon
+/// operators, but deliberately cheaply: a clock read per row would skew
+/// the very engine-comparison benchmarks the baseline exists for, so
+/// Next() counts rows with one relaxed add and brackets wall time from
+/// the first pull to end-of-stream, rather than timing each call.
 class RowOperator {
  public:
   explicit RowOperator(Schema schema) : schema_(std::move(schema)) {}
@@ -37,12 +44,35 @@ class RowOperator {
   const Schema& output_schema() const { return schema_; }
 
   virtual Status Open() = 0;
-  virtual Result<bool> Next(Row* row) = 0;
+
+  /// Pulls the next row; wraps the virtual implementation with metric
+  /// accounting (rows_out per row, wall time first-pull → end-of-stream).
+  Result<bool> Next(Row* row) {
+    if (first_next_ns_ == 0) first_next_ns_ = obs::WallNowNs();
+    Result<bool> result = NextImpl(row);
+    if (result.ok() && *result) {
+      stats_.Add(obs::Metric::kRowsOut, 1);
+    } else if (!eos_recorded_) {
+      eos_recorded_ = true;
+      stats_.Add(obs::Metric::kWallNs, obs::WallNowNs() - first_next_ns_);
+    }
+    return result;
+  }
+
   virtual void Close() {}
   virtual std::string name() const = 0;
 
+  const obs::MetricSet& op_metrics() const { return stats_; }
+
  protected:
+  virtual Result<bool> NextImpl(Row* row) = 0;
+
   Schema schema_;
+  obs::MetricSet stats_;
+
+ private:
+  int64_t first_next_ns_ = 0;
+  bool eos_recorded_ = false;
 };
 
 using RowOperatorPtr = std::unique_ptr<RowOperator>;

@@ -26,7 +26,7 @@ uint64_t RowKeyHash(const Row& key) {
   return h;
 }
 
-Result<bool> RowScanOperator::Next(Row* row) {
+Result<bool> RowScanOperator::NextImpl(Row* row) {
   while (batch_ < table_->num_batches()) {
     const ColumnBatch& b = table_->batch(batch_);
     if (row_ < b.num_active()) {
@@ -44,7 +44,7 @@ Result<bool> RowScanOperator::Next(Row* row) {
   return false;
 }
 
-Result<bool> RowFilterOperator::Next(Row* row) {
+Result<bool> RowFilterOperator::NextImpl(Row* row) {
   while (true) {
     PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(row));
     if (!ok) return false;
@@ -65,7 +65,7 @@ RowProjectOperator::RowProjectOperator(RowOperatorPtr child,
   schema_ = std::move(schema);
 }
 
-Result<bool> RowProjectOperator::Next(Row* row) {
+Result<bool> RowProjectOperator::NextImpl(Row* row) {
   PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(&input_));
   if (!ok) return false;
   row->clear();

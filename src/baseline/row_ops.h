@@ -22,7 +22,7 @@ class RowScanOperator : public RowOperator {
     return Status::OK();
   }
 
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   std::string name() const override { return "BaselineScan"; }
 
  private:
@@ -41,7 +41,7 @@ class RowFilterOperator : public RowOperator {
         predicate_(std::move(predicate)) {}
 
   Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override { child_->Close(); }
   std::string name() const override { return "BaselineFilter"; }
 
@@ -57,7 +57,7 @@ class RowProjectOperator : public RowOperator {
                      std::vector<std::string> names);
 
   Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override { child_->Close(); }
   std::string name() const override { return "BaselineProject"; }
 
@@ -78,7 +78,7 @@ class RowLimitOperator : public RowOperator {
     remaining_ = limit_;
     return child_->Open();
   }
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (remaining_ <= 0) return false;
     PHOTON_ASSIGN_OR_RETURN(bool ok, child_->Next(row));
     if (!ok) return false;

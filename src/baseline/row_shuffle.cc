@@ -147,7 +147,7 @@ Status RowShuffleWriteOperator::FlushPartition(int p) {
   return Status::OK();
 }
 
-Result<bool> RowShuffleWriteOperator::Next(Row* /*row*/) {
+Result<bool> RowShuffleWriteOperator::NextImpl(Row* /*row*/) {
   if (done_) return false;
   Row row;
   while (true) {
@@ -188,7 +188,7 @@ Status RowShuffleReadOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> RowShuffleReadOperator::Next(Row* row) {
+Result<bool> RowShuffleReadOperator::NextImpl(Row* row) {
   while (true) {
     if (reader_ != nullptr && reader_->remaining() > 0) {
       PHOTON_RETURN_NOT_OK(DeserializeRow(reader_.get(), schema_, row));

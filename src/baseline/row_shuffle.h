@@ -22,7 +22,7 @@ class RowShuffleWriteOperator : public RowOperator {
 
   Status Open() override;
   /// Sink: drains the child on first call and returns false.
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override { child_->Close(); }
   std::string name() const override { return "BaselineShuffleWrite"; }
 
@@ -50,7 +50,7 @@ class RowShuffleReadOperator : public RowOperator {
                          int partition = -1);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   std::string name() const override { return "BaselineShuffleRead"; }
 
  private:

@@ -44,7 +44,7 @@ Status RowSortOperator::Materialize() {
   return Status::OK();
 }
 
-Result<bool> RowSortOperator::Next(Row* row) {
+Result<bool> RowSortOperator::NextImpl(Row* row) {
   if (!sorted_) {
     PHOTON_RETURN_NOT_OK(Materialize());
   }

@@ -22,7 +22,7 @@ class RowSortOperator : public RowOperator {
     return child_->Open();
   }
 
-  Result<bool> Next(Row* row) override;
+  Result<bool> NextImpl(Row* row) override;
   void Close() override { child_->Close(); }
   std::string name() const override { return "BaselineSort"; }
 

@@ -1,0 +1,80 @@
+#ifndef PHOTON_COMMON_JSON_WRITER_H_
+#define PHOTON_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace photon {
+
+/// Minimal JSON emitter shared by bench result output and the query-profile
+/// exporter: nested objects/arrays built through explicit Begin/End calls.
+/// Keys and string values are caller-controlled identifiers, so only quotes
+/// and backslashes are escaped.
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); out_ += '{'; first_ = true; }
+  void BeginObject(const std::string& key) {
+    Key(key);
+    out_ += '{';
+    first_ = true;
+  }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray(const std::string& key) {
+    Key(key);
+    out_ += '[';
+    first_ = true;
+  }
+  void EndArray() { out_ += ']'; first_ = false; }
+  void Field(const std::string& key, int64_t v) {
+    Key(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const std::string& key, int v) { Field(key, int64_t{v}); }
+  void Field(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    Key(key);
+    out_ += buf;
+  }
+  void Field(const std::string& key, const std::string& v) {
+    Key(key);
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+  /// Embeds pre-serialized JSON (e.g. a QueryProfile) as the value of `key`.
+  void Raw(const std::string& key, const std::string& json) {
+    Key(key);
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteTo(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_ << "\n";
+    return static_cast<bool>(f);
+  }
+
+ private:
+  void Prefix() {
+    if (!first_ && !out_.empty()) out_ += ',';
+    first_ = false;
+  }
+  void Key(const std::string& key) {
+    Prefix();
+    out_ += '"' + key + "\":";
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_JSON_WRITER_H_

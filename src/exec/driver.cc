@@ -1,9 +1,9 @@
 #include "exec/driver.h"
 
 #include <chrono>
-#include <mutex>
 #include <utility>
 
+#include "obs/trace.h"
 #include "ops/file_scan.h"
 #include "ops/filter.h"
 #include "ops/hash_join.h"
@@ -16,11 +16,7 @@ namespace photon {
 namespace exec {
 namespace {
 
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t NowNs() { return obs::WallNowNs(); }
 
 // Morsel granularity: fixed unit counts, NOT derived from the thread
 // count, so the decomposition — and with it every per-morsel partial
@@ -49,19 +45,21 @@ void AppendTable(const Table& src, Table* dst) {
   }
 }
 
-}  // namespace
-
-void AccumulateIoStats(Operator* root, StageInfo* info) {
-  if (root == nullptr || info == nullptr) return;
-  if (auto* scan = dynamic_cast<FileScanOperator*>(root)) {
-    info->bytes_read += scan->bytes_read();
-    info->cache_hits += scan->cache_hits();
-    info->prefetch_wait_ns += scan->prefetch_wait_ns();
-    info->files_read += scan->files_read();
-    info->row_groups_skipped += scan->row_groups_skipped();
+/// Profile-node label for an in-fragment (streaming) plan node.
+const char* ChainNodeName(plan::PlanKind kind) {
+  switch (kind) {
+    case plan::PlanKind::kFilter:
+      return "Filter";
+    case plan::PlanKind::kProject:
+      return "Project";
+    case plan::PlanKind::kJoin:
+      return "HashJoin";
+    default:
+      return "Node";
   }
-  for (Operator* child : root->children()) AccumulateIoStats(child, info);
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Parallel plan execution
@@ -70,6 +68,9 @@ void AccumulateIoStats(Operator* root, StageInfo* info) {
 struct Driver::RunState {
   ExecContext ctx;
   std::vector<StageInfo>* stages = nullptr;
+  /// Null = no profile bookkeeping this run (the stages/profile-off fast
+  /// path); set when either a stage list or a QueryProfile was requested.
+  obs::ProfileBuilder* profile = nullptr;
   int next_stage_id = 0;
 };
 
@@ -88,34 +89,62 @@ struct Driver::StagedFragment {
   /// probed concurrently by every task (entries own their bytes).
   std::vector<JoinBuildPtr> builds;
 
+  /// Profile node ids (all -1 when profiling is off): one per cut node,
+  /// plus the leaf scan; top_node_id is the chain's root, attached to its
+  /// parent (breaker or profile root) by the caller.
+  std::vector<int> node_ids;
+  int leaf_node_id = -1;
+  int top_node_id = -1;
+
   int units = 0;            // batches or files to split into morsels
   int units_per_morsel = 1;
 };
 
 Result<Table> Driver::Run(const plan::PlanPtr& plan, ExecContext ctx,
-                          std::vector<StageInfo>* stages) {
+                          std::vector<StageInfo>* stages,
+                          obs::QueryProfile* profile) {
   RunState state;
   state.ctx = ctx;
   state.stages = stages;
-  return RunNode(plan, &state);
+  obs::ProfileBuilder builder;
+  if (stages != nullptr || profile != nullptr) state.profile = &builder;
+  int64_t t0 = NowNs();
+  Result<Table> out = RunNode(plan, &state, -1);
+  if (profile != nullptr) {
+    *profile = builder.Finish(NowNs() - t0, pool_.num_threads());
+  }
+  return out;
 }
 
-Result<Table> Driver::RunNode(const plan::PlanPtr& node, RunState* state) {
+Result<Table> Driver::RunNode(const plan::PlanPtr& node, RunState* state,
+                              int parent_node) {
   switch (node->kind) {
     case plan::PlanKind::kAggregate:
-      return RunAggregate(node, state);
+      return RunAggregate(node, state, parent_node);
     case plan::PlanKind::kSort:
-      return RunSort(node, state);
+      return RunSort(node, state, parent_node);
     case plan::PlanKind::kLimit: {
       // The child (in TPC-H always a sort or aggregate) is materialized in
       // its deterministic order; the limit just trims the prefix.
-      PHOTON_ASSIGN_OR_RETURN(Table child, RunNode(node->children[0], state));
+      int limit_id = -1;
+      if (state->profile != nullptr) {
+        limit_id = state->profile->AddNode("Limit", parent_node);
+      }
+      PHOTON_ASSIGN_OR_RETURN(Table child,
+                              RunNode(node->children[0], state, limit_id));
       LimitOperator limit(OperatorPtr(new InMemoryScanOperator(&child)),
                           node->limit);
-      return CollectAll(&limit);
+      Result<Table> out = CollectAll(&limit);
+      if (state->profile != nullptr) {
+        limit.PublishMetrics();
+        state->profile
+            ->TaskShard(limit_id, state->profile->NewTaskId())
+            ->MergeFrom(limit.op_metrics());
+      }
+      return out;
     }
     default:
-      return RunFragment(node, state);
+      return RunFragment(node, state, parent_node);
   }
 }
 
@@ -124,17 +153,48 @@ Result<Driver::StagedFragment> Driver::PrepareFragment(
   StagedFragment frag;
   frag.cut = plan::CutFragment(root);
 
+  // One profile node per chain operator plus the leaf scan, created
+  // root-first so a node's streaming child is its profile child. The top
+  // stays detached until the caller knows its parent (breaker wrapper or
+  // profile root).
+  obs::ProfileBuilder* profile = state->profile;
+  frag.node_ids.assign(frag.cut.nodes.size(), -1);
+  if (profile != nullptr) {
+    int prev = obs::ProfileBuilder::kDetached;
+    for (size_t i = 0; i < frag.cut.nodes.size(); i++) {
+      frag.node_ids[i] = profile->AddNode(
+          ChainNodeName(frag.cut.nodes[i]->kind),
+          i == 0 ? obs::ProfileBuilder::kDetached : prev);
+      prev = frag.node_ids[i];
+    }
+    const char* leaf_name = "TableScan";
+    if (frag.cut.leaf_kind == plan::FragmentLeaf::kDeltaFiles) {
+      leaf_name = "DeltaScan";
+    } else if (frag.cut.leaf_kind == plan::FragmentLeaf::kStage) {
+      leaf_name = "StageScan";
+    }
+    frag.leaf_node_id = profile->AddNode(
+        leaf_name,
+        frag.cut.nodes.empty() ? obs::ProfileBuilder::kDetached : prev);
+    frag.top_node_id =
+        frag.cut.nodes.empty() ? frag.leaf_node_id : frag.node_ids[0];
+  }
+
   // Build sides of in-fragment joins: each is materialized by its own
-  // (recursive) stages, then hashed once into a shared build state.
+  // (recursive) stages, then hashed once into a shared build state. In
+  // the profile the build subtree hangs under the join node, next to the
+  // probe-side chain.
   frag.builds.resize(frag.cut.nodes.size());
   for (size_t i = 0; i < frag.cut.nodes.size(); i++) {
     const plan::PlanNode* node = frag.cut.nodes[i];
     if (node->kind != plan::PlanKind::kJoin) continue;
-    PHOTON_ASSIGN_OR_RETURN(Table build_table,
-                            RunNode(node->children[1], state));
+    PHOTON_ASSIGN_OR_RETURN(
+        Table build_table,
+        RunNode(node->children[1], state, frag.node_ids[i]));
     ExecContext build_ctx = state->ctx;
     build_ctx.task_group = next_task_group_.fetch_add(1);
     InMemoryScanOperator build_scan(&build_table);
+    obs::TraceSpan span("join_build", static_cast<int64_t>(i));
     PHOTON_ASSIGN_OR_RETURN(
         frag.builds[i],
         HashJoinOperator::BuildShared(&build_scan, node->right_keys,
@@ -156,10 +216,16 @@ Result<Driver::StagedFragment> Driver::PrepareFragment(
                           leaf->scan_predicate, projected, &frag.files_pruned);
       frag.units = static_cast<int>(frag.files.size());
       frag.units_per_morsel = kFilesPerMorsel;
+      if (profile != nullptr && frag.files_pruned > 0) {
+        // Pruning happens once at plan time, not in any task.
+        profile->NodeSet(frag.leaf_node_id)
+            ->Add(obs::Metric::kFilesPruned, frag.files_pruned);
+      }
       break;
     }
     case plan::FragmentLeaf::kStage: {
-      PHOTON_ASSIGN_OR_RETURN(Table staged, RunNode(frag.cut.leaf, state));
+      PHOTON_ASSIGN_OR_RETURN(
+          Table staged, RunNode(frag.cut.leaf, state, frag.leaf_node_id));
       frag.staged = std::make_unique<Table>(std::move(staged));
       frag.source_table = frag.staged.get();
       frag.units = frag.source_table->num_batches();
@@ -172,7 +238,8 @@ Result<Driver::StagedFragment> Driver::PrepareFragment(
 
 Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
                                                 Morsel morsel,
-                                                const ExecContext& task_ctx) {
+                                                const ExecContext& task_ctx,
+                                                Harvest* harvest) {
   OperatorPtr op;
   if (frag.cut.leaf_kind == plan::FragmentLeaf::kDeltaFiles) {
     const plan::PlanNode* leaf = frag.cut.leaf.get();
@@ -191,6 +258,7 @@ Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
     op = OperatorPtr(
         new TableSliceScan(frag.source_table, morsel.begin, morsel.end));
   }
+  if (harvest != nullptr) harvest->emplace_back(op.get(), frag.leaf_node_id);
 
   for (int i = static_cast<int>(frag.cut.nodes.size()) - 1; i >= 0; i--) {
     const plan::PlanNode* node = frag.cut.nodes[i];
@@ -210,26 +278,41 @@ Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
       default:
         return Status::Internal("non-streaming node inside fragment");
     }
+    if (harvest != nullptr) harvest->emplace_back(op.get(), frag.node_ids[i]);
   }
   return op;
 }
 
 Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
     const StagedFragment& frag, RunState* state, const WrapFn& wrap,
-    StageInfo* info) {
+    int wrap_node_id, StageInfo* info) {
   std::vector<Morsel> morsels =
       SplitMorsels(frag.units, frag.units_per_morsel);
   const int num_morsels = static_cast<int>(morsels.size());
   const int num_tasks = std::min(pool_.num_threads(), num_morsels);
   const int stage_id = info->stage_id;
+  obs::ProfileBuilder* profile = state->profile;
+  obs::MetricSet* stage_set =
+      profile != nullptr ? profile->StageSet(stage_id) : nullptr;
+  if (profile != nullptr) {
+    for (int nid : frag.node_ids) profile->SetStage(nid, stage_id);
+    profile->SetStage(frag.leaf_node_id, stage_id);
+    if (wrap_node_id >= 0) profile->SetStage(wrap_node_id, stage_id);
+  }
   int64_t t0 = NowNs();
 
   MorselQueue queue(num_morsels);
   std::vector<std::unique_ptr<Table>> slots(num_morsels);
-  std::mutex info_mu;
 
   auto worker = [&, stage_id]() -> Status {
+    // One metric shard per (node, worker): the shard is only ever touched
+    // by this thread, so the hot path is uncontended relaxed atomics and
+    // the merge happens here, after the morsel is drained — the
+    // sharded-then-merged-at-barriers design of §5.2.
+    const int64_t task_id = profile != nullptr ? profile->NewTaskId() : 0;
     for (int m = queue.Next(); m >= 0; m = queue.Next()) {
+      obs::TraceSpan morsel_span("morsel", m);
+      int64_t cpu0 = profile != nullptr ? obs::ThreadCpuNs() : 0;
       ExecContext task_ctx = state->ctx;
       task_ctx.task_group = next_task_group_.fetch_add(1);
       // Unique per-task spill namespace: concurrent tasks must never
@@ -237,14 +320,30 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
       task_ctx.spill_prefix = state->ctx.spill_prefix + "/s" +
                               std::to_string(stage_id) + "-m" +
                               std::to_string(m);
-      PHOTON_ASSIGN_OR_RETURN(OperatorPtr op,
-                              InstantiateFragment(frag, morsels[m], task_ctx));
+      Harvest harvest;
+      PHOTON_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          InstantiateFragment(frag, morsels[m], task_ctx,
+                              profile != nullptr ? &harvest : nullptr));
+      Operator* chain_top = op.get();
       PHOTON_ASSIGN_OR_RETURN(op, wrap(std::move(op), task_ctx));
+      if (profile != nullptr && op.get() != chain_top) {
+        harvest.emplace_back(op.get(), wrap_node_id);
+      }
       Result<Table> out = CollectAll(op.get());
-      {
-        std::lock_guard<std::mutex> lock(info_mu);
-        AccumulateIoStats(op.get(), info);
-        if (out.ok()) info->rows_out += out->num_rows();
+      if (profile != nullptr) {
+        for (const auto& [hop, nid] : harvest) {
+          hop->PublishMetrics();
+          if (nid >= 0) {
+            profile->TaskShard(nid, task_id)->MergeFrom(hop->op_metrics());
+          }
+          stage_set->MergeResourceFrom(hop->op_metrics());
+        }
+        stage_set->Add(obs::Metric::kCpuNs, obs::ThreadCpuNs() - cpu0);
+        if (out.ok()) {
+          stage_set->Add(obs::Metric::kRowsOut, out->num_rows());
+          stage_set->Add(obs::Metric::kBatches, out->num_batches());
+        }
       }
       PHOTON_RETURN_NOT_OK(out.status());
       slots[m] = std::make_unique<Table>(std::move(*out));
@@ -262,6 +361,7 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
     for (int t = 0; t < num_tasks; t++) futures.push_back(pool_.Submit(worker));
     // Join every task before surfacing the first error — peers share the
     // queue and the output slots.
+    obs::TraceSpan barrier("stage_barrier", stage_id);
     for (auto& f : futures) {
       Status s = f.get();
       if (status.ok() && !s.ok()) status = s;
@@ -270,19 +370,29 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
   PHOTON_RETURN_NOT_OK(status);
 
   info->num_tasks = num_tasks;
-  info->wall_ns = NowNs() - t0;
+  int64_t wall = NowNs() - t0;
+  if (profile != nullptr) {
+    stage_set->Add(obs::Metric::kWallNs, wall);
+    info->m = profile->StageSnapshot(stage_id);
+  } else {
+    info->m[obs::Metric::kWallNs] = wall;
+  }
   return slots;
 }
 
-Result<Table> Driver::RunFragment(const plan::PlanPtr& node, RunState* state) {
+Result<Table> Driver::RunFragment(const plan::PlanPtr& node, RunState* state,
+                                  int parent_node) {
   PHOTON_ASSIGN_OR_RETURN(StagedFragment frag, PrepareFragment(node, state));
+  if (state->profile != nullptr) {
+    state->profile->SetParent(frag.top_node_id, parent_node);
+  }
   StageInfo info;
   info.stage_id = state->next_stage_id++;
   WrapFn identity = [](OperatorPtr op, const ExecContext&) {
     return Result<OperatorPtr>(std::move(op));
   };
   PHOTON_ASSIGN_OR_RETURN(auto outputs,
-                          RunMorselStage(frag, state, identity, &info));
+                          RunMorselStage(frag, state, identity, -1, &info));
   if (state->stages != nullptr) state->stages->push_back(info);
   Table out(node->output_schema);
   for (auto& t : outputs) {
@@ -292,11 +402,12 @@ Result<Table> Driver::RunFragment(const plan::PlanPtr& node, RunState* state) {
 }
 
 Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
-                                   RunState* state) {
+                                   RunState* state, int parent_node) {
   PHOTON_ASSIGN_OR_RETURN(StagedFragment frag,
                           PrepareFragment(node->children[0], state));
   const int num_morsels = static_cast<int>(
       SplitMorsels(frag.units, frag.units_per_morsel).size());
+  obs::ProfileBuilder* profile = state->profile;
   StageInfo info;
   info.stage_id = state->next_stage_id++;
 
@@ -304,32 +415,47 @@ Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
     // One morsel: a classic complete aggregate in one task, no merge
     // stage. (This path is chosen by input size alone, so it is the same
     // at every thread count.)
+    int agg_id = -1;
+    if (profile != nullptr) {
+      agg_id = profile->AddNode("HashAggregate", parent_node);
+      profile->SetParent(frag.top_node_id, agg_id);
+    }
     WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
       return Result<OperatorPtr>(OperatorPtr(new HashAggregateOperator(
           std::move(op), node->group_keys, node->key_names, node->aggregates,
           task_ctx, AggMode::kComplete)));
     };
     PHOTON_ASSIGN_OR_RETURN(auto outputs,
-                            RunMorselStage(frag, state, wrap, &info));
+                            RunMorselStage(frag, state, wrap, agg_id, &info));
     if (state->stages != nullptr) state->stages->push_back(info);
     return std::move(*outputs[0]);
   }
 
   // Partial stage: one exact partial aggregate per morsel, emitting
-  // serialized (key, state) blobs.
+  // serialized (key, state) blobs; the profile mirrors the physical shape
+  // as Final <- Partial <- input chain.
+  int final_id = -1;
+  int partial_id = -1;
+  if (profile != nullptr) {
+    final_id = profile->AddNode("HashAggregateFinal", parent_node);
+    partial_id = profile->AddNode("HashAggregatePartial", final_id);
+    profile->SetParent(frag.top_node_id, partial_id);
+  }
   WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
     return Result<OperatorPtr>(OperatorPtr(new HashAggregateOperator(
         std::move(op), node->group_keys, node->key_names, node->aggregates,
         task_ctx, AggMode::kPartial)));
   };
   PHOTON_ASSIGN_OR_RETURN(auto outputs,
-                          RunMorselStage(frag, state, wrap, &info));
+                          RunMorselStage(frag, state, wrap, partial_id, &info));
   if (state->stages != nullptr) state->stages->push_back(info);
 
   // Merge stage: a single task merges every partial's states. Blobs are
   // concatenated in morsel order, so the merge input — and the output
   // order — is independent of the thread count.
   int64_t t0 = NowNs();
+  StageInfo merge_info;
+  merge_info.stage_id = state->next_stage_id++;
   Table blobs(HashAggregateOperator::PartialOutputSchema());
   for (auto& t : outputs) {
     if (t != nullptr) AppendTable(*t, &blobs);
@@ -343,35 +469,62 @@ Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
                               node->aggregates, merge_ctx,
                               AggMode::kFinalMerge);
   Result<Table> out = CollectAll(&merge);
-  if (state->stages != nullptr) {
-    StageInfo merge_info;
-    merge_info.stage_id = state->next_stage_id++;
-    merge_info.num_tasks = 1;
-    if (out.ok()) merge_info.rows_out = out->num_rows();
-    merge_info.wall_ns = NowNs() - t0;
-    state->stages->push_back(merge_info);
+  if (profile != nullptr) {
+    profile->SetStage(final_id, merge_info.stage_id);
+    merge.PublishMetrics();
+    profile->TaskShard(final_id, profile->NewTaskId())
+        ->MergeFrom(merge.op_metrics());
+    obs::MetricSet* stage_set = profile->StageSet(merge_info.stage_id);
+    stage_set->MergeResourceFrom(merge.op_metrics());
+    stage_set->Add(obs::Metric::kWallNs, NowNs() - t0);
+    if (out.ok()) {
+      stage_set->Add(obs::Metric::kRowsOut, out->num_rows());
+      stage_set->Add(obs::Metric::kBatches, out->num_batches());
+    }
+    merge_info.m = profile->StageSnapshot(merge_info.stage_id);
   }
+  merge_info.num_tasks = 1;
+  if (state->stages != nullptr) state->stages->push_back(merge_info);
   return out;
 }
 
-Result<Table> Driver::RunSort(const plan::PlanPtr& node, RunState* state) {
+Result<Table> Driver::RunSort(const plan::PlanPtr& node, RunState* state,
+                              int parent_node) {
   PHOTON_ASSIGN_OR_RETURN(StagedFragment frag,
                           PrepareFragment(node->children[0], state));
+  const int num_morsels = static_cast<int>(
+      SplitMorsels(frag.units, frag.units_per_morsel).size());
+  obs::ProfileBuilder* profile = state->profile;
   StageInfo info;
   info.stage_id = state->next_stage_id++;
-  // One sorted run per morsel.
+
+  // One sorted run per morsel; with several morsels a deterministic k-way
+  // merge stage sits above the runs (SortMerge <- Sort <- input).
+  int sort_id = -1;
+  int sort_merge_id = -1;
+  if (profile != nullptr) {
+    if (num_morsels > 1) {
+      sort_merge_id = profile->AddNode("SortMerge", parent_node);
+      sort_id = profile->AddNode("Sort", sort_merge_id);
+    } else {
+      sort_id = profile->AddNode("Sort", parent_node);
+    }
+    profile->SetParent(frag.top_node_id, sort_id);
+  }
   WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
     return Result<OperatorPtr>(OperatorPtr(
         new SortOperator(std::move(op), node->sort_keys, task_ctx)));
   };
   PHOTON_ASSIGN_OR_RETURN(auto outputs,
-                          RunMorselStage(frag, state, wrap, &info));
+                          RunMorselStage(frag, state, wrap, sort_id, &info));
   if (state->stages != nullptr) state->stages->push_back(info);
   if (outputs.size() == 1) return std::move(*outputs[0]);
 
   // Merge stage: deterministic k-way merge of the runs (ties resolve to
   // the lowest morsel index).
   int64_t t0 = NowNs();
+  StageInfo merge_info;
+  merge_info.stage_id = state->next_stage_id++;
   std::vector<Table*> runs;
   runs.reserve(outputs.size());
   for (auto& t : outputs) {
@@ -380,14 +533,25 @@ Result<Table> Driver::RunSort(const plan::PlanPtr& node, RunState* state) {
   Result<Table> merged = MergeSortedRuns(runs, node->sort_keys,
                                          node->output_schema,
                                          state->ctx.batch_size);
-  if (state->stages != nullptr) {
-    StageInfo merge_info;
-    merge_info.stage_id = state->next_stage_id++;
-    merge_info.num_tasks = 1;
-    if (merged.ok()) merge_info.rows_out = merged->num_rows();
-    merge_info.wall_ns = NowNs() - t0;
-    state->stages->push_back(merge_info);
+  if (profile != nullptr) {
+    // MergeSortedRuns is a free function, not an Operator: record its
+    // contribution into the SortMerge node by hand.
+    profile->SetStage(sort_merge_id, merge_info.stage_id);
+    obs::MetricSet* shard =
+        profile->TaskShard(sort_merge_id, profile->NewTaskId());
+    shard->Add(obs::Metric::kWallNs, NowNs() - t0);
+    obs::MetricSet* stage_set = profile->StageSet(merge_info.stage_id);
+    stage_set->Add(obs::Metric::kWallNs, NowNs() - t0);
+    if (merged.ok()) {
+      shard->Add(obs::Metric::kRowsOut, merged->num_rows());
+      shard->Add(obs::Metric::kBatches, merged->num_batches());
+      stage_set->Add(obs::Metric::kRowsOut, merged->num_rows());
+      stage_set->Add(obs::Metric::kBatches, merged->num_batches());
+    }
+    merge_info.m = profile->StageSnapshot(merge_info.stage_id);
   }
+  merge_info.num_tasks = 1;
+  if (state->stages != nullptr) state->stages->push_back(merge_info);
   return merged;
 }
 
@@ -402,9 +566,14 @@ Result<Table> Driver::RunSingleTask(const plan::PlanPtr& plan,
   Result<Table> result = CollectAll(root.get());
   if (stage != nullptr) {
     stage->num_tasks = 1;
-    stage->wall_ns = NowNs() - t0;
-    if (result.ok()) stage->rows_out = result->num_rows();
-    AccumulateIoStats(root.get(), stage);
+    // Resource metrics (IO, memory, spill) fold over the whole tree into
+    // the stage view; rows/wall come from the root.
+    CollectTreeMetrics(root.get(), &stage->m);
+    stage->m[obs::Metric::kWallNs] = NowNs() - t0;
+    if (result.ok()) {
+      stage->m[obs::Metric::kRowsOut] = result->num_rows();
+      stage->m[obs::Metric::kBatches] = result->num_batches();
+    }
   }
   return result;
 }
@@ -443,9 +612,12 @@ Result<Table> Driver::RunShuffledAggregate(
     }));
   }
   Status map_status = Status::OK();
-  for (auto& f : map_futures) {
-    Status s = f.get();  // join every task before returning an error
-    if (map_status.ok() && !s.ok()) map_status = s;
+  {
+    obs::TraceSpan barrier("stage_barrier", 0);
+    for (auto& f : map_futures) {
+      Status s = f.get();  // join every task before returning an error
+      if (map_status.ok() && !s.ok()) map_status = s;
+    }
   }
   PHOTON_RETURN_NOT_OK(map_status);
   int64_t t1 = NowNs();
@@ -453,9 +625,9 @@ Result<Table> Driver::RunShuffledAggregate(
     StageInfo map_stage;
     map_stage.stage_id = 0;
     map_stage.num_tasks = static_cast<int>(map_futures.size());
-    map_stage.rows_out = input.num_rows();
-    map_stage.shuffle_bytes = ShuffleDataBytes(shuffle_id);
-    map_stage.wall_ns = t1 - t0;
+    map_stage.m[obs::Metric::kRowsOut] = input.num_rows();
+    map_stage.m[obs::Metric::kShuffleBytes] = ShuffleDataBytes(shuffle_id);
+    map_stage.m[obs::Metric::kWallNs] = t1 - t0;
     stages->push_back(map_stage);
   }
 
@@ -477,15 +649,18 @@ Result<Table> Driver::RunShuffledAggregate(
                 ->output_schema);
   int64_t rows = 0;
   Status reduce_status = Status::OK();
-  for (auto& f : reduce_futures) {
-    Result<Table> part = f.get();
-    if (!part.ok()) {
-      if (reduce_status.ok()) reduce_status = part.status();
-      continue;
-    }
-    rows += part->num_rows();
-    for (int b = 0; b < part->num_batches(); b++) {
-      out.AppendBatch(CompactBatch(part->batch(b)));
+  {
+    obs::TraceSpan barrier("stage_barrier", 1);
+    for (auto& f : reduce_futures) {
+      Result<Table> part = f.get();
+      if (!part.ok()) {
+        if (reduce_status.ok()) reduce_status = part.status();
+        continue;
+      }
+      rows += part->num_rows();
+      for (int b = 0; b < part->num_batches(); b++) {
+        out.AppendBatch(CompactBatch(part->batch(b)));
+      }
     }
   }
   PHOTON_RETURN_NOT_OK(reduce_status);
@@ -494,8 +669,8 @@ Result<Table> Driver::RunShuffledAggregate(
     StageInfo reduce_stage;
     reduce_stage.stage_id = 1;
     reduce_stage.num_tasks = num_partitions;
-    reduce_stage.rows_out = rows;
-    reduce_stage.wall_ns = t2 - t1;
+    reduce_stage.m[obs::Metric::kRowsOut] = rows;
+    reduce_stage.m[obs::Metric::kWallNs] = t2 - t1;
     stages->push_back(reduce_stage);
   }
   return out;

@@ -6,10 +6,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/morsel.h"
 #include "exec/thread_pool.h"
+#include "obs/profile.h"
 #include "ops/hash_aggregate.h"
 #include "ops/shuffle.h"
 #include "plan/logical_plan.h"
@@ -18,26 +20,34 @@
 namespace photon {
 namespace exec {
 
-/// Per-stage execution summary (the driver's view; feeds the live-metrics
-/// story of §5.5 at miniature scale).
+/// Per-stage execution summary: a thin view over the obs metrics registry
+/// (the driver's slice of §5.5 live metrics). The snapshot is the merge of
+/// every task's metric shards at the stage barrier, so it is filled
+/// identically by the single-task and morsel-parallel paths, at every
+/// thread count.
 struct StageInfo {
   int stage_id = 0;
   int num_tasks = 0;
-  int64_t rows_out = 0;
-  int64_t shuffle_bytes = 0;
-  int64_t wall_ns = 0;
-  // Scan IO counters (src/io), summed over the stage's scan operators.
-  int64_t bytes_read = 0;
-  int64_t cache_hits = 0;
-  int64_t prefetch_wait_ns = 0;
-  int64_t files_read = 0;
-  int64_t row_groups_skipped = 0;
-};
+  /// Merged stage metrics (the full obs vocabulary).
+  obs::MetricSnapshot m;
 
-/// Walks an operator tree and folds every file scan's IO counters
-/// (bytes read, block-cache hits, prefetch stalls, data skipping) into
-/// `info` — the per-stage view of the §5.5 live metrics.
-void AccumulateIoStats(Operator* root, StageInfo* info);
+  int64_t rows_out() const { return m[obs::Metric::kRowsOut]; }
+  int64_t batches() const { return m[obs::Metric::kBatches]; }
+  int64_t wall_ns() const { return m[obs::Metric::kWallNs]; }
+  int64_t cpu_ns() const { return m[obs::Metric::kCpuNs]; }
+  int64_t shuffle_bytes() const { return m[obs::Metric::kShuffleBytes]; }
+  int64_t spill_bytes() const { return m[obs::Metric::kSpillBytes]; }
+  // Scan IO counters (src/io), summed over the stage's scan operators.
+  int64_t bytes_read() const { return m[obs::Metric::kBytesRead]; }
+  int64_t cache_hits() const { return m[obs::Metric::kCacheHits]; }
+  int64_t prefetch_wait_ns() const {
+    return m[obs::Metric::kPrefetchWaitNs];
+  }
+  int64_t files_read() const { return m[obs::Metric::kFilesRead]; }
+  int64_t row_groups_skipped() const {
+    return m[obs::Metric::kRowGroupsSkipped];
+  }
+};
 
 /// A miniature DBR driver (§2.2): breaks a job into stages at exchange
 /// boundaries, launches tasks on the executor thread pool, and blocks at
@@ -61,10 +71,15 @@ class Driver {
   ///     stage boundary.
   /// The morsel decomposition depends only on the input, so the result
   /// table (rows *and* row order) is identical for every thread count.
-  /// When `stages` is non-null one StageInfo per executed stage is
-  /// appended, in completion order.
+  ///
+  /// Observability: when `stages` is non-null one StageInfo per executed
+  /// stage is appended in completion order; when `profile` is non-null it
+  /// receives the full QueryProfile tree (one node per plan operator per
+  /// stage, per-task min/max/sum). With both null the run does no profile
+  /// bookkeeping at all beyond the operators' own counters.
   Result<Table> Run(const plan::PlanPtr& plan, ExecContext ctx = {},
-                    std::vector<StageInfo>* stages = nullptr);
+                    std::vector<StageInfo>* stages = nullptr,
+                    obs::QueryProfile* profile = nullptr);
 
   /// Two-stage distributed aggregation:
   ///   Stage 1 (map):    split the input into one task per executor
@@ -82,33 +97,42 @@ class Driver {
   /// Runs a single-task (single-threaded) Photon plan, like one task of a
   /// stage (Figure 1: "Photon executes tasks on partitions of data on a
   /// single thread"). When `stage` is non-null it is filled with the
-  /// task's rows/wall time and the scan IO counters of the plan's tree.
+  /// task's rows/wall time plus the resource metrics (IO, memory, spill)
+  /// folded over the plan's operator tree.
   Result<Table> RunSingleTask(const plan::PlanPtr& plan, ExecContext ctx = {},
                               StageInfo* stage = nullptr);
 
   int num_threads() const { return pool_.num_threads(); }
 
  private:
-  struct RunState;        // per-Run bookkeeping (ctx, stage list, ids)
+  struct RunState;        // per-Run bookkeeping (ctx, stage list, profile)
   struct StagedFragment;  // compiled fragment + its materialized inputs
 
   /// Operator tree to drain for one morsel: the fragment chain, optionally
   /// wrapped (partial aggregate, sort) by the breaker above it.
   using WrapFn =
       std::function<Result<OperatorPtr>(OperatorPtr, const ExecContext&)>;
+  /// (operator, profile node) pairs harvested into task shards after a
+  /// morsel chain is drained.
+  using Harvest = std::vector<std::pair<Operator*, int>>;
 
-  Result<Table> RunNode(const plan::PlanPtr& node, RunState* state);
-  Result<Table> RunFragment(const plan::PlanPtr& node, RunState* state);
-  Result<Table> RunAggregate(const plan::PlanPtr& node, RunState* state);
-  Result<Table> RunSort(const plan::PlanPtr& node, RunState* state);
+  Result<Table> RunNode(const plan::PlanPtr& node, RunState* state,
+                        int parent_node);
+  Result<Table> RunFragment(const plan::PlanPtr& node, RunState* state,
+                            int parent_node);
+  Result<Table> RunAggregate(const plan::PlanPtr& node, RunState* state,
+                             int parent_node);
+  Result<Table> RunSort(const plan::PlanPtr& node, RunState* state,
+                        int parent_node);
   Result<StagedFragment> PrepareFragment(const plan::PlanPtr& root,
                                          RunState* state);
   Result<OperatorPtr> InstantiateFragment(const StagedFragment& frag,
                                           Morsel morsel,
-                                          const ExecContext& task_ctx);
+                                          const ExecContext& task_ctx,
+                                          Harvest* harvest);
   Result<std::vector<std::unique_ptr<Table>>> RunMorselStage(
       const StagedFragment& frag, RunState* state, const WrapFn& wrap,
-      StageInfo* info);
+      int wrap_node_id, StageInfo* info);
 
   ThreadPool pool_;
   /// Dedicated pool for scan read-aheads. Prefetch futures must never

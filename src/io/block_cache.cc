@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace photon {
 namespace io {
@@ -188,6 +189,7 @@ void BlockCache::Clear() {
 int64_t BlockCache::Spill(int64_t requested) {
   // Called by the MemoryManager (with its lock dropped) on behalf of some
   // memory-hungry consumer: shed cold blocks, coldest shards' tails first.
+  obs::TraceSpan span("cache.spill", requested);
   int64_t freed = 0;
   for (int s = 0; s < options_.num_shards && freed < requested; s++) {
     Shard& shard = shards_[s];

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace photon {
 namespace io {
@@ -67,8 +68,10 @@ Result<std::shared_ptr<const std::string>> Prefetcher::Fetch(
   if (pending.valid()) {
     int64_t t0 = NowNs();
     pending.wait();
+    int64_t waited = NowNs() - t0;
     waits_.fetch_add(1, std::memory_order_relaxed);
-    wait_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+    obs::Tracer::Record("io.prefetch_wait", -1, t0, waited);
   }
   return store_->Get(key);
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "obs/trace.h"
 
 namespace photon {
 
@@ -40,7 +41,13 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
     }
     if (outside <= 0) return false;
     if (std::chrono::steady_clock::now() >= deadline) return false;
+    int64_t t0 = obs::WallNowNs();
     cv_.wait_for(lock, std::chrono::milliseconds(50));
+    int64_t waited = obs::WallNowNs() - t0;
+    consumer->reserve_wait_ns_ += waited;
+    consumer->reserve_waits_++;
+    obs::Tracer::Record("mem.reserve_wait", consumer->task_group_, t0,
+                        waited);
     return true;
   };
   while (total_reserved_ + bytes > limit_) {
@@ -87,10 +94,16 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
     // manager via Release(). This also allows the recursive-spill case
     // where the requester itself is chosen.
     lock.unlock();
-    int64_t freed = victim->Spill(need);
+    int64_t freed;
+    {
+      obs::TraceSpan span("mem.spill", victim->task_group_);
+      freed = victim->Spill(need);
+    }
     lock.lock();
     spill_count_++;
     spilled_bytes_ += freed;
+    victim->spill_count_total_++;
+    if (freed > 0) victim->spilled_bytes_total_ += freed;
     if (freed <= 0) {
       // The victim could not actually free memory (e.g. mid-batch); avoid
       // an infinite loop by failing the reservation — unless other task
@@ -102,6 +115,9 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
   }
   total_reserved_ += bytes;
   consumer->reserved_ += bytes;
+  if (consumer->reserved_ > consumer->peak_reserved_) {
+    consumer->peak_reserved_ = consumer->reserved_;
+  }
   return Status::OK();
 }
 

@@ -29,6 +29,18 @@ class MemoryConsumer {
   const std::string& name() const { return name_; }
   int64_t reserved_bytes() const { return reserved_; }
 
+  /// Observability counters, updated by the manager (under its lock) and
+  /// read by operators when publishing metrics after their work completes.
+  /// High-water reservation.
+  int64_t peak_reserved_bytes() const { return peak_reserved_; }
+  /// Time this consumer's reservations spent blocked on other task
+  /// groups' releases (§5.3 backpressure), and how often.
+  int64_t reserve_wait_ns() const { return reserve_wait_ns_; }
+  int64_t reserve_waits() const { return reserve_waits_; }
+  /// Bytes/count spilled from this consumer when picked as a victim.
+  int64_t spilled_bytes_total() const { return spilled_bytes_total_; }
+  int64_t spill_count_total() const { return spill_count_total_; }
+
   /// Task group this consumer belongs to. Under parallel execution each
   /// driver task gets a distinct group; a reservation only spills victims
   /// in the *same* group (plus spill-safe consumers), because per-task
@@ -48,6 +60,11 @@ class MemoryConsumer {
   friend class MemoryManager;
   std::string name_;
   int64_t reserved_ = 0;
+  int64_t peak_reserved_ = 0;
+  int64_t reserve_wait_ns_ = 0;
+  int64_t reserve_waits_ = 0;
+  int64_t spilled_bytes_total_ = 0;
+  int64_t spill_count_total_ = 0;
   int64_t task_group_ = 0;
   bool spill_safe_ = false;
 };

@@ -1,0 +1,188 @@
+#include "obs/profile.h"
+
+#include <cassert>
+#include <functional>
+
+#include "common/json_writer.h"
+
+namespace photon {
+namespace obs {
+
+double ProfileNode::ActiveRowFraction() const {
+  int64_t batch_rows = Sum(Metric::kBatchRows);
+  if (batch_rows <= 0) return 0.0;
+  return static_cast<double>(Sum(Metric::kRowsOut)) / batch_rows;
+}
+
+int ProfileBuilder::AddNode(std::string name, int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeRec rec;
+  rec.name = std::move(name);
+  rec.parent = parent;
+  nodes_.push_back(std::move(rec));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void ProfileBuilder::SetParent(int node, int parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_[node].parent = parent;
+}
+
+void ProfileBuilder::SetStage(int node, int stage_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_[node].stage_id = stage_id;
+}
+
+MetricSet* ProfileBuilder::TaskShard(int node, int64_t task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<MetricSet>& shard = nodes_[node].shards[task];
+  if (shard == nullptr) shard = std::make_unique<MetricSet>();
+  return shard.get();
+}
+
+MetricSet* ProfileBuilder::NodeSet(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<MetricSet>& set = nodes_[node].node_set;
+  if (set == nullptr) set = std::make_unique<MetricSet>();
+  return set.get();
+}
+
+MetricSet* ProfileBuilder::StageSet(int stage_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<MetricSet>& set = stage_sets_[stage_id];
+  if (set == nullptr) set = std::make_unique<MetricSet>();
+  return set.get();
+}
+
+MetricSnapshot ProfileBuilder::StageSnapshot(int stage_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stage_sets_.find(stage_id);
+  if (it == stage_sets_.end()) return MetricSnapshot{};
+  return it->second->Snapshot();
+}
+
+QueryProfile ProfileBuilder::Finish(int64_t wall_ns, int num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryProfile profile;
+  profile.wall_ns = wall_ns;
+  profile.num_threads = num_threads;
+
+  // Aggregate every node's task shards into ProfileMetrics.
+  std::vector<ProfileNode> flat(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    const NodeRec& rec = nodes_[i];
+    ProfileNode& node = flat[i];
+    node.name = rec.name;
+    node.id = static_cast<int>(i);
+    node.stage_id = rec.stage_id;
+    node.num_tasks = static_cast<int>(rec.shards.size());
+    for (int m = 0; m < kNumMetrics; m++) {
+      Metric metric = static_cast<Metric>(m);
+      ProfileMetric& pm = node.metrics[m];
+      bool first = true;
+      for (const auto& [task, shard] : rec.shards) {
+        int64_t v = shard->Value(metric);
+        if (IsMaxAggregated(metric)) {
+          if (v > pm.sum) pm.sum = v;
+        } else {
+          pm.sum += v;
+        }
+        if (first || v < pm.min) pm.min = v;
+        if (first || v > pm.max) pm.max = v;
+        first = false;
+      }
+      if (rec.node_set != nullptr) {
+        int64_t v = rec.node_set->Value(metric);
+        if (IsMaxAggregated(metric)) {
+          if (v > pm.sum) pm.sum = v;
+        } else {
+          pm.sum += v;
+        }
+      }
+    }
+  }
+
+  // Link children (preserving creation order) and find the root.
+  std::vector<std::vector<int>> kids(nodes_.size());
+  int root = -1;
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    int parent = nodes_[i].parent;
+    if (parent >= 0) {
+      kids[parent].push_back(static_cast<int>(i));
+    } else if (parent == -1 && root == -1) {
+      root = static_cast<int>(i);
+    }
+  }
+  std::function<ProfileNode(int)> build = [&](int idx) {
+    ProfileNode node = std::move(flat[idx]);
+    for (int child : kids[idx]) {
+      node.children.push_back(build(child));
+      node.rows_in += node.children.back().Sum(Metric::kRowsOut);
+    }
+    return node;
+  };
+  if (root >= 0) profile.root = build(root);
+  return profile;
+}
+
+namespace {
+
+void WriteNode(const ProfileNode& node, JsonWriter* json) {
+  json->BeginObject();
+  json->Field("name", node.name);
+  json->Field("stage", node.stage_id);
+  json->Field("tasks", node.num_tasks);
+  json->Field("rows_in", node.rows_in);
+  json->Field("rows_out", node.Sum(Metric::kRowsOut));
+  json->Field("batches", node.Sum(Metric::kBatches));
+  json->Field("wall_ns", node.Sum(Metric::kWallNs));
+  json->Field("peak_reserved_bytes", node.Sum(Metric::kPeakReservedBytes));
+  json->Field("spill_bytes", node.Sum(Metric::kSpillBytes));
+  if (node.Sum(Metric::kBatchRows) > 0) {
+    json->Field("active_row_fraction", node.ActiveRowFraction());
+  }
+  json->BeginObject("metrics");
+  for (int m = 0; m < kNumMetrics; m++) {
+    const ProfileMetric& pm = node.metrics[m];
+    if (pm.sum == 0 && pm.min == 0 && pm.max == 0) continue;
+    json->BeginObject(MetricName(static_cast<Metric>(m)));
+    json->Field("sum", pm.sum);
+    json->Field("min", pm.min);
+    json->Field("max", pm.max);
+    json->EndObject();
+  }
+  json->EndObject();
+  json->BeginArray("children");
+  for (const ProfileNode& child : node.children) {
+    WriteNode(child, json);
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string QueryProfile::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  if (!query.empty()) json.Field("query", query);
+  json.Field("wall_ns", wall_ns);
+  json.Field("num_threads", num_threads);
+  JsonWriter node_json;
+  WriteNode(root, &node_json);
+  json.Raw("root", node_json.str());
+  json.EndObject();
+  return json.str();
+}
+
+bool QueryProfile::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace obs
+}  // namespace photon

@@ -1,0 +1,112 @@
+#ifndef PHOTON_OBS_PROFILE_H_
+#define PHOTON_OBS_PROFILE_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace photon {
+namespace obs {
+
+/// One metric aggregated across a node's tasks: total plus per-task
+/// min/max to expose skew (a node whose max task did 10x the min task's
+/// rows is a skewed stage, whatever the total says). For max-aggregated
+/// metrics (peak bytes) `sum` is also the max.
+struct ProfileMetric {
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+/// One plan operator in one stage, aggregated across the tasks that ran it.
+struct ProfileNode {
+  std::string name;
+  int id = -1;
+  int stage_id = -1;
+  int num_tasks = 0;
+  int64_t rows_in = 0;  // sum of children's rows_out
+  std::array<ProfileMetric, kNumMetrics> metrics = {};
+  std::vector<ProfileNode> children;
+
+  int64_t Sum(Metric m) const {
+    return metrics[static_cast<int>(m)].sum;
+  }
+  /// rows_out / batch_rows — the paper's measure of batch density after
+  /// filtering (§5.2); 0 when the node emitted no batches.
+  double ActiveRowFraction() const;
+};
+
+/// The assembled per-query profile: the operator tree with per-node
+/// task-aggregated metrics, exportable as structured JSON. (The matching
+/// Chrome/Perfetto trace comes from Tracer::WriteChromeTrace, which dumps
+/// the span ring buffers recorded during the same run.)
+struct QueryProfile {
+  std::string query;
+  int64_t wall_ns = 0;
+  int num_threads = 0;
+  ProfileNode root;
+
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+};
+
+/// Collects per-task metric shards while a query runs and folds them into
+/// a QueryProfile at the end. The driver creates one node per plan
+/// operator per stage up front; each task that instantiates an operator
+/// chain gets its own shard per node (TaskShard), so the hot path stays
+/// relaxed atomics on memory no other task touches. Node/shard creation
+/// and Finish take a lock — both are off the per-batch path.
+class ProfileBuilder {
+ public:
+  /// Parent sentinel for nodes created before their parent exists (the
+  /// driver builds fragments leaf-last); attach later with SetParent.
+  static constexpr int kDetached = -2;
+
+  /// Adds a node; parent -1 makes it the root, kDetached defers linking.
+  int AddNode(std::string name, int parent);
+  void SetParent(int node, int parent);
+  void SetStage(int node, int stage_id);
+
+  /// The metric shard for (node, task). Created on first use; subsequent
+  /// calls with the same pair return the same shard.
+  MetricSet* TaskShard(int node, int64_t task);
+  /// Node-level extras with no task attribution (e.g. files_pruned counted
+  /// at plan time). Folded into the node's sums only.
+  MetricSet* NodeSet(int node);
+  /// Stage-level totals (driver-recorded wall/cpu/rows at barriers).
+  MetricSet* StageSet(int stage_id);
+
+  int64_t NewTaskId() {
+    return next_task_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  MetricSnapshot StageSnapshot(int stage_id);
+
+  /// Folds all shards into the final tree. The root is the unique node
+  /// with parent -1.
+  QueryProfile Finish(int64_t wall_ns, int num_threads);
+
+ private:
+  struct NodeRec {
+    std::string name;
+    int parent = kDetached;
+    int stage_id = -1;
+    std::map<int64_t, std::unique_ptr<MetricSet>> shards;
+    std::unique_ptr<MetricSet> node_set;
+  };
+
+  std::mutex mu_;
+  std::vector<NodeRec> nodes_;
+  std::map<int, std::unique_ptr<MetricSet>> stage_sets_;
+  std::atomic<int64_t> next_task_{0};
+};
+
+}  // namespace obs
+}  // namespace photon
+
+#endif  // PHOTON_OBS_PROFILE_H_

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace photon {
+namespace obs {
+
+namespace {
+
+constexpr size_t kRingCapacity = 1 << 14;
+
+// A per-thread ring of the most recent spans. The owning thread is the
+// only writer; the mutex exists for the cold paths (Snapshot/Reset from
+// another thread) and because span capture is investigation-mode anyway —
+// uncontended lock cost is irrelevant next to the two clock reads.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // ring storage, up to kRingCapacity
+  size_t next = 0;                 // ring write position
+  bool wrapped = false;
+  int tid = 0;
+
+  void Record(const TraceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() < kRingCapacity) {
+      events.push_back(ev);
+    } else {
+      events[next] = ev;
+      wrapped = true;
+    }
+    next = (next + 1) % kRingCapacity;
+  }
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::unordered_set<std::string> names;
+  int next_tid = 0;
+
+  static TraceRegistry& Get() {
+    static TraceRegistry* reg = new TraceRegistry();
+    return *reg;
+  }
+
+  TraceBuffer* NewBuffer() {
+    std::lock_guard<std::mutex> lock(mu);
+    buffers.push_back(std::make_unique<TraceBuffer>());
+    buffers.back()->tid = next_tid++;
+    return buffers.back().get();
+  }
+};
+
+TraceBuffer* ThreadBuffer() {
+  thread_local TraceBuffer* buf = TraceRegistry::Get().NewBuffer();
+  return buf;
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+void Tracer::SetEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::Record(const char* name, int64_t id, int64_t start_ns,
+                    int64_t dur_ns) {
+  if (!enabled()) return;
+  TraceBuffer* buf = ThreadBuffer();
+  TraceEvent ev;
+  ev.name = name;
+  ev.id = id;
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.tid = buf->tid;
+  buf->Record(ev);
+}
+
+const char* Tracer::InternName(const std::string& name) {
+  TraceRegistry& reg = TraceRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // unordered_set is node-based: c_str() stays stable across rehashes.
+  return reg.names.insert(name).first->c_str();
+}
+
+void Tracer::Reset() {
+  TraceRegistry& reg = TraceRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    buf->events.clear();
+    buf->next = 0;
+    buf->wrapped = false;
+  }
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() {
+  std::vector<TraceEvent> out;
+  TraceRegistry& reg = TraceRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& buf : reg.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::string Tracer::ChromeTraceJson() {
+  std::vector<TraceEvent> events = Snapshot();
+  int64_t base_ns = events.empty() ? 0 : events.front().start_ns;
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    // Complete ("X") events; chrome://tracing timestamps are in us.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"photon\",\"ph\":\"X\","
+                  "\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+                  ev.name == nullptr ? "?" : ev.name, ev.tid,
+                  (ev.start_ns - base_ns) / 1000.0, ev.dur_ns / 1000.0);
+    out += buf;
+    if (ev.id >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"id\":%lld}",
+                    static_cast<long long>(ev.id));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace obs
+}  // namespace photon

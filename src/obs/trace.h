@@ -1,0 +1,86 @@
+#ifndef PHOTON_OBS_TRACE_H_
+#define PHOTON_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace photon {
+namespace obs {
+
+/// One completed span. `name` must outlive the tracer (string literal or a
+/// string interned via Tracer::InternName — operator names are owned by
+/// operators that die before the trace is exported).
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t id = -1;     // optional correlator (stage id, morsel index, ...)
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int tid = 0;         // dense per-thread id assigned at first record
+};
+
+/// Process-wide span recorder. Spans land in per-thread ring buffers
+/// (fixed capacity; wrapping keeps the most recent events), so recording
+/// never contends across threads. Recording is gated by a runtime flag and
+/// compiles down to one relaxed load when disabled — span capture is for
+/// investigation runs, not the always-on metric path.
+class Tracer {
+ public:
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool on);
+
+  /// Records a completed span on the calling thread's ring buffer.
+  /// No-op while disabled.
+  static void Record(const char* name, int64_t id, int64_t start_ns,
+                     int64_t dur_ns);
+
+  /// Copies `name` into a process-lifetime intern table and returns a
+  /// stable pointer, so spans can safely reference operator-owned names.
+  static const char* InternName(const std::string& name);
+
+  /// Drops all recorded events (thread buffers stay registered).
+  static void Reset();
+
+  /// All buffered events, across threads, sorted by start time.
+  static std::vector<TraceEvent> Snapshot();
+
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto "complete"
+  /// events, phase "X", microsecond timestamps relative to first event).
+  static std::string ChromeTraceJson();
+  static bool WriteChromeTrace(const std::string& path);
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: measures construction→destruction and records it. Cheap to
+/// place on any path — when tracing is disabled neither clock is read.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, int64_t id = -1)
+      : name_(name), id_(id),
+        start_ns_(Tracer::enabled() ? WallNowNs() : -1) {}
+
+  ~TraceSpan() {
+    if (start_ns_ >= 0 && Tracer::enabled()) {
+      Tracer::Record(name_, id_, start_ns_, WallNowNs() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t id_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace photon
+
+#endif  // PHOTON_OBS_TRACE_H_

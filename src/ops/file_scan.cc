@@ -44,6 +44,13 @@ void FileScanOperator::Close() {
   if (prefetcher_ != nullptr) prefetcher_->Cancel();
 }
 
+void FileScanOperator::PublishMetricsImpl() {
+  stats_.Add(obs::Metric::kCacheHits, io_->stats().hits);
+  if (prefetcher_ != nullptr) {
+    stats_.Add(obs::Metric::kPrefetchWaitNs, prefetcher_->stats().wait_ns);
+  }
+}
+
 Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
   while (true) {
     if (reader_ == nullptr) {
@@ -57,11 +64,12 @@ Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
       } else {
         PHOTON_ASSIGN_OR_RETURN(bytes, io_->Get(key));
       }
-      bytes_read_ += static_cast<int64_t>(bytes->size());
+      stats_.Add(obs::Metric::kBytesRead,
+                 static_cast<int64_t>(bytes->size()));
       PHOTON_ASSIGN_OR_RETURN(reader_, FileReader::Open(std::move(bytes)));
       next_file_++;
       next_row_group_ = 0;
-      files_read_++;
+      stats_.Add(obs::Metric::kFilesRead, 1);
     }
     if (next_row_group_ >= reader_->num_row_groups()) {
       reader_ = nullptr;
@@ -79,7 +87,7 @@ Result<ColumnBatch*> FileScanOperator::GetNextImpl() {
         for (int c : columns_) projected_stats.push_back(meta.columns[c]);
       }
       if (!StatsMayMatch(*predicate_, output_schema_, projected_stats)) {
-        row_groups_skipped_++;
+        stats_.Add(obs::Metric::kRowGroupsSkipped, 1);
         continue;
       }
     }
@@ -132,6 +140,7 @@ DeltaScanOperator::DeltaScanOperator(ObjectStore* store,
   inner_ = std::make_unique<FileScanOperator>(
       store, std::move(keys), snapshot.schema, std::move(columns),
       std::move(predicate), io);
+  stats_.Add(obs::Metric::kFilesPruned, files_pruned_);
 }
 
 Status DeltaScanOperator::Open() { return inner_->Open(); }

@@ -37,18 +37,14 @@ class FileScanOperator : public Operator {
   void Close() override;
   std::string name() const override { return "PhotonFileScan"; }
 
-  int64_t row_groups_skipped() const { return row_groups_skipped_; }
-  int64_t files_read() const { return files_read_; }
-  /// Bytes of file payload pulled into the operator (from cache or store).
-  int64_t bytes_read() const { return bytes_read_; }
-  /// File fetches served by the BlockCache (0 without a cache).
-  int64_t cache_hits() const { return io_->stats().hits; }
-  /// Time GetNext spent blocked on an in-flight read-ahead.
-  int64_t prefetch_wait_ns() const {
-    return prefetcher_ != nullptr ? prefetcher_->stats().wait_ns : 0;
-  }
-
   static Schema Project(const Schema& schema, const std::vector<int>& cols);
+
+ protected:
+  /// Folds cache/prefetch state into the metric set (kCacheHits,
+  /// kPrefetchWaitNs); bytes/files/row-group counters are recorded
+  /// directly in GetNextImpl. All scan IO stats live in op_metrics() —
+  /// there are no special-cased accessors.
+  void PublishMetricsImpl() override;
 
  private:
   /// Remaps a predicate over the file schema to the projected schema, or
@@ -65,9 +61,6 @@ class FileScanOperator : public Operator {
   int next_row_group_ = 0;
   std::unique_ptr<ColumnBatch> current_;
   EvalContext ctx_;
-  int64_t row_groups_skipped_ = 0;
-  int64_t files_read_ = 0;
-  int64_t bytes_read_ = 0;
 };
 
 /// Stats-based file pruning for a Delta snapshot (data skipping, §2.1):
@@ -97,7 +90,6 @@ class DeltaScanOperator : public Operator {
   std::vector<Operator*> children() override { return {inner_.get()}; }
 
   int64_t files_pruned() const { return files_pruned_; }
-  const FileScanOperator& file_scan() const { return *inner_; }
 
  private:
   std::unique_ptr<FileScanOperator> inner_;

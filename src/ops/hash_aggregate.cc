@@ -357,8 +357,8 @@ int64_t HashAggregateOperator::Spill(int64_t /*requested*/) {
     spill_keys_[p].push_back(key);
   }
   spill_seq_++;
-  metrics_.spill_count++;
-  metrics_.spilled_bytes += written;
+  stats_.Add(obs::Metric::kSpillCount, 1);
+  stats_.Add(obs::Metric::kSpillBytes, written);
 
   table_->Clear();
   arena_->Reset();
@@ -602,6 +602,12 @@ void HashAggregateOperator::Close() {
     exec_ctx_.memory_manager->Release(this, reserved_bytes());
     reserved_for_data_ = 0;
   }
+}
+
+void HashAggregateOperator::PublishMetricsImpl() {
+  stats_.SetMax(obs::Metric::kPeakReservedBytes, peak_reserved_bytes());
+  stats_.Add(obs::Metric::kReserveWaitNs, reserve_wait_ns());
+  stats_.Add(obs::Metric::kReserveWaits, reserve_waits());
 }
 
 }  // namespace photon

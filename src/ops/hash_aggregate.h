@@ -69,6 +69,9 @@ class HashAggregateOperator : public Operator, public MemoryConsumer {
     return table_ == nullptr ? 0 : table_->num_entries();
   }
 
+ protected:
+  void PublishMetricsImpl() override;
+
  private:
   static constexpr int kSpillPartitions = 16;
 

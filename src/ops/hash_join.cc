@@ -237,7 +237,8 @@ Status HashJoinOperator::BuildPhase() {
   PHOTON_RETURN_NOT_OK(BuildInto(state_.get(), build_.get(), build_keys_,
                                  exec_ctx_));
   built_ = true;
-  metrics_.peak_memory = state_->table->memory_bytes();
+  stats_.SetMax(obs::Metric::kPeakReservedBytes,
+                state_->table->memory_bytes());
   return Status::OK();
 }
 
@@ -586,6 +587,21 @@ void HashJoinOperator::Close() {
     // released when the last prober drops its reference.
     state_->memory_manager->Release(state_.get(), state_->reserved_bytes());
     state_->reserved_for_data = 0;
+  }
+}
+
+void HashJoinOperator::PublishMetricsImpl() {
+  if (state_ == nullptr) return;
+  int64_t peak = state_->peak_reserved_bytes();
+  if (state_->table != nullptr && state_->table->memory_bytes() > peak) {
+    peak = state_->table->memory_bytes();
+  }
+  stats_.SetMax(obs::Metric::kPeakReservedBytes, peak);
+  if (build_ != nullptr) {
+    // Private build: this operator did the reserving. (A shared build's
+    // waits would be double-counted if every prober published them.)
+    stats_.Add(obs::Metric::kReserveWaitNs, state_->reserve_wait_ns());
+    stats_.Add(obs::Metric::kReserveWaits, state_->reserve_waits());
   }
 }
 

@@ -102,6 +102,9 @@ class HashJoinOperator : public Operator {
   static Schema MakeOutputSchema(const Schema& build, const Schema& probe,
                                  JoinType join_type);
 
+ protected:
+  void PublishMetricsImpl() override;
+
  private:
   Status BuildPhase();
   /// Copies build columns of `entry` into output columns at out_row (or

@@ -13,7 +13,23 @@ Result<Table> CollectAll(Operator* root) {
     out.AppendBatch(CompactBatch(*batch));
   }
   root->Close();
+  PublishTreeMetrics(root);
   return out;
+}
+
+void PublishTreeMetrics(Operator* root) {
+  root->PublishMetrics();
+  for (Operator* child : root->children()) {
+    PublishTreeMetrics(child);
+  }
+}
+
+void CollectTreeMetrics(Operator* root, obs::MetricSnapshot* out) {
+  root->PublishMetrics();
+  out->MergeResourceFrom(root->op_metrics());
+  for (Operator* child : root->children()) {
+    CollectTreeMetrics(child, out);
+  }
 }
 
 namespace {

@@ -1,7 +1,6 @@
 #ifndef PHOTON_OPS_OPERATOR_H_
 #define PHOTON_OPS_OPERATOR_H_
 
-#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,16 +8,19 @@
 #include "common/result.h"
 #include "expr/eval_context.h"
 #include "memory/memory_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vector/column_batch.h"
 
 namespace photon {
 
 class Table;
 
-/// Per-operator runtime metrics. Maintaining abstraction boundaries between
-/// operators is what makes these cheap to collect — the paper calls this
-/// out as a core advantage of vectorized-interpreted execution over code
-/// generation (§3.3 "Observability is easier").
+/// Legacy per-operator metrics view, now a snapshot of the operator's
+/// obs::MetricSet (see op_metrics()). Maintaining abstraction boundaries
+/// between operators is what makes these cheap to collect — the paper
+/// calls this out as a core advantage of vectorized-interpreted execution
+/// over code generation (§3.3 "Observability is easier").
 struct OperatorMetrics {
   int64_t batches_out = 0;
   int64_t rows_out = 0;
@@ -46,6 +48,12 @@ struct ExecContext {
 /// column batches; nullptr signals end-of-stream (the paper's
 /// HasNext()/GetNext() pair collapsed into one call). A returned batch is
 /// owned by the operator and valid until its next GetNext() call.
+///
+/// Every operator owns an obs::MetricSet shard. Under the morsel-parallel
+/// driver each task instantiates its own operator chain, so the shard is
+/// task-local by construction — updates are relaxed atomic adds with no
+/// cross-thread contention, merged into the query profile at stage
+/// barriers (the §5.2 metrics-integration model).
 class Operator {
  public:
   explicit Operator(Schema output_schema)
@@ -60,17 +68,22 @@ class Operator {
   virtual Status Open() = 0;
 
   /// Pulls the next batch; nullptr at end-of-stream. Wraps the virtual
-  /// implementation with metric accounting.
+  /// implementation with metric accounting (and a span when tracing).
   Result<ColumnBatch*> GetNext() {
-    auto start = std::chrono::steady_clock::now();
+    int64_t start = obs::WallNowNs();
     Result<ColumnBatch*> result = GetNextImpl();
-    auto end = std::chrono::steady_clock::now();
-    metrics_.time_ns +=
-        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-            .count();
+    int64_t dur = obs::WallNowNs() - start;
+    stats_.Add(obs::Metric::kWallNs, dur);
     if (result.ok() && *result != nullptr) {
-      metrics_.batches_out++;
-      metrics_.rows_out += (*result)->num_active();
+      stats_.Add(obs::Metric::kBatches, 1);
+      stats_.Add(obs::Metric::kRowsOut, (*result)->num_active());
+      stats_.Add(obs::Metric::kBatchRows, (*result)->num_rows());
+    }
+    if (obs::Tracer::enabled()) {
+      if (trace_name_ == nullptr) {
+        trace_name_ = obs::Tracer::InternName(name());
+      }
+      obs::Tracer::Record(trace_name_, -1, start, dur);
     }
     return result;
   }
@@ -81,19 +94,53 @@ class Operator {
   /// Child operators, for plan-wide metric collection and explain output.
   virtual std::vector<Operator*> children() { return {}; }
 
-  const OperatorMetrics& metrics() const { return metrics_; }
+  /// Flushes metrics held in operator-private state (IO stats, memory
+  /// peaks) into the metric set. Idempotent; called by the driver before
+  /// harvesting and by CollectAll after Close.
+  void PublishMetrics() {
+    if (published_) return;
+    published_ = true;
+    PublishMetricsImpl();
+  }
+
+  /// This operator's metric shard (the full obs vocabulary).
+  const obs::MetricSet& op_metrics() const { return stats_; }
+
+  /// Legacy snapshot view kept for existing tests and ExplainAnalyze.
+  OperatorMetrics metrics() const {
+    OperatorMetrics m;
+    m.batches_out = stats_.Value(obs::Metric::kBatches);
+    m.rows_out = stats_.Value(obs::Metric::kRowsOut);
+    m.time_ns = stats_.Value(obs::Metric::kWallNs);
+    m.peak_memory = stats_.Value(obs::Metric::kPeakReservedBytes);
+    m.spill_count = stats_.Value(obs::Metric::kSpillCount);
+    m.spilled_bytes = stats_.Value(obs::Metric::kSpillBytes);
+    return m;
+  }
 
  protected:
   virtual Result<ColumnBatch*> GetNextImpl() = 0;
+  virtual void PublishMetricsImpl() {}
 
   Schema output_schema_;
-  OperatorMetrics metrics_;
+  obs::MetricSet stats_;
+
+ private:
+  const char* trace_name_ = nullptr;
+  bool published_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Drains an operator tree into an in-memory table (test/bench helper).
 Result<Table> CollectAll(Operator* root);
+
+/// Calls PublishMetrics on every operator in the tree.
+void PublishTreeMetrics(Operator* root);
+
+/// Publishes and folds the tree's resource metrics (IO, memory, spill)
+/// into `out`, plus nothing else — flow metrics stay per-operator.
+void CollectTreeMetrics(Operator* root, obs::MetricSnapshot* out);
 
 /// Renders the operator tree with per-operator metrics — the live-metrics
 /// observability §3.3 credits to keeping operator boundaries intact

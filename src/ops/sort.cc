@@ -299,13 +299,14 @@ Status SortOperator::FlushRun() {
                       std::to_string(spill_seq_) + "-blk" +
                       std::to_string(blk++);
     PHOTON_RETURN_NOT_OK(ObjectStore::Default().Put(key, writer.ToString()));
-    metrics_.spilled_bytes += static_cast<int64_t>(writer.size());
+    stats_.Add(obs::Metric::kSpillBytes,
+               static_cast<int64_t>(writer.size()));
     chunk_keys.push_back(key);
     pos += count;
   }
   run_keys_.push_back(std::move(chunk_keys));
   spill_seq_++;
-  metrics_.spill_count++;
+  stats_.Add(obs::Metric::kSpillCount, 1);
 
   data_.clear();
   key_data_.clear();
@@ -468,6 +469,12 @@ void SortOperator::Close() {
     exec_ctx_.memory_manager->Release(this, reserved_bytes());
     reserved_for_data_ = 0;
   }
+}
+
+void SortOperator::PublishMetricsImpl() {
+  stats_.SetMax(obs::Metric::kPeakReservedBytes, peak_reserved_bytes());
+  stats_.Add(obs::Metric::kReserveWaitNs, reserve_wait_ns());
+  stats_.Add(obs::Metric::kReserveWaits, reserve_waits());
 }
 
 }  // namespace photon

@@ -56,6 +56,9 @@ class SortOperator : public Operator, public MemoryConsumer {
 
   int64_t Spill(int64_t requested) override;
 
+ protected:
+  void PublishMetricsImpl() override;
+
  private:
   struct RowRef {
     int32_t batch;

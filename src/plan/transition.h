@@ -23,7 +23,7 @@ class TransitionOperator : public baseline::RowOperator {
     return child_->Open();
   }
 
-  Result<bool> Next(baseline::Row* row) override {
+  Result<bool> NextImpl(baseline::Row* row) override {
     while (true) {
       if (current_ != nullptr && row_ < current_->num_active()) {
         int r = current_->ActiveRow(row_++);

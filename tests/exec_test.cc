@@ -105,7 +105,8 @@ TEST(FileScanTest, SkipsRowGroupsByStats) {
   Result<Table> result = CollectAll(scan.get());
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->num_rows(), 101);
-  EXPECT_EQ(scan->row_groups_skipped(), 9);  // only group [4000,5000) read
+  EXPECT_EQ(scan->op_metrics().Value(obs::Metric::kRowGroupsSkipped), 9)
+      << "only group [4000,5000) should be read";
 }
 
 TEST(FileScanTest, MultipleFilesAndProjection) {
@@ -130,7 +131,7 @@ TEST(FileScanTest, MultipleFilesAndProjection) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->num_rows(), 300);
   EXPECT_EQ(result->schema().num_fields(), 1);
-  EXPECT_EQ(scan->files_read(), 3);
+  EXPECT_EQ(scan->op_metrics().Value(obs::Metric::kFilesRead), 3);
 }
 
 // --- Metrics through the driver ----------------------------------------------
@@ -155,9 +156,9 @@ TEST(DriverMetricsTest, StagesReportShuffleBytes) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->num_rows(), 10);
   ASSERT_EQ(stages.size(), 2u);
-  EXPECT_GT(stages[0].shuffle_bytes, 0);
-  EXPECT_GT(stages[0].wall_ns, 0);
-  EXPECT_GT(stages[1].wall_ns, 0);
+  EXPECT_GT(stages[0].shuffle_bytes(), 0);
+  EXPECT_GT(stages[0].wall_ns(), 0);
+  EXPECT_GT(stages[1].wall_ns(), 0);
 }
 
 TEST(DriverShuffleTest, FailedMapTaskLeaksNoShuffleBlocks) {

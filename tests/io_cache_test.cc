@@ -240,9 +240,10 @@ TEST(FileScanIoTest, WarmRescanServesFromCacheWithoutStoreGets) {
   FileScanOperator scan(&store, keys, TestSchema(), {}, nullptr, io);
   Result<Table> result = CollectAll(&scan);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(scan.files_read(), 4);
-  EXPECT_EQ(scan.cache_hits(), 4);
-  EXPECT_GT(scan.bytes_read(), 0);
+  scan.PublishMetrics();
+  EXPECT_EQ(scan.op_metrics().Value(obs::Metric::kFilesRead), 4);
+  EXPECT_EQ(scan.op_metrics().Value(obs::Metric::kCacheHits), 4);
+  EXPECT_GT(scan.op_metrics().Value(obs::Metric::kBytesRead), 0);
 }
 
 TEST(FileScanIoTest, PrefetchedScanMatchesSynchronousScan) {
@@ -266,8 +267,9 @@ TEST(FileScanIoTest, PrefetchedScanMatchesSynchronousScan) {
   Result<Table> result = CollectAll(&scan);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->num_rows(), expected->num_rows());
-  EXPECT_EQ(scan.files_read(), 6);
-  EXPECT_GE(scan.prefetch_wait_ns(), 0);
+  scan.PublishMetrics();
+  EXPECT_EQ(scan.op_metrics().Value(obs::Metric::kFilesRead), 6);
+  EXPECT_GE(scan.op_metrics().Value(obs::Metric::kPrefetchWaitNs), 0);
 }
 
 TEST(FileScanIoTest, CloseCancelsOutstandingPrefetch) {
@@ -310,12 +312,14 @@ TEST(FileScanIoTest, StageInfoCarriesIoCounters) {
   FileScanOperator scan(&store, keys, TestSchema(), {}, nullptr, io);
   ASSERT_TRUE(CollectAll(&scan).ok());
 
+  // IO counters fold into a stage-style snapshot through the same
+  // publish-and-merge path the driver uses at stage barriers.
   exec::StageInfo stage;
-  exec::AccumulateIoStats(&scan, &stage);
-  EXPECT_EQ(stage.files_read, 3);
-  EXPECT_EQ(stage.cache_hits, 3);
-  EXPECT_GT(stage.bytes_read, 0);
-  EXPECT_EQ(stage.prefetch_wait_ns, 0);  // no prefetcher attached
+  CollectTreeMetrics(&scan, &stage.m);
+  EXPECT_EQ(stage.files_read(), 3);
+  EXPECT_EQ(stage.cache_hits(), 3);
+  EXPECT_GT(stage.bytes_read(), 0);
+  EXPECT_EQ(stage.prefetch_wait_ns(), 0);  // no prefetcher attached
 }
 
 // --- Concurrency: N threads, one shared cache --------------------------------
@@ -463,8 +467,8 @@ TEST(DeltaIoTest, LogReplayIsCachedAcrossSnapshots) {
   Result<Table> cold = driver.RunSingleTask(plan, {}, &cold_stage);
   ASSERT_TRUE(cold.ok());
   EXPECT_EQ(cold->num_rows(), 300);
-  EXPECT_EQ(cold_stage.rows_out, 300);
-  EXPECT_EQ(cold_stage.cache_hits, 0);
+  EXPECT_EQ(cold_stage.rows_out(), 300);
+  EXPECT_EQ(cold_stage.cache_hits(), 0);
 
   int64_t gets_before_warm = store.num_gets();
   exec::StageInfo warm_stage;
@@ -472,8 +476,8 @@ TEST(DeltaIoTest, LogReplayIsCachedAcrossSnapshots) {
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->num_rows(), 300);
   EXPECT_EQ(store.num_gets(), gets_before_warm);
-  EXPECT_EQ(warm_stage.cache_hits, warm_stage.files_read);
-  EXPECT_GT(warm_stage.bytes_read, 0);
+  EXPECT_EQ(warm_stage.cache_hits(), warm_stage.files_read());
+  EXPECT_GT(warm_stage.bytes_read(), 0);
 }
 
 }  // namespace

@@ -303,8 +303,8 @@ TEST(ParallelEquivalenceTest, DeltaScanWithDataSkipping) {
   EXPECT_EQ(out->GetRow(0)[0], Value::Int64(6000));
   int64_t files_read = 0, row_groups_skipped = 0;
   for (const exec::StageInfo& s : stages) {
-    files_read += s.files_read;
-    row_groups_skipped += s.row_groups_skipped;
+    files_read += s.files_read();
+    row_groups_skipped += s.row_groups_skipped();
   }
   EXPECT_EQ(files_read, 4);
   EXPECT_EQ(row_groups_skipped, 4);

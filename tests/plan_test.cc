@@ -225,7 +225,7 @@ TEST(DriverTest, ShuffledAggregateMatchesSingleTask) {
   ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
   ASSERT_EQ(stages.size(), 2u);
   EXPECT_GT(stages[0].num_tasks, 1);
-  EXPECT_GT(stages[0].shuffle_bytes, 0);
+  EXPECT_GT(stages[0].shuffle_bytes(), 0);
   EXPECT_EQ(stages[1].num_tasks, 8);
 
   PlanPtr agg_plan = plan::Aggregate(p, keys, {"store"}, aggs);
