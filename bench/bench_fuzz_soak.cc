@@ -1,0 +1,93 @@
+// Long-running differential fuzz soak (DESIGN.md §10). Each benchmark
+// iteration runs one fresh seed through the full four-mode differential
+// harness (baseline oracle, Photon single-task, Photon parallel, Photon
+// spill+fault), so google-benchmark's per-iteration time is the cost of
+// one seed and --benchmark_min_time drives how many seeds get soaked.
+// Seeds start above the checked-in tier-1 corpus (1..64) so a soak run
+// always explores new ground. Any divergence aborts the benchmark with
+// the failing seed, which can then be replayed deterministically by
+// pinning it in tests/plan_fuzz_test.cc (see DESIGN.md §10).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "exec/driver.h"
+#include "storage/object_store.h"
+#include "testing/datagen.h"
+#include "testing/differ.h"
+#include "testing/plangen.h"
+
+namespace photon {
+namespace {
+
+namespace pt = photon::testing;
+
+// Mirrors RunSeed in tests/plan_fuzz_test.cc (minus minimization — a soak
+// failure is replayed and minimized under the test binary, not here).
+std::string SoakOneSeed(uint64_t seed, exec::Driver* driver) {
+  ObjectStore store;
+  pt::DataGen gen(seed * 7919 + 1);
+
+  Schema fact_schema = gen.RandomSchema("f_", 3, 6);
+  Table fact = gen.RandomTable(fact_schema,
+                               static_cast<int>(gen.rng().Uniform(600, 1500)));
+  Schema dim_schema = gen.RandomSchema("d_", 2, 4);
+  Table dim = gen.RandomTable(dim_schema,
+                              static_cast<int>(gen.rng().Uniform(100, 400)));
+
+  pt::FuzzInput fact_input;
+  fact_input.name = "fact";
+  fact_input.table = &fact;
+  auto snapshot = gen.WriteDelta(&store, "/soak/fact", fact);
+  if (!snapshot.ok()) {
+    return "WriteDelta failed: " + snapshot.status().ToString();
+  }
+  fact_input.store = &store;
+  fact_input.delta = *snapshot;
+
+  pt::FuzzInput dim_input;
+  dim_input.name = "dim";
+  dim_input.table = &dim;
+
+  pt::PlanGen plangen(seed, {&fact_input, &dim_input});
+  pt::DifferentialOptions opts;
+  opts.fault_store = &store;
+  opts.spill_prefix = "soak-spill/" + std::to_string(seed);
+
+  for (int round = 0; round < 3; round++) {
+    plan::PlanPtr p = plangen.RandomPlan();
+    std::string diff = pt::RunDifferential(p, driver, opts);
+    if (!diff.empty()) {
+      return "seed " + std::to_string(seed) + " round " +
+             std::to_string(round) + ": " + diff;
+    }
+  }
+  return "";
+}
+
+void BM_FuzzSoak(benchmark::State& state) {
+  static exec::Driver driver(8);
+  // The tier-1 corpus covers 1..64; soak explores from 65 upward.
+  uint64_t seed = 65;
+  uint64_t seeds_run = 0;
+  for (auto _ : state) {
+    std::string failure = SoakOneSeed(seed, &driver);
+    if (!failure.empty()) {
+      state.SkipWithError(failure.c_str());
+      break;
+    }
+    seed++;
+    seeds_run++;
+  }
+  state.SetLabel("seeds 65.." + std::to_string(64 + seeds_run));
+  state.counters["seeds"] = static_cast<double>(seeds_run);
+}
+
+BENCHMARK(BM_FuzzSoak)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace photon
+
+BENCHMARK_MAIN();

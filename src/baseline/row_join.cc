@@ -326,6 +326,7 @@ Result<bool> RowShuffledHashJoinOperator::NextImpl(Row* out) {
         continue;
       }
       have_left_ = true;
+      left_matched_ = false;
     }
 
     bool emitted = false;
@@ -337,10 +338,20 @@ Result<bool> RowShuffledHashJoinOperator::NextImpl(Row* out) {
       if (ok) {
         EmitJoined(current_left_, &rrow, rw, out);
         emitted = true;
+        left_matched_ = true;
         break;
       }
     }
-    if (range_.first == range_.second) have_left_ = false;
+    if (range_.first == range_.second) {
+      have_left_ = false;
+      // Left outer: a candidate group where every row failed the residual
+      // is an unmatched left row (sort-merge join emits it NULL-padded;
+      // dropping it here silently lost rows).
+      if (!emitted && !left_matched_ && join_type_ == JoinType::kLeftOuter) {
+        EmitJoined(current_left_, nullptr, rw, out);
+        return true;
+      }
+    }
     if (emitted) return true;
   }
 }

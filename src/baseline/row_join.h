@@ -97,6 +97,9 @@ class RowShuffledHashJoinOperator : public RowOperator {
   bool built_ = false;
   Row current_left_;
   bool have_left_ = false;
+  /// Whether current_left_ emitted at least one residual-passing match
+  /// (left outer needs the NULL-padded row when none did).
+  bool left_matched_ = false;
   std::pair<std::unordered_multimap<Row, Row, KeyHasher, KeyEq>::iterator,
             std::unordered_multimap<Row, Row, KeyHasher, KeyEq>::iterator>
       range_;

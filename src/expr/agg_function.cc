@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/macros.h"
+#include "types/big_decimal.h"
 #include "types/decimal.h"
 
 namespace photon {
@@ -77,6 +78,14 @@ template <typename T, typename AccT>
 struct SumState {
   AccT sum;
   int64_t count;  // non-null inputs
+  /// Decimal only: net number of int128 wraparounds (+1 when adding a
+  /// positive value wrapped, -1 when adding a negative one did). Because
+  /// wrapping is arithmetic mod 2^128, the accumulator's true value is
+  /// always exactly wraps * 2^128 + sum — a transient wrap that later
+  /// cancels (mixed-sign inputs) leaves wraps == 0 and sum exact, matching
+  /// the row engine's unbounded BigDecimal accumulation. Carried through
+  /// Merge and Serialize so partial aggregates survive the shuffle.
+  int64_t wraps;
 };
 
 template <typename T, typename AccT, TypeId kArgId>
@@ -101,7 +110,13 @@ class SumAgg : public AggregateFunction {
       int row = batch.ActiveRow(i);
       if (nulls[row]) continue;
       auto* s = reinterpret_cast<SumState<T, AccT>*>(states[i]);
-      s->sum += static_cast<AccT>(vals[row]);
+      if constexpr (std::is_same_v<AccT, int128_t>) {
+        if (__builtin_add_overflow(s->sum, vals[row], &s->sum)) {
+          s->wraps += vals[row] > 0 ? 1 : -1;
+        }
+      } else {
+        s->sum += static_cast<AccT>(vals[row]);
+      }
       s->count++;
     }
   }
@@ -109,7 +124,14 @@ class SumAgg : public AggregateFunction {
   void Merge(uint8_t* dst, const uint8_t* src) const override {
     auto* d = reinterpret_cast<SumState<T, AccT>*>(dst);
     const auto* s = reinterpret_cast<const SumState<T, AccT>*>(src);
-    d->sum += s->sum;
+    if constexpr (std::is_same_v<AccT, int128_t>) {
+      if (__builtin_add_overflow(d->sum, s->sum, &d->sum)) {
+        d->wraps += s->sum > 0 ? 1 : -1;
+      }
+      d->wraps += s->wraps;
+    } else {
+      d->sum += s->sum;
+    }
     d->count += s->count;
   }
 
@@ -120,19 +142,41 @@ class SumAgg : public AggregateFunction {
       out->SetNull(row);
       return;
     }
-    out->SetNotNull(row);
-    if (!is_avg_) {
-      out->data<AccT>()[row] = s->sum;
-      return;
-    }
     if constexpr (std::is_same_v<AccT, int128_t>) {
-      // avg(decimal): divide at the widened result scale, rounding half
-      // away from zero (matches Decimal128::Divide semantics).
-      Decimal128 q;
-      Decimal128::Divide(Decimal128(s->sum),
-                         Decimal128::FromInt64(s->count), avg_shift_, &q);
-      out->data<int128_t>()[row] = q.value();
+      // Decimal sum/avg finalize through BigDecimal exactly like the row
+      // engine's SumDecimalState: a sum (or avg quotient) beyond the
+      // 38-digit cap is NULL, not a wrapped int128. The exact sum is
+      // wraps * 2^128 + sum; 2^128 exceeds int128 so it is composed as
+      // (2^64)^2, putting arg_scale on one factor only.
+      int arg_scale = result_.scale() - avg_shift_;
+      BigDecimal sum = BigDecimal::FromDecimal128(Decimal128(s->sum),
+                                                  arg_scale);
+      if (s->wraps != 0) {
+        BigDecimal two64_scaled = BigDecimal::FromDecimal128(
+            Decimal128(static_cast<int128_t>(1) << 64), arg_scale);
+        BigDecimal two64 = BigDecimal::FromDecimal128(
+            Decimal128(static_cast<int128_t>(1) << 64), 0);
+        sum = sum.Add(two64_scaled.Multiply(two64).Multiply(
+            BigDecimal::FromInt64(s->wraps, 0)));
+      }
+      if (is_avg_) {
+        sum = sum.Divide(BigDecimal::FromInt64(s->count, 0),
+                         result_.scale());
+      }
+      Decimal128 v;
+      if (!sum.ToDecimal128(result_.scale(), &v)) {
+        out->SetNull(row);
+        return;
+      }
+      out->SetNotNull(row);
+      out->data<int128_t>()[row] = v.value();
+      return;
     } else {
+      out->SetNotNull(row);
+      if (!is_avg_) {
+        out->data<AccT>()[row] = s->sum;
+        return;
+      }
       out->data<double>()[row] =
           static_cast<double>(s->sum) / static_cast<double>(s->count);
     }
@@ -144,6 +188,7 @@ class SumAgg : public AggregateFunction {
       uint128_t v = static_cast<uint128_t>(s->sum);
       out->WriteU64(static_cast<uint64_t>(v));
       out->WriteU64(static_cast<uint64_t>(v >> 64));
+      out->WriteI64(s->wraps);
     } else if constexpr (std::is_same_v<AccT, double>) {
       out->WriteF64(s->sum);
     } else {
@@ -159,6 +204,7 @@ class SumAgg : public AggregateFunction {
       PHOTON_RETURN_NOT_OK(in->ReadU64(&lo));
       PHOTON_RETURN_NOT_OK(in->ReadU64(&hi));
       s->sum = static_cast<int128_t>((static_cast<uint128_t>(hi) << 64) | lo);
+      PHOTON_RETURN_NOT_OK(in->ReadI64(&s->wraps));
     } else if constexpr (std::is_same_v<AccT, double>) {
       PHOTON_RETURN_NOT_OK(in->ReadF64(&s->sum));
     } else {

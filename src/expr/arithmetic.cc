@@ -278,17 +278,30 @@ Result<ColumnVector*> ArithmeticExpr::Evaluate(ColumnBatch* batch,
     case TypeId::kDecimal128: {
       int s1 = left_->type().scale();
       int s2 = right_->type().scale();
+      int p1 = left_->type().precision();
+      int p2 = right_->type().precision();
       int sr = type().scale();
       // Precision capping (38 digits) can shrink the result scale below
       // the natural one (e.g. mul at s1+s2, add at max(s1,s2)). The fast
       // kernels assume the natural scale; the capped cases must rescale
       // with the same rounding as the row interpreter's BigDecimal path,
       // so route them through it (cold: only plans near 38 digits).
+      //
+      // Capping also means the result may not fit 38 digits even at the
+      // natural scale (e.g. Decimal(38,2) + Decimal(38,2), or a mul whose
+      // natural precision exceeded 38 with a small combined scale). The
+      // fast kernels would silently wrap the int128; the row interpreter's
+      // BigDecimal path returns NULL on overflow. Route every capped case
+      // through the checked path so both engines agree: overflow -> NULL
+      // (Spark's non-ANSI decimal behavior).
       bool irregular =
-          (op_ == ArithOp::kMul && sr != s1 + s2) ||
+          (op_ == ArithOp::kMul &&
+           (sr != s1 + s2 || p1 + p2 + 1 > 38)) ||
           ((op_ == ArithOp::kAdd || op_ == ArithOp::kSub) &&
-           sr < std::max(s1, s2)) ||
-          (op_ == ArithOp::kDiv && sr - s1 + s2 < 0);
+           (sr < std::max(s1, s2) ||
+            std::max(p1 - s1, p2 - s2) + std::max(s1, s2) + 1 > 38)) ||
+          (op_ == ArithOp::kDiv &&
+           (sr - s1 + s2 < 0 || p1 + (sr - s1 + s2) > 38));
       if (irregular) {
         int n_rows = batch->num_active();
         const int128_t* av = a->data<int128_t>();

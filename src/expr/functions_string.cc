@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/string_util.h"
 #include "common/unicode.h"
@@ -115,22 +116,29 @@ Result<Value> LowerEvalRow(const std::vector<Value>& args,
 
 // ---------------------------------------------------------------------------
 
-int64_t NormalizeSubstrStart(int64_t start, int64_t char_len) {
-  // Spark substring: 1-based; 0 behaves like 1; negative counts from end.
-  if (start > 0) return start - 1;
-  if (start == 0) return 0;
-  int64_t from_end = char_len + start;
-  return from_end < 0 ? 0 : from_end;
-}
-
 std::string SubstrImpl(std::string_view s, int64_t start, int64_t len) {
+  // Spark's UTF8String.substringSQL: 1-based; 0 behaves like 1; negative
+  // counts from the end. The end index is computed from the *unclamped*
+  // start, so substring('abc', -5, 2) is "" (window [-5,-3) lies before the
+  // string), not "ab". len == INT32_MAX (Integer.MAX_VALUE) means
+  // "to end of string"; other start+len sums wrap in 32-bit like Java.
   if (len <= 0) return "";
   int64_t char_len = Utf8Length(s);
-  int64_t begin = NormalizeSubstrStart(start, char_len);
-  if (begin >= char_len) return "";
-  int64_t end = std::min(begin + len, char_len);
-  int64_t b0 = Utf8OffsetOfCodepoint(s, begin);
-  int64_t b1 = Utf8OffsetOfCodepoint(s, end);
+  int64_t begin = start > 0   ? start - 1
+                  : start < 0 ? char_len + start
+                              : 0;
+  int64_t end;
+  if (len == std::numeric_limits<int32_t>::max()) {
+    end = char_len;
+  } else {
+    end = static_cast<int32_t>(static_cast<uint32_t>(begin) +
+                               static_cast<uint32_t>(len));
+  }
+  int64_t lo = std::max<int64_t>(begin, 0);
+  int64_t hi = std::min(end, char_len);
+  if (hi <= lo) return "";
+  int64_t b0 = Utf8OffsetOfCodepoint(s, lo);
+  int64_t b1 = Utf8OffsetOfCodepoint(s, hi);
   return std::string(s.substr(b0, b1 - b0));
 }
 

@@ -26,7 +26,7 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
   PHOTON_CHECK(bytes >= 0);
   std::unique_lock<std::mutex> lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::seconds(10);
+                        std::chrono::milliseconds(reserve_timeout_ms_);
   // Blocks until a Release frees capacity, as long as consumers *outside*
   // the requester's victim set still hold memory (they cannot be spilled
   // from this thread, but they will release). Returns false once nothing

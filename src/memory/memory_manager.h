@@ -84,6 +84,13 @@ class MemoryManager {
  public:
   explicit MemoryManager(int64_t limit_bytes) : limit_(limit_bytes) {}
 
+  /// Caps how long Reserve blocks waiting for *other* task groups to
+  /// release memory before declaring a real OOM. The default (10s) suits
+  /// production backpressure; tests that drive the manager into genuine
+  /// OOM on purpose lower it so every doomed reservation fails fast.
+  void set_reserve_timeout_ms(int64_t ms) { reserve_timeout_ms_ = ms; }
+  int64_t reserve_timeout_ms() const { return reserve_timeout_ms_; }
+
   MemoryManager(const MemoryManager&) = delete;
   MemoryManager& operator=(const MemoryManager&) = delete;
 
@@ -122,6 +129,7 @@ class MemoryManager {
 
  private:
   int64_t limit_;
+  int64_t reserve_timeout_ms_ = 10000;
   mutable std::mutex mu_;
   /// Signalled by Release(); reservations blocked on other task groups'
   /// memory wait here.

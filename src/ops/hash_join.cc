@@ -224,6 +224,8 @@ Status HashJoinOperator::Open() {
   probe_batch_ = nullptr;
   probe_idx_ = 0;
   chain_entry_ = nullptr;
+  chain_open_ = false;
+  chain_matched_ = false;
   accum_.reset();
   accum_rows_ = 0;
   accum_in_flight_ = false;
@@ -530,26 +532,40 @@ Result<ColumnBatch*> HashJoinOperator::EmitMatches() {
   int n = probe_batch_->num_active();
   while (probe_idx_ < n && out_row < out_->capacity()) {
     int row = probe_batch_->ActiveRow(probe_idx_);
-    if (chain_entry_ == nullptr) {
+    if (!chain_open_) {
       // Starting this probe row.
       chain_entry_ = match_heads_[probe_idx_];
-      if (chain_entry_ == nullptr) {
-        if (join_type_ == JoinType::kLeftOuter) {
-          EmitProbeColumns(*probe_batch_, row, out_row);
-          EmitBuildColumns(nullptr, out_row);
-          out_row++;
-        }
-        probe_idx_++;
-        continue;
-      }
+      chain_open_ = true;
+      chain_matched_ = false;
     }
     while (chain_entry_ != nullptr && out_row < out_->capacity()) {
+      // Left outer evaluates the residual per candidate pair (like
+      // semi/anti): only passing pairs are matches, and a probe row whose
+      // candidates all fail is NULL-padded below. Inner instead defers to
+      // the vectorized FilterBatch over the emitted batch.
+      if (residual_ != nullptr && join_type_ == JoinType::kLeftOuter) {
+        PHOTON_ASSIGN_OR_RETURN(
+            bool ok, ResidualMatches(*probe_batch_, row, chain_entry_));
+        if (!ok) {
+          chain_entry_ = VectorizedHashTable::next(chain_entry_);
+          continue;
+        }
+      }
       EmitProbeColumns(*probe_batch_, row, out_row);
       EmitBuildColumns(chain_entry_, out_row);
       out_row++;
+      chain_matched_ = true;
       chain_entry_ = VectorizedHashTable::next(chain_entry_);
     }
-    if (chain_entry_ == nullptr) probe_idx_++;
+    if (chain_entry_ != nullptr) break;  // output batch full mid-chain
+    if (join_type_ == JoinType::kLeftOuter && !chain_matched_) {
+      if (out_row >= out_->capacity()) break;  // NULL-pad in the next batch
+      EmitProbeColumns(*probe_batch_, row, out_row);
+      EmitBuildColumns(nullptr, out_row);
+      out_row++;
+    }
+    chain_open_ = false;
+    probe_idx_++;
   }
   if (probe_idx_ >= n) probe_batch_ = nullptr;  // batch exhausted
   if (out_row == 0) return nullptr;

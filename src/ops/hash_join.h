@@ -60,7 +60,10 @@ using JoinBuildPtr = std::shared_ptr<JoinBuildState>;
 /// narrowed to (non-)matching rows — no output copying at all. An optional
 /// `residual` predicate supports non-equi conditions:
 ///   - inner: evaluated vectorized over emitted output batches;
-///   - semi/anti: evaluated per candidate (probe row, build row) pair.
+///   - semi/anti: evaluated per candidate (probe row, build row) pair;
+///   - left outer: evaluated per candidate pair, and a probe row whose
+///     candidates all fail the residual is emitted NULL-padded (it is an
+///     unmatched row under the full join condition).
 class HashJoinOperator : public Operator {
  public:
   /// Self-building join: drains `build` into a private hash table on the
@@ -146,6 +149,8 @@ class HashJoinOperator : public Operator {
   VectorizedHashTable::ProbeScratch probe_scratch_;
   int probe_idx_ = 0;              // index into probe batch's active set
   const uint8_t* chain_entry_ = nullptr;
+  bool chain_open_ = false;     // chain for current probe row initialized
+  bool chain_matched_ = false;  // left outer: some candidate pair emitted
 
   std::unique_ptr<ColumnBatch> out_;
   EvalContext ctx_;

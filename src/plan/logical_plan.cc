@@ -160,9 +160,25 @@ std::string PlanNode::ToString(int indent) const {
       out += "Aggregate(keys=" + std::to_string(group_keys.size()) +
              ", aggs=" + std::to_string(aggregates.size()) + ")";
       break;
-    case PlanKind::kJoin:
-      out += "Join";
+    case PlanKind::kJoin: {
+      switch (join_type) {
+        case JoinType::kInner:
+          out += "Join(inner";
+          break;
+        case JoinType::kLeftOuter:
+          out += "Join(left-outer";
+          break;
+        case JoinType::kLeftSemi:
+          out += "Join(left-semi";
+          break;
+        case JoinType::kLeftAnti:
+          out += "Join(left-anti";
+          break;
+      }
+      if (residual != nullptr) out += ", residual=" + residual->ToString();
+      out += ")";
       break;
+    }
     case PlanKind::kSort:
       out += "Sort";
       break;

@@ -1,0 +1,129 @@
+#include "testing/datagen.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "types/decimal.h"
+
+namespace photon {
+namespace testing {
+
+Schema DataGen::RandomSchema(const std::string& prefix, int min_cols,
+                             int max_cols) {
+  Schema schema;
+  // Column 0: the join-key column. Small domain so equi-joins over two
+  // independently generated tables produce both matches and misses.
+  schema.AddField(Field(prefix + "k", DataType::Int64()));
+  int n = static_cast<int>(rng_.Uniform(min_cols, max_cols));
+  for (int i = 1; i < n; i++) {
+    DataType type;
+    switch (rng_.Uniform(0, 7)) {
+      case 0:
+        type = DataType::Int32();
+        break;
+      case 1:
+        type = DataType::Int64();
+        break;
+      case 2:
+        type = DataType::Float64();
+        break;
+      case 3:
+        type = DataType::String();
+        break;
+      case 4:
+        type = DataType::Decimal(20, 4);
+        break;
+      case 5:
+        type = DataType::Decimal(38, 6);
+        break;
+      case 6:
+        type = DataType::Date32();
+        break;
+      default:
+        type = DataType::Decimal(12, 2);
+        break;
+    }
+    schema.AddField(Field(prefix + "c" + std::to_string(i), type));
+  }
+  return schema;
+}
+
+Value DataGen::RandomValue(const DataType& type) {
+  if (rng_.NextBool(0.12)) return Value::Null();
+  switch (type.id()) {
+    case TypeId::kBoolean:
+      return Value::Boolean(rng_.NextBool());
+    case TypeId::kInt32:
+      return Value::Int32(static_cast<int32_t>(rng_.Uniform(-1000, 1000)));
+    case TypeId::kInt64:
+      return Value::Int64(rng_.Uniform(-100000, 100000));
+    case TypeId::kFloat64:
+      return Value::Float64((rng_.NextDouble() - 0.5) * 2000.0);
+    case TypeId::kDate32:
+      return Value::Date32(static_cast<int32_t>(rng_.Uniform(0, 20000)));
+    case TypeId::kString: {
+      // Small domain (group-by/join friendly) with occasional UTF-8 tails
+      // so string kernels see multi-byte codepoints.
+      std::string s = "s-" + std::to_string(rng_.Uniform(0, 60));
+      if (rng_.NextBool(0.15)) s += "\xC3\xA9\xE2\x82\xAC";  // é€
+      return Value::String(std::move(s));
+    }
+    case TypeId::kDecimal128: {
+      // High-precision columns occasionally sit near the 38-digit cap so
+      // generated arithmetic actually overflows (overflow -> NULL must
+      // agree across engines).
+      if (type.precision() >= 20 && rng_.NextBool(0.1)) {
+        Decimal128 v(Decimal128::MaxValueForPrecision(type.precision()) -
+                     rng_.Uniform(0, 1000));
+        return Value::Decimal(rng_.NextBool() ? v : -v);
+      }
+      return Value::Decimal(
+          Decimal128::FromInt64(rng_.Uniform(-1000000, 1000000)));
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+Table DataGen::RandomTable(const Schema& schema, int num_rows) {
+  TableBuilder builder(schema);
+  for (int i = 0; i < num_rows; i++) {
+    std::vector<Value> row;
+    row.reserve(schema.num_fields());
+    // Join key: non-null small domain.
+    row.push_back(Value::Int64(rng_.Uniform(0, 40)));
+    for (int c = 1; c < schema.num_fields(); c++) {
+      row.push_back(RandomValue(schema.field(c).type));
+    }
+    builder.AppendRow(row);
+  }
+  return builder.Finish();
+}
+
+Result<DeltaSnapshot> DataGen::WriteDelta(ObjectStore* store,
+                                          const std::string& path,
+                                          const Table& data) {
+  PHOTON_ASSIGN_OR_RETURN(std::unique_ptr<DeltaTable> table,
+                          DeltaTable::Create(store, path, data.schema()));
+  FormatWriteOptions options;
+  options.row_group_rows = 128;
+  // Append in slices: each Append commits one data file, and multiple
+  // small files give the parallel driver real morsel decomposition (and
+  // the fault injector multiple Gets to fail).
+  std::vector<std::vector<Value>> rows = data.ToRows();
+  const size_t kRowsPerFile = 400;
+  for (size_t begin = 0; begin < rows.size(); begin += kRowsPerFile) {
+    TableBuilder slice(data.schema());
+    size_t end = std::min(begin + kRowsPerFile, rows.size());
+    for (size_t r = begin; r < end; r++) slice.AppendRow(rows[r]);
+    Table t = slice.Finish();
+    PHOTON_RETURN_NOT_OK(table->Append(t, options).status());
+  }
+  return table->Snapshot();
+}
+
+}  // namespace testing
+}  // namespace photon

@@ -1,0 +1,48 @@
+#ifndef PHOTON_TESTING_DATAGEN_H_
+#define PHOTON_TESTING_DATAGEN_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "storage/delta.h"
+#include "storage/object_store.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace testing {
+
+/// Seeded generator of random schemas and tables for the differential plan
+/// fuzzer (DESIGN.md §10). Column 0 is always a small-domain Int64 named
+/// "<prefix>k" so any two generated tables can be equi-joined with real
+/// match/miss mix; the remaining columns draw from the full type lattice
+/// (ints, float, string, decimals up to the 38-digit cap) with NULLs.
+class DataGen {
+ public:
+  explicit DataGen(uint64_t seed) : rng_(seed) {}
+
+  /// `prefix` namespaces column names so join outputs stay unambiguous.
+  Schema RandomSchema(const std::string& prefix, int min_cols = 3,
+                      int max_cols = 6);
+
+  Table RandomTable(const Schema& schema, int num_rows);
+
+  /// One random cell of the given type (nullable).
+  Value RandomValue(const DataType& type);
+
+  /// Writes `data` out as a Delta table (multiple small data files so
+  /// lakehouse scans decompose into several morsels) and returns the
+  /// committed snapshot.
+  Result<DeltaSnapshot> WriteDelta(ObjectStore* store, const std::string& path,
+                                   const Table& data);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace testing
+}  // namespace photon
+
+#endif  // PHOTON_TESTING_DATAGEN_H_

@@ -1,0 +1,189 @@
+#include "testing/differ.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "baseline/row_operator.h"
+#include "memory/memory_manager.h"
+
+namespace photon {
+namespace testing {
+
+// Doubles render at full %.17g precision: both engines compute per-row
+// IEEE ops in the same order, so agreement is textual equality, and
+// NaN/-0.0 (which Value::Equals rejects) compare fine as text.
+CanonicalResult Canonicalize(const Table& table) {
+  const Schema& schema = table.schema();
+  std::vector<std::vector<Value>> rows = table.ToRows();
+  CanonicalResult out;
+  out.reserve(rows.size());
+  for (const std::vector<Value>& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (size_t c = 0; c < row.size(); c++) {
+      const Value& v = row[c];
+      if (v.is_null()) {
+        cells.push_back("∅");
+      } else if (schema.field(static_cast<int>(c)).type.id() ==
+                 TypeId::kFloat64) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.f64());
+        cells.push_back(buf);
+      } else {
+        cells.push_back(v.ToString());
+      }
+    }
+    out.push_back(std::move(cells));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string DiffCanonical(const CanonicalResult& a, const CanonicalResult& b,
+                          const std::string& label_a,
+                          const std::string& label_b) {
+  std::ostringstream msg;
+  if (a.size() != b.size()) {
+    msg << label_a << " returned " << a.size() << " rows, " << label_b
+        << " returned " << b.size() << " rows";
+    return msg.str();
+  }
+  for (size_t r = 0; r < a.size(); r++) {
+    if (a[r] == b[r]) continue;
+    size_t c = 0;
+    while (c < a[r].size() && c < b[r].size() && a[r][c] == b[r][c]) c++;
+    msg << "first diff at sorted row " << r << " col " << c << ": " << label_a
+        << "=[";
+    for (size_t i = 0; i < a[r].size(); i++) {
+      msg << (i ? ", " : "") << a[r][i];
+    }
+    msg << "] " << label_b << "=[";
+    for (size_t i = 0; i < b[r].size(); i++) {
+      msg << (i ? ", " : "") << b[r][i];
+    }
+    msg << "]";
+    return msg.str();
+  }
+  return "";
+}
+
+namespace {
+
+struct ModeResult {
+  std::string label;
+  Status status = Status::OK();
+  CanonicalResult rows;
+  bool skipped = false;
+};
+
+ModeResult RunBaseline(const plan::PlanPtr& p, plan::BaselineJoinImpl impl,
+                       const std::string& label) {
+  ModeResult mode;
+  mode.label = label;
+  Result<baseline::RowOperatorPtr> op = plan::CompileBaseline(p, impl);
+  if (!op.ok()) {
+    mode.status = op.status();
+    return mode;
+  }
+  Result<Table> t = baseline::CollectAllRows(op->get());
+  if (!t.ok()) {
+    mode.status = t.status();
+    return mode;
+  }
+  mode.rows = Canonicalize(*t);
+  return mode;
+}
+
+}  // namespace
+
+std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
+                            const DifferentialOptions& opts) {
+  // Mode 1: baseline row engine — the oracle (both join implementations).
+  ModeResult oracle =
+      RunBaseline(p, plan::BaselineJoinImpl::kSortMerge, "baseline/sort-merge");
+  if (!oracle.status.ok()) {
+    return "baseline failed: " + oracle.status.ToString() + "\nplan:\n" +
+           p->ToString();
+  }
+
+  std::vector<ModeResult> modes;
+  modes.push_back(RunBaseline(p, plan::BaselineJoinImpl::kShuffledHash,
+                              "baseline/shuffled-hash"));
+
+  {  // Mode 2: Photon, one task, one thread.
+    ModeResult mode;
+    mode.label = "photon/single-task";
+    Result<Table> t = driver->RunSingleTask(p);
+    if (!t.ok()) {
+      mode.status = t.status();
+    } else {
+      mode.rows = Canonicalize(*t);
+    }
+    modes.push_back(std::move(mode));
+  }
+
+  {  // Mode 3: Photon, morsel-parallel.
+    ModeResult mode;
+    mode.label = "photon/parallel";
+    Result<Table> t = driver->Run(p);
+    if (!t.ok()) {
+      mode.status = t.status();
+    } else {
+      mode.rows = Canonicalize(*t);
+    }
+    modes.push_back(std::move(mode));
+  }
+
+  {  // Mode 4: Photon under memory pressure + injected scan faults.
+    ModeResult mode;
+    mode.label = "photon/spill+fault";
+    int64_t budget = opts.spill_budget_bytes;
+    for (int attempt = 0; attempt < 4; attempt++) {
+      MemoryManager mm(budget);
+      // Tiny budgets hit genuine OOM by design; don't let each doomed
+      // reservation block the full production backpressure window.
+      mm.set_reserve_timeout_ms(50);
+      ExecContext ctx;
+      ctx.memory_manager = &mm;
+      ctx.spill_prefix = opts.spill_prefix;
+      if (opts.fault_store != nullptr) {
+        opts.fault_store->FailNextGets(opts.fault_gets);
+      }
+      Result<Table> t = driver->Run(p, ctx);
+      ObjectStore::Default().DeletePrefix(opts.spill_prefix);
+      if (t.ok()) {
+        mode.rows = Canonicalize(*t);
+        mode.status = Status::OK();
+        break;
+      }
+      mode.status = t.status();
+      if (!t.status().IsOutOfMemory()) break;
+      // Unspillable state (hash-join build) legitimately exceeds tiny
+      // budgets; give it geometric headroom before declaring the plan
+      // unrunnable in this mode.
+      budget *= 2;
+    }
+    if (mode.status.IsOutOfMemory()) mode.skipped = true;
+    modes.push_back(std::move(mode));
+  }
+
+  for (const ModeResult& mode : modes) {
+    if (mode.skipped) continue;
+    if (!mode.status.ok()) {
+      return mode.label + " failed where baseline succeeded: " +
+             mode.status.ToString() + "\nplan:\n" + p->ToString();
+    }
+    std::string diff = DiffCanonical(oracle.rows, mode.rows, oracle.label,
+                                     mode.label);
+    if (!diff.empty()) {
+      return mode.label + " diverges from baseline: " + diff + "\nplan:\n" +
+             p->ToString();
+    }
+  }
+  return "";
+}
+
+}  // namespace testing
+}  // namespace photon

@@ -1,0 +1,54 @@
+#ifndef PHOTON_TESTING_DIFFER_H_
+#define PHOTON_TESTING_DIFFER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/driver.h"
+#include "plan/logical_plan.h"
+#include "storage/object_store.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace testing {
+
+/// A result table reduced to engine-neutral form: every cell rendered to a
+/// string (doubles via %.17g so NaN/±0 compare textually), rows sorted.
+/// Two engines agree iff their canonical forms are equal.
+using CanonicalResult = std::vector<std::vector<std::string>>;
+
+CanonicalResult Canonicalize(const Table& table);
+
+/// Human-readable first-difference report; empty string when equal.
+std::string DiffCanonical(const CanonicalResult& a, const CanonicalResult& b,
+                          const std::string& label_a,
+                          const std::string& label_b);
+
+struct DifferentialOptions {
+  int num_threads = 8;
+  /// Memory budget for the forced-spill mode. Doubled and retried on
+  /// OutOfMemory (hash-join builds cannot spill), up to 4 attempts.
+  int64_t spill_budget_bytes = 192 * 1024;
+  /// Number of ObjectStore::Get faults injected into `fault_store` right
+  /// before the forced-spill run (scan retries must absorb them).
+  int fault_gets = 3;
+  ObjectStore* fault_store = nullptr;
+  /// Unique-per-call spill key prefix (cleaned up afterwards).
+  std::string spill_prefix = "fuzz-spill";
+};
+
+/// Runs `p` four ways — baseline row engine (both join impls), Photon
+/// single-task, Photon morsel-parallel at `num_threads`, and Photon under
+/// a tiny memory budget with injected scan faults — and diffs the
+/// canonicalized results cell-by-cell. Returns "" when all modes agree,
+/// else a report naming the diverging mode and first differing cell.
+/// Engine errors (compile or execution) are reported as divergences too,
+/// except that mode 4 skips plans whose build sides genuinely cannot fit
+/// the budget (OutOfMemory after retries).
+std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
+                            const DifferentialOptions& opts);
+
+}  // namespace testing
+}  // namespace photon
+
+#endif  // PHOTON_TESTING_DIFFER_H_

@@ -1,0 +1,75 @@
+#include "testing/minimizer.h"
+
+#include <memory>
+#include <vector>
+
+namespace photon {
+namespace testing {
+namespace {
+
+using plan::PlanKind;
+using plan::PlanNode;
+using plan::PlanPtr;
+
+/// All subtrees in pre-order (root first).
+void CollectSubtrees(const PlanPtr& p, std::vector<PlanPtr>* out) {
+  out->push_back(p);
+  for (const PlanPtr& child : p->children) CollectSubtrees(child, out);
+}
+
+bool SchemaPreserving(const PlanNode& node) {
+  return node.kind == PlanKind::kFilter || node.kind == PlanKind::kSort ||
+         node.kind == PlanKind::kLimit;
+}
+
+/// Rebuilds `root` with `target` replaced by `replacement`. Nodes off the
+/// path to `target` are shared, nodes on it are shallow-copied, so the
+/// original plan stays intact for the next candidate.
+PlanPtr Replace(const PlanPtr& root, const PlanNode* target,
+                PlanPtr replacement) {
+  if (root.get() == target) return replacement;
+  for (size_t i = 0; i < root->children.size(); i++) {
+    PlanPtr rebuilt = Replace(root->children[i], target, replacement);
+    if (rebuilt != root->children[i]) {
+      PlanPtr copy = std::make_shared<PlanNode>(*root);
+      copy->children[i] = std::move(rebuilt);
+      return copy;
+    }
+  }
+  return root;
+}
+
+}  // namespace
+
+PlanPtr MinimizePlan(PlanPtr p, const PlanOracle& diverges) {
+  bool reduced = true;
+  // Each accepted reduction strictly shrinks the tree, so this terminates.
+  while (reduced) {
+    reduced = false;
+    std::vector<PlanPtr> subtrees;
+    CollectSubtrees(p, &subtrees);
+    // (a) Promote a proper subtree to the root.
+    for (size_t i = 1; i < subtrees.size(); i++) {
+      if (diverges(subtrees[i])) {
+        p = subtrees[i];
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+    // (b) Splice out a schema-preserving unary node anywhere in the tree.
+    for (const PlanPtr& node : subtrees) {
+      if (!SchemaPreserving(*node)) continue;
+      PlanPtr candidate = Replace(p, node.get(), node->children[0]);
+      if (candidate != p && diverges(candidate)) {
+        p = candidate;
+        reduced = true;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace testing
+}  // namespace photon

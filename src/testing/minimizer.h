@@ -1,0 +1,25 @@
+#ifndef PHOTON_TESTING_MINIMIZER_H_
+#define PHOTON_TESTING_MINIMIZER_H_
+
+#include <functional>
+
+#include "plan/logical_plan.h"
+
+namespace photon {
+namespace testing {
+
+/// Returns true when the candidate plan still reproduces the divergence.
+using PlanOracle = std::function<bool(const plan::PlanPtr&)>;
+
+/// Greedy delta-debugging over the plan tree: repeatedly tries
+///   (a) promoting any subtree to be the whole plan, and
+///   (b) splicing out schema-preserving unary nodes (Filter/Sort/Limit)
+/// keeping a reduction whenever the oracle still fires, until no further
+/// reduction reproduces. The result, with the generating seed, is the
+/// checked-in reproducer for a fuzzer finding.
+plan::PlanPtr MinimizePlan(plan::PlanPtr p, const PlanOracle& diverges);
+
+}  // namespace testing
+}  // namespace photon
+
+#endif  // PHOTON_TESTING_MINIMIZER_H_

@@ -1,0 +1,72 @@
+#ifndef PHOTON_TESTING_PLANGEN_H_
+#define PHOTON_TESTING_PLANGEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/logical_plan.h"
+#include "storage/delta.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace testing {
+
+/// One base table the generator may scan: always available in memory, and
+/// optionally also written out as a Delta table (in which case the fuzzer
+/// randomly picks the lakehouse path — exercising the src/io scan stack —
+/// or the in-memory path for the same data).
+struct FuzzInput {
+  std::string name;
+  const Table* table = nullptr;
+  ObjectStore* store = nullptr;             // set when delta has a value
+  std::optional<DeltaSnapshot> delta;
+};
+
+/// Seeded random logical-plan generator (DESIGN.md §10). Grammar:
+///
+///   source  := Scan | DeltaScan, then 0-2 of {Filter, Project}
+///   side    := source | Aggregate(source)          (nested subplan)
+///   plan    := side
+///            | Join(side, side) [+ residual], then 0-2 of {Filter, Project}
+///            | Aggregate(plan)                     (all agg kinds)
+///   root    := plan [Sort [Limit]]
+///
+/// Generated plans are always type-correct (joins equi-match on the Int64
+/// key column every input carries; expressions are built bottom-up from
+/// the visible schema), so both engines must compile and agree on results.
+/// Limit only ever appears above a total Sort, keeping it deterministic.
+class PlanGen {
+ public:
+  PlanGen(uint64_t seed, std::vector<const FuzzInput*> inputs)
+      : rng_(seed), inputs_(std::move(inputs)) {}
+
+  plan::PlanPtr RandomPlan();
+
+  /// Random scalar expression over `schema` with the given result class.
+  /// `want_bool` = predicate position (filters, residuals).
+  ExprPtr RandomExpr(const Schema& schema, int depth, bool want_bool);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  plan::PlanPtr RandomSource();
+  plan::PlanPtr RandomUnaryChain(plan::PlanPtr p, int max_ops);
+  plan::PlanPtr RandomSide(int depth);
+  plan::PlanPtr RandomAggregate(plan::PlanPtr p, bool join_free);
+  plan::PlanPtr MaybeSortLimit(plan::PlanPtr p);
+  ExprPtr RandomLeaf(const Schema& schema);
+  ExprPtr RandomLiteral();
+
+  Rng rng_;
+  std::vector<const FuzzInput*> inputs_;
+  /// Monotonic suffix for generated column names, so projections, group
+  /// keys, and agg outputs never collide across join sides.
+  int64_t name_seq_ = 0;
+};
+
+}  // namespace testing
+}  // namespace photon
+
+#endif  // PHOTON_TESTING_PLANGEN_H_

@@ -336,14 +336,16 @@ double BigDecimal::ToDouble() const {
 
 bool BigDecimal::ToDecimal128(int scale, Decimal128* out) const {
   BigDecimal scaled = SetScale(scale);
+  const uint128_t max =
+      static_cast<uint128_t>(Decimal128::MaxValueForPrecision(38));
   uint128_t mag = 0;
   for (size_t i = scaled.limbs_.size(); i-- > 0;) {
-    uint128_t next = mag * kBase + scaled.limbs_[i];
-    if (next < mag) return false;
-    mag = next;
-  }
-  if (mag > static_cast<uint128_t>(Decimal128::MaxValueForPrecision(38))) {
-    return false;
+    // Guard before multiplying: mag * kBase can wrap uint128 (the old
+    // `next < mag` test only catches additive wrap, so magnitudes in
+    // (max38, 2^128) could sneak through as their mod-2^128 residue).
+    if (mag > max / kBase) return false;
+    mag = mag * kBase + scaled.limbs_[i];
+    if (mag > max) return false;
   }
   int128_t v = static_cast<int128_t>(mag);
   *out = Decimal128(scaled.negative_ ? -v : v);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "expr/builder.h"
 #include "expr/function_registry.h"
 #include "vector/table.h"
@@ -374,6 +376,120 @@ TEST(ExprTest, Coalesce) {
   t.Check(eb::Call("coalesce", {A(), B()}));
   t.Check(eb::Call("coalesce", {A(), Lit(int32_t{-1})}));
   t.Check(eb::Call("nullif", {A(), Lit(int32_t{42})}));
+}
+
+// Integer overflow/edge semantics must be identical between the vectorized
+// kernels and the row oracle (which doubles as the baseline engine):
+// Java-style wrapping add/sub/mul, guarded INT64_MIN / -1, x % -1 == 0,
+// and NULL on division or modulo by zero.
+TEST(ExprTest, IntegerOverflowEdges) {
+  Schema schema(
+      {Field("a", DataType::Int64()), Field("b", DataType::Int64())});
+  int64_t min64 = std::numeric_limits<int64_t>::min();
+  int64_t max64 = std::numeric_limits<int64_t>::max();
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int64(max64), Value::Int64(1)},
+      {Value::Int64(min64), Value::Int64(-1)},
+      {Value::Int64(min64), Value::Int64(min64)},
+      {Value::Int64(max64), Value::Int64(max64)},
+      {Value::Int64(min64), Value::Int64(0)},
+      {Value::Int64(7), Value::Int64(-1)},
+      {Value::Null(), Value::Int64(-1)},
+  };
+  ExpressionTableTest t(schema, rows);
+  ExprPtr a = Col(0, DataType::Int64(), "a");
+  ExprPtr b = Col(1, DataType::Int64(), "b");
+  t.Check(eb::Add(a, b));  // INT64_MAX + 1 wraps
+  t.Check(eb::Sub(a, b));  // INT64_MIN - 1 wraps
+  t.Check(eb::Mul(a, b));
+  t.Check(eb::Div(a, b));  // x / 0 -> NULL; INT64_MIN / -1 must not SIGFPE
+  t.Check(eb::Mod(a, b));  // x % 0 -> NULL; x % -1 == 0
+
+  auto row_val = [&](const ExprPtr& e, int64_t x, int64_t y) {
+    Result<Value> v = e->EvaluateRow({Value::Int64(x), Value::Int64(y)});
+    PHOTON_CHECK(v.ok());
+    return *v;
+  };
+  EXPECT_EQ(row_val(eb::Add(a, b), max64, 1).i64(), min64);
+  EXPECT_EQ(row_val(eb::Sub(a, b), min64, 1).i64(), max64);
+  EXPECT_EQ(row_val(eb::Div(a, b), min64, -1).i64(), min64);  // wraps
+  EXPECT_EQ(row_val(eb::Mod(a, b), min64, -1).i64(), 0);
+  EXPECT_TRUE(row_val(eb::Div(a, b), 5, 0).is_null());
+  EXPECT_TRUE(row_val(eb::Mod(a, b), 5, 0).is_null());
+}
+
+// Decimal arithmetic past 38 digits of precision finalizes to NULL (Spark
+// non-ANSI) on both paths — the vectorized engine routes these shapes
+// through the checked BigDecimal fallback rather than wrapping int128.
+TEST(ExprTest, DecimalOverflowEdgesAreNull) {
+  Schema schema({Field("p", DataType::Decimal(38, 2)),
+                 Field("q", DataType::Decimal(38, 2))});
+  Value near_max =
+      Value::Decimal(Decimal128(Decimal128::MaxValueForPrecision(38) - 7));
+  Value big = Value::Decimal(Decimal128(Decimal128::PowerOfTen(30)));
+  Value cent = Value::Decimal(Decimal128(1));  // 0.01 at scale 2
+  std::vector<std::vector<Value>> rows = {
+      {near_max, near_max},
+      {near_max, cent},
+      {big, big},
+      {near_max, Value::Decimal(Decimal128(-Decimal128::PowerOfTen(20)))},
+      {Value::Null(), near_max},
+  };
+  ExpressionTableTest t(schema, rows);
+  ExprPtr p = Col(0, DataType::Decimal(38, 2), "p");
+  ExprPtr q = Col(1, DataType::Decimal(38, 2), "q");
+  t.Check(eb::Add(p, q));
+  t.Check(eb::Sub(p, q));
+  t.Check(eb::Mul(p, q));
+  t.Check(eb::Div(p, q));
+
+  auto null_row = [&](const ExprPtr& e, const Value& x, const Value& y) {
+    Result<Value> v = e->EvaluateRow({x, y});
+    PHOTON_CHECK(v.ok());
+    return v->is_null();
+  };
+  EXPECT_TRUE(null_row(eb::Add(p, q), near_max, near_max));
+  // 1e28 * 1e28 = 1e56: far past int128 range, exercising the multiply
+  // wraparound guard in BigDecimal::ToDecimal128.
+  EXPECT_TRUE(null_row(eb::Mul(p, q), big, big));
+  EXPECT_TRUE(null_row(eb::Div(p, q), near_max, cent));
+  EXPECT_FALSE(null_row(eb::Sub(p, q), near_max, near_max));  // zero: fine
+}
+
+// substr follows Spark's UTF8String.substringSQL: 1-based, start 0 behaves
+// like start 1, negative start counts from the end, begin+len wraps in
+// 32-bit arithmetic (INT32_MAX means "to the end"), and offsets count
+// codepoints, not bytes.
+TEST(ExprTest, SubstrSparkSemantics) {
+  auto sub3 = [](const char* s, int32_t start, int32_t len) {
+    ExprPtr e = eb::Call("substr", {Lit(s), Lit(start), Lit(len)});
+    Result<Value> v = e->EvaluateRow({});
+    PHOTON_CHECK(v.ok());
+    return v->str();
+  };
+  auto sub2 = [](const char* s, int32_t start) {
+    ExprPtr e = eb::Call("substr", {Lit(s), Lit(start)});
+    Result<Value> v = e->EvaluateRow({});
+    PHOTON_CHECK(v.ok());
+    return v->str();
+  };
+  EXPECT_EQ(sub3("hello", 1, 3), "hel");
+  EXPECT_EQ(sub3("hello", 0, 3), "hel");  // start 0: length still from pos 1
+  EXPECT_EQ(sub2("hello", 2), "ello");
+  EXPECT_EQ(sub2("hello", -3), "llo");
+  EXPECT_EQ(sub3("hello", -3, 2), "ll");
+  EXPECT_EQ(sub3("hello", -10, 3), "");   // begin deep below the start
+  EXPECT_EQ(sub3("hello", 7, 2), "");     // start past the end
+  EXPECT_EQ(sub3("hello", 3, -1), "");    // non-positive length
+  EXPECT_EQ(sub3("hello", 3, 0), "");
+  int32_t max32 = std::numeric_limits<int32_t>::max();
+  EXPECT_EQ(sub3("hello", 2, max32), "ello");      // sentinel: to the end
+  EXPECT_EQ(sub3("hello", 3, max32 - 1), "");      // begin+len wraps int32
+  // Multi-byte codepoints: "Café€" is 5 chars in 8 bytes.
+  const char* cafe = "Caf\xC3\xA9\xE2\x82\xAC";
+  EXPECT_EQ(sub3(cafe, 4, 2), "\xC3\xA9\xE2\x82\xAC");
+  EXPECT_EQ(sub3(cafe, -2, 1), "\xC3\xA9");
+  EXPECT_EQ(sub2(cafe, -1), "\xE2\x82\xAC");
 }
 
 TEST(FunctionRegistryTest, KnowsItsFunctions) {

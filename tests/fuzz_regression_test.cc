@@ -1,0 +1,260 @@
+// Minimized reproductions of the engine bugs found by the differential
+// plan fuzzer (tests/plan_fuzz_test.cc). Each test names the seed that
+// first exposed the bug and pins the minimized plan shape deterministically
+// so the regression stays covered even if the generator's grammar drifts.
+
+#include <gtest/gtest.h>
+
+#include "exec/driver.h"
+#include "expr/builder.h"
+#include "plan/logical_plan.h"
+#include "testing/differ.h"
+#include "types/decimal.h"
+
+namespace photon {
+namespace {
+
+using eb::Lit;
+using plan::PlanPtr;
+
+exec::Driver* SharedDriver() {
+  static exec::Driver driver(8);
+  return &driver;
+}
+
+/// Sweeps the plan through all four fuzzer modes (baseline both join
+/// impls, Photon single-task, Photon 8-thread, Photon tiny-budget spill)
+/// and asserts zero diffs.
+void ExpectAllModesAgree(const PlanPtr& p) {
+  testing::DifferentialOptions opts;
+  opts.spill_prefix = "fuzz-regression-spill";
+  std::string diff = testing::RunDifferential(p, SharedDriver(), opts);
+  EXPECT_EQ(diff, "") << diff;
+}
+
+Table MakeKv(const std::vector<std::pair<int64_t, int64_t>>& rows,
+             const char* key_name, const char* val_name) {
+  Schema schema({Field(key_name, DataType::Int64()),
+                 Field(val_name, DataType::Int64())});
+  TableBuilder b(schema);
+  for (const auto& kv : rows) {
+    b.AppendRow({Value::Int64(kv.first), Value::Int64(kv.second)});
+  }
+  return b.Finish();
+}
+
+Table MakeDecimals(const std::vector<int128_t>& unscaled, int precision,
+                   int scale) {
+  Schema schema({Field("g", DataType::Int64()),
+                 Field("d", DataType::Decimal(precision, scale))});
+  TableBuilder b(schema);
+  for (int128_t v : unscaled) {
+    b.AppendRow({Value::Int64(1), Value::Decimal(Decimal128(v))});
+  }
+  return b.Finish();
+}
+
+// Fuzz seeds 39/48/62: Photon's left-outer hash join ignored the residual
+// entirely (it was only applied for inner joins), emitting every key-equal
+// pair; the baseline shuffled-hash join in turn dropped left rows whose
+// candidates all failed the residual instead of NULL-padding them. Correct
+// semantics: emit residual-passing pairs; a probe row with key matches but
+// zero residual-passing candidates is unmatched and gets one NULL-padded
+// row.
+TEST(FuzzRegressionTest, LeftOuterResidualAllCandidatesFailNullPads) {
+  Table left = MakeKv({{1, 10}, {1, 20}, {2, 5}, {3, 40}}, "k", "v");
+  Table right = MakeKv({{1, 100}, {1, 7}, {2, 5}}, "rk", "w");
+  PlanPtr probe = plan::Scan(&left);
+  PlanPtr build = plan::Scan(&right);
+  // Residual over the combined (k, v, rk, w) row: w > 50. Key 1 has one
+  // passing candidate (w=100) and one failing (w=7); key 2's only
+  // candidate fails; key 3 has no candidate at all.
+  PlanPtr j = plan::Join(
+      probe, build, JoinType::kLeftOuter, {plan::ColOf(probe, "k")},
+      {plan::ColOf(build, "rk")},
+      eb::Gt(eb::Col(3, DataType::Int64(), "w"), Lit(int64_t{50})));
+
+  Result<Table> photon = SharedDriver()->RunSingleTask(j);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  testing::CanonicalResult rows = testing::Canonicalize(*photon);
+  // (1,10,1,100), (1,20,1,100), (2,5,∅,∅), (3,40,∅,∅)
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][3], "100");
+  EXPECT_EQ(rows[1][3], "100");
+  EXPECT_EQ(rows[2][2], "\xE2\x88\x85");  // NULL-padded build side
+  EXPECT_EQ(rows[3][2], "\xE2\x88\x85");
+
+  ExpectAllModesAgree(j);
+}
+
+// Fuzz seed 39 minimized further: a constant-false residual makes every
+// left row unmatched — the join must degenerate to left-with-NULL-padding,
+// not to an inner join ignoring the residual.
+TEST(FuzzRegressionTest, LeftOuterConstantFalseResidualPadsEveryRow) {
+  Table left = MakeKv({{1, 10}, {2, 20}, {2, 30}}, "k", "v");
+  Table right = MakeKv({{1, 1}, {2, 2}, {2, 3}}, "rk", "w");
+  PlanPtr probe = plan::Scan(&left);
+  PlanPtr build = plan::Scan(&right);
+  PlanPtr j = plan::Join(probe, build, JoinType::kLeftOuter,
+                         {plan::ColOf(probe, "k")},
+                         {plan::ColOf(build, "rk")},
+                         eb::Gt(Lit(int64_t{0}), Lit(int64_t{1})));
+
+  Result<Table> photon = SharedDriver()->RunSingleTask(j);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  testing::CanonicalResult rows = testing::Canonicalize(*photon);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row[2], "\xE2\x88\x85") << "expected NULL-padded build side";
+    EXPECT_EQ(row[3], "\xE2\x88\x85");
+  }
+
+  ExpectAllModesAgree(j);
+}
+
+// Residual-passing pairs must still flow through when mixed with failing
+// ones across chained duplicate build keys (the hash-table chain path).
+TEST(FuzzRegressionTest, LeftOuterResidualFiltersWithinChains) {
+  std::vector<std::pair<int64_t, int64_t>> build_rows;
+  for (int64_t i = 0; i < 40; i++) build_rows.push_back({7, i});
+  Table left = MakeKv({{7, 1}, {8, 2}}, "k", "v");
+  Table right = MakeKv(build_rows, "rk", "w");
+  PlanPtr probe = plan::Scan(&left);
+  PlanPtr build = plan::Scan(&right);
+  PlanPtr j = plan::Join(
+      probe, build, JoinType::kLeftOuter, {plan::ColOf(probe, "k")},
+      {plan::ColOf(build, "rk")},
+      eb::Lt(eb::Col(3, DataType::Int64(), "w"), Lit(int64_t{5})));
+
+  Result<Table> photon = SharedDriver()->RunSingleTask(j);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  // Key 7: 5 of 40 candidates pass (w in 0..4); key 8: unmatched.
+  EXPECT_EQ(photon->num_rows(), 6);
+
+  ExpectAllModesAgree(j);
+}
+
+// Fuzz seeds 3/27: Photon's decimal sum wrapped its int128 accumulator
+// silently past 38 digits where the baseline's exact BigDecimal sum
+// finalizes to NULL (Spark non-ANSI overflow).
+TEST(FuzzRegressionTest, DecimalSumOverflowFinalizesToNull) {
+  int128_t max38 = Decimal128::MaxValueForPrecision(38);
+  Table t = MakeDecimals({max38, max38, max38, max38}, 38, 6);
+  PlanPtr p = plan::Scan(&t);
+  p = plan::Aggregate(
+      p, {}, {},
+      {AggregateSpec{AggKind::kSum, plan::ColOf(p, "d"), "s"}});
+
+  Result<Table> photon = SharedDriver()->RunSingleTask(p);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  testing::CanonicalResult rows = testing::Canonicalize(*photon);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "\xE2\x88\x85");
+
+  ExpectAllModesAgree(p);
+}
+
+// Fuzz seed 32: mixed-sign near-max values wrap the int128 accumulator
+// transiently but cancel back into range; because wrapping is arithmetic
+// mod 2^128 the final accumulator value is exact, and the baseline's
+// unbounded BigDecimal (which only checks the *final* value against 38
+// digits) returns the true sum. A sticky overflow flag wrongly NULLed it.
+TEST(FuzzRegressionTest, DecimalSumTransientWrapStaysExact) {
+  int128_t max38 = Decimal128::MaxValueForPrecision(38);
+  // Partial sums: max, 2*max (wraps +1), max (wraps back), 0, 123456.
+  Table t = MakeDecimals({max38, max38, -max38, -max38, 123456}, 38, 6);
+  PlanPtr p = plan::Scan(&t);
+  p = plan::Aggregate(
+      p, {}, {},
+      {AggregateSpec{AggKind::kSum, plan::ColOf(p, "d"), "s"}});
+
+  Result<Table> photon = SharedDriver()->RunSingleTask(p);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  testing::CanonicalResult rows = testing::Canonicalize(*photon);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NE(rows[0][0], "\xE2\x88\x85") << "transient wrap must not NULL";
+  EXPECT_EQ(rows[0][0], Value::Decimal(Decimal128(123456)).ToString());
+
+  ExpectAllModesAgree(p);
+}
+
+// The companion case: the accumulator ends wrapped (sum of three ~0.9e38
+// values exceeds int128 range) yet the true sum and the avg quotient are
+// derivable exactly — the baseline divides the unbounded sum, so the
+// vectorized engine must reconstruct wraps * 2^128 + sum before dividing.
+TEST(FuzzRegressionTest, DecimalAvgOfWrappedSumStaysExact) {
+  // 20000 rows of 9e33: the sum (1.8e38) exceeds int128 range so the
+  // accumulator ends wrapped, while the avg — 9e33, which is 9e37 unscaled
+  // at avg's widened scale (+4) — still fits 38 digits.
+  int128_t v = Decimal128::PowerOfTen(33) * 9;
+  Table t = MakeDecimals(std::vector<int128_t>(20000, v), 38, 6);
+  PlanPtr p = plan::Scan(&t);
+  p = plan::Aggregate(
+      p, {}, {},
+      {AggregateSpec{AggKind::kSum, plan::ColOf(p, "d"), "s"},
+       AggregateSpec{AggKind::kAvg, plan::ColOf(p, "d"), "a"}});
+
+  Result<Table> photon = SharedDriver()->RunSingleTask(p);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  testing::CanonicalResult rows = testing::Canonicalize(*photon);
+  ASSERT_EQ(rows.size(), 1u);
+  // Sum = 2.7e38 unscaled > 38 digits -> NULL; avg = 9e37 is in range.
+  EXPECT_EQ(rows[0][0], "\xE2\x88\x85");
+  EXPECT_NE(rows[0][1], "\xE2\x88\x85") << "avg of wrapped sum must be exact";
+
+  ExpectAllModesAgree(p);
+}
+
+// Satellite: LimitOperator above a parallel stage must emit exactly
+// `limit` rows regardless of thread count (morsel-parallel runs race to
+// fill the limit).
+TEST(FuzzRegressionTest, LimitExactRowCountAtAllThreadCounts) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < 10000; i++) rows.push_back({i % 97, i});
+  Table t = MakeKv(rows, "k", "v");
+
+  for (int64_t limit : {0, 37, 5000, 20000}) {
+    PlanPtr p = plan::Limit(plan::Scan(&t), limit);
+    int64_t expect = std::min<int64_t>(limit, t.num_rows());
+    for (int threads : {1, 2, 8}) {
+      exec::Driver d(threads);
+      Result<Table> r = d.Run(p);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->num_rows(), expect)
+          << "limit " << limit << " at " << threads << " threads";
+    }
+  }
+}
+
+// With a total sort underneath, Limit is fully deterministic: identical
+// content at every thread count and across engines.
+TEST(FuzzRegressionTest, LimitAboveTotalSortIsDeterministic) {
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < 4000; i++) rows.push_back({(i * 37) % 211, i});
+  Table t = MakeKv(rows, "k", "v");
+
+  PlanPtr p = plan::Scan(&t);
+  p = plan::Sort(p, {SortKey{eb::Col(0, DataType::Int64(), "k"), true, true},
+                     SortKey{eb::Col(1, DataType::Int64(), "v"), false,
+                             false}});
+  p = plan::Limit(p, 123);
+
+  testing::CanonicalResult first;
+  for (int threads : {1, 2, 8}) {
+    exec::Driver d(threads);
+    Result<Table> r = d.Run(p);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->num_rows(), 123);
+    testing::CanonicalResult got = testing::Canonicalize(*r);
+    if (threads == 1) {
+      first = got;
+    } else {
+      EXPECT_EQ(got, first) << "limit content differs at " << threads
+                            << " threads";
+    }
+  }
+  ExpectAllModesAgree(p);
+}
+
+}  // namespace
+}  // namespace photon

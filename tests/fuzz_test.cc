@@ -22,7 +22,10 @@ class Fuzzer {
     int n = static_cast<int>(rng_.Uniform(2, 5));
     for (int i = 0; i < n; i++) {
       DataType type;
-      switch (rng_.Uniform(0, 4)) {
+      // Uniform() is inclusive, so 0..6 reaches every arm including the
+      // default. The high-precision arms exist to push decimal arithmetic
+      // into the precision-capped (overflow -> NULL) paths.
+      switch (rng_.Uniform(0, 6)) {
         case 0:
           type = DataType::Int32();
           break;
@@ -34,6 +37,12 @@ class Fuzzer {
           break;
         case 3:
           type = DataType::String();
+          break;
+        case 4:
+          type = DataType::Decimal(20, 4);
+          break;
+        case 5:
+          type = DataType::Decimal(38, 6);
           break;
         default:
           type = DataType::Decimal(12, 2);
@@ -60,9 +69,18 @@ class Fuzzer {
         if (rng_.NextBool(0.2)) s += "\xC3\xA9";  // é
         return Value::String(std::move(s));
       }
-      case TypeId::kDecimal128:
+      case TypeId::kDecimal128: {
+        // Occasionally sit near the precision cap so arithmetic on
+        // high-precision columns actually overflows (both engines must
+        // agree on the resulting NULL).
+        if (type.precision() >= 20 && rng_.NextBool(0.25)) {
+          Decimal128 v(Decimal128::MaxValueForPrecision(type.precision()) -
+                       rng_.Uniform(0, 1000));
+          return Value::Decimal(rng_.NextBool() ? v : -v);
+        }
         return Value::Decimal(
             Decimal128::FromInt64(rng_.Uniform(-100000, 100000)));
+      }
       default:
         return Value::Null();
     }
@@ -106,12 +124,11 @@ class Fuzzer {
                    a->type().id() != TypeId::kBoolean;
       bool b_num = b->type().id() != TypeId::kString &&
                    b->type().id() != TypeId::kBoolean;
-      switch (rng_.Uniform(0, 6)) {
+      switch (rng_.Uniform(0, 7)) {
         case 0:
-          if (a_num && b_num && !a->type().is_decimal() &&
-              !b->type().is_decimal()) {
-            return eb::Add(a, b);
-          }
+          // Decimal included: overflow beyond the 38-digit cap must yield
+          // NULL identically on both paths.
+          if (a_num && b_num) return eb::Add(a, b);
           break;
         case 1:
           if (a_num && b_num) return eb::Mul(a, b);
@@ -129,6 +146,9 @@ class Fuzzer {
           if (a->type().is_string()) return eb::Call("length", {a});
           break;
         case 6:
+          if (a_num && b_num) return eb::Sub(a, b);
+          break;
+        case 7:
           return eb::IsNull(a);
       }
     }

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/driver.h"
+#include "storage/object_store.h"
+#include "testing/datagen.h"
+#include "testing/differ.h"
+#include "testing/minimizer.h"
+#include "testing/plangen.h"
+
+namespace pt = photon::testing;
+
+namespace {
+
+/// Differential plan fuzzing (DESIGN.md §10, the paper's §5.6 end-to-end
+/// layer): per seed, generate random tables (one also written out as a
+/// Delta table), generate random logical plans over them, and execute each
+/// plan through the four modes in pt::RunDifferential. Any divergence is
+/// minimized to a reproducer and reported with the seed, so a failure
+/// line is sufficient to replay:
+///   ./plan_fuzz_test --gtest_filter='*PlanFuzzTest.*/<seed-1>'
+std::string RunSeed(uint64_t seed, int rounds, photon::exec::Driver* driver) {
+  photon::ObjectStore store;
+  pt::DataGen gen(seed * 7919 + 1);
+
+  photon::Schema fact_schema = gen.RandomSchema("f_", 3, 6);
+  photon::Table fact = gen.RandomTable(
+      fact_schema, static_cast<int>(gen.rng().Uniform(600, 1500)));
+  photon::Schema dim_schema = gen.RandomSchema("d_", 2, 4);
+  photon::Table dim = gen.RandomTable(
+      dim_schema, static_cast<int>(gen.rng().Uniform(100, 400)));
+
+  pt::FuzzInput fact_input;
+  fact_input.name = "fact";
+  fact_input.table = &fact;
+  auto snapshot = gen.WriteDelta(&store, "/fuzz/fact", fact);
+  if (!snapshot.ok()) {
+    return "WriteDelta failed: " + snapshot.status().ToString();
+  }
+  fact_input.store = &store;
+  fact_input.delta = *snapshot;
+
+  pt::FuzzInput dim_input;
+  dim_input.name = "dim";
+  dim_input.table = &dim;
+
+  pt::PlanGen plangen(seed, {&fact_input, &dim_input});
+  pt::DifferentialOptions opts;
+  opts.fault_store = &store;
+  opts.spill_prefix = "fuzz-spill/" + std::to_string(seed);
+
+  for (int round = 0; round < rounds; round++) {
+    photon::plan::PlanPtr p = plangen.RandomPlan();
+    std::string diff = pt::RunDifferential(p, driver, opts);
+    if (diff.empty()) continue;
+    // Shrink before reporting: the minimized plan plus the seed is the
+    // checked-in reproducer for the finding.
+    photon::plan::PlanPtr minimized = pt::MinimizePlan(
+        p, [&](const photon::plan::PlanPtr& candidate) {
+          return !pt::RunDifferential(candidate, driver, opts).empty();
+        });
+    return "seed " + std::to_string(seed) + " round " +
+           std::to_string(round) + ": " + diff + "\nminimized plan:\n" +
+           minimized->ToString();
+  }
+  return "";
+}
+
+class PlanFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlanFuzzTest, EnginesAgreeUnderAllModes) {
+  static photon::exec::Driver driver(8);
+  std::string failure = RunSeed(GetParam(), /*rounds=*/3, &driver);
+  EXPECT_TRUE(failure.empty()) << failure;
+}
+
+// The fixed 64-seed tier-1 corpus (--soak N extends it arbitrarily).
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{65}));
+
+}  // namespace
+
+/// Overrides gtest_main: `--soak N` loops seeds 1..N outside gtest for
+/// long fuzzing runs (bench/bench_fuzz_soak.cc wraps the same loop with
+/// wall-clock reporting); otherwise behaves exactly like gtest_main.
+int main(int argc, char** argv) {
+  long soak = 0;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--soak") == 0 && i + 1 < argc) {
+      soak = std::atol(argv[i + 1]);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  if (soak > 0) {
+    photon::exec::Driver driver(8);
+    int failures = 0;
+    for (long seed = 1; seed <= soak; seed++) {
+      std::string failure =
+          RunSeed(static_cast<uint64_t>(seed), /*rounds=*/3, &driver);
+      if (!failure.empty()) {
+        failures++;
+        std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+      }
+      if (seed % 32 == 0) {
+        std::fprintf(stderr, "soak: %ld/%ld seeds, %d failures\n", seed,
+                     soak, failures);
+      }
+    }
+    std::fprintf(stderr, "soak done: %ld seeds, %d failures\n", soak,
+                 failures);
+    return failures == 0 ? 0 : 1;
+  }
+  return RUN_ALL_TESTS();
+}
