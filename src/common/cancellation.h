@@ -1,0 +1,97 @@
+#ifndef PHOTON_COMMON_CANCELLATION_H_
+#define PHOTON_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace photon {
+
+/// Cooperative cancellation + deadline token for one query. The service
+/// layer allocates one per session; the driver threads it through
+/// ExecContext into every task, which polls Check() at morsel claims,
+/// batch pulls, and stage barriers, and the MemoryManager polls it while
+/// a reservation is blocked on backpressure. All members are atomics, so
+/// Cancel() may be called from any thread (including while tasks run).
+///
+/// Cancellation is cooperative, never preemptive: a cancelled task
+/// surfaces kCancelled from its next checkpoint and unwinds through the
+/// normal error path, so RAII (consumer registrations, shuffle guards,
+/// prefetch cancellation) releases memory, spill blocks, and cache pins
+/// exactly as on any other failure.
+class QueryControl {
+ public:
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  /// Requests cancellation; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Absolute steady-clock deadline in ns; Check() fails once passed.
+  void set_deadline_ns(int64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_release);
+  }
+  /// Convenience: deadline `ms` from now (0 or negative = no deadline).
+  void SetDeadlineAfterMs(int64_t ms) {
+    if (ms > 0) set_deadline_ns(SteadyNowNs() + ms * 1000000);
+  }
+  int64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_acquire);
+  }
+
+  /// Test hook: self-cancel after `n` more Check() calls. Pinning the
+  /// cancellation to a checkpoint count makes "cancel mid-scan /
+  /// mid-build / mid-spill" deterministic instead of a timing race.
+  void CancelAfterChecks(int64_t n) {
+    checks_until_cancel_.store(n, std::memory_order_release);
+  }
+
+  /// The cancellation checkpoint. OK while the query may keep running;
+  /// kCancelled after Cancel(); kDeadlineExceeded once the deadline has
+  /// passed (which also latches the cancelled flag, so every observer —
+  /// including ones that only look at cancelled() — stops promptly).
+  Status Check() {
+    int64_t remaining =
+        checks_until_cancel_.load(std::memory_order_relaxed);
+    if (remaining >= 0 &&
+        checks_until_cancel_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      Cancel();
+    }
+    if (cancelled()) {
+      return deadline_hit_.load(std::memory_order_acquire)
+                 ? Status::DeadlineExceeded("query deadline exceeded")
+                 : Status::Cancelled("query cancelled");
+    }
+    int64_t deadline = deadline_ns();
+    if (deadline != kNoDeadline && SteadyNowNs() >= deadline) {
+      deadline_hit_.store(true, std::memory_order_release);
+      Cancel();
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  static int64_t SteadyNowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_hit_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  /// < 0 disables the test hook.
+  std::atomic<int64_t> checks_until_cancel_{-1};
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_COMMON_CANCELLATION_H_

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "KeyError";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

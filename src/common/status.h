@@ -18,6 +18,7 @@ enum class StatusCode : int {
   kInternal = 5,
   kKeyError = 6,
   kCancelled = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// A cheap, movable success-or-error value. OK status carries no allocation.
@@ -62,6 +63,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -72,10 +76,17 @@ class Status {
     return state_ ? state_->msg : kEmpty;
   }
 
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
   bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   std::string ToString() const;

@@ -24,6 +24,24 @@ int64_t NowNs() { return obs::WallNowNs(); }
 constexpr int kMorselBatches = 8;   // table batches per morsel
 constexpr int kFilesPerMorsel = 2;  // scan files per morsel
 
+// Process-wide counters: task groups and shuffle ids must be unique
+// across *all* Driver instances. Concurrent sessions each construct a
+// driver over one shared MemoryManager and object store; colliding group
+// ids would put two queries' consumers in one spill-victim set (a
+// cross-thread Spill() race), and colliding shuffle ids would mix their
+// blocks.
+std::atomic<int64_t> g_next_task_group{1};
+std::atomic<int64_t> g_next_shuffle_id{0};
+
+int64_t NextTaskGroup() {
+  return g_next_task_group.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Cancellation checkpoint helper: OK when no token is attached.
+Status CheckAlive(const ExecContext& ctx) {
+  return ctx.control != nullptr ? ctx.control->Check() : Status::OK();
+}
+
 /// Deletes a shuffle's blocks on scope exit: a failed map or reduce task
 /// must not leak shuffle data in the object store.
 class ShuffleGuard {
@@ -111,7 +129,7 @@ Result<Table> Driver::Run(const plan::PlanPtr& plan, ExecContext ctx,
   int64_t t0 = NowNs();
   Result<Table> out = RunNode(plan, &state, -1);
   if (profile != nullptr) {
-    *profile = builder.Finish(NowNs() - t0, pool_.num_threads());
+    *profile = builder.Finish(NowNs() - t0, num_threads());
   }
   return out;
 }
@@ -134,7 +152,7 @@ Result<Table> Driver::RunNode(const plan::PlanPtr& node, RunState* state,
                               RunNode(node->children[0], state, limit_id));
       LimitOperator limit(OperatorPtr(new InMemoryScanOperator(&child)),
                           node->limit);
-      Result<Table> out = CollectAll(&limit);
+      Result<Table> out = CollectAll(&limit, state->ctx.control);
       if (state->profile != nullptr) {
         limit.PublishMetrics();
         state->profile
@@ -192,7 +210,7 @@ Result<Driver::StagedFragment> Driver::PrepareFragment(
         Table build_table,
         RunNode(node->children[1], state, frag.node_ids[i]));
     ExecContext build_ctx = state->ctx;
-    build_ctx.task_group = next_task_group_.fetch_add(1);
+    build_ctx.task_group = NextTaskGroup();
     InMemoryScanOperator build_scan(&build_table);
     obs::TraceSpan span("join_build", static_cast<int64_t>(i));
     PHOTON_ASSIGN_OR_RETURN(
@@ -249,7 +267,7 @@ Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
     // Read-aheads go to the driver's IO pool; sharing the worker pool
     // would let a prefetch future queue behind the very task waiting on
     // it.
-    if (io.prefetch_pool != nullptr) io.prefetch_pool = &io_pool_;
+    if (io.prefetch_pool != nullptr) io.prefetch_pool = io_pool_;
     op = OperatorPtr(new FileScanOperator(leaf->store, std::move(subset),
                                           leaf->snapshot.schema,
                                           leaf->scan_columns,
@@ -289,7 +307,7 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
   std::vector<Morsel> morsels =
       SplitMorsels(frag.units, frag.units_per_morsel);
   const int num_morsels = static_cast<int>(morsels.size());
-  const int num_tasks = std::min(pool_.num_threads(), num_morsels);
+  const int num_tasks = std::min(num_threads(), num_morsels);
   const int stage_id = info->stage_id;
   obs::ProfileBuilder* profile = state->profile;
   obs::MetricSet* stage_set =
@@ -304,17 +322,29 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
   MorselQueue queue(num_morsels);
   std::vector<std::unique_ptr<Table>> slots(num_morsels);
 
-  auto worker = [&, stage_id]() -> Status {
-    // One metric shard per (node, worker): the shard is only ever touched
-    // by this thread, so the hot path is uncontended relaxed atomics and
-    // the merge happens here, after the morsel is drained — the
-    // sharded-then-merged-at-barriers design of §5.2.
+  // One metric shard per (node, worker): the shard is only ever touched
+  // by this thread, so the hot path is uncontended relaxed atomics and
+  // the merge happens here, after the morsel is drained — the
+  // sharded-then-merged-at-barriers design of §5.2.
+  //
+  // `max_claims` bounds how many morsels one invocation drains: the
+  // standalone driver launches num_tasks unbounded claim loops (each
+  // worker thread drains greedily), while service mode submits one
+  // single-claim task per morsel to the fair scheduler — yielding the
+  // worker between morsels is exactly what lets a peer query's task run.
+  auto worker = [&, stage_id](int max_claims) -> Status {
     const int64_t task_id = profile != nullptr ? profile->NewTaskId() : 0;
-    for (int m = queue.Next(); m >= 0; m = queue.Next()) {
+    for (int claimed = 0; claimed < max_claims; claimed++) {
+      // Morsel claims are cancellation points: a cancelled or
+      // deadline-expired query stops claiming work here, and the claim
+      // its peers skip is what makes cancellation prompt at 8 threads.
+      PHOTON_RETURN_NOT_OK(CheckAlive(state->ctx));
+      int m = queue.Next();
+      if (m < 0) break;
       obs::TraceSpan morsel_span("morsel", m);
       int64_t cpu0 = profile != nullptr ? obs::ThreadCpuNs() : 0;
       ExecContext task_ctx = state->ctx;
-      task_ctx.task_group = next_task_group_.fetch_add(1);
+      task_ctx.task_group = NextTaskGroup();
       // Unique per-task spill namespace: concurrent tasks must never
       // collide on object-store spill keys.
       task_ctx.spill_prefix = state->ctx.spill_prefix + "/s" +
@@ -330,7 +360,7 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
       if (profile != nullptr && op.get() != chain_top) {
         harvest.emplace_back(op.get(), wrap_node_id);
       }
-      Result<Table> out = CollectAll(op.get());
+      Result<Table> out = CollectAll(op.get(), state->ctx.control);
       if (profile != nullptr) {
         for (const auto& [hop, nid] : harvest) {
           hop->PublishMetrics();
@@ -352,21 +382,43 @@ Result<std::vector<std::unique_ptr<Table>>> Driver::RunMorselStage(
   };
 
   Status status = Status::OK();
-  if (num_tasks <= 1) {
-    // One morsel (or one worker): run inline on the calling thread.
-    status = worker();
+  if (num_morsels == 1 || (scheduler_ == nullptr && num_tasks <= 1)) {
+    // One morsel (or a single-worker standalone driver): run inline on
+    // the calling thread. In service mode this keeps point queries off
+    // the shared queues entirely — their single morsel runs on the
+    // session's own control thread at zero scheduling latency — but a
+    // multi-morsel stage always goes through the scheduler, whatever its
+    // size, so the worker cap and round-robin fairness hold.
+    status = worker(num_morsels);
   } else {
     std::vector<std::future<Status>> futures;
-    futures.reserve(num_tasks);
-    for (int t = 0; t < num_tasks; t++) futures.push_back(pool_.Submit(worker));
+    if (scheduler_ != nullptr) {
+      // Service mode: one single-claim task per morsel on this query's
+      // queue. The scheduler drains queues round-robin, so between any
+      // two of our morsels every peer query gets a turn.
+      futures.reserve(num_morsels);
+      for (int t = 0; t < num_morsels; t++) {
+        futures.push_back(SubmitTask([&worker] { return worker(1); }));
+      }
+    } else {
+      futures.reserve(num_tasks);
+      for (int t = 0; t < num_tasks; t++) {
+        futures.push_back(SubmitTask([&worker, num_morsels] {
+          return worker(num_morsels);
+        }));
+      }
+    }
     // Join every task before surfacing the first error — peers share the
-    // queue and the output slots.
+    // queue and the output slots. (Also a breaker-barrier cancellation
+    // point: the post-join CheckAlive below turns "every task bailed at
+    // its claim" into a crisp kCancelled for the whole stage.)
     obs::TraceSpan barrier("stage_barrier", stage_id);
     for (auto& f : futures) {
       Status s = f.get();
       if (status.ok() && !s.ok()) status = s;
     }
   }
+  if (status.ok()) status = CheckAlive(state->ctx);
   PHOTON_RETURN_NOT_OK(status);
 
   info->num_tasks = num_tasks;
@@ -461,14 +513,14 @@ Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
     if (t != nullptr) AppendTable(*t, &blobs);
   }
   ExecContext merge_ctx = state->ctx;
-  merge_ctx.task_group = next_task_group_.fetch_add(1);
+  merge_ctx.task_group = NextTaskGroup();
   merge_ctx.spill_prefix = state->ctx.spill_prefix + "/s" +
                            std::to_string(info.stage_id) + "-merge";
   HashAggregateOperator merge(OperatorPtr(new InMemoryScanOperator(&blobs)),
                               node->group_keys, node->key_names,
                               node->aggregates, merge_ctx,
                               AggMode::kFinalMerge);
-  Result<Table> out = CollectAll(&merge);
+  Result<Table> out = CollectAll(&merge, state->ctx.control);
   if (profile != nullptr) {
     profile->SetStage(final_id, merge_info.stage_id);
     merge.PublishMetrics();
@@ -525,6 +577,9 @@ Result<Table> Driver::RunSort(const plan::PlanPtr& node, RunState* state,
   int64_t t0 = NowNs();
   StageInfo merge_info;
   merge_info.stage_id = state->next_stage_id++;
+  // Breaker-barrier cancellation point: don't start a k-way merge for a
+  // query that was cancelled while its runs were sorting.
+  PHOTON_RETURN_NOT_OK(CheckAlive(state->ctx));
   std::vector<Table*> runs;
   runs.reserve(outputs.size());
   for (auto& t : outputs) {
@@ -563,7 +618,7 @@ Result<Table> Driver::RunSingleTask(const plan::PlanPtr& plan,
                                     ExecContext ctx, StageInfo* stage) {
   PHOTON_ASSIGN_OR_RETURN(OperatorPtr root, plan::CompilePhoton(plan, ctx));
   int64_t t0 = NowNs();
-  Result<Table> result = CollectAll(root.get());
+  Result<Table> result = CollectAll(root.get(), ctx.control);
   if (stage != nullptr) {
     stage->num_tasks = 1;
     // Resource metrics (IO, memory, spill) fold over the whole tree into
@@ -582,7 +637,7 @@ Result<Table> Driver::RunShuffledAggregate(
     const Table& input, std::vector<ExprPtr> keys,
     std::vector<std::string> key_names, std::vector<AggregateSpec> aggs,
     int num_partitions, std::vector<StageInfo>* stages) {
-  std::string shuffle_id = "driver-" + std::to_string(next_shuffle_id_++);
+  std::string shuffle_id = "driver-" + std::to_string(g_next_shuffle_id.fetch_add(1));
   // Any early return below (failed map task, failed reduce task) must
   // still clean up whatever blocks were written.
   ShuffleGuard guard(shuffle_id);
@@ -590,7 +645,7 @@ Result<Table> Driver::RunShuffledAggregate(
   // ---- Stage 1: map tasks write the shuffle ------------------------------
   int64_t t0 = NowNs();
   int num_map_tasks =
-      std::min(pool_.num_threads(), std::max(1, input.num_batches()));
+      std::min(num_threads(), std::max(1, input.num_batches()));
   int batches_per_task =
       (input.num_batches() + num_map_tasks - 1) / std::max(1, num_map_tasks);
   std::vector<std::future<Status>> map_futures;
@@ -598,7 +653,7 @@ Result<Table> Driver::RunShuffledAggregate(
     int begin = t * batches_per_task;
     int end = std::min(input.num_batches(), begin + batches_per_task);
     if (begin >= end) break;
-    map_futures.push_back(pool_.Submit([&, t, begin, end]() -> Status {
+    map_futures.push_back(SubmitTask([&, t, begin, end]() -> Status {
       ShuffleOptions options;
       options.num_partitions = num_partitions;
       options.writer_id = t;
@@ -636,7 +691,7 @@ Result<Table> Driver::RunShuffledAggregate(
   // finished, §2.2.)
   std::vector<std::future<Result<Table>>> reduce_futures;
   for (int p = 0; p < num_partitions; p++) {
-    reduce_futures.push_back(pool_.Submit([&, p]() -> Result<Table> {
+    reduce_futures.push_back(SubmitTask([&, p]() -> Result<Table> {
       auto read = std::make_unique<ShuffleReadOperator>(input.schema(),
                                                         shuffle_id, p);
       auto agg = std::make_unique<HashAggregateOperator>(

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/morsel.h"
+#include "exec/task_scheduler.h"
 #include "exec/thread_pool.h"
 #include "obs/profile.h"
 #include "ops/hash_aggregate.h"
@@ -56,8 +57,27 @@ struct StageInfo {
 /// boundaries in the real system).
 class Driver {
  public:
-  explicit Driver(int num_threads = 4)
-      : pool_(num_threads), io_pool_(std::max(2, num_threads)) {}
+  /// Standalone driver owning its pools. Pool sizes are explicit per
+  /// pool: `num_threads` workers execute morsel tasks; `io_threads` run
+  /// scan read-aheads. `io_threads < 0` (the documented default) sizes
+  /// the IO pool to max(2, num_threads) — enough to double-buffer every
+  /// worker without assuming anything about hardware concurrency.
+  explicit Driver(int num_threads = 4, int io_threads = -1)
+      : owned_pool_(std::make_unique<ThreadPool>(num_threads)),
+        owned_io_pool_(std::make_unique<ThreadPool>(
+            io_threads >= 0 ? io_threads : std::max(2, num_threads))),
+        pool_(owned_pool_.get()),
+        io_pool_(owned_io_pool_.get()) {}
+
+  /// Service-mode driver: no pools of its own. Morsel tasks go to
+  /// `scheduler`'s shared worker pool on the per-query queue
+  /// `query_slot` (see TaskScheduler — queues are drained round-robin
+  /// across queries, so this driver's stages cannot starve a peer's).
+  /// Read-aheads go to the shared `io_pool`. One task is submitted per
+  /// morsel, so fairness is morsel-granular; stage barriers block the
+  /// calling (per-session control) thread, never a scheduler worker.
+  Driver(TaskScheduler* scheduler, int64_t query_slot, ThreadPool* io_pool)
+      : scheduler_(scheduler), query_slot_(query_slot), io_pool_(io_pool) {}
 
   /// Runs an arbitrary logical plan multi-threaded. The plan is cut into
   /// stages at pipeline breakers (stage_planner.h); each stage's input is
@@ -102,7 +122,12 @@ class Driver {
   Result<Table> RunSingleTask(const plan::PlanPtr& plan, ExecContext ctx = {},
                               StageInfo* stage = nullptr);
 
-  int num_threads() const { return pool_.num_threads(); }
+  /// Worker parallelism: the owned pool's size, or the shared
+  /// scheduler's in service mode.
+  int num_threads() const {
+    return scheduler_ != nullptr ? scheduler_->num_threads()
+                                 : pool_->num_threads();
+  }
 
  private:
   struct RunState;        // per-Run bookkeeping (ctx, stage list, profile)
@@ -134,17 +159,28 @@ class Driver {
       const StagedFragment& frag, RunState* state, const WrapFn& wrap,
       int wrap_node_id, StageInfo* info);
 
-  ThreadPool pool_;
+  /// Submits a worker task: to the shared scheduler's per-query queue in
+  /// service mode, else to the owned pool.
+  template <typename Fn>
+  auto SubmitTask(Fn&& fn) -> std::future<decltype(fn())> {
+    if (scheduler_ != nullptr) {
+      return scheduler_->Submit(query_slot_, std::forward<Fn>(fn));
+    }
+    return pool_->Submit(std::forward<Fn>(fn));
+  }
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::unique_ptr<ThreadPool> owned_io_pool_;
+  /// Shared fair scheduler + this query's queue slot (service mode only).
+  TaskScheduler* scheduler_ = nullptr;
+  int64_t query_slot_ = 0;
+  /// Worker pool; null in service mode (scheduler_ used instead).
+  ThreadPool* pool_ = nullptr;
   /// Dedicated pool for scan read-aheads. Prefetch futures must never
   /// queue behind the worker tasks that block on them — with a saturated
-  /// shared pool that is a deadlock.
-  ThreadPool io_pool_;
-  int64_t next_shuffle_id_ = 0;
-  /// Every task gets a fresh memory task group (see MemoryConsumer): a
-  /// task under memory pressure only spills its own consumers (plus
-  /// spill-safe ones like the block cache), never a peer's mid-build
-  /// state on another thread.
-  std::atomic<int64_t> next_task_group_{1};
+  /// shared pool that is a deadlock. Shared across sessions in service
+  /// mode (prefetch tasks are leaf work and never wait on workers).
+  ThreadPool* io_pool_ = nullptr;
 };
 
 }  // namespace exec

@@ -1,0 +1,101 @@
+#include "exec/task_scheduler.h"
+
+#include "common/macros.h"
+
+namespace photon {
+namespace exec {
+
+TaskScheduler::TaskScheduler(int num_threads) {
+  PHOTON_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int64_t TaskScheduler::RegisterQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto q = std::make_unique<QueryQueue>();
+  q->id = next_query_id_++;
+  queues_.push_back(std::move(q));
+  return queues_.back()->id;
+}
+
+void TaskScheduler::UnregisterQuery(int64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < queues_.size(); i++) {
+    if (queues_[i]->id != query_id) continue;
+    queues_.erase(queues_.begin() + i);
+    // Keep the cursor pointing at the same successor queue so removal of
+    // an earlier query doesn't double-serve a later one this round.
+    if (rr_ > i) rr_--;
+    if (!queues_.empty()) rr_ %= queues_.size();
+    return;
+  }
+  PHOTON_CHECK(false);  // unknown query id
+}
+
+void TaskScheduler::Enqueue(int64_t query_id, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& q : queues_) {
+      if (q->id != query_id) continue;
+      q->tasks.push_back(std::move(fn));
+      cv_.notify_one();
+      return;
+    }
+    PHOTON_CHECK(false);  // submit to an unregistered query
+  }
+}
+
+std::function<void()> TaskScheduler::ClaimLocked() {
+  const size_t n = queues_.size();
+  for (size_t step = 0; step < n; step++) {
+    QueryQueue& q = *queues_[(rr_ + step) % n];
+    if (q.tasks.empty()) continue;
+    std::function<void()> fn = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    // Advance past the served queue: the next claim starts at its
+    // successor, which is what makes service round-robin.
+    rr_ = (rr_ + step + 1) % n;
+    return fn;
+  }
+  return {};
+}
+
+void TaskScheduler::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        if (shutdown_) return true;
+        for (const auto& q : queues_) {
+          if (!q->tasks.empty()) return true;
+        }
+        return false;
+      });
+      task = ClaimLocked();
+      if (task == nullptr) {
+        if (shutdown_) return;
+        continue;
+      }
+    }
+    // Counted before running: a task's future can be observed complete
+    // the instant it finishes, and the count must not lag behind it.
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    task();
+  }
+}
+
+}  // namespace exec
+}  // namespace photon

@@ -141,6 +141,17 @@ bool BlockCache::Pin(const std::string& key, int32_t block) {
   return true;
 }
 
+int64_t BlockCache::pinned_entries() const {
+  int64_t pinned = 0;
+  for (int s = 0; s < options_.num_shards; s++) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const Entry& e : shards_[s].lru) {
+      if (e.pin_count > 0) pinned++;
+    }
+  }
+  return pinned;
+}
+
 void BlockCache::Unpin(const std::string& key, int32_t block) {
   std::string mk = MapKey(key, block);
   Shard& shard = ShardFor(mk);

@@ -91,6 +91,11 @@ class BlockCache : public MemoryConsumer {
   Stats stats() const;
   int64_t capacity_bytes() const { return options_.capacity_bytes; }
 
+  /// Entries currently pinned (pin_count > 0), across all shards. A
+  /// leak-check hook: after every session touching this cache has
+  /// finished — successfully or cancelled — this must be zero.
+  int64_t pinned_entries() const;
+
   /// Shared load-deduplication table: every CachingStore reading through
   /// this cache coalesces concurrent misses on the same key to one load.
   SingleFlight* flights() { return &flights_; }

@@ -25,14 +25,23 @@ void MemoryManager::UnregisterConsumer(MemoryConsumer* consumer) {
 Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
   PHOTON_CHECK(bytes >= 0);
   std::unique_lock<std::mutex> lock(mu_);
+  // Per-query timeout override (ExecContext-carried) beats the process
+  // default, so one tenant's fail-fast spill tuning cannot change another
+  // query's backpressure window.
+  const int64_t timeout_ms = consumer->reserve_timeout_ms_ >= 0
+                                 ? consumer->reserve_timeout_ms_
+                                 : reserve_timeout_ms_;
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(reserve_timeout_ms_);
+                        std::chrono::milliseconds(timeout_ms);
   // Blocks until a Release frees capacity, as long as consumers *outside*
   // the requester's victim set still hold memory (they cannot be spilled
   // from this thread, but they will release). Returns false once nothing
   // outside the group holds memory or the deadline passes — then OOM is
   // real, not transient pressure from a concurrent task.
   auto wait_for_other_groups = [&]() -> bool {
+    if (consumer->control_ != nullptr && consumer->control_->cancelled()) {
+      return false;  // cancelled queries must not wait out the timeout
+    }
     int64_t outside = 0;
     for (MemoryConsumer* c : consumers_) {
       if (!(c->spill_safe_ || c->task_group_ == consumer->task_group_)) {
@@ -51,6 +60,12 @@ Status MemoryManager::Reserve(MemoryConsumer* consumer, int64_t bytes) {
     return true;
   };
   while (total_reserved_ + bytes > limit_) {
+    if (consumer->control_ != nullptr) {
+      // A cancelled (or deadline-expired) query under memory pressure
+      // aborts its reservation instead of spilling peers or blocking.
+      Status alive = consumer->control_->Check();
+      if (!alive.ok()) return alive;
+    }
     int64_t need = total_reserved_ + bytes - limit_;
 
     // Spark's policy: ascending by reservation, spill the first consumer

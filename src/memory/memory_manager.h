@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 
 namespace photon {
@@ -56,6 +57,20 @@ class MemoryConsumer {
   bool spill_safe() const { return spill_safe_; }
   void set_spill_safe(bool safe) { spill_safe_ = safe; }
 
+  /// Per-query override of the manager's reserve timeout (see
+  /// MemoryManager::set_reserve_timeout_ms). Negative = use the manager's
+  /// global default. Carried from ExecContext so one tenant's spill
+  /// tuning never changes another query's backpressure behavior. Set
+  /// before registering with the manager.
+  int64_t reserve_timeout_ms() const { return reserve_timeout_ms_; }
+  void set_reserve_timeout_ms(int64_t ms) { reserve_timeout_ms_ = ms; }
+
+  /// Optional cancellation token (the owning query's). A Reserve blocked
+  /// on other task groups' releases polls it so a cancelled query stops
+  /// waiting promptly instead of holding its thread until the timeout.
+  QueryControl* control() const { return control_; }
+  void set_control(QueryControl* control) { control_ = control; }
+
  private:
   friend class MemoryManager;
   std::string name_;
@@ -67,6 +82,8 @@ class MemoryConsumer {
   int64_t spill_count_total_ = 0;
   int64_t task_group_ = 0;
   bool spill_safe_ = false;
+  int64_t reserve_timeout_ms_ = -1;
+  QueryControl* control_ = nullptr;
 };
 
 /// Unified memory manager mirroring Apache Spark's, as Photon integrates
@@ -88,6 +105,9 @@ class MemoryManager {
   /// release memory before declaring a real OOM. The default (10s) suits
   /// production backpressure; tests that drive the manager into genuine
   /// OOM on purpose lower it so every doomed reservation fails fast.
+  /// This is the process-wide default; a consumer whose
+  /// reserve_timeout_ms() is non-negative (set per query via ExecContext)
+  /// overrides it for its own reservations only.
   void set_reserve_timeout_ms(int64_t ms) { reserve_timeout_ms_ = ms; }
   int64_t reserve_timeout_ms() const { return reserve_timeout_ms_; }
 

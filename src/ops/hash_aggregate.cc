@@ -193,7 +193,7 @@ Status HashAggregateOperator::Open() {
         key_types, payload_bytes_, /*match_null_keys=*/true);
   }
   if (exec_ctx_.memory_manager != nullptr) {
-    set_task_group(exec_ctx_.task_group);
+    BindConsumerToContext(this, exec_ctx_);
     exec_ctx_.memory_manager->RegisterConsumer(this);
   }
   input_consumed_ = false;

@@ -193,7 +193,7 @@ Result<JoinBuildPtr> HashJoinOperator::BuildShared(
       key_types, state->payload_bytes, /*match_null_keys=*/false);
   if (exec_ctx.memory_manager != nullptr) {
     state->memory_manager = exec_ctx.memory_manager;
-    state->set_task_group(exec_ctx.task_group);
+    BindConsumerToContext(state.get(), exec_ctx);
     exec_ctx.memory_manager->RegisterConsumer(state.get());
     state->registered = true;
   }
@@ -214,7 +214,7 @@ Status HashJoinOperator::Open() {
         key_types, state_->payload_bytes, /*match_null_keys=*/false);
     if (exec_ctx_.memory_manager != nullptr) {
       state_->memory_manager = exec_ctx_.memory_manager;
-      state_->set_task_group(exec_ctx_.task_group);
+      BindConsumerToContext(state_.get(), exec_ctx_);
       exec_ctx_.memory_manager->RegisterConsumer(state_.get());
       state_->registered = true;
     }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "expr/eval_context.h"
 #include "memory/memory_manager.h"
@@ -42,7 +43,25 @@ struct ExecContext {
   /// MemoryConsumer::task_group). The parallel driver assigns each task a
   /// distinct group so cross-thread spills cannot race.
   int64_t task_group = 0;
+  /// Owning query's cancellation/deadline token (null = uncancellable).
+  /// Polled by the driver at morsel claims, batch pulls, and stage
+  /// barriers, and by blocked memory reservations.
+  QueryControl* control = nullptr;
+  /// Per-query MemoryManager::Reserve timeout; negative = the manager's
+  /// process-wide default. Threaded onto every consumer this context's
+  /// operators register (see MemoryConsumer::reserve_timeout_ms).
+  int64_t reserve_timeout_ms = -1;
 };
+
+/// Copies the context's per-query memory policy (task group, reserve
+/// timeout, cancellation token) onto a consumer. Operators call this
+/// before registering any consumer they create under an ExecContext.
+inline void BindConsumerToContext(MemoryConsumer* consumer,
+                                  const ExecContext& ctx) {
+  consumer->set_task_group(ctx.task_group);
+  consumer->set_reserve_timeout_ms(ctx.reserve_timeout_ms);
+  consumer->set_control(ctx.control);
+}
 
 /// Photon physical operator. Pull model: parents call GetNext() to receive
 /// column batches; nullptr signals end-of-stream (the paper's
@@ -133,7 +152,11 @@ class Operator {
 using OperatorPtr = std::unique_ptr<Operator>;
 
 /// Drains an operator tree into an in-memory table (test/bench helper).
-Result<Table> CollectAll(Operator* root);
+/// With a non-null `control` the drain loop is a cancellation point: it
+/// checks the token before every batch pull, so a cancelled or
+/// deadline-expired query stops between batches (mid-scan, mid-probe)
+/// without waiting for the operator to finish its input.
+Result<Table> CollectAll(Operator* root, QueryControl* control = nullptr);
 
 /// Calls PublishMetrics on every operator in the tree.
 void PublishTreeMetrics(Operator* root);

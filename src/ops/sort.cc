@@ -173,7 +173,7 @@ SortOperator::~SortOperator() {
 Status SortOperator::Open() {
   PHOTON_RETURN_NOT_OK(child_->Open());
   if (exec_ctx_.memory_manager != nullptr) {
-    set_task_group(exec_ctx_.task_group);
+    BindConsumerToContext(this, exec_ctx_);
     exec_ctx_.memory_manager->RegisterConsumer(this);
   }
   input_consumed_ = false;

@@ -1,0 +1,121 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/macros.h"
+
+namespace photon {
+namespace service {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  PHOTON_CHECK(options_.max_running > 0);
+  PHOTON_CHECK(options_.memory_budget_bytes > 0);
+}
+
+bool AdmissionController::IsHeadLocked(const Waiter& w) const {
+  for (const Waiter& other : queue_) {
+    if (other.priority > w.priority) return false;
+    if (other.priority == w.priority && other.seq < w.seq) return false;
+  }
+  return true;
+}
+
+Status AdmissionController::Admit(int64_t memory_bytes, int priority,
+                                  QueryControl* control) {
+  PHOTON_CHECK(memory_bytes >= 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (memory_bytes > options_.memory_budget_bytes) {
+    rejected_total_++;
+    return Status::InvalidArgument(
+        "query declares more memory than the service budget");
+  }
+
+  Waiter self;
+  self.priority = priority;
+  self.seq = next_seq_++;
+  queue_.push_back(self);
+  bool waited = false;
+
+  auto erase_self = [&] {
+    for (size_t i = 0; i < queue_.size(); i++) {
+      if (queue_[i].seq != self.seq) continue;
+      queue_.erase(queue_.begin() + i);
+      return;
+    }
+    PHOTON_CHECK(false);  // waiter vanished from the queue
+  };
+
+  while (true) {
+    if (control != nullptr) {
+      Status alive = control->Check();
+      if (!alive.ok()) {
+        erase_self();
+        // A cancelled head unblocks whoever was queued behind it.
+        cv_.notify_all();
+        return alive;
+      }
+    }
+    if (IsHeadLocked(self) && running_ < options_.max_running &&
+        reserved_bytes_ + memory_bytes <= options_.memory_budget_bytes) {
+      erase_self();
+      running_++;
+      reserved_bytes_ += memory_bytes;
+      admitted_total_++;
+      if (waited) waited_total_++;
+      // Successors may fit alongside us (multiple running slots).
+      cv_.notify_all();
+      return Status::OK();
+    }
+    waited = true;
+    // Bounded wait so cancellation/deadline of a *queued* query is seen
+    // promptly even though Cancel() doesn't know about this cv. Admission
+    // is far off the data path; a 5ms poll is noise here.
+    cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+}
+
+void AdmissionController::Release(int64_t memory_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PHOTON_CHECK(running_ > 0);
+    running_--;
+    reserved_bytes_ -= memory_bytes;
+    PHOTON_CHECK(reserved_bytes_ >= 0);
+  }
+  cv_.notify_all();
+}
+
+int64_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int64_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+int64_t AdmissionController::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_bytes_;
+}
+
+int64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+int64_t AdmissionController::rejected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_total_;
+}
+
+int64_t AdmissionController::waited_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waited_total_;
+}
+
+}  // namespace service
+}  // namespace photon

@@ -1,0 +1,97 @@
+#ifndef PHOTON_SERVICE_ADMISSION_H_
+#define PHOTON_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace photon {
+namespace service {
+
+/// Admission policy knobs. The memory budget is the sum of the *declared*
+/// reservations of running queries, not live MemoryManager usage: admission
+/// decides before a query runs, on what it promised to need, so a burst of
+/// submissions queues instead of driving the memory manager into timeout
+/// OOMs (ISSUE: "never spurious-OOM").
+struct AdmissionOptions {
+  /// Maximum queries in the running state; further admits queue.
+  int max_running = 4;
+  /// Cap on summed declared memory of running queries. A single query
+  /// declaring more than this is rejected outright (it could never run).
+  int64_t memory_budget_bytes = 256LL << 20;
+};
+
+/// FIFO-with-priority admission control for the query service.
+///
+/// Queued queries are ordered by (priority desc, arrival order); only the
+/// *head* of that order is ever admitted. No bypass: a small query behind
+/// a large head waits until the head fits, which is what makes arrival
+/// order a progress guarantee — every queued query's position only
+/// improves (within its priority band), so equal-priority queries cannot
+/// starve each other. Higher-priority arrivals do step in front of lower
+/// bands; a saturating high-priority stream starving a low-priority tenant
+/// is the configured policy, not a bug.
+///
+/// Admit() blocks on the caller's (per-session control) thread and polls
+/// the query's cancellation token, so a queued query can be cancelled or
+/// deadline out without ever running.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until this query is admitted (OK), its token is cancelled /
+  /// past deadline (Cancelled / DeadlineExceeded), or `memory_bytes`
+  /// exceeds the whole budget (InvalidArgument, immediately — queueing
+  /// a query that can never fit would wedge the queue behind it).
+  /// `control` may be null (uncancellable wait).
+  /// Every OK return must be paired with one Release(memory_bytes).
+  Status Admit(int64_t memory_bytes, int priority, QueryControl* control);
+
+  /// Returns an admitted query's slot and declared memory to the pool and
+  /// wakes the queue head.
+  void Release(int64_t memory_bytes);
+
+  int64_t running() const;
+  int64_t queued() const;
+  /// Declared bytes of currently running queries.
+  int64_t reserved_bytes() const;
+  int64_t admitted_total() const;
+  int64_t rejected_total() const;
+  /// Total admissions that had to queue (did not get in on first check).
+  int64_t waited_total() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    int priority = 0;
+    int64_t seq = 0;
+  };
+
+  /// True iff `w` is the queue head: no queued waiter has higher priority,
+  /// nor the same priority with an earlier arrival. Caller holds mu_.
+  bool IsHeadLocked(const Waiter& w) const;
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Waiter> queue_;
+  int64_t next_seq_ = 0;
+  int running_ = 0;
+  int64_t reserved_bytes_ = 0;
+  int64_t admitted_total_ = 0;
+  int64_t rejected_total_ = 0;
+  int64_t waited_total_ = 0;
+};
+
+}  // namespace service
+}  // namespace photon
+
+#endif  // PHOTON_SERVICE_ADMISSION_H_

@@ -7,6 +7,7 @@
 
 #include "baseline/row_operator.h"
 #include "memory/memory_manager.h"
+#include "service/query_service.h"
 
 namespace photon {
 namespace testing {
@@ -142,12 +143,14 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
     int64_t budget = opts.spill_budget_bytes;
     for (int attempt = 0; attempt < 4; attempt++) {
       MemoryManager mm(budget);
-      // Tiny budgets hit genuine OOM by design; don't let each doomed
-      // reservation block the full production backpressure window.
-      mm.set_reserve_timeout_ms(50);
       ExecContext ctx;
       ctx.memory_manager = &mm;
       ctx.spill_prefix = opts.spill_prefix;
+      // Tiny budgets hit genuine OOM by design; don't let each doomed
+      // reservation block the full production backpressure window. Set
+      // through the per-query ExecContext override (not the manager
+      // default) so the fuzz corpus exercises that path.
+      ctx.reserve_timeout_ms = 50;
       if (opts.fault_store != nullptr) {
         opts.fault_store->FailNextGets(opts.fault_gets);
       }
@@ -180,6 +183,57 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
     if (!diff.empty()) {
       return mode.label + " diverges from baseline: " + diff + "\nplan:\n" +
              p->ToString();
+    }
+  }
+  return "";
+}
+
+std::string RunConcurrentDifferential(
+    const std::vector<plan::PlanPtr>& plans,
+    const ConcurrentDifferentialOptions& opts) {
+  // Serial references first: single task, unlimited memory — pure
+  // sequential execution with nothing shared.
+  std::vector<CanonicalResult> expected;
+  expected.reserve(plans.size());
+  exec::Driver reference(1);
+  for (size_t i = 0; i < plans.size(); i++) {
+    Result<Table> t = reference.RunSingleTask(plans[i]);
+    if (!t.ok()) {
+      return "serial reference failed for plan " + std::to_string(i) + ": " +
+             t.status().ToString() + "\nplan:\n" + plans[i]->ToString();
+    }
+    expected.push_back(Canonicalize(*t));
+  }
+
+  service::ServiceOptions service_options;
+  service_options.worker_threads = opts.worker_threads;
+  service_options.memory_limit_bytes = opts.memory_limit_bytes;
+  service_options.max_concurrent_queries = opts.max_concurrent_queries;
+  service::QueryService svc(service_options);
+  service::SessionOptions session_options;
+  // Declared memory sized so a full running set stays within budget:
+  // submissions beyond the cap queue instead of overcommitting.
+  session_options.memory_bytes =
+      opts.memory_limit_bytes / opts.max_concurrent_queries;
+  std::vector<std::shared_ptr<service::QuerySession>> sessions;
+  sessions.reserve(plans.size());
+  for (const plan::PlanPtr& p : plans) {
+    sessions.push_back(svc.Submit(p, session_options));
+  }
+  for (size_t i = 0; i < sessions.size(); i++) {
+    Status st = sessions[i]->Wait();
+    if (!st.ok()) {
+      return "concurrent run failed for plan " + std::to_string(i) +
+             " where serial succeeded: " + st.ToString() + "\nplan:\n" +
+             plans[i]->ToString();
+    }
+    std::string diff =
+        DiffCanonical(expected[i], Canonicalize(sessions[i]->table()),
+                      "serial", "concurrent");
+    if (!diff.empty()) {
+      return "concurrent run diverges from serial for plan " +
+             std::to_string(i) + ": " + diff + "\nplan:\n" +
+             plans[i]->ToString();
     }
   }
   return "";

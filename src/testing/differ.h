@@ -48,6 +48,25 @@ struct DifferentialOptions {
 std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
                             const DifferentialOptions& opts);
 
+struct ConcurrentDifferentialOptions {
+  int worker_threads = 4;
+  /// Admission cap: fewer running slots than plans forces queueing.
+  int max_concurrent_queries = 3;
+  int64_t memory_limit_bytes = 256LL << 20;
+};
+
+/// Mode 5, the concurrency analogue of RunDifferential: executes all of
+/// `plans` in flight at once through one multi-tenant QueryService
+/// (shared scheduler, memory pool, admission queue) and diffs every
+/// result against its own serial single-task run. Serial modes cannot see
+/// cross-query interference — scheduler fairness bugs, task-group or
+/// shuffle-id collisions, shared-pool backpressure — this mode exists to.
+/// Returns "" when every concurrent result matches its serial reference,
+/// else a report naming the diverging plan.
+std::string RunConcurrentDifferential(
+    const std::vector<plan::PlanPtr>& plans,
+    const ConcurrentDifferentialOptions& opts);
+
 }  // namespace testing
 }  // namespace photon
 

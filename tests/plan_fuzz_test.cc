@@ -82,6 +82,72 @@ TEST_P(PlanFuzzTest, EnginesAgreeUnderAllModes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanFuzzTest,
                          ::testing::Range(uint64_t{1}, uint64_t{65}));
 
+/// Mode 5 (concurrent differential): the generated inputs of one fuzz
+/// seed, pinned in place so the plans' raw table/store pointers stay
+/// valid while sessions run.
+struct SeedInputs {
+  photon::ObjectStore store;
+  photon::Table fact{photon::Schema()};
+  photon::Table dim{photon::Schema()};
+  pt::FuzzInput fact_input;
+  pt::FuzzInput dim_input;
+
+  /// Null on data-generation failure (reported by the caller).
+  static std::unique_ptr<SeedInputs> Make(uint64_t seed) {
+    pt::DataGen gen(seed * 7919 + 1);
+    auto in = std::make_unique<SeedInputs>();
+    photon::Schema fact_schema = gen.RandomSchema("f_", 3, 6);
+    in->fact = gen.RandomTable(
+        fact_schema, static_cast<int>(gen.rng().Uniform(600, 1500)));
+    photon::Schema dim_schema = gen.RandomSchema("d_", 2, 4);
+    in->dim = gen.RandomTable(
+        dim_schema, static_cast<int>(gen.rng().Uniform(100, 400)));
+    in->fact_input.name = "fact";
+    in->fact_input.table = &in->fact;
+    auto snapshot = gen.WriteDelta(&in->store, "/fuzz/fact", in->fact);
+    if (!snapshot.ok()) return nullptr;
+    in->fact_input.store = &in->store;
+    in->fact_input.delta = *snapshot;
+    in->dim_input.name = "dim";
+    in->dim_input.table = &in->dim;
+    return in;
+  }
+};
+
+/// K seeds in flight: each group runs plans from kSeedsPerGroup distinct
+/// seeds concurrently through one QueryService and diffs every result
+/// against its serial single-task run (pt::RunConcurrentDifferential).
+/// Groups cover the same 1..64 seed range as the serial corpus.
+class ConcurrentPlanFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrentPlanFuzzTest, ConcurrentMatchesSerial) {
+  constexpr int kSeedsPerGroup = 4;
+  constexpr int kPlansPerSeed = 2;
+  uint64_t base = GetParam() * kSeedsPerGroup + 1;
+
+  std::vector<std::unique_ptr<SeedInputs>> inputs;
+  std::vector<photon::plan::PlanPtr> plans;
+  for (int s = 0; s < kSeedsPerGroup; s++) {
+    uint64_t seed = base + s;
+    std::unique_ptr<SeedInputs> in = SeedInputs::Make(seed);
+    ASSERT_NE(in, nullptr) << "WriteDelta failed for seed " << seed;
+    pt::PlanGen plangen(seed, {&in->fact_input, &in->dim_input});
+    for (int round = 0; round < kPlansPerSeed; round++) {
+      plans.push_back(plangen.RandomPlan());
+    }
+    inputs.push_back(std::move(in));
+  }
+
+  pt::ConcurrentDifferentialOptions opts;
+  std::string failure = pt::RunConcurrentDifferential(plans, opts);
+  EXPECT_TRUE(failure.empty()) << "seed group starting at " << base << ": "
+                               << failure;
+}
+
+// 16 groups x 4 seeds = the same tier-1-sized corpus, concurrently.
+INSTANTIATE_TEST_SUITE_P(SeedGroups, ConcurrentPlanFuzzTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{16}));
+
 }  // namespace
 
 /// Overrides gtest_main: `--soak N` loops seeds 1..N outside gtest for
