@@ -16,6 +16,10 @@
 //   --json PATH  also write per-query results as JSON.
 //   --profile DIR  write a QueryProfile JSON per query (profile-q<N>.json)
 //                from a final profiled driver run.
+//   --expr-policy P  pin the expression-evaluation tier (DESIGN.md §12):
+//                adaptive (default), tree (pre-fusion interpreter),
+//                fused, compiled. Results must be bit-identical across
+//                policies; the tree/adaptive delta is the fusion win.
 
 #include <cmath>
 #include <cstdio>
@@ -37,10 +41,28 @@ int main(int argc, char** argv) {
   }
   const char* json_path = bench::FlagValue(argc, argv, "--json");
   const char* profile_dir = bench::FlagValue(argc, argv, "--profile");
+  ExecContext exec_ctx;
+  const char* policy_name = "adaptive";
+  if (const char* v = bench::FlagValue(argc, argv, "--expr-policy")) {
+    policy_name = v;
+    if (std::strcmp(v, "adaptive") == 0) {
+      exec_ctx.expr_policy = ExprPolicy::kAdaptive;
+    } else if (std::strcmp(v, "tree") == 0) {
+      exec_ctx.expr_policy = ExprPolicy::kTreeOnly;
+    } else if (std::strcmp(v, "fused") == 0) {
+      exec_ctx.expr_policy = ExprPolicy::kFusedOnly;
+    } else if (std::strcmp(v, "compiled") == 0) {
+      exec_ctx.expr_policy = ExprPolicy::kCompiledOnly;
+    } else {
+      std::fprintf(stderr, "unknown --expr-policy %s\n", v);
+      return 1;
+    }
+  }
 
   std::printf(
-      "Figure 8: TPC-H SF=%.3f, Photon (%d thread%s) vs DBR (min of runs)\n",
-      sf, threads, threads == 1 ? "" : "s");
+      "Figure 8: TPC-H SF=%.3f, Photon (%d thread%s, expr=%s) vs DBR (min of "
+      "runs)\n",
+      sf, threads, threads == 1 ? "" : "s", policy_name);
   tpch::TpchData data = tpch::GenerateTpch(sf);
   std::printf("  lineitem rows: %lld\n",
               static_cast<long long>(data.lineitem.num_rows()));
@@ -53,6 +75,7 @@ int main(int argc, char** argv) {
   json.Field("bench", std::string("fig8_tpch"));
   json.Field("sf", sf);
   json.Field("threads", threads);
+  json.Field("expr_policy", std::string(policy_name));
   json.BeginArray("queries");
 
   double log_speedup_sum = 0;
@@ -67,12 +90,13 @@ int main(int argc, char** argv) {
     uint64_t checksum = 0;
     int64_t photon_ns;
     if (threads > 1) {
-      photon_ns = bench::BestOf(
-          2, [&] { return bench::TimeDriver(&driver, *p, &rows, &checksum); });
+      photon_ns = bench::BestOf(2, [&] {
+        return bench::TimeDriver(&driver, *p, &rows, &checksum, exec_ctx);
+      });
       // The parallel plan must reproduce the single-task result exactly.
       int64_t ref_rows = 0;
       uint64_t ref_checksum = 0;
-      bench::TimeSingleTask(&driver, *p, &ref_rows, &ref_checksum);
+      bench::TimeSingleTask(&driver, *p, &ref_rows, &ref_checksum, exec_ctx);
       if (rows != ref_rows || checksum != ref_checksum) {
         std::printf("  Q%d MISMATCH: %lld rows (single-task %lld)\n", q,
                     static_cast<long long>(rows),
@@ -81,7 +105,7 @@ int main(int argc, char** argv) {
       }
     } else {
       photon_ns = bench::BestOf(2, [&] {
-        return bench::TimeSingleTask(&driver, *p, &rows, &checksum);
+        return bench::TimeSingleTask(&driver, *p, &rows, &checksum, exec_ctx);
       });
     }
     int64_t dbr_ns =

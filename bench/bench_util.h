@@ -58,9 +58,10 @@ inline uint64_t TableChecksum(const Table& t);  // defined below
 /// parallel runs against the single-task reference.
 inline int64_t TimeDriver(exec::Driver* driver, const plan::PlanPtr& p,
                           int64_t* rows = nullptr,
-                          uint64_t* checksum = nullptr) {
+                          uint64_t* checksum = nullptr,
+                          const ExecContext& ctx = ExecContext()) {
   int64_t t0 = NowNs();
-  Result<Table> result = driver->Run(p);
+  Result<Table> result = driver->Run(p, ctx);
   int64_t elapsed = NowNs() - t0;
   PHOTON_CHECK(result.ok());
   if (rows != nullptr) *rows = result->num_rows();
@@ -71,9 +72,10 @@ inline int64_t TimeDriver(exec::Driver* driver, const plan::PlanPtr& p,
 /// Wall-clock for one single-task Driver run (the per-thread reference).
 inline int64_t TimeSingleTask(exec::Driver* driver, const plan::PlanPtr& p,
                               int64_t* rows = nullptr,
-                              uint64_t* checksum = nullptr) {
+                              uint64_t* checksum = nullptr,
+                              const ExecContext& ctx = ExecContext()) {
   int64_t t0 = NowNs();
-  Result<Table> result = driver->RunSingleTask(p);
+  Result<Table> result = driver->RunSingleTask(p, ctx);
   int64_t elapsed = NowNs() - t0;
   PHOTON_CHECK(result.ok());
   if (rows != nullptr) *rows = result->num_rows();

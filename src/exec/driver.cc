@@ -3,9 +3,11 @@
 #include <chrono>
 #include <utility>
 
+#include "expr/fusion.h"
 #include "obs/trace.h"
 #include "ops/file_scan.h"
 #include "ops/filter.h"
+#include "ops/fused_filter_project.h"
 #include "ops/hash_join.h"
 #include "ops/limit.h"
 #include "ops/project.h"
@@ -77,6 +79,22 @@ const char* ChainNodeName(plan::PlanKind kind) {
   }
 }
 
+bool IsFusable(plan::PlanKind kind) {
+  return kind == plan::PlanKind::kFilter || kind == plan::PlanKind::kProject;
+}
+
+FusedStage StageOf(const plan::PlanNode& node) {
+  FusedStage stage;
+  stage.is_filter = node.kind == plan::PlanKind::kFilter;
+  if (stage.is_filter) {
+    stage.predicate = node.predicate;
+  } else {
+    stage.exprs = node.exprs;
+    stage.names = node.names;
+  }
+  return stage;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -103,11 +121,22 @@ struct Driver::StagedFragment {
   std::vector<std::string> files;       // kDeltaFiles leaf, post-pruning
   int64_t files_pruned = 0;
 
+  /// One physical operator per group: a [begin, end) root-first range of
+  /// cut.nodes. `unit` non-null = the range executes as one
+  /// FusedFilterProjectOperator (compiled once here, shared immutably by
+  /// every task's FusedUnitState); null = a single legacy node.
+  struct FusedGroup {
+    int begin = 0;
+    int end = 0;
+    std::shared_ptr<const FusedUnit> unit;
+  };
+  std::vector<FusedGroup> groups;
+
   /// Parallel to cut.nodes; non-null only at kJoin positions. Built once,
   /// probed concurrently by every task (entries own their bytes).
   std::vector<JoinBuildPtr> builds;
 
-  /// Profile node ids (all -1 when profiling is off): one per cut node,
+  /// Profile node ids (all -1 when profiling is off): one per *group*,
   /// plus the leaf scan; top_node_id is the chain's root, attached to its
   /// parent (breaker or profile root) by the caller.
   std::vector<int> node_ids;
@@ -170,20 +199,64 @@ Result<Driver::StagedFragment> Driver::PrepareFragment(
     const plan::PlanPtr& root, RunState* state) {
   StagedFragment frag;
   frag.cut = plan::CutFragment(root);
+  const std::vector<const plan::PlanNode*>& nodes = frag.cut.nodes;
 
-  // One profile node per chain operator plus the leaf scan, created
-  // root-first so a node's streaming child is its profile child. The top
-  // stays detached until the caller knows its parent (breaker wrapper or
-  // profile root).
+  // Group the chain's consecutive filter/project runs into fused units
+  // (DESIGN.md §12); every other node stays a singleton legacy group. A
+  // unit is compiled once here and shared immutably by every task.
+  size_t i = 0;
+  while (i < nodes.size()) {
+    size_t j = i;
+    if (state->ctx.expr_policy != ExprPolicy::kTreeOnly) {
+      while (j < nodes.size() && IsFusable(nodes[j]->kind)) j++;
+    }
+    if (j == i) {  // non-fusable node (or tree-only policy)
+      frag.groups.push_back(
+          {static_cast<int>(i), static_cast<int>(i) + 1, nullptr});
+      i++;
+      continue;
+    }
+    auto try_compile =
+        [&](size_t begin, size_t end) -> std::shared_ptr<const FusedUnit> {
+      std::vector<FusedStage> stages;
+      stages.reserve(end - begin);
+      for (size_t k = end; k-- > begin;) stages.push_back(StageOf(*nodes[k]));
+      Result<std::shared_ptr<const FusedUnit>> unit = FusedUnit::Compile(
+          stages, nodes[end - 1]->children[0]->output_schema);
+      return unit.ok() ? std::move(*unit) : nullptr;
+    };
+    std::shared_ptr<const FusedUnit> unit = try_compile(i, j);
+    if (unit != nullptr) {
+      frag.groups.push_back(
+          {static_cast<int>(i), static_cast<int>(j), std::move(unit)});
+    } else {
+      // An unsupported expression somewhere in the run: retry each node
+      // alone so only the offending node falls back to the legacy path.
+      for (size_t k = i; k < j; k++) {
+        frag.groups.push_back({static_cast<int>(k), static_cast<int>(k) + 1,
+                               try_compile(k, k + 1)});
+      }
+    }
+    i = j;
+  }
+
+  // One profile node per group plus the leaf scan, created root-first so
+  // a node's streaming child is its profile child. The top stays detached
+  // until the caller knows its parent (breaker wrapper or profile root).
+  // Single-node groups keep their legacy labels whether fused or not;
+  // only a genuinely collapsed run reads "FusedFilterProject".
   obs::ProfileBuilder* profile = state->profile;
-  frag.node_ids.assign(frag.cut.nodes.size(), -1);
+  frag.node_ids.assign(frag.groups.size(), -1);
   if (profile != nullptr) {
     int prev = obs::ProfileBuilder::kDetached;
-    for (size_t i = 0; i < frag.cut.nodes.size(); i++) {
-      frag.node_ids[i] = profile->AddNode(
-          ChainNodeName(frag.cut.nodes[i]->kind),
-          i == 0 ? obs::ProfileBuilder::kDetached : prev);
-      prev = frag.node_ids[i];
+    for (size_t g = 0; g < frag.groups.size(); g++) {
+      const StagedFragment::FusedGroup& grp = frag.groups[g];
+      const char* name = grp.end - grp.begin > 1
+                             ? "FusedFilterProject"
+                             : ChainNodeName(nodes[grp.begin]->kind);
+      frag.node_ids[g] = profile->AddNode(
+          name, g == 0 ? obs::ProfileBuilder::kDetached : prev);
+      prev = frag.node_ids[g];
     }
     const char* leaf_name = "TableScan";
     if (frag.cut.leaf_kind == plan::FragmentLeaf::kDeltaFiles) {
@@ -193,28 +266,32 @@ Result<Driver::StagedFragment> Driver::PrepareFragment(
     }
     frag.leaf_node_id = profile->AddNode(
         leaf_name,
-        frag.cut.nodes.empty() ? obs::ProfileBuilder::kDetached : prev);
+        frag.groups.empty() ? obs::ProfileBuilder::kDetached : prev);
     frag.top_node_id =
-        frag.cut.nodes.empty() ? frag.leaf_node_id : frag.node_ids[0];
+        frag.groups.empty() ? frag.leaf_node_id : frag.node_ids[0];
   }
 
   // Build sides of in-fragment joins: each is materialized by its own
   // (recursive) stages, then hashed once into a shared build state. In
   // the profile the build subtree hangs under the join node, next to the
-  // probe-side chain.
-  frag.builds.resize(frag.cut.nodes.size());
-  for (size_t i = 0; i < frag.cut.nodes.size(); i++) {
-    const plan::PlanNode* node = frag.cut.nodes[i];
-    if (node->kind != plan::PlanKind::kJoin) continue;
+  // probe-side chain. (Joins are always singleton groups.)
+  frag.builds.resize(nodes.size());
+  for (size_t g = 0; g < frag.groups.size(); g++) {
+    size_t idx = static_cast<size_t>(frag.groups[g].begin);
+    const plan::PlanNode* node = nodes[idx];
+    if (frag.groups[g].unit != nullptr ||
+        node->kind != plan::PlanKind::kJoin) {
+      continue;
+    }
     PHOTON_ASSIGN_OR_RETURN(
         Table build_table,
-        RunNode(node->children[1], state, frag.node_ids[i]));
+        RunNode(node->children[1], state, frag.node_ids[g]));
     ExecContext build_ctx = state->ctx;
     build_ctx.task_group = NextTaskGroup();
     InMemoryScanOperator build_scan(&build_table);
-    obs::TraceSpan span("join_build", static_cast<int64_t>(i));
+    obs::TraceSpan span("join_build", static_cast<int64_t>(idx));
     PHOTON_ASSIGN_OR_RETURN(
-        frag.builds[i],
+        frag.builds[idx],
         HashJoinOperator::BuildShared(&build_scan, node->right_keys,
                                       build_ctx));
   }
@@ -278,8 +355,17 @@ Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
   }
   if (harvest != nullptr) harvest->emplace_back(op.get(), frag.leaf_node_id);
 
-  for (int i = static_cast<int>(frag.cut.nodes.size()) - 1; i >= 0; i--) {
-    const plan::PlanNode* node = frag.cut.nodes[i];
+  for (int g = static_cast<int>(frag.groups.size()) - 1; g >= 0; g--) {
+    const StagedFragment::FusedGroup& grp = frag.groups[g];
+    if (grp.unit != nullptr) {
+      op = OperatorPtr(new FusedFilterProjectOperator(
+          std::move(op), grp.unit, task_ctx.expr_policy));
+      if (harvest != nullptr) {
+        harvest->emplace_back(op.get(), frag.node_ids[g]);
+      }
+      continue;
+    }
+    const plan::PlanNode* node = frag.cut.nodes[grp.begin];
     switch (node->kind) {
       case plan::PlanKind::kFilter:
         op = OperatorPtr(new FilterOperator(std::move(op), node->predicate));
@@ -289,14 +375,14 @@ Result<OperatorPtr> Driver::InstantiateFragment(const StagedFragment& frag,
             new ProjectOperator(std::move(op), node->exprs, node->names));
         break;
       case plan::PlanKind::kJoin:
-        op = OperatorPtr(new HashJoinOperator(frag.builds[i], std::move(op),
-                                              node->left_keys, node->join_type,
-                                              task_ctx, node->residual));
+        op = OperatorPtr(new HashJoinOperator(
+            frag.builds[grp.begin], std::move(op), node->left_keys,
+            node->join_type, task_ctx, node->residual));
         break;
       default:
         return Status::Internal("non-streaming node inside fragment");
     }
-    if (harvest != nullptr) harvest->emplace_back(op.get(), frag.node_ids[i]);
+    if (harvest != nullptr) harvest->emplace_back(op.get(), frag.node_ids[g]);
   }
   return op;
 }
@@ -455,8 +541,20 @@ Result<Table> Driver::RunFragment(const plan::PlanPtr& node, RunState* state,
 
 Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
                                    RunState* state, int parent_node) {
+  // Pre-project non-trivial aggregate arguments (DESIGN.md §12): the
+  // inserted Project joins the input fragment, where it fuses with the
+  // scan-side filter chain; the aggregate then reads plain column refs.
+  // `pre` owns the rewritten plan nodes for the rest of this function.
+  plan::AggPreProject pre;
+  if (state->ctx.expr_policy != ExprPolicy::kTreeOnly) {
+    pre = plan::PlanAggPreProject(*node);
+  }
+  const plan::PlanPtr& input = pre.fired ? pre.input : node->children[0];
+  const std::vector<ExprPtr>& keys = pre.fired ? pre.keys : node->group_keys;
+  const std::vector<AggregateSpec>& aggs =
+      pre.fired ? pre.aggregates : node->aggregates;
   PHOTON_ASSIGN_OR_RETURN(StagedFragment frag,
-                          PrepareFragment(node->children[0], state));
+                          PrepareFragment(input, state));
   const int num_morsels = static_cast<int>(
       SplitMorsels(frag.units, frag.units_per_morsel).size());
   obs::ProfileBuilder* profile = state->profile;
@@ -474,8 +572,8 @@ Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
     }
     WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
       return Result<OperatorPtr>(OperatorPtr(new HashAggregateOperator(
-          std::move(op), node->group_keys, node->key_names, node->aggregates,
-          task_ctx, AggMode::kComplete)));
+          std::move(op), keys, node->key_names, aggs, task_ctx,
+          AggMode::kComplete)));
     };
     PHOTON_ASSIGN_OR_RETURN(auto outputs,
                             RunMorselStage(frag, state, wrap, agg_id, &info));
@@ -495,8 +593,8 @@ Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
   }
   WrapFn wrap = [&](OperatorPtr op, const ExecContext& task_ctx) {
     return Result<OperatorPtr>(OperatorPtr(new HashAggregateOperator(
-        std::move(op), node->group_keys, node->key_names, node->aggregates,
-        task_ctx, AggMode::kPartial)));
+        std::move(op), keys, node->key_names, aggs, task_ctx,
+        AggMode::kPartial)));
   };
   PHOTON_ASSIGN_OR_RETURN(auto outputs,
                           RunMorselStage(frag, state, wrap, partial_id, &info));
@@ -517,8 +615,7 @@ Result<Table> Driver::RunAggregate(const plan::PlanPtr& node,
   merge_ctx.spill_prefix = state->ctx.spill_prefix + "/s" +
                            std::to_string(info.stage_id) + "-merge";
   HashAggregateOperator merge(OperatorPtr(new InMemoryScanOperator(&blobs)),
-                              node->group_keys, node->key_names,
-                              node->aggregates, merge_ctx,
+                              keys, node->key_names, aggs, merge_ctx,
                               AggMode::kFinalMerge);
   Result<Table> out = CollectAll(&merge, state->ctx.control);
   if (profile != nullptr) {

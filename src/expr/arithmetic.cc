@@ -3,100 +3,11 @@
 
 #include "expr/expr.h"
 #include "expr/kernels.h"
+#include "expr/scalar_ops.h"
 #include "types/big_decimal.h"
 
 namespace photon {
 namespace {
-
-// Integer ops wrap on overflow (Spark non-ANSI semantics); performed on the
-// unsigned representation to avoid UB.
-template <typename T>
-struct AddOp {
-  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
-    using U = std::make_unsigned_t<T>;
-    *out = static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
-    return true;
-  }
-};
-template <>
-struct AddOp<double> {
-  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
-    *out = a + b;
-    return true;
-  }
-};
-
-template <typename T>
-struct SubOp {
-  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
-    using U = std::make_unsigned_t<T>;
-    *out = static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
-    return true;
-  }
-};
-template <>
-struct SubOp<double> {
-  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
-    *out = a - b;
-    return true;
-  }
-};
-
-template <typename T>
-struct MulOp {
-  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
-    using U = std::make_unsigned_t<T>;
-    *out = static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
-    return true;
-  }
-};
-template <>
-struct MulOp<double> {
-  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
-    *out = a * b;
-    return true;
-  }
-};
-
-template <typename T>
-struct DivOp {
-  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
-    if (b == 0) return false;  // NULL, like Spark
-    if (b == -1 && a == std::numeric_limits<T>::min()) {
-      *out = a;  // avoid SIGFPE on INT_MIN / -1; wraps like Java
-      return true;
-    }
-    *out = a / b;
-    return true;
-  }
-};
-template <>
-struct DivOp<double> {
-  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
-    *out = a / b;  // IEEE: inf/nan
-    return true;
-  }
-};
-
-template <typename T>
-struct ModOp {
-  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
-    if (b == 0) return false;
-    if (b == -1) {
-      *out = 0;
-      return true;
-    }
-    *out = a % b;
-    return true;
-  }
-};
-template <>
-struct ModOp<double> {
-  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
-    *out = std::fmod(a, b);
-    return true;
-  }
-};
 
 template <typename T, template <typename> class Op>
 void RunBinary(ColumnBatch* batch, const ColumnVector& a,
@@ -194,6 +105,21 @@ void DecimalDivKernel(const int32_t* PHOTON_RESTRICT pos, int n,
 
 }  // namespace
 
+bool DecimalArithIsIrregular(ArithOp op, const DataType& left,
+                             const DataType& right, const DataType& result) {
+  int s1 = left.scale();
+  int s2 = right.scale();
+  int p1 = left.precision();
+  int p2 = right.precision();
+  int sr = result.scale();
+  return (op == ArithOp::kMul && (sr != s1 + s2 || p1 + p2 + 1 > 38)) ||
+         ((op == ArithOp::kAdd || op == ArithOp::kSub) &&
+          (sr < std::max(s1, s2) ||
+           std::max(p1 - s1, p2 - s2) + std::max(s1, s2) + 1 > 38)) ||
+         (op == ArithOp::kDiv &&
+          (sr - s1 + s2 < 0 || p1 + (sr - s1 + s2) > 38));
+}
+
 ArithmeticExpr::ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right,
                                DataType result)
     : Expr(result), op_(op), left_(std::move(left)), right_(std::move(right)) {
@@ -278,8 +204,6 @@ Result<ColumnVector*> ArithmeticExpr::Evaluate(ColumnBatch* batch,
     case TypeId::kDecimal128: {
       int s1 = left_->type().scale();
       int s2 = right_->type().scale();
-      int p1 = left_->type().precision();
-      int p2 = right_->type().precision();
       int sr = type().scale();
       // Precision capping (38 digits) can shrink the result scale below
       // the natural one (e.g. mul at s1+s2, add at max(s1,s2)). The fast
@@ -295,13 +219,7 @@ Result<ColumnVector*> ArithmeticExpr::Evaluate(ColumnBatch* batch,
       // through the checked path so both engines agree: overflow -> NULL
       // (Spark's non-ANSI decimal behavior).
       bool irregular =
-          (op_ == ArithOp::kMul &&
-           (sr != s1 + s2 || p1 + p2 + 1 > 38)) ||
-          ((op_ == ArithOp::kAdd || op_ == ArithOp::kSub) &&
-           (sr < std::max(s1, s2) ||
-            std::max(p1 - s1, p2 - s2) + std::max(s1, s2) + 1 > 38)) ||
-          (op_ == ArithOp::kDiv &&
-           (sr - s1 + s2 < 0 || p1 + (sr - s1 + s2) > 38));
+          DecimalArithIsIrregular(op_, left_->type(), right_->type(), type());
       if (irregular) {
         int n_rows = batch->num_active();
         const int128_t* av = a->data<int128_t>();

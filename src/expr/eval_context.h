@@ -10,6 +10,20 @@
 
 namespace photon {
 
+/// Which expression-execution tier filter→project chains run on.
+/// `kAdaptive` is the production default: start on the fused interpreter,
+/// and use per-batch timing feedback to flip between it and the compiled
+/// kernels where the plan has them. The forced modes exist for the
+/// differential fuzzer (every tier must agree bit-for-bit) and for
+/// benchmarking tiers against each other; `kTreeOnly` disables fusion
+/// entirely and is byte-identical to the pre-fusion engine.
+enum class ExprPolicy : uint8_t {
+  kAdaptive,
+  kTreeOnly,
+  kFusedOnly,
+  kCompiledOnly,
+};
+
 /// Per-task expression evaluation context. Owns the scratch vectors kernels
 /// write into and recycles them across batches (§4.5): because the operator
 /// tree is fixed, each input batch needs the same set of vector

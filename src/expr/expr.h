@@ -57,6 +57,7 @@ class ColumnRefExpr : public Expr {
       : Expr(type), index_(index), name_(std::move(name)) {}
 
   int index() const { return index_; }
+  const std::string& name() const { return name_; }
 
   Result<ColumnVector*> Evaluate(ColumnBatch* batch,
                                  EvalContext* ctx) const override;
@@ -195,6 +196,8 @@ class IsNullExpr : public Expr {
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return {child_}; }
 
+  bool negated() const { return negated_; }
+
  private:
   ExprPtr child_;
   bool negated_;
@@ -230,6 +233,11 @@ class CaseWhenExpr : public Expr {
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override;
 
+  const std::vector<std::pair<ExprPtr, ExprPtr>>& branches() const {
+    return branches_;
+  }
+  const ExprPtr& else_expr() const { return else_expr_; }
+
  private:
   std::vector<std::pair<ExprPtr, ExprPtr>> branches_;
   ExprPtr else_expr_;  // may be null (-> NULL)
@@ -245,6 +253,8 @@ class InListExpr : public Expr {
   Result<Value> EvaluateRow(const std::vector<Value>& row) const override;
   std::string ToString() const override;
   std::vector<ExprPtr> children() const override { return {value_}; }
+
+  const std::vector<Value>& list() const { return list_; }
 
  private:
   ExprPtr value_;

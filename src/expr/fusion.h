@@ -1,0 +1,130 @@
+#ifndef PHOTON_EXPR_FUSION_H_
+#define PHOTON_EXPR_FUSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/program.h"
+
+namespace photon {
+
+/// One node of a filter→project chain, in bottom-up (execution) order.
+struct FusedStage {
+  bool is_filter = false;
+  ExprPtr predicate;               // filter stages
+  std::vector<ExprPtr> exprs;      // project stages
+  std::vector<std::string> names;  // project stages
+};
+
+/// The immutable plan-time form of a fused filter→project chain
+/// (DESIGN.md §12). Project stages are rewritten into expressions over the
+/// *input* schema (column substitution), so the whole chain evaluates in
+/// one pass over one position list with no intermediate view batches.
+/// Filters are split into conjuncts (Kleene-safe for AND) so the cheapest,
+/// most selective predicates can shrink the position list before the
+/// expensive ones run.
+///
+/// Compiled-tier specializations are attached here at plan time: per-
+/// conjunct position-list-direct terms (column-vs-literal comparisons and
+/// BETWEEN) and per-instruction template-instantiated arithmetic steps for
+/// the hot int64/float64/decimal combinations, including two-op fused
+/// kernels. All of them reuse the scalar_ops.h semantics, and differ mode
+/// 6 checks every tier against the row-oracle baseline.
+///
+/// A FusedUnit is shared (const) across all tasks of a plan; per-task
+/// mutable state lives in FusedUnitState.
+class FusedUnit {
+ public:
+  /// A compiled filter term: applies one conjunct directly to the batch's
+  /// position list and returns the new active count.
+  using CompiledTermFn = std::function<int(ColumnBatch*)>;
+
+  struct Conjunct {
+    ExprPtr expr;
+    ExprProgram program;  // single-root program for the conjunct
+    CompiledTermFn term;  // null when not specializable
+  };
+
+  /// Where output column i comes from after Eval.
+  struct Output {
+    int input_col = -1;  // >= 0: passthrough of an input batch column
+    int root = -1;       // else: index into projection().root_regs()
+  };
+
+  /// Fails (falls back to the per-node operators) when a stage contains an
+  /// expression kind the rewriter does not know how to substitute into.
+  static Result<std::shared_ptr<const FusedUnit>> Compile(
+      const std::vector<FusedStage>& stages, const Schema& input_schema);
+
+  const std::vector<Conjunct>& conjuncts() const { return conjuncts_; }
+  /// Some conjunct folded to constant false/NULL: the unit emits no rows.
+  bool always_false() const { return always_false_; }
+  bool has_predicates() const {
+    return !conjuncts_.empty() || always_false_;
+  }
+  bool has_projection() const { return has_projection_; }
+  const ExprProgram& projection() const { return projection_; }
+  const std::vector<Output>& outputs() const { return outputs_; }
+  const Schema& output_schema() const { return output_schema_; }
+  /// Compiled terms + compiled steps across all programs. Zero disables
+  /// the compiled tier (adaptive selection stays on the fused interpreter).
+  int num_compiled() const { return num_compiled_; }
+
+ private:
+  FusedUnit() = default;
+
+  std::vector<Conjunct> conjuncts_;
+  bool always_false_ = false;
+  bool has_projection_ = false;
+  ExprProgram projection_;
+  std::vector<Output> outputs_;
+  Schema output_schema_;
+  int num_compiled_ = 0;
+};
+
+/// Per-operator-instance execution state: program register files, the
+/// adaptive conjunct order (selectivity EWMAs), and the fused-vs-compiled
+/// tier choice (per-row timing EWMAs, re-probed periodically — the paper's
+/// §4.4 batch-level adaptivity generalized to execution strategy). Timing
+/// only ever affects *which* tier runs, never what it computes, so results
+/// are bit-identical across tier histories.
+class FusedUnitState {
+ public:
+  FusedUnitState(std::shared_ptr<const FusedUnit> unit, ExprPolicy policy);
+
+  /// Applies the conjuncts to the batch's position list, then evaluates
+  /// the projection. Returns the surviving active-row count.
+  Result<int> Eval(ColumnBatch* batch, EvalContext* ctx);
+
+  /// Result vector for output column i; valid after Eval until the
+  /// context's next ResetPerBatch.
+  ColumnVector* Output(size_t i, ColumnBatch* batch) const;
+
+  int64_t fused_batches() const { return fused_batches_; }
+  int64_t compiled_batches() const { return compiled_batches_; }
+  int64_t tier_switches() const { return tier_switches_; }
+
+ private:
+  bool PickCompiled();
+  void ReorderConjuncts();
+
+  std::shared_ptr<const FusedUnit> unit_;
+  ExprPolicy policy_;
+  std::vector<ProgramState> conjunct_states_;
+  std::unique_ptr<ProgramState> projection_state_;
+  std::vector<size_t> order_;  // conjunct evaluation order
+  std::vector<double> sel_;    // per-conjunct selectivity EWMA (-1 unknown)
+  double fused_ns_row_ = -1.0;
+  double compiled_ns_row_ = -1.0;
+  bool prefer_compiled_ = true;
+  int64_t batches_ = 0;
+  int64_t fused_batches_ = 0;
+  int64_t compiled_batches_ = 0;
+  int64_t tier_switches_ = 0;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_EXPR_FUSION_H_

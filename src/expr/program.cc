@@ -1,0 +1,298 @@
+#include "expr/program.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace photon {
+namespace {
+
+/// An internal leaf whose Evaluate returns an already-computed register.
+/// The slot is a pointer into ProgramState::regs_, which is sized once and
+/// never reallocated.
+class RegRefExpr : public Expr {
+ public:
+  RegRefExpr(ColumnVector* const* slot, DataType type)
+      : Expr(type), slot_(slot) {}
+
+  Result<ColumnVector*> Evaluate(ColumnBatch*, EvalContext*) const override {
+    return *slot_;
+  }
+  Result<Value> EvaluateRow(const std::vector<Value>&) const override {
+    return Status::Internal("register reference has no row form");
+  }
+  std::string ToString() const override { return "$reg"; }
+
+ private:
+  ColumnVector* const* slot_;
+};
+
+/// Node kinds the program can re-instantiate over register operands. All
+/// of these evaluate their children eagerly and unconditionally, so eager
+/// register scheduling preserves semantics exactly. CaseWhen (lazy branch
+/// evaluation) and Call (registry lookup) stay whole subtrees.
+bool IsNodeKind(const Expr& e) {
+  return dynamic_cast<const ArithmeticExpr*>(&e) != nullptr ||
+         dynamic_cast<const ComparisonExpr*>(&e) != nullptr ||
+         dynamic_cast<const BetweenExpr*>(&e) != nullptr ||
+         dynamic_cast<const BooleanExpr*>(&e) != nullptr ||
+         dynamic_cast<const NotExpr*>(&e) != nullptr ||
+         dynamic_cast<const IsNullExpr*>(&e) != nullptr ||
+         dynamic_cast<const CastExpr*>(&e) != nullptr ||
+         dynamic_cast<const InListExpr*>(&e) != nullptr;
+}
+
+/// Literal-only subtree of known deterministic kinds (no column refs, no
+/// registry calls): safe to evaluate once at plan-compile time.
+bool IsConstSubtree(const Expr& e) {
+  if (dynamic_cast<const LiteralExpr*>(&e) != nullptr) return true;
+  bool known = IsNodeKind(e) ||
+               dynamic_cast<const CaseWhenExpr*>(&e) != nullptr;
+  if (!known) return false;
+  for (const ExprPtr& child : e.children()) {
+    if (!IsConstSubtree(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+class ProgramBuilder {
+ public:
+  ExprProgram Build(const std::vector<ExprPtr>& roots) {
+    for (const ExprPtr& root : roots) {
+      program_.root_regs_.push_back(Emit(root));
+    }
+    size_t n = program_.instrs_.size();
+    program_.num_uses_.assign(n, 0);
+    program_.is_root_.assign(n, 0);
+    for (const ExprInstr& instr : program_.instrs_) {
+      for (int a : instr.args) program_.num_uses_[a]++;
+    }
+    for (int r : program_.root_regs_) {
+      program_.num_uses_[r]++;
+      program_.is_root_[r] = 1;
+    }
+    program_.compiled_steps_.resize(n);
+    program_.skip_when_compiled_.assign(n, 0);
+    return std::move(program_);
+  }
+
+ private:
+  int Emit(const ExprPtr& raw) {
+    ExprPtr e = TryFoldConst(raw);
+    std::string key = ExprCanonKey(*e);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    ExprInstr instr;
+    instr.node = e;
+    if (dynamic_cast<const ColumnRefExpr*>(e.get()) != nullptr) {
+      instr.kind = ExprInstr::Kind::kLoadCol;
+    } else if (dynamic_cast<const LiteralExpr*>(e.get()) != nullptr) {
+      instr.kind = ExprInstr::Kind::kLoadLit;
+    } else if (IsNodeKind(*e)) {
+      instr.kind = ExprInstr::Kind::kNode;
+      for (const ExprPtr& child : e->children()) {
+        instr.args.push_back(Emit(child));
+      }
+    } else {
+      instr.kind = ExprInstr::Kind::kTree;
+    }
+    int reg = static_cast<int>(program_.instrs_.size());
+    program_.instrs_.push_back(std::move(instr));
+    memo_[key] = reg;
+    return reg;
+  }
+
+  ExprProgram program_;
+  std::unordered_map<std::string, int> memo_;
+};
+
+ExprPtr RebuildWithChildren(const Expr& node, std::vector<ExprPtr> kids) {
+  if (auto* a = dynamic_cast<const ArithmeticExpr*>(&node)) {
+    return std::make_shared<ArithmeticExpr>(a->op(), kids[0], kids[1],
+                                            a->type());
+  }
+  if (auto* c = dynamic_cast<const ComparisonExpr*>(&node)) {
+    return std::make_shared<ComparisonExpr>(c->op(), kids[0], kids[1]);
+  }
+  if (dynamic_cast<const BetweenExpr*>(&node) != nullptr) {
+    return std::make_shared<BetweenExpr>(kids[0], kids[1], kids[2]);
+  }
+  if (auto* b = dynamic_cast<const BooleanExpr*>(&node)) {
+    return std::make_shared<BooleanExpr>(b->op(), kids[0], kids[1]);
+  }
+  if (dynamic_cast<const NotExpr*>(&node) != nullptr) {
+    return std::make_shared<NotExpr>(kids[0]);
+  }
+  if (auto* i = dynamic_cast<const IsNullExpr*>(&node)) {
+    return std::make_shared<IsNullExpr>(kids[0], i->negated());
+  }
+  if (dynamic_cast<const CastExpr*>(&node) != nullptr) {
+    return std::make_shared<CastExpr>(kids[0], node.type());
+  }
+  if (auto* in = dynamic_cast<const InListExpr*>(&node)) {
+    return std::make_shared<InListExpr>(kids[0], in->list());
+  }
+  return nullptr;
+}
+
+std::string ExprCanonKey(const Expr& e) {
+  if (auto* c = dynamic_cast<const ColumnRefExpr*>(&e)) {
+    // By index, never by display name: join outputs can carry duplicate
+    // column names.
+    return "c" + std::to_string(c->index());
+  }
+  if (auto* l = dynamic_cast<const LiteralExpr*>(&e)) {
+    return "l" + l->value().ToString() + ":" + l->type().ToString();
+  }
+  if (auto* a = dynamic_cast<const ArithmeticExpr*>(&e)) {
+    // Result type participates: decimal nodes with equal operands but a
+    // different result scale compute different values.
+    return "a" + std::to_string(static_cast<int>(a->op())) + "(" +
+           ExprCanonKey(*e.children()[0]) + "," +
+           ExprCanonKey(*e.children()[1]) + "):" + e.type().ToString();
+  }
+  if (auto* c = dynamic_cast<const ComparisonExpr*>(&e)) {
+    return "p" + std::to_string(static_cast<int>(c->op())) + "(" +
+           ExprCanonKey(*e.children()[0]) + "," +
+           ExprCanonKey(*e.children()[1]) + ")";
+  }
+  if (dynamic_cast<const BetweenExpr*>(&e) != nullptr) {
+    std::vector<ExprPtr> kids = e.children();
+    return "b(" + ExprCanonKey(*kids[0]) + "," + ExprCanonKey(*kids[1]) +
+           "," + ExprCanonKey(*kids[2]) + ")";
+  }
+  if (auto* b = dynamic_cast<const BooleanExpr*>(&e)) {
+    return "o" + std::to_string(static_cast<int>(b->op())) + "(" +
+           ExprCanonKey(*e.children()[0]) + "," +
+           ExprCanonKey(*e.children()[1]) + ")";
+  }
+  if (dynamic_cast<const NotExpr*>(&e) != nullptr) {
+    return "n(" + ExprCanonKey(*e.children()[0]) + ")";
+  }
+  if (auto* i = dynamic_cast<const IsNullExpr*>(&e)) {
+    return std::string("i") + (i->negated() ? "1" : "0") + "(" +
+           ExprCanonKey(*e.children()[0]) + ")";
+  }
+  if (dynamic_cast<const CastExpr*>(&e) != nullptr) {
+    return "t(" + ExprCanonKey(*e.children()[0]) + "):" +
+           e.type().ToString();
+  }
+  if (auto* in = dynamic_cast<const InListExpr*>(&e)) {
+    std::string key = "in(" + ExprCanonKey(*e.children()[0]);
+    for (const Value& v : in->list()) key += ";" + v.ToString();
+    return key + ")";
+  }
+  if (auto* cw = dynamic_cast<const CaseWhenExpr*>(&e)) {
+    std::string key = "cw(";
+    for (const auto& [cond, then] : cw->branches()) {
+      key += ExprCanonKey(*cond) + "?" + ExprCanonKey(*then) + ";";
+    }
+    if (cw->else_expr() != nullptr) key += ExprCanonKey(*cw->else_expr());
+    return key + "):" + e.type().ToString();
+  }
+  if (auto* f = dynamic_cast<const CallExpr*>(&e)) {
+    std::string key = "f" + f->name() + "(";
+    for (const ExprPtr& arg : f->args()) key += ExprCanonKey(*arg) + ",";
+    return key + "):" + e.type().ToString();
+  }
+  // Unknown kind: pointer-unique, never dedupes.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "@%p", static_cast<const void*>(&e));
+  return buf;
+}
+
+ExprPtr TryFoldConst(const ExprPtr& e) {
+  if (dynamic_cast<const LiteralExpr*>(e.get()) != nullptr) return e;
+  if (!IsConstSubtree(*e)) return e;
+  Result<Value> v = e->EvaluateRow({});
+  // Folding is an optimization, never a behavior change: expressions whose
+  // row evaluation errors stay as-is (the vectorized path decides).
+  if (!v.ok()) return e;
+  return std::make_shared<LiteralExpr>(*v, e->type());
+}
+
+ExprProgram ExprProgram::Compile(const std::vector<ExprPtr>& roots) {
+  return ProgramBuilder().Build(roots);
+}
+
+ProgramState::ProgramState(const ExprProgram& program)
+    : program_(program),
+      regs_(program.instrs().size(), nullptr),
+      shallow_(program.instrs().size()),
+      literals_(program.instrs().size()) {
+  const std::vector<ExprInstr>& instrs = program.instrs();
+  for (size_t i = 0; i < instrs.size(); i++) {
+    const ExprInstr& instr = instrs[i];
+    if (instr.kind != ExprInstr::Kind::kNode) {
+      shallow_[i] = instr.node;
+      continue;
+    }
+    std::vector<ExprPtr> orig = instr.node->children();
+    std::vector<ExprPtr> kids;
+    kids.reserve(instr.args.size());
+    for (size_t k = 0; k < instr.args.size(); k++) {
+      // The register holds the (possibly folded) child's result; its type
+      // equals the original child's type by construction.
+      kids.push_back(std::make_shared<RegRefExpr>(&regs_[instr.args[k]],
+                                                  orig[k]->type()));
+    }
+    shallow_[i] = RebuildWithChildren(*instr.node, std::move(kids));
+    PHOTON_CHECK(shallow_[i] != nullptr);
+  }
+}
+
+void ProgramState::EnsureLiterals(int capacity) {
+  if (capacity <= literal_capacity_) return;
+  const std::vector<ExprInstr>& instrs = program_.instrs();
+  for (size_t i = 0; i < instrs.size(); i++) {
+    if (instrs[i].kind != ExprInstr::Kind::kLoadLit) continue;
+    const auto* lit = static_cast<const LiteralExpr*>(instrs[i].node.get());
+    auto vec = std::make_unique<ColumnVector>(lit->type(), capacity);
+    const Value& v = lit->value();
+    // Filled once over the full capacity (not per active set): downstream
+    // kernels only read active rows, so the dense fill is equivalent to
+    // LiteralExpr::Evaluate's per-batch sparse fill, amortized to zero.
+    if (v.is_null()) {
+      for (int r = 0; r < capacity; r++) vec->SetNull(r);
+      vec->set_has_nulls(TriState::kYes);
+    } else if (lit->type().is_string()) {
+      StringRef ref = vec->var_pool()->AddString(
+          v.str().data(), static_cast<int32_t>(v.str().size()));
+      StringRef* vals = vec->data<StringRef>();
+      for (int r = 0; r < capacity; r++) vals[r] = ref;
+      vec->set_has_nulls(TriState::kNo);
+    } else {
+      for (int r = 0; r < capacity; r++) vec->SetValue(r, v);
+      vec->set_has_nulls(TriState::kNo);
+    }
+    literals_[i] = std::move(vec);
+  }
+  literal_capacity_ = capacity;
+}
+
+Status ProgramState::Run(ColumnBatch* batch, EvalContext* ctx,
+                         bool use_compiled) {
+  EnsureLiterals(batch->capacity());
+  const std::vector<ExprInstr>& instrs = program_.instrs();
+  for (size_t i = 0; i < instrs.size(); i++) {
+    if (instrs[i].kind == ExprInstr::Kind::kLoadLit) {
+      regs_[i] = literals_[i].get();
+      continue;
+    }
+    if (use_compiled) {
+      if (program_.skip_when_compiled(i)) continue;
+      const ExprProgram::CompiledStepFn& fn = program_.compiled_step(i);
+      if (fn) {
+        PHOTON_ASSIGN_OR_RETURN(regs_[i], fn(batch, ctx, regs_.data()));
+        continue;
+      }
+    }
+    PHOTON_ASSIGN_OR_RETURN(regs_[i], shallow_[i]->Evaluate(batch, ctx));
+  }
+  return Status::OK();
+}
+
+}  // namespace photon

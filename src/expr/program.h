@@ -1,0 +1,140 @@
+#ifndef PHOTON_EXPR_PROGRAM_H_
+#define PHOTON_EXPR_PROGRAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace photon {
+
+/// The fused interpreter tier (DESIGN.md §12): an expression tree (or a
+/// forest sharing subexpressions) flattened into a postfix program of
+/// register-addressed instructions. One ProgramState::Run pass walks the
+/// instruction list over the batch's single position list; every
+/// intermediate lands in a register slot backed by the EvalContext scratch
+/// pool, so a filter→project chain evaluates with no per-operator batch
+/// hand-off and no tree-walking dispatch between nodes.
+///
+/// Execution reuses the *same* `Expr::Evaluate` kernels as the interpreted
+/// tree: each instruction holds a shallow clone of its original node whose
+/// children are register references. Tier parity on overflow/NULL edges is
+/// therefore structural, not best-effort — both tiers run byte-identical
+/// kernel code, in the same order, on the same operands. The compiled tier
+/// overlays selected instructions with template-instantiated steps
+/// (fusion.cc) and is validated against the other two by differ mode 6.
+
+/// One instruction. `node` is the original expression node; `args` are the
+/// registers holding its children's results (in children() order).
+struct ExprInstr {
+  enum class Kind : uint8_t {
+    kLoadCol,  // materialize an input column reference
+    kLoadLit,  // materialize a literal (cached, filled once per capacity)
+    kNode,     // re-run the node's Evaluate over register operands
+    kTree,     // evaluate the original subtree as-is (CaseWhen, Call, ...)
+  };
+  Kind kind;
+  ExprPtr node;
+  std::vector<int> args;
+};
+
+/// An immutable compiled program, shared across all tasks executing the
+/// same plan. Built once at plan-compile time; per-task mutable state lives
+/// in ProgramState.
+class ExprProgram {
+ public:
+  /// A compiled-tier replacement for one instruction: given the batch and
+  /// the register file, produce this instruction's result vector.
+  using CompiledStepFn = std::function<Result<ColumnVector*>(
+      ColumnBatch*, EvalContext*, ColumnVector* const*)>;
+
+  /// Flattens `roots` into one program with common subexpressions
+  /// evaluated once (canonical-key CSE) and literal-only subtrees folded
+  /// to precomputed literals.
+  static ExprProgram Compile(const std::vector<ExprPtr>& roots);
+
+  const std::vector<ExprInstr>& instrs() const { return instrs_; }
+  const std::vector<int>& root_regs() const { return root_regs_; }
+
+  /// How many times register `reg` is consumed (as an operand or a root).
+  int num_uses(int reg) const { return num_uses_[reg]; }
+  bool is_root(int reg) const { return is_root_[reg]; }
+
+  /// Compiled-tier overlay --------------------------------------------------
+
+  void SetCompiledStep(size_t i, CompiledStepFn fn) {
+    if (!compiled_steps_[i]) num_compiled_steps_++;
+    compiled_steps_[i] = std::move(fn);
+  }
+  const CompiledStepFn& compiled_step(size_t i) const {
+    return compiled_steps_[i];
+  }
+  /// Marks an instruction whose result is consumed only by a fused
+  /// compiled step (e.g. the inner node of a two-op fused kernel): the
+  /// compiled tier skips it entirely.
+  void MarkSkipWhenCompiled(size_t i) { skip_when_compiled_[i] = 1; }
+  bool skip_when_compiled(size_t i) const {
+    return skip_when_compiled_[i] != 0;
+  }
+  int num_compiled_steps() const { return num_compiled_steps_; }
+
+ private:
+  friend class ProgramBuilder;
+
+  std::vector<ExprInstr> instrs_;
+  std::vector<int> root_regs_;
+  std::vector<int> num_uses_;
+  std::vector<uint8_t> is_root_;
+  std::vector<CompiledStepFn> compiled_steps_;
+  std::vector<uint8_t> skip_when_compiled_;
+  int num_compiled_steps_ = 0;
+};
+
+/// Per-task execution state for one ExprProgram: the register file, the
+/// per-instruction shallow clones (original node classes over RegRef
+/// children), and the cached literal vectors. Not thread-safe; each
+/// operator instance owns its own.
+class ProgramState {
+ public:
+  explicit ProgramState(const ExprProgram& program);
+  ProgramState(ProgramState&&) = default;
+
+  /// Evaluates every instruction over the batch's active rows. With
+  /// `use_compiled`, instructions carrying a compiled step run it instead
+  /// of the interpreter (and skip-marked instructions are elided).
+  Status Run(ColumnBatch* batch, EvalContext* ctx, bool use_compiled);
+
+  ColumnVector* reg(int r) const { return regs_[r]; }
+
+ private:
+  void EnsureLiterals(int capacity);
+
+  const ExprProgram& program_;
+  // Sized once in the constructor and never reallocated: the shallow
+  // clones hold ColumnVector** slots pointing into it.
+  std::vector<ColumnVector*> regs_;
+  std::vector<ExprPtr> shallow_;
+  std::vector<std::unique_ptr<ColumnVector>> literals_;
+  int literal_capacity_ = 0;
+};
+
+/// Reconstructs a node of the same class as `node` over new children (in
+/// children() order). Returns null for kinds the rewriter does not know.
+ExprPtr RebuildWithChildren(const Expr& node, std::vector<ExprPtr> kids);
+
+/// Structural canonical key for CSE and projection dedup. Two expressions
+/// with equal keys compute the same value on every row (column identity is
+/// by index, never by display name). Expressions of unknown kinds get a
+/// pointer-unique key, i.e. they never dedupe.
+std::string ExprCanonKey(const Expr& e);
+
+/// Plan-compile-time constant folding: if `e` is a literal-only subtree of
+/// known deterministic kinds, evaluate it once and return the resulting
+/// LiteralExpr; otherwise (or if evaluation errors) return `e` unchanged.
+ExprPtr TryFoldConst(const ExprPtr& e);
+
+}  // namespace photon
+
+#endif  // PHOTON_EXPR_PROGRAM_H_

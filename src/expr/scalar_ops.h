@@ -1,0 +1,133 @@
+#ifndef PHOTON_EXPR_SCALAR_OPS_H_
+#define PHOTON_EXPR_SCALAR_OPS_H_
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "common/macros.h"
+#include "types/data_type.h"
+
+// Scalar arithmetic semantics shared by the interpreted tree
+// (arithmetic.cc), the row-at-a-time oracle, and the compiled expression
+// tier (fusion.cc). Keeping one definition is what makes tier parity an
+// invariant rather than a test outcome: a compiled kernel cannot drift
+// from the interpreter when both instantiate the same Op::Apply.
+
+namespace photon {
+
+enum class ArithOp : uint8_t;
+
+namespace detail {
+// std::make_unsigned does not cover __int128 under strict modes; the
+// decimal compiled kernels need the same wrapping add/sub/mul as ints.
+template <typename T>
+struct Unsigned {
+  using type = std::make_unsigned_t<T>;
+};
+template <>
+struct Unsigned<__int128> {
+  using type = unsigned __int128;
+};
+}  // namespace detail
+
+// Integer ops wrap on overflow (Spark non-ANSI semantics); performed on the
+// unsigned representation to avoid UB.
+template <typename T>
+struct AddOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    using U = typename detail::Unsigned<T>::type;
+    *out = static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+    return true;
+  }
+};
+template <>
+struct AddOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a + b;
+    return true;
+  }
+};
+
+template <typename T>
+struct SubOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    using U = typename detail::Unsigned<T>::type;
+    *out = static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+    return true;
+  }
+};
+template <>
+struct SubOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a - b;
+    return true;
+  }
+};
+
+template <typename T>
+struct MulOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    using U = typename detail::Unsigned<T>::type;
+    *out = static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+    return true;
+  }
+};
+template <>
+struct MulOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a * b;
+    return true;
+  }
+};
+
+template <typename T>
+struct DivOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    if (b == 0) return false;  // NULL, like Spark
+    if (b == -1 && a == std::numeric_limits<T>::min()) {
+      *out = a;  // avoid SIGFPE on INT_MIN / -1; wraps like Java
+      return true;
+    }
+    *out = a / b;
+    return true;
+  }
+};
+template <>
+struct DivOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = a / b;  // IEEE: inf/nan
+    return true;
+  }
+};
+
+template <typename T>
+struct ModOp {
+  static PHOTON_ALWAYS_INLINE bool Apply(T a, T b, T* out) {
+    if (b == 0) return false;
+    if (b == -1) {
+      *out = 0;
+      return true;
+    }
+    *out = a % b;
+    return true;
+  }
+};
+template <>
+struct ModOp<double> {
+  static PHOTON_ALWAYS_INLINE bool Apply(double a, double b, double* out) {
+    *out = std::fmod(a, b);
+    return true;
+  }
+};
+
+/// True when a decimal arithmetic node must take the checked BigDecimal
+/// path (result scale below the natural one, or 38-digit precision capping
+/// in play). Defined in arithmetic.cc next to the kernels that assume the
+/// regular case; the compiled tier refuses to specialize irregular nodes.
+bool DecimalArithIsIrregular(ArithOp op, const DataType& left,
+                             const DataType& right, const DataType& result);
+
+}  // namespace photon
+
+#endif  // PHOTON_EXPR_SCALAR_OPS_H_

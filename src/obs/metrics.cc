@@ -18,6 +18,16 @@ const char* MetricName(Metric m) {
       return "wall_ns";
     case Metric::kCpuNs:
       return "cpu_ns";
+    case Metric::kExprFusedBatches:
+      return "expr_fused_batches";
+    case Metric::kExprCompiledBatches:
+      return "expr_compiled_batches";
+    case Metric::kExprTierSwitches:
+      return "expr_tier_switches";
+    case Metric::kScratchPoolHits:
+      return "scratch_pool_hits";
+    case Metric::kScratchPoolMisses:
+      return "scratch_pool_misses";
     case Metric::kPeakReservedBytes:
       return "peak_reserved_bytes";
     case Metric::kSpillCount:

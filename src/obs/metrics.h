@@ -26,6 +26,11 @@ enum class Metric : uint8_t {
                        // paper's active-row fraction = rows_out/batch_rows
   kWallNs,             // wall time inside GetNext (includes children)
   kCpuNs,              // thread CPU time (recorded per task by the driver)
+  kExprFusedBatches,   // batches run on the fused-interpreter expr tier
+  kExprCompiledBatches,  // batches run on the compiled expr tier
+  kExprTierSwitches,   // adaptive fused<->compiled preference flips
+  kScratchPoolHits,    // EvalContext scratch vectors served from the pool
+  kScratchPoolMisses,  // EvalContext scratch vectors freshly allocated
   // -- resource metrics (tree-foldable) from here down ----------------------
   kPeakReservedBytes,  // max-aggregated everywhere (never summed)
   kSpillCount,

@@ -34,6 +34,11 @@ class FilterOperator : public Operator {
   std::vector<Operator*> children() override { return {child_.get()}; }
 
  private:
+  void PublishMetricsImpl() override {
+    stats_.Add(obs::Metric::kScratchPoolHits, ctx_.pool_hits());
+    stats_.Add(obs::Metric::kScratchPoolMisses, ctx_.pool_misses());
+  }
+
   OperatorPtr child_;
   ExprPtr predicate_;
   EvalContext ctx_;

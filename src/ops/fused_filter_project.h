@@ -1,0 +1,47 @@
+#ifndef PHOTON_OPS_FUSED_FILTER_PROJECT_H_
+#define PHOTON_OPS_FUSED_FILTER_PROJECT_H_
+
+#include <memory>
+#include <string>
+
+#include "expr/fusion.h"
+#include "ops/operator.h"
+
+namespace photon {
+
+/// Executes a fused filter→project chain (DESIGN.md §12) as one operator:
+/// the conjuncts rewrite the batch's position list in place, then the
+/// projection programs evaluate over the surviving rows only, and a view
+/// batch points at the results — one batch hand-off and one EvalContext for
+/// a chain that previously cost one of each per plan node. Batches left
+/// with no active rows are skipped, like FilterOperator.
+class FusedFilterProjectOperator : public Operator {
+ public:
+  FusedFilterProjectOperator(OperatorPtr child,
+                             std::shared_ptr<const FusedUnit> unit,
+                             ExprPolicy policy)
+      : Operator(unit->has_projection() ? unit->output_schema()
+                                        : child->output_schema()),
+        child_(std::move(child)),
+        unit_(std::move(unit)),
+        state_(unit_, policy) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<ColumnBatch*> GetNextImpl() override;
+  void Close() override { child_->Close(); }
+  std::string name() const override { return "PhotonFusedFilterProject"; }
+  std::vector<Operator*> children() override { return {child_.get()}; }
+
+ private:
+  void PublishMetricsImpl() override;
+
+  OperatorPtr child_;
+  std::shared_ptr<const FusedUnit> unit_;
+  FusedUnitState state_;
+  EvalContext ctx_;
+  std::unique_ptr<ColumnBatch> view_;
+};
+
+}  // namespace photon
+
+#endif  // PHOTON_OPS_FUSED_FILTER_PROJECT_H_

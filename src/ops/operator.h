@@ -51,6 +51,11 @@ struct ExecContext {
   /// process-wide default. Threaded onto every consumer this context's
   /// operators register (see MemoryConsumer::reserve_timeout_ms).
   int64_t reserve_timeout_ms = -1;
+  /// Expression-execution tier for filter→project chains (fused
+  /// interpreter / compiled kernels / interpreted tree). Forced modes are
+  /// used by the differ and benches; kTreeOnly also disables the fusion
+  /// planner passes entirely.
+  ExprPolicy expr_policy = ExprPolicy::kAdaptive;
 };
 
 /// Copies the context's per-query memory policy (task group, reserve

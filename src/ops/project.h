@@ -28,6 +28,11 @@ class ProjectOperator : public Operator {
                            const std::vector<std::string>& names);
 
  private:
+  void PublishMetricsImpl() override {
+    stats_.Add(obs::Metric::kScratchPoolHits, ctx_.pool_hits());
+    stats_.Add(obs::Metric::kScratchPoolMisses, ctx_.pool_misses());
+  }
+
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
   EvalContext ctx_;

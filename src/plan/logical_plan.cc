@@ -4,8 +4,11 @@
 #include "baseline/row_join.h"
 #include "baseline/row_ops.h"
 #include "baseline/row_sort.h"
+#include "expr/fusion.h"
+#include "expr/program.h"
 #include "ops/file_scan.h"
 #include "ops/filter.h"
+#include "ops/fused_filter_project.h"
 #include "ops/limit.h"
 #include "ops/project.h"
 #include "ops/scan.h"
@@ -30,6 +33,22 @@ Schema AggSchema(const std::vector<ExprPtr>& keys,
     schema.AddField(Field(spec.name, *result));
   }
   return schema;
+}
+
+bool IsFusable(PlanKind kind) {
+  return kind == PlanKind::kFilter || kind == PlanKind::kProject;
+}
+
+FusedStage StageOf(const PlanNode& node) {
+  FusedStage stage;
+  stage.is_filter = node.kind == PlanKind::kFilter;
+  if (stage.is_filter) {
+    stage.predicate = node.predicate;
+  } else {
+    stage.exprs = node.exprs;
+    stage.names = node.names;
+  }
+  return stage;
 }
 
 }  // namespace
@@ -193,6 +212,62 @@ std::string PlanNode::ToString(int indent) const {
   return out;
 }
 
+AggPreProject PlanAggPreProject(const PlanNode& agg) {
+  AggPreProject out;
+  PHOTON_CHECK(agg.kind == PlanKind::kAggregate);
+  auto is_trivial = [](const ExprPtr& e) {
+    return e == nullptr ||
+           dynamic_cast<const ColumnRefExpr*>(e.get()) != nullptr ||
+           dynamic_cast<const LiteralExpr*>(e.get()) != nullptr;
+  };
+  bool any = false;
+  for (const AggregateSpec& spec : agg.aggregates) {
+    if (!is_trivial(spec.arg)) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return out;
+
+  // One project slot per distinct key/argument expression; duplicates
+  // (canonical form, column refs by index) share a slot, so e.g. Q1's
+  // repeated price*(1-disc) is evaluated once per row.
+  std::vector<ExprPtr> slots;
+  std::vector<std::string> slot_names;
+  std::vector<std::string> slot_keys;
+  auto slot_of = [&](const ExprPtr& e) -> ExprPtr {
+    std::string key = ExprCanonKey(*e);
+    for (size_t i = 0; i < slot_keys.size(); i++) {
+      if (slot_keys[i] == key) {
+        return std::make_shared<ColumnRefExpr>(static_cast<int>(i),
+                                               slots[i]->type(),
+                                               slot_names[i]);
+      }
+    }
+    int idx = static_cast<int>(slots.size());
+    slots.push_back(e);
+    slot_keys.push_back(std::move(key));
+    slot_names.push_back("_p" + std::to_string(idx));
+    return std::make_shared<ColumnRefExpr>(idx, e->type(), slot_names[idx]);
+  };
+
+  out.keys.reserve(agg.group_keys.size());
+  for (const ExprPtr& k : agg.group_keys) out.keys.push_back(slot_of(k));
+  out.aggregates = agg.aggregates;
+  for (AggregateSpec& spec : out.aggregates) {
+    // Literal arguments reference no input; keep them in the spec.
+    if (spec.arg == nullptr ||
+        dynamic_cast<const LiteralExpr*>(spec.arg.get()) != nullptr) {
+      continue;
+    }
+    spec.arg = slot_of(spec.arg);
+  }
+  out.input = Project(agg.children[0], std::move(slots),
+                      std::move(slot_names));
+  out.fired = true;
+  return out;
+}
+
 Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx) {
   switch (plan->kind) {
     case PlanKind::kScan:
@@ -202,24 +277,53 @@ Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx) {
                                                plan->scan_columns,
                                                plan->scan_predicate,
                                                plan->scan_io));
-    case PlanKind::kFilter: {
-      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
-                              CompilePhoton(plan->children[0], ctx));
-      return OperatorPtr(
-          new FilterOperator(std::move(child), plan->predicate));
-    }
+    case PlanKind::kFilter:
     case PlanKind::kProject: {
+      if (ctx.expr_policy != ExprPolicy::kTreeOnly) {
+        // Fusion pass: collapse the maximal run of filter/project nodes
+        // ending here into one FusedUnit (DESIGN.md §12). `cur` walks to
+        // the first non-fusable descendant; stages are fed bottom-up.
+        const PlanPtr* cur = &plan;
+        std::vector<const PlanNode*> run;
+        while (IsFusable((*cur)->kind)) {
+          run.push_back(cur->get());
+          cur = &(*cur)->children[0];
+        }
+        std::vector<FusedStage> stages;
+        stages.reserve(run.size());
+        for (auto it = run.rbegin(); it != run.rend(); ++it) {
+          stages.push_back(StageOf(**it));
+        }
+        Result<std::shared_ptr<const FusedUnit>> unit =
+            FusedUnit::Compile(stages, (*cur)->output_schema);
+        if (unit.ok()) {
+          PHOTON_ASSIGN_OR_RETURN(OperatorPtr child, CompilePhoton(*cur, ctx));
+          return OperatorPtr(new FusedFilterProjectOperator(
+              std::move(child), std::move(*unit), ctx.expr_policy));
+        }
+        // Unsupported expression somewhere in the run: fall through to the
+        // per-node operators (sub-runs below still get their own chance).
+      }
       PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
                               CompilePhoton(plan->children[0], ctx));
+      if (plan->kind == PlanKind::kFilter) {
+        return OperatorPtr(
+            new FilterOperator(std::move(child), plan->predicate));
+      }
       return OperatorPtr(
           new ProjectOperator(std::move(child), plan->exprs, plan->names));
     }
     case PlanKind::kAggregate: {
-      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child,
-                              CompilePhoton(plan->children[0], ctx));
+      AggPreProject pre;
+      if (ctx.expr_policy != ExprPolicy::kTreeOnly) {
+        pre = PlanAggPreProject(*plan);
+      }
+      const PlanPtr& input = pre.fired ? pre.input : plan->children[0];
+      PHOTON_ASSIGN_OR_RETURN(OperatorPtr child, CompilePhoton(input, ctx));
       return OperatorPtr(new HashAggregateOperator(
-          std::move(child), plan->group_keys, plan->key_names,
-          plan->aggregates, ctx));
+          std::move(child), pre.fired ? pre.keys : plan->group_keys,
+          plan->key_names, pre.fired ? pre.aggregates : plan->aggregates,
+          ctx));
     }
     case PlanKind::kJoin: {
       PHOTON_ASSIGN_OR_RETURN(OperatorPtr probe,

@@ -103,6 +103,24 @@ int ColIndex(const PlanPtr& plan, const std::string& name);
 /// Compiles to a Photon physical operator tree.
 Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx = {});
 
+/// Result of the aggregate pre-projection rewrite (DESIGN.md §12): when an
+/// aggregate computes non-trivial argument expressions (e.g. Q1's
+/// price*(1-disc) terms), those move into a Project below the aggregate —
+/// where they fuse with the scan-side filter chain and share subexpressions
+/// — and the aggregate consumes plain column references.
+struct AggPreProject {
+  bool fired = false;
+  PlanPtr input;  // project over the aggregate's child (set iff fired)
+  std::vector<ExprPtr> keys;
+  std::vector<AggregateSpec> aggregates;
+};
+
+/// Plans the rewrite for `agg` (must be kAggregate). Fires only when at
+/// least one aggregate argument is a non-trivial expression; plans whose
+/// keys and arguments are all column refs / literals are left untouched,
+/// so their physical shape (and profile tree) is unchanged.
+AggPreProject PlanAggPreProject(const PlanNode& agg);
+
 /// Which baseline join implementation to use (Figure 4 compares both).
 enum class BaselineJoinImpl : uint8_t { kSortMerge, kShuffledHash };
 

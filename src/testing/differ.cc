@@ -172,6 +172,32 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
     modes.push_back(std::move(mode));
   }
 
+  // Mode 6: forced expression tiers. The adaptive runs above pick tiers by
+  // observed cost, so a slow-but-wrong tier could hide behind a fast
+  // correct one; pinning the policy makes every tier answer for itself.
+  struct TierMode {
+    ExprPolicy policy;
+    const char* label;
+  };
+  constexpr TierMode kTiers[] = {
+      {ExprPolicy::kTreeOnly, "photon/expr-tree"},
+      {ExprPolicy::kFusedOnly, "photon/expr-fused"},
+      {ExprPolicy::kCompiledOnly, "photon/expr-compiled"},
+  };
+  for (const TierMode& tier : kTiers) {
+    ModeResult mode;
+    mode.label = tier.label;
+    ExecContext ctx;
+    ctx.expr_policy = tier.policy;
+    Result<Table> t = driver->RunSingleTask(p, ctx);
+    if (!t.ok()) {
+      mode.status = t.status();
+    } else {
+      mode.rows = Canonicalize(*t);
+    }
+    modes.push_back(std::move(mode));
+  }
+
   for (const ModeResult& mode : modes) {
     if (mode.skipped) continue;
     if (!mode.status.ok()) {

@@ -37,14 +37,16 @@ struct DifferentialOptions {
   std::string spill_prefix = "fuzz-spill";
 };
 
-/// Runs `p` four ways — baseline row engine (both join impls), Photon
-/// single-task, Photon morsel-parallel at `num_threads`, and Photon under
-/// a tiny memory budget with injected scan faults — and diffs the
-/// canonicalized results cell-by-cell. Returns "" when all modes agree,
-/// else a report naming the diverging mode and first differing cell.
-/// Engine errors (compile or execution) are reported as divergences too,
-/// except that mode 4 skips plans whose build sides genuinely cannot fit
-/// the budget (OutOfMemory after retries).
+/// Runs `p` seven ways — baseline row engine (both join impls), Photon
+/// single-task, Photon morsel-parallel at `num_threads`, Photon under a
+/// tiny memory budget with injected scan faults, and Photon once per
+/// forced expression tier (tree-only / fused interpreter / compiled
+/// kernels, mode 6) — and diffs the canonicalized results cell-by-cell.
+/// Returns "" when all modes agree, else a report naming the diverging
+/// mode and first differing cell. Engine errors (compile or execution)
+/// are reported as divergences too, except that mode 4 skips plans whose
+/// build sides genuinely cannot fit the budget (OutOfMemory after
+/// retries).
 std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
                             const DifferentialOptions& opts);
 

@@ -301,9 +301,14 @@ plan::PlanPtr PlanGen::RandomPlan() {
     JoinType jt = types[rng_.Uniform(0, 3)];
     ExprPtr lk = eb::Col(0, left->output_schema.field(0).type);
     ExprPtr rk = eb::Col(0, right->output_schema.field(0).type);
-    if (!IsIntegral(lk->type()) || !IsIntegral(rk->type())) {
-      // An aggregate side may have replaced the key column; fall back to a
-      // plain source so join keys stay integral.
+    if (!IsIntegral(lk->type()) ||
+        lk->type().id() != rk->type().id()) {
+      // An aggregate side may have replaced the key column with its group
+      // key or an aggregate result, leaving a non-integral type — or two
+      // integral columns of different widths, which the engines do not
+      // coerce (an int64-vs-int32 equi-join is ill-typed; found by soak
+      // seed 136). Fall back to plain sources so both keys are the int64
+      // leading key column.
       left = RandomUnaryChain(RandomSource(), 1);
       right = RandomSource();
       lk = eb::Col(0, left->output_schema.field(0).type);

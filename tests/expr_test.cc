@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 
 #include "expr/builder.h"
 #include "expr/function_registry.h"
+#include "expr/fusion.h"
 #include "vector/table.h"
 
 namespace photon {
@@ -514,6 +516,323 @@ TEST(EvalContextTest, RecyclesScratchVectors) {
   // Different shape -> different vector.
   ColumnVector* v3 = ctx.NewVector(DataType::Int64(), 1024);
   EXPECT_NE(static_cast<void*>(v2), static_cast<void*>(v3));
+}
+
+// ---------------------------------------------------------------------------
+// Tier parity (DESIGN.md §12): one filter→project chain evaluated under
+// every expression policy — interpreted tree, fused interpreter, compiled
+// kernels, adaptive — must keep the same rows and produce the same values.
+// ---------------------------------------------------------------------------
+
+/// NULL-aware value equality. Doubles compare by bit pattern so NaN == NaN
+/// and +0.0 != -0.0: tiers must be bit-identical, not just numerically
+/// close.
+bool TierValueEq(TypeId tid, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() == b.is_null();
+  if (tid == TypeId::kFloat64) {
+    double x = a.f64(), y = b.f64();
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  }
+  return a.Equals(b);
+}
+
+class TierParityTest {
+ public:
+  TierParityTest(Schema schema, std::vector<std::vector<Value>> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  void Check(const ExprPtr& predicate, const std::vector<ExprPtr>& exprs) {
+    std::vector<FusedStage> stages;
+    if (predicate != nullptr) {
+      FusedStage f;
+      f.is_filter = true;
+      f.predicate = predicate;
+      stages.push_back(std::move(f));
+    }
+    if (!exprs.empty()) {
+      FusedStage p;
+      p.is_filter = false;
+      p.exprs = exprs;
+      for (size_t i = 0; i < exprs.size(); i++) {
+        p.names.push_back("o" + std::to_string(i));
+      }
+      stages.push_back(std::move(p));
+    }
+    Result<std::shared_ptr<const FusedUnit>> unit =
+        FusedUnit::Compile(stages, schema_);
+    ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+    const Schema& out_schema = (*unit)->output_schema();
+    auto out_tid = [&](size_t i) {
+      return out_schema.field(static_cast<int>(i)).type.id();
+    };
+
+    struct TierRun {
+      std::vector<int32_t> pos;
+      std::vector<std::vector<Value>> vals;  // [output][surviving row]
+    };
+    const struct {
+      ExprPolicy policy;
+      const char* name;
+    } kTiers[] = {{ExprPolicy::kTreeOnly, "tree"},
+                  {ExprPolicy::kFusedOnly, "fused"},
+                  {ExprPolicy::kCompiledOnly, "compiled"},
+                  {ExprPolicy::kAdaptive, "adaptive"}};
+    std::vector<TierRun> runs;
+    for (const auto& tier : kTiers) {
+      FusedUnitState state(*unit, tier.policy);
+      EvalContext ctx;
+      TierRun first;
+      // Several batches per tier: the adaptive state times the fused pass
+      // first, then the compiled one, then probes — every repetition must
+      // still agree with the first.
+      for (int rep = 0; rep < 4; rep++) {
+        ColumnBatch batch(schema_, static_cast<int>(rows_.size()));
+        for (size_t r = 0; r < rows_.size(); r++) {
+          for (int c = 0; c < schema_.num_fields(); c++) {
+            batch.column(c)->SetValue(static_cast<int>(r), rows_[r][c]);
+          }
+        }
+        batch.set_num_rows(static_cast<int>(rows_.size()));
+        batch.SetAllActive();
+        ctx.ResetPerBatch();
+        Result<int> active = state.Eval(&batch, &ctx);
+        ASSERT_TRUE(active.ok())
+            << tier.name << ": " << active.status().ToString();
+        TierRun run;
+        if (batch.all_active()) {
+          for (int i = 0; i < batch.num_rows(); i++) run.pos.push_back(i);
+        } else {
+          run.pos.assign(batch.pos_list(),
+                         batch.pos_list() + batch.num_active());
+        }
+        for (size_t i = 0; i < (*unit)->outputs().size(); i++) {
+          ColumnVector* out = state.Output(i, &batch);
+          std::vector<Value> col;
+          col.reserve(run.pos.size());
+          for (int32_t row : run.pos) col.push_back(out->GetValue(row));
+          run.vals.push_back(std::move(col));
+        }
+        if (rep == 0) {
+          first = std::move(run);
+        } else {
+          ASSERT_EQ(first.pos, run.pos)
+              << tier.name << " diverged from itself at rep " << rep;
+          for (size_t i = 0; i < first.vals.size(); i++) {
+            for (size_t r = 0; r < first.pos.size(); r++) {
+              ASSERT_TRUE(
+                  TierValueEq(out_tid(i), first.vals[i][r], run.vals[i][r]))
+                  << tier.name << " rep " << rep << " output " << i
+                  << " row " << first.pos[r];
+            }
+          }
+        }
+      }
+      runs.push_back(std::move(first));
+    }
+
+    // Every tier keeps exactly the rows the tree tier keeps, with the
+    // same output values.
+    for (size_t t = 1; t < runs.size(); t++) {
+      ASSERT_EQ(runs[0].pos, runs[t].pos) << kTiers[t].name << " vs tree";
+      for (size_t i = 0; i < runs[0].vals.size(); i++) {
+        for (size_t r = 0; r < runs[0].pos.size(); r++) {
+          EXPECT_TRUE(TierValueEq(out_tid(i), runs[0].vals[i][r],
+                                  runs[t].vals[i][r]))
+              << kTiers[t].name << " output " << i << " row "
+              << runs[0].pos[r] << ": tree="
+              << runs[0].vals[i][r].ToString() << " got="
+              << runs[t].vals[i][r].ToString();
+        }
+      }
+    }
+
+    // Ground truth: surviving rows match the row-at-a-time oracle on the
+    // original (pre-fusion) expressions.
+    for (size_t r = 0; r < runs[0].pos.size(); r++) {
+      int32_t row = runs[0].pos[r];
+      if (predicate != nullptr) {
+        Result<Value> keep = predicate->EvaluateRow(rows_[row]);
+        ASSERT_TRUE(keep.ok());
+        EXPECT_TRUE(!keep->is_null() && keep->boolean())
+            << "row " << row << " kept but oracle predicate says drop";
+      }
+      for (size_t i = 0; i < exprs.size(); i++) {
+        Result<Value> oracle = exprs[i]->EvaluateRow(rows_[row]);
+        ASSERT_TRUE(oracle.ok());
+        EXPECT_TRUE(TierValueEq(out_tid(i), runs[0].vals[i][r], *oracle))
+            << "output " << i << " row " << row << ": got "
+            << runs[0].vals[i][r].ToString() << " oracle "
+            << oracle->ToString();
+      }
+    }
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+TEST(TierParityTest, NullPropagationAcrossTiers) {
+  Schema schema({Field("a", DataType::Int64()), Field("b", DataType::Int64()),
+                 Field("x", DataType::Float64())});
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int64(10), Value::Int64(3), Value::Float64(1.5)},
+      {Value::Null(), Value::Int64(5), Value::Float64(-2.0)},
+      {Value::Int64(7), Value::Null(), Value::Null()},
+      {Value::Null(), Value::Null(), Value::Float64(0.0)},
+      {Value::Int64(-4), Value::Int64(8), Value::Float64(3.25)},
+      {Value::Int64(0), Value::Int64(0), Value::Float64(-0.0)},
+  };
+  TierParityTest t(schema, rows);
+  ExprPtr a = Col(0, DataType::Int64(), "a");
+  ExprPtr b = Col(1, DataType::Int64(), "b");
+  ExprPtr x = Col(2, DataType::Float64(), "x");
+  // NULL in any operand nulls the row; NULL predicate drops the row.
+  t.Check(eb::Gt(a, Lit(int64_t{-10})),
+          {eb::Add(a, b), eb::Mul(eb::Add(a, b), eb::Sub(a, b)),
+           eb::Mul(x, x)});
+  t.Check(nullptr, {eb::Add(eb::Mul(a, b), eb::Mul(a, b)),
+                    eb::Sub(a, eb::NullLit(DataType::Int64()))});
+}
+
+TEST(TierParityTest, IntegerDivisionEdgesAcrossTiers) {
+  int64_t min64 = std::numeric_limits<int64_t>::min();
+  Schema schema(
+      {Field("a", DataType::Int64()), Field("b", DataType::Int64())});
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int64(min64), Value::Int64(-1)},  // wraps, must not SIGFPE
+      {Value::Int64(10), Value::Int64(0)},      // div by zero -> NULL
+      {Value::Int64(min64), Value::Int64(0)},
+      {Value::Int64(22), Value::Int64(7)},
+      {Value::Null(), Value::Int64(2)},
+      {Value::Int64(min64), Value::Int64(1)},
+      {Value::Int64(-9), Value::Int64(-1)},
+  };
+  TierParityTest t(schema, rows);
+  ExprPtr a = Col(0, DataType::Int64(), "a");
+  ExprPtr b = Col(1, DataType::Int64(), "b");
+  t.Check(nullptr, {eb::Div(a, b), eb::Mod(a, b),
+                    eb::Add(eb::Div(a, b), eb::Mod(a, b))});
+  // Division inside a filtered chain: errors-to-NULL must not depend on
+  // which rows the predicate already dropped.
+  t.Check(eb::Ne(b, Lit(int64_t{7})), {eb::Div(a, b)});
+}
+
+TEST(TierParityTest, DecimalOverflowRoutingAcrossTiers) {
+  // Regular shapes compile; near-overflow products at precision 38 route
+  // through the irregular BigDecimal path, which the compiled tier must
+  // leave to the interpreter — all tiers still agree (overflow -> NULL).
+  Schema schema({Field("p", DataType::Decimal(38, 2)),
+                 Field("q", DataType::Decimal(38, 2))});
+  Value near_max =
+      Value::Decimal(Decimal128(Decimal128::MaxValueForPrecision(38) - 7));
+  Value big = Value::Decimal(Decimal128(Decimal128::PowerOfTen(30)));
+  std::vector<std::vector<Value>> rows = {
+      {near_max, near_max},
+      {big, big},
+      {Value::Decimal(Decimal128(150)), Value::Decimal(Decimal128(25))},
+      {Value::Null(), near_max},
+      {near_max, Value::Decimal(Decimal128(-1))},
+  };
+  TierParityTest t(schema, rows);
+  ExprPtr p = Col(0, DataType::Decimal(38, 2), "p");
+  ExprPtr q = Col(1, DataType::Decimal(38, 2), "q");
+  t.Check(nullptr, {eb::Add(p, q), eb::Sub(p, q), eb::Mul(p, q)});
+  t.Check(eb::Lt(q, eb::DecimalLit("10.00", 38, 2)), {eb::Add(p, q)});
+}
+
+TEST(TierParityTest, Q6ShapeCompiledTermParity) {
+  // TPC-H Q6's comparison-chain filter over a decimal/float mix, with NaN
+  // and boundary values planted to stress the compiled position-list
+  // terms' comparison semantics.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  Schema schema({Field("qty", DataType::Float64()),
+                 Field("disc", DataType::Float64()),
+                 Field("price", DataType::Float64())});
+  std::vector<std::vector<Value>> rows = {
+      {Value::Float64(23.0), Value::Float64(0.06), Value::Float64(100.0)},
+      {Value::Float64(24.0), Value::Float64(0.05), Value::Float64(50.0)},
+      {Value::Float64(nan), Value::Float64(0.06), Value::Float64(10.0)},
+      {Value::Float64(1.0), Value::Float64(nan), Value::Float64(20.0)},
+      {Value::Null(), Value::Float64(0.07), Value::Float64(30.0)},
+      {Value::Float64(23.9), Value::Null(), Value::Float64(40.0)},
+      {Value::Float64(-0.0), Value::Float64(0.05), Value::Float64(60.0)},
+  };
+  TierParityTest t(schema, rows);
+  ExprPtr qty = Col(0, DataType::Float64(), "qty");
+  ExprPtr disc = Col(1, DataType::Float64(), "disc");
+  ExprPtr price = Col(2, DataType::Float64(), "price");
+  ExprPtr pred = eb::And(
+      eb::Lt(qty, Lit(24.0)),
+      eb::And(eb::Ge(disc, Lit(0.05)), eb::Le(disc, Lit(0.07))));
+  t.Check(pred, {eb::Mul(price, disc)});
+  // Mirrored literal-on-the-left comparisons hit MirrorCmp.
+  t.Check(eb::Gt(Lit(24.0), qty), {eb::Mul(price, disc)});
+}
+
+TEST(TierParityTest, ConstantFoldingAndCseKeepParity) {
+  // Literal-only subtrees fold at compile time and duplicate
+  // subexpressions share one program slot; results must be unchanged.
+  Schema schema({Field("a", DataType::Int64())});
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int64(1)}, {Value::Int64(-3)}, {Value::Null()},
+      {Value::Int64(1000)},
+  };
+  TierParityTest t(schema, rows);
+  ExprPtr a = Col(0, DataType::Int64(), "a");
+  ExprPtr two_plus_three = eb::Add(Lit(int64_t{2}), Lit(int64_t{3}));
+  t.Check(eb::Gt(a, eb::Sub(Lit(int64_t{2}), Lit(int64_t{4}))),
+          {eb::Mul(a, two_plus_three),
+           eb::Add(eb::Mul(a, two_plus_three), eb::Mul(a, two_plus_three))});
+  // A predicate that folds to constant false drops every row in all tiers.
+  t.Check(eb::Lt(Lit(int64_t{5}), Lit(int64_t{2})), {eb::Add(a, a)});
+}
+
+TEST(TierParityTest, Q9ProfitShapeNestedFusionParity) {
+  // TPC-H Q9's profit expression price*(1-disc) - cost*qty: the inner
+  // Mul absorbs its single-use (1-disc) operand into a two-op compiled
+  // step, and the outer Sub then sees that Mul as a single-use operand
+  // too. Absorbing it again would orphan the (1-disc) register (regression
+  // test: the compiled tier read a never-computed register here).
+  Schema schema({Field("price", DataType::Decimal(10, 2)),
+                 Field("disc", DataType::Decimal(4, 2)),
+                 Field("cost", DataType::Decimal(10, 2)),
+                 Field("qty", DataType::Decimal(4, 2))});
+  auto dec = [](int64_t unscaled) {
+    return Value::Decimal(Decimal128(unscaled));
+  };
+  std::vector<std::vector<Value>> rows = {
+      {dec(10000), dec(6), dec(2000), dec(300)},
+      {dec(50000), dec(0), dec(100000), dec(100)},
+      {Value::Null(), dec(5), dec(1), dec(1)},
+      {dec(123456), Value::Null(), dec(999), dec(200)},
+      {dec(-777), dec(10), Value::Null(), Value::Null()},
+      {dec(1), dec(99), dec(1), dec(9999)},
+  };
+  TierParityTest t(schema, rows);
+  ExprPtr price = Col(0, DataType::Decimal(10, 2), "price");
+  ExprPtr disc = Col(1, DataType::Decimal(4, 2), "disc");
+  ExprPtr cost = Col(2, DataType::Decimal(10, 2), "cost");
+  ExprPtr qty = Col(3, DataType::Decimal(4, 2), "qty");
+  ExprPtr revenue = eb::Mul(price, eb::Sub(Lit(int32_t{1}), disc));
+  ExprPtr supply = eb::Mul(cost, qty);
+  t.Check(nullptr, {eb::Sub(revenue, supply)});
+  // Same shape on int64: the nested-fusion guard is type-generic.
+  Schema ischema({Field("a", DataType::Int64()), Field("b", DataType::Int64()),
+                  Field("c", DataType::Int64()),
+                  Field("d", DataType::Int64())});
+  std::vector<std::vector<Value>> irows = {
+      {Value::Int64(10), Value::Int64(3), Value::Int64(4), Value::Int64(5)},
+      {Value::Int64(-2), Value::Int64(0), Value::Int64(7), Value::Null()},
+      {Value::Null(), Value::Int64(1), Value::Int64(2), Value::Int64(3)},
+  };
+  TierParityTest ti(ischema, irows);
+  ExprPtr a = Col(0, DataType::Int64(), "a");
+  ExprPtr b = Col(1, DataType::Int64(), "b");
+  ExprPtr c = Col(2, DataType::Int64(), "c");
+  ExprPtr d = Col(3, DataType::Int64(), "d");
+  ti.Check(nullptr, {eb::Sub(eb::Mul(a, eb::Sub(Lit(int64_t{1}), b)),
+                             eb::Mul(c, d))});
 }
 
 }  // namespace
