@@ -1,0 +1,122 @@
+// Interactive SQL shell over generated TPC-H data. Reads one statement per
+// line (end with ';' to span lines), compiles it through the SQL front-end,
+// runs it on a QueryService, and prints the result table. Usage:
+//
+//   sql_repl [scale_factor=0.01] [--profile]
+//
+// With --profile each query also prints its QueryProfile operator tree
+// (rows and wall time per operator, aggregated across morsel tasks).
+//
+//   photon> SELECT l_returnflag, count(*) AS n FROM lineitem
+//           GROUP BY l_returnflag ORDER BY n DESC;
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+#include "plan/logical_plan.h"
+#include "service/query_service.h"
+#include "sql/analyzer.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_sql.h"
+
+using namespace photon;
+
+namespace {
+
+void PrintProfileNode(const obs::ProfileNode& n, int indent) {
+  std::printf("%*s%s  rows=%lld  wall=%.2fms  tasks=%d\n", indent * 2, "",
+              n.name.c_str(),
+              static_cast<long long>(n.Sum(obs::Metric::kRowsOut)),
+              n.Sum(obs::Metric::kWallNs) / 1e6, n.num_tasks);
+  for (const auto& child : n.children) PrintProfileNode(child, indent + 1);
+}
+
+void PrintTable(const Table& t) {
+  const Schema& schema = t.schema();
+  for (int i = 0; i < schema.num_fields(); i++) {
+    std::printf("%s%s", i ? " | " : "", schema.field(i).name.c_str());
+  }
+  std::printf("\n");
+  int64_t shown = 0;
+  for (const auto& row : t.ToRows()) {
+    for (size_t i = 0; i < row.size(); i++) {
+      std::printf("%s%s", i ? " | " : "", row[i].ToString().c_str());
+    }
+    std::printf("\n");
+    if (++shown == 50 && t.num_rows() > 50) {
+      std::printf("... (%lld rows total)\n",
+                  static_cast<long long>(t.num_rows()));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = 0.01;
+  bool profile = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else {
+      sf = std::atof(argv[i]);
+    }
+  }
+
+  std::printf("generating TPC-H data at SF=%.3f...\n", sf);
+  tpch::TpchData data = tpch::GenerateTpch(sf);
+  sql::Catalog catalog = tpch::TpchCatalog(data);
+  std::printf("tables:");
+  for (const std::string& name : catalog.names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\ntype SQL terminated by ';' (Ctrl-D to exit)\n");
+
+  service::QueryService svc;
+  std::string stmt;
+  std::string line;
+  std::printf("photon> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    stmt += line;
+    size_t semi = stmt.find(';');
+    if (semi == std::string::npos) {
+      stmt += "\n";
+      std::printf("     -> ");
+      std::fflush(stdout);
+      continue;
+    }
+    std::string sql_text = stmt.substr(0, semi);
+    stmt.clear();
+
+    if (sql_text.find_first_not_of(" \t\r\n") != std::string::npos) {
+      Result<plan::PlanPtr> plan = sql::CompileSql(sql_text, catalog);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        auto session = svc.Submit(*plan);
+        Status st = session->Wait();
+        if (!st.ok()) {
+          std::printf("error: %s\n", st.ToString().c_str());
+        } else {
+          PrintTable(session->table());
+          if (profile) {
+            const obs::QueryProfile& prof = session->profile();
+            std::printf("\nprofile (%d threads, %.2fms):\n",
+                        prof.num_threads, prof.wall_ns / 1e6);
+            PrintProfileNode(prof.root, 1);
+          }
+        }
+      }
+    }
+    std::printf("photon> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -641,6 +641,15 @@ Result<std::shared_ptr<const FusedUnit>> FusedUnit::Compile(
   std::vector<std::string> names;
   bool have_projection = false;
   for (const FusedStage& st : stages) {
+    // Flattening substitutes and canonicalizes recursively; refuse trees
+    // deep enough to threaten the stack before touching them.
+    if (st.is_filter) {
+      PHOTON_RETURN_NOT_OK(CheckExpressionDepth(*st.predicate));
+    } else {
+      for (const ExprPtr& e : st.exprs) {
+        PHOTON_RETURN_NOT_OK(CheckExpressionDepth(*e));
+      }
+    }
     if (st.is_filter) {
       PHOTON_ASSIGN_OR_RETURN(ExprPtr pred,
                               SubstituteColumns(st.predicate, bindings));

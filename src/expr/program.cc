@@ -204,6 +204,24 @@ std::string ExprCanonKey(const Expr& e) {
   return buf;
 }
 
+Status CheckExpressionDepth(const Expr& e, int limit) {
+  std::vector<std::pair<const Expr*, int>> stack;
+  stack.emplace_back(&e, 1);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (depth > limit) {
+      return Status::InvalidArgument(
+          "expression nested deeper than " + std::to_string(limit) +
+          " levels");
+    }
+    for (const ExprPtr& child : node->children()) {
+      stack.emplace_back(child.get(), depth + 1);
+    }
+  }
+  return Status::OK();
+}
+
 ExprPtr TryFoldConst(const ExprPtr& e) {
   if (dynamic_cast<const LiteralExpr*>(e.get()) != nullptr) return e;
   if (!IsConstSubtree(*e)) return e;

@@ -135,6 +135,17 @@ std::string ExprCanonKey(const Expr& e);
 /// LiteralExpr; otherwise (or if evaluation errors) return `e` unchanged.
 ExprPtr TryFoldConst(const ExprPtr& e);
 
+/// Deepest nesting the recursive expression machinery (canonicalization,
+/// program flattening, tree evaluation) accepts. Comfortably above anything
+/// a real query produces, comfortably below stack exhaustion.
+inline constexpr int kMaxExprDepth = 256;
+
+/// Rejects expressions nested deeper than `limit` with InvalidArgument.
+/// Walks with an explicit stack so the check itself cannot overflow; called
+/// once per plan node at compile time so the recursive walkers behind it
+/// never see a pathological tree.
+Status CheckExpressionDepth(const Expr& e, int limit = kMaxExprDepth);
+
 }  // namespace photon
 
 #endif  // PHOTON_EXPR_PROGRAM_H_

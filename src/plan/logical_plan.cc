@@ -39,6 +39,29 @@ bool IsFusable(PlanKind kind) {
   return kind == PlanKind::kFilter || kind == PlanKind::kProject;
 }
 
+/// Depth-checks every expression hanging off one plan node (not its
+/// children — CompilePhoton/CompileBaseline recurse per node, so each node
+/// is checked exactly once on the way down). Gates all the recursive
+/// walkers behind it: canonicalization, program flattening, tree Evaluate.
+Status CheckNodeExprDepths(const PlanNode& node) {
+  std::vector<const ExprPtr*> exprs;
+  if (node.predicate != nullptr) exprs.push_back(&node.predicate);
+  if (node.scan_predicate != nullptr) exprs.push_back(&node.scan_predicate);
+  if (node.residual != nullptr) exprs.push_back(&node.residual);
+  for (const ExprPtr& e : node.exprs) exprs.push_back(&e);
+  for (const ExprPtr& e : node.group_keys) exprs.push_back(&e);
+  for (const ExprPtr& e : node.left_keys) exprs.push_back(&e);
+  for (const ExprPtr& e : node.right_keys) exprs.push_back(&e);
+  for (const AggregateSpec& spec : node.aggregates) {
+    if (spec.arg != nullptr) exprs.push_back(&spec.arg);
+  }
+  for (const SortKey& k : node.sort_keys) exprs.push_back(&k.expr);
+  for (const ExprPtr* e : exprs) {
+    PHOTON_RETURN_NOT_OK(CheckExpressionDepth(**e));
+  }
+  return Status::OK();
+}
+
 FusedStage StageOf(const PlanNode& node) {
   FusedStage stage;
   stage.is_filter = node.kind == PlanKind::kFilter;
@@ -269,6 +292,7 @@ AggPreProject PlanAggPreProject(const PlanNode& agg) {
 }
 
 Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx) {
+  PHOTON_RETURN_NOT_OK(CheckNodeExprDepths(*plan));
   switch (plan->kind) {
     case PlanKind::kScan:
       return OperatorPtr(new InMemoryScanOperator(plan->table));
@@ -352,6 +376,7 @@ Result<OperatorPtr> CompilePhoton(const PlanPtr& plan, ExecContext ctx) {
 Result<baseline::RowOperatorPtr> CompileBaseline(
     const PlanPtr& plan, BaselineJoinImpl join_impl) {
   using baseline::RowOperatorPtr;
+  PHOTON_RETURN_NOT_OK(CheckNodeExprDepths(*plan));
   switch (plan->kind) {
     case PlanKind::kScan:
       return RowOperatorPtr(new baseline::RowScanOperator(plan->table));

@@ -1,0 +1,1622 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/time_util.h"
+#include "expr/agg_function.h"
+#include "expr/builder.h"
+#include "expr/function_registry.h"
+#include "expr/program.h"
+#include "sql/parser.h"
+#include "sql/token.h"
+#include "types/decimal.h"
+
+namespace photon {
+namespace sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+/// One resolvable column. `hidden` marks columns appended by subquery joins
+/// (scalar-subquery results): they occupy a schema slot but never resolve
+/// by name and are always projected away before the query's output.
+struct ScopeColumn {
+  std::string qualifier;  // table alias, "" = none
+  std::string name;
+  DataType type;
+  bool hidden = false;
+};
+
+struct Scope {
+  std::vector<ScopeColumn> cols;
+
+  int width() const { return static_cast<int>(cols.size()); }
+  bool has_hidden() const {
+    for (const auto& c : cols) {
+      if (c.hidden) return true;
+    }
+    return false;
+  }
+};
+
+struct Lowered {
+  plan::PlanPtr plan;
+  Scope scope;
+};
+
+/// Grouping context: the pre-aggregate scope, typed key expressions with
+/// canonical keys for structural matching, and the aggregate specs
+/// discovered while scanning SELECT/HAVING.
+struct AggInfo {
+  Scope input_scope;
+  std::vector<ExprPtr> key_exprs;
+  std::vector<std::string> key_canons;
+  std::vector<std::string> key_names;
+  std::vector<AggregateSpec> specs;
+  std::vector<std::string> spec_canons;
+  std::vector<DataType> spec_types;
+};
+
+struct ExprCtx {
+  const Scope* scope;
+  AggInfo* agg = nullptr;
+  const std::map<const SqlExpr*, ExprPtr>* subst = nullptr;
+  // >= 0: two-zone resolution for correlated EXISTS conditions — columns at
+  // [inner_zone_start, width) are the inner query and take priority for
+  // unqualified names (SQL's innermost-scope-first rule).
+  int inner_zone_start = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Small AST utilities
+// ---------------------------------------------------------------------------
+
+const SqlExpr* StripParens(const SqlExpr* e) {
+  while (e->kind == SqlExprKind::kParen) e = e->args[0].get();
+  return e;
+}
+
+/// Splits an AND spine into conjuncts. Parenthesized subtrees are atomic:
+/// `(a AND b) AND c` yields two conjuncts, preserving the user's (and the
+/// pretty-printer's) tree shape exactly.
+void FlattenAndAst(const SqlExpr* e, std::vector<const SqlExpr*>* out) {
+  if (e->kind == SqlExprKind::kAnd) {
+    FlattenAndAst(e->args[0].get(), out);
+    FlattenAndAst(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+template <typename Fn>
+void WalkAst(const SqlExpr& e, const Fn& fn) {
+  fn(e);
+  for (const auto& a : e.args) WalkAst(*a, fn);
+  for (const auto& b : e.branches) {
+    WalkAst(*b.first, fn);
+    WalkAst(*b.second, fn);
+  }
+  if (e.else_expr) WalkAst(*e.else_expr, fn);
+  // Deliberately does not descend into e.subquery: a subquery's body
+  // belongs to its own query, not to the enclosing expression.
+}
+
+bool ContainsSubqueryAst(const SqlExpr& e) {
+  bool found = false;
+  WalkAst(e, [&](const SqlExpr& n) {
+    if (n.kind == SqlExprKind::kInSubquery || n.kind == SqlExprKind::kExists ||
+        n.kind == SqlExprKind::kScalarSubquery) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+bool AggKindForName(const std::string& name, AggKind* kind) {
+  if (name == "count") {
+    *kind = AggKind::kCount;
+  } else if (name == "sum") {
+    *kind = AggKind::kSum;
+  } else if (name == "min") {
+    *kind = AggKind::kMin;
+  } else if (name == "max") {
+    *kind = AggKind::kMax;
+  } else if (name == "avg") {
+    *kind = AggKind::kAvg;
+  } else if (name == "collect_list") {
+    *kind = AggKind::kCollectList;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool AnyAggCallAst(const SqlExpr& e) {
+  bool found = false;
+  WalkAst(e, [&](const SqlExpr& n) {
+    AggKind k;
+    if (n.kind == SqlExprKind::kCall && AggKindForName(n.text, &k)) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+bool IsNumericish(const DataType& t) {
+  switch (t.id()) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kFloat64:
+    case TypeId::kDecimal128:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsIntegral(const DataType& t) {
+  return t.id() == TypeId::kInt32 || t.id() == TypeId::kInt64;
+}
+
+ExprPtr FoldAnd(std::vector<ExprPtr> conjuncts) {
+  ExprPtr acc;
+  for (auto& c : conjuncts) {
+    acc = acc ? eb::And(std::move(acc), std::move(c)) : std::move(c);
+  }
+  return acc;
+}
+
+std::string QualifiedName(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ".";
+    out += p;
+  }
+  return out;
+}
+
+/// ON-conjunct → hash-join key pair. A lowered conjunct qualifies when it
+/// is `col = col` over bare references of the same integral type with the
+/// two sides on opposite sides of the join. The fingerprint normalizer in
+/// printer.cc treats key pairs and residual equality conjuncts uniformly,
+/// so this extraction is a performance choice, never a semantic one.
+bool AsJoinKeyPair(const ExprPtr& e, int left_width, ExprPtr* probe_key,
+                   ExprPtr* build_key) {
+  auto* cmp = dynamic_cast<ComparisonExpr*>(e.get());
+  if (cmp == nullptr || cmp->op() != CmpOp::kEq) return false;
+  std::vector<ExprPtr> kids = cmp->children();
+  auto* a = dynamic_cast<ColumnRefExpr*>(kids[0].get());
+  auto* b = dynamic_cast<ColumnRefExpr*>(kids[1].get());
+  if (a == nullptr || b == nullptr) return false;
+  if (a->type().id() != b->type().id() || !IsIntegral(a->type())) {
+    return false;
+  }
+  bool a_left = a->index() < left_width;
+  bool b_left = b->index() < left_width;
+  if (a_left == b_left) return false;
+  const ColumnRefExpr* probe = a_left ? a : b;
+  const ColumnRefExpr* build = a_left ? b : a;
+  *probe_key = eb::Col(probe->index(), probe->type(), probe->name());
+  *build_key =
+      eb::Col(build->index() - left_width, build->type(), build->name());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(const std::string& source, const Catalog& catalog)
+      : source_(source), catalog_(catalog) {}
+
+  Result<Lowered> LowerQuery(const SelectStmt& stmt, int qdepth);
+
+ private:
+  Status Err(int offset, const std::string& msg) const {
+    return Status::InvalidArgument(ErrorAt(source_, offset, msg));
+  }
+
+  // -- resolution --
+
+  Result<int> ResolveIdent(const std::vector<std::string>& parts,
+                           const ExprCtx& ctx, int offset) const;
+
+  // -- expressions --
+
+  Result<ExprPtr> AnalyzeExpr(const SqlExpr& e, const ExprCtx& ctx,
+                              int depth);
+  Result<ExprPtr> AnalyzePrimaryLiteral(const SqlExpr& e);
+  Result<ExprPtr> LowerIntText(const std::string& text, int offset);
+  Result<ExprPtr> LowerDecimalText(const std::string& text, int offset);
+  Result<ExprPtr> LowerTypedLit(const SqlExpr& e);
+  Result<ExprPtr> AnalyzeCall(const SqlExpr& e, const ExprCtx& ctx,
+                              int depth);
+  Result<ExprPtr> AnalyzeCase(const SqlExpr& e, const ExprCtx& ctx,
+                              int depth);
+  Result<DataType> CaseCommonType(const DataType& a, const DataType& b,
+                                  int offset);
+  Status RequireBoolean(const ExprPtr& e, int offset,
+                        const char* what) const;
+  Status CheckCmpOperands(const ExprPtr& a, const ExprPtr& b,
+                          int offset) const;
+
+  // -- aggregation --
+
+  Status CollectAggs(const SqlExpr& e, AggInfo* agg, bool inside_agg);
+  Result<int> AggSpecIndex(const SqlExpr& call, AggInfo* agg,
+                           bool may_add);
+
+  // -- clauses --
+
+  Result<Lowered> LowerFrom(const TableRef& ref, int qdepth);
+  Status ApplyTableAlias(Lowered* lowered, const TableRef& ref) const;
+  Status LowerPredicate(Lowered* cur, const SqlExpr& pred, AggInfo* agg,
+                        int qdepth);
+  Status HandleInSubquery(Lowered* cur, const SqlExpr& e, bool negated,
+                          AggInfo* agg, int qdepth);
+  Status HandleExists(Lowered* cur, const SqlExpr& e, bool anti, int qdepth);
+  Status HandleScalarConjunct(Lowered* cur, const SqlExpr& conjunct,
+                              AggInfo* agg, int qdepth);
+  Result<Lowered> LowerScalarSubquery(const SqlExpr& sub, int qdepth);
+
+  const std::string& source_;
+  const Catalog& catalog_;
+  // CTE frames, innermost last. Each frame maps name → definition body.
+  std::vector<std::vector<std::pair<std::string, const SelectStmt*>>>
+      cte_frames_;
+};
+
+// ---------------------------------------------------------------------------
+// Name resolution
+// ---------------------------------------------------------------------------
+
+Result<int> Analyzer::ResolveIdent(const std::vector<std::string>& parts,
+                                   const ExprCtx& ctx, int offset) const {
+  const std::vector<ScopeColumn>& cols = ctx.scope->cols;
+  const std::string& name = parts.back();
+  const std::string* qualifier = parts.size() == 2 ? &parts[0] : nullptr;
+
+  auto match_range = [&](int begin, int end, int* hit) {
+    int count = 0;
+    for (int i = begin; i < end; i++) {
+      const ScopeColumn& c = cols[i];
+      if (c.hidden) continue;
+      if (c.name != name) continue;
+      if (qualifier != nullptr && c.qualifier != *qualifier) continue;
+      *hit = i;
+      count++;
+    }
+    return count;
+  };
+
+  int n = static_cast<int>(cols.size());
+  int hit = -1;
+  int count = 0;
+  if (ctx.inner_zone_start >= 0) {
+    // Correlated condition: the inner query's columns shadow the outer's.
+    count = match_range(ctx.inner_zone_start, n, &hit);
+    if (count == 0) count = match_range(0, ctx.inner_zone_start, &hit);
+  } else {
+    count = match_range(0, n, &hit);
+  }
+  if (count == 1) return hit;
+  if (count > 1) {
+    return Err(offset, "ambiguous column '" + QualifiedName(parts) + "'");
+  }
+  std::string msg = "unknown column '" + QualifiedName(parts) + "'";
+  if (ctx.agg != nullptr) {
+    msg += " (output columns of a grouped query are its GROUP BY keys and "
+           "aggregates)";
+  }
+  return Err(offset, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Literals
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Analyzer::LowerIntText(const std::string& text, int offset) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') {
+    return Err(offset, "integer literal '" + text + "' out of range");
+  }
+  if (v >= std::numeric_limits<int32_t>::min() &&
+      v <= std::numeric_limits<int32_t>::max()) {
+    return eb::Lit(static_cast<int32_t>(v));
+  }
+  return eb::Lit(static_cast<int64_t>(v));
+}
+
+Result<ExprPtr> Analyzer::LowerDecimalText(const std::string& text,
+                                           int offset) {
+  // Natural precision/scale from the spelling: "0.05" → Decimal(2, 2),
+  // "-123.4" → Decimal(4, 1). A different shape needs DECIMAL(p,s) '...'.
+  std::string body = text;
+  if (!body.empty() && body[0] == '-') body = body.substr(1);
+  size_t dot = body.find('.');
+  std::string int_part = dot == std::string::npos ? body : body.substr(0, dot);
+  std::string frac_part =
+      dot == std::string::npos ? "" : body.substr(dot + 1);
+  while (int_part.size() > 1 && int_part[0] == '0') int_part.erase(0, 1);
+  int int_digits = (int_part.empty() || int_part == "0")
+                       ? 0
+                       : static_cast<int>(int_part.size());
+  int scale = static_cast<int>(frac_part.size());
+  int precision = std::max(int_digits + scale, std::max(scale, 1));
+  if (precision > 38) {
+    return Err(offset, "decimal literal '" + text + "' exceeds 38 digits");
+  }
+  std::string parse_text = text;
+  if (!parse_text.empty() && parse_text.back() == '.') parse_text.pop_back();
+  Decimal128 d;
+  if (!Decimal128::FromString(parse_text, scale, &d)) {
+    return Err(offset, "invalid decimal literal '" + text + "'");
+  }
+  return eb::DecimalLit(parse_text, precision, scale);
+}
+
+Result<ExprPtr> Analyzer::LowerTypedLit(const SqlExpr& e) {
+  const DataType& t = e.cast_type;
+  const std::string& text = e.text;
+  switch (t.id()) {
+    case TypeId::kInt32: {
+      Result<ExprPtr> r = LowerIntText(text, e.offset);
+      if (!r.ok()) return r;
+      if ((*r)->type().id() != TypeId::kInt32) {
+        return Err(e.offset, "INT literal '" + text + "' out of range");
+      }
+      return r;
+    }
+    case TypeId::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == ERANGE || end == nullptr || *end != '\0') {
+        return Err(e.offset, "BIGINT literal '" + text + "' out of range");
+      }
+      return eb::Lit(static_cast<int64_t>(v));
+    }
+    case TypeId::kFloat64: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || end == text.c_str()) {
+        return Err(e.offset, "invalid DOUBLE literal '" + text + "'");
+      }
+      return eb::Lit(v);
+    }
+    case TypeId::kBoolean: {
+      std::string lower = text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (lower == "true") return eb::Lit(true);
+      if (lower == "false") return eb::Lit(false);
+      return Err(e.offset, "invalid BOOLEAN literal '" + text + "'");
+    }
+    case TypeId::kDate32: {
+      int32_t days = 0;
+      if (!ParseDate(text, &days)) {
+        return Err(e.offset,
+                   "invalid DATE literal '" + text + "' (want YYYY-MM-DD)");
+      }
+      return eb::DateLit(text);
+    }
+    case TypeId::kTimestamp: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == ERANGE || end == nullptr || *end != '\0') {
+        return Err(e.offset, "invalid TIMESTAMP literal '" + text +
+                                 "' (want microseconds since epoch)");
+      }
+      return ExprPtr(std::make_shared<LiteralExpr>(Value::Timestamp(v),
+                                                   DataType::Timestamp()));
+    }
+    case TypeId::kString:
+      return eb::Lit(text);
+    case TypeId::kDecimal128: {
+      Decimal128 d;
+      if (!Decimal128::FromString(text, t.scale(), &d)) {
+        return Err(e.offset, "invalid DECIMAL literal '" + text + "'");
+      }
+      return eb::DecimalLit(text, t.precision(), t.scale());
+    }
+  }
+  return Err(e.offset, "unsupported literal type " + t.ToString());
+}
+
+Result<ExprPtr> Analyzer::AnalyzePrimaryLiteral(const SqlExpr& e) {
+  switch (e.kind) {
+    case SqlExprKind::kIntLit:
+      return LowerIntText(e.text, e.offset);
+    case SqlExprKind::kDecimalLit:
+      return LowerDecimalText(e.text, e.offset);
+    case SqlExprKind::kFloatLit: {
+      char* end = nullptr;
+      double v = std::strtod(e.text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Err(e.offset, "invalid float literal '" + e.text + "'");
+      }
+      return eb::Lit(v);
+    }
+    case SqlExprKind::kStringLit:
+      return eb::Lit(e.text);
+    case SqlExprKind::kBoolLit:
+      return eb::Lit(e.bool_val);
+    case SqlExprKind::kTypedLit:
+      return LowerTypedLit(e);
+    default:
+      return Err(e.offset, "internal: not a literal");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Type checks mirroring the eb:: builders
+// ---------------------------------------------------------------------------
+
+Status Analyzer::RequireBoolean(const ExprPtr& e, int offset,
+                                const char* what) const {
+  if (e->type().id() != TypeId::kBoolean) {
+    return Err(offset, std::string(what) + " must be a boolean, got " +
+                           e->type().ToString());
+  }
+  return Status::OK();
+}
+
+Status Analyzer::CheckCmpOperands(const ExprPtr& a, const ExprPtr& b,
+                                  int offset) const {
+  const DataType& ta = a->type();
+  const DataType& tb = b->type();
+  if (ta.id() == tb.id()) {
+    // Same physical type compares raw. That includes decimals of unequal
+    // scale (the kernels compare unscaled 128-bit values) — numerically
+    // surprising, but it is exactly what the eb:: builders produce for
+    // hand-built plans, and the analyzer's contract is to match them.
+    return Status::OK();
+  }
+  if (IsNumericish(ta) && IsNumericish(tb)) return Status::OK();
+  // A string compared against a date parses as a date (eb::MakeCmp).
+  if ((ta.id() == TypeId::kDate32 && tb.is_string()) ||
+      (tb.id() == TypeId::kDate32 && ta.is_string())) {
+    return Status::OK();
+  }
+  return Err(offset,
+             "cannot compare " + ta.ToString() + " with " + tb.ToString());
+}
+
+Result<DataType> Analyzer::CaseCommonType(const DataType& a,
+                                          const DataType& b, int offset) {
+  if (a == b) return a;
+  auto widen = [](const DataType& t) {
+    if (t.id() == TypeId::kInt32) return DataType::Decimal(10, 0);
+    if (t.id() == TypeId::kInt64) return DataType::Decimal(20, 0);
+    return t;
+  };
+  if (a.is_decimal() || b.is_decimal()) {
+    if (a.id() == TypeId::kFloat64 || b.id() == TypeId::kFloat64) {
+      return DataType::Float64();
+    }
+    DataType da = widen(a);
+    DataType db = widen(b);
+    if (!da.is_decimal() || !db.is_decimal()) {
+      return Err(offset, "CASE branches have incompatible types " +
+                             a.ToString() + " and " + b.ToString());
+    }
+    int scale = std::max(da.scale(), db.scale());
+    int int_digits =
+        std::max(da.precision() - da.scale(), db.precision() - db.scale());
+    int precision = std::min(38, int_digits + scale);
+    if (scale > precision) scale = precision;
+    return DataType::Decimal(precision, scale);
+  }
+  if (IsNumericish(a) && IsNumericish(b)) return eb::CommonType(a, b);
+  return Err(offset, "CASE branches have incompatible types " +
+                         a.ToString() + " and " + b.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate discovery
+// ---------------------------------------------------------------------------
+
+Result<int> Analyzer::AggSpecIndex(const SqlExpr& call, AggInfo* agg,
+                                   bool may_add) {
+  AggKind kind;
+  PHOTON_CHECK(AggKindForName(call.text, &kind));
+  ExprPtr arg;
+  std::string canon;
+  DataType arg_type;
+  if (call.star) {
+    if (call.text != "count") {
+      return Err(call.offset, call.text + "(*) is not a valid aggregate");
+    }
+    kind = AggKind::kCountStar;
+    canon = "*";
+  } else {
+    if (call.args.size() != 1) {
+      return Err(call.offset, "aggregate " + call.text +
+                                  " takes exactly one argument");
+    }
+    ExprCtx arg_ctx;
+    arg_ctx.scope = &agg->input_scope;
+    Result<ExprPtr> r = AnalyzeExpr(*call.args[0], arg_ctx, 0);
+    if (!r.ok()) return r.status();
+    arg = *r;
+    arg_type = arg->type();
+    canon = ExprCanonKey(*arg);
+  }
+  std::string full = call.text + ":" + canon;
+  for (size_t i = 0; i < agg->spec_canons.size(); i++) {
+    if (agg->spec_canons[i] == full) return static_cast<int>(i);
+  }
+  if (!may_add) {
+    return Err(call.offset,
+               "internal: aggregate call was not collected during the "
+               "grouping pre-scan");
+  }
+  Result<DataType> result_type = AggResultType(kind, arg_type);
+  if (!result_type.ok()) {
+    return Err(call.offset, "aggregate " + call.text +
+                                " does not accept an argument of type " +
+                                arg_type.ToString());
+  }
+  AggregateSpec spec;
+  spec.kind = kind;
+  spec.arg = std::move(arg);
+  spec.name = "_a" + std::to_string(agg->specs.size());
+  agg->specs.push_back(std::move(spec));
+  agg->spec_canons.push_back(full);
+  agg->spec_types.push_back(*result_type);
+  return static_cast<int>(agg->specs.size() - 1);
+}
+
+Status Analyzer::CollectAggs(const SqlExpr& e, AggInfo* agg,
+                             bool inside_agg) {
+  AggKind kind;
+  if (e.kind == SqlExprKind::kCall && AggKindForName(e.text, &kind)) {
+    if (inside_agg) {
+      return Err(e.offset, "aggregate functions cannot be nested");
+    }
+    Result<int> idx = AggSpecIndex(e, agg, /*may_add=*/true);
+    if (!idx.ok()) return idx.status();
+    for (const auto& a : e.args) {
+      Status s = CollectAggs(*a, agg, /*inside_agg=*/true);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+  for (const auto& a : e.args) {
+    Status s = CollectAggs(*a, agg, inside_agg);
+    if (!s.ok()) return s;
+  }
+  for (const auto& b : e.branches) {
+    Status s = CollectAggs(*b.first, agg, inside_agg);
+    if (!s.ok()) return s;
+    s = CollectAggs(*b.second, agg, inside_agg);
+    if (!s.ok()) return s;
+  }
+  if (e.else_expr) {
+    Status s = CollectAggs(*e.else_expr, agg, inside_agg);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Expression analysis
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Analyzer::AnalyzeCall(const SqlExpr& e, const ExprCtx& ctx,
+                                      int depth) {
+  AggKind kind;
+  if (AggKindForName(e.text, &kind)) {
+    if (ctx.agg == nullptr) {
+      return Err(e.offset, "aggregate function '" + e.text +
+                               "' is only allowed in the SELECT list or "
+                               "HAVING clause of a grouped query");
+    }
+    Result<int> idx = AggSpecIndex(e, ctx.agg, /*may_add=*/false);
+    if (!idx.ok()) return idx.status();
+    int nk = static_cast<int>(ctx.agg->key_exprs.size());
+    return eb::Col(nk + *idx, ctx.agg->spec_types[*idx],
+                   ctx.agg->specs[*idx].name);
+  }
+  const FunctionImpl* fn = FunctionRegistry::Instance().Lookup(e.text);
+  if (fn == nullptr) {
+    return Err(e.offset, "unknown function '" + e.text + "'");
+  }
+  if (e.star) {
+    return Err(e.offset, "'*' argument is only valid in count(*)");
+  }
+  std::vector<ExprPtr> args;
+  std::vector<DataType> arg_types;
+  for (const auto& a : e.args) {
+    Result<ExprPtr> r = AnalyzeExpr(*a, ctx, depth + 1);
+    if (!r.ok()) return r;
+    arg_types.push_back((*r)->type());
+    args.push_back(*std::move(r));
+  }
+  Result<DataType> bound = fn->bind(arg_types);
+  if (!bound.ok()) {
+    std::string types;
+    for (const auto& t : arg_types) {
+      if (!types.empty()) types += ", ";
+      types += t.ToString();
+    }
+    return Err(e.offset, "no overload of '" + e.text + "' accepts (" +
+                             types + "): " + bound.status().message());
+  }
+  return eb::Call(e.text, std::move(args));
+}
+
+Result<ExprPtr> Analyzer::AnalyzeCase(const SqlExpr& e, const ExprCtx& ctx,
+                                      int depth) {
+  std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+  DataType unified;
+  bool have_type = false;
+  for (const auto& b : e.branches) {
+    Result<ExprPtr> cond = AnalyzeExpr(*b.first, ctx, depth + 1);
+    if (!cond.ok()) return cond;
+    Status s = RequireBoolean(*cond, b.first->offset, "CASE WHEN condition");
+    if (!s.ok()) return s;
+    Result<ExprPtr> then = AnalyzeExpr(*b.second, ctx, depth + 1);
+    if (!then.ok()) return then;
+    if (!have_type) {
+      unified = (*then)->type();
+      have_type = true;
+    } else {
+      Result<DataType> u =
+          CaseCommonType(unified, (*then)->type(), b.second->offset);
+      if (!u.ok()) return u.status();
+      unified = *u;
+    }
+    branches.emplace_back(*cond, *then);
+  }
+  ExprPtr else_expr;
+  if (e.else_expr) {
+    Result<ExprPtr> r = AnalyzeExpr(*e.else_expr, ctx, depth + 1);
+    if (!r.ok()) return r;
+    else_expr = *r;
+    Result<DataType> u =
+        CaseCommonType(unified, else_expr->type(), e.else_expr->offset);
+    if (!u.ok()) return u.status();
+    unified = *u;
+  }
+  // eb::CaseWhen does not coerce: align every branch to the unified type.
+  for (auto& b : branches) b.second = eb::Cast(std::move(b.second), unified);
+  if (else_expr) else_expr = eb::Cast(std::move(else_expr), unified);
+  return eb::CaseWhen(std::move(branches), std::move(else_expr));
+}
+
+Result<ExprPtr> Analyzer::AnalyzeExpr(const SqlExpr& e, const ExprCtx& ctx,
+                                      int depth) {
+  if (depth > kMaxSqlExprDepth) {
+    return Err(e.offset, "expression exceeds depth limit " +
+                             std::to_string(kMaxSqlExprDepth));
+  }
+  if (ctx.subst != nullptr) {
+    auto it = ctx.subst->find(&e);
+    if (it != ctx.subst->end()) return it->second;
+  }
+  // Grouped queries: any subtree that is structurally one of the GROUP BY
+  // keys resolves to that key's output column (matching is over the typed
+  // lowering against the pre-aggregate scope, so `p_type` and `t.p_type`
+  // match the same key).
+  if (ctx.agg != nullptr) {
+    ExprCtx silent;
+    silent.scope = &ctx.agg->input_scope;
+    Result<ExprPtr> k = AnalyzeExpr(e, silent, depth + 1);
+    if (k.ok()) {
+      std::string canon = ExprCanonKey(**k);
+      for (size_t i = 0; i < ctx.agg->key_canons.size(); i++) {
+        if (ctx.agg->key_canons[i] == canon) {
+          return eb::Col(static_cast<int>(i), ctx.agg->key_exprs[i]->type(),
+                         ctx.agg->key_names[i]);
+        }
+      }
+    }
+  }
+  switch (e.kind) {
+    case SqlExprKind::kParen:
+      return AnalyzeExpr(*e.args[0], ctx, depth + 1);
+    case SqlExprKind::kIdent: {
+      Result<int> idx = ResolveIdent(e.parts, ctx, e.offset);
+      if (!idx.ok()) return idx.status();
+      const ScopeColumn& col = ctx.scope->cols[*idx];
+      return eb::Col(*idx, col.type,
+                     col.name.empty() ? e.parts.back() : col.name);
+    }
+    case SqlExprKind::kIntLit:
+    case SqlExprKind::kDecimalLit:
+    case SqlExprKind::kFloatLit:
+    case SqlExprKind::kStringLit:
+    case SqlExprKind::kBoolLit:
+    case SqlExprKind::kTypedLit:
+      return AnalyzePrimaryLiteral(e);
+    case SqlExprKind::kNullLit:
+      return Err(e.offset,
+                 "a bare NULL literal has no type; write CAST(NULL AS type)");
+    case SqlExprKind::kUnaryMinus: {
+      const SqlExpr& child = *e.args[0];
+      if (child.kind == SqlExprKind::kIntLit ||
+          child.kind == SqlExprKind::kDecimalLit ||
+          child.kind == SqlExprKind::kFloatLit) {
+        SqlExpr folded = child;
+        folded.offset = e.offset;
+        folded.text = "-" + child.text;
+        return AnalyzePrimaryLiteral(folded);
+      }
+      Result<ExprPtr> r = AnalyzeExpr(child, ctx, depth + 1);
+      if (!r.ok()) return r;
+      ExprPtr x = *r;
+      const DataType& t = x->type();
+      switch (t.id()) {
+        case TypeId::kInt32:
+          return eb::Sub(eb::Lit(static_cast<int32_t>(0)), std::move(x));
+        case TypeId::kInt64:
+          return eb::Sub(eb::Lit(static_cast<int64_t>(0)), std::move(x));
+        case TypeId::kFloat64:
+          return eb::Sub(eb::Lit(0.0), std::move(x));
+        case TypeId::kDecimal128:
+          return eb::Sub(eb::DecimalLit("0", t.precision(), t.scale()),
+                         std::move(x));
+        default:
+          return Err(e.offset, "unary minus requires a numeric operand, got " +
+                                   t.ToString());
+      }
+    }
+    case SqlExprKind::kNot: {
+      Result<ExprPtr> r = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!r.ok()) return r;
+      Status s = RequireBoolean(*r, e.args[0]->offset, "NOT operand");
+      if (!s.ok()) return s;
+      return eb::Not(*std::move(r));
+    }
+    case SqlExprKind::kArith: {
+      Result<ExprPtr> ra = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!ra.ok()) return ra;
+      Result<ExprPtr> rb = AnalyzeExpr(*e.args[1], ctx, depth + 1);
+      if (!rb.ok()) return rb;
+      ExprPtr a = *ra;
+      ExprPtr b = *rb;
+      if (!IsNumericish(a->type()) || !IsNumericish(b->type())) {
+        return Err(e.offset, "operator '" + e.text +
+                                 "' requires numeric operands, got " +
+                                 a->type().ToString() + " and " +
+                                 b->type().ToString() +
+                                 (a->type().is_string() ||
+                                          b->type().is_string()
+                                      ? " (use concat for strings)"
+                                      : ""));
+      }
+      if (e.text == "%") {
+        bool ints = IsIntegral(a->type()) && IsIntegral(b->type());
+        bool decs = a->type().is_decimal() && b->type().is_decimal();
+        if (!ints && !decs) {
+          return Err(e.offset,
+                     "'%' requires two integer or two decimal operands");
+        }
+      }
+      if (e.text == "+") return eb::Add(std::move(a), std::move(b));
+      if (e.text == "-") return eb::Sub(std::move(a), std::move(b));
+      if (e.text == "*") return eb::Mul(std::move(a), std::move(b));
+      if (e.text == "/") return eb::Div(std::move(a), std::move(b));
+      return eb::Mod(std::move(a), std::move(b));
+    }
+    case SqlExprKind::kCompare: {
+      Result<ExprPtr> ra = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!ra.ok()) return ra;
+      Result<ExprPtr> rb = AnalyzeExpr(*e.args[1], ctx, depth + 1);
+      if (!rb.ok()) return rb;
+      Status s = CheckCmpOperands(*ra, *rb, e.offset);
+      if (!s.ok()) return s;
+      ExprPtr a = *std::move(ra);
+      ExprPtr b = *std::move(rb);
+      if (e.text == "=") return eb::Eq(std::move(a), std::move(b));
+      if (e.text == "<>") return eb::Ne(std::move(a), std::move(b));
+      if (e.text == "<") return eb::Lt(std::move(a), std::move(b));
+      if (e.text == "<=") return eb::Le(std::move(a), std::move(b));
+      if (e.text == ">") return eb::Gt(std::move(a), std::move(b));
+      return eb::Ge(std::move(a), std::move(b));
+    }
+    case SqlExprKind::kAnd:
+    case SqlExprKind::kOr: {
+      Result<ExprPtr> ra = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!ra.ok()) return ra;
+      Result<ExprPtr> rb = AnalyzeExpr(*e.args[1], ctx, depth + 1);
+      if (!rb.ok()) return rb;
+      Status s = RequireBoolean(*ra, e.args[0]->offset, "AND/OR operand");
+      if (!s.ok()) return s;
+      s = RequireBoolean(*rb, e.args[1]->offset, "AND/OR operand");
+      if (!s.ok()) return s;
+      return e.kind == SqlExprKind::kAnd
+                 ? eb::And(*std::move(ra), *std::move(rb))
+                 : eb::Or(*std::move(ra), *std::move(rb));
+    }
+    case SqlExprKind::kIsNull: {
+      Result<ExprPtr> r = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!r.ok()) return r;
+      return e.negated ? eb::IsNotNull(*std::move(r))
+                       : eb::IsNull(*std::move(r));
+    }
+    case SqlExprKind::kBetween: {
+      Result<ExprPtr> rv = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!rv.ok()) return rv;
+      Result<ExprPtr> rlo = AnalyzeExpr(*e.args[1], ctx, depth + 1);
+      if (!rlo.ok()) return rlo;
+      Result<ExprPtr> rhi = AnalyzeExpr(*e.args[2], ctx, depth + 1);
+      if (!rhi.ok()) return rhi;
+      const DataType& tv = (*rv)->type();
+      const DataType& tlo = (*rlo)->type();
+      const DataType& thi = (*rhi)->type();
+      bool ok = false;
+      if (IsNumericish(tv) && IsNumericish(tlo) && IsNumericish(thi)) {
+        ok = true;
+      } else if (tv.id() == TypeId::kDate32 &&
+                 (tlo.is_string() || tlo.id() == TypeId::kDate32) &&
+                 (thi.is_string() || thi.id() == TypeId::kDate32)) {
+        ok = true;
+      } else if (tv.id() == tlo.id() && tv.id() == thi.id()) {
+        ok = true;
+      }
+      if (!ok) {
+        return Err(e.offset, "BETWEEN operands have incompatible types " +
+                                 tv.ToString() + ", " + tlo.ToString() +
+                                 ", " + thi.ToString());
+      }
+      ExprPtr between =
+          eb::Between(*std::move(rv), *std::move(rlo), *std::move(rhi));
+      return e.negated ? eb::Not(std::move(between)) : std::move(between);
+    }
+    case SqlExprKind::kInList: {
+      Result<ExprPtr> rv = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!rv.ok()) return rv;
+      ExprPtr value = *std::move(rv);
+      const DataType& vt = value->type();
+      std::vector<Value> list;
+      for (size_t i = 1; i < e.args.size(); i++) {
+        Result<ExprPtr> ri = AnalyzeExpr(*e.args[i], ctx, depth + 1);
+        if (!ri.ok()) return ri;
+        auto* lit = dynamic_cast<LiteralExpr*>(ri->get());
+        if (lit == nullptr) {
+          return Err(e.args[i]->offset, "IN list items must be literals");
+        }
+        const DataType& it = (*ri)->type();
+        if (it == vt) {
+          list.push_back(lit->value());
+        } else if (vt.id() == TypeId::kInt64 && it.id() == TypeId::kInt32) {
+          list.push_back(Value::Int64(lit->value().i32()));
+        } else if (vt.id() == TypeId::kFloat64 && IsIntegral(it)) {
+          list.push_back(Value::Float64(
+              it.id() == TypeId::kInt32
+                  ? static_cast<double>(lit->value().i32())
+                  : static_cast<double>(lit->value().i64())));
+        } else if (vt.id() == TypeId::kDate32 && it.is_string()) {
+          int32_t days = 0;
+          if (!ParseDate(lit->value().str(), &days)) {
+            return Err(e.args[i]->offset, "invalid date '" +
+                                              lit->value().str() + "'");
+          }
+          list.push_back(Value::Date32(days));
+        } else {
+          return Err(e.args[i]->offset,
+                     "IN list item type " + it.ToString() +
+                         " does not match value type " + vt.ToString());
+        }
+      }
+      ExprPtr in = eb::In(std::move(value), std::move(list));
+      return e.negated ? eb::Not(std::move(in)) : std::move(in);
+    }
+    case SqlExprKind::kLike: {
+      Result<ExprPtr> rv = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!rv.ok()) return rv;
+      if (!(*rv)->type().is_string()) {
+        return Err(e.offset, "LIKE requires a string value, got " +
+                                 (*rv)->type().ToString());
+      }
+      ExprPtr like = eb::Like(*std::move(rv), e.text);
+      return e.negated ? eb::Not(std::move(like)) : std::move(like);
+    }
+    case SqlExprKind::kCase:
+      return AnalyzeCase(e, ctx, depth);
+    case SqlExprKind::kCast: {
+      const SqlExpr* operand = StripParens(e.args[0].get());
+      if (operand->kind == SqlExprKind::kNullLit) {
+        return eb::NullLit(e.cast_type);
+      }
+      Result<ExprPtr> r = AnalyzeExpr(*e.args[0], ctx, depth + 1);
+      if (!r.ok()) return r;
+      // Unsupported source/target pairs surface as a clean runtime Status
+      // from the cast kernels; the analyzer stays permissive.
+      return eb::Cast(*std::move(r), e.cast_type);
+    }
+    case SqlExprKind::kCall:
+      return AnalyzeCall(e, ctx, depth);
+    case SqlExprKind::kInSubquery:
+    case SqlExprKind::kExists:
+    case SqlExprKind::kScalarSubquery:
+      return Err(e.offset,
+                 "subqueries are only supported as top-level WHERE/HAVING "
+                 "conjuncts (IN/EXISTS) or compared against one side of a "
+                 "top-level conjunct (scalar)");
+  }
+  return Err(e.offset, "internal: unhandled expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// FROM clause
+// ---------------------------------------------------------------------------
+
+Status Analyzer::ApplyTableAlias(Lowered* lowered,
+                                 const TableRef& ref) const {
+  std::string qualifier = ref.alias;
+  if (qualifier.empty() && ref.kind == TableRefKind::kTable) {
+    qualifier = ref.table_name;
+  }
+  for (auto& c : lowered->scope.cols) c.qualifier = qualifier;
+  if (!ref.column_aliases.empty()) {
+    if (static_cast<int>(ref.column_aliases.size()) !=
+        lowered->scope.width()) {
+      return Err(ref.offset,
+                 "column alias list has " +
+                     std::to_string(ref.column_aliases.size()) +
+                     " names but the table produces " +
+                     std::to_string(lowered->scope.width()) + " columns");
+    }
+    for (size_t i = 0; i < ref.column_aliases.size(); i++) {
+      lowered->scope.cols[i].name = ref.column_aliases[i];
+    }
+  }
+  return Status::OK();
+}
+
+Result<Lowered> Analyzer::LowerFrom(const TableRef& ref, int qdepth) {
+  switch (ref.kind) {
+    case TableRefKind::kTable: {
+      // CTEs shadow catalog tables; innermost frame wins. Each reference
+      // re-lowers the body (macro semantics), which is exactly how the
+      // hand-built plans instantiate shared subplans twice.
+      for (auto frame = cte_frames_.rbegin(); frame != cte_frames_.rend();
+           ++frame) {
+        for (const auto& [name, body] : *frame) {
+          if (name == ref.table_name) {
+            Result<Lowered> sub = LowerQuery(*body, qdepth + 1);
+            if (!sub.ok()) return sub;
+            Lowered out = *std::move(sub);
+            Status s = ApplyTableAlias(&out, ref);
+            if (!s.ok()) return s;
+            if (out.scope.cols[0].qualifier.empty()) {
+              for (auto& c : out.scope.cols) c.qualifier = name;
+            }
+            return out;
+          }
+        }
+      }
+      const plan::PlanPtr* leaf = catalog_.Lookup(ref.table_name);
+      if (leaf == nullptr) {
+        return Err(ref.offset, "unknown table '" + ref.table_name + "'");
+      }
+      Lowered out;
+      out.plan = *leaf;
+      const Schema& schema = (*leaf)->output_schema;
+      for (int i = 0; i < schema.num_fields(); i++) {
+        out.scope.cols.push_back(
+            {"", schema.field(i).name, schema.field(i).type, false});
+      }
+      Status s = ApplyTableAlias(&out, ref);
+      if (!s.ok()) return s;
+      return out;
+    }
+    case TableRefKind::kSubquery: {
+      Result<Lowered> sub = LowerQuery(*ref.subquery, qdepth + 1);
+      if (!sub.ok()) return sub;
+      Lowered out = *std::move(sub);
+      Status s = ApplyTableAlias(&out, ref);
+      if (!s.ok()) return s;
+      return out;
+    }
+    case TableRefKind::kJoin:
+      break;
+  }
+
+  Result<Lowered> rl = LowerFrom(*ref.left, qdepth);
+  if (!rl.ok()) return rl;
+  Result<Lowered> rr = LowerFrom(*ref.right, qdepth);
+  if (!rr.ok()) return rr;
+  Lowered left = *std::move(rl);
+  Lowered right = *std::move(rr);
+
+  Scope combined;
+  combined.cols = left.scope.cols;
+  combined.cols.insert(combined.cols.end(), right.scope.cols.begin(),
+                       right.scope.cols.end());
+  int left_width = left.scope.width();
+
+  JoinType join_type = JoinType::kInner;
+  switch (ref.join_kind) {
+    case SqlJoinKind::kInner:
+    case SqlJoinKind::kCross:
+      join_type = JoinType::kInner;
+      break;
+    case SqlJoinKind::kLeftOuter:
+      join_type = JoinType::kLeftOuter;
+      break;
+    case SqlJoinKind::kSemi:
+      join_type = JoinType::kLeftSemi;
+      break;
+    case SqlJoinKind::kAnti:
+      join_type = JoinType::kLeftAnti;
+      break;
+  }
+
+  std::vector<ExprPtr> probe_keys;
+  std::vector<ExprPtr> build_keys;
+  std::vector<ExprPtr> residual_conjuncts;
+  if (ref.join_kind != SqlJoinKind::kCross) {
+    std::vector<const SqlExpr*> conjuncts;
+    FlattenAndAst(ref.condition.get(), &conjuncts);
+    ExprCtx ctx;
+    ctx.scope = &combined;
+    for (const SqlExpr* c : conjuncts) {
+      if (ContainsSubqueryAst(*c)) {
+        return Err(c->offset, "subqueries are not allowed in JOIN ON "
+                              "conditions");
+      }
+      Result<ExprPtr> r = AnalyzeExpr(*c, ctx, 0);
+      if (!r.ok()) return r.status();
+      Status s = RequireBoolean(*r, c->offset, "JOIN ON condition");
+      if (!s.ok()) return s;
+      ExprPtr pk, bk;
+      if (AsJoinKeyPair(*r, left_width, &pk, &bk)) {
+        probe_keys.push_back(std::move(pk));
+        build_keys.push_back(std::move(bk));
+      } else {
+        residual_conjuncts.push_back(*std::move(r));
+      }
+    }
+  }
+  if (probe_keys.empty()) {
+    // No equi-keys: hash-join on a constant (every probe row matches the
+    // build partition) and evaluate the full condition as a residual.
+    probe_keys.push_back(eb::Lit(static_cast<int32_t>(1)));
+    build_keys.push_back(eb::Lit(static_cast<int32_t>(1)));
+  }
+
+  Lowered out;
+  out.plan = plan::Join(left.plan, right.plan, join_type,
+                        std::move(probe_keys), std::move(build_keys),
+                        FoldAnd(std::move(residual_conjuncts)));
+  out.scope = (join_type == JoinType::kLeftSemi ||
+               join_type == JoinType::kLeftAnti)
+                  ? std::move(left.scope)
+                  : std::move(combined);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WHERE/HAVING conjuncts and subqueries
+// ---------------------------------------------------------------------------
+
+Result<Lowered> Analyzer::LowerScalarSubquery(const SqlExpr& sub,
+                                              int qdepth) {
+  Result<Lowered> r = LowerQuery(*sub.subquery, qdepth + 1);
+  if (!r.ok()) return r;
+  if (r->scope.width() != 1) {
+    return Err(sub.offset, "scalar subquery must produce exactly one "
+                           "column, got " +
+                               std::to_string(r->scope.width()));
+  }
+  return r;
+}
+
+Status Analyzer::HandleInSubquery(Lowered* cur, const SqlExpr& e,
+                                  bool negated, AggInfo* agg, int qdepth) {
+  ExprCtx ctx;
+  ctx.scope = &cur->scope;
+  ctx.agg = agg;
+  Result<ExprPtr> rv = AnalyzeExpr(*e.args[0], ctx, 0);
+  if (!rv.ok()) return rv.status();
+  ExprPtr value = *std::move(rv);
+
+  Result<Lowered> rs = LowerQuery(*e.subquery, qdepth + 1);
+  if (!rs.ok()) return rs.status();
+  Lowered sub = *std::move(rs);
+  if (sub.scope.width() != 1) {
+    return Err(e.offset, "IN subquery must produce exactly one column, got " +
+                             std::to_string(sub.scope.width()));
+  }
+  const DataType& kt = sub.scope.cols[0].type;
+  if (value->type().id() != kt.id() || !IsIntegral(kt)) {
+    return Err(e.offset, "IN subquery joins on integer keys; got " +
+                             value->type().ToString() + " vs " +
+                             kt.ToString() + " (add a CAST)");
+  }
+  ExprPtr build_key = eb::Col(0, kt, sub.scope.cols[0].name);
+  cur->plan = plan::Join(cur->plan, sub.plan,
+                         negated ? JoinType::kLeftAnti : JoinType::kLeftSemi,
+                         {std::move(value)}, {std::move(build_key)});
+  return Status::OK();
+}
+
+Status Analyzer::HandleExists(Lowered* cur, const SqlExpr& e, bool anti,
+                              int qdepth) {
+  const SelectStmt& body = *e.subquery;
+  if (!body.group_by.empty() || body.having || body.distinct ||
+      !body.order_by.empty() || body.limit >= 0 || !body.ctes.empty()) {
+    return Err(e.offset, "EXISTS subquery must be a plain "
+                         "SELECT ... FROM ... WHERE ...");
+  }
+  if (!body.from) {
+    return Err(e.offset, "EXISTS subquery requires a FROM clause");
+  }
+  Result<Lowered> ri = LowerFrom(*body.from, qdepth + 1);
+  if (!ri.ok()) return ri.status();
+  Lowered inner = *std::move(ri);
+
+  // Split the body's WHERE into conjuncts the inner query can evaluate by
+  // itself (pushed below the build side) and correlated conjuncts that
+  // become join keys or a join residual.
+  std::vector<const SqlExpr*> inner_conjs;
+  std::vector<const SqlExpr*> corr_conjs;
+  if (body.where) {
+    std::vector<const SqlExpr*> conjuncts;
+    FlattenAndAst(body.where.get(), &conjuncts);
+    ExprCtx inner_ctx;
+    inner_ctx.scope = &inner.scope;
+    for (const SqlExpr* c : conjuncts) {
+      if (ContainsSubqueryAst(*c)) {
+        return Err(c->offset,
+                   "nested subqueries inside EXISTS are not supported");
+      }
+      Result<ExprPtr> silent = AnalyzeExpr(*c, inner_ctx, 0);
+      if (silent.ok()) {
+        inner_conjs.push_back(c);
+      } else {
+        corr_conjs.push_back(c);
+      }
+    }
+  }
+  if (!inner_conjs.empty()) {
+    ExprCtx inner_ctx;
+    inner_ctx.scope = &inner.scope;
+    std::vector<ExprPtr> lowered;
+    for (const SqlExpr* c : inner_conjs) {
+      Result<ExprPtr> r = AnalyzeExpr(*c, inner_ctx, 0);
+      if (!r.ok()) return r.status();
+      Status s = RequireBoolean(*r, c->offset, "WHERE conjunct");
+      if (!s.ok()) return s;
+      lowered.push_back(*std::move(r));
+    }
+    inner.plan = plan::Filter(inner.plan, FoldAnd(std::move(lowered)));
+  }
+
+  // Build side: the body's SELECT list, or the filtered FROM verbatim for
+  // `SELECT *` (so the build keeps the inner table's full width, matching
+  // hand-built plans that join against the raw table).
+  Lowered build;
+  bool star = body.items.size() == 1 && body.items[0].expr == nullptr;
+  if (star) {
+    build = std::move(inner);
+  } else {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    ExprCtx inner_ctx;
+    inner_ctx.scope = &inner.scope;
+    for (size_t i = 0; i < body.items.size(); i++) {
+      const SelectItem& item = body.items[i];
+      if (item.expr == nullptr) {
+        return Err(item.offset, "'*' must be the only select item");
+      }
+      Result<ExprPtr> r = AnalyzeExpr(*item.expr, inner_ctx, 0);
+      if (!r.ok()) return r.status();
+      std::string name = item.alias;
+      if (name.empty()) {
+        const SqlExpr* stripped = StripParens(item.expr.get());
+        name = stripped->kind == SqlExprKind::kIdent
+                   ? stripped->parts.back()
+                   : "_c" + std::to_string(i);
+      }
+      build.scope.cols.push_back({"", name, (*r)->type(), false});
+      exprs.push_back(*std::move(r));
+      names.push_back(std::move(name));
+    }
+    build.plan = plan::Project(inner.plan, std::move(exprs),
+                               std::move(names));
+  }
+
+  Scope combined;
+  combined.cols = cur->scope.cols;
+  combined.cols.insert(combined.cols.end(), build.scope.cols.begin(),
+                       build.scope.cols.end());
+  int outer_width = cur->scope.width();
+
+  std::vector<ExprPtr> probe_keys;
+  std::vector<ExprPtr> build_keys;
+  std::vector<ExprPtr> residual_conjuncts;
+  ExprCtx corr_ctx;
+  corr_ctx.scope = &combined;
+  corr_ctx.inner_zone_start = outer_width;
+  for (const SqlExpr* c : corr_conjs) {
+    Result<ExprPtr> r = AnalyzeExpr(*c, corr_ctx, 0);
+    if (!r.ok()) return r.status();
+    Status s = RequireBoolean(*r, c->offset, "EXISTS condition");
+    if (!s.ok()) return s;
+    ExprPtr pk, bk;
+    if (AsJoinKeyPair(*r, outer_width, &pk, &bk)) {
+      probe_keys.push_back(std::move(pk));
+      build_keys.push_back(std::move(bk));
+    } else {
+      residual_conjuncts.push_back(*std::move(r));
+    }
+  }
+  if (probe_keys.empty()) {
+    probe_keys.push_back(eb::Lit(static_cast<int32_t>(1)));
+    build_keys.push_back(eb::Lit(static_cast<int32_t>(1)));
+  }
+  cur->plan = plan::Join(cur->plan, build.plan,
+                         anti ? JoinType::kLeftAnti : JoinType::kLeftSemi,
+                         std::move(probe_keys), std::move(build_keys),
+                         FoldAnd(std::move(residual_conjuncts)));
+  return Status::OK();
+}
+
+Status Analyzer::HandleScalarConjunct(Lowered* cur, const SqlExpr& conjunct,
+                                      AggInfo* agg, int qdepth) {
+  std::vector<const SqlExpr*> subs;
+  Status collect_status = Status::OK();
+  WalkAst(conjunct, [&](const SqlExpr& n) {
+    if (n.kind == SqlExprKind::kScalarSubquery) {
+      subs.push_back(&n);
+    } else if (n.kind == SqlExprKind::kInSubquery ||
+               n.kind == SqlExprKind::kExists) {
+      if (collect_status.ok()) {
+        collect_status = Err(n.offset, "IN/EXISTS subqueries must be "
+                                       "top-level WHERE/HAVING conjuncts");
+      }
+    }
+  });
+  if (!collect_status.ok()) return collect_status;
+
+  // Each scalar subquery joins in as one appended (hidden) column; a
+  // single-row aggregate build side makes the constant-key join a
+  // broadcast of that scalar to every probe row.
+  std::map<const SqlExpr*, ExprPtr> subst;
+  for (const SqlExpr* s : subs) {
+    Result<Lowered> rs = LowerScalarSubquery(*s, qdepth);
+    if (!rs.ok()) return rs.status();
+    Lowered sub = *std::move(rs);
+    int at = cur->scope.width();
+    cur->plan = plan::Join(cur->plan, sub.plan, JoinType::kInner,
+                           {eb::Lit(static_cast<int32_t>(1))},
+                           {eb::Lit(static_cast<int32_t>(1))});
+    subst[s] = eb::Col(at, sub.scope.cols[0].type, sub.scope.cols[0].name);
+    cur->scope.cols.push_back(
+        {"", sub.scope.cols[0].name, sub.scope.cols[0].type, true});
+  }
+
+  ExprCtx ctx;
+  ctx.scope = &cur->scope;
+  ctx.agg = agg;
+  ctx.subst = &subst;
+  Result<ExprPtr> r = AnalyzeExpr(conjunct, ctx, 0);
+  if (!r.ok()) return r.status();
+  Status s = RequireBoolean(*r, conjunct.offset, "WHERE conjunct");
+  if (!s.ok()) return s;
+  cur->plan = plan::Filter(cur->plan, *std::move(r));
+  return Status::OK();
+}
+
+Status Analyzer::LowerPredicate(Lowered* cur, const SqlExpr& pred,
+                                AggInfo* agg, int qdepth) {
+  std::vector<const SqlExpr*> conjuncts;
+  FlattenAndAst(&pred, &conjuncts);
+
+  std::vector<ExprPtr> pending;
+  auto flush = [&]() {
+    if (!pending.empty()) {
+      cur->plan = plan::Filter(cur->plan, FoldAnd(std::move(pending)));
+      pending.clear();
+    }
+  };
+
+  for (const SqlExpr* c : conjuncts) {
+    if (!ContainsSubqueryAst(*c)) {
+      ExprCtx ctx;
+      ctx.scope = &cur->scope;
+      ctx.agg = agg;
+      Result<ExprPtr> r = AnalyzeExpr(*c, ctx, 0);
+      if (!r.ok()) return r.status();
+      Status s = RequireBoolean(*r, c->offset, "WHERE conjunct");
+      if (!s.ok()) return s;
+      pending.push_back(*std::move(r));
+      continue;
+    }
+    flush();
+    const SqlExpr* stripped = StripParens(c);
+    bool negated = false;
+    while (stripped->kind == SqlExprKind::kNot) {
+      const SqlExpr* inner = StripParens(stripped->args[0].get());
+      if (inner->kind != SqlExprKind::kExists &&
+          inner->kind != SqlExprKind::kInSubquery) {
+        break;
+      }
+      negated = !negated;
+      stripped = inner;
+    }
+    Status s;
+    if (stripped->kind == SqlExprKind::kInSubquery) {
+      s = HandleInSubquery(cur, *stripped, stripped->negated != negated, agg,
+                           qdepth);
+    } else if (stripped->kind == SqlExprKind::kExists) {
+      s = HandleExists(cur, *stripped, stripped->negated != negated, qdepth);
+    } else {
+      s = HandleScalarConjunct(cur, *c, agg, qdepth);
+    }
+    if (!s.ok()) return s;
+  }
+  flush();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SELECT statements
+// ---------------------------------------------------------------------------
+
+Result<Lowered> Analyzer::LowerQuery(const SelectStmt& stmt, int qdepth) {
+  if (qdepth > kMaxSqlQueryDepth) {
+    return Err(stmt.offset, "query nesting exceeds depth limit " +
+                                std::to_string(kMaxSqlQueryDepth) +
+                                " (recursive CTEs are not supported)");
+  }
+  // Register CTEs for the duration of this statement.
+  std::vector<std::pair<std::string, const SelectStmt*>> frame;
+  for (const CteDef& cte : stmt.ctes) {
+    for (const auto& [name, body] : frame) {
+      if (name == cte.name) {
+        return Err(cte.offset, "duplicate CTE name '" + cte.name + "'");
+      }
+    }
+    frame.emplace_back(cte.name, cte.query.get());
+  }
+  cte_frames_.push_back(std::move(frame));
+  Result<Lowered> out = [&]() -> Result<Lowered> {
+    if (!stmt.from) {
+      return Err(stmt.offset, "SELECT without FROM is not supported");
+    }
+    Result<Lowered> rf = LowerFrom(*stmt.from, qdepth);
+    if (!rf.ok()) return rf;
+    Lowered cur = *std::move(rf);
+
+    bool grouped = !stmt.group_by.empty() || stmt.having != nullptr;
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr != nullptr && AnyAggCallAst(*item.expr)) grouped = true;
+    }
+
+    if (stmt.where) {
+      Status s = LowerPredicate(&cur, *stmt.where, nullptr, qdepth);
+      if (!s.ok()) return s;
+    }
+
+    std::vector<ExprPtr> item_exprs;
+    std::vector<std::string> item_names;
+    auto item_name = [&](const SelectItem& item, size_t i) {
+      if (!item.alias.empty()) return item.alias;
+      const SqlExpr* stripped = StripParens(item.expr.get());
+      if (stripped->kind == SqlExprKind::kIdent) {
+        return stripped->parts.back();
+      }
+      AggKind k;
+      if (stripped->kind == SqlExprKind::kCall &&
+          AggKindForName(stripped->text, &k)) {
+        return stripped->text;
+      }
+      return std::string("_c") + std::to_string(i);
+    };
+
+    if (grouped) {
+      if (stmt.distinct) {
+        return Err(stmt.offset,
+                   "DISTINCT cannot be combined with GROUP BY/aggregates");
+      }
+      AggInfo agg;
+      agg.input_scope = cur.scope;
+      // Keys, in GROUP BY order.
+      for (size_t i = 0; i < stmt.group_by.size(); i++) {
+        const SqlExpr& g = *stmt.group_by[i];
+        ExprCtx key_ctx;
+        key_ctx.scope = &agg.input_scope;
+        Result<ExprPtr> r = AnalyzeExpr(g, key_ctx, 0);
+        if (!r.ok()) return r.status();
+        const SqlExpr* stripped = StripParens(&g);
+        agg.key_names.push_back(stripped->kind == SqlExprKind::kIdent
+                                    ? stripped->parts.back()
+                                    : "_g" + std::to_string(i));
+        agg.key_canons.push_back(ExprCanonKey(**r));
+        agg.key_exprs.push_back(*std::move(r));
+      }
+      // Discover aggregate calls (SELECT first, then HAVING) so the spec
+      // list is frozen before any expression lowers against it.
+      for (const SelectItem& item : stmt.items) {
+        if (item.expr == nullptr) {
+          return Err(item.offset,
+                     "SELECT * cannot be combined with GROUP BY/aggregates");
+        }
+        Status s = CollectAggs(*item.expr, &agg, false);
+        if (!s.ok()) return s;
+      }
+      if (stmt.having) {
+        Status s = CollectAggs(*stmt.having, &agg, false);
+        if (!s.ok()) return s;
+      }
+      if (agg.specs.empty() && agg.key_exprs.empty()) {
+        return Err(stmt.offset,
+                   "HAVING requires GROUP BY keys or aggregates");
+      }
+      // Post-aggregate scope: keys then aggregates.
+      Scope post;
+      for (size_t i = 0; i < agg.key_exprs.size(); i++) {
+        post.cols.push_back(
+            {"", agg.key_names[i], agg.key_exprs[i]->type(), false});
+      }
+      for (size_t i = 0; i < agg.specs.size(); i++) {
+        post.cols.push_back({"", agg.specs[i].name, agg.spec_types[i],
+                             false});
+      }
+      int nk = static_cast<int>(agg.key_exprs.size());
+      int ns = static_cast<int>(agg.specs.size());
+      // Lower the SELECT list against the post-aggregate scope and let
+      // item aliases name the aggregate's output columns.
+      for (size_t i = 0; i < stmt.items.size(); i++) {
+        const SelectItem& item = stmt.items[i];
+        ExprCtx ctx;
+        ctx.scope = &post;
+        ctx.agg = &agg;
+        Result<ExprPtr> r = AnalyzeExpr(*item.expr, ctx, 0);
+        if (!r.ok()) return r.status();
+        std::string name = item_name(item, i);
+        if (auto* col = dynamic_cast<ColumnRefExpr*>(r->get())) {
+          if (col->index() < nk) {
+            agg.key_names[col->index()] = name;
+            post.cols[col->index()].name = name;
+          } else if (col->index() < nk + ns) {
+            agg.specs[col->index() - nk].name = name;
+            post.cols[col->index()].name = name;
+          }
+        }
+        item_exprs.push_back(*std::move(r));
+        item_names.push_back(std::move(name));
+      }
+      cur.plan = plan::Aggregate(cur.plan, agg.key_exprs, agg.key_names,
+                                 agg.specs);
+      cur.scope = std::move(post);
+      if (stmt.having) {
+        Status s = LowerPredicate(&cur, *stmt.having, &agg, qdepth);
+        if (!s.ok()) return s;
+      }
+      // Skip the post-projection when the SELECT list is exactly the
+      // aggregate's own output (the common hand-built shape).
+      bool identity = static_cast<int>(item_exprs.size()) == nk + ns &&
+                      cur.scope.width() == nk + ns;
+      if (identity) {
+        for (size_t i = 0; i < item_exprs.size(); i++) {
+          auto* col = dynamic_cast<ColumnRefExpr*>(item_exprs[i].get());
+          if (col == nullptr || col->index() != static_cast<int>(i)) {
+            identity = false;
+            break;
+          }
+        }
+      }
+      if (!identity) {
+        cur.plan = plan::Project(cur.plan, item_exprs, item_names);
+        Scope s;
+        for (size_t i = 0; i < item_exprs.size(); i++) {
+          s.cols.push_back({"", item_names[i], item_exprs[i]->type(), false});
+        }
+        cur.scope = std::move(s);
+      }
+    } else {
+      bool star = stmt.items.size() == 1 && stmt.items[0].expr == nullptr;
+      for (const SelectItem& item : stmt.items) {
+        if (item.expr == nullptr && !star) {
+          return Err(item.offset, "'*' must be the only select item");
+        }
+      }
+      if (star) {
+        if (cur.scope.has_hidden()) {
+          // Subquery joins appended working columns; project them away.
+          std::vector<ExprPtr> exprs;
+          std::vector<std::string> names;
+          Scope s;
+          for (int i = 0; i < cur.scope.width(); i++) {
+            const ScopeColumn& c = cur.scope.cols[i];
+            if (c.hidden) continue;
+            exprs.push_back(eb::Col(i, c.type, c.name));
+            names.push_back(c.name);
+            s.cols.push_back({c.qualifier, c.name, c.type, false});
+          }
+          cur.plan = plan::Project(cur.plan, std::move(exprs), names);
+          cur.scope = std::move(s);
+        }
+      } else {
+        ExprCtx ctx;
+        ctx.scope = &cur.scope;
+        for (size_t i = 0; i < stmt.items.size(); i++) {
+          const SelectItem& item = stmt.items[i];
+          Result<ExprPtr> r = AnalyzeExpr(*item.expr, ctx, 0);
+          if (!r.ok()) return r.status();
+          item_exprs.push_back(*std::move(r));
+          item_names.push_back(item_name(item, i));
+        }
+        cur.plan = plan::Project(cur.plan, item_exprs, item_names);
+        Scope s;
+        for (size_t i = 0; i < item_exprs.size(); i++) {
+          s.cols.push_back({"", item_names[i], item_exprs[i]->type(), false});
+        }
+        cur.scope = std::move(s);
+      }
+      if (stmt.distinct) {
+        std::vector<ExprPtr> keys;
+        std::vector<std::string> names;
+        for (int i = 0; i < cur.scope.width(); i++) {
+          keys.push_back(eb::Col(i, cur.scope.cols[i].type,
+                                 cur.scope.cols[i].name));
+          names.push_back(cur.scope.cols[i].name);
+        }
+        cur.plan = plan::Aggregate(cur.plan, std::move(keys),
+                                   std::move(names), {});
+      }
+    }
+
+    if (!stmt.order_by.empty()) {
+      std::vector<SortKey> keys;
+      ExprCtx ctx;
+      ctx.scope = &cur.scope;
+      for (const OrderItem& o : stmt.order_by) {
+        Result<ExprPtr> r = AnalyzeExpr(*o.expr, ctx, 0);
+        if (!r.ok()) return r.status();
+        SortKey key;
+        key.expr = *std::move(r);
+        key.ascending = o.ascending;
+        key.nulls_first = o.nulls_first;
+        keys.push_back(std::move(key));
+      }
+      cur.plan = plan::Sort(cur.plan, std::move(keys));
+    }
+    if (stmt.limit >= 0) {
+      cur.plan = plan::Limit(cur.plan, stmt.limit);
+    }
+    return cur;
+  }();
+  cte_frames_.pop_back();
+  return out;
+}
+
+}  // namespace
+
+Result<plan::PlanPtr> Analyze(const std::string& source,
+                              const SelectStmt& stmt,
+                              const Catalog& catalog) {
+  Analyzer analyzer(source, catalog);
+  Result<Lowered> r = analyzer.LowerQuery(stmt, 0);
+  if (!r.ok()) return r.status();
+  return r->plan;
+}
+
+Result<plan::PlanPtr> CompileSql(const std::string& source,
+                                 const Catalog& catalog) {
+  Result<SelectStmtPtr> stmt = ParseSelect(source);
+  if (!stmt.ok()) return stmt.status();
+  return Analyze(source, **stmt, catalog);
+}
+
+}  // namespace sql
+}  // namespace photon

@@ -1,0 +1,30 @@
+#ifndef PHOTON_SQL_ANALYZER_H_
+#define PHOTON_SQL_ANALYZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace photon {
+namespace sql {
+
+/// Types and lowers a parsed SELECT into a plan::LogicalPlan (DESIGN.md
+/// §13.3). Name resolution runs against `catalog`; implicit casts are
+/// inserted with exactly the coercion rules of the eb:: builders, so a
+/// query lowered here is indistinguishable from a hand-built plan. All
+/// errors are InvalidArgument with "line L column C:" attribution into
+/// `source` (the text `stmt` was parsed from).
+Result<plan::PlanPtr> Analyze(const std::string& source,
+                              const SelectStmt& stmt, const Catalog& catalog);
+
+/// Parse + Analyze in one step.
+Result<plan::PlanPtr> CompileSql(const std::string& source,
+                                 const Catalog& catalog);
+
+}  // namespace sql
+}  // namespace photon
+
+#endif  // PHOTON_SQL_ANALYZER_H_

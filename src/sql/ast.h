@@ -1,0 +1,135 @@
+#ifndef PHOTON_SQL_AST_H_
+#define PHOTON_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace photon {
+namespace sql {
+
+struct SqlExpr;
+struct SelectStmt;
+struct TableRef;
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+using SelectStmtPtr = std::shared_ptr<SelectStmt>;
+using TableRefPtr = std::shared_ptr<TableRef>;
+
+/// Untyped expression AST. Like plan::PlanNode this is one plain struct
+/// with a kind tag and per-kind fields (the exemplar splits these into a
+/// class per node; a tagged struct keeps the parser/analyzer pattern
+/// matches short and the whole AST in one header). Every node carries the
+/// byte offset of the token that started it, so the analyzer can attribute
+/// type errors to a precise line:column.
+enum class SqlExprKind : uint8_t {
+  kIdent,        // column reference, optionally qualified: parts = {a,b}
+  kIntLit,       // text holds digits
+  kDecimalLit,   // text holds digits '.' digits
+  kFloatLit,     // text holds a strtod-parseable spelling
+  kStringLit,    // text holds the unescaped value
+  kBoolLit,      // bool_val
+  kNullLit,
+  kTypedLit,     // <type> '<text>': INT '7', DATE '1994-01-01', ...
+  kUnaryMinus,   // args[0]
+  kNot,          // args[0]
+  kArith,        // op_text in {+,-,*,/,%}; args[0], args[1]
+  kCompare,      // op_text in {=,<>,!=,<,<=,>,>=}; args[0], args[1]
+  kAnd,          // args[0], args[1]
+  kOr,           // args[0], args[1]
+  kIsNull,       // args[0]; negated = IS NOT NULL
+  kBetween,      // args[0..2] = value, lo, hi; negated = NOT BETWEEN
+  kInList,       // args[0] = value, args[1..] = list items; negated
+  kInSubquery,   // args[0] = value; subquery; negated
+  kExists,       // subquery; negated
+  kScalarSubquery,  // subquery in scalar position
+  kLike,         // args[0] = value; text = pattern; negated
+  kCase,         // branches (WHEN/THEN pairs), else in else_expr (may be null)
+  kCast,         // args[0], cast_type
+  kCall,         // text = lower-cased function name; args; star = count(*)
+  kParen,        // args[0]; kept explicit so AND-splitting respects parens
+};
+
+struct SqlExpr {
+  SqlExprKind kind;
+  int offset = 0;
+
+  std::vector<std::string> parts;  // kIdent: {name} or {qualifier, name}
+  std::string text;       // literal spelling / operator / fn name / pattern
+  bool bool_val = false;  // kBoolLit
+  bool negated = false;   // NOT IN / NOT BETWEEN / IS NOT NULL / NOT LIKE
+  bool star = false;      // kCall: count(*)
+  DataType cast_type;     // kCast, kTypedLit
+  std::vector<SqlExprPtr> args;
+  std::vector<std::pair<SqlExprPtr, SqlExprPtr>> branches;  // kCase
+  SqlExprPtr else_expr;                                     // kCase
+  SelectStmtPtr subquery;  // kInSubquery / kExists / kScalarSubquery
+};
+
+/// FROM-clause item: a named table (or CTE), a parenthesized subquery with
+/// alias, or a join of two refs.
+enum class TableRefKind : uint8_t { kTable, kSubquery, kJoin };
+
+enum class SqlJoinKind : uint8_t { kInner, kLeftOuter, kSemi, kAnti, kCross };
+
+struct TableRef {
+  TableRefKind kind;
+  int offset = 0;
+
+  // kTable
+  std::string table_name;
+
+  // kSubquery
+  SelectStmtPtr subquery;
+
+  // kTable / kSubquery
+  std::string alias;                        // "" = none
+  std::vector<std::string> column_aliases;  // AS t (c0, c1, ...); may be empty
+
+  // kJoin
+  SqlJoinKind join_kind = SqlJoinKind::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  SqlExprPtr condition;  // ON ...; null for CROSS JOIN
+};
+
+struct SelectItem {
+  SqlExprPtr expr;    // null for '*'
+  std::string alias;  // "" = none
+  int offset = 0;
+};
+
+struct OrderItem {
+  SqlExprPtr expr;
+  bool ascending = true;
+  /// Engine default (ops/sort.h SortKey) is NULLS FIRST for both
+  /// directions; explicit NULLS FIRST/LAST overrides.
+  bool nulls_first = true;
+};
+
+struct CteDef {
+  std::string name;
+  SelectStmtPtr query;
+  int offset = 0;
+};
+
+/// One SELECT statement (subqueries and CTE bodies are SelectStmts too).
+struct SelectStmt {
+  int offset = 0;
+  std::vector<CteDef> ctes;
+  bool distinct = false;
+  std::vector<SelectItem> items;  // at least one; items[i].expr null = '*'
+  TableRefPtr from;               // may be null (SELECT 1+1)
+  SqlExprPtr where;
+  std::vector<SqlExprPtr> group_by;
+  SqlExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+};
+
+}  // namespace sql
+}  // namespace photon
+
+#endif  // PHOTON_SQL_AST_H_

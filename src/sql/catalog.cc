@@ -1,0 +1,47 @@
+#include "sql/catalog.h"
+
+#include "common/macros.h"
+
+namespace photon {
+namespace sql {
+
+void Catalog::Register(const std::string& name, plan::PlanPtr leaf) {
+  PHOTON_CHECK(leaf != nullptr);
+  PHOTON_CHECK(leaf->kind == plan::PlanKind::kScan ||
+               leaf->kind == plan::PlanKind::kDeltaScan);
+  for (auto& entry : entries_) {
+    if (entry.first == name) {
+      entry.second = std::move(leaf);
+      return;
+    }
+  }
+  entries_.emplace_back(name, std::move(leaf));
+}
+
+void Catalog::RegisterTable(const std::string& name, const Table* table) {
+  Register(name, plan::Scan(table));
+}
+
+const plan::PlanPtr* Catalog::Lookup(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == name) return &entry.second;
+  }
+  return nullptr;
+}
+
+std::string Catalog::NameOf(const plan::PlanNode* leaf) const {
+  for (const auto& entry : entries_) {
+    if (entry.second.get() == leaf) return entry.first;
+  }
+  return "";
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.first);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace photon

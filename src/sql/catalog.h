@@ -1,0 +1,44 @@
+#ifndef PHOTON_SQL_CATALOG_H_
+#define PHOTON_SQL_CATALOG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace photon {
+namespace sql {
+
+/// Name → leaf-plan binding used by the analyzer to resolve FROM clauses
+/// and by the pretty-printer to name leaves. A "table" here is any leaf
+/// PlanNode (kScan over an in-memory Table, or kDeltaScan over a lakehouse
+/// snapshot with pruning/IO options baked in) — registering the exact leaf
+/// node is what lets a round-tripped query reference the identical Table* /
+/// snapshot as a hand-built plan.
+class Catalog {
+ public:
+  /// Registers `leaf` (must be kScan or kDeltaScan) under `name`. Re-using
+  /// a name replaces the previous binding.
+  void Register(const std::string& name, plan::PlanPtr leaf);
+
+  /// Sugar: Register(name, plan::Scan(table)).
+  void RegisterTable(const std::string& name, const Table* table);
+
+  /// The registered leaf, or nullptr when the name is unknown.
+  const plan::PlanPtr* Lookup(const std::string& name) const;
+
+  /// Reverse lookup by node identity, for the pretty-printer. Returns ""
+  /// when the node was not registered.
+  std::string NameOf(const plan::PlanNode* leaf) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::pair<std::string, plan::PlanPtr>> entries_;
+};
+
+}  // namespace sql
+}  // namespace photon
+
+#endif  // PHOTON_SQL_CATALOG_H_

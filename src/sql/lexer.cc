@@ -1,0 +1,226 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace photon {
+namespace sql {
+namespace {
+
+/// Reserved words. Function names (sum, upper, ...) are deliberately NOT
+/// reserved — they lex as identifiers and the parser recognizes calls by
+/// the following '('. Type names are reserved so typed literals
+/// (DATE '...', DECIMAL(12,2) '...') parse unambiguously.
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",     "WHERE",  "GROUP",   "BY",     "HAVING",
+      "ORDER",  "LIMIT",    "AS",     "AND",     "OR",     "NOT",
+      "IN",     "EXISTS",   "BETWEEN", "LIKE",   "IS",     "NULL",
+      "CASE",   "WHEN",     "THEN",   "ELSE",    "END",    "CAST",
+      "JOIN",   "INNER",    "LEFT",   "RIGHT",   "FULL",   "OUTER",
+      "CROSS",  "SEMI",     "ANTI",   "ON",      "WITH",   "ASC",
+      "DESC",   "NULLS",    "FIRST",  "LAST",    "DISTINCT", "ALL",
+      "TRUE",   "FALSE",    "UNION",  "EXCEPT",  "INTERSECT",
+      // Type names.
+      "INT",    "INTEGER",  "BIGINT", "DOUBLE",  "BOOLEAN", "DATE",
+      "TIMESTAMP", "VARCHAR", "STRING", "DECIMAL",
+  };
+  return kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIntLit:
+      return "integer literal";
+    case TokenKind::kDecimalLit:
+      return "decimal literal";
+    case TokenKind::kFloatLit:
+      return "float literal";
+    case TokenKind::kStringLit:
+      return "string literal";
+    case TokenKind::kSymbol:
+      return "symbol";
+  }
+  return "token";
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return kind == TokenKind::kSymbol && text == sym;
+}
+
+LineColumn OffsetToLineColumn(const std::string& source, int offset) {
+  LineColumn lc;
+  int limit = std::min<int>(offset, static_cast<int>(source.size()));
+  for (int i = 0; i < limit; i++) {
+    if (source[i] == '\n') {
+      lc.line++;
+      lc.column = 1;
+    } else {
+      lc.column++;
+    }
+  }
+  return lc;
+}
+
+std::string ErrorAt(const std::string& source, int offset,
+                    const std::string& msg) {
+  LineColumn lc = OffsetToLineColumn(source, offset);
+  return "line " + std::to_string(lc.line) + " column " +
+         std::to_string(lc.column) + ": " + msg;
+}
+
+bool IsReservedWord(const std::string& word) {
+  return Keywords().count(ToUpper(word)) > 0;
+}
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  const int n = static_cast<int>(source.size());
+  int i = 0;
+  while (i < n) {
+    char c = source[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      i++;
+      continue;
+    }
+    // '--' line comment.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') i++;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // Identifier or keyword.
+    if (IsIdentStart(c)) {
+      int start = i;
+      while (i < n && IsIdentChar(source[i])) i++;
+      std::string word = source.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = std::move(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Numeric literal: [0-9]+ ('.' [0-9]*)? ([eE] [+-]? [0-9]+)?
+    // A leading '.' (".5") is not accepted — write "0.5".
+    if (IsDigit(c)) {
+      int start = i;
+      while (i < n && IsDigit(source[i])) i++;
+      bool has_frac = false;
+      if (i < n && source[i] == '.' &&
+          (i + 1 >= n || !(source[i + 1] == '.'))) {
+        has_frac = true;
+        i++;
+        while (i < n && IsDigit(source[i])) i++;
+      }
+      bool has_exp = false;
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        int save = i;
+        int j = i + 1;
+        if (j < n && (source[j] == '+' || source[j] == '-')) j++;
+        if (j < n && IsDigit(source[j])) {
+          has_exp = true;
+          i = j;
+          while (i < n && IsDigit(source[i])) i++;
+        } else {
+          i = save;  // '1e' followed by non-digit: not an exponent
+        }
+      }
+      tok.text = source.substr(start, i - start);
+      tok.kind = has_exp ? TokenKind::kFloatLit
+                 : has_frac ? TokenKind::kDecimalLit
+                            : TokenKind::kIntLit;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // String literal with '' escaping.
+    if (c == '\'') {
+      i++;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\'') {
+          if (i + 1 < n && source[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          i++;
+          closed = true;
+          break;
+        }
+        value.push_back(source[i]);
+        i++;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            ErrorAt(source, tok.offset, "unterminated string literal"));
+      }
+      tok.kind = TokenKind::kStringLit;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = [&](const char* op) {
+      return i + 1 < n && source[i] == op[0] && source[i + 1] == op[1];
+    };
+    if (two("<>") || two("!=") || two("<=") || two(">=") || two("||")) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = source.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::string("()+-*/%,.;=<>").find(c) != std::string::npos) {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      i++;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument(ErrorAt(
+        source, i, std::string("unexpected character '") + c + "'"));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace photon

@@ -1,0 +1,26 @@
+#ifndef PHOTON_SQL_LEXER_H_
+#define PHOTON_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace photon {
+namespace sql {
+
+/// Hand-written SQL lexer (DESIGN.md §13.1). Produces the full token
+/// stream up front (queries are small; random access simplifies the
+/// parser's lookahead) with a terminating kEnd token. Errors — unknown
+/// characters, unterminated strings — come back as InvalidArgument with
+/// line:column attribution.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+/// True if `word` (case-insensitive) is a reserved keyword.
+bool IsReservedWord(const std::string& word);
+
+}  // namespace sql
+}  // namespace photon
+
+#endif  // PHOTON_SQL_LEXER_H_

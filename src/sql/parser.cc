@@ -1,0 +1,775 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace photon {
+namespace sql {
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Recursive-descent statement parser + Pratt expression parser over the
+/// pre-lexed token stream. Every recursive production threads an explicit
+/// depth so pathological nesting fails with a located error instead of
+/// exhausting the stack.
+class Parser {
+ public:
+  Parser(const std::string& source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
+
+  Result<SelectStmtPtr> ParseStatement() {
+    Result<SelectStmtPtr> stmt = ParseSelectStmt(0);
+    if (!stmt.ok()) return stmt.status();
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error(Peek().offset,
+                   "unexpected " + Describe(Peek()) + " after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    if (i >= tokens_.size()) return tokens_.back();
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Error(int offset, const std::string& msg) const {
+    return Status::InvalidArgument(ErrorAt(source_, offset, msg));
+  }
+  static std::string Describe(const Token& t) {
+    if (t.kind == TokenKind::kEnd) return "end of input";
+    return std::string(TokenKindName(t.kind)) + " '" + t.text + "'";
+  }
+  Status Expect(const char* what, bool keyword) {
+    const Token& t = Peek();
+    if (keyword ? t.IsKeyword(what) : t.IsSymbol(what)) {
+      Advance();
+      return Status::OK();
+    }
+    return Error(t.offset, std::string("expected '") + what + "', got " +
+                               Describe(t));
+  }
+  Status ExpectKeyword(const char* kw) { return Expect(kw, true); }
+  Status ExpectSymbol(const char* sym) { return Expect(sym, false); }
+
+  SqlExprPtr MakeExpr(SqlExprKind kind, int offset) {
+    auto e = std::make_shared<SqlExpr>();
+    e->kind = kind;
+    e->offset = offset;
+    return e;
+  }
+
+  // ---- statements ------------------------------------------------------
+
+  Result<SelectStmtPtr> ParseSelectStmt(int query_depth) {
+    if (query_depth > kMaxSqlQueryDepth) {
+      return Error(Peek().offset, "query nesting exceeds depth limit " +
+                                      std::to_string(kMaxSqlQueryDepth));
+    }
+    auto stmt = std::make_shared<SelectStmt>();
+    stmt->offset = Peek().offset;
+
+    if (AcceptKeyword("WITH")) {
+      do {
+        CteDef cte;
+        cte.offset = Peek().offset;
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error(Peek().offset, "expected CTE name, got " +
+                                          Describe(Peek()));
+        }
+        cte.name = Advance().text;
+        Status s = ExpectKeyword("AS");
+        if (!s.ok()) return s;
+        s = ExpectSymbol("(");
+        if (!s.ok()) return s;
+        Result<SelectStmtPtr> body = ParseSelectStmt(query_depth + 1);
+        if (!body.ok()) return body.status();
+        cte.query = *body;
+        s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+        stmt->ctes.push_back(std::move(cte));
+      } while (AcceptSymbol(","));
+    }
+
+    Status s = ExpectKeyword("SELECT");
+    if (!s.ok()) return s;
+    if (AcceptKeyword("DISTINCT")) {
+      stmt->distinct = true;
+    } else {
+      AcceptKeyword("ALL");
+    }
+
+    do {
+      SelectItem item;
+      item.offset = Peek().offset;
+      if (AcceptSymbol("*")) {
+        // item.expr stays null: SELECT *.
+      } else {
+        Result<SqlExprPtr> e = ParseExpr(0, query_depth);
+        if (!e.ok()) return e.status();
+        item.expr = *e;
+        if (AcceptKeyword("AS")) {
+          if (Peek().kind != TokenKind::kIdent) {
+            return Error(Peek().offset, "expected alias after AS, got " +
+                                            Describe(Peek()));
+          }
+          item.alias = Advance().text;
+        } else if (Peek().kind == TokenKind::kIdent) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+
+    if (AcceptKeyword("FROM")) {
+      Result<TableRefPtr> from = ParseTableRef(query_depth);
+      if (!from.ok()) return from.status();
+      stmt->from = *from;
+    }
+    if (AcceptKeyword("WHERE")) {
+      Result<SqlExprPtr> e = ParseExpr(0, query_depth);
+      if (!e.ok()) return e.status();
+      stmt->where = *e;
+    }
+    if (AcceptKeyword("GROUP")) {
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      do {
+        Result<SqlExprPtr> e = ParseExpr(0, query_depth);
+        if (!e.ok()) return e.status();
+        stmt->group_by.push_back(*e);
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      Result<SqlExprPtr> e = ParseExpr(0, query_depth);
+      if (!e.ok()) return e.status();
+      stmt->having = *e;
+    }
+    if (AcceptKeyword("ORDER")) {
+      s = ExpectKeyword("BY");
+      if (!s.ok()) return s;
+      do {
+        OrderItem item;
+        Result<SqlExprPtr> e = ParseExpr(0, query_depth);
+        if (!e.ok()) return e.status();
+        item.expr = *e;
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        if (AcceptKeyword("NULLS")) {
+          if (AcceptKeyword("FIRST")) {
+            item.nulls_first = true;
+          } else if (AcceptKeyword("LAST")) {
+            item.nulls_first = false;
+          } else {
+            return Error(Peek().offset,
+                         "expected FIRST or LAST after NULLS");
+          }
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kIntLit) {
+        return Error(Peek().offset, "expected integer after LIMIT, got " +
+                                        Describe(Peek()));
+      }
+      stmt->limit = std::atoll(Advance().text.c_str());
+    }
+    if (Peek().IsKeyword("UNION") || Peek().IsKeyword("EXCEPT") ||
+        Peek().IsKeyword("INTERSECT")) {
+      return Error(Peek().offset,
+                   "set operation " + Peek().text + " is not supported");
+    }
+    return stmt;
+  }
+
+  // ---- FROM clause -----------------------------------------------------
+
+  Result<TableRefPtr> ParseTableRef(int query_depth) {
+    Result<TableRefPtr> left = ParsePrimaryTableRef(query_depth);
+    if (!left.ok()) return left;
+    TableRefPtr ref = *left;
+    for (;;) {
+      SqlJoinKind kind;
+      int offset = Peek().offset;
+      if (AcceptKeyword("JOIN")) {
+        kind = SqlJoinKind::kInner;
+      } else if (AcceptKeyword("INNER")) {
+        kind = SqlJoinKind::kInner;
+        Status s = ExpectKeyword("JOIN");
+        if (!s.ok()) return s;
+      } else if (Peek().IsKeyword("LEFT")) {
+        Advance();
+        AcceptKeyword("OUTER");
+        if (AcceptKeyword("SEMI")) {
+          kind = SqlJoinKind::kSemi;  // LEFT SEMI JOIN (Spark spelling)
+        } else if (AcceptKeyword("ANTI")) {
+          kind = SqlJoinKind::kAnti;
+        } else {
+          kind = SqlJoinKind::kLeftOuter;
+        }
+        Status s = ExpectKeyword("JOIN");
+        if (!s.ok()) return s;
+      } else if (AcceptKeyword("SEMI")) {
+        kind = SqlJoinKind::kSemi;
+        Status s = ExpectKeyword("JOIN");
+        if (!s.ok()) return s;
+      } else if (AcceptKeyword("ANTI")) {
+        kind = SqlJoinKind::kAnti;
+        Status s = ExpectKeyword("JOIN");
+        if (!s.ok()) return s;
+      } else if (AcceptKeyword("CROSS")) {
+        kind = SqlJoinKind::kCross;
+        Status s = ExpectKeyword("JOIN");
+        if (!s.ok()) return s;
+      } else if (Peek().IsKeyword("RIGHT") || Peek().IsKeyword("FULL")) {
+        return Error(Peek().offset,
+                     Peek().text + " joins are not supported (rewrite with "
+                                   "the build side on the right)");
+      } else if (AcceptSymbol(",")) {
+        // Comma join = CROSS JOIN (filters in WHERE).
+        kind = SqlJoinKind::kCross;
+      } else {
+        break;
+      }
+      Result<TableRefPtr> right = ParsePrimaryTableRef(query_depth);
+      if (!right.ok()) return right;
+      auto join = std::make_shared<TableRef>();
+      join->kind = TableRefKind::kJoin;
+      join->offset = offset;
+      join->join_kind = kind;
+      join->left = ref;
+      join->right = *right;
+      if (kind != SqlJoinKind::kCross) {
+        Status s = ExpectKeyword("ON");
+        if (!s.ok()) return s;
+        Result<SqlExprPtr> cond = ParseExpr(0, query_depth);
+        if (!cond.ok()) return cond.status();
+        join->condition = *cond;
+      }
+      ref = join;
+    }
+    return ref;
+  }
+
+  Result<TableRefPtr> ParsePrimaryTableRef(int query_depth) {
+    auto ref = std::make_shared<TableRef>();
+    ref->offset = Peek().offset;
+    if (AcceptSymbol("(")) {
+      if (!Peek().IsKeyword("SELECT") && !Peek().IsKeyword("WITH")) {
+        return Error(Peek().offset,
+                     "expected SELECT in parenthesized table reference");
+      }
+      Result<SelectStmtPtr> sub = ParseSelectStmt(query_depth + 1);
+      if (!sub.ok()) return sub.status();
+      Status s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      ref->kind = TableRefKind::kSubquery;
+      ref->subquery = *sub;
+    } else if (Peek().kind == TokenKind::kIdent) {
+      ref->kind = TableRefKind::kTable;
+      ref->table_name = Advance().text;
+    } else {
+      return Error(Peek().offset,
+                   "expected table name or subquery, got " + Describe(Peek()));
+    }
+    // Optional [AS] alias [(column aliases)].
+    bool saw_as = AcceptKeyword("AS");
+    if (Peek().kind == TokenKind::kIdent) {
+      ref->alias = Advance().text;
+    } else if (saw_as) {
+      return Error(Peek().offset, "expected alias after AS, got " +
+                                      Describe(Peek()));
+    }
+    if (!ref->alias.empty() && AcceptSymbol("(")) {
+      do {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error(Peek().offset, "expected column alias, got " +
+                                          Describe(Peek()));
+        }
+        ref->column_aliases.push_back(Advance().text);
+      } while (AcceptSymbol(","));
+      Status s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+    }
+    if (ref->kind == TableRefKind::kSubquery && ref->alias.empty()) {
+      return Error(ref->offset, "derived table requires an alias");
+    }
+    return ref;
+  }
+
+  // ---- types -----------------------------------------------------------
+
+  /// Parses a type name. Returns false (without consuming) when the
+  /// current token does not start a type.
+  bool PeekType() const {
+    const Token& t = Peek();
+    return t.IsKeyword("INT") || t.IsKeyword("INTEGER") ||
+           t.IsKeyword("BIGINT") || t.IsKeyword("DOUBLE") ||
+           t.IsKeyword("BOOLEAN") || t.IsKeyword("DATE") ||
+           t.IsKeyword("TIMESTAMP") || t.IsKeyword("VARCHAR") ||
+           t.IsKeyword("STRING") || t.IsKeyword("DECIMAL");
+  }
+
+  Result<DataType> ParseType() {
+    const Token& t = Peek();
+    if (t.IsKeyword("INT") || t.IsKeyword("INTEGER")) {
+      Advance();
+      return DataType::Int32();
+    }
+    if (t.IsKeyword("BIGINT")) {
+      Advance();
+      return DataType::Int64();
+    }
+    if (t.IsKeyword("DOUBLE")) {
+      Advance();
+      return DataType::Float64();
+    }
+    if (t.IsKeyword("BOOLEAN")) {
+      Advance();
+      return DataType::Boolean();
+    }
+    if (t.IsKeyword("DATE")) {
+      Advance();
+      return DataType::Date32();
+    }
+    if (t.IsKeyword("TIMESTAMP")) {
+      Advance();
+      return DataType::Timestamp();
+    }
+    if (t.IsKeyword("VARCHAR") || t.IsKeyword("STRING")) {
+      Advance();
+      // VARCHAR(n) length is accepted and ignored (no length semantics).
+      if (AcceptSymbol("(")) {
+        if (Peek().kind != TokenKind::kIntLit) {
+          return Error(Peek().offset, "expected length in VARCHAR(n)");
+        }
+        Advance();
+        Status s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+      }
+      return DataType::String();
+    }
+    if (t.IsKeyword("DECIMAL")) {
+      int offset = t.offset;
+      Advance();
+      Status s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      if (Peek().kind != TokenKind::kIntLit) {
+        return Error(Peek().offset, "expected precision in DECIMAL(p,s)");
+      }
+      int precision = std::atoi(Advance().text.c_str());
+      s = ExpectSymbol(",");
+      if (!s.ok()) return s;
+      if (Peek().kind != TokenKind::kIntLit) {
+        return Error(Peek().offset, "expected scale in DECIMAL(p,s)");
+      }
+      int scale = std::atoi(Advance().text.c_str());
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      if (precision < 1 || precision > 38 || scale < 0 || scale > precision) {
+        return Error(offset, "invalid DECIMAL(" + std::to_string(precision) +
+                                 "," + std::to_string(scale) +
+                                 "): need 1 <= p <= 38, 0 <= s <= p");
+      }
+      return DataType::Decimal(precision, scale);
+    }
+    return Error(t.offset, "expected type name, got " + Describe(t));
+  }
+
+  // ---- expressions (Pratt) ---------------------------------------------
+  //
+  // Binding powers, loosest to tightest:
+  //   1 OR | 2 AND | 3 NOT (prefix) | 4 predicates (=, <>, <, <=, >, >=,
+  //   IS [NOT] NULL, [NOT] BETWEEN/IN/LIKE) | 5 + - | 6 * / % | 7 unary -
+
+  Result<SqlExprPtr> ParseExpr(int min_bp, int query_depth, int depth = 0) {
+    if (depth > kMaxSqlExprDepth) {
+      return Error(Peek().offset, "expression exceeds depth limit " +
+                                      std::to_string(kMaxSqlExprDepth));
+    }
+    Result<SqlExprPtr> lhs = ParsePrefix(query_depth, depth);
+    if (!lhs.ok()) return lhs;
+    SqlExprPtr e = *lhs;
+    for (;;) {
+      const Token& t = Peek();
+      // OR / AND.
+      if (t.IsKeyword("OR") && min_bp < 1) {
+        Advance();
+        Result<SqlExprPtr> rhs = ParseExpr(1, query_depth, depth + 1);
+        if (!rhs.ok()) return rhs;
+        SqlExprPtr node = MakeExpr(SqlExprKind::kOr, t.offset);
+        node->args = {e, *rhs};
+        e = node;
+        continue;
+      }
+      if (t.IsKeyword("AND") && min_bp < 2) {
+        Advance();
+        Result<SqlExprPtr> rhs = ParseExpr(2, query_depth, depth + 1);
+        if (!rhs.ok()) return rhs;
+        SqlExprPtr node = MakeExpr(SqlExprKind::kAnd, t.offset);
+        node->args = {e, *rhs};
+        e = node;
+        continue;
+      }
+      // Predicates (non-chaining: a = b = c is a parse error by design).
+      if (min_bp < 4) {
+        bool negated = false;
+        size_t save = pos_;
+        if (t.IsKeyword("NOT") &&
+            (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN") ||
+             Peek(1).IsKeyword("LIKE"))) {
+          Advance();
+          negated = true;
+        }
+        const Token& p = Peek();
+        if (p.kind == TokenKind::kSymbol &&
+            (p.text == "=" || p.text == "<>" || p.text == "!=" ||
+             p.text == "<" || p.text == "<=" || p.text == ">" ||
+             p.text == ">=")) {
+          Advance();
+          Result<SqlExprPtr> rhs = ParseExpr(4, query_depth, depth + 1);
+          if (!rhs.ok()) return rhs;
+          SqlExprPtr node = MakeExpr(SqlExprKind::kCompare, p.offset);
+          node->text = p.text == "!=" ? "<>" : p.text;
+          node->args = {e, *rhs};
+          e = node;
+          continue;
+        }
+        if (p.IsKeyword("IS")) {
+          Advance();
+          bool is_not = AcceptKeyword("NOT");
+          Status s = ExpectKeyword("NULL");
+          if (!s.ok()) return s;
+          SqlExprPtr node = MakeExpr(SqlExprKind::kIsNull, p.offset);
+          node->negated = is_not;
+          node->args = {e};
+          e = node;
+          continue;
+        }
+        if (p.IsKeyword("BETWEEN")) {
+          Advance();
+          // Bounds bind at additive level so AND separates them.
+          Result<SqlExprPtr> lo = ParseExpr(4, query_depth, depth + 1);
+          if (!lo.ok()) return lo;
+          Status s = ExpectKeyword("AND");
+          if (!s.ok()) return s;
+          Result<SqlExprPtr> hi = ParseExpr(4, query_depth, depth + 1);
+          if (!hi.ok()) return hi;
+          SqlExprPtr node = MakeExpr(SqlExprKind::kBetween, p.offset);
+          node->negated = negated;
+          node->args = {e, *lo, *hi};
+          e = node;
+          continue;
+        }
+        if (p.IsKeyword("IN")) {
+          Advance();
+          Status s = ExpectSymbol("(");
+          if (!s.ok()) return s;
+          SqlExprPtr node;
+          if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+            Result<SelectStmtPtr> sub = ParseSelectStmt(query_depth + 1);
+            if (!sub.ok()) return sub.status();
+            node = MakeExpr(SqlExprKind::kInSubquery, p.offset);
+            node->subquery = *sub;
+            node->args = {e};
+          } else {
+            node = MakeExpr(SqlExprKind::kInList, p.offset);
+            node->args = {e};
+            do {
+              Result<SqlExprPtr> item = ParseExpr(0, query_depth, depth + 1);
+              if (!item.ok()) return item;
+              node->args.push_back(*item);
+            } while (AcceptSymbol(","));
+          }
+          s = ExpectSymbol(")");
+          if (!s.ok()) return s;
+          node->negated = negated;
+          e = node;
+          continue;
+        }
+        if (p.IsKeyword("LIKE")) {
+          Advance();
+          if (Peek().kind != TokenKind::kStringLit) {
+            return Error(Peek().offset,
+                         "LIKE pattern must be a string literal");
+          }
+          SqlExprPtr node = MakeExpr(SqlExprKind::kLike, p.offset);
+          node->negated = negated;
+          node->text = Advance().text;
+          node->args = {e};
+          e = node;
+          continue;
+        }
+        if (negated) pos_ = save;  // NOT belonged to something else
+      }
+      // Additive.
+      if (min_bp < 5 && t.kind == TokenKind::kSymbol &&
+          (t.text == "+" || t.text == "-")) {
+        Advance();
+        Result<SqlExprPtr> rhs = ParseExpr(5, query_depth, depth + 1);
+        if (!rhs.ok()) return rhs;
+        SqlExprPtr node = MakeExpr(SqlExprKind::kArith, t.offset);
+        node->text = t.text;
+        node->args = {e, *rhs};
+        e = node;
+        continue;
+      }
+      // Multiplicative.
+      if (min_bp < 6 && t.kind == TokenKind::kSymbol &&
+          (t.text == "*" || t.text == "/" || t.text == "%")) {
+        Advance();
+        Result<SqlExprPtr> rhs = ParseExpr(6, query_depth, depth + 1);
+        if (!rhs.ok()) return rhs;
+        SqlExprPtr node = MakeExpr(SqlExprKind::kArith, t.offset);
+        node->text = t.text;
+        node->args = {e, *rhs};
+        e = node;
+        continue;
+      }
+      if (t.IsSymbol("||")) {
+        return Error(t.offset, "use concat(a, b) instead of ||");
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<SqlExprPtr> ParsePrefix(int query_depth, int depth) {
+    if (depth > kMaxSqlExprDepth) {
+      return Error(Peek().offset, "expression exceeds depth limit " +
+                                      std::to_string(kMaxSqlExprDepth));
+    }
+    const Token& t = Peek();
+    if (t.IsKeyword("NOT")) {
+      Advance();
+      Result<SqlExprPtr> operand = ParseExpr(2, query_depth, depth + 1);
+      if (!operand.ok()) return operand;
+      SqlExprPtr node = MakeExpr(SqlExprKind::kNot, t.offset);
+      node->args = {*operand};
+      return node;
+    }
+    if (t.IsSymbol("-")) {
+      Advance();
+      Result<SqlExprPtr> operand = ParseExpr(6, query_depth, depth + 1);
+      if (!operand.ok()) return operand;
+      SqlExprPtr node = MakeExpr(SqlExprKind::kUnaryMinus, t.offset);
+      node->args = {*operand};
+      return node;
+    }
+    if (t.IsSymbol("+")) {
+      Advance();
+      return ParseExpr(6, query_depth, depth + 1);
+    }
+    return ParsePrimary(query_depth, depth);
+  }
+
+  Result<SqlExprPtr> ParsePrimary(int query_depth, int depth) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLit: {
+        SqlExprPtr node = MakeExpr(SqlExprKind::kIntLit, t.offset);
+        node->text = Advance().text;
+        return node;
+      }
+      case TokenKind::kDecimalLit: {
+        SqlExprPtr node = MakeExpr(SqlExprKind::kDecimalLit, t.offset);
+        node->text = Advance().text;
+        return node;
+      }
+      case TokenKind::kFloatLit: {
+        SqlExprPtr node = MakeExpr(SqlExprKind::kFloatLit, t.offset);
+        node->text = Advance().text;
+        return node;
+      }
+      case TokenKind::kStringLit: {
+        SqlExprPtr node = MakeExpr(SqlExprKind::kStringLit, t.offset);
+        node->text = Advance().text;
+        return node;
+      }
+      default:
+        break;
+    }
+    if (t.IsKeyword("TRUE") || t.IsKeyword("FALSE")) {
+      SqlExprPtr node = MakeExpr(SqlExprKind::kBoolLit, t.offset);
+      node->bool_val = t.IsKeyword("TRUE");
+      Advance();
+      return node;
+    }
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return MakeExpr(SqlExprKind::kNullLit, t.offset);
+    }
+    // Typed literal: TYPE 'text' (the printer's unambiguous round-trip
+    // spelling — a bare 7 is INT, but BIGINT '7' pins int64).
+    if (PeekType()) {
+      int offset = t.offset;
+      Result<DataType> type = ParseType();
+      if (!type.ok()) return type.status();
+      if (Peek().kind != TokenKind::kStringLit) {
+        return Error(Peek().offset,
+                     "expected string literal after type name " +
+                         type->ToString());
+      }
+      SqlExprPtr node = MakeExpr(SqlExprKind::kTypedLit, offset);
+      node->cast_type = *type;
+      node->text = Advance().text;
+      return node;
+    }
+    if (t.IsKeyword("CAST")) {
+      Advance();
+      Status s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      Result<SqlExprPtr> operand = ParseExpr(0, query_depth, depth + 1);
+      if (!operand.ok()) return operand;
+      s = ExpectKeyword("AS");
+      if (!s.ok()) return s;
+      Result<DataType> type = ParseType();
+      if (!type.ok()) return type.status();
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      SqlExprPtr node = MakeExpr(SqlExprKind::kCast, t.offset);
+      node->cast_type = *type;
+      node->args = {*operand};
+      return node;
+    }
+    if (t.IsKeyword("CASE")) {
+      Advance();
+      SqlExprPtr node = MakeExpr(SqlExprKind::kCase, t.offset);
+      if (!Peek().IsKeyword("WHEN")) {
+        return Error(Peek().offset,
+                     "only searched CASE (CASE WHEN cond ...) is supported");
+      }
+      while (AcceptKeyword("WHEN")) {
+        Result<SqlExprPtr> cond = ParseExpr(0, query_depth, depth + 1);
+        if (!cond.ok()) return cond;
+        Status s = ExpectKeyword("THEN");
+        if (!s.ok()) return s;
+        Result<SqlExprPtr> then = ParseExpr(0, query_depth, depth + 1);
+        if (!then.ok()) return then;
+        node->branches.emplace_back(*cond, *then);
+      }
+      if (AcceptKeyword("ELSE")) {
+        Result<SqlExprPtr> els = ParseExpr(0, query_depth, depth + 1);
+        if (!els.ok()) return els;
+        node->else_expr = *els;
+      }
+      Status s = ExpectKeyword("END");
+      if (!s.ok()) return s;
+      return node;
+    }
+    if (t.IsKeyword("EXISTS")) {
+      Advance();
+      Status s = ExpectSymbol("(");
+      if (!s.ok()) return s;
+      Result<SelectStmtPtr> sub = ParseSelectStmt(query_depth + 1);
+      if (!sub.ok()) return sub.status();
+      s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      SqlExprPtr node = MakeExpr(SqlExprKind::kExists, t.offset);
+      node->subquery = *sub;
+      return node;
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+        Result<SelectStmtPtr> sub = ParseSelectStmt(query_depth + 1);
+        if (!sub.ok()) return sub.status();
+        Status s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+        SqlExprPtr node = MakeExpr(SqlExprKind::kScalarSubquery, t.offset);
+        node->subquery = *sub;
+        return node;
+      }
+      Result<SqlExprPtr> inner = ParseExpr(0, query_depth, depth + 1);
+      if (!inner.ok()) return inner;
+      Status s = ExpectSymbol(")");
+      if (!s.ok()) return s;
+      SqlExprPtr node = MakeExpr(SqlExprKind::kParen, t.offset);
+      node->args = {*inner};
+      return node;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      // Function call?
+      if (Peek(1).IsSymbol("(")) {
+        SqlExprPtr node = MakeExpr(SqlExprKind::kCall, t.offset);
+        node->text = ToLower(Advance().text);
+        Advance();  // '('
+        if (AcceptSymbol("*")) {
+          node->star = true;
+        } else if (!Peek().IsSymbol(")")) {
+          if (Peek().IsKeyword("DISTINCT")) {
+            return Error(Peek().offset,
+                         "DISTINCT aggregates are not supported; rewrite "
+                         "with a nested GROUP BY");
+          }
+          do {
+            Result<SqlExprPtr> arg = ParseExpr(0, query_depth, depth + 1);
+            if (!arg.ok()) return arg;
+            node->args.push_back(*arg);
+          } while (AcceptSymbol(","));
+        }
+        Status s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+        return node;
+      }
+      // Plain or qualified identifier.
+      SqlExprPtr node = MakeExpr(SqlExprKind::kIdent, t.offset);
+      node->parts.push_back(Advance().text);
+      if (AcceptSymbol(".")) {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Error(Peek().offset,
+                       "expected column name after '.', got " +
+                           Describe(Peek()));
+        }
+        node->parts.push_back(Advance().text);
+      }
+      return node;
+    }
+    return Error(t.offset, "expected expression, got " + Describe(t));
+  }
+
+  const std::string& source_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmtPtr> ParseSelect(const std::string& source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(source, *std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace photon

@@ -1,0 +1,26 @@
+#ifndef PHOTON_SQL_PARSER_H_
+#define PHOTON_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace photon {
+namespace sql {
+
+/// Hard limits on parser recursion (DESIGN.md §13.2). Deeply nested input
+/// must produce a clean line:column error, never a stack overflow — the
+/// round-trip fuzzer and adversarial queries both lean on this (the
+/// exemplar's CheckExpressionDepth, applied at parse time).
+inline constexpr int kMaxSqlExprDepth = 200;
+inline constexpr int kMaxSqlQueryDepth = 40;
+
+/// Parses one SELECT statement (a trailing ';' is permitted). Errors are
+/// InvalidArgument with "line L column C: ..." attribution.
+Result<SelectStmtPtr> ParseSelect(const std::string& source);
+
+}  // namespace sql
+}  // namespace photon
+
+#endif  // PHOTON_SQL_PARSER_H_

@@ -1,0 +1,53 @@
+#ifndef PHOTON_SQL_TOKEN_H_
+#define PHOTON_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace photon {
+namespace sql {
+
+/// Lexical token kinds. Keywords are folded into kKeyword with the
+/// upper-cased text in `text` — the parser matches them by spelling, which
+/// keeps the enum small and the keyword table in one place (lexer.cc).
+enum class TokenKind : uint8_t {
+  kEnd,        // end of input
+  kIdent,      // bare identifier (case preserved)
+  kKeyword,    // reserved word (text upper-cased)
+  kIntLit,     // [0-9]+
+  kDecimalLit, // digits '.' digits (no exponent)
+  kFloatLit,   // digits with exponent, e.g. 1e9, 1.5E-3
+  kStringLit,  // '...' with '' escaping (text holds the unescaped value)
+  kSymbol,     // operator/punctuation: ( ) , . ; + - * / % = <> != < <= > >=
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// One token plus its byte offset into the source text. Offsets — not
+/// line/column pairs — are what the AST carries around; they convert to
+/// line:column lazily when an error message is rendered (LineColumn).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int offset = 0;
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// 1-based line/column of a byte offset in `source`.
+struct LineColumn {
+  int line = 1;
+  int column = 1;
+};
+LineColumn OffsetToLineColumn(const std::string& source, int offset);
+
+/// Renders "line L column C: msg" — the uniform prefix every SQL error
+/// carries so failures in multi-line queries are attributable.
+std::string ErrorAt(const std::string& source, int offset,
+                    const std::string& msg);
+
+}  // namespace sql
+}  // namespace photon
+
+#endif  // PHOTON_SQL_TOKEN_H_

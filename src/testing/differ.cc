@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <sstream>
 #include <utility>
 
 #include "baseline/row_operator.h"
 #include "memory/memory_manager.h"
 #include "service/query_service.h"
+#include "sql/analyzer.h"
+#include "sql/catalog.h"
+#include "sql/printer.h"
 
 namespace photon {
 namespace testing {
@@ -194,6 +198,55 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
       mode.status = t.status();
     } else {
       mode.rows = Canonicalize(*t);
+    }
+    modes.push_back(std::move(mode));
+  }
+
+  {  // Mode 7: SQL round trip — pretty-print the plan, re-parse and
+    // re-analyze it, require a structurally identical plan (by
+    // fingerprint), then execute the round-tripped plan.
+    ModeResult mode;
+    mode.label = "sql/round-trip";
+    sql::Catalog catalog;
+    int next_source = 0;
+    // Register every distinct leaf node so the printed SQL can name it and
+    // the re-analyzed plan reuses the identical Table* / snapshot.
+    const std::function<void(const plan::PlanPtr&)> collect =
+        [&](const plan::PlanPtr& node) {
+          if (node->kind == plan::PlanKind::kScan ||
+              node->kind == plan::PlanKind::kDeltaScan) {
+            if (catalog.NameOf(node.get()).empty()) {
+              catalog.Register("src" + std::to_string(next_source++), node);
+            }
+            return;
+          }
+          for (const plan::PlanPtr& child : node->children) collect(child);
+        };
+    collect(p);
+    Result<std::string> sql_text = sql::PlanToSql(p, catalog);
+    if (!sql_text.ok()) {
+      mode.status = sql_text.status();
+    } else {
+      Result<plan::PlanPtr> round = sql::CompileSql(*sql_text, catalog);
+      if (!round.ok()) {
+        mode.status = Status::InvalidArgument(
+            "printed SQL failed to re-compile: " +
+            round.status().ToString() + "\nsql: " + *sql_text);
+      } else if (sql::PlanFingerprint(p) != sql::PlanFingerprint(*round)) {
+        mode.status = Status::InvalidArgument(
+            "round-tripped plan differs structurally\nsql: " + *sql_text +
+            "\noriginal:   " + sql::PlanFingerprint(p) +
+            "\nround-trip: " + sql::PlanFingerprint(*round));
+      } else {
+        Result<Table> t = driver->RunSingleTask(*round);
+        if (!t.ok()) {
+          mode.status = Status::InvalidArgument(
+              "round-tripped plan failed to execute: " +
+              t.status().ToString() + "\nsql: " + *sql_text);
+        } else {
+          mode.rows = Canonicalize(*t);
+        }
+      }
     }
     modes.push_back(std::move(mode));
   }

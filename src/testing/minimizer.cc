@@ -11,10 +11,20 @@ using plan::PlanKind;
 using plan::PlanNode;
 using plan::PlanPtr;
 
-/// All subtrees in pre-order (root first).
+/// All subtrees, root first. Explicit worklist rather than recursion: the
+/// minimizer runs on fuzzer output, which can nest plans arbitrarily deep,
+/// and a diagnostic tool must not crash on the inputs it exists to shrink.
 void CollectSubtrees(const PlanPtr& p, std::vector<PlanPtr>* out) {
-  out->push_back(p);
-  for (const PlanPtr& child : p->children) CollectSubtrees(child, out);
+  std::vector<PlanPtr> stack = {p};
+  while (!stack.empty()) {
+    PlanPtr node = std::move(stack.back());
+    stack.pop_back();
+    for (auto it = node->children.rbegin(); it != node->children.rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+    out->push_back(std::move(node));
+  }
 }
 
 bool SchemaPreserving(const PlanNode& node) {
@@ -24,19 +34,44 @@ bool SchemaPreserving(const PlanNode& node) {
 
 /// Rebuilds `root` with `target` replaced by `replacement`. Nodes off the
 /// path to `target` are shared, nodes on it are shallow-copied, so the
-/// original plan stays intact for the next candidate.
+/// original plan stays intact for the next candidate. Iterative (find the
+/// path, then rebuild it bottom-up) for the same reason as CollectSubtrees.
 PlanPtr Replace(const PlanPtr& root, const PlanNode* target,
                 PlanPtr replacement) {
   if (root.get() == target) return replacement;
-  for (size_t i = 0; i < root->children.size(); i++) {
-    PlanPtr rebuilt = Replace(root->children[i], target, replacement);
-    if (rebuilt != root->children[i]) {
-      PlanPtr copy = std::make_shared<PlanNode>(*root);
-      copy->children[i] = std::move(rebuilt);
-      return copy;
+  // DFS for the path root → target. `child` is the index of the NEXT child
+  // to try, so once the path is found, frame i descended into child
+  // `path[i].child - 1`.
+  struct Frame {
+    const PlanPtr* node;
+    size_t child;
+  };
+  std::vector<Frame> path = {{&root, 0}};
+  bool found = false;
+  while (!path.empty()) {
+    Frame& f = path.back();
+    const PlanPtr& n = *f.node;
+    if (n.get() == target) {
+      found = true;
+      break;
     }
+    if (f.child >= n->children.size()) {
+      path.pop_back();
+      continue;
+    }
+    const PlanPtr* next = &n->children[f.child];
+    f.child++;
+    path.push_back({next, 0});
   }
-  return root;
+  if (!found) return root;
+  PlanPtr rebuilt = std::move(replacement);
+  for (size_t i = path.size() - 1; i > 0; i--) {
+    const PlanPtr& parent = *path[i - 1].node;
+    PlanPtr copy = std::make_shared<PlanNode>(*parent);
+    copy->children[path[i - 1].child - 1] = std::move(rebuilt);
+    rebuilt = std::move(copy);
+  }
+  return rebuilt;
 }
 
 }  // namespace

@@ -217,8 +217,16 @@ plan::PlanPtr PlanGen::RandomAggregate(plan::PlanPtr p, bool join_free) {
   std::vector<ExprPtr> keys;
   std::vector<std::string> key_names;
   int num_keys = static_cast<int>(rng_.Uniform(0, 2));
+  std::vector<int> key_cols;
   for (int k = 0; k < num_keys; k++) {
     int c = static_cast<int>(rng_.Uniform(0, s.num_fields() - 1));
+    // A duplicate key column adds no grouping power and breaks the SQL
+    // round trip's structural identity (the analyzer canonicalizes it
+    // away), so keep keys distinct.
+    if (std::find(key_cols.begin(), key_cols.end(), c) != key_cols.end()) {
+      continue;
+    }
+    key_cols.push_back(c);
     keys.push_back(eb::Col(c, s.field(c).type));
     key_names.push_back("g" + std::to_string(name_seq_++));
   }
@@ -245,6 +253,17 @@ plan::PlanPtr PlanGen::RandomAggregate(plan::PlanPtr p, bool join_free) {
     if (t.is_string() && join_free) viable.push_back(AggKind::kCollectList);
     AggKind kind =
         viable[rng_.Uniform(0, static_cast<int64_t>(viable.size()) - 1)];
+    // Skip duplicate (kind, column) specs for the same reason as duplicate
+    // keys: SQL names one aggregate per distinct call.
+    bool duplicate = false;
+    for (const AggregateSpec& existing : aggs) {
+      auto* col = dynamic_cast<ColumnRefExpr*>(existing.arg.get());
+      if (existing.kind == kind && col != nullptr && col->index() == c) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
     aggs.push_back(
         AggregateSpec{kind, arg, "a" + std::to_string(name_seq_++)});
   }

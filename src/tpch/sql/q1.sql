@@ -1,0 +1,16 @@
+-- TPC-H Q1: pricing summary report.
+-- Written to lower to exactly the plan tpch_queries.cc builds by hand:
+-- Filter(Scan(lineitem)) -> Aggregate -> Sort. Typed literals pin the
+-- decimal/date types the eb:: builders produce.
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM (SELECT * FROM lineitem WHERE l_shipdate <= DATE '1998-09-02') AS l
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus

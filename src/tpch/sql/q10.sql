@@ -1,0 +1,16 @@
+-- TPC-H Q10: returned item reporting.
+SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM (SELECT o_custkey, l_extendedprice, l_discount
+      FROM (SELECT * FROM lineitem WHERE l_returnflag = 'R') AS l
+      JOIN (SELECT o_orderkey, o_custkey
+            FROM orders
+            WHERE o_orderdate >= DATE '1993-10-01'
+              AND o_orderdate < DATE '1994-01-01') AS o
+      ON l.l_orderkey = o.o_orderkey) AS j
+JOIN customer ON j.o_custkey = c_custkey
+JOIN (SELECT n_nationkey, n_name FROM nation) AS n
+ON c_nationkey = n.n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20

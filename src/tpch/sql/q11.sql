@@ -1,0 +1,20 @@
+-- TPC-H Q11: important stock identification. {{fraction}} is substituted by
+-- the loader with the same scale-clamped threshold the hand-built plan
+-- computes (see Q11 in tpch_queries.cc). The CROSS JOIN broadcasts the
+-- single-row total, mirroring the constant-key join in the hand-built plan.
+WITH value_by AS (
+  SELECT ps_partkey, ps_supplycost * CAST(ps_availqty AS DECIMAL(10,0)) AS val
+  FROM partsupp
+  LEFT SEMI JOIN (SELECT s_suppkey
+                  FROM supplier
+                  LEFT SEMI JOIN (SELECT n_nationkey FROM nation
+                                  WHERE n_name = 'GERMANY') AS n
+                  ON s_nationkey = n.n_nationkey) AS s
+  ON ps_suppkey = s.s_suppkey
+)
+SELECT ps_partkey, val
+FROM (SELECT ps_partkey, sum(val) AS val FROM value_by GROUP BY ps_partkey)
+     AS by_part
+CROSS JOIN (SELECT sum(val) AS total FROM value_by) AS t
+WHERE val > total * DECIMAL(12,6) '{{fraction}}'
+ORDER BY val DESC

@@ -1,0 +1,20 @@
+-- TPC-H Q12: shipping modes and order priority. The two CASE expressions
+-- share the same discriminator, like the reused is_high expression in the
+-- hand-built plan (expression canons are structural, so sharing is moot).
+SELECT l_shipmode, sum(high) AS high_line_count, sum(low) AS low_line_count
+FROM (SELECT l_shipmode,
+             CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                  THEN 1 ELSE 0 END AS high,
+             CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                  THEN 0 ELSE 1 END AS low
+      FROM (SELECT l_orderkey, l_shipmode
+            FROM lineitem
+            WHERE (l_shipmode IN ('MAIL', 'SHIP')
+                   AND l_commitdate < l_receiptdate)
+              AND (l_shipdate < l_commitdate
+                   AND (l_receiptdate >= DATE '1994-01-01'
+                        AND l_receiptdate < DATE '1995-01-01'))) AS l
+      JOIN (SELECT o_orderkey, o_orderpriority FROM orders) AS o
+      ON l.l_orderkey = o.o_orderkey) AS flagged
+GROUP BY l_shipmode
+ORDER BY l_shipmode

@@ -1,0 +1,12 @@
+-- TPC-H Q13: customer distribution. Left-outer join keeps customers with no
+-- orders; count(o_orderkey) ignores the NULL-padded rows.
+SELECT c_count, count(*) AS custdist
+FROM (SELECT c_custkey, count(o_orderkey) AS c_count
+      FROM (SELECT c_custkey FROM customer) AS c
+      LEFT OUTER JOIN (SELECT o_orderkey, o_custkey
+                       FROM orders
+                       WHERE NOT (o_comment LIKE '%special%requests%')) AS o
+      ON c.c_custkey = o.o_custkey
+      GROUP BY c_custkey) AS per_cust
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC

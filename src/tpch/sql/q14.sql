@@ -1,0 +1,15 @@
+-- TPC-H Q14: promotion effect. DOUBLE '100' pins the float64 literal the
+-- hand-built plan uses (a plain 100.0 would lex as DECIMAL(4,1)).
+SELECT DOUBLE '100' * CAST(sum_promo AS DOUBLE) / CAST(sum_total AS DOUBLE)
+           AS promo_revenue
+FROM (SELECT sum(promo) AS sum_promo, sum(total) AS sum_total
+      FROM (SELECT CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE CAST(0 AS DECIMAL(26,4))
+                   END AS promo,
+                   l_extendedprice * (1 - l_discount) AS total
+            FROM (SELECT * FROM lineitem
+                  WHERE l_shipdate >= DATE '1995-09-01'
+                    AND l_shipdate < DATE '1995-10-01') AS l
+            JOIN (SELECT p_partkey, p_type FROM part) AS p
+            ON l.l_partkey = p.p_partkey) AS flagged) AS t

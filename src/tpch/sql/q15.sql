@@ -1,0 +1,20 @@
+-- TPC-H Q15: top supplier. The revenue CTE expands twice, like the two
+-- Q15Revenue() calls in the hand-built plan. total_revenue = max_revenue is
+-- a decimal equality, so it lowers to a constant-key join with a residual;
+-- the hand-built plan uses the decimals as hash keys directly, but the two
+-- forms normalize to the same fingerprint and select the same rows.
+WITH revenue AS (
+  SELECT l_suppkey AS supplier_no,
+         sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+  FROM (SELECT * FROM lineitem
+        WHERE l_shipdate >= DATE '1996-01-01'
+          AND l_shipdate < DATE '1996-04-01') AS l
+  GROUP BY l_suppkey
+)
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM revenue AS r
+JOIN (SELECT max(total_revenue) AS max_revenue FROM revenue) AS m
+ON r.total_revenue = m.max_revenue
+JOIN (SELECT s_suppkey, s_name, s_address, s_phone FROM supplier) AS s
+ON r.supplier_no = s.s_suppkey
+ORDER BY s_suppkey

@@ -1,0 +1,17 @@
+-- TPC-H Q16: parts/supplier relationship. count(distinct ps_suppkey) is a
+-- two-level aggregate: dedup on (brand, type, size, suppkey), then count.
+SELECT p_brand, p_type, p_size, count(*) AS supplier_cnt
+FROM (SELECT p_brand, p_type, p_size, ps_suppkey, count(*) AS ignored
+      FROM (SELECT ps_partkey, ps_suppkey FROM partsupp) AS ps
+      JOIN (SELECT p_partkey, p_brand, p_type, p_size
+            FROM part
+            WHERE (p_brand <> 'Brand#45'
+                   AND NOT (p_type LIKE 'MEDIUM POLISHED%'))
+              AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)) AS p
+      ON ps.ps_partkey = p.p_partkey
+      LEFT ANTI JOIN (SELECT s_suppkey FROM supplier
+                      WHERE s_comment LIKE '%Customer%Complaints%') AS bad
+      ON ps_suppkey = bad.s_suppkey
+      GROUP BY p_brand, p_type, p_size, ps_suppkey) AS dedup
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size

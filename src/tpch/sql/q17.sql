@@ -1,0 +1,15 @@
+-- TPC-H Q17: small-quantity-order revenue. The per-part average quantity is
+-- computed over the full lineitem table and joined back.
+SELECT CAST(sum_price AS DOUBLE) / DOUBLE '7' AS avg_yearly
+FROM (SELECT sum(l_extendedprice) AS sum_price
+      FROM (SELECT l_partkey, l_quantity, l_extendedprice
+            FROM lineitem
+            LEFT SEMI JOIN (SELECT p_partkey FROM part
+                            WHERE p_brand = 'Brand#23'
+                              AND p_container = 'MED BOX') AS p
+            ON l_partkey = p.p_partkey) AS l
+      JOIN (SELECT l_partkey AS aq_partkey, avg(l_quantity) AS avg_qty
+            FROM lineitem
+            GROUP BY l_partkey) AS aq
+      ON l.l_partkey = aq.aq_partkey
+      WHERE l_quantity < DECIMAL(12,1) '0.2' * avg_qty) AS t

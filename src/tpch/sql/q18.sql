@@ -1,0 +1,23 @@
+-- TPC-H Q18: large volume customers. The big CTE is the decorrelated HAVING
+-- subquery; SELECT * on the orders-customer join avoids a projection node,
+-- matching the hand-built plan's bare join.
+WITH big AS (
+  SELECT bo_orderkey
+  FROM (SELECT l_orderkey AS bo_orderkey, sum(l_quantity) AS sum_qty
+        FROM lineitem
+        GROUP BY l_orderkey) AS t
+  WHERE sum_qty > DECIMAL(12,2) '300'
+)
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS sum_qty
+FROM (SELECT l_orderkey, l_quantity FROM lineitem) AS l
+JOIN (SELECT *
+      FROM (SELECT o_orderkey, o_custkey, o_orderdate, o_totalprice
+            FROM orders
+            LEFT SEMI JOIN big ON o_orderkey = big.bo_orderkey) AS o
+      JOIN (SELECT c_custkey, c_name FROM customer) AS c
+      ON o.o_custkey = c.c_custkey) AS oc
+ON l.l_orderkey = oc.o_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100

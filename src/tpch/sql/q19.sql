@@ -1,0 +1,21 @@
+-- TPC-H Q19: discounted revenue. Three brand/container/quantity brackets
+-- OR-ed together; parentheses shape each bracket as
+-- And(And(brand, container), And(quantity, size)) like the hand-built plan.
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM (SELECT * FROM lineitem
+      WHERE l_shipinstruct = 'DELIVER IN PERSON'
+        AND l_shipmode IN ('AIR', 'REG AIR')) AS l
+JOIN (SELECT p_partkey, p_brand, p_container, p_size FROM part) AS p
+ON l.l_partkey = p.p_partkey
+WHERE (p_brand = 'Brand#12'
+       AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG'))
+      AND (l_quantity BETWEEN DECIMAL(12,2) '1' AND DECIMAL(12,2) '11'
+           AND p_size BETWEEN 1 AND 5)
+   OR (p_brand = 'Brand#23'
+       AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK'))
+      AND (l_quantity BETWEEN DECIMAL(12,2) '10' AND DECIMAL(12,2) '20'
+           AND p_size BETWEEN 1 AND 10)
+   OR (p_brand = 'Brand#34'
+       AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG'))
+      AND (l_quantity BETWEEN DECIMAL(12,2) '20' AND DECIMAL(12,2) '30'
+           AND p_size BETWEEN 1 AND 15)

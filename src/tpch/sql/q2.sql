@@ -1,0 +1,32 @@
+-- TPC-H Q2: minimum cost supplier.
+-- The europe_supply CTE expands twice (outer query + min-cost aggregate),
+-- mirroring the two Q2EuropeSupply() calls in tpch_queries.cc. The
+-- ps_supplycost = min_cost conjunct lowers to a join residual; the hand-built
+-- plan makes it a second hash key, but PlanFingerprint normalizes key pairs
+-- and residual equalities identically, so the plans are equivalent.
+WITH europe_supply AS (
+  SELECT *
+  FROM partsupp
+  JOIN (SELECT s_suppkey, s_name, s_address, s_phone, s_acctbal, s_comment,
+               n_name
+        FROM supplier
+        JOIN (SELECT n_nationkey, n_name
+              FROM nation
+              JOIN (SELECT r_regionkey FROM region WHERE r_name = 'EUROPE') AS r
+              ON n_regionkey = r.r_regionkey) AS nr
+        ON s_nationkey = nr.n_nationkey) AS sn
+  ON ps_suppkey = sn.s_suppkey
+)
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone,
+       s_comment
+FROM europe_supply AS supply
+JOIN (SELECT ps_partkey AS mc_partkey, min(ps_supplycost) AS min_cost
+      FROM europe_supply
+      GROUP BY ps_partkey) AS mc
+ON supply.ps_partkey = mc.mc_partkey AND supply.ps_supplycost = mc.min_cost
+JOIN (SELECT p_partkey, p_mfgr
+      FROM part
+      WHERE p_size = 15 AND p_type LIKE '%BRASS') AS p
+ON supply.ps_partkey = p.p_partkey
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100

@@ -1,0 +1,22 @@
+-- TPC-H Q20: potential part promotion. Suppliers are reduced by two stacked
+-- left-semi joins (CANADA nation, then excess-stock partsupp).
+SELECT s_name, s_address
+FROM supplier
+LEFT SEMI JOIN (SELECT n_nationkey FROM nation WHERE n_name = 'CANADA') AS n
+ON s_nationkey = n.n_nationkey
+LEFT SEMI JOIN (SELECT ps_suppkey
+                FROM partsupp
+                LEFT SEMI JOIN (SELECT p_partkey FROM part
+                                WHERE p_name LIKE 'forest%') AS p
+                ON ps_partkey = p.p_partkey
+                JOIN (SELECT l_partkey AS lq_partkey,
+                             l_suppkey AS lq_suppkey,
+                             sum(l_quantity) AS sum_qty
+                      FROM (SELECT * FROM lineitem
+                            WHERE l_shipdate >= DATE '1994-01-01'
+                              AND l_shipdate < DATE '1995-01-01') AS l
+                      GROUP BY l_partkey, l_suppkey) AS q
+                ON ps_partkey = q.lq_partkey AND ps_suppkey = q.lq_suppkey
+                WHERE ps_availqty > DECIMAL(12,1) '0.5' * sum_qty) AS ps
+ON s_suppkey = ps.ps_suppkey
+ORDER BY s_name

@@ -1,0 +1,25 @@
+-- TPC-H Q21: suppliers who kept orders waiting. The "other supplier"
+-- inequalities ride the semi/anti joins as residual conditions, with the
+-- build-side operand written first to match the hand-built residual exprs.
+SELECT s_name, count(*) AS numwait
+FROM (SELECT l_orderkey, l_suppkey FROM lineitem
+      WHERE l_receiptdate > l_commitdate) AS l1
+LEFT SEMI JOIN (SELECT o_orderkey FROM orders
+                WHERE o_orderstatus = 'F') AS o
+ON l1.l_orderkey = o.o_orderkey
+LEFT SEMI JOIN (SELECT l_orderkey AS l2_orderkey, l_suppkey AS l2_suppkey
+                FROM lineitem) AS l2
+ON l1.l_orderkey = l2.l2_orderkey AND l2.l2_suppkey <> l1.l_suppkey
+LEFT ANTI JOIN (SELECT l_orderkey AS l3_orderkey, l_suppkey AS l3_suppkey
+                FROM lineitem
+                WHERE l_receiptdate > l_commitdate) AS l3
+ON l1.l_orderkey = l3.l3_orderkey AND l3.l3_suppkey <> l1.l_suppkey
+JOIN (SELECT s_suppkey, s_name
+      FROM supplier
+      LEFT SEMI JOIN (SELECT n_nationkey FROM nation
+                      WHERE n_name = 'SAUDI ARABIA') AS n
+      ON s_nationkey = n.n_nationkey) AS s
+ON l1.l_suppkey = s.s_suppkey
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100

@@ -1,0 +1,21 @@
+-- TPC-H Q22: global sales opportunity. The cust CTE expands twice (outer
+-- query + average-balance subquery); the CROSS JOIN broadcasts the one-row
+-- average so the balance filter can sit between the two joins, exactly
+-- where the hand-built plan places it.
+WITH cust AS (
+  SELECT * FROM customer
+  WHERE substr(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+)
+SELECT cntrycode, count(*) AS numcust, sum(c_acctbal) AS totacctbal
+FROM (SELECT substr(c_phone, 1, 2) AS cntrycode, c_acctbal
+      FROM (SELECT *
+            FROM cust
+            CROSS JOIN (SELECT avg(c_acctbal) AS avg_bal
+                        FROM (SELECT * FROM cust
+                              WHERE c_acctbal > DECIMAL(12,2) '0.00') AS cb)
+                       AS ab
+            WHERE c_acctbal > avg_bal) AS x
+      LEFT ANTI JOIN (SELECT o_custkey FROM orders) AS o
+      ON x.c_custkey = o.o_custkey) AS flagged
+GROUP BY cntrycode
+ORDER BY cntrycode

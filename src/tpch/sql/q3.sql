@@ -1,0 +1,15 @@
+-- TPC-H Q3: shipping priority. BUILDING customers reduce orders via a
+-- left-semi join; SELECT items are grouping keys first, then aggregates, so
+-- the aggregate needs no post-projection (matching the hand-built plan).
+SELECT l_orderkey, o_orderdate, o_shippriority,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM (SELECT * FROM lineitem WHERE l_shipdate > DATE '1995-03-15') AS l
+JOIN (SELECT o_orderkey, o_orderdate, o_shippriority
+      FROM (SELECT * FROM orders WHERE o_orderdate < DATE '1995-03-15') AS o
+      LEFT SEMI JOIN (SELECT c_custkey FROM customer
+                      WHERE c_mktsegment = 'BUILDING') AS c
+      ON o.o_custkey = c.c_custkey) AS oc
+ON l.l_orderkey = oc.o_orderkey
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10

@@ -1,0 +1,11 @@
+-- TPC-H Q4: order priority checking. The EXISTS subquery is written as an
+-- explicit left-semi join, exactly how the hand-built plan decorrelates it.
+SELECT o_orderpriority, count(*) AS order_count
+FROM (SELECT * FROM orders
+      WHERE o_orderdate >= DATE '1993-07-01'
+        AND o_orderdate < DATE '1993-10-01') AS o
+LEFT SEMI JOIN (SELECT l_orderkey FROM lineitem
+                WHERE l_commitdate < l_receiptdate) AS l
+ON o.o_orderkey = l.l_orderkey
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority

@@ -1,0 +1,24 @@
+-- TPC-H Q5: local supplier volume. The supplier join carries a composite key
+-- (l_suppkey = s_suppkey AND c_nationkey = s_nationkey), so the nation match
+-- rides in the hash key rather than a post-filter.
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM (SELECT l_suppkey, l_extendedprice, l_discount, c_nationkey, n_name
+      FROM lineitem
+      JOIN (SELECT o_orderkey, c_nationkey, n_name
+            FROM (SELECT * FROM orders
+                  WHERE o_orderdate >= DATE '1994-01-01'
+                    AND o_orderdate < DATE '1995-01-01') AS o
+            JOIN (SELECT c_custkey, c_nationkey, n_name
+                  FROM customer
+                  JOIN (SELECT n_nationkey, n_name
+                        FROM nation
+                        LEFT SEMI JOIN (SELECT r_regionkey FROM region
+                                        WHERE r_name = 'ASIA') AS r
+                        ON n_regionkey = r.r_regionkey) AS nr
+                  ON c_nationkey = nr.n_nationkey) AS cn
+            ON o.o_custkey = cn.c_custkey) AS oc
+      ON l_orderkey = oc.o_orderkey) AS lo
+JOIN (SELECT s_suppkey, s_nationkey FROM supplier) AS s
+ON lo.l_suppkey = s.s_suppkey AND lo.c_nationkey = s.s_nationkey
+GROUP BY n_name
+ORDER BY revenue DESC

@@ -1,0 +1,8 @@
+-- TPC-H Q6: forecasting revenue change. The parentheses pin the AND-tree
+-- shape to the hand-built And(And(date range), And(discount, quantity));
+-- typed decimal literals pin the exact literal types the eb:: builders use.
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM (SELECT * FROM lineitem
+      WHERE (l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01')
+        AND (l_discount BETWEEN DECIMAL(12,2) '0.05' AND DECIMAL(12,2) '0.07'
+             AND l_quantity < DECIMAL(12,2) '24')) AS l

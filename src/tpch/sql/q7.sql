@@ -1,0 +1,26 @@
+-- TPC-H Q7: volume shipping between FRANCE and GERMANY.
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (SELECT supp_nation, cust_nation, year(l_shipdate) AS l_year,
+             l_extendedprice * (1 - l_discount) AS volume
+      FROM (SELECT * FROM lineitem
+            WHERE l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') AS l
+      JOIN (SELECT o_orderkey, o_custkey FROM orders) AS o
+      ON l.l_orderkey = o.o_orderkey
+      JOIN (SELECT c_custkey, n2_name AS cust_nation
+            FROM customer
+            JOIN (SELECT n_nationkey AS n2_key, n_name AS n2_name
+                  FROM nation
+                  WHERE n_name = 'FRANCE' OR n_name = 'GERMANY') AS n2
+            ON c_nationkey = n2.n2_key) AS cn
+      ON o.o_custkey = cn.c_custkey
+      JOIN (SELECT s_suppkey, n1_name AS supp_nation
+            FROM supplier
+            JOIN (SELECT n_nationkey AS n1_key, n_name AS n1_name
+                  FROM nation
+                  WHERE n_name = 'FRANCE' OR n_name = 'GERMANY') AS n1
+            ON s_nationkey = n1.n1_key) AS sn
+      ON l.l_suppkey = sn.s_suppkey
+      WHERE (supp_nation = 'FRANCE' AND cust_nation = 'GERMANY')
+         OR (supp_nation = 'GERMANY' AND cust_nation = 'FRANCE')) AS shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year

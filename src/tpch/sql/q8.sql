@@ -1,0 +1,38 @@
+-- TPC-H Q8: national market share. The CASE ELSE arm casts int 0 to the
+-- revenue expression's decimal type (26,4), matching ZeroLike() in the
+-- hand-built plan.
+SELECT o_year,
+       CAST(sum_brazil AS DOUBLE) / CAST(sum_all AS DOUBLE) AS mkt_share
+FROM (SELECT o_year,
+             sum(brazil_volume) AS sum_brazil,
+             sum(volume) AS sum_all
+      FROM (SELECT year(o_orderdate) AS o_year,
+                   l_extendedprice * (1 - l_discount) AS volume,
+                   CASE WHEN n2.n_name = 'BRAZIL'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE CAST(0 AS DECIMAL(26,4))
+                   END AS brazil_volume
+            FROM (SELECT l_orderkey, l_suppkey, l_extendedprice, l_discount
+                  FROM lineitem
+                  LEFT SEMI JOIN (SELECT p_partkey FROM part
+                                  WHERE p_type = 'ECONOMY ANODIZED STEEL') AS p
+                  ON l_partkey = p.p_partkey) AS l
+            JOIN (SELECT o_orderkey, o_custkey, o_orderdate
+                  FROM (SELECT * FROM orders
+                        WHERE o_orderdate BETWEEN DATE '1995-01-01'
+                                              AND DATE '1996-12-31') AS o0) AS o
+            ON l.l_orderkey = o.o_orderkey
+            JOIN (SELECT c_custkey, c_nationkey FROM customer) AS c
+            ON o.o_custkey = c.c_custkey
+            LEFT SEMI JOIN (SELECT n_nationkey
+                            FROM nation
+                            LEFT SEMI JOIN (SELECT r_regionkey FROM region
+                                            WHERE r_name = 'AMERICA') AS r
+                            ON n_regionkey = r.r_regionkey) AS n1
+            ON c_nationkey = n1.n_nationkey
+            JOIN (SELECT s_suppkey, s_nationkey FROM supplier) AS s
+            ON l.l_suppkey = s.s_suppkey
+            JOIN (SELECT n_nationkey, n_name FROM nation) AS n2
+            ON s_nationkey = n2.n_nationkey) AS v
+      GROUP BY o_year) AS a
+ORDER BY o_year

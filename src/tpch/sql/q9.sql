@@ -1,0 +1,19 @@
+-- TPC-H Q9: product type profit measure.
+SELECT nation, o_year, sum(amount) AS sum_profit
+FROM (SELECT n_name AS nation, year(o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity
+                 AS amount
+      FROM lineitem
+      LEFT SEMI JOIN (SELECT p_partkey FROM part
+                      WHERE p_name LIKE '%green%') AS p
+      ON l_partkey = p.p_partkey
+      JOIN (SELECT ps_partkey, ps_suppkey, ps_supplycost FROM partsupp) AS ps
+      ON l_partkey = ps.ps_partkey AND l_suppkey = ps.ps_suppkey
+      JOIN (SELECT s_suppkey, s_nationkey FROM supplier) AS s
+      ON l_suppkey = s.s_suppkey
+      JOIN (SELECT n_nationkey, n_name FROM nation) AS n
+      ON s_nationkey = n.n_nationkey
+      JOIN (SELECT o_orderkey, o_orderdate FROM orders) AS o
+      ON l_orderkey = o.o_orderkey) AS profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC

@@ -1,0 +1,72 @@
+#include "tpch/tpch_sql.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sql/analyzer.h"
+
+// Absolute path of the .sql files, baked in by src/CMakeLists.txt so tests
+// and examples find them regardless of the working directory.
+#ifndef PHOTON_TPCH_SQL_DIR
+#define PHOTON_TPCH_SQL_DIR "src/tpch/sql"
+#endif
+
+namespace photon {
+namespace tpch {
+
+sql::Catalog TpchCatalog(const TpchData& data) {
+  sql::Catalog catalog;
+  catalog.RegisterTable("region", &data.region);
+  catalog.RegisterTable("nation", &data.nation);
+  catalog.RegisterTable("supplier", &data.supplier);
+  catalog.RegisterTable("customer", &data.customer);
+  catalog.RegisterTable("part", &data.part);
+  catalog.RegisterTable("partsupp", &data.partsupp);
+  catalog.RegisterTable("orders", &data.orders);
+  catalog.RegisterTable("lineitem", &data.lineitem);
+  return catalog;
+}
+
+Result<std::string> TpchSqlText(int q, double scale_factor) {
+  if (q < 1 || q > 22) {
+    return Status::InvalidArgument("TPC-H query number must be 1..22");
+  }
+  std::string path =
+      std::string(PHOTON_TPCH_SQL_DIR) + "/q" + std::to_string(q) + ".sql";
+  std::ifstream in(path);
+  if (!in) {
+    return Status::Internal("cannot open TPC-H SQL file " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  // Q11's selectivity threshold scales with the data; substitute the same
+  // clamped fraction Q11() in tpch_queries.cc computes.
+  const std::string kPlaceholder = "{{fraction}}";
+  size_t pos = text.find(kPlaceholder);
+  if (pos != std::string::npos) {
+    double fraction = 0.0001 / std::max(scale_factor, 1e-4);
+    double mean_share = 1.0 / std::max<double>(20, 200000 * scale_factor);
+    fraction = std::min(fraction, 2.0 * mean_share);
+    char frac_text[32];
+    std::snprintf(frac_text, sizeof(frac_text), "%.6f", fraction);
+    do {
+      text.replace(pos, kPlaceholder.size(), frac_text);
+      pos = text.find(kPlaceholder, pos);
+    } while (pos != std::string::npos);
+  }
+  return text;
+}
+
+Result<plan::PlanPtr> TpchSqlQuery(int q, const TpchData& data,
+                                   double scale_factor) {
+  PHOTON_ASSIGN_OR_RETURN(std::string text, TpchSqlText(q, scale_factor));
+  sql::Catalog catalog = TpchCatalog(data);
+  return sql::CompileSql(text, catalog);
+}
+
+}  // namespace tpch
+}  // namespace photon

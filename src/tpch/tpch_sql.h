@@ -1,0 +1,37 @@
+#ifndef PHOTON_TPCH_TPCH_SQL_H_
+#define PHOTON_TPCH_TPCH_SQL_H_
+
+#include <string>
+
+#include "plan/logical_plan.h"
+#include "sql/catalog.h"
+#include "tpch/tpch_gen.h"
+
+namespace photon {
+namespace tpch {
+
+/// A Catalog with the eight TPC-H tables registered under their standard
+/// names (region, nation, supplier, customer, part, partsupp, orders,
+/// lineitem), each bound to the corresponding Table in `data`. Plans
+/// compiled from SQL through this catalog scan the identical Table objects
+/// as the hand-built plans from TpchQuery(), which is what makes their
+/// fingerprints comparable.
+sql::Catalog TpchCatalog(const TpchData& data);
+
+/// The SQL text of query `q` (1..22), read from the .sql files shipped
+/// under src/tpch/sql/. `scale_factor` substitutes Q11's {{fraction}}
+/// placeholder with the same scale-clamped threshold the hand-built plan
+/// computes; the other queries ignore it.
+Result<std::string> TpchSqlText(int q, double scale_factor = 0.01);
+
+/// TpchSqlText compiled against TpchCatalog(data): the SQL twin of
+/// TpchQuery(). The returned plan is asserted (in tpch_sql_test.cc) to
+/// fingerprint-equal and checksum-match the hand-built plan for all 22
+/// queries.
+Result<plan::PlanPtr> TpchSqlQuery(int q, const TpchData& data,
+                                   double scale_factor = 0.01);
+
+}  // namespace tpch
+}  // namespace photon
+
+#endif  // PHOTON_TPCH_TPCH_SQL_H_

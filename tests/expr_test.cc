@@ -8,6 +8,7 @@
 #include "expr/builder.h"
 #include "expr/function_registry.h"
 #include "expr/fusion.h"
+#include "plan/logical_plan.h"
 #include "vector/table.h"
 
 namespace photon {
@@ -833,6 +834,37 @@ TEST(TierParityTest, Q9ProfitShapeNestedFusionParity) {
   ExprPtr d = Col(3, DataType::Int64(), "d");
   ti.Check(nullptr, {eb::Sub(eb::Mul(a, eb::Sub(Lit(int64_t{1}), b)),
                              eb::Mul(c, d))});
+}
+
+TEST(ExprDepthLimitTest, DeepTreesErrorCleanlyInsteadOfOverflowing) {
+  // Built iteratively; the guard that rejects it must be iterative too, or
+  // the check would overflow on the very input it exists to refuse.
+  ExprPtr flag = Col(0, DataType::Boolean(), "flag");
+  ExprPtr deep = flag;
+  for (int i = 0; i < 2000; i++) deep = std::make_shared<NotExpr>(deep);
+  Status st = CheckExpressionDepth(*deep);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("nested deeper"), std::string::npos);
+
+  // Right at the limit is still accepted.
+  ExprPtr at_limit = flag;
+  for (int i = 0; i < kMaxExprDepth - 1; i++) {
+    at_limit = std::make_shared<NotExpr>(at_limit);
+  }
+  EXPECT_TRUE(CheckExpressionDepth(*at_limit).ok());
+
+  // Both engine compilers refuse the plan up front, before any recursive
+  // walker (canonicalization, fusion, tree Evaluate) can touch the tree.
+  Schema schema({Field("flag", DataType::Boolean())});
+  TableBuilder tb(schema, 16);
+  tb.AppendRow({Value::Boolean(true)});
+  Table table = tb.Finish();
+  plan::PlanPtr p = plan::Filter(plan::Scan(&table), deep);
+  Result<OperatorPtr> photon = plan::CompilePhoton(p);
+  ASSERT_FALSE(photon.ok());
+  EXPECT_NE(photon.status().ToString().find("nested deeper"),
+            std::string::npos);
+  EXPECT_FALSE(plan::CompileBaseline(p).ok());
 }
 
 }  // namespace
