@@ -20,6 +20,11 @@
 //                adaptive (default), tree (pre-fusion interpreter),
 //                fused, compiled. Results must be bit-identical across
 //                policies; the tree/adaptive delta is the fusion win.
+//   --optimize   run Photon with the cost-based optimizer (DESIGN.md §14)
+//                rewriting each hand-ordered plan first. The hand plans
+//                are already well-ordered, so this measures optimizer
+//                invariance (results must match) and rewrite overhead,
+//                not recovery — bench_opt_recovery measures recovery.
 
 #include <cmath>
 #include <cstdio>
@@ -59,10 +64,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  bool optimize = bench::HasFlag(argc, argv, "--optimize");
+  if (optimize) exec_ctx.optimizer = OptimizerPolicy::kOn;
+
   std::printf(
-      "Figure 8: TPC-H SF=%.3f, Photon (%d thread%s, expr=%s) vs DBR (min of "
-      "runs)\n",
-      sf, threads, threads == 1 ? "" : "s", policy_name);
+      "Figure 8: TPC-H SF=%.3f, Photon (%d thread%s, expr=%s%s) vs DBR (min "
+      "of runs)\n",
+      sf, threads, threads == 1 ? "" : "s", policy_name,
+      optimize ? ", optimizer=on" : "");
   tpch::TpchData data = tpch::GenerateTpch(sf);
   std::printf("  lineitem rows: %lld\n",
               static_cast<long long>(data.lineitem.num_rows()));

@@ -1,0 +1,132 @@
+// Optimizer recovery: the deliberately pessimal TPC-H Q3/Q5/Q9/Q10 plans
+// (src/tpch/tpch_misordered.cc — selective filters hoisted to the top,
+// lineitem on build sides, semi-join reducers last) run with the
+// cost-based optimizer (DESIGN.md §14) off and on. The off/on time ratio
+// is the recovery factor; each recovered result is checksum-verified
+// against the hand-ordered TpchQuery plan, and the hand-ordered time is
+// reported as the target the optimizer should approach.
+//
+// Usage: bench_opt_recovery [--sf F] [--threads N] [--reps N]
+//                           [--min-recovery R] [--json PATH]
+//   --min-recovery R  exit nonzero unless the geomean recovery factor is
+//                     at least R (the ctest smoke gates at 10).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_misordered.h"
+#include "tpch/tpch_queries.h"
+
+int main(int argc, char** argv) {
+  using namespace photon;
+  double sf = 0.01;
+  if (const char* v = bench::FlagValue(argc, argv, "--sf")) sf = std::atof(v);
+  int threads = 1;
+  if (const char* v = bench::FlagValue(argc, argv, "--threads")) {
+    threads = std::atoi(v);
+  }
+  int reps = 2;
+  if (const char* v = bench::FlagValue(argc, argv, "--reps")) {
+    reps = std::atoi(v);
+  }
+  double min_recovery = 0;
+  if (const char* v = bench::FlagValue(argc, argv, "--min-recovery")) {
+    min_recovery = std::atof(v);
+  }
+  const char* json_path = bench::FlagValue(argc, argv, "--json");
+
+  std::printf(
+      "Optimizer recovery: misordered TPC-H SF=%.3f, %d thread%s (min of %d "
+      "runs)\n",
+      sf, threads, threads == 1 ? "" : "s", reps);
+  tpch::TpchData data = tpch::GenerateTpch(sf);
+  std::printf("  %4s %14s %13s %11s %10s %6s\n", "Q", "misordered(ms)",
+              "recovered(ms)", "hand(ms)", "recovery", "rows");
+
+  exec::Driver driver(threads);
+  ExecContext opt_off;
+  ExecContext opt_on;
+  opt_on.optimizer = OptimizerPolicy::kOn;
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("opt_recovery"));
+  json.Field("sf", sf);
+  json.Field("threads", threads);
+  json.BeginArray("queries");
+
+  const int kQueries[] = {3, 5, 9, 10};
+  double log_recovery_sum = 0;
+  int count = 0;
+  int mismatches = 0;
+  for (int q : kQueries) {
+    Result<plan::PlanPtr> mis = tpch::TpchMisorderedQuery(q, data);
+    PHOTON_CHECK(mis.ok());
+    Result<plan::PlanPtr> hand = tpch::TpchQuery(q, data, sf);
+    PHOTON_CHECK(hand.ok());
+
+    auto time = [&](const plan::PlanPtr& p, const ExecContext& ctx,
+                    int64_t* rows, uint64_t* checksum) {
+      return bench::BestOf(reps, [&] {
+        return threads > 1
+                   ? bench::TimeDriver(&driver, p, rows, checksum, ctx)
+                   : bench::TimeSingleTask(&driver, p, rows, checksum, ctx);
+      });
+    };
+
+    int64_t rows = 0, opt_rows = 0, hand_rows = 0;
+    uint64_t sum = 0, opt_sum = 0, hand_sum = 0;
+    int64_t mis_ns = time(*mis, opt_off, &rows, &sum);
+    int64_t opt_ns = time(*mis, opt_on, &opt_rows, &opt_sum);
+    int64_t hand_ns = time(*hand, opt_off, &hand_rows, &hand_sum);
+    if (opt_rows != hand_rows || opt_sum != hand_sum || rows != hand_rows ||
+        sum != hand_sum) {
+      std::printf("  Q%d MISMATCH: misordered %lld / recovered %lld / hand "
+                  "%lld rows\n",
+                  q, static_cast<long long>(rows),
+                  static_cast<long long>(opt_rows),
+                  static_cast<long long>(hand_rows));
+      mismatches++;
+    }
+    double recovery = static_cast<double>(mis_ns) / opt_ns;
+    std::printf("  %4d %14.1f %13.1f %11.1f %9.2fx %6lld\n", q,
+                bench::Ms(mis_ns), bench::Ms(opt_ns), bench::Ms(hand_ns),
+                recovery, static_cast<long long>(hand_rows));
+    json.BeginObject();
+    json.Field("q", q);
+    json.Field("misordered_ms", bench::Ms(mis_ns));
+    json.Field("recovered_ms", bench::Ms(opt_ns));
+    json.Field("hand_ms", bench::Ms(hand_ns));
+    json.Field("recovery", recovery);
+    json.Field("rows", hand_rows);
+    json.EndObject();
+    log_recovery_sum += std::log(recovery);
+    count++;
+  }
+  double geomean = std::exp(log_recovery_sum / count);
+  std::printf("  geometric-mean recovery: %.2fx\n", geomean);
+  json.EndArray();
+  json.Field("geomean_recovery", geomean);
+  json.Field("mismatches", mismatches);
+  json.EndObject();
+  if (json_path != nullptr) {
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path);
+      return 1;
+    }
+    std::printf("  wrote %s\n", json_path);
+  }
+  if (mismatches > 0) {
+    std::printf("  %d queries MISMATCHED\n", mismatches);
+    return 1;
+  }
+  if (min_recovery > 0 && geomean < min_recovery) {
+    std::printf("  FAIL: geomean recovery %.2fx below bound %.2fx\n", geomean,
+                min_recovery);
+    return 1;
+  }
+  return 0;
+}

@@ -128,6 +128,14 @@ inline const char* FlagValue(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// True when the standalone flag `--name` appears anywhere in argv.
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 /// Bench results use the shared JSON emitter (also used by the profile
 /// exporter in src/obs).
 using photon::JsonWriter;

@@ -2,10 +2,12 @@
 // line (end with ';' to span lines), compiles it through the SQL front-end,
 // runs it on a QueryService, and prints the result table. Usage:
 //
-//   sql_repl [scale_factor=0.01] [--profile]
+//   sql_repl [scale_factor=0.01] [--profile] [--optimize]
 //
 // With --profile each query also prints its QueryProfile operator tree
 // (rows and wall time per operator, aggregated across morsel tasks).
+// With --optimize each query runs through the cost-based optimizer
+// (DESIGN.md §14) before stage planning.
 //
 //   photon> SELECT l_returnflag, count(*) AS n FROM lineitem
 //           GROUP BY l_returnflag ORDER BY n DESC;
@@ -60,9 +62,12 @@ void PrintTable(const Table& t) {
 int main(int argc, char** argv) {
   double sf = 0.01;
   bool profile = false;
+  bool optimize = false;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--optimize") == 0) {
+      optimize = true;
     } else {
       sf = std::atof(argv[i]);
     }
@@ -99,7 +104,9 @@ int main(int argc, char** argv) {
       if (!plan.ok()) {
         std::printf("error: %s\n", plan.status().ToString().c_str());
       } else {
-        auto session = svc.Submit(*plan);
+        service::SessionOptions options;
+        if (optimize) options.optimizer = OptimizerPolicy::kOn;
+        auto session = svc.Submit(*plan, options);
         Status st = session->Wait();
         if (!st.ok()) {
           std::printf("error: %s\n", st.ToString().c_str());

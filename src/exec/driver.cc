@@ -5,6 +5,7 @@
 
 #include "expr/fusion.h"
 #include "obs/trace.h"
+#include "opt/optimizer.h"
 #include "ops/file_scan.h"
 #include "ops/filter.h"
 #include "ops/fused_filter_project.h"
@@ -150,6 +151,11 @@ struct Driver::StagedFragment {
 Result<Table> Driver::Run(const plan::PlanPtr& plan, ExecContext ctx,
                           std::vector<StageInfo>* stages,
                           obs::QueryProfile* profile) {
+  if (ctx.optimizer == OptimizerPolicy::kOn) {
+    ExecContext off = ctx;
+    off.optimizer = OptimizerPolicy::kOff;
+    return Run(opt::Optimize(plan), off, stages, profile);
+  }
   RunState state;
   state.ctx = ctx;
   state.stages = stages;
@@ -713,6 +719,11 @@ Result<Table> Driver::RunSort(const plan::PlanPtr& node, RunState* state,
 
 Result<Table> Driver::RunSingleTask(const plan::PlanPtr& plan,
                                     ExecContext ctx, StageInfo* stage) {
+  if (ctx.optimizer == OptimizerPolicy::kOn) {
+    ExecContext off = ctx;
+    off.optimizer = OptimizerPolicy::kOff;
+    return RunSingleTask(opt::Optimize(plan), off, stage);
+  }
   PHOTON_ASSIGN_OR_RETURN(OperatorPtr root, plan::CompilePhoton(plan, ctx));
   int64_t t0 = NowNs();
   Result<Table> result = CollectAll(root.get(), ctx.control);

@@ -31,6 +31,11 @@ struct OperatorMetrics {
   int64_t spilled_bytes = 0;
 };
 
+/// Whether the driver runs the cost-based optimizer (src/opt) over logical
+/// plans before stage planning. Off by default so hand-built plans execute
+/// exactly as written; the differ runs both settings as differential modes.
+enum class OptimizerPolicy : uint8_t { kOff, kOn };
+
 /// Shared per-task execution state.
 struct ExecContext {
   /// Unified memory manager (may be shared with other tasks and with the
@@ -56,6 +61,10 @@ struct ExecContext {
   /// used by the differ and benches; kTreeOnly also disables the fusion
   /// planner passes entirely.
   ExprPolicy expr_policy = ExprPolicy::kAdaptive;
+  /// Cost-based plan optimization (filter/projection pushdown, join
+  /// reordering, build-side selection). Applied by the Driver entry points,
+  /// so it covers hand-built plans, SQL, the query service, and benches.
+  OptimizerPolicy optimizer = OptimizerPolicy::kOff;
 };
 
 /// Copies the context's per-query memory policy (task group, reserve

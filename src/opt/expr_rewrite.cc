@@ -1,0 +1,176 @@
+#include "opt/expr_rewrite.h"
+
+#include <algorithm>
+
+namespace photon {
+namespace opt {
+
+ExprPtr RewriteColumns(
+    const ExprPtr& e,
+    const std::function<ExprPtr(const ColumnRefExpr&)>& fn) {
+  if (e == nullptr) return nullptr;
+  if (const auto* col = dynamic_cast<const ColumnRefExpr*>(e.get())) {
+    return fn(*col);
+  }
+  if (dynamic_cast<const LiteralExpr*>(e.get()) != nullptr) return e;
+
+  auto rewrite = [&](const ExprPtr& child) {
+    return RewriteColumns(child, fn);
+  };
+
+  if (const auto* a = dynamic_cast<const ArithmeticExpr*>(e.get())) {
+    std::vector<ExprPtr> kids = a->children();
+    ExprPtr l = rewrite(kids[0]), r = rewrite(kids[1]);
+    if (l == nullptr || r == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<ArithmeticExpr>(a->op(), l, r, a->type()));
+  }
+  if (const auto* c = dynamic_cast<const ComparisonExpr*>(e.get())) {
+    std::vector<ExprPtr> kids = c->children();
+    ExprPtr l = rewrite(kids[0]), r = rewrite(kids[1]);
+    if (l == nullptr || r == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<ComparisonExpr>(c->op(), l, r));
+  }
+  if (dynamic_cast<const BetweenExpr*>(e.get()) != nullptr) {
+    std::vector<ExprPtr> kids = e->children();
+    ExprPtr v = rewrite(kids[0]), lo = rewrite(kids[1]), hi = rewrite(kids[2]);
+    if (v == nullptr || lo == nullptr || hi == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<BetweenExpr>(v, lo, hi));
+  }
+  if (const auto* b = dynamic_cast<const BooleanExpr*>(e.get())) {
+    std::vector<ExprPtr> kids = b->children();
+    ExprPtr l = rewrite(kids[0]), r = rewrite(kids[1]);
+    if (l == nullptr || r == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<BooleanExpr>(b->op(), l, r));
+  }
+  if (dynamic_cast<const NotExpr*>(e.get()) != nullptr) {
+    ExprPtr c = rewrite(e->children()[0]);
+    if (c == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(std::make_shared<NotExpr>(c));
+  }
+  if (const auto* isn = dynamic_cast<const IsNullExpr*>(e.get())) {
+    ExprPtr c = rewrite(isn->children()[0]);
+    if (c == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<IsNullExpr>(c, isn->negated()));
+  }
+  if (dynamic_cast<const CastExpr*>(e.get()) != nullptr) {
+    ExprPtr c = rewrite(e->children()[0]);
+    if (c == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<CastExpr>(c, e->type()));
+  }
+  if (const auto* in = dynamic_cast<const InListExpr*>(e.get())) {
+    ExprPtr v = rewrite(in->children()[0]);
+    if (v == nullptr) return nullptr;
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<InListExpr>(v, in->list()));
+  }
+  if (const auto* call = dynamic_cast<const CallExpr*>(e.get())) {
+    std::vector<ExprPtr> args;
+    args.reserve(call->args().size());
+    for (const ExprPtr& arg : call->args()) {
+      ExprPtr a = rewrite(arg);
+      if (a == nullptr) return nullptr;
+      args.push_back(std::move(a));
+    }
+    return std::static_pointer_cast<Expr>(
+        std::make_shared<CallExpr>(call->name(), std::move(args), e->type()));
+  }
+  if (const auto* cw = dynamic_cast<const CaseWhenExpr*>(e.get())) {
+    std::vector<std::pair<ExprPtr, ExprPtr>> branches;
+    branches.reserve(cw->branches().size());
+    for (const auto& [when, then] : cw->branches()) {
+      ExprPtr w = rewrite(when), t = rewrite(then);
+      if (w == nullptr || t == nullptr) return nullptr;
+      branches.emplace_back(std::move(w), std::move(t));
+    }
+    ExprPtr else_expr = nullptr;
+    if (cw->else_expr() != nullptr) {
+      else_expr = rewrite(cw->else_expr());
+      if (else_expr == nullptr) return nullptr;
+    }
+    return std::static_pointer_cast<Expr>(std::make_shared<CaseWhenExpr>(
+        std::move(branches), std::move(else_expr), e->type()));
+  }
+  // Unknown expression kind: refuse to rewrite.
+  return nullptr;
+}
+
+ExprPtr RemapColumns(const ExprPtr& e, const std::vector<int>& map) {
+  return RewriteColumns(e, [&](const ColumnRefExpr& col) -> ExprPtr {
+    if (col.index() < 0 || col.index() >= static_cast<int>(map.size()) ||
+        map[col.index()] < 0) {
+      return nullptr;
+    }
+    return std::make_shared<ColumnRefExpr>(map[col.index()], col.type(),
+                                           col.name());
+  });
+}
+
+ExprPtr ShiftColumns(const ExprPtr& e, int delta) {
+  return RewriteColumns(e, [&](const ColumnRefExpr& col) -> ExprPtr {
+    if (col.index() + delta < 0) return nullptr;
+    return std::make_shared<ColumnRefExpr>(col.index() + delta, col.type(),
+                                           col.name());
+  });
+}
+
+ExprPtr SubstituteColumns(const ExprPtr& e, const std::vector<ExprPtr>& repl) {
+  return RewriteColumns(e, [&](const ColumnRefExpr& col) -> ExprPtr {
+    if (col.index() < 0 || col.index() >= static_cast<int>(repl.size())) {
+      return nullptr;
+    }
+    return repl[col.index()];
+  });
+}
+
+namespace {
+void CollectColumns(const Expr& e, std::vector<int>* out) {
+  if (const auto* col = dynamic_cast<const ColumnRefExpr*>(&e)) {
+    out->push_back(col->index());
+    return;
+  }
+  for (const ExprPtr& child : e.children()) {
+    if (child != nullptr) CollectColumns(*child, out);
+  }
+}
+}  // namespace
+
+std::vector<int> ReferencedColumns(const Expr& e) {
+  std::vector<int> out;
+  CollectColumns(e, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  const auto* b = dynamic_cast<const BooleanExpr*>(e.get());
+  if (b != nullptr && b->op() == BoolOp::kAnd) {
+    std::vector<ExprPtr> kids = b->children();
+    SplitConjuncts(kids[0], out);
+    SplitConjuncts(kids[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out = nullptr;
+  for (const ExprPtr& c : conjuncts) {
+    if (c == nullptr) continue;
+    out = out == nullptr
+              ? c
+              : std::static_pointer_cast<Expr>(
+                    std::make_shared<BooleanExpr>(BoolOp::kAnd, out, c));
+  }
+  return out;
+}
+
+}  // namespace opt
+}  // namespace photon

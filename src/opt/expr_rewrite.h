@@ -1,0 +1,45 @@
+#ifndef PHOTON_OPT_EXPR_REWRITE_H_
+#define PHOTON_OPT_EXPR_REWRITE_H_
+
+#include <functional>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace photon {
+namespace opt {
+
+/// Rebuilds `e` with every column reference replaced by `fn(ref)`. Returns
+/// nullptr when `fn` returns nullptr for any reference or the tree contains
+/// an expression kind the rewriter doesn't know how to copy — callers must
+/// treat nullptr as "rule does not apply", never as an error, so unknown
+/// expression kinds degrade to skipped rewrites instead of wrong plans.
+ExprPtr RewriteColumns(
+    const ExprPtr& e,
+    const std::function<ExprPtr(const ColumnRefExpr&)>& fn);
+
+/// Remaps column indices: ref i becomes map[i], keeping type and name.
+/// Out-of-range refs and negative map entries fail the rewrite (nullptr).
+ExprPtr RemapColumns(const ExprPtr& e, const std::vector<int>& map);
+
+/// Shifts every column index by `delta` (e.g. join-side re-basing).
+ExprPtr ShiftColumns(const ExprPtr& e, int delta);
+
+/// Replaces ref i with a copy of repl[i]; a nullptr entry marks a column
+/// that must not be referenced (fails the rewrite).
+ExprPtr SubstituteColumns(const ExprPtr& e, const std::vector<ExprPtr>& repl);
+
+/// All column indices referenced by `e`, sorted and deduplicated.
+std::vector<int> ReferencedColumns(const Expr& e);
+
+/// Flattens nested ANDs into a conjunct list (in evaluation order).
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// Left-deep AND of `conjuncts`; nullptr when empty, the sole element when
+/// singleton.
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace opt
+}  // namespace photon
+
+#endif  // PHOTON_OPT_EXPR_REWRITE_H_

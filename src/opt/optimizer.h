@@ -1,0 +1,44 @@
+#ifndef PHOTON_OPT_OPTIMIZER_H_
+#define PHOTON_OPT_OPTIMIZER_H_
+
+#include "plan/logical_plan.h"
+
+namespace photon {
+namespace opt {
+
+/// Which rewrite families run. All on by default; benches and tests toggle
+/// individual rules to isolate their effect.
+struct OptimizerOptions {
+  bool filter_pushdown = true;
+  bool semi_join_reduction = true;
+  bool join_reorder = true;
+  bool prune_scan_columns = true;
+};
+
+/// Rewrites a logical plan into a semantically identical, cheaper one:
+///   1. filter pushdown — conjuncts sink through projects, aggregates,
+///      joins, and sorts, merging into DeltaScan predicates where they feed
+///      zone-map file/row-group skipping and the scan's row-level filter;
+///   2. semi-join reduction — IN/EXISTS-derived semi (and anti) joins sink
+///      to the smallest input that supplies their keys;
+///   3. cost-based join reordering — maximal inner-join clusters are
+///      flattened to a conjunct graph and recomposed greedily by estimated
+///      cardinality (src/opt/stats), picking build/probe sides so the
+///      smaller input builds the hash table;
+///   4. scan column pruning — projections narrow DeltaScan column sets.
+///
+/// Pure and deterministic: the input plan is never mutated (rewrites build
+/// new nodes; untouched subtrees are shared), and equal inputs produce
+/// equal outputs — the differ relies on both to run optimizer-on vs
+/// optimizer-off over the same PlanPtr as differential modes.
+///
+/// Every rule degrades to "keep the original shape" when a precondition
+/// fails (unknown expression kind, non-equi edge, disconnected join graph),
+/// so Optimize never errors.
+plan::PlanPtr Optimize(const plan::PlanPtr& p,
+                       const OptimizerOptions& options = {});
+
+}  // namespace opt
+}  // namespace photon
+
+#endif  // PHOTON_OPT_OPTIMIZER_H_

@@ -1,0 +1,369 @@
+#include "opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/expr_rewrite.h"
+
+namespace photon {
+namespace opt {
+namespace {
+
+constexpr double kMinSelectivity = 1e-7;
+constexpr double kDefaultSelectivity = 0.25;  // unrecognized predicate shape
+constexpr double kDefaultEqSelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+
+double Clamp01(double s) {
+  return std::max(kMinSelectivity, std::min(1.0, s));
+}
+
+/// Numeric image of a value for range interpolation. Strings have no
+/// useful linear image; they fall back to default selectivities.
+bool ValueToDouble(const Value& v, const DataType& type, double* out) {
+  if (v.is_null()) return false;
+  switch (type.id()) {
+    case TypeId::kBoolean:
+      *out = v.boolean() ? 1 : 0;
+      return true;
+    case TypeId::kInt32:
+    case TypeId::kDate32:
+      *out = static_cast<double>(v.i32());
+      return true;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      *out = static_cast<double>(v.i64());
+      return true;
+    case TypeId::kFloat64:
+      *out = v.f64();
+      return true;
+    case TypeId::kDecimal128:
+      *out = static_cast<double>(v.decimal().value()) *
+             std::pow(10.0, -type.scale());
+      return true;
+    case TypeId::kString:
+      return false;
+  }
+  return false;
+}
+
+const ColEstimate* ColOf(const PlanEstimate& input, const Expr& e,
+                         const ColumnRefExpr** ref_out) {
+  const auto* col = dynamic_cast<const ColumnRefExpr*>(&e);
+  if (col == nullptr || col->index() < 0 ||
+      col->index() >= static_cast<int>(input.cols.size())) {
+    return nullptr;
+  }
+  *ref_out = col;
+  return &input.cols[col->index()];
+}
+
+/// Selectivity of `col op lit` using NDV for equality and min/max linear
+/// interpolation for ranges.
+double ComparisonSelectivity(CmpOp op, const ColumnRefExpr& col,
+                             const ColEstimate& cs, const Value& lit,
+                             const DataType& lit_type) {
+  double not_null = 1.0 - cs.null_frac;
+  if (op == CmpOp::kEq) {
+    double eq = cs.ndv > 0 ? 1.0 / cs.ndv : kDefaultEqSelectivity;
+    // Out-of-range literal provably matches nothing.
+    if (cs.has_min_max && !lit.is_null() && lit.is_string() == cs.min.is_string() &&
+        lit.is_date() == cs.min.is_date() &&
+        (lit.Compare(cs.min) < 0 || lit.Compare(cs.max) > 0)) {
+      return kMinSelectivity;
+    }
+    return Clamp01(eq * not_null);
+  }
+  if (op == CmpOp::kNe) {
+    double eq = cs.ndv > 0 ? 1.0 / cs.ndv : kDefaultEqSelectivity;
+    return Clamp01((1.0 - eq) * not_null);
+  }
+  double lo, hi, v;
+  if (!cs.has_min_max || !ValueToDouble(cs.min, col.type(), &lo) ||
+      !ValueToDouble(cs.max, col.type(), &hi) ||
+      !ValueToDouble(lit, lit_type, &v) || hi <= lo) {
+    return Clamp01(kDefaultRangeSelectivity * not_null);
+  }
+  double frac_below = (v - lo) / (hi - lo);  // P(col < v), roughly
+  double s;
+  switch (op) {
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+      s = frac_below;
+      break;
+    case CmpOp::kGt:
+    case CmpOp::kGe:
+      s = 1.0 - frac_below;
+      break;
+    default:
+      s = kDefaultRangeSelectivity;
+      break;
+  }
+  return Clamp01(std::max(0.0, std::min(1.0, s)) * not_null);
+}
+
+double ConjunctSelectivity(const Expr& pred, const PlanEstimate& input) {
+  if (const auto* cmp = dynamic_cast<const ComparisonExpr*>(&pred)) {
+    std::vector<ExprPtr> kids = cmp->children();
+    const ColumnRefExpr* col = nullptr;
+    const ColEstimate* cs = ColOf(input, *kids[0], &col);
+    const auto* lit = dynamic_cast<const LiteralExpr*>(kids[1].get());
+    CmpOp op = cmp->op();
+    if (cs == nullptr || lit == nullptr) {
+      // Mirror literal OP col.
+      cs = ColOf(input, *kids[1], &col);
+      lit = dynamic_cast<const LiteralExpr*>(kids[0].get());
+      switch (op) {
+        case CmpOp::kLt: op = CmpOp::kGt; break;
+        case CmpOp::kLe: op = CmpOp::kGe; break;
+        case CmpOp::kGt: op = CmpOp::kLt; break;
+        case CmpOp::kGe: op = CmpOp::kLe; break;
+        default: break;
+      }
+    }
+    if (cs == nullptr || lit == nullptr || lit->value().is_null()) {
+      return op == CmpOp::kEq ? kDefaultEqSelectivity
+                              : kDefaultRangeSelectivity;
+    }
+    return ComparisonSelectivity(op, *col, *cs, lit->value(), lit->type());
+  }
+  if (const auto* between = dynamic_cast<const BetweenExpr*>(&pred)) {
+    std::vector<ExprPtr> kids = between->children();
+    double ge = ConjunctSelectivity(ComparisonExpr(CmpOp::kGe, kids[0], kids[1]),
+                                    input);
+    double le = ConjunctSelectivity(ComparisonExpr(CmpOp::kLe, kids[0], kids[2]),
+                                    input);
+    // A range is one interval, not two independent conditions; the sum form
+    // avoids the double-counting that a plain product would give.
+    return Clamp01(std::max(kMinSelectivity, ge + le - 1.0));
+  }
+  if (const auto* b = dynamic_cast<const BooleanExpr*>(&pred)) {
+    std::vector<ExprPtr> kids = b->children();
+    double l = EstimateSelectivity(*kids[0], input);
+    double r = EstimateSelectivity(*kids[1], input);
+    if (b->op() == BoolOp::kAnd) return Clamp01(l * r);
+    return Clamp01(l + r - l * r);
+  }
+  if (const auto* n = dynamic_cast<const NotExpr*>(&pred)) {
+    return Clamp01(1.0 - EstimateSelectivity(*n->children()[0], input));
+  }
+  if (const auto* isn = dynamic_cast<const IsNullExpr*>(&pred)) {
+    const ColumnRefExpr* col = nullptr;
+    const ColEstimate* cs = ColOf(input, *isn->children()[0], &col);
+    double null_frac = cs != nullptr ? cs->null_frac : 0.1;
+    return Clamp01(isn->negated() ? 1.0 - null_frac : null_frac);
+  }
+  if (const auto* in = dynamic_cast<const InListExpr*>(&pred)) {
+    const ColumnRefExpr* col = nullptr;
+    const ColEstimate* cs = ColOf(input, *in->children()[0], &col);
+    double eq = cs != nullptr && cs->ndv > 0 ? 1.0 / cs->ndv
+                                             : kDefaultEqSelectivity;
+    return Clamp01(eq * static_cast<double>(in->list().size()));
+  }
+  if (dynamic_cast<const LiteralExpr*>(&pred) != nullptr) {
+    const auto& lit = static_cast<const LiteralExpr&>(pred);
+    if (lit.value().is_null()) return kMinSelectivity;
+    if (lit.type().id() == TypeId::kBoolean) {
+      return lit.value().boolean() ? 1.0 : kMinSelectivity;
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+ColEstimate ScaleCol(const ColEstimate& in, double out_rows) {
+  ColEstimate out = in;
+  if (out.ndv >= 0) out.ndv = std::min(out.ndv, std::max(out_rows, 0.0));
+  return out;
+}
+
+double KeyPairSelectivity(const ColEstimate* l, const ColEstimate* r,
+                          double l_rows, double r_rows) {
+  double l_ndv = l != nullptr && l->ndv > 0 ? l->ndv : -1;
+  double r_ndv = r != nullptr && r->ndv > 0 ? r->ndv : -1;
+  double denom;
+  if (l_ndv > 0 && r_ndv > 0) {
+    denom = std::max(l_ndv, r_ndv);
+  } else if (l_ndv > 0) {
+    denom = l_ndv;
+  } else if (r_ndv > 0) {
+    denom = r_ndv;
+  } else {
+    // Unknown on both sides: assume the key is near-unique on the larger
+    // input (the FK-join shape), which keeps chains from exploding.
+    denom = std::max({l_rows, r_rows, 1.0});
+  }
+  return 1.0 / std::max(denom, 1.0);
+}
+
+const ColEstimate* KeyEstimate(const PlanEstimate& side, const ExprPtr& key) {
+  const ColumnRefExpr* ref = nullptr;
+  return key != nullptr ? ColOf(side, *key, &ref) : nullptr;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& pred, const PlanEstimate& input) {
+  return Clamp01(ConjunctSelectivity(pred, input));
+}
+
+PlanEstimate EstimatePlan(const plan::PlanNode& node) {
+  using plan::PlanKind;
+  PlanEstimate out;
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      out.rows = node.table != nullptr
+                     ? static_cast<double>(node.table->num_rows())
+                     : 0;
+      out.cols.resize(node.output_schema.num_fields());
+      if (node.stats != nullptr && static_cast<int>(node.stats->columns.size()) ==
+                                       node.output_schema.num_fields()) {
+        for (size_t c = 0; c < node.stats->columns.size(); c++) {
+          const plan::ColumnStats& s = node.stats->columns[c];
+          out.cols[c].ndv = s.ndv;
+          out.cols[c].null_frac =
+              out.rows > 0 ? static_cast<double>(s.null_count) / out.rows : 0;
+          out.cols[c].has_min_max = s.has_min_max;
+          out.cols[c].min = s.min;
+          out.cols[c].max = s.max;
+        }
+      }
+      return out;
+    }
+    case PlanKind::kDeltaScan: {
+      out.rows = static_cast<double>(node.snapshot.num_rows());
+      out.cols.resize(node.output_schema.num_fields());
+      if (node.stats != nullptr && static_cast<int>(node.stats->columns.size()) ==
+                                       node.output_schema.num_fields()) {
+        for (size_t c = 0; c < node.stats->columns.size(); c++) {
+          const plan::ColumnStats& s = node.stats->columns[c];
+          out.cols[c].ndv = s.ndv;
+          out.cols[c].null_frac =
+              out.rows > 0 ? static_cast<double>(s.null_count) / out.rows : 0;
+          out.cols[c].has_min_max = s.has_min_max;
+          out.cols[c].min = s.min;
+          out.cols[c].max = s.max;
+        }
+      }
+      if (node.scan_predicate != nullptr) {
+        double s = EstimateSelectivity(*node.scan_predicate, out);
+        out.rows *= s;
+        for (ColEstimate& c : out.cols) c = ScaleCol(c, out.rows);
+      }
+      return out;
+    }
+    case PlanKind::kFilter: {
+      PlanEstimate in = EstimatePlan(*node.children[0]);
+      double s = node.predicate != nullptr
+                     ? EstimateSelectivity(*node.predicate, in)
+                     : 1.0;
+      out.rows = in.rows * s;
+      out.cols = std::move(in.cols);
+      for (ColEstimate& c : out.cols) c = ScaleCol(c, out.rows);
+      return out;
+    }
+    case PlanKind::kProject: {
+      PlanEstimate in = EstimatePlan(*node.children[0]);
+      out.rows = in.rows;
+      out.cols.resize(node.exprs.size());
+      for (size_t i = 0; i < node.exprs.size(); i++) {
+        if (const auto* ref =
+                dynamic_cast<const ColumnRefExpr*>(node.exprs[i].get())) {
+          if (ref->index() >= 0 &&
+              ref->index() < static_cast<int>(in.cols.size())) {
+            out.cols[i] = in.cols[ref->index()];
+          }
+        } else if (const auto* lit = dynamic_cast<const LiteralExpr*>(
+                       node.exprs[i].get())) {
+          out.cols[i].ndv = 1;
+          out.cols[i].null_frac = lit->value().is_null() ? 1.0 : 0.0;
+        }
+      }
+      return out;
+    }
+    case PlanKind::kAggregate: {
+      PlanEstimate in = EstimatePlan(*node.children[0]);
+      double groups = 1;
+      bool any_unknown = false;
+      for (const ExprPtr& key : node.group_keys) {
+        const ColEstimate* ks = KeyEstimate(in, key);
+        if (ks != nullptr && ks->ndv >= 0) {
+          groups *= std::max(1.0, ks->ndv + (ks->null_frac > 0 ? 1 : 0));
+        } else {
+          any_unknown = true;
+        }
+      }
+      if (node.group_keys.empty()) {
+        out.rows = 1;
+      } else if (any_unknown) {
+        // Square-root rule for unknown key cardinality.
+        out.rows = std::min(in.rows, std::max(groups, std::sqrt(in.rows)));
+      } else {
+        out.rows = std::min(in.rows, groups);
+      }
+      out.cols.resize(node.output_schema.num_fields());
+      for (size_t i = 0; i < node.group_keys.size(); i++) {
+        const ColEstimate* ks = KeyEstimate(in, node.group_keys[i]);
+        if (ks != nullptr) out.cols[i] = ScaleCol(*ks, out.rows);
+      }
+      return out;
+    }
+    case PlanKind::kJoin: {
+      PlanEstimate l = EstimatePlan(*node.children[0]);
+      PlanEstimate r = EstimatePlan(*node.children[1]);
+      double key_sel = 1.0;
+      for (size_t k = 0; k < node.left_keys.size(); k++) {
+        key_sel *= KeyPairSelectivity(KeyEstimate(l, node.left_keys[k]),
+                                      KeyEstimate(r, node.right_keys[k]),
+                                      l.rows, r.rows);
+      }
+      double inner = l.rows * r.rows * key_sel;
+      if (node.residual != nullptr) {
+        inner *= kDefaultSelectivity;
+      }
+      switch (node.join_type) {
+        case JoinType::kInner:
+          out.rows = inner;
+          break;
+        case JoinType::kLeftOuter:
+          out.rows = std::max(inner, l.rows);
+          break;
+        case JoinType::kLeftSemi: {
+          double match = r.rows > 0 ? std::min(1.0, inner / std::max(l.rows, 1.0))
+                                    : 0.0;
+          out.rows = l.rows * std::max(std::min(match, 1.0), 0.0);
+          break;
+        }
+        case JoinType::kLeftAnti: {
+          double match = r.rows > 0 ? std::min(1.0, inner / std::max(l.rows, 1.0))
+                                    : 0.0;
+          out.rows = l.rows * (1.0 - std::max(std::min(match, 1.0), 0.0));
+          break;
+        }
+      }
+      out.cols.reserve(node.output_schema.num_fields());
+      for (const ColEstimate& c : l.cols) out.cols.push_back(ScaleCol(c, out.rows));
+      if (node.join_type == JoinType::kInner ||
+          node.join_type == JoinType::kLeftOuter) {
+        for (const ColEstimate& c : r.cols) {
+          out.cols.push_back(ScaleCol(c, out.rows));
+        }
+      }
+      out.cols.resize(node.output_schema.num_fields());
+      return out;
+    }
+    case PlanKind::kSort: {
+      out = EstimatePlan(*node.children[0]);
+      return out;
+    }
+    case PlanKind::kLimit: {
+      out = EstimatePlan(*node.children[0]);
+      out.rows = std::min(out.rows, static_cast<double>(node.limit));
+      for (ColEstimate& c : out.cols) c = ScaleCol(c, out.rows);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace opt
+}  // namespace photon

@@ -1,0 +1,39 @@
+#ifndef PHOTON_OPT_STATS_H_
+#define PHOTON_OPT_STATS_H_
+
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace photon {
+namespace opt {
+
+/// Derived per-column estimate flowing bottom-up through EstimatePlan.
+struct ColEstimate {
+  double ndv = -1;  // estimated distinct non-null values; < 0 = unknown
+  double null_frac = 0;
+  bool has_min_max = false;
+  Value min;
+  Value max;
+};
+
+/// Derived estimate for one plan node's output.
+struct PlanEstimate {
+  double rows = 0;
+  std::vector<ColEstimate> cols;  // aligned with the node's output schema
+};
+
+/// System R-style bottom-up cardinality estimation. Leaf row counts come
+/// from the scan itself (Table::num_rows / snapshot row counts); NDV and
+/// min/max come from attached TableStats (Delta zone maps + NDV sketches
+/// for kDeltaScan, ComputeTableStats for in-memory leaves). Unknown inputs
+/// degrade to textbook default selectivities rather than failing.
+PlanEstimate EstimatePlan(const plan::PlanNode& node);
+
+/// Fraction of `input` rows satisfying `pred`, clamped to [1e-7, 1].
+double EstimateSelectivity(const Expr& pred, const PlanEstimate& input);
+
+}  // namespace opt
+}  // namespace photon
+
+#endif  // PHOTON_OPT_STATS_H_

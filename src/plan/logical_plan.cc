@@ -96,6 +96,9 @@ PlanPtr DeltaScan(ObjectStore* store, DeltaSnapshot snapshot,
   node->scan_columns = std::move(columns);
   node->scan_predicate = std::move(predicate);
   node->scan_io = io;
+  // Planning-time stats come straight from the log's zone maps and NDV
+  // sketches — no data-file reads.
+  node->stats = StatsFromSnapshot(node->snapshot, node->scan_columns);
   return node;
 }
 

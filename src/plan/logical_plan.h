@@ -10,6 +10,7 @@
 #include "ops/hash_aggregate.h"
 #include "ops/hash_join.h"
 #include "ops/sort.h"
+#include "plan/table_stats.h"
 #include "storage/delta.h"
 #include "vector/table.h"
 
@@ -75,6 +76,13 @@ struct PlanNode {
 
   // kLimit
   int64_t limit = 0;
+
+  /// Optional statistics for scan leaves, over output_schema's columns.
+  /// The DeltaScan builder fills this from the snapshot's zone maps + NDV
+  /// sketches; in-memory Scan leaves get it from the catalog path (plangen,
+  /// tests) via ComputeTableStats. Row counts alone are derivable without
+  /// it (table / snapshot row counts); this adds NDV and min/max.
+  TableStatsPtr stats;
 
   std::string ToString(int indent = 0) const;
 };

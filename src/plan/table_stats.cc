@@ -1,0 +1,90 @@
+#include "plan/table_stats.h"
+
+#include <unordered_set>
+
+namespace photon {
+namespace plan {
+
+TableStatsPtr ComputeTableStats(const Table& table) {
+  auto stats = std::make_shared<TableStats>();
+  stats->row_count = table.num_rows();
+  int num_cols = table.schema().num_fields();
+  stats->columns.resize(num_cols);
+  std::vector<std::unordered_set<uint64_t>> distinct(num_cols);
+  for (int b = 0; b < table.num_batches(); b++) {
+    const ColumnBatch& batch = table.batch(b);
+    for (int c = 0; c < num_cols; c++) {
+      ColumnStats& cs = stats->columns[c];
+      const ColumnVector& col = *batch.column(c);
+      for (int i = 0; i < batch.num_active(); i++) {
+        int row = batch.ActiveRow(i);
+        if (col.IsNull(row)) {
+          cs.null_count++;
+          continue;
+        }
+        Value v = col.GetValue(row);
+        distinct[c].insert(v.HashCode());
+        if (!cs.has_min_max) {
+          cs.min = v;
+          cs.max = v;
+          cs.has_min_max = true;
+        } else {
+          if (v.Compare(cs.min) < 0) cs.min = v;
+          if (v.Compare(cs.max) > 0) cs.max = v;
+        }
+      }
+    }
+  }
+  for (int c = 0; c < num_cols; c++) {
+    stats->columns[c].ndv = static_cast<double>(distinct[c].size());
+  }
+  return stats;
+}
+
+TableStatsPtr StatsFromSnapshot(const DeltaSnapshot& snapshot,
+                                const std::vector<int>& columns) {
+  auto stats = std::make_shared<TableStats>();
+  stats->row_count = snapshot.num_rows();
+  std::vector<int> cols = columns;
+  if (cols.empty()) {
+    for (int c = 0; c < snapshot.schema.num_fields(); c++) cols.push_back(c);
+  }
+  stats->columns.resize(cols.size());
+  std::vector<NdvSketch> sketches(cols.size());
+  std::vector<bool> any_sketch(cols.size(), false);
+  for (const DeltaFileEntry& file : snapshot.files) {
+    for (size_t out_c = 0; out_c < cols.size(); out_c++) {
+      int c = cols[out_c];
+      if (c < 0 || c >= static_cast<int>(file.column_stats.size())) continue;
+      const ColumnChunkMeta& s = file.column_stats[c];
+      ColumnStats& cs = stats->columns[out_c];
+      cs.null_count += s.null_count;
+      if (!s.ndv.empty()) {
+        sketches[out_c].Merge(s.ndv);
+        any_sketch[out_c] = true;
+      }
+      if (s.has_min_max) {
+        if (!cs.has_min_max) {
+          cs.min = s.min;
+          cs.max = s.max;
+          cs.has_min_max = true;
+        } else {
+          if (s.min.Compare(cs.min) < 0) cs.min = s.min;
+          if (s.max.Compare(cs.max) > 0) cs.max = s.max;
+        }
+      }
+    }
+  }
+  for (size_t out_c = 0; out_c < cols.size(); out_c++) {
+    ColumnStats& cs = stats->columns[out_c];
+    if (any_sketch[out_c]) {
+      cs.ndv = sketches[out_c].Estimate();
+    } else if (cs.null_count >= stats->row_count) {
+      cs.ndv = 0;  // provably all-null (or empty table)
+    }
+  }
+  return stats;
+}
+
+}  // namespace plan
+}  // namespace photon

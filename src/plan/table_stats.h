@@ -1,0 +1,48 @@
+#ifndef PHOTON_PLAN_TABLE_STATS_H_
+#define PHOTON_PLAN_TABLE_STATS_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/delta.h"
+#include "types/value.h"
+#include "vector/table.h"
+
+namespace photon {
+namespace plan {
+
+/// Per-column statistics for a scan leaf, consumed by the cost model in
+/// src/opt. All fields are estimates; `ndv < 0` means unknown.
+struct ColumnStats {
+  double ndv = -1;  // estimated distinct non-null values
+  int64_t null_count = 0;
+  bool has_min_max = false;
+  Value min;
+  Value max;
+};
+
+/// Table-level statistics attached to scan leaves. For kDeltaScan nodes the
+/// builder derives these from the snapshot's zone maps and NDV sketches;
+/// for in-memory kScan leaves the catalog path (plangen, tests, benches)
+/// attaches them explicitly via ComputeTableStats.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // one per schema field; may be empty
+};
+
+using TableStatsPtr = std::shared_ptr<const TableStats>;
+
+/// Exact statistics for an in-memory table (full scan; NDV counted from
+/// 64-bit value hashes, so collisions can undercount negligibly).
+TableStatsPtr ComputeTableStats(const Table& table);
+
+/// Statistics reconstructed from a Delta snapshot's per-file stats and NDV
+/// sketches, without reading data files. `columns` selects a projection
+/// (empty = all columns, in schema order).
+TableStatsPtr StatsFromSnapshot(const DeltaSnapshot& snapshot,
+                                const std::vector<int>& columns = {});
+
+}  // namespace plan
+}  // namespace photon
+
+#endif  // PHOTON_PLAN_TABLE_STATS_H_

@@ -158,6 +158,7 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& session) {
     ctx.reserve_timeout_ms = session->options_.reserve_timeout_ms >= 0
                                  ? session->options_.reserve_timeout_ms
                                  : options_.default_reserve_timeout_ms;
+    ctx.optimizer = session->options_.optimizer;
     Result<Table> out =
         driver.Run(session->plan_, ctx, nullptr, &session->profile_);
     session->profile_.query = session->options_.name.empty()

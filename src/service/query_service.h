@@ -61,6 +61,9 @@ struct SessionOptions {
   int64_t deadline_ms = -1;
   /// Per-query reserve timeout; `< 0` = the service default.
   int64_t reserve_timeout_ms = -1;
+  /// Run the cost-based optimizer (src/opt) over the submitted plan before
+  /// stage planning.
+  OptimizerPolicy optimizer = OptimizerPolicy::kOff;
 };
 
 /// Lifecycle of one submitted query.

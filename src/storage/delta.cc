@@ -36,6 +36,7 @@ void WriteAddFileAction(const DeltaFileEntry& entry, const Schema& schema,
       WriteTypedValue(schema.field(static_cast<int>(c)).type, s.min, out);
       WriteTypedValue(schema.field(static_cast<int>(c)).type, s.max, out);
     }
+    s.ndv.Serialize(out);
   }
 }
 
@@ -46,6 +47,7 @@ std::vector<ColumnChunkMeta> AggregateStats(const FileMeta& meta) {
     for (size_t c = 0; c < rg.columns.size(); c++) {
       const ColumnChunkMeta& chunk = rg.columns[c];
       out[c].null_count += chunk.null_count;
+      out[c].ndv.Merge(chunk.ndv);
       if (chunk.has_min_max) {
         if (!out[c].has_min_max) {
           out[c].min = chunk.min;
@@ -183,6 +185,7 @@ Result<DeltaSnapshot> DeltaTable::Snapshot(int64_t version) const {
               PHOTON_RETURN_NOT_OK(ReadTypedValue(type, &reader, &s.min));
               PHOTON_RETURN_NOT_OK(ReadTypedValue(type, &reader, &s.max));
             }
+            PHOTON_RETURN_NOT_OK(NdvSketch::Deserialize(&reader, &s.ndv));
             entry.column_stats.push_back(std::move(s));
           }
           files.push_back(std::move(entry));

@@ -152,6 +152,7 @@ void WriteFileMeta(const FileMeta& meta, BinaryWriter* out) {
         WriteTypedValue(type, chunk.min, out);
         WriteTypedValue(type, chunk.max, out);
       }
+      chunk.ndv.Serialize(out);
     }
   }
 }
@@ -203,6 +204,7 @@ Status ReadFileMeta(BinaryReader* in, FileMeta* out) {
         PHOTON_RETURN_NOT_OK(
             ReadTypedValue(schema.field(c).type, in, &chunk.max));
       }
+      PHOTON_RETURN_NOT_OK(NdvSketch::Deserialize(in, &chunk.ndv));
       rg.columns.push_back(std::move(chunk));
     }
     out->row_groups.push_back(std::move(rg));
@@ -300,6 +302,12 @@ void ComputeStats(const ColumnVector& col, int n, ColumnChunkMeta* meta) {
   if (has) {
     meta->min = min;
     meta->max = max;
+  }
+  // Distinct-value sketch over the non-null values. Boxed hashing is fine
+  // here: this runs once per chunk at write time, off the query path.
+  for (int i = 0; i < n; i++) {
+    if (nulls[i]) continue;
+    meta->ndv.Add(col.GetValue(i).HashCode());
   }
 }
 

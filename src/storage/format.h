@@ -8,6 +8,7 @@
 
 #include "common/byte_buffer.h"
 #include "storage/compress.h"
+#include "storage/ndv_sketch.h"
 #include "storage/object_store.h"
 #include "types/value.h"
 #include "vector/table.h"
@@ -36,6 +37,9 @@ struct ColumnChunkMeta {
   bool has_min_max = false;
   Value min;
   Value max;
+  /// Distinct-value sketch over the chunk's non-null values, collected at
+  /// write time and merged per file for the optimizer's cardinality model.
+  NdvSketch ndv;
 };
 
 struct RowGroupMeta {

@@ -1,0 +1,70 @@
+#include "storage/ndv_sketch.h"
+
+#include <cmath>
+
+namespace photon {
+
+void NdvSketch::Add(uint64_t hash) {
+  // High bits pick the register; the rank is the position of the first set
+  // bit in the remaining stream (1-based), capped by the stream width.
+  uint32_t idx = static_cast<uint32_t>(hash >> (64 - kRegisterBits));
+  uint64_t rest = hash << kRegisterBits;
+  uint8_t rank = rest == 0
+                     ? static_cast<uint8_t>(64 - kRegisterBits + 1)
+                     : static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  if (rank > regs_[idx]) regs_[idx] = rank;
+}
+
+void NdvSketch::Merge(const NdvSketch& other) {
+  for (int i = 0; i < kNumRegisters; i++) {
+    if (other.regs_[i] > regs_[i]) regs_[i] = other.regs_[i];
+  }
+}
+
+bool NdvSketch::empty() const {
+  for (int i = 0; i < kNumRegisters; i++) {
+    if (regs_[i] != 0) return false;
+  }
+  return true;
+}
+
+double NdvSketch::Estimate() const {
+  constexpr double m = kNumRegisters;
+  // alpha_m for m >= 128.
+  constexpr double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double inv_sum = 0;
+  int zeros = 0;
+  for (int i = 0; i < kNumRegisters; i++) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(regs_[i]));
+    if (regs_[i] == 0) zeros++;
+  }
+  if (zeros == kNumRegisters) return 0;
+  double estimate = alpha * m * m / inv_sum;
+  // Linear counting handles the small range where raw HLL is biased.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void NdvSketch::Serialize(BinaryWriter* out) const {
+  if (empty()) {
+    out->WriteU8(0);
+    return;
+  }
+  out->WriteU8(1);
+  out->Append(regs_.data(), regs_.size());
+}
+
+Status NdvSketch::Deserialize(BinaryReader* in, NdvSketch* out) {
+  uint8_t has = 0;
+  PHOTON_RETURN_NOT_OK(in->ReadU8(&has));
+  *out = NdvSketch();
+  if (has == 0) return Status::OK();
+  const uint8_t* span = nullptr;
+  PHOTON_RETURN_NOT_OK(in->ReadSpan(kNumRegisters, &span));
+  for (int i = 0; i < kNumRegisters; i++) out->regs_[i] = span[i];
+  return Status::OK();
+}
+
+}  // namespace photon

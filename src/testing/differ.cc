@@ -12,6 +12,7 @@
 #include "sql/analyzer.h"
 #include "sql/catalog.h"
 #include "sql/printer.h"
+#include "testing/sql_mutator.h"
 
 namespace photon {
 namespace testing {
@@ -99,6 +100,46 @@ ModeResult RunBaseline(const plan::PlanPtr& p, plan::BaselineJoinImpl impl,
   }
   mode.rows = Canonicalize(*t);
   return mode;
+}
+
+/// True when a plan's canonicalized result is engine-deterministic, so two
+/// runs may be diffed cell-by-cell. Generated plans satisfy this by
+/// construction (plangen), but mode 9's mutated SQL can legally express
+/// order-sensitive shapes: collect_list downstream of a join, float
+/// sum/avg (non-associative accumulation), or LIMIT without a total sort
+/// underneath. Those mutants still run (crash-freedom is the property) but
+/// skip the comparison.
+bool ResultIsDeterministic(const plan::PlanPtr& p) {
+  if (p->kind == plan::PlanKind::kAggregate) {
+    for (const AggregateSpec& agg : p->aggregates) {
+      if (agg.kind == AggKind::kCollectList) return false;
+      if ((agg.kind == AggKind::kSum || agg.kind == AggKind::kAvg) &&
+          agg.arg != nullptr && agg.arg->type().id() == TypeId::kFloat64) {
+        return false;
+      }
+    }
+  }
+  if (p->kind == plan::PlanKind::kLimit) {
+    const plan::PlanPtr& child = p->children[0];
+    if (child->kind != plan::PlanKind::kSort) return false;
+    // Total sort: plain column keys covering every output column.
+    std::vector<bool> covered(child->output_schema.num_fields(), false);
+    for (const SortKey& k : child->sort_keys) {
+      const auto* col = dynamic_cast<const ColumnRefExpr*>(k.expr.get());
+      if (col == nullptr) continue;
+      if (col->index() >= 0 &&
+          col->index() < static_cast<int>(covered.size())) {
+        covered[col->index()] = true;
+      }
+    }
+    for (bool c : covered) {
+      if (!c) return false;
+    }
+  }
+  for (const plan::PlanPtr& child : p->children) {
+    if (!ResultIsDeterministic(child)) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -202,15 +243,12 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
     modes.push_back(std::move(mode));
   }
 
-  {  // Mode 7: SQL round trip — pretty-print the plan, re-parse and
-    // re-analyze it, require a structurally identical plan (by
-    // fingerprint), then execute the round-tripped plan.
-    ModeResult mode;
-    mode.label = "sql/round-trip";
-    sql::Catalog catalog;
+  // Leaf catalog shared by the SQL-based modes (7 and 9): register every
+  // distinct leaf node so printed SQL can name it and re-analyzed plans
+  // reuse the identical Table* / snapshot.
+  sql::Catalog catalog;
+  {
     int next_source = 0;
-    // Register every distinct leaf node so the printed SQL can name it and
-    // the re-analyzed plan reuses the identical Table* / snapshot.
     const std::function<void(const plan::PlanPtr&)> collect =
         [&](const plan::PlanPtr& node) {
           if (node->kind == plan::PlanKind::kScan ||
@@ -223,7 +261,14 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
           for (const plan::PlanPtr& child : node->children) collect(child);
         };
     collect(p);
-    Result<std::string> sql_text = sql::PlanToSql(p, catalog);
+  }
+  Result<std::string> sql_text = sql::PlanToSql(p, catalog);
+
+  {  // Mode 7: SQL round trip — pretty-print the plan, re-parse and
+    // re-analyze it, require a structurally identical plan (by
+    // fingerprint), then execute the round-tripped plan.
+    ModeResult mode;
+    mode.label = "sql/round-trip";
     if (!sql_text.ok()) {
       mode.status = sql_text.status();
     } else {
@@ -251,6 +296,35 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
     modes.push_back(std::move(mode));
   }
 
+  // Mode 8: cost-based optimizer on. The optimizer rewrites the plan
+  // (pushdown, semi-join sinking, join reordering, scan pruning) before
+  // execution; the rewritten plan must still produce the oracle's rows,
+  // single-task and morsel-parallel.
+  {
+    struct OptMode {
+      bool parallel;
+      const char* label;
+    };
+    constexpr OptMode kOptModes[] = {
+        {false, "photon/opt-1task"},
+        {true, "photon/opt-parallel"},
+    };
+    for (const OptMode& om : kOptModes) {
+      ModeResult mode;
+      mode.label = om.label;
+      ExecContext ctx;
+      ctx.optimizer = OptimizerPolicy::kOn;
+      Result<Table> t = om.parallel ? driver->Run(p, ctx)
+                                    : driver->RunSingleTask(p, ctx);
+      if (!t.ok()) {
+        mode.status = t.status();
+      } else {
+        mode.rows = Canonicalize(*t);
+      }
+      modes.push_back(std::move(mode));
+    }
+  }
+
   for (const ModeResult& mode : modes) {
     if (mode.skipped) continue;
     if (!mode.status.ok()) {
@@ -262,6 +336,58 @@ std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
     if (!diff.empty()) {
       return mode.label + " diverges from baseline: " + diff + "\nplan:\n" +
              p->ToString();
+    }
+  }
+
+  // Mode 9: generative SQL fuzzing. Mutants of the printed SQL define new
+  // (usually invalid) queries; the invariant is parse-error-or-agree:
+  // every mutant must either fail to compile with a clean error, or — if
+  // it compiles — execute identically on the baseline, Photon, and Photon
+  // with the optimizer on. No mode may crash regardless.
+  if (opts.sql_mutants > 0 && sql_text.ok()) {
+    for (int m = 0; m < opts.sql_mutants; m++) {
+      uint64_t seed = opts.mutant_seed * 1000003ULL +
+                      static_cast<uint64_t>(m) * 2654435761ULL;
+      int edits = 1 + static_cast<int>(seed % 3);
+      std::string mutated = MutateSql(*sql_text, seed, edits);
+      Result<plan::PlanPtr> compiled = sql::CompileSql(mutated, catalog);
+      if (!compiled.ok()) continue;  // clean parse/analyze error = pass
+      const plan::PlanPtr& mp = *compiled;
+
+      ModeResult mutant_oracle = RunBaseline(
+          mp, plan::BaselineJoinImpl::kSortMerge, "mutant/baseline");
+      Result<Table> photon_off = driver->RunSingleTask(mp);
+      ExecContext opt_ctx;
+      opt_ctx.optimizer = OptimizerPolicy::kOn;
+      Result<Table> photon_on = driver->RunSingleTask(mp, opt_ctx);
+
+      // A mutant may legitimately fail at runtime (overflow, bad cast);
+      // only a baseline success obligates the Photon runs to agree.
+      if (!mutant_oracle.status.ok()) continue;
+      std::string prefix = "sql-mutant " + std::to_string(m) + " (seed " +
+                           std::to_string(seed) + ")";
+      std::string context =
+          "\noriginal sql: " + *sql_text + "\nmutated sql:  " + mutated;
+      if (!photon_off.ok()) {
+        return prefix + ": photon failed where baseline succeeded: " +
+               photon_off.status().ToString() + context;
+      }
+      if (!photon_on.ok()) {
+        return prefix + ": photon/opt failed where baseline succeeded: " +
+               photon_on.status().ToString() + context;
+      }
+      if (!ResultIsDeterministic(mp)) continue;  // ran crash-free; no diff
+      std::string diff =
+          DiffCanonical(mutant_oracle.rows, Canonicalize(*photon_off),
+                        "mutant/baseline", "mutant/photon");
+      if (diff.empty()) {
+        diff = DiffCanonical(mutant_oracle.rows, Canonicalize(*photon_on),
+                             "mutant/baseline", "mutant/photon-opt");
+      }
+      if (!diff.empty()) {
+        return prefix + " diverges: " + diff + context + "\nmutant plan:\n" +
+               mp->ToString();
+      }
     }
   }
   return "";

@@ -35,18 +35,29 @@ struct DifferentialOptions {
   ObjectStore* fault_store = nullptr;
   /// Unique-per-call spill key prefix (cleaned up afterwards).
   std::string spill_prefix = "fuzz-spill";
+  /// Mode 9: number of generative SQL mutants derived from the plan's
+  /// printed SQL (0 = off). Each mutant must either fail to compile
+  /// cleanly or execute identically across baseline, Photon, and Photon
+  /// with the optimizer on.
+  int sql_mutants = 0;
+  /// Seed for mutant generation; combine with the fuzz seed so corpora
+  /// stay replayable.
+  uint64_t mutant_seed = 0;
 };
 
-/// Runs `p` seven ways — baseline row engine (both join impls), Photon
-/// single-task, Photon morsel-parallel at `num_threads`, Photon under a
-/// tiny memory budget with injected scan faults, and Photon once per
-/// forced expression tier (tree-only / fused interpreter / compiled
-/// kernels, mode 6) — and diffs the canonicalized results cell-by-cell.
+/// Runs `p` through every differential mode — baseline row engine (both
+/// join impls), Photon single-task, Photon morsel-parallel at
+/// `num_threads`, Photon under a tiny memory budget with injected scan
+/// faults, Photon once per forced expression tier (tree-only / fused
+/// interpreter / compiled kernels, mode 6), a SQL print→parse round trip
+/// (mode 7), the cost-based optimizer single-task and parallel (mode 8),
+/// and optional generative SQL mutants (mode 9) — and diffs the
+/// canonicalized results cell-by-cell.
 /// Returns "" when all modes agree, else a report naming the diverging
 /// mode and first differing cell. Engine errors (compile or execution)
 /// are reported as divergences too, except that mode 4 skips plans whose
 /// build sides genuinely cannot fit the budget (OutOfMemory after
-/// retries).
+/// retries) and mode 9 treats a mutant's compile error as a pass.
 std::string RunDifferential(const plan::PlanPtr& p, exec::Driver* driver,
                             const DifferentialOptions& opts);
 

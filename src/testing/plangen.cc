@@ -182,7 +182,11 @@ plan::PlanPtr PlanGen::RandomSource() {
     }
     return scan;
   }
-  return plan::Scan(input->table);
+  plan::PlanPtr scan = plan::Scan(input->table);
+  plan::TableStatsPtr& stats = stats_cache_[input->table];
+  if (stats == nullptr) stats = plan::ComputeTableStats(*input->table);
+  scan->stats = stats;
+  return scan;
 }
 
 plan::PlanPtr PlanGen::RandomUnaryChain(plan::PlanPtr p, int max_ops) {

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -61,6 +62,10 @@ class PlanGen {
 
   Rng rng_;
   std::vector<const FuzzInput*> inputs_;
+  /// Exact TableStats per in-memory input, computed on first scan so every
+  /// generated kScan leaf carries statistics for the cost-based optimizer
+  /// (Delta leaves get theirs from the snapshot inside plan::DeltaScan).
+  std::unordered_map<const Table*, plan::TableStatsPtr> stats_cache_;
   /// Monotonic suffix for generated column names, so projections, group
   /// keys, and agg outputs never collide across join sides.
   int64_t name_seq_ = 0;

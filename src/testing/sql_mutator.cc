@@ -1,0 +1,199 @@
+#include "testing/sql_mutator.h"
+
+#include <cctype>
+
+#include "common/rng.h"
+
+namespace photon {
+namespace testing {
+
+std::vector<std::string> TokenizeSql(const std::string& sql) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    if (c == '\'') {
+      // String literal; '' is the escaped quote.
+      size_t j = i + 1;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            j += 2;
+            continue;
+          }
+          j++;
+          break;
+        }
+        j++;
+      }
+      tokens.push_back(sql.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_' || sql[j] == '.')) {
+        j++;
+      }
+      tokens.push_back(sql.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        j++;
+      }
+      tokens.push_back(sql.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    // Multi-char operators the grammar knows; else one char of punctuation.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "||") {
+        tokens.push_back(two);
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back(std::string(1, c));
+    i++;
+  }
+  return tokens;
+}
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; i++) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+bool IsComparisonOp(const std::string& t) {
+  return t == "=" || t == "<" || t == "<=" || t == ">" || t == ">=" ||
+         t == "<>";
+}
+
+bool IsNumber(const std::string& t) {
+  return !t.empty() && std::isdigit(static_cast<unsigned char>(t[0]));
+}
+
+/// Index of the ')' matching tokens[open], or -1.
+int MatchingParen(const std::vector<std::string>& tokens, int open) {
+  int depth = 0;
+  for (int i = open; i < static_cast<int>(tokens.size()); i++) {
+    if (tokens[i] == "(") depth++;
+    if (tokens[i] == ")") {
+      depth--;
+      if (depth == 0) return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string MutateSql(const std::string& sql, uint64_t seed, int edits) {
+  std::vector<std::string> tokens = TokenizeSql(sql);
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+
+  static const char* kCmpOps[] = {"=", "<", "<=", ">", ">=", "<>"};
+
+  for (int e = 0; e < edits && tokens.size() >= 2; e++) {
+    // Each attempt picks a kind, then a position; inapplicable picks retry
+    // so short inputs still mutate.
+    bool applied = false;
+    for (int attempt = 0; attempt < 12 && !applied; attempt++) {
+      int kind = static_cast<int>(rng.Uniform(0, 6));
+      int n = static_cast<int>(tokens.size());
+      int pos = static_cast<int>(rng.Uniform(0, n - 1));
+      switch (kind) {
+        case 0: {  // comparison-operator substitution
+          if (!IsComparisonOp(tokens[pos])) break;
+          std::string repl = kCmpOps[rng.Uniform(0, 5)];
+          if (repl == tokens[pos]) break;
+          tokens[pos] = repl;
+          applied = true;
+          break;
+        }
+        case 1: {  // AND <-> OR
+          if (EqualsIgnoreCase(tokens[pos], "AND")) {
+            tokens[pos] = "OR";
+            applied = true;
+          } else if (EqualsIgnoreCase(tokens[pos], "OR")) {
+            tokens[pos] = "AND";
+            applied = true;
+          }
+          break;
+        }
+        case 2: {  // matched-paren deletion: the precedence trap
+          if (tokens[pos] != "(") break;
+          int close = MatchingParen(tokens, pos);
+          if (close < 0) break;
+          tokens.erase(tokens.begin() + close);
+          tokens.erase(tokens.begin() + pos);
+          applied = true;
+          break;
+        }
+        case 3: {  // adjacent-token swap (clause / operand reshuffle)
+          if (pos + 1 >= n) break;
+          if (tokens[pos] == tokens[pos + 1]) break;
+          std::swap(tokens[pos], tokens[pos + 1]);
+          applied = true;
+          break;
+        }
+        case 4: {  // numeric-literal perturbation
+          if (!IsNumber(tokens[pos])) break;
+          switch (rng.Uniform(0, 2)) {
+            case 0:
+              tokens[pos] += "0";
+              break;
+            case 1:
+              tokens[pos] = "0";
+              break;
+            default:
+              tokens[pos] = "1" + tokens[pos];
+              break;
+          }
+          applied = true;
+          break;
+        }
+        case 5: {  // token duplication
+          tokens.insert(tokens.begin() + pos, tokens[pos]);
+          applied = true;
+          break;
+        }
+        default: {  // token deletion
+          tokens.erase(tokens.begin() + pos);
+          applied = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); i++) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace photon

@@ -1,0 +1,30 @@
+#ifndef PHOTON_TESTING_SQL_MUTATOR_H_
+#define PHOTON_TESTING_SQL_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace photon {
+namespace testing {
+
+/// Lexes `sql` into the token stream the mutator edits: string literals
+/// ('...'), numbers, identifiers/keywords, and multi-char operators each
+/// come out as one token. Exposed for tests; MutateSql wraps it.
+std::vector<std::string> TokenizeSql(const std::string& sql);
+
+/// Generative SQL fuzzing (differ mode 9): applies `edits` seeded
+/// token-level mutations to printer-emitted SQL and rejoins the tokens.
+/// Edit kinds: comparison-operator substitution (= → <, >= → <, ...),
+/// AND/OR swaps, matched-paren deletion (precedence traps), adjacent-token
+/// swaps (clause reshuffles), numeric-literal perturbation, token
+/// duplication, and token deletion. The result is often invalid SQL —
+/// the invariant the caller enforces is parse-error-or-agree, never that
+/// the mutant means what the original meant. Deterministic in (sql, seed,
+/// edits).
+std::string MutateSql(const std::string& sql, uint64_t seed, int edits);
+
+}  // namespace testing
+}  // namespace photon
+
+#endif  // PHOTON_TESTING_SQL_MUTATOR_H_

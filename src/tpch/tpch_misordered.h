@@ -1,0 +1,24 @@
+#ifndef PHOTON_TPCH_TPCH_MISORDERED_H_
+#define PHOTON_TPCH_TPCH_MISORDERED_H_
+
+#include "plan/logical_plan.h"
+#include "tpch/tpch_gen.h"
+
+namespace photon {
+namespace tpch {
+
+/// Deliberately pessimal — but semantically equivalent — plans for TPC-H
+/// Q3, Q5, Q9, and Q10: every selective filter is hoisted to the top of
+/// the join tree, lineitem (the largest input) is placed on hash-join
+/// build sides, and the semi-join reducers run last instead of first.
+/// They are the recovery benchmark for the cost-based optimizer
+/// (src/opt): running one of these with the optimizer on must produce
+/// checksum-identical rows to the hand-ordered TpchQuery plan, roughly as
+/// fast; running it with the optimizer off shows the slowdown a naive
+/// planner would eat. Supported q values: 3, 5, 9, 10.
+Result<plan::PlanPtr> TpchMisorderedQuery(int q, const TpchData& data);
+
+}  // namespace tpch
+}  // namespace photon
+
+#endif  // PHOTON_TPCH_TPCH_MISORDERED_H_

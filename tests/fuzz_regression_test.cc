@@ -226,6 +226,33 @@ TEST(FuzzRegressionTest, LimitExactRowCountAtAllThreadCounts) {
   }
 }
 
+// Fuzz seed 13 (differ mode 8, optimizer-on vs oracle): the optimizer
+// pushed a constant-false filter below a zero-key aggregate. A scalar
+// aggregate emits exactly one row even over empty input, so filtering
+// before it yields 1 row where the unoptimized plan yields 0. No
+// predicate — not even a constant — may sink past a zero-key aggregate.
+TEST(FuzzRegressionTest, ConstantFilterMustNotSinkBelowScalarAggregate) {
+  Table t = MakeKv({{1, 10}, {2, 20}, {3, 30}}, "k", "v");
+  PlanPtr p = plan::Scan(&t);
+  p = plan::Aggregate(
+      p, {}, {},
+      {AggregateSpec{AggKind::kCountStar, nullptr, "c"},
+       AggregateSpec{AggKind::kSum, eb::Col(1, DataType::Int64(), "v"), "s"},
+       AggregateSpec{AggKind::kMin, eb::Col(0, DataType::Int64(), "k"), "m"}});
+  // Constant-false: -26752 BETWEEN 108 AND 305 (from the minimized plan).
+  p = plan::Filter(p, eb::Between(Lit(int64_t{-26752}), Lit(int64_t{108}),
+                                  Lit(int64_t{305})));
+
+  ExecContext opt_on;
+  opt_on.optimizer = OptimizerPolicy::kOn;
+  Result<Table> photon = SharedDriver()->RunSingleTask(p, opt_on);
+  ASSERT_TRUE(photon.ok()) << photon.status().ToString();
+  EXPECT_EQ(photon->num_rows(), 0)
+      << "constant filter leaked below the scalar aggregate";
+
+  ExpectAllModesAgree(p);
+}
+
 // With a total sort underneath, Limit is fully deterministic: identical
 // content at every thread count and across engines.
 TEST(FuzzRegressionTest, LimitAboveTotalSortIsDeterministic) {

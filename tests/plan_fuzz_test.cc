@@ -52,6 +52,10 @@ std::string RunSeed(uint64_t seed, int rounds, photon::exec::Driver* driver) {
   pt::DifferentialOptions opts;
   opts.fault_store = &store;
   opts.spill_prefix = "fuzz-spill/" + std::to_string(seed);
+  // Mode 9: three generative SQL mutants per plan, seeded by the fuzz seed
+  // so every finding replays from the seed alone.
+  opts.sql_mutants = 3;
+  opts.mutant_seed = seed;
 
   for (int round = 0; round < rounds; round++) {
     photon::plan::PlanPtr p = plangen.RandomPlan();
