@@ -18,10 +18,13 @@
 #include <string>
 #include <vector>
 
+#include "exec/dml.h"
 #include "obs/profile.h"
 #include "plan/logical_plan.h"
 #include "service/query_service.h"
 #include "sql/analyzer.h"
+#include "storage/delta.h"
+#include "storage/object_store.h"
 #include "tpch/tpch_gen.h"
 #include "tpch/tpch_sql.h"
 
@@ -57,6 +60,28 @@ void PrintTable(const Table& t) {
   }
 }
 
+Table KvDemoTable(int64_t begin, int64_t end) {
+  TableBuilder b(Schema({Field("id", DataType::Int64()),
+                         Field("val", DataType::Int64())}));
+  for (int64_t i = begin; i < end; i++) {
+    b.AppendRow({Value::Int64(i), Value::Int64(i * 10)});
+  }
+  return b.Finish();
+}
+
+Table DmlSummary(sql::StatementKind kind, const dml::DmlResult& r) {
+  TableBuilder b(Schema({Field("version", DataType::Int64()),
+                         Field("rows_affected", DataType::Int64()),
+                         Field("rows_inserted", DataType::Int64()),
+                         Field("files_rewritten", DataType::Int64()),
+                         Field("conflicts_retried", DataType::Int64())}));
+  (void)kind;
+  b.AppendRow({Value::Int64(r.version), Value::Int64(r.rows_affected),
+               Value::Int64(r.rows_inserted), Value::Int64(r.files_rewritten),
+               Value::Int64(r.conflicts_retried)});
+  return b.Finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,11 +101,36 @@ int main(int argc, char** argv) {
   std::printf("generating TPC-H data at SF=%.3f...\n", sf);
   tpch::TpchData data = tpch::GenerateTpch(sf);
   sql::Catalog catalog = tpch::TpchCatalog(data);
+
+  // A writable delta-backed demo table: DML (DELETE/UPDATE/MERGE) and
+  // `kv VERSION AS OF n` time travel both work against it.
+  ObjectStore store;
+  auto created = DeltaTable::Create(
+      &store, "lake/kv",
+      Schema({Field("id", DataType::Int64()), Field("val", DataType::Int64())}));
+  if (!created.ok()) {
+    std::printf("error: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<DeltaTable> kv = std::move(*created);
+  for (int64_t base = 0; base < 100; base += 25) {
+    if (auto v = kv->Append(KvDemoTable(base, base + 25)); !v.ok()) {
+      std::printf("error: %s\n", v.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = catalog.RegisterDeltaTable("kv", kv.get()); !s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
   std::printf("tables:");
   for (const std::string& name : catalog.names()) {
     std::printf(" %s", name.c_str());
   }
-  std::printf("\ntype SQL terminated by ';' (Ctrl-D to exit)\n");
+  std::printf(
+      "\n'kv' is delta-backed: DELETE/UPDATE/MERGE and VERSION AS OF work\n"
+      "type SQL terminated by ';' (Ctrl-D to exit)\n");
 
   service::QueryService svc;
   std::string stmt;
@@ -100,13 +150,45 @@ int main(int argc, char** argv) {
     stmt.clear();
 
     if (sql_text.find_first_not_of(" \t\r\n") != std::string::npos) {
-      Result<plan::PlanPtr> plan = sql::CompileSql(sql_text, catalog);
-      if (!plan.ok()) {
-        std::printf("error: %s\n", plan.status().ToString().c_str());
+      Result<sql::CompiledStatement> compiled =
+          sql::CompileStatement(sql_text, catalog);
+      if (!compiled.ok()) {
+        std::printf("error: %s\n", compiled.status().ToString().c_str());
       } else {
         service::SessionOptions options;
         if (optimize) options.optimizer = OptimizerPolicy::kOn;
-        auto session = svc.Submit(*plan, options);
+        const sql::StatementKind kind = compiled->kind;
+        std::shared_ptr<service::QuerySession> session;
+        if (kind == sql::StatementKind::kSelect) {
+          session = svc.Submit(compiled->plan, options);
+        } else {
+          // DML runs as a write session: the executor stages rewritten
+          // files, commits optimistically, and retries on conflict.
+          sql::CompiledStatement stmt = *std::move(compiled);
+          session = svc.SubmitWrite(
+              [stmt](exec::Driver* driver,
+                     const ExecContext& ctx) -> Result<Table> {
+                dml::DmlOptions dml_options;
+                dml_options.io = stmt.io;
+                Result<dml::DmlResult> r = [&] {
+                  switch (stmt.kind) {
+                    case sql::StatementKind::kDelete:
+                      return dml::ExecuteDelete(stmt.table, stmt.predicate,
+                                                driver, ctx, dml_options);
+                    case sql::StatementKind::kUpdate:
+                      return dml::ExecuteUpdate(stmt.table, stmt.assignments,
+                                                stmt.predicate, driver, ctx,
+                                                dml_options);
+                    default:
+                      return dml::ExecuteMerge(stmt.table, stmt.merge,
+                                               driver, ctx, dml_options);
+                  }
+                }();
+                if (!r.ok()) return r.status();
+                return DmlSummary(stmt.kind, *r);
+              },
+              options);
+        }
         Status st = session->Wait();
         if (!st.ok()) {
           std::printf("error: %s\n", st.ToString().c_str());
@@ -117,6 +199,10 @@ int main(int argc, char** argv) {
             std::printf("\nprofile (%d threads, %.2fms):\n",
                         prof.num_threads, prof.wall_ns / 1e6);
             PrintProfileNode(prof.root, 1);
+          }
+          // Advance the registered read snapshot past any DML commit.
+          if (kind != sql::StatementKind::kSelect) {
+            (void)catalog.RegisterDeltaTable("kv", kv.get());
           }
         }
       }

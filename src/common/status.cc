@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kCommitConflict:
+      return "CommitConflict";
   }
   return "Unknown";
 }

@@ -19,6 +19,10 @@ enum class StatusCode : int {
   kKeyError = 6,
   kCancelled = 7,
   kDeadlineExceeded = 8,
+  /// An optimistic commit lost to a conflicting concurrent transaction
+  /// (Delta log read-set validation failed). Retryable by re-reading the
+  /// table and re-deriving the write — never by blindly re-putting.
+  kCommitConflict = 9,
 };
 
 /// A cheap, movable success-or-error value. OK status carries no allocation.
@@ -66,6 +70,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status CommitConflict(std::string msg) {
+    return Status(StatusCode::kCommitConflict, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -87,6 +94,9 @@ class Status {
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCommitConflict() const {
+    return code() == StatusCode::kCommitConflict;
   }
 
   std::string ToString() const;

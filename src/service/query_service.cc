@@ -45,10 +45,11 @@ const char* SessionStateName(SessionState s) {
 // QuerySession
 // ---------------------------------------------------------------------------
 
-QuerySession::QuerySession(int64_t id, plan::PlanPtr plan,
+QuerySession::QuerySession(int64_t id, plan::PlanPtr plan, WriteFn write_fn,
                            SessionOptions options)
     : id_(id),
       plan_(std::move(plan)),
+      write_fn_(std::move(write_fn)),
       options_(std::move(options)),
       spill_prefix_("service/q" + std::to_string(id)) {}
 
@@ -110,10 +111,22 @@ QueryService::~QueryService() { Drain(); }
 std::shared_ptr<QuerySession> QueryService::Submit(plan::PlanPtr plan,
                                                    SessionOptions options) {
   PHOTON_CHECK(plan != nullptr);
+  return Launch(std::move(plan), WriteFn(), std::move(options));
+}
+
+std::shared_ptr<QuerySession> QueryService::SubmitWrite(
+    WriteFn fn, SessionOptions options) {
+  PHOTON_CHECK(fn != nullptr);
+  return Launch(nullptr, std::move(fn), std::move(options));
+}
+
+std::shared_ptr<QuerySession> QueryService::Launch(plan::PlanPtr plan,
+                                                   WriteFn write_fn,
+                                                   SessionOptions options) {
   int64_t id = g_next_session_id.fetch_add(1, std::memory_order_relaxed);
   // Bare new: the constructor is private to QuerySession's friends.
-  std::shared_ptr<QuerySession> session(
-      new QuerySession(id, std::move(plan), std::move(options)));
+  std::shared_ptr<QuerySession> session(new QuerySession(
+      id, std::move(plan), std::move(write_fn), std::move(options)));
   // Deadline starts at submission so queue time counts against it: a
   // deadline is a promise to the caller, and the caller doesn't care
   // whether the time went to queueing or running.
@@ -160,7 +173,9 @@ void QueryService::RunSession(const std::shared_ptr<QuerySession>& session) {
                                  : options_.default_reserve_timeout_ms;
     ctx.optimizer = session->options_.optimizer;
     Result<Table> out =
-        driver.Run(session->plan_, ctx, nullptr, &session->profile_);
+        session->write_fn_
+            ? session->write_fn_(&driver, ctx)
+            : driver.Run(session->plan_, ctx, nullptr, &session->profile_);
     session->profile_.query = session->options_.name.empty()
                                   ? "q" + std::to_string(session->id_)
                                   : session->options_.name;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,6 +23,10 @@
 #include "vector/table.h"
 
 namespace photon {
+namespace exec {
+class Driver;
+}  // namespace exec
+
 namespace service {
 
 /// Sizing and limits for one QueryService instance. Both pool sizes are
@@ -65,6 +70,17 @@ struct SessionOptions {
   /// stage planning.
   OptimizerPolicy optimizer = OptimizerPolicy::kOff;
 };
+
+/// Body of a write-transaction session (SubmitWrite): runs on the
+/// session's control thread with a service-mode driver (morsel tasks on
+/// the shared scheduler) and the session's ExecContext — so DML inherits
+/// admission, the shared memory pool, and cancellation exactly like a
+/// read query. The body owns its transactional cleanup: on error or
+/// cancellation it must release any data files it staged before
+/// returning (the dml executors do). Returns a result table (e.g. a DML
+/// summary row) published as the session's table().
+using WriteFn =
+    std::function<Result<Table>(exec::Driver* driver, const ExecContext&)>;
 
 /// Lifecycle of one submitted query.
 enum class SessionState {
@@ -113,7 +129,8 @@ class QuerySession {
 
  private:
   friend class QueryService;
-  QuerySession(int64_t id, plan::PlanPtr plan, SessionOptions options);
+  QuerySession(int64_t id, plan::PlanPtr plan, WriteFn write_fn,
+               SessionOptions options);
 
   void Finish(SessionState state, Status status, Table table);
   /// Joins the session thread (idempotent). Called by the service's
@@ -121,7 +138,9 @@ class QuerySession {
   void JoinThread();
 
   const int64_t id_;
+  /// Exactly one of plan_ / write_fn_ is set.
   const plan::PlanPtr plan_;
+  const WriteFn write_fn_;
   const SessionOptions options_;
   const std::string spill_prefix_;
   QueryControl control_;
@@ -168,6 +187,15 @@ class QueryService {
   std::shared_ptr<QuerySession> Submit(plan::PlanPtr plan,
                                        SessionOptions options = {});
 
+  /// Submits a write transaction (DML, compaction): `fn` runs on the
+  /// session's control thread after admission, with a service-mode driver
+  /// and the session's ExecContext (memory, cancellation, optimizer
+  /// policy). Writers queue, cancel, and share workers exactly like
+  /// queries; a cancelled writer's staged files are released by the DML
+  /// executors' own unwind before the terminal state is published.
+  std::shared_ptr<QuerySession> SubmitWrite(WriteFn fn,
+                                            SessionOptions options = {});
+
   /// Blocks until every session submitted so far is terminal.
   void Drain();
 
@@ -187,6 +215,8 @@ class QueryService {
   const ServiceOptions& options() const { return options_; }
 
  private:
+  std::shared_ptr<QuerySession> Launch(plan::PlanPtr plan, WriteFn write_fn,
+                                       SessionOptions options);
   void RunSession(const std::shared_ptr<QuerySession>& session);
 
   const ServiceOptions options_;

@@ -220,7 +220,28 @@ class Analyzer {
 
   Result<Lowered> LowerQuery(const SelectStmt& stmt, int qdepth);
 
+  // DML statements (CompileStatement): type-check against the target's
+  // delta binding and produce the executor specs from exec/dml.h.
+  Result<CompiledStatement> LowerDelete(const DeleteStmt& stmt);
+  Result<CompiledStatement> LowerUpdate(const UpdateStmt& stmt);
+  Result<CompiledStatement> LowerMerge(const MergeStmt& stmt);
+
  private:
+  /// Resolved DML target: the live delta binding plus a single-table scope
+  /// over its schema (qualifier = alias, or the table name).
+  struct DmlTarget {
+    const DeltaBinding* binding = nullptr;
+    Schema schema;
+    Scope scope;
+  };
+  Result<DmlTarget> ResolveDmlTarget(const std::string& name, int offset,
+                                     const std::string& alias);
+  /// `col = expr`: resolves the column, types the value against `ctx`,
+  /// casts it to the column type. `assigned` guards duplicates.
+  Result<dml::UpdateAssignment> LowerSetClause(const SetClause& clause,
+                                               const Schema& schema,
+                                               const ExprCtx& ctx,
+                                               std::vector<bool>* assigned);
   Status Err(int offset, const std::string& msg) const {
     return Status::InvalidArgument(ErrorAt(source_, offset, msg));
   }
@@ -1006,8 +1027,29 @@ Result<Lowered> Analyzer::LowerFrom(const TableRef& ref, int qdepth) {
         return Err(ref.offset, "unknown table '" + ref.table_name + "'");
       }
       Lowered out;
-      out.plan = *leaf;
-      const Schema& schema = (*leaf)->output_schema;
+      if (ref.version >= 0) {
+        // Time travel: a fresh DeltaScan pinned to the requested log
+        // version, independent of the registered (latest) leaf.
+        const DeltaBinding* binding = catalog_.LookupDelta(ref.table_name);
+        if (binding == nullptr) {
+          return Err(ref.offset, "table '" + ref.table_name +
+                                     "' is not a delta table; VERSION AS OF "
+                                     "requires one");
+        }
+        Result<DeltaSnapshot> snapshot =
+            binding->table->Snapshot(ref.version);
+        if (!snapshot.ok()) {
+          return Err(ref.offset, "VERSION AS OF " +
+                                     std::to_string(ref.version) + ": " +
+                                     snapshot.status().message());
+        }
+        out.plan = plan::DeltaScan(binding->table->store(),
+                                   *std::move(snapshot), {}, nullptr,
+                                   binding->io);
+      } else {
+        out.plan = *leaf;
+      }
+      const Schema& schema = out.plan->output_schema;
       for (int i = 0; i < schema.num_fields(); i++) {
         out.scope.cols.push_back(
             {"", schema.field(i).name, schema.field(i).type, false});
@@ -1600,6 +1642,207 @@ Result<Lowered> Analyzer::LowerQuery(const SelectStmt& stmt, int qdepth) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// DML statements
+// ---------------------------------------------------------------------------
+
+Result<Analyzer::DmlTarget> Analyzer::ResolveDmlTarget(
+    const std::string& name, int offset, const std::string& alias) {
+  const DeltaBinding* binding = catalog_.LookupDelta(name);
+  if (binding == nullptr) {
+    if (catalog_.Lookup(name) == nullptr) {
+      return Err(offset, "unknown table '" + name + "'");
+    }
+    return Err(offset, "table '" + name +
+                           "' is read-only; DML requires a delta-backed "
+                           "table (Catalog::RegisterDeltaTable)");
+  }
+  const plan::PlanPtr* leaf = catalog_.Lookup(name);
+  DmlTarget out;
+  out.binding = binding;
+  out.schema = (*leaf)->output_schema;
+  const std::string& qual = alias.empty() ? name : alias;
+  for (int i = 0; i < out.schema.num_fields(); i++) {
+    out.scope.cols.push_back(
+        {qual, out.schema.field(i).name, out.schema.field(i).type, false});
+  }
+  return out;
+}
+
+Result<dml::UpdateAssignment> Analyzer::LowerSetClause(
+    const SetClause& clause, const Schema& schema, const ExprCtx& ctx,
+    std::vector<bool>* assigned) {
+  int idx = schema.FieldIndex(clause.column);
+  if (idx < 0) {
+    return Err(clause.offset, "unknown column '" + clause.column +
+                                  "' in SET");
+  }
+  if ((*assigned)[idx]) {
+    return Err(clause.offset,
+               "duplicate assignment to column '" + clause.column + "'");
+  }
+  (*assigned)[idx] = true;
+  Result<ExprPtr> v = AnalyzeExpr(*clause.value, ctx, 0);
+  if (!v.ok()) return v.status();
+  ExprPtr value = *std::move(v);
+  const DataType& col_type = schema.field(idx).type;
+  if (value->type() != col_type) value = eb::Cast(std::move(value), col_type);
+  return dml::UpdateAssignment{idx, std::move(value)};
+}
+
+Result<CompiledStatement> Analyzer::LowerDelete(const DeleteStmt& stmt) {
+  Result<DmlTarget> t =
+      ResolveDmlTarget(stmt.table_name, stmt.table_offset, "");
+  if (!t.ok()) return t.status();
+  CompiledStatement out;
+  out.kind = StatementKind::kDelete;
+  out.table = t->binding->table;
+  out.io = t->binding->io;
+  if (stmt.where != nullptr) {
+    ExprCtx ctx{&t->scope};
+    Result<ExprPtr> pred = AnalyzeExpr(*stmt.where, ctx, 0);
+    if (!pred.ok()) return pred.status();
+    Status s = RequireBoolean(*pred, stmt.where->offset, "WHERE clause");
+    if (!s.ok()) return s;
+    out.predicate = *std::move(pred);
+  }
+  return out;
+}
+
+Result<CompiledStatement> Analyzer::LowerUpdate(const UpdateStmt& stmt) {
+  Result<DmlTarget> t =
+      ResolveDmlTarget(stmt.table_name, stmt.table_offset, "");
+  if (!t.ok()) return t.status();
+  CompiledStatement out;
+  out.kind = StatementKind::kUpdate;
+  out.table = t->binding->table;
+  out.io = t->binding->io;
+  ExprCtx ctx{&t->scope};
+  std::vector<bool> assigned(t->schema.num_fields(), false);
+  for (const SetClause& clause : stmt.set) {
+    Result<dml::UpdateAssignment> a =
+        LowerSetClause(clause, t->schema, ctx, &assigned);
+    if (!a.ok()) return a.status();
+    out.assignments.push_back(*std::move(a));
+  }
+  if (stmt.where != nullptr) {
+    Result<ExprPtr> pred = AnalyzeExpr(*stmt.where, ctx, 0);
+    if (!pred.ok()) return pred.status();
+    Status s = RequireBoolean(*pred, stmt.where->offset, "WHERE clause");
+    if (!s.ok()) return s;
+    out.predicate = *std::move(pred);
+  }
+  return out;
+}
+
+Result<CompiledStatement> Analyzer::LowerMerge(const MergeStmt& stmt) {
+  Result<DmlTarget> t = ResolveDmlTarget(stmt.table_name, stmt.table_offset,
+                                         stmt.target_alias);
+  if (!t.ok()) return t.status();
+  CompiledStatement out;
+  out.kind = StatementKind::kMerge;
+  out.table = t->binding->table;
+  out.io = t->binding->io;
+  const int target_width = t->scope.width();
+
+  Result<Lowered> src = LowerFrom(*stmt.source, 0);
+  if (!src.ok()) return src.status();
+  Lowered source = *std::move(src);
+  out.merge.source = source.plan;
+
+  // The combined row the ON condition and matched assignments see:
+  // [target columns..., source columns...], same layout the executor's
+  // per-file left-outer join produces.
+  Scope combined;
+  combined.cols = t->scope.cols;
+  combined.cols.insert(combined.cols.end(), source.scope.cols.begin(),
+                       source.scope.cols.end());
+  ExprCtx combined_ctx{&combined};
+
+  std::vector<const SqlExpr*> conjuncts;
+  FlattenAndAst(StripParens(stmt.on.get()), &conjuncts);
+  for (const SqlExpr* conjunct : conjuncts) {
+    Result<ExprPtr> e = AnalyzeExpr(*conjunct, combined_ctx, 0);
+    if (!e.ok()) return e.status();
+    ExprPtr target_key, source_key;
+    if (!AsJoinKeyPair(*e, target_width, &target_key, &source_key)) {
+      return Err(conjunct->offset,
+                 "MERGE ON must be a conjunction of target.col = source.col "
+                 "equalities over integral columns of the same type");
+    }
+    out.merge.target_keys.push_back(
+        static_cast<ColumnRefExpr*>(target_key.get())->index());
+    out.merge.source_keys.push_back(
+        static_cast<ColumnRefExpr*>(source_key.get())->index());
+  }
+
+  if (stmt.when_matched) {
+    // Identity per target column, then SET overrides.
+    for (int i = 0; i < target_width; i++) {
+      out.merge.matched_exprs.push_back(eb::Col(i, t->schema.field(i).type,
+                                                t->schema.field(i).name));
+    }
+    std::vector<bool> assigned(target_width, false);
+    for (const SetClause& clause : stmt.matched_set) {
+      Result<dml::UpdateAssignment> a =
+          LowerSetClause(clause, t->schema, combined_ctx, &assigned);
+      if (!a.ok()) return a.status();
+      out.merge.matched_exprs[a->column] = std::move(a->value);
+    }
+  }
+
+  if (stmt.when_not_matched) {
+    std::vector<int> columns;
+    if (stmt.insert_columns.empty()) {
+      for (int i = 0; i < target_width; i++) columns.push_back(i);
+    } else {
+      std::vector<bool> listed(target_width, false);
+      for (const std::string& name : stmt.insert_columns) {
+        int idx = t->schema.FieldIndex(name);
+        if (idx < 0) {
+          return Err(stmt.insert_offset,
+                     "unknown column '" + name + "' in INSERT");
+        }
+        if (listed[idx]) {
+          return Err(stmt.insert_offset,
+                     "duplicate column '" + name + "' in INSERT");
+        }
+        listed[idx] = true;
+        columns.push_back(idx);
+      }
+    }
+    if (columns.size() != stmt.insert_values.size()) {
+      return Err(stmt.insert_offset,
+                 "INSERT lists " + std::to_string(columns.size()) +
+                     " columns but " +
+                     std::to_string(stmt.insert_values.size()) + " values");
+    }
+    // Insert values see only the source row (the executor evaluates them
+    // over the anti-join output, which is the source schema).
+    ExprCtx source_ctx{&source.scope};
+    out.merge.insert_exprs.assign(static_cast<size_t>(target_width),
+                                  nullptr);
+    for (size_t k = 0; k < columns.size(); k++) {
+      Result<ExprPtr> v = AnalyzeExpr(*stmt.insert_values[k], source_ctx, 0);
+      if (!v.ok()) return v.status();
+      ExprPtr value = *std::move(v);
+      const DataType& col_type = t->schema.field(columns[k]).type;
+      if (value->type() != col_type) {
+        value = eb::Cast(std::move(value), col_type);
+      }
+      out.merge.insert_exprs[static_cast<size_t>(columns[k])] =
+          std::move(value);
+    }
+    for (int i = 0; i < target_width; i++) {
+      if (out.merge.insert_exprs[static_cast<size_t>(i)] == nullptr) {
+        out.merge.insert_exprs[static_cast<size_t>(i)] =
+            eb::NullLit(t->schema.field(i).type);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<plan::PlanPtr> Analyze(const std::string& source,
@@ -1616,6 +1859,30 @@ Result<plan::PlanPtr> CompileSql(const std::string& source,
   Result<SelectStmtPtr> stmt = ParseSelect(source);
   if (!stmt.ok()) return stmt.status();
   return Analyze(source, **stmt, catalog);
+}
+
+Result<CompiledStatement> CompileStatement(const std::string& source,
+                                           const Catalog& catalog) {
+  Result<Statement> parsed = ParseStatement(source);
+  if (!parsed.ok()) return parsed.status();
+  Analyzer analyzer(source, catalog);
+  switch (parsed->kind) {
+    case StatementKind::kSelect: {
+      Result<Lowered> r = analyzer.LowerQuery(*parsed->select, 0);
+      if (!r.ok()) return r.status();
+      CompiledStatement out;
+      out.kind = StatementKind::kSelect;
+      out.plan = r->plan;
+      return out;
+    }
+    case StatementKind::kDelete:
+      return analyzer.LowerDelete(*parsed->delete_stmt);
+    case StatementKind::kUpdate:
+      return analyzer.LowerUpdate(*parsed->update_stmt);
+    case StatementKind::kMerge:
+      return analyzer.LowerMerge(*parsed->merge_stmt);
+  }
+  return Status::InvalidArgument("internal: unhandled statement kind");
 }
 
 }  // namespace sql

@@ -2,8 +2,10 @@
 #define PHOTON_SQL_ANALYZER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "exec/dml.h"
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "sql/catalog.h"
@@ -23,6 +25,35 @@ Result<plan::PlanPtr> Analyze(const std::string& source,
 /// Parse + Analyze in one step.
 Result<plan::PlanPtr> CompileSql(const std::string& source,
                                  const Catalog& catalog);
+
+/// One compiled top-level statement: exactly the members matching `kind`
+/// are set. SELECT compiles to `plan` (as CompileSql); DML compiles to the
+/// typed specs the executors in exec/dml.h take, against the live
+/// DeltaTable from the catalog's delta binding — so the caller runs it as
+/// ExecuteDelete/ExecuteUpdate/ExecuteMerge under whatever driver,
+/// ExecContext and DmlOptions it chooses.
+struct CompiledStatement {
+  StatementKind kind = StatementKind::kSelect;
+  /// kSelect: the lowered query plan.
+  plan::PlanPtr plan;
+  /// DML target (kDelete / kUpdate / kMerge).
+  DeltaTable* table = nullptr;
+  io::IoOptions io;
+  /// kDelete / kUpdate: typed WHERE predicate over the table's schema;
+  /// null = every row.
+  ExprPtr predicate;
+  /// kUpdate: SET assignments, values cast to the column types.
+  std::vector<dml::UpdateAssignment> assignments;
+  /// kMerge.
+  dml::MergeSpec merge;
+};
+
+/// Parses and types one top-level statement (SELECT / DELETE / UPDATE /
+/// MERGE). DML statements require the table name to carry a delta binding
+/// (Catalog::RegisterDeltaTable); read-only registrations are rejected
+/// with a located error.
+Result<CompiledStatement> CompileStatement(const std::string& source,
+                                           const Catalog& catalog);
 
 }  // namespace sql
 }  // namespace photon

@@ -80,6 +80,9 @@ struct TableRef {
 
   // kTable
   std::string table_name;
+  /// `name VERSION AS OF n` — time-travel pin to log version n of a
+  /// delta-backed table; -1 = latest (the registered leaf).
+  int64_t version = -1;
 
   // kSubquery
   SelectStmtPtr subquery;
@@ -127,6 +130,63 @@ struct SelectStmt {
   SqlExprPtr having;
   std::vector<OrderItem> order_by;
   int64_t limit = -1;  // -1 = none
+};
+
+// --- DML statements ----------------------------------------------------------
+
+/// One `col = expr` assignment (UPDATE SET, MERGE WHEN MATCHED SET).
+struct SetClause {
+  std::string column;
+  int offset = 0;
+  SqlExprPtr value;
+};
+
+/// DELETE FROM t [WHERE pred]
+struct DeleteStmt {
+  int offset = 0;
+  std::string table_name;
+  int table_offset = 0;
+  SqlExprPtr where;  // null = every row
+};
+
+/// UPDATE t SET c = e [, ...] [WHERE pred]
+struct UpdateStmt {
+  int offset = 0;
+  std::string table_name;
+  int table_offset = 0;
+  std::vector<SetClause> set;  // at least one
+  SqlExprPtr where;            // null = every row
+};
+
+/// MERGE INTO t [AS a] USING <table or (subquery)> [AS b] ON cond
+///   [WHEN MATCHED THEN UPDATE SET c = e, ...]
+///   [WHEN NOT MATCHED THEN INSERT [(cols)] VALUES (exprs)]
+/// At least one WHEN clause is required (the parser enforces it).
+struct MergeStmt {
+  int offset = 0;
+  std::string table_name;  // target
+  int table_offset = 0;
+  std::string target_alias;  // "" = the table name
+  TableRefPtr source;        // kTable or kSubquery
+  SqlExprPtr on;
+  bool when_matched = false;
+  std::vector<SetClause> matched_set;
+  bool when_not_matched = false;
+  std::vector<std::string> insert_columns;  // empty = all, schema order
+  std::vector<SqlExprPtr> insert_values;    // over the source's columns
+  int insert_offset = 0;
+};
+
+enum class StatementKind : uint8_t { kSelect, kDelete, kUpdate, kMerge };
+
+/// Tagged top-level statement: exactly the member matching `kind` is set.
+/// SELECT round-trips through the existing SelectStmt path untouched.
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  SelectStmtPtr select;
+  std::shared_ptr<DeleteStmt> delete_stmt;
+  std::shared_ptr<UpdateStmt> update_stmt;
+  std::shared_ptr<MergeStmt> merge_stmt;
 };
 
 }  // namespace sql

@@ -22,6 +22,30 @@ void Catalog::RegisterTable(const std::string& name, const Table* table) {
   Register(name, plan::Scan(table));
 }
 
+Status Catalog::RegisterDeltaTable(const std::string& name, DeltaTable* table,
+                                   io::IoOptions io) {
+  PHOTON_CHECK(table != nullptr);
+  Result<DeltaSnapshot> snapshot = table->Snapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  Register(name, plan::DeltaScan(table->store(), *std::move(snapshot), {},
+                                 nullptr, io));
+  for (auto& entry : delta_entries_) {
+    if (entry.first == name) {
+      entry.second = DeltaBinding{table, io};
+      return Status::OK();
+    }
+  }
+  delta_entries_.emplace_back(name, DeltaBinding{table, io});
+  return Status::OK();
+}
+
+const DeltaBinding* Catalog::LookupDelta(const std::string& name) const {
+  for (const auto& entry : delta_entries_) {
+    if (entry.first == name) return &entry.second;
+  }
+  return nullptr;
+}
+
 const plan::PlanPtr* Catalog::Lookup(const std::string& name) const {
   for (const auto& entry : entries_) {
     if (entry.first == name) return &entry.second;

@@ -5,10 +5,22 @@
 #include <utility>
 #include <vector>
 
+#include "io/caching_store.h"
 #include "plan/logical_plan.h"
+#include "storage/delta.h"
 
 namespace photon {
 namespace sql {
+
+/// Writable-table binding: the live DeltaTable behind a registered name,
+/// so the analyzer can lower DML against it and `VERSION AS OF n` can
+/// build a pinned snapshot scan. Plain reads still go through the
+/// registered leaf (a DeltaScan of the snapshot current at registration —
+/// re-register after commits to advance it).
+struct DeltaBinding {
+  DeltaTable* table = nullptr;
+  io::IoOptions io;
+};
 
 /// Name → leaf-plan binding used by the analyzer to resolve FROM clauses
 /// and by the pretty-printer to name leaves. A "table" here is any leaf
@@ -25,6 +37,17 @@ class Catalog {
   /// Sugar: Register(name, plan::Scan(table)).
   void RegisterTable(const std::string& name, const Table* table);
 
+  /// Registers a writable delta table: binds `name` to a DeltaScan of the
+  /// table's latest snapshot (for plain reads and NameOf identity) and
+  /// records the DeltaBinding so DML and VERSION AS OF resolve to the live
+  /// table. Call again after commits to advance the read snapshot.
+  /// Returns the snapshot registration failed on (e.g. IO error).
+  Status RegisterDeltaTable(const std::string& name, DeltaTable* table,
+                            io::IoOptions io = {});
+
+  /// The delta binding, or nullptr when `name` is unknown or read-only.
+  const DeltaBinding* LookupDelta(const std::string& name) const;
+
   /// The registered leaf, or nullptr when the name is unknown.
   const plan::PlanPtr* Lookup(const std::string& name) const;
 
@@ -36,6 +59,7 @@ class Catalog {
 
  private:
   std::vector<std::pair<std::string, plan::PlanPtr>> entries_;
+  std::vector<std::pair<std::string, DeltaBinding>> delta_entries_;
 };
 
 }  // namespace sql

@@ -22,6 +22,9 @@ const std::unordered_set<std::string>& Keywords() {
       "CROSS",  "SEMI",     "ANTI",   "ON",      "WITH",   "ASC",
       "DESC",   "NULLS",    "FIRST",  "LAST",    "DISTINCT", "ALL",
       "TRUE",   "FALSE",    "UNION",  "EXCEPT",  "INTERSECT",
+      // DML + time travel.
+      "DELETE", "UPDATE",   "SET",    "MERGE",   "INTO",   "USING",
+      "MATCHED", "INSERT",  "VALUES", "VERSION", "OF",
       // Type names.
       "INT",    "INTEGER",  "BIGINT", "DOUBLE",  "BOOLEAN", "DATE",
       "TIMESTAMP", "VARCHAR", "STRING", "DECIMAL",

@@ -29,12 +29,39 @@ class Parser {
   Result<SelectStmtPtr> ParseStatement() {
     Result<SelectStmtPtr> stmt = ParseSelectStmt(0);
     if (!stmt.ok()) return stmt.status();
-    if (Peek().IsSymbol(";")) Advance();
-    if (Peek().kind != TokenKind::kEnd) {
-      return Error(Peek().offset,
-                   "unexpected " + Describe(Peek()) + " after statement");
-    }
+    Status s = ExpectStatementEnd();
+    if (!s.ok()) return s;
     return stmt;
+  }
+
+  /// Top-level dispatcher: SELECT/WITH take the existing query path,
+  /// DELETE/UPDATE/MERGE take the DML productions.
+  Result<Statement> ParseTopLevel() {
+    Statement out;
+    if (Peek().IsKeyword("DELETE")) {
+      Result<std::shared_ptr<DeleteStmt>> d = ParseDeleteStmt();
+      if (!d.ok()) return d.status();
+      out.kind = StatementKind::kDelete;
+      out.delete_stmt = *d;
+    } else if (Peek().IsKeyword("UPDATE")) {
+      Result<std::shared_ptr<UpdateStmt>> u = ParseUpdateStmt();
+      if (!u.ok()) return u.status();
+      out.kind = StatementKind::kUpdate;
+      out.update_stmt = *u;
+    } else if (Peek().IsKeyword("MERGE")) {
+      Result<std::shared_ptr<MergeStmt>> m = ParseMergeStmt();
+      if (!m.ok()) return m.status();
+      out.kind = StatementKind::kMerge;
+      out.merge_stmt = *m;
+    } else {
+      Result<SelectStmtPtr> stmt = ParseSelectStmt(0);
+      if (!stmt.ok()) return stmt.status();
+      out.kind = StatementKind::kSelect;
+      out.select = *stmt;
+    }
+    Status s = ExpectStatementEnd();
+    if (!s.ok()) return s;
+    return out;
   }
 
  private:
@@ -211,6 +238,181 @@ class Parser {
     return stmt;
   }
 
+  // ---- DML statements --------------------------------------------------
+
+  Status ExpectStatementEnd() {
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error(Peek().offset,
+                   "unexpected " + Describe(Peek()) + " after statement");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectTableName() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error(Peek().offset,
+                   "expected table name, got " + Describe(Peek()));
+    }
+    return Advance().text;
+  }
+
+  /// `col = expr [, col = expr ...]` — shared by UPDATE and MERGE.
+  Result<std::vector<SetClause>> ParseSetClauses() {
+    std::vector<SetClause> set;
+    do {
+      SetClause clause;
+      clause.offset = Peek().offset;
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error(Peek().offset,
+                     "expected column name in SET, got " + Describe(Peek()));
+      }
+      clause.column = Advance().text;
+      Status s = ExpectSymbol("=");
+      if (!s.ok()) return s;
+      Result<SqlExprPtr> value = ParseExpr(0, 0);
+      if (!value.ok()) return value.status();
+      clause.value = *value;
+      set.push_back(std::move(clause));
+    } while (AcceptSymbol(","));
+    return set;
+  }
+
+  /// DELETE FROM t [WHERE pred]
+  Result<std::shared_ptr<DeleteStmt>> ParseDeleteStmt() {
+    auto stmt = std::make_shared<DeleteStmt>();
+    stmt->offset = Peek().offset;
+    Advance();  // DELETE
+    Status s = ExpectKeyword("FROM");
+    if (!s.ok()) return s;
+    stmt->table_offset = Peek().offset;
+    Result<std::string> name = ExpectTableName();
+    if (!name.ok()) return name.status();
+    stmt->table_name = *name;
+    if (AcceptKeyword("WHERE")) {
+      Result<SqlExprPtr> where = ParseExpr(0, 0);
+      if (!where.ok()) return where.status();
+      stmt->where = *where;
+    }
+    return stmt;
+  }
+
+  /// UPDATE t SET c = e [, ...] [WHERE pred]
+  Result<std::shared_ptr<UpdateStmt>> ParseUpdateStmt() {
+    auto stmt = std::make_shared<UpdateStmt>();
+    stmt->offset = Peek().offset;
+    Advance();  // UPDATE
+    stmt->table_offset = Peek().offset;
+    Result<std::string> name = ExpectTableName();
+    if (!name.ok()) return name.status();
+    stmt->table_name = *name;
+    Status s = ExpectKeyword("SET");
+    if (!s.ok()) return s;
+    Result<std::vector<SetClause>> set = ParseSetClauses();
+    if (!set.ok()) return set.status();
+    stmt->set = *std::move(set);
+    if (AcceptKeyword("WHERE")) {
+      Result<SqlExprPtr> where = ParseExpr(0, 0);
+      if (!where.ok()) return where.status();
+      stmt->where = *where;
+    }
+    return stmt;
+  }
+
+  /// MERGE INTO t [AS a] USING <table or (subquery)> ON cond
+  ///   [WHEN MATCHED THEN UPDATE SET ...]
+  ///   [WHEN NOT MATCHED THEN INSERT [(cols)] VALUES (...)]
+  Result<std::shared_ptr<MergeStmt>> ParseMergeStmt() {
+    auto stmt = std::make_shared<MergeStmt>();
+    stmt->offset = Peek().offset;
+    Advance();  // MERGE
+    Status s = ExpectKeyword("INTO");
+    if (!s.ok()) return s;
+    stmt->table_offset = Peek().offset;
+    Result<std::string> name = ExpectTableName();
+    if (!name.ok()) return name.status();
+    stmt->table_name = *name;
+    bool saw_as = AcceptKeyword("AS");
+    if (Peek().kind == TokenKind::kIdent) {
+      stmt->target_alias = Advance().text;
+    } else if (saw_as) {
+      return Error(Peek().offset,
+                   "expected alias after AS, got " + Describe(Peek()));
+    }
+    s = ExpectKeyword("USING");
+    if (!s.ok()) return s;
+    Result<TableRefPtr> source = ParsePrimaryTableRef(0);
+    if (!source.ok()) return source.status();
+    stmt->source = *source;
+    s = ExpectKeyword("ON");
+    if (!s.ok()) return s;
+    Result<SqlExprPtr> on = ParseExpr(0, 0);
+    if (!on.ok()) return on.status();
+    stmt->on = *on;
+    while (Peek().IsKeyword("WHEN")) {
+      int when_offset = Peek().offset;
+      Advance();  // WHEN
+      if (AcceptKeyword("MATCHED")) {
+        if (stmt->when_matched) {
+          return Error(when_offset, "duplicate WHEN MATCHED clause");
+        }
+        s = ExpectKeyword("THEN");
+        if (!s.ok()) return s;
+        s = ExpectKeyword("UPDATE");
+        if (!s.ok()) return s;
+        s = ExpectKeyword("SET");
+        if (!s.ok()) return s;
+        Result<std::vector<SetClause>> set = ParseSetClauses();
+        if (!set.ok()) return set.status();
+        stmt->when_matched = true;
+        stmt->matched_set = *std::move(set);
+      } else if (AcceptKeyword("NOT")) {
+        if (stmt->when_not_matched) {
+          return Error(when_offset, "duplicate WHEN NOT MATCHED clause");
+        }
+        s = ExpectKeyword("MATCHED");
+        if (!s.ok()) return s;
+        s = ExpectKeyword("THEN");
+        if (!s.ok()) return s;
+        s = ExpectKeyword("INSERT");
+        if (!s.ok()) return s;
+        stmt->insert_offset = Peek().offset;
+        if (AcceptSymbol("(")) {
+          do {
+            if (Peek().kind != TokenKind::kIdent) {
+              return Error(Peek().offset, "expected column name, got " +
+                                              Describe(Peek()));
+            }
+            stmt->insert_columns.push_back(Advance().text);
+          } while (AcceptSymbol(","));
+          s = ExpectSymbol(")");
+          if (!s.ok()) return s;
+        }
+        s = ExpectKeyword("VALUES");
+        if (!s.ok()) return s;
+        s = ExpectSymbol("(");
+        if (!s.ok()) return s;
+        do {
+          Result<SqlExprPtr> value = ParseExpr(0, 0);
+          if (!value.ok()) return value.status();
+          stmt->insert_values.push_back(*value);
+        } while (AcceptSymbol(","));
+        s = ExpectSymbol(")");
+        if (!s.ok()) return s;
+        stmt->when_not_matched = true;
+      } else {
+        return Error(Peek().offset,
+                     "expected MATCHED or NOT MATCHED after WHEN, got " +
+                         Describe(Peek()));
+      }
+    }
+    if (!stmt->when_matched && !stmt->when_not_matched) {
+      return Error(stmt->offset,
+                   "MERGE requires at least one WHEN clause");
+    }
+    return stmt;
+  }
+
   // ---- FROM clause -----------------------------------------------------
 
   Result<TableRefPtr> ParseTableRef(int query_depth) {
@@ -297,6 +499,20 @@ class Parser {
     } else if (Peek().kind == TokenKind::kIdent) {
       ref->kind = TableRefKind::kTable;
       ref->table_name = Advance().text;
+      // Time travel: `name VERSION AS OF <int>`. VERSION is reserved, so
+      // this cannot collide with an alias (which must lex as an ident).
+      if (AcceptKeyword("VERSION")) {
+        Status s = ExpectKeyword("AS");
+        if (!s.ok()) return s;
+        s = ExpectKeyword("OF");
+        if (!s.ok()) return s;
+        if (Peek().kind != TokenKind::kIntLit) {
+          return Error(Peek().offset,
+                       "expected integer version after VERSION AS OF, got " +
+                           Describe(Peek()));
+        }
+        ref->version = std::atoll(Advance().text.c_str());
+      }
     } else {
       return Error(Peek().offset,
                    "expected table name or subquery, got " + Describe(Peek()));
@@ -769,6 +985,13 @@ Result<SelectStmtPtr> ParseSelect(const std::string& source) {
   if (!tokens.ok()) return tokens.status();
   Parser parser(source, *std::move(tokens));
   return parser.ParseStatement();
+}
+
+Result<Statement> ParseStatement(const std::string& source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(source, *std::move(tokens));
+  return parser.ParseTopLevel();
 }
 
 }  // namespace sql

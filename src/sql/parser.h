@@ -20,6 +20,10 @@ inline constexpr int kMaxSqlQueryDepth = 40;
 /// InvalidArgument with "line L column C: ..." attribution.
 Result<SelectStmtPtr> ParseSelect(const std::string& source);
 
+/// Parses one top-level statement: SELECT/WITH (as ParseSelect), or the
+/// DML forms DELETE / UPDATE / MERGE. Same error attribution.
+Result<Statement> ParseStatement(const std::string& source);
+
 }  // namespace sql
 }  // namespace photon
 

@@ -1,9 +1,14 @@
 #include "storage/delta.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace photon {
 namespace {
+
+/// Process-unique nonce per DeltaTable handle (see file_seq_ docs).
+std::atomic<int64_t> g_table_instance_counter{0};
 
 // Log record kinds.
 constexpr uint8_t kActionMetadata = 0;
@@ -63,7 +68,90 @@ std::vector<ColumnChunkMeta> AggregateStats(const FileMeta& meta) {
   return out;
 }
 
+/// Decodes one log payload. `schema` is the table schema *before* this
+/// version (needed to decode add-file stats); when the payload carries a
+/// metadata action, `*schema_out` receives the new schema and
+/// `*schema_changed` is set. Adds/removes append in payload order.
+Status DecodeLogPayload(const std::string& bytes, const Schema& schema,
+                        bool* schema_changed, Schema* schema_out,
+                        std::vector<DeltaFileEntry>* adds,
+                        std::vector<std::string>* removes) {
+  *schema_changed = false;
+  *schema_out = schema;
+  BinaryReader reader(bytes);
+  while (reader.remaining() > 0) {
+    uint8_t action = 0;
+    PHOTON_RETURN_NOT_OK(reader.ReadU8(&action));
+    switch (action) {
+      case kActionMetadata: {
+        uint64_t num_fields = 0;
+        PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&num_fields));
+        Schema next;
+        for (uint64_t i = 0; i < num_fields; i++) {
+          std::string name;
+          uint8_t type_id = 0, precision = 0, scale = 0, nullable = 0;
+          PHOTON_RETURN_NOT_OK(reader.ReadString(&name));
+          PHOTON_RETURN_NOT_OK(reader.ReadU8(&type_id));
+          PHOTON_RETURN_NOT_OK(reader.ReadU8(&precision));
+          PHOTON_RETURN_NOT_OK(reader.ReadU8(&scale));
+          PHOTON_RETURN_NOT_OK(reader.ReadU8(&nullable));
+          DataType type =
+              static_cast<TypeId>(type_id) == TypeId::kDecimal128
+                  ? DataType::Decimal(precision, scale)
+                  : DataType(static_cast<TypeId>(type_id));
+          next.AddField(Field(name, type, nullable != 0));
+        }
+        *schema_out = std::move(next);
+        *schema_changed = true;
+        break;
+      }
+      case kActionAddFile: {
+        DeltaFileEntry entry;
+        uint64_t rows = 0, num_stats = 0;
+        PHOTON_RETURN_NOT_OK(reader.ReadString(&entry.key));
+        PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&rows));
+        entry.num_rows = static_cast<int64_t>(rows);
+        PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&num_stats));
+        for (uint64_t c = 0; c < num_stats; c++) {
+          ColumnChunkMeta s;
+          uint64_t null_count = 0;
+          uint8_t has_stats = 0;
+          PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&null_count));
+          s.null_count = static_cast<int64_t>(null_count);
+          PHOTON_RETURN_NOT_OK(reader.ReadU8(&has_stats));
+          s.has_min_max = has_stats != 0;
+          if (s.has_min_max) {
+            const DataType& type =
+                schema_out->field(static_cast<int>(c)).type;
+            PHOTON_RETURN_NOT_OK(ReadTypedValue(type, &reader, &s.min));
+            PHOTON_RETURN_NOT_OK(ReadTypedValue(type, &reader, &s.max));
+          }
+          PHOTON_RETURN_NOT_OK(NdvSketch::Deserialize(&reader, &s.ndv));
+          entry.column_stats.push_back(std::move(s));
+        }
+        adds->push_back(std::move(entry));
+        break;
+      }
+      case kActionRemoveFile: {
+        std::string key;
+        PHOTON_RETURN_NOT_OK(reader.ReadString(&key));
+        removes->push_back(std::move(key));
+        break;
+      }
+      default:
+        return Status::IoError("unknown delta action");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+DeltaTable::DeltaTable(ObjectStore* store, std::string path)
+    : store_(store),
+      path_(std::move(path)),
+      instance_nonce_(
+          g_table_instance_counter.fetch_add(1, std::memory_order_relaxed)) {}
 
 std::string DeltaTable::LogKey(int64_t version) const {
   char buf[32];
@@ -77,13 +165,17 @@ Result<std::unique_ptr<DeltaTable>> DeltaTable::Create(ObjectStore* store,
                                                        Schema schema) {
   auto table =
       std::unique_ptr<DeltaTable>(new DeltaTable(store, std::move(path)));
-  if (!store->List(table->path_ + "/_delta_log/").empty()) {
+  BinaryWriter log;
+  WriteSchemaAction(schema, &log);
+  // Atomic claim of version 0: two racing Create calls cannot both succeed
+  // (the old List-then-Put check was a TOCTOU — both saw an empty log, and
+  // the loser's schema commit was silently overwritten).
+  PHOTON_ASSIGN_OR_RETURN(
+      bool won, store->PutIfAbsent(table->LogKey(0), log.ToString()));
+  if (!won) {
     return Status::InvalidArgument("delta table already exists at '" +
                                    table->path_ + "'");
   }
-  BinaryWriter log;
-  WriteSchemaAction(schema, &log);
-  PHOTON_RETURN_NOT_OK(store->Put(table->LogKey(0), log.ToString()));
   return table;
 }
 
@@ -138,127 +230,204 @@ Result<DeltaSnapshot> DeltaTable::Snapshot(int64_t version) const {
       return Status::KeyError("missing delta log version " +
                               std::to_string(v));
     }
-    BinaryReader reader(**log);
-    while (reader.remaining() > 0) {
-      uint8_t action = 0;
-      PHOTON_RETURN_NOT_OK(reader.ReadU8(&action));
-      switch (action) {
-        case kActionMetadata: {
-          uint64_t num_fields = 0;
-          PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&num_fields));
-          Schema schema;
-          for (uint64_t i = 0; i < num_fields; i++) {
-            std::string name;
-            uint8_t type_id = 0, precision = 0, scale = 0, nullable = 0;
-            PHOTON_RETURN_NOT_OK(reader.ReadString(&name));
-            PHOTON_RETURN_NOT_OK(reader.ReadU8(&type_id));
-            PHOTON_RETURN_NOT_OK(reader.ReadU8(&precision));
-            PHOTON_RETURN_NOT_OK(reader.ReadU8(&scale));
-            PHOTON_RETURN_NOT_OK(reader.ReadU8(&nullable));
-            DataType type =
-                static_cast<TypeId>(type_id) == TypeId::kDecimal128
-                    ? DataType::Decimal(precision, scale)
-                    : DataType(static_cast<TypeId>(type_id));
-            schema.AddField(Field(name, type, nullable != 0));
-          }
-          snapshot.schema = schema;
-          break;
-        }
-        case kActionAddFile: {
-          DeltaFileEntry entry;
-          uint64_t rows = 0, num_stats = 0;
-          PHOTON_RETURN_NOT_OK(reader.ReadString(&entry.key));
-          PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&rows));
-          entry.num_rows = static_cast<int64_t>(rows);
-          PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&num_stats));
-          for (uint64_t c = 0; c < num_stats; c++) {
-            ColumnChunkMeta s;
-            uint64_t null_count = 0;
-            uint8_t has_stats = 0;
-            PHOTON_RETURN_NOT_OK(reader.ReadVarU64(&null_count));
-            s.null_count = static_cast<int64_t>(null_count);
-            PHOTON_RETURN_NOT_OK(reader.ReadU8(&has_stats));
-            s.has_min_max = has_stats != 0;
-            if (s.has_min_max) {
-              const DataType& type =
-                  snapshot.schema.field(static_cast<int>(c)).type;
-              PHOTON_RETURN_NOT_OK(ReadTypedValue(type, &reader, &s.min));
-              PHOTON_RETURN_NOT_OK(ReadTypedValue(type, &reader, &s.max));
-            }
-            PHOTON_RETURN_NOT_OK(NdvSketch::Deserialize(&reader, &s.ndv));
-            entry.column_stats.push_back(std::move(s));
-          }
-          files.push_back(std::move(entry));
-          break;
-        }
-        case kActionRemoveFile: {
-          std::string key;
-          PHOTON_RETURN_NOT_OK(reader.ReadString(&key));
-          files.erase(std::remove_if(files.begin(), files.end(),
-                                     [&](const DeltaFileEntry& f) {
-                                       return f.key == key;
-                                     }),
-                      files.end());
-          break;
-        }
-        default:
-          return Status::IoError("unknown delta action");
-      }
+    bool schema_changed = false;
+    Schema schema_after;
+    std::vector<DeltaFileEntry> adds;
+    std::vector<std::string> removes;
+    PHOTON_RETURN_NOT_OK(DecodeLogPayload(**log, snapshot.schema,
+                                          &schema_changed, &schema_after,
+                                          &adds, &removes));
+    snapshot.schema = std::move(schema_after);
+    for (const std::string& key : removes) {
+      files.erase(std::remove_if(
+                      files.begin(), files.end(),
+                      [&](const DeltaFileEntry& f) { return f.key == key; }),
+                  files.end());
     }
+    for (DeltaFileEntry& entry : adds) files.push_back(std::move(entry));
   }
   snapshot.files = std::move(files);
   return snapshot;
 }
 
-Result<int64_t> DeltaTable::CommitActions(const std::string& payload) {
-  // Optimistic concurrency: claim the next version; in this single-process
-  // store, List-then-Put races are benign for the workloads exercised.
-  PHOTON_ASSIGN_OR_RETURN(int64_t latest, LatestVersion());
-  int64_t version = latest + 1;
-  PHOTON_RETURN_NOT_OK(store_->Put(LogKey(version), payload));
-  return version;
+Result<DeltaTable::LogActions> DeltaTable::ReadLogActions(
+    int64_t version, const Schema& schema) const {
+  Result<std::shared_ptr<const std::string>> log = ReadLog(version);
+  if (!log.ok()) {
+    return Status::KeyError("missing delta log version " +
+                            std::to_string(version));
+  }
+  LogActions acts;
+  Schema ignored;
+  PHOTON_RETURN_NOT_OK(DecodeLogPayload(**log, schema, &acts.schema_changed,
+                                        &ignored, &acts.adds,
+                                        &acts.removes));
+  return acts;
 }
 
-Result<int64_t> DeltaTable::Append(const Table& data,
-                                   FormatWriteOptions options) {
-  PHOTON_ASSIGN_OR_RETURN(DeltaSnapshot snapshot, Snapshot());
-  PHOTON_CHECK(data.schema() == snapshot.schema);
+Status DeltaTable::ValidateAgainst(const DeltaTransaction& tx,
+                                   int64_t version) const {
+  PHOTON_ASSIGN_OR_RETURN(LogActions acts,
+                          ReadLogActions(version, tx.schema));
+  auto conflict = [&](const std::string& why) {
+    return Status::CommitConflict("concurrent commit " +
+                                  std::to_string(version) + " of '" + path_ +
+                                  "' " + why);
+  };
+  if (acts.schema_changed && version > 0) {
+    return conflict("changed the table schema");
+  }
+  if (tx.reads_all_files && (!acts.adds.empty() || !acts.removes.empty())) {
+    return conflict(
+        "added or removed files under a full-table read set (MERGE "
+        "matched/not-matched split)");
+  }
+  for (const std::string& removed : acts.removes) {
+    for (const std::string& mine : tx.remove_keys) {
+      if (removed == mine) {
+        return conflict("already rewrote file '" + removed +
+                        "' (remove/remove)");
+      }
+    }
+    for (const std::string& read : tx.read_files) {
+      if (removed == read) {
+        return conflict("rewrote file '" + removed +
+                        "' this transaction read");
+      }
+    }
+  }
+  if (tx.read_predicate != nullptr) {
+    for (const DeltaFileEntry& add : acts.adds) {
+      if (StatsMayMatch(*tx.read_predicate, tx.schema, add.column_stats)) {
+        return conflict("added file '" + add.key +
+                        "' whose rows may match this transaction's "
+                        "predicate (phantom)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<int64_t> DeltaTable::Commit(const DeltaTransaction& tx) {
+  BinaryWriter log;
+  for (const std::string& remove : tx.remove_keys) {
+    log.WriteU8(kActionRemoveFile);
+    log.WriteString(remove);
+  }
+  for (const DeltaFileEntry& add : tx.add_files) {
+    WriteAddFileAction(add, tx.schema, &log);
+  }
+  const std::string payload = log.ToString();
+
+  PHOTON_ASSIGN_OR_RETURN(int64_t latest, LatestVersion());
+  int64_t version = std::max(latest, tx.read_version) + 1;
+  // Every commit in (read_version, version) must pass read-set validation;
+  // `validated` tracks how far we have replayed so a retried claim only
+  // validates the commits that landed since the last attempt.
+  int64_t validated = tx.read_version;
+  constexpr int kMaxClaimAttempts = 64;
+  for (int attempt = 0; attempt < kMaxClaimAttempts; attempt++) {
+    for (int64_t v = validated + 1; v < version; v++) {
+      PHOTON_RETURN_NOT_OK(ValidateAgainst(tx, v));
+      validated = v;
+    }
+    PHOTON_ASSIGN_OR_RETURN(bool won,
+                            store_->PutIfAbsent(LogKey(version), payload));
+    if (won) return version;
+    // Lost the claim — a concurrent writer owns `version`. Capped backoff
+    // (every lost claim means someone else committed, so the system as a
+    // whole always makes progress), then validate what landed and move to
+    // the next free slot.
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        std::min<int64_t>(int64_t{20} << std::min(attempt, 6), 1000)));
+    PHOTON_ASSIGN_OR_RETURN(latest, LatestVersion());
+    version = std::max(latest, version) + 1;
+  }
+  return Status::IoError("delta commit on '" + path_ + "' lost " +
+                         std::to_string(kMaxClaimAttempts) +
+                         " version claims; giving up");
+}
+
+Result<DeltaFileEntry> DeltaTable::WriteDataFile(const Table& data,
+                                                 FormatWriteOptions options) {
   std::string key =
-      path_ + "/data/file-" + std::to_string(file_seq_++) + "-" +
-      std::to_string(snapshot.version + 1) + ".pho";
+      path_ + "/data/file-" + std::to_string(instance_nonce_) + "-" +
+      std::to_string(file_seq_.fetch_add(1, std::memory_order_relaxed)) +
+      ".pho";
   PHOTON_ASSIGN_OR_RETURN(FileMeta meta,
                           WriteTableToStore(data, store_, key, options));
   DeltaFileEntry entry;
   entry.key = key;
   entry.num_rows = meta.num_rows();
+  // Aggregated zone maps + per-column HLL NDV sketches — identical for
+  // every write path (Append, DML rewrite, compaction), which is what
+  // keeps StatsFromSnapshot honest after copy-on-write churn.
   entry.column_stats = AggregateStats(meta);
+  return entry;
+}
 
-  BinaryWriter log;
-  WriteAddFileAction(entry, snapshot.schema, &log);
-  return CommitActions(log.ToString());
+void DeltaTable::ReleaseDataFile(const std::string& key) {
+  Status s = store_->Delete(key);
+  (void)s;  // already-gone is fine
+}
+
+Result<int64_t> DeltaTable::Append(const Table& data,
+                                   FormatWriteOptions options) {
+  PHOTON_ASSIGN_OR_RETURN(DeltaSnapshot snapshot, Snapshot());
+  if (!(data.schema() == snapshot.schema)) {
+    return Status::InvalidArgument(
+        "append schema does not match table schema of '" + path_ + "'");
+  }
+  PHOTON_ASSIGN_OR_RETURN(DeltaFileEntry entry,
+                          WriteDataFile(data, options));
+  DeltaTransaction tx;
+  tx.read_version = snapshot.version;
+  tx.schema = snapshot.schema;
+  tx.add_files.push_back(std::move(entry));
+  // Blind append: empty read set, so Commit can only lose claims (and
+  // retry), never conflict.
+  Result<int64_t> version = Commit(tx);
+  if (!version.ok()) ReleaseDataFile(tx.add_files[0].key);
+  return version;
 }
 
 Result<int64_t> DeltaTable::Rewrite(const std::vector<std::string>& remove_keys,
                                     const Table& add,
                                     FormatWriteOptions options) {
   PHOTON_ASSIGN_OR_RETURN(DeltaSnapshot snapshot, Snapshot());
-  std::string key =
-      path_ + "/data/file-" + std::to_string(file_seq_++) + "-rw" +
-      std::to_string(snapshot.version + 1) + ".pho";
-  PHOTON_ASSIGN_OR_RETURN(FileMeta meta,
-                          WriteTableToStore(add, store_, key, options));
-  DeltaFileEntry entry;
-  entry.key = key;
-  entry.num_rows = meta.num_rows();
-  entry.column_stats = AggregateStats(meta);
-
-  BinaryWriter log;
-  for (const std::string& remove : remove_keys) {
-    log.WriteU8(kActionRemoveFile);
-    log.WriteString(remove);
+  if (!(add.schema() == snapshot.schema)) {
+    return Status::InvalidArgument(
+        "rewrite schema does not match table schema of '" + path_ + "'");
   }
-  WriteAddFileAction(entry, snapshot.schema, &log);
-  return CommitActions(log.ToString());
+  // Every removed file must still be live in the snapshot this commit
+  // reads. Read-set validation only covers commits AFTER read_version; a
+  // file that was already rewritten before we snapshotted would otherwise
+  // slip through and duplicate its rows (remove of a dead key is a no-op
+  // in replay, but the add is not).
+  for (const std::string& key : remove_keys) {
+    bool live = false;
+    for (const DeltaFileEntry& file : snapshot.files) {
+      if (file.key == key) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      return Status::CommitConflict("concurrent commit already rewrote or "
+                                    "deleted file '" +
+                                    key + "' (remove/remove)");
+    }
+  }
+  PHOTON_ASSIGN_OR_RETURN(DeltaFileEntry entry, WriteDataFile(add, options));
+  DeltaTransaction tx;
+  tx.read_version = snapshot.version;
+  tx.schema = snapshot.schema;
+  tx.read_files = remove_keys;  // a rewrite reads what it replaces
+  tx.remove_keys = remove_keys;
+  tx.add_files.push_back(std::move(entry));
+  Result<int64_t> version = Commit(tx);
+  if (!version.ok()) ReleaseDataFile(tx.add_files[0].key);
+  return version;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #ifndef PHOTON_STORAGE_DELTA_H_
 #define PHOTON_STORAGE_DELTA_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,11 +37,49 @@ struct DeltaSnapshot {
   }
 };
 
+/// One optimistic transaction against the log (DESIGN.md §15). The writer
+/// stages its data files first (WriteDataFile), then describes what it
+/// read and what it changes; Commit claims the next log version atomically
+/// and re-validates this read set against every commit that landed after
+/// `read_version` before retrying a lost claim.
+///
+/// Conflict rules (conservative, always sound):
+///   - a concurrent commit REMOVED a file in `remove_keys` (remove/remove:
+///     both transactions rewrote or deleted the same file), or
+///   - a concurrent commit REMOVED a file in `read_files` (a file whose
+///     content this transaction's writes were derived from), or
+///   - `reads_all_files` and the concurrent commit added or removed any
+///     file (e.g. MERGE, whose matched/not-matched split reads the whole
+///     table), or
+///   - `read_predicate` is set and a concurrently ADDED file's zone-map
+///     stats may contain matching rows (a phantom for this DELETE/UPDATE),
+///   - or the concurrent commit changed the schema.
+/// Any of these aborts with Status::CommitConflict; blind appends have an
+/// empty read set and therefore never conflict, they only retry the claim.
+struct DeltaTransaction {
+  /// Snapshot version the transaction read (validation starts after it).
+  int64_t read_version = -1;
+  /// Schema at read time (used to decode stats of concurrent commits).
+  Schema schema;
+  /// Keys whose *content* this transaction depends on. Usually a superset
+  /// of remove_keys (you read what you rewrite).
+  std::vector<std::string> read_files;
+  /// The transaction's matched/not-matched logic read every file (MERGE).
+  bool reads_all_files = false;
+  /// When set, files added concurrently whose stats may match this
+  /// predicate conflict (phantom protection for predicate-scoped DML).
+  ExprPtr read_predicate;
+
+  std::vector<std::string> remove_keys;
+  std::vector<DeltaFileEntry> add_files;
+};
+
 /// A minimal Delta-Lake-style transactional table layer over the object
 /// store (see DESIGN.md substitutions): an append-only log of versioned
 /// commits under `<path>/_delta_log/`, each holding metadata / add-file /
 /// remove-file actions. Provides snapshots (time travel), optimistic
-/// version allocation, and stats-based file skipping.
+/// concurrent commits with read-set validation (DESIGN.md §15), and
+/// stats-based file skipping.
 class DeltaTable {
  public:
   /// Creates a new table (commits version 0 with the schema).
@@ -52,6 +91,7 @@ class DeltaTable {
                                                   std::string path);
 
   const std::string& path() const { return path_; }
+  ObjectStore* store() const { return store_; }
 
   /// Latest committed version.
   Result<int64_t> LatestVersion() const;
@@ -59,15 +99,39 @@ class DeltaTable {
   /// Snapshot at `version` (-1 = latest). This is Delta's time travel.
   Result<DeltaSnapshot> Snapshot(int64_t version = -1) const;
 
-  /// Writes `table` as one or more data files and commits an add-file
-  /// transaction. Returns the new version.
+  /// Writes `table` as a data file and commits an add-file transaction.
+  /// Blind appends never conflict; the commit retries a lost version claim
+  /// internally. Returns the new version, or InvalidArgument on a schema
+  /// mismatch (user-supplied DML reaches this path via the service).
   Result<int64_t> Append(const Table& data, FormatWriteOptions options = {});
 
   /// Commits a transaction that removes `remove_keys` and adds the data
-  /// files of `add` (used by compaction/ETL rewrites). Returns version.
+  /// files of `add` (compaction/ETL rewrites). The removed files form the
+  /// read set, so a concurrent rewrite of any of them aborts with
+  /// CommitConflict — the caller re-reads and retries. Returns version.
   Result<int64_t> Rewrite(const std::vector<std::string>& remove_keys,
                           const Table& add,
                           FormatWriteOptions options = {});
+
+  /// Stages `data` as a new data file (unique key, zone-map + NDV stats
+  /// aggregated exactly as Append persists them) WITHOUT committing. The
+  /// caller owns the staged object until a Commit carrying the entry wins;
+  /// on abort/cancel it must ReleaseDataFile the key.
+  Result<DeltaFileEntry> WriteDataFile(const Table& data,
+                                       FormatWriteOptions options = {});
+
+  /// Deletes a staged (never-committed) data file. Safe to call on a key
+  /// that is already gone.
+  void ReleaseDataFile(const std::string& key);
+
+  /// Optimistic-concurrency commit (the tentpole protocol): claims version
+  /// read_version+1.. with PutIfAbsent; on losing a claim, replays every
+  /// intervening commit and validates `tx`'s read set (see
+  /// DeltaTransaction), then retries with capped backoff. Returns the
+  /// committed version, CommitConflict on a real conflict, or the store's
+  /// error. On CommitConflict the transaction's staged files are NOT
+  /// released — the caller decides whether to reuse or release them.
+  Result<int64_t> Commit(const DeltaTransaction& tx);
 
   /// Routes log replay (Snapshot/LatestVersion reads) through an IO block
   /// cache: replaying version v re-reads every log object 0..v, so a warm
@@ -82,18 +146,31 @@ class DeltaTable {
       const DeltaSnapshot& snapshot, const ExprPtr& predicate);
 
  private:
-  DeltaTable(ObjectStore* store, std::string path)
-      : store_(store), path_(std::move(path)) {}
+  DeltaTable(ObjectStore* store, std::string path);
 
   std::string LogKey(int64_t version) const;
-  Result<int64_t> CommitActions(const std::string& payload);
+  /// One committed log version, decoded for read-set validation.
+  struct LogActions {
+    bool schema_changed = false;
+    std::vector<DeltaFileEntry> adds;
+    std::vector<std::string> removes;
+  };
+  Result<LogActions> ReadLogActions(int64_t version,
+                                    const Schema& schema) const;
+  /// CommitConflict iff the commit at `version` invalidates `tx`'s reads.
+  Status ValidateAgainst(const DeltaTransaction& tx, int64_t version) const;
 
   /// Reads one log object, through the cache when one is attached.
   Result<std::shared_ptr<const std::string>> ReadLog(int64_t version) const;
 
   ObjectStore* store_;
   std::string path_;
-  int64_t file_seq_ = 0;
+  /// Data-file keys are `file-<instance nonce>-<seq>.pho`: the nonce is
+  /// process-unique per DeltaTable handle and the sequence atomic, so
+  /// concurrent writers — including two handles onto the same table —
+  /// can never stage to the same key.
+  const int64_t instance_nonce_;
+  std::atomic<int64_t> file_seq_{0};
   /// Cached read path for log replay; null = direct store reads.
   std::unique_ptr<io::CachingStore> io_;
 };

@@ -33,6 +33,22 @@ Status ObjectStore::Put(const std::string& key, std::string bytes) {
   return Status::OK();
 }
 
+Result<bool> ObjectStore::PutIfAbsent(const std::string& key,
+                                      std::string bytes) {
+  SimulateIo(options_.put_latency_us, bytes.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fail_puts_ > 0) {
+    fail_puts_--;
+    return Status::IoError("injected failure writing '" + key + "'");
+  }
+  auto [it, inserted] = blobs_.try_emplace(key, std::move(bytes));
+  if (inserted) {
+    bytes_written_ += static_cast<int64_t>(it->second.size());
+    num_puts_++;
+  }
+  return inserted;
+}
+
 Result<std::string> ObjectStore::Get(const std::string& key) const {
   std::unique_lock<std::mutex> lock(mu_);
   if (fail_gets_ > 0) {

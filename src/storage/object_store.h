@@ -35,6 +35,14 @@ class ObjectStore {
   static ObjectStore& Default();
 
   Status Put(const std::string& key, std::string bytes);
+  /// Atomic insert-if-missing: stores `bytes` and returns true iff no
+  /// object existed at `key`; returns false (and writes nothing) when one
+  /// did. This is the primitive the Delta log's optimistic concurrency
+  /// stands on — claiming log version v+1 is a single PutIfAbsent, so two
+  /// racing committers can never both believe they own the same version
+  /// (real object stores expose the same thing as If-None-Match puts).
+  /// Injected Put failures (FailNextPuts) apply here too.
+  Result<bool> PutIfAbsent(const std::string& key, std::string bytes);
   Result<std::string> Get(const std::string& key) const;
   bool Exists(const std::string& key) const;
   Status Delete(const std::string& key);

@@ -1,17 +1,28 @@
 #include "testing/differ.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "baseline/row_operator.h"
+#include "common/rng.h"
+#include "exec/compactor.h"
+#include "exec/dml.h"
+#include "expr/builder.h"
 #include "memory/memory_manager.h"
 #include "service/query_service.h"
 #include "sql/analyzer.h"
 #include "sql/catalog.h"
 #include "sql/printer.h"
+#include "storage/delta.h"
 #include "testing/sql_mutator.h"
 
 namespace photon {
@@ -439,6 +450,359 @@ std::string RunConcurrentDifferential(
       return "concurrent run diverges from serial for plan " +
              std::to_string(i) + ": " + diff + "\nplan:\n" +
              plans[i]->ToString();
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Mode 10: mixed lakehouse workload, serial-equivalence over the Delta log
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Schema LakeSchema() {
+  return Schema({Field("id", DataType::Int64()),
+                 Field("val", DataType::Int64())});
+}
+
+Table LakeRows(int64_t begin, int64_t end, int64_t bias) {
+  TableBuilder b(LakeSchema());
+  for (int64_t i = begin; i < end; i++) {
+    b.AppendRow({Value::Int64(i), Value::Int64(i + bias)});
+  }
+  return b.Finish();
+}
+
+/// One logical transaction of the workload, recorded against the version
+/// it committed as and replayed verbatim by the serial check. Compaction
+/// is content-preserving, so its replay is a no-op.
+struct LakeOp {
+  enum Kind { kAppend, kDelete, kUpdate, kMerge, kCompact };
+  Kind kind = Kind::kCompact;
+  int64_t lo = 0;    // predicate id range [lo, hi)
+  int64_t hi = 0;
+  int64_t bias = 0;  // append/merge value bias; update delta
+  /// Pinned append rows / merge source, so replay sees byte-identical
+  /// input regardless of what the live table looked like.
+  std::shared_ptr<Table> rows;
+};
+
+ExprPtr LakeIdCol() { return eb::Col(0, DataType::Int64(), "id"); }
+ExprPtr LakeValCol() { return eb::Col(1, DataType::Int64(), "val"); }
+
+ExprPtr LakeRangePredicate(int64_t lo, int64_t hi) {
+  return eb::And(eb::Ge(LakeIdCol(), eb::Lit(lo)),
+                 eb::Lt(LakeIdCol(), eb::Lit(hi)));
+}
+
+dml::MergeSpec LakeMergeSpec(const LakeOp& op) {
+  dml::MergeSpec spec;
+  spec.source = plan::Scan(op.rows.get());
+  spec.target_keys = {0};
+  spec.source_keys = {0};
+  // Matched rows take the source's val; inserts copy the source row.
+  // Combined row layout is [target id, target val, source id, source val].
+  spec.matched_exprs = {LakeIdCol(),
+                        eb::Col(3, DataType::Int64(), "val")};
+  spec.insert_exprs = {LakeIdCol(), LakeValCol()};
+  return spec;
+}
+
+/// Applies one recorded op to `table`. An op that matches nothing on the
+/// replay table commits nothing, which is exactly the content-preserving
+/// behavior the equivalence check wants.
+Status ReplayLakeOp(const LakeOp& op, DeltaTable* table,
+                    exec::Driver* driver) {
+  ExecContext ctx;
+  switch (op.kind) {
+    case LakeOp::Kind::kAppend:
+      return table->Append(*op.rows).status();
+    case LakeOp::Kind::kDelete:
+      return dml::ExecuteDelete(table, LakeRangePredicate(op.lo, op.hi),
+                                driver, ctx)
+          .status();
+    case LakeOp::Kind::kUpdate: {
+      std::vector<dml::UpdateAssignment> set;
+      set.push_back({1, eb::Add(LakeValCol(), eb::Lit(op.bias))});
+      return dml::ExecuteUpdate(table, set,
+                                LakeRangePredicate(op.lo, op.hi), driver,
+                                ctx)
+          .status();
+    }
+    case LakeOp::Kind::kMerge:
+      return dml::ExecuteMerge(table, LakeMergeSpec(op), driver, ctx)
+          .status();
+    case LakeOp::Kind::kCompact:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<Table> ScanLakeVersion(DeltaTable* table, int64_t version,
+                              exec::Driver* driver) {
+  PHOTON_ASSIGN_OR_RETURN(DeltaSnapshot snapshot, table->Snapshot(version));
+  return driver->RunSingleTask(
+      plan::DeltaScan(table->store(), std::move(snapshot)), ExecContext{});
+}
+
+}  // namespace
+
+std::string RunLakehouseDifferential(
+    uint64_t seed, const LakehouseDifferentialOptions& opts) {
+  constexpr int64_t kIdDomain = 240;
+  const std::string path = "lake/mix";
+  ObjectStore store;
+
+  auto created = DeltaTable::Create(&store, path, LakeSchema());
+  if (!created.ok()) {
+    return "Create failed: " + created.status().ToString();
+  }
+  DeltaTable* table = created->get();
+
+  // Recorded transaction log: version → the op that committed it. A
+  // version recorded twice means two writers claimed the same commit slot
+  // — the lost-commit race mode 10 exists to catch.
+  std::mutex mu;
+  std::map<int64_t, LakeOp> log;
+  std::string failure;
+  auto record = [&](int64_t version, LakeOp op) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (log.count(version)) {
+      if (failure.empty()) {
+        failure = "version " + std::to_string(version) +
+                  " committed by two transactions (lost commit)";
+      }
+      return;
+    }
+    log.emplace(version, std::move(op));
+  };
+  auto fail = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (failure.empty()) failure = msg;
+  };
+
+  // Seed data: two files so DML and compaction race from the start.
+  for (int i = 0; i < 2; i++) {
+    LakeOp op;
+    op.kind = LakeOp::Kind::kAppend;
+    op.rows = std::make_shared<Table>(
+        LakeRows(i * 60, (i + 1) * 60, /*bias=*/0));
+    auto version = table->Append(*op.rows);
+    if (!version.ok()) {
+      return "seed append failed: " + version.status().ToString();
+    }
+    record(*version, std::move(op));
+  }
+
+  exec::Compactor::Options compactor_options;
+  compactor_options.small_file_rows = 200;
+  compactor_options.target_file_rows = 150;
+  compactor_options.interval_ms = 1;
+  exec::Compactor compactor(table, compactor_options);
+  compactor.set_commit_listener([&](int64_t version) {
+    LakeOp op;
+    op.kind = LakeOp::Kind::kCompact;
+    record(version, std::move(op));
+  });
+  if (opts.compact) compactor.Start();
+
+  std::atomic<bool> writers_done{false};
+
+  // Analytics readers race the writers: latest-snapshot scans must always
+  // succeed, and a pinned version must rescan to identical content.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < opts.reader_threads; r++) {
+    readers.emplace_back([&, r] {
+      exec::Driver driver(1, 1);
+      auto handle = DeltaTable::Open(&store, path);
+      if (!handle.ok()) {
+        fail("reader open failed: " + handle.status().ToString());
+        return;
+      }
+      int64_t pinned = -1;
+      CanonicalResult pinned_content;
+      while (!writers_done.load(std::memory_order_acquire)) {
+        auto latest = (*handle)->LatestVersion();
+        if (!latest.ok()) {
+          fail("reader LatestVersion failed: " + latest.status().ToString());
+          return;
+        }
+        Result<Table> scan = ScanLakeVersion(handle->get(), *latest, &driver);
+        if (!scan.ok()) {
+          fail("reader scan of version " + std::to_string(*latest) +
+               " failed: " + scan.status().ToString());
+          return;
+        }
+        if (pinned < 0 && *latest >= 2 && r % 2 == 0) {
+          pinned = *latest;
+          pinned_content = Canonicalize(*scan);
+        } else if (pinned >= 0) {
+          Result<Table> again =
+              ScanLakeVersion(handle->get(), pinned, &driver);
+          if (!again.ok()) {
+            fail("pinned version " + std::to_string(pinned) +
+                 " became unreadable: " + again.status().ToString());
+            return;
+          }
+          std::string diff =
+              DiffCanonical(pinned_content, Canonicalize(*again),
+                            "first read", "re-read");
+          if (!diff.empty()) {
+            fail("pinned version " + std::to_string(pinned) +
+                 " changed under a reader: " + diff);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < opts.writer_threads; w++) {
+    writers.emplace_back([&, w] {
+      Rng rng(seed * 0x9E37 + static_cast<uint64_t>(w) * 7919 + 17);
+      exec::Driver driver(2, 1);
+      auto handle = DeltaTable::Open(&store, path);
+      if (!handle.ok()) {
+        fail("writer open failed: " + handle.status().ToString());
+        return;
+      }
+      dml::DmlOptions dml_options;
+      dml_options.max_retries = 64;
+      ExecContext ctx;
+      for (int i = 0; i < opts.ops_per_writer; i++) {
+        LakeOp op;
+        int64_t lo = rng.Uniform(0, kIdDomain - 40);
+        op.lo = lo;
+        op.hi = lo + rng.Uniform(10, 40);
+        op.bias = rng.Uniform(1, 1000);
+        int kind = static_cast<int>(rng.Uniform(0, 99));
+        Result<dml::DmlResult> result = dml::DmlResult{};
+        if (kind < 30) {
+          op.kind = LakeOp::Kind::kDelete;
+          result = dml::ExecuteDelete(handle->get(),
+                                      LakeRangePredicate(op.lo, op.hi),
+                                      &driver, ctx, dml_options);
+        } else if (kind < 60) {
+          op.kind = LakeOp::Kind::kUpdate;
+          std::vector<dml::UpdateAssignment> set;
+          set.push_back({1, eb::Add(LakeValCol(), eb::Lit(op.bias))});
+          result = dml::ExecuteUpdate(handle->get(), set,
+                                      LakeRangePredicate(op.lo, op.hi),
+                                      &driver, ctx, dml_options);
+        } else if (kind < 85) {
+          op.kind = LakeOp::Kind::kMerge;
+          op.rows =
+              std::make_shared<Table>(LakeRows(op.lo, op.hi, op.bias));
+          result = dml::ExecuteMerge(handle->get(), LakeMergeSpec(op),
+                                     &driver, ctx, dml_options);
+        } else {
+          op.kind = LakeOp::Kind::kAppend;
+          op.rows =
+              std::make_shared<Table>(LakeRows(op.lo, op.hi, op.bias));
+          auto version = (*handle)->Append(*op.rows);
+          if (!version.ok()) {
+            fail("append failed: " + version.status().ToString());
+            return;
+          }
+          record(*version, std::move(op));
+          continue;
+        }
+        if (!result.ok()) {
+          fail("writer " + std::to_string(w) + " op " + std::to_string(i) +
+               " failed: " + result.status().ToString());
+          return;
+        }
+        // A statement that matched nothing committed nothing — there is
+        // no version to record.
+        if (result->rows_affected > 0 || result->rows_inserted > 0) {
+          record(result->version, std::move(op));
+        }
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  writers_done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  if (opts.compact) {
+    Status s = compactor.RunOncePass();
+    if (!s.ok()) fail("final compaction pass failed: " + s.ToString());
+    compactor.Stop();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!failure.empty()) return failure;
+  }
+
+  // Serial re-execution: apply the recorded ops in committed order to a
+  // fresh table; after each version the concurrent table's scan at that
+  // version must equal the serial table's content.
+  auto latest = table->LatestVersion();
+  if (!latest.ok()) {
+    return "LatestVersion failed: " + latest.status().ToString();
+  }
+  ObjectStore replay_store;
+  auto replay_created =
+      DeltaTable::Create(&replay_store, path, LakeSchema());
+  if (!replay_created.ok()) {
+    return "replay Create failed: " + replay_created.status().ToString();
+  }
+  DeltaTable* replay = replay_created->get();
+  exec::Driver driver(2, 1);
+  for (int64_t v = 1; v <= *latest; v++) {
+    auto it = log.find(v);
+    if (it == log.end()) {
+      return "version " + std::to_string(v) +
+             " exists in the log but no transaction recorded committing "
+             "it";
+    }
+    Status s = ReplayLakeOp(it->second, replay, &driver);
+    if (!s.ok()) {
+      return "replay of version " + std::to_string(v) +
+             " failed: " + s.ToString();
+    }
+    Result<Table> concurrent = ScanLakeVersion(table, v, &driver);
+    if (!concurrent.ok()) {
+      return "scan of committed version " + std::to_string(v) +
+             " failed: " + concurrent.status().ToString();
+    }
+    auto replay_latest = replay->LatestVersion();
+    if (!replay_latest.ok()) {
+      return "replay LatestVersion failed: " +
+             replay_latest.status().ToString();
+    }
+    Result<Table> serial = ScanLakeVersion(replay, *replay_latest, &driver);
+    if (!serial.ok()) {
+      return "replay scan failed: " + serial.status().ToString();
+    }
+    std::string diff = DiffCanonical(Canonicalize(*serial),
+                                     Canonicalize(*concurrent), "serial",
+                                     "concurrent");
+    if (!diff.empty()) {
+      return "committed version " + std::to_string(v) +
+             " diverges from serial re-execution (" +
+             (it->second.kind == LakeOp::Kind::kCompact
+                  ? std::string("compaction")
+                  : "dml") +
+             "): " + diff;
+    }
+  }
+
+  // No staged file from any aborted transaction may survive in the store.
+  std::set<std::string> committed;
+  for (int64_t v = 0; v <= *latest; v++) {
+    auto snapshot = table->Snapshot(v);
+    if (!snapshot.ok()) {
+      return "snapshot " + std::to_string(v) +
+             " failed: " + snapshot.status().ToString();
+    }
+    for (const DeltaFileEntry& f : snapshot->files) committed.insert(f.key);
+  }
+  for (const std::string& key : store.List(path + "/data/")) {
+    if (!committed.count(key)) {
+      return "aborted transaction leaked staged file: " + key;
     }
   }
   return "";

@@ -80,6 +80,31 @@ std::string RunConcurrentDifferential(
     const std::vector<plan::PlanPtr>& plans,
     const ConcurrentDifferentialOptions& opts);
 
+struct LakehouseDifferentialOptions {
+  /// Concurrent DML writers (each owns a driver and an Open()ed handle).
+  int writer_threads = 3;
+  /// Randomized DELETE/UPDATE/MERGE/append operations per writer.
+  int ops_per_writer = 5;
+  /// Concurrent analytics readers scanning while the writers commit.
+  int reader_threads = 2;
+  /// Run the background compactor against the same table.
+  bool compact = true;
+};
+
+/// Mode 10: seeded mixed lakehouse workload — concurrent DML writers
+/// (DELETE/UPDATE/MERGE/append through the executors), a background
+/// compactor, and analytics readers all racing on one Delta table — then
+/// a serial-equivalence check: every version is re-executed in committed
+/// transaction order against a fresh table (compactions replay as
+/// logical no-ops) and each committed version's full scan must equal the
+/// serial re-execution's content at that point. One recorded writer per
+/// version (a duplicate means a lost commit), pinned reader snapshots
+/// must rescan identically, and staged files from aborted transactions
+/// must not leak. Returns "" on agreement, else a report naming the
+/// diverging version or invariant.
+std::string RunLakehouseDifferential(
+    uint64_t seed, const LakehouseDifferentialOptions& opts = {});
+
 }  // namespace testing
 }  // namespace photon
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "exec/compactor.h"
 #include "exec/driver.h"
 #include "expr/builder.h"
 #include "opt/optimizer.h"
@@ -290,6 +291,53 @@ TEST(TableStatsTest, DeltaScanCarriesSnapshotStats) {
 
   opt::PlanEstimate est = opt::EstimatePlan(*scan);
   EXPECT_EQ(est.rows, static_cast<double>(table.num_rows()));
+}
+
+TEST(TableStatsTest, CompactionPreservesSnapshotStats) {
+  // Rewrite-path adds persist the same zone maps + HLL NDV sketches as
+  // Append, so StatsFromSnapshot must reconstruct identical statistics
+  // after the compactor has coalesced the small files (HLL register merge
+  // is a pure function of the value set, so estimates match exactly).
+  ObjectStore store;
+  testing::DataGen gen(11);
+  Schema schema = gen.RandomSchema("c_", 3, 3);
+  auto created = DeltaTable::Create(&store, "/opt/compact-stats", schema);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  DeltaTable* table = created->get();
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(table->Append(gen.RandomTable(schema, 50)).ok());
+  }
+  auto before_snap = table->Snapshot();
+  ASSERT_TRUE(before_snap.ok());
+  plan::TableStatsPtr before = plan::StatsFromSnapshot(*before_snap);
+
+  exec::Compactor::Options options;
+  options.small_file_rows = 100;
+  options.target_file_rows = 300;
+  exec::Compactor compactor(table, options);
+  ASSERT_TRUE(compactor.RunOncePass().ok());
+  ASSERT_GT(compactor.stats().files_compacted, 0);
+
+  auto after_snap = table->Snapshot();
+  ASSERT_TRUE(after_snap.ok());
+  ASSERT_LT(after_snap->files.size(), before_snap->files.size());
+  plan::TableStatsPtr after = plan::StatsFromSnapshot(*after_snap);
+
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->row_count, before->row_count);
+  ASSERT_EQ(after->columns.size(), before->columns.size());
+  for (size_t c = 0; c < before->columns.size(); c++) {
+    const plan::ColumnStats& b = before->columns[c];
+    const plan::ColumnStats& a = after->columns[c];
+    EXPECT_EQ(a.ndv, b.ndv) << "column " << c;
+    EXPECT_EQ(a.null_count, b.null_count) << "column " << c;
+    EXPECT_EQ(a.has_min_max, b.has_min_max) << "column " << c;
+    if (b.has_min_max) {
+      EXPECT_TRUE(a.min.Equals(b.min)) << "column " << c;
+      EXPECT_TRUE(a.max.Equals(b.max)) << "column " << c;
+    }
+  }
 }
 
 TEST(TableStatsTest, ComputeTableStatsIsExact) {

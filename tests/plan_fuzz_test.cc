@@ -152,6 +152,22 @@ TEST_P(ConcurrentPlanFuzzTest, ConcurrentMatchesSerial) {
 INSTANTIATE_TEST_SUITE_P(SeedGroups, ConcurrentPlanFuzzTest,
                          ::testing::Range(uint64_t{0}, uint64_t{16}));
 
+/// Mode 10 (lakehouse differential): per seed, concurrent DML writers, a
+/// background compactor, and analytics readers race on one Delta table;
+/// afterwards every committed version's scan must checksum-equal a serial
+/// re-execution of the committed transaction order. Catches lost commits,
+/// broken read-set validation, non-atomic rewrites, and staged-file leaks.
+class LakehouseFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LakehouseFuzzTest, CommittedVersionsAreSerialEquivalent) {
+  std::string failure = pt::RunLakehouseDifferential(GetParam());
+  EXPECT_TRUE(failure.empty()) << "seed " << GetParam() << ": " << failure;
+}
+
+// The same fixed 64-seed tier-1 corpus as the plan fuzzer.
+INSTANTIATE_TEST_SUITE_P(Seeds, LakehouseFuzzTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{65}));
+
 }  // namespace
 
 /// Overrides gtest_main: `--soak N` loops seeds 1..N outside gtest for
@@ -174,6 +190,12 @@ int main(int argc, char** argv) {
       if (!failure.empty()) {
         failures++;
         std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+      }
+      failure = pt::RunLakehouseDifferential(static_cast<uint64_t>(seed));
+      if (!failure.empty()) {
+        failures++;
+        std::fprintf(stderr, "FAIL lakehouse seed %ld: %s\n", seed,
+                     failure.c_str());
       }
       if (seed % 32 == 0) {
         std::fprintf(stderr, "soak: %ld/%ld seeds, %d failures\n", seed,

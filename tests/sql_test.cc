@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/time_util.h"
+#include "exec/dml.h"
 #include "exec/driver.h"
 #include "expr/builder.h"
 #include "expr/program.h"
@@ -12,6 +13,8 @@
 #include "sql/analyzer.h"
 #include "sql/catalog.h"
 #include "sql/lexer.h"
+#include "storage/delta.h"
+#include "storage/object_store.h"
 #include "sql/parser.h"
 #include "types/decimal.h"
 #include "vector/table.h"
@@ -486,6 +489,163 @@ TEST_F(SqlTest, QueryDepthLimitStopsRecursiveCtes) {
   std::string msg = CompileError(
       "WITH r AS (SELECT id FROM r) SELECT id FROM r");
   EXPECT_NE(msg.find("depth limit"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// DML statements + time travel over a delta-backed catalog entry
+// ---------------------------------------------------------------------------
+
+/// Fixture with a writable delta table `kv(id, val)` (25 rows, ids 0..24,
+/// val = id * 10) next to the read-only in-memory tables of SqlTest.
+class SqlDmlTest : public ::testing::Test {
+ protected:
+  SqlDmlTest() : driver_(1) {
+    auto created = DeltaTable::Create(
+        &store_, "sql/kv",
+        Schema({Field("id", DataType::Int64()),
+                Field("val", DataType::Int64())}));
+    PHOTON_CHECK(created.ok());
+    kv_ = std::move(*created);
+    TableBuilder b(Schema({Field("id", DataType::Int64()),
+                           Field("val", DataType::Int64())}));
+    for (int64_t i = 0; i < 25; i++) {
+      b.AppendRow({Value::Int64(i), Value::Int64(i * 10)});
+    }
+    PHOTON_CHECK(kv_->Append(b.Finish()).ok());
+    PHOTON_CHECK(catalog_.RegisterDeltaTable("kv", kv_.get()).ok());
+    catalog_.RegisterTable("t", &t_);
+  }
+
+  CompiledStatement Stmt(const std::string& text) {
+    Result<CompiledStatement> s = CompileStatement(text, catalog_);
+    EXPECT_TRUE(s.ok()) << text << "\n  -> " << s.status().message();
+    PHOTON_CHECK(s.ok());
+    return *std::move(s);
+  }
+
+  std::string StmtError(const std::string& text) {
+    Result<CompiledStatement> s = CompileStatement(text, catalog_);
+    EXPECT_FALSE(s.ok()) << text << " unexpectedly compiled";
+    return s.ok() ? "" : s.status().message();
+  }
+
+  dml::DmlResult Execute(const std::string& text) {
+    CompiledStatement stmt = Stmt(text);
+    ExecContext ctx;
+    Result<dml::DmlResult> r = [&] {
+      switch (stmt.kind) {
+        case StatementKind::kDelete:
+          return dml::ExecuteDelete(stmt.table, stmt.predicate, &driver_,
+                                    ctx);
+        case StatementKind::kUpdate:
+          return dml::ExecuteUpdate(stmt.table, stmt.assignments,
+                                    stmt.predicate, &driver_, ctx);
+        default:
+          return dml::ExecuteMerge(stmt.table, stmt.merge, &driver_, ctx);
+      }
+    }();
+    PHOTON_CHECK(r.ok());
+    // Advance the registered read snapshot like a client would.
+    PHOTON_CHECK(catalog_.RegisterDeltaTable("kv", kv_.get()).ok());
+    return *r;
+  }
+
+  Table Query(const std::string& text) {
+    Result<CompiledStatement> s = CompileStatement(text, catalog_);
+    PHOTON_CHECK(s.ok());
+    PHOTON_CHECK(s->kind == StatementKind::kSelect);
+    Result<Table> t = driver_.RunSingleTask(s->plan);
+    PHOTON_CHECK(t.ok());
+    return std::move(*t);
+  }
+
+  Table t_ = MakeTable(Schema({Field("id", DataType::Int64())}),
+                       {{Value::Int64(1)}});
+  ObjectStore store_;
+  std::unique_ptr<DeltaTable> kv_;
+  Catalog catalog_;
+  exec::Driver driver_;
+};
+
+TEST_F(SqlDmlTest, DeleteCompilesToTypedPredicateAndExecutes) {
+  CompiledStatement stmt = Stmt("DELETE FROM kv WHERE id < 5");
+  EXPECT_EQ(stmt.kind, StatementKind::kDelete);
+  EXPECT_EQ(stmt.table, kv_.get());
+  ASSERT_NE(stmt.predicate, nullptr);
+  EXPECT_EQ(stmt.predicate->type().id(), TypeId::kBoolean);
+
+  dml::DmlResult r = Execute("DELETE FROM kv WHERE id < 5");
+  EXPECT_EQ(r.rows_affected, 5);
+  Table left = Query("SELECT count(id) AS n FROM kv");
+  EXPECT_EQ(left.GetRow(0)[0], Value::Int64(20));
+}
+
+TEST_F(SqlDmlTest, UpdateCastsAssignmentsToColumnTypes) {
+  // 3 (an Int32 literal after SQL typing) must be cast to the Int64
+  // column; the predicate references the pre-update row.
+  dml::DmlResult r = Execute("UPDATE kv SET val = 3 WHERE val >= 200");
+  EXPECT_EQ(r.rows_affected, 5);  // ids 20..24
+  Table n = Query("SELECT count(id) AS n FROM kv WHERE val = 3");
+  EXPECT_EQ(n.GetRow(0)[0], Value::Int64(5));
+}
+
+TEST_F(SqlDmlTest, MergeExtractsKeysAndBothClauses) {
+  CompiledStatement stmt = Stmt(
+      "MERGE INTO kv USING (SELECT id, val FROM kv WHERE id >= 20) AS s "
+      "ON kv.id = s.id "
+      "WHEN MATCHED THEN UPDATE SET val = s.val + 1 "
+      "WHEN NOT MATCHED THEN INSERT VALUES (s.id, s.val)");
+  EXPECT_EQ(stmt.kind, StatementKind::kMerge);
+  ASSERT_EQ(stmt.merge.target_keys, std::vector<int>{0});
+  ASSERT_EQ(stmt.merge.source_keys, std::vector<int>{0});
+  ASSERT_EQ(stmt.merge.matched_exprs.size(), 2u);
+  ASSERT_EQ(stmt.merge.insert_exprs.size(), 2u);
+
+  dml::DmlResult r = Execute(
+      "MERGE INTO kv USING (SELECT id + 25 AS id, val FROM kv "
+      "WHERE id >= 20) AS s ON kv.id = s.id "
+      "WHEN MATCHED THEN UPDATE SET val = s.val + 1 "
+      "WHEN NOT MATCHED THEN INSERT VALUES (s.id, s.val)");
+  EXPECT_EQ(r.rows_affected, 0);  // shifted keys match nothing
+  EXPECT_EQ(r.rows_inserted, 5);
+  Table n = Query("SELECT count(id) AS n FROM kv");
+  EXPECT_EQ(n.GetRow(0)[0], Value::Int64(30));
+}
+
+TEST_F(SqlDmlTest, VersionAsOfPinsThePreDmlSnapshot) {
+  Execute("DELETE FROM kv WHERE id < 10");
+  Table now = Query("SELECT count(id) AS n FROM kv");
+  EXPECT_EQ(now.GetRow(0)[0], Value::Int64(15));
+  // Version 1 is the seed append, before the delete.
+  Table then = Query("SELECT count(id) AS n FROM kv VERSION AS OF 1");
+  EXPECT_EQ(then.GetRow(0)[0], Value::Int64(25));
+}
+
+TEST_F(SqlDmlTest, DmlAndTimeTravelErrorsAreLocated) {
+  EXPECT_NE(StmtError("DELETE FROM t WHERE id = 1").find("read-only"),
+            std::string::npos);
+  EXPECT_NE(StmtError("DELETE FROM missing").find("unknown table"),
+            std::string::npos);
+  EXPECT_NE(StmtError("UPDATE kv SET nope = 1").find("unknown column"),
+            std::string::npos);
+  EXPECT_NE(StmtError("UPDATE kv SET val = 1, val = 2").find("duplicate"),
+            std::string::npos);
+  EXPECT_NE(StmtError("MERGE INTO kv USING t AS s ON kv.id < s.id "
+                      "WHEN MATCHED THEN UPDATE SET val = 0")
+                .find("conjunction"),
+            std::string::npos);
+  EXPECT_NE(StmtError("MERGE INTO kv USING t AS s ON kv.id = s.id")
+                .find("WHEN"),
+            std::string::npos);
+  EXPECT_NE(StmtError("SELECT id FROM t VERSION AS OF 0")
+                .find("not a delta table"),
+            std::string::npos);
+  EXPECT_NE(
+      StmtError("SELECT id FROM kv VERSION AS OF 99").find("VERSION AS OF"),
+      std::string::npos);
+  // Errors carry line:column attribution like every other SQL error.
+  EXPECT_NE(StmtError("DELETE FROM missing").find("line 1 column"),
+            std::string::npos);
 }
 
 }  // namespace
